@@ -1,0 +1,43 @@
+//! Throughput of the discrete-event cluster simulation itself: how many
+//! simulated integration steps per wall-clock second the engine sustains
+//! (this is what makes the figure sweeps cheap).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use subsonic_cluster::{ClusterConfig, ClusterSim, WorkloadSpec};
+use subsonic_solvers::MethodKind;
+
+fn bench_sim(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cluster_sim");
+    for (px, py) in [(2usize, 2usize), (5, 4)] {
+        let steps = 50u64;
+        g.throughput(Throughput::Elements(steps * (px * py) as u64));
+        g.bench_function(BenchmarkId::new("quiet_steps", px * py), |b| {
+            b.iter(|| {
+                let w =
+                    WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 150 * px, 150 * py, px, py);
+                let cfg = ClusterConfig::measurement(w);
+                let mut sim = ClusterSim::new(cfg);
+                let stats = sim.run(f64::INFINITY, Some(steps));
+                std::hint::black_box(stats.finished_at)
+            });
+        });
+    }
+    // a production hour with users, jobs, monitor and checkpoints
+    g.bench_function("production_hour", |b| {
+        b.iter(|| {
+            let w = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 150 * 5, 150 * 4, 5, 4);
+            let cfg = ClusterConfig::production(w, 99);
+            let mut sim = ClusterSim::new(cfg);
+            let stats = sim.run(3600.0, None);
+            std::hint::black_box(stats.net_messages)
+        });
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sim
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! One Criterion target per paper artefact: times the regeneration of each
+//! table/figure in quick mode. `cargo bench --bench figures` therefore both
+//! exercises and times the full reproduction path; the `reproduce` binary is
+//! the full-resolution companion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use subsonic::experiments::run_experiment;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures_quick");
+    g.sample_size(10);
+    // analytic and cluster-simulated artefacts (fast even at full size)
+    for id in ["fig12", "fig13", "skew", "order", "solid"] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let r = run_experiment(id, true).unwrap();
+                assert!(r.all_pass(), "{id} checks failed");
+                std::hint::black_box(r.tables.len())
+            });
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("figures_sweeps_quick");
+    g.sample_size(10);
+    for id in ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "net"] {
+        g.bench_function(id, |b| {
+            b.iter(|| {
+                let r = run_experiment(id, true).unwrap();
+                std::hint::black_box(r.tables.len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_figures
+}
+criterion_main!(benches);

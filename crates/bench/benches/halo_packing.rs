@@ -1,0 +1,52 @@
+//! Halo pack/unpack throughput (the memcpy side of the paper's padding
+//! technique, section 4.2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use subsonic_grid::halo::{message_len2, pack2, unpack2};
+use subsonic_grid::{Face2, PaddedGrid2};
+
+fn bench_pack(c: &mut Criterion) {
+    let mut g = c.benchmark_group("halo_pack_2d");
+    for side in [64usize, 128, 256] {
+        let grid = PaddedGrid2::from_fn(side, side, 4, |i, j| (i * 31 + j) as f64);
+        let w = 4usize;
+        let len: usize = Face2::ALL
+            .iter()
+            .map(|&f| message_len2(side, side, f, w))
+            .sum();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_function(BenchmarkId::new("pack4faces", side), |b| {
+            let mut buf = Vec::with_capacity(len);
+            b.iter(|| {
+                buf.clear();
+                for f in Face2::ALL {
+                    pack2(&grid, f, w, &mut buf);
+                }
+                std::hint::black_box(buf.len())
+            });
+        });
+        g.bench_function(BenchmarkId::new("roundtrip", side), |b| {
+            let mut dst = grid.clone();
+            let mut buf = Vec::with_capacity(len);
+            b.iter(|| {
+                buf.clear();
+                for f in Face2::ALL {
+                    pack2(&grid, f.opposite(), w, &mut buf);
+                }
+                let mut at = 0;
+                for f in Face2::ALL {
+                    at += unpack2(&mut dst, f, w, &buf[at..]);
+                }
+                std::hint::black_box(at)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_pack
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! T1 bench: fluid nodes integrated per second for each (method, dimension).
+//!
+//! The paper's speed table compares LB/FD × 2D/3D on the HP9000/700s
+//! (1.0 ≡ 39132 nodes/s on a 715/50). This bench produces the same four rows
+//! for this machine; Criterion reports time per integration step, and the
+//! throughput setting converts it to nodes/second.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+use subsonic_exec::{LocalRunner2, LocalRunner3, Problem2, Problem3};
+use subsonic_grid::{Geometry2, Geometry3};
+use subsonic_solvers::{
+    FiniteDifference2, FiniteDifference3, FluidParams, LatticeBoltzmann2, LatticeBoltzmann3,
+    Solver2, Solver3,
+};
+
+fn params() -> FluidParams {
+    let mut p = FluidParams::lattice_units(0.05);
+    p.body_force[0] = 1e-6;
+    p
+}
+
+fn bench_2d(c: &mut Criterion) {
+    let side = 128usize;
+    let mut g = c.benchmark_group("node_rate_2d");
+    g.throughput(Throughput::Elements((side * side) as u64));
+    for (label, solver) in [
+        ("LB", Arc::new(LatticeBoltzmann2) as Arc<dyn Solver2>),
+        ("FD", Arc::new(FiniteDifference2) as Arc<dyn Solver2>),
+    ] {
+        let problem = Problem2::new(Geometry2::channel(side, side, 2), 1, 1, params());
+        let mut runner = LocalRunner2::new(solver, problem);
+        runner.run(2); // warm up
+        g.bench_function(BenchmarkId::new(label, side), |b| {
+            b.iter(|| runner.step());
+        });
+    }
+    g.finish();
+}
+
+fn bench_3d(c: &mut Criterion) {
+    let side = 28usize;
+    let mut g = c.benchmark_group("node_rate_3d");
+    g.throughput(Throughput::Elements((side * side * side) as u64));
+    for (label, solver) in [
+        ("LB", Arc::new(LatticeBoltzmann3) as Arc<dyn Solver3>),
+        ("FD", Arc::new(FiniteDifference3) as Arc<dyn Solver3>),
+    ] {
+        let problem = Problem3::new(Geometry3::duct(side, side, side, 2), 1, 1, 1, params());
+        let mut runner = LocalRunner3::new(solver, problem);
+        runner.run(1);
+        g.bench_function(BenchmarkId::new(label, side), |b| {
+            b.iter(|| runner.step());
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_2d, bench_3d
+}
+criterion_main!(benches);

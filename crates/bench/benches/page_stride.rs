@@ -1,0 +1,48 @@
+//! Appendix E: "the performance of the HP9000/700 ... can degrade
+//! dramatically at certain grid sizes ... when the length of the arrays is a
+//! near multiple of 4096 bytes ... we lengthen our arrays with 200-300
+//! bytes".
+//!
+//! This bench sweeps a column-walking kernel (the worst case for a strided
+//! row layout) over a row length that is exactly a page multiple, with and
+//! without the [`StridePolicy::AvoidPageMultiples`] pad. On 1990s
+//! direct-mapped caches the pathology was a 2x slowdown; modern associative
+//! caches soften it, so the bench reports rather than asserts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use subsonic_grid::array::{Array2, StridePolicy};
+
+fn column_sweep(a: &Array2<f64>) -> f64 {
+    // walk columns (stride = row length) — pathological when the stride in
+    // bytes is a multiple of the page/cache-way size
+    let mut acc = 0.0;
+    for x in 0..a.nx() {
+        for y in 0..a.ny() {
+            acc += a[(x, y)];
+        }
+    }
+    acc
+}
+
+fn bench_stride(c: &mut Criterion) {
+    let mut g = c.benchmark_group("page_stride");
+    // 512 f64 = 4096 bytes per row: exactly one page
+    let (nx, ny) = (512usize, 1024usize);
+    for (label, policy) in [
+        ("page_multiple", StridePolicy::Tight),
+        ("padded_appendix_e", StridePolicy::AvoidPageMultiples),
+    ] {
+        let a = Array2::with_policy(nx, ny, 1.0f64, policy);
+        g.bench_function(BenchmarkId::new(label, a.stride()), |b| {
+            b.iter(|| std::hint::black_box(column_sweep(&a)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stride
+}
+criterion_main!(benches);

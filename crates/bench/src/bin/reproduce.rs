@@ -1,0 +1,73 @@
+//! `reproduce` — regenerates every table and figure of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [--quick] [--out DIR] [id ...]
+//! ```
+//!
+//! Without ids, runs every experiment in `subsonic::experiments::ALL_IDS`.
+//! Writes one CSV per result table into `DIR` (default `results/`) and a
+//! `summary.md` with all tables and PASS/FAIL shape checks, then prints the
+//! summary to stdout.
+
+use std::io::Write;
+use std::path::PathBuf;
+use subsonic::experiments::{run_experiment, ALL_IDS};
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("results");
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: reproduce [--quick] [--out DIR] [id ...]");
+                eprintln!("ids: {}", ALL_IDS.join(" "));
+                return;
+            }
+            other => ids.push(other.to_string()),
+        }
+    }
+    if ids.is_empty() {
+        ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
+    }
+
+    let mut summary = String::from("# Reproduction summary\n\n");
+    let mut failures = 0usize;
+    for id in &ids {
+        let t0 = std::time::Instant::now();
+        eprint!("running {id} ... ");
+        let _ = std::io::stderr().flush();
+        match run_experiment(id, quick) {
+            Some(result) => {
+                let dt = t0.elapsed().as_secs_f64();
+                let ok = result.all_pass();
+                if !ok {
+                    failures += 1;
+                }
+                eprintln!("{} ({dt:.1} s)", if ok { "PASS" } else { "FAIL" });
+                let md = subsonic_bench::emit_result(&result, &out_dir)
+                    .expect("cannot write results");
+                summary.push_str(&md);
+                summary.push('\n');
+            }
+            None => {
+                eprintln!("unknown experiment id '{id}'");
+                failures += 1;
+            }
+        }
+    }
+    std::fs::create_dir_all(&out_dir).expect("cannot create results dir");
+    std::fs::write(out_dir.join("summary.md"), &summary).expect("cannot write summary");
+    println!("{summary}");
+    if failures > 0 {
+        eprintln!("{failures} experiment(s) had failing checks");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,487 @@
+//! Network models: the shared-bus Ethernet and an idealised switch.
+//!
+//! The shared bus is a processor-sharing queue: `k` concurrent transfers each
+//! progress at `bandwidth / k`, which is what makes the per-step
+//! communication time grow with the number of processors (the `(P − 1)`
+//! factor of the paper's eq. 19). Every message additionally pays a fixed
+//! protocol overhead (TCP/IP + Ethernet framing + socket system calls),
+//! which dominates for small messages — the effect the paper observes in
+//! Figure 5 at subregions below 100² and declines to model.
+//!
+//! Under heavy load the shared bus loses messages: "the TCP/IP protocol fails
+//! to deliver messages after excessive retransmissions" (section 7). We model
+//! saturation as extra transmission rounds sampled when the bus is congested,
+//! and count an error when the rounds exceed the TCP give-up limit.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// What a completed transfer delivers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransferPayload {
+    /// A halo message between neighbouring subregions.
+    Halo {
+        /// Receiving process (active-tile index).
+        to_proc: usize,
+        /// Integration step the message belongs to.
+        step: u64,
+        /// Exchange id within the step plan.
+        xch: usize,
+        /// Sending process.
+        from_proc: usize,
+    },
+    /// A dump-file transfer to/from the file server finished.
+    Dump {
+        /// The process saving or loading.
+        proc_id: usize,
+    },
+}
+
+/// Which network connects the workstations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NetworkKindCfg {
+    /// Shared-bus Ethernet (processor sharing).
+    SharedBus,
+    /// Idealised switched network: every transfer gets full bandwidth —
+    /// the paper's "Ethernet switches, FDDI and ATM networks" outlook.
+    Switched,
+}
+
+/// Transport protocol between parallel processes (Appendix D).
+///
+/// The paper chose TCP/IP "because of its simplicity": guaranteed FIFO
+/// delivery, at the cost of a heavier protocol stack and opaque behaviour on
+/// a saturated network ("when TCP/IP fails, it is hard to know which
+/// messages need to be resent"). UDP datagrams give the program control: a
+/// lighter per-message overhead, but "the distributed program must check that
+/// messages are delivered, and resend messages if necessary" — which the
+/// simulated runtime does with an acknowledgement timeout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Transport {
+    /// TCP/IP sockets (the paper's choice): guaranteed delivery, heavier
+    /// overhead, geometric retransmission rounds under saturation, give-up
+    /// errors counted.
+    Tcp,
+    /// UDP datagrams with application-level resends: lighter overhead,
+    /// explicit losses under saturation, precise recovery.
+    Udp,
+}
+
+/// Network parameters.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Bus or switch.
+    pub kind: NetworkKindCfg,
+    /// Transport protocol (Appendix D): TCP (default) or UDP.
+    pub transport: Transport,
+    /// Peak bandwidth in bits per second (the paper's Ethernet: 10 Mbps).
+    pub bandwidth_bps: f64,
+    /// Fixed per-message overhead in seconds (protocol stack + framing).
+    pub overhead_s: f64,
+    /// Concurrent-transfer count beyond which the bus is saturated.
+    pub saturation_transfers: usize,
+    /// Probability that a message sent on a saturated bus needs an extra
+    /// transmission round (sampled repeatedly: rounds are geometric).
+    pub collision_prob: f64,
+    /// Transmission rounds after which TCP gives up (counted as a network
+    /// error; the transfer still completes so the simulation can proceed —
+    /// the monitoring program would restart from a checkpoint).
+    pub max_transmissions: u32,
+    /// Per-message overhead of the lighter UDP path, seconds.
+    pub udp_overhead_s: f64,
+    /// Probability that a UDP datagram sent on a saturated bus is lost
+    /// (the application detects the loss by acknowledgement timeout).
+    pub udp_loss_prob: f64,
+    /// Application-level acknowledgement timeout before a UDP resend.
+    pub udp_ack_timeout_s: f64,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        Self {
+            kind: NetworkKindCfg::SharedBus,
+            transport: Transport::Tcp,
+            bandwidth_bps: 10.0e6,
+            overhead_s: 1.2e-3,
+            saturation_transfers: 12,
+            collision_prob: 0.5,
+            max_transmissions: 8,
+            udp_overhead_s: 0.5e-3,
+            udp_loss_prob: 0.3,
+            udp_ack_timeout_s: 0.05,
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// Bandwidth in bytes per second.
+    pub fn bytes_per_sec(&self) -> f64 {
+        self.bandwidth_bps / 8.0
+    }
+
+    /// The idealised switch with the same wire speed.
+    pub fn switched(mut self) -> Self {
+        self.kind = NetworkKindCfg::Switched;
+        self
+    }
+
+    /// The same network over UDP datagrams (Appendix D).
+    pub fn udp(mut self) -> Self {
+        self.transport = Transport::Udp;
+        self
+    }
+}
+
+/// A finished transfer: the payload plus whether it actually reached the
+/// receiver (UDP datagrams can be lost; TCP always delivers).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// What was being moved.
+    pub payload: TransferPayload,
+    /// `false` means the datagram was lost on a saturated bus and the
+    /// application must resend after its acknowledgement timeout.
+    pub delivered: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Transfer {
+    remaining: f64, // bytes still to move (including overhead-equivalent)
+    payload: TransferPayload,
+    lost: bool, // UDP: transmitted but dropped before the receiver
+}
+
+/// The simulated network.
+#[derive(Debug)]
+pub struct NetworkModel {
+    cfg: NetworkConfig,
+    transfers: Vec<Transfer>,
+    last_advance: f64,
+    epoch: u64,
+    /// Total payload bytes moved (excluding overhead and retransmissions).
+    pub bytes_delivered: f64,
+    /// Messages delivered.
+    pub messages: u64,
+    /// TCP give-up events.
+    pub errors: u64,
+    /// UDP datagrams lost (each triggers an application resend).
+    pub losses: u64,
+    /// Integral of (active transfers > 0) — bus busy time in seconds.
+    pub busy_time: f64,
+}
+
+impl NetworkModel {
+    /// Creates an idle network.
+    pub fn new(cfg: NetworkConfig) -> Self {
+        Self {
+            cfg,
+            transfers: Vec::new(),
+            last_advance: 0.0,
+            epoch: 0,
+            bytes_delivered: 0.0,
+            messages: 0,
+            errors: 0,
+            losses: 0,
+            busy_time: 0.0,
+        }
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.cfg
+    }
+
+    /// Epoch guarding `NetDone` events: bumped on every state change.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of in-flight transfers.
+    pub fn active(&self) -> usize {
+        self.transfers.len()
+    }
+
+    fn per_transfer_rate(&self) -> f64 {
+        let b = self.cfg.bytes_per_sec();
+        match self.cfg.kind {
+            NetworkKindCfg::SharedBus => b / self.transfers.len().max(1) as f64,
+            NetworkKindCfg::Switched => b,
+        }
+    }
+
+    /// Progresses all in-flight transfers up to `now`.
+    fn advance(&mut self, now: f64) {
+        let dt = (now - self.last_advance).max(0.0);
+        if dt > 0.0 && !self.transfers.is_empty() {
+            let moved = dt * self.per_transfer_rate();
+            for t in &mut self.transfers {
+                t.remaining -= moved;
+            }
+            self.busy_time += dt;
+        }
+        self.last_advance = now;
+    }
+
+    /// Starts a transfer of `bytes` payload at time `now`. Saturation
+    /// retransmission rounds are sampled here (deterministically given the
+    /// RNG state). Bump-epoch semantics: reschedule `NetDone` afterwards.
+    pub fn start_transfer(
+        &mut self,
+        now: f64,
+        bytes: f64,
+        payload: TransferPayload,
+        rng: &mut impl Rng,
+    ) {
+        self.advance(now);
+        let saturated = self.cfg.kind == NetworkKindCfg::SharedBus
+            && self.transfers.len() >= self.cfg.saturation_transfers;
+        let (overhead_bytes, rounds, lost) = match self.cfg.transport {
+            Transport::Tcp => {
+                let overhead = self.cfg.overhead_s * self.cfg.bytes_per_sec();
+                let mut rounds = 1u32;
+                if saturated {
+                    while rounds < self.cfg.max_transmissions + 2
+                        && rng.gen::<f64>() < self.cfg.collision_prob
+                    {
+                        rounds += 1;
+                    }
+                }
+                if rounds > self.cfg.max_transmissions {
+                    self.errors += 1;
+                    rounds = self.cfg.max_transmissions;
+                }
+                (overhead, rounds, false)
+            }
+            Transport::Udp => {
+                let overhead = self.cfg.udp_overhead_s * self.cfg.bytes_per_sec();
+                let lost = saturated && rng.gen::<f64>() < self.cfg.udp_loss_prob;
+                if lost {
+                    self.losses += 1;
+                }
+                (overhead, 1, lost)
+            }
+        };
+        let total = (bytes + overhead_bytes) * rounds as f64;
+        if !lost {
+            self.bytes_delivered += bytes;
+        }
+        self.transfers.push(Transfer { remaining: total, payload, lost });
+        self.epoch += 1;
+    }
+
+    /// Absolute time at which the earliest in-flight transfer completes.
+    pub fn next_completion(&self) -> Option<f64> {
+        let min = self
+            .transfers
+            .iter()
+            .map(|t| t.remaining)
+            .fold(f64::INFINITY, f64::min);
+        if min.is_finite() {
+            Some(self.last_advance + min.max(0.0) / self.per_transfer_rate())
+        } else {
+            None
+        }
+    }
+
+    /// Completes every transfer due at `now`, returning their payloads in a
+    /// deterministic order.
+    ///
+    /// The completion tolerance is a milli-byte: late in long simulations the
+    /// f64 clock's ulp times the wire rate can leave micro-byte residues on a
+    /// transfer that was scheduled to finish exactly now, and a too-tight
+    /// tolerance would reschedule the completion at the *same* rounded time
+    /// forever. If rounding leaves even more than that, the caller-observed
+    /// invariant still holds: a valid-epoch completion event always finishes
+    /// at least the earliest transfer (see the fallback below).
+    pub fn complete_due(&mut self, now: f64) -> Vec<Completion> {
+        self.advance(now);
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.transfers.len() {
+            if self.transfers[i].remaining <= 1e-3 {
+                let t = self.transfers.remove(i);
+                self.messages += 1;
+                done.push(Completion { payload: t.payload, delivered: !t.lost });
+            } else {
+                i += 1;
+            }
+        }
+        if done.is_empty() && !self.transfers.is_empty() {
+            // Float-rounding fallback: the event fired for this epoch, so the
+            // earliest transfer was due — complete it regardless of residue.
+            let (idx, _) = self
+                .transfers
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining))
+                .unwrap();
+            if self.transfers[idx].remaining < 1.0 {
+                let t = self.transfers.remove(idx);
+                self.messages += 1;
+                done.push(Completion { payload: t.payload, delivered: !t.lost });
+            }
+        }
+        if !done.is_empty() {
+            self.epoch += 1;
+        }
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn single_transfer_takes_bytes_over_bandwidth_plus_overhead() {
+        let cfg = NetworkConfig { overhead_s: 0.001, ..NetworkConfig::default() };
+        let mut net = NetworkModel::new(cfg);
+        let payload = TransferPayload::Dump { proc_id: 0 };
+        net.start_transfer(0.0, 125_000.0, payload.clone(), &mut rng());
+        // 125000 B at 1.25e6 B/s = 0.1 s, plus 1 ms overhead
+        let t = net.next_completion().unwrap();
+        assert!((t - 0.101).abs() < 1e-9, "completion at {t}");
+        let done = net.complete_due(t);
+        assert_eq!(done, vec![Completion { payload, delivered: true }]);
+        assert!(net.next_completion().is_none());
+    }
+
+    #[test]
+    fn bus_shares_bandwidth_between_transfers() {
+        let cfg = NetworkConfig { overhead_s: 0.0, ..NetworkConfig::default() };
+        let mut net = NetworkModel::new(cfg);
+        let p = |i| TransferPayload::Dump { proc_id: i };
+        net.start_transfer(0.0, 125_000.0, p(0), &mut rng());
+        net.start_transfer(0.0, 125_000.0, p(1), &mut rng());
+        // two equal transfers sharing the bus: both done at 0.2 s
+        let t = net.next_completion().unwrap();
+        assert!((t - 0.2).abs() < 1e-9, "completion at {t}");
+        let done = net.complete_due(t);
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn switch_does_not_share() {
+        let cfg = NetworkConfig { overhead_s: 0.0, ..NetworkConfig::default() }.switched();
+        let mut net = NetworkModel::new(cfg);
+        let p = |i| TransferPayload::Dump { proc_id: i };
+        net.start_transfer(0.0, 125_000.0, p(0), &mut rng());
+        net.start_transfer(0.0, 125_000.0, p(1), &mut rng());
+        let t = net.next_completion().unwrap();
+        assert!((t - 0.1).abs() < 1e-9, "completion at {t}");
+    }
+
+    #[test]
+    fn late_joiner_slows_first_transfer() {
+        let cfg = NetworkConfig { overhead_s: 0.0, ..NetworkConfig::default() };
+        let mut net = NetworkModel::new(cfg);
+        let p = |i| TransferPayload::Dump { proc_id: i };
+        net.start_transfer(0.0, 125_000.0, p(0), &mut rng());
+        // at t = 0.05 the first transfer is half done; a second joins
+        net.start_transfer(0.05, 125_000.0, p(1), &mut rng());
+        // first needs 62500 more bytes at 0.625e6 B/s = 0.1 s -> t = 0.15
+        let t = net.next_completion().unwrap();
+        assert!((t - 0.15).abs() < 1e-9, "completion at {t}");
+        let done = net.complete_due(t);
+        assert_eq!(done, vec![Completion { payload: p(0), delivered: true }]);
+        // second then finishes alone: 62500 bytes at full speed
+        let t2 = net.next_completion().unwrap();
+        assert!((t2 - 0.2).abs() < 1e-9, "completion at {t2}");
+    }
+
+    #[test]
+    fn saturation_samples_retransmissions() {
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            saturation_transfers: 2,
+            collision_prob: 1.0,
+            max_transmissions: 4,
+            ..NetworkConfig::default()
+        };
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        let p = |i| TransferPayload::Dump { proc_id: i };
+        net.start_transfer(0.0, 1000.0, p(0), &mut r);
+        net.start_transfer(0.0, 1000.0, p(1), &mut r);
+        assert_eq!(net.errors, 0);
+        // third transfer sees a saturated bus and with prob 1 keeps
+        // colliding until TCP gives up
+        net.start_transfer(0.0, 1000.0, p(2), &mut r);
+        assert_eq!(net.errors, 1);
+    }
+
+    #[test]
+    fn udp_has_lower_overhead() {
+        let tcp = NetworkConfig { overhead_s: 0.001, ..NetworkConfig::default() };
+        let udp = NetworkConfig { udp_overhead_s: 0.0004, ..tcp }.udp();
+        let mut a = NetworkModel::new(tcp);
+        let mut b = NetworkModel::new(udp);
+        let payload = TransferPayload::Dump { proc_id: 0 };
+        a.start_transfer(0.0, 125_000.0, payload.clone(), &mut rng());
+        b.start_transfer(0.0, 125_000.0, payload, &mut rng());
+        let ta = a.next_completion().unwrap();
+        let tb = b.next_completion().unwrap();
+        assert!(tb < ta, "UDP {tb} should beat TCP {ta}");
+        assert!((ta - tb - 0.0006).abs() < 1e-9);
+    }
+
+    #[test]
+    fn udp_loses_datagrams_on_saturated_bus() {
+        let cfg = NetworkConfig {
+            saturation_transfers: 1,
+            udp_loss_prob: 1.0,
+            ..NetworkConfig::default()
+        }
+        .udp();
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        let p = |i| TransferPayload::Dump { proc_id: i };
+        net.start_transfer(0.0, 1000.0, p(0), &mut r); // not saturated yet
+        net.start_transfer(0.0, 1000.0, p(1), &mut r); // saturated: lost
+        assert_eq!(net.losses, 1);
+        let t = net.next_completion().unwrap();
+        let done = net.complete_due(t);
+        // both complete, but the second was dropped before the receiver
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().any(|c| !c.delivered));
+        assert!(done.iter().any(|c| c.delivered));
+        // TCP on the same bus never reports losses
+        assert_eq!(net.errors, 0);
+    }
+
+    #[test]
+    fn tcp_never_loses() {
+        let cfg = NetworkConfig {
+            saturation_transfers: 0,
+            collision_prob: 0.9,
+            ..NetworkConfig::default()
+        };
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        for i in 0..20 {
+            net.start_transfer(0.0, 100.0, TransferPayload::Dump { proc_id: i }, &mut r);
+        }
+        // drain everything
+        while let Some(t) = net.next_completion() {
+            for c in net.complete_due(t) {
+                assert!(c.delivered, "TCP must deliver");
+            }
+        }
+        assert_eq!(net.losses, 0);
+        // but it does record give-up errors under these extreme collisions
+        assert!(net.errors > 0);
+    }
+
+    #[test]
+    fn epoch_guards_stale_events() {
+        let mut net = NetworkModel::new(NetworkConfig::default());
+        let e0 = net.epoch();
+        net.start_transfer(0.0, 10.0, TransferPayload::Dump { proc_id: 0 }, &mut rng());
+        assert!(net.epoch() > e0);
+    }
+}

@@ -1,0 +1,175 @@
+//! The discrete-event queue: a time-ordered heap with stable tie-breaking.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Events the cluster simulation processes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// A process finishes its current compute phase (guarded by its epoch).
+    ComputeDone { proc_id: usize, epoch: u64 },
+    /// The earliest in-flight network transfer completes (guarded by the
+    /// network epoch).
+    NetDone { epoch: u64 },
+    /// The user of a host switches between active and idle.
+    UserFlip { host: usize },
+    /// A full-time background job arrives on a host.
+    JobArrival { host: usize },
+    /// A full-time background job finishes on a host.
+    JobDeparture { host: usize },
+    /// Periodic check of the monitoring program.
+    MonitorTick,
+    /// Periodic checkpoint trigger.
+    CheckpointTick,
+    /// The staggered-save token reaches the next process.
+    CheckpointToken { order_index: usize },
+    /// A paused process finishes saving / loading its dump file.
+    DumpTransferDone { proc_id: usize, epoch: u64 },
+    /// The job-submit program retries its search for free hosts.
+    SubmitRetry,
+    /// A UDP halo datagram was lost; the acknowledgement timeout expired and
+    /// the application resends it (Appendix D).
+    ResendHalo {
+        /// Receiving process.
+        to_proc: usize,
+        /// Step of the lost message.
+        step: u64,
+        /// Exchange id of the lost message.
+        xch: usize,
+        /// Sending process.
+        from_proc: usize,
+    },
+    /// A UDP dump transfer was lost; resend it.
+    ResendDump {
+        /// The saving/loading process.
+        proc_id: usize,
+    },
+    /// Channel reopening handshake completes, computation resumes (CONT).
+    ResumeAll,
+    /// End of the simulated measurement window.
+    Stop,
+}
+
+#[derive(Debug, Clone)]
+struct Scheduled {
+    time: f64,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest time pops first;
+        // ties break by insertion order for determinism.
+        other
+            .time
+            .total_cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic discrete-event queue.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<Scheduled>,
+    now: f64,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulation time in seconds.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Schedules `kind` to fire `delay` seconds from now.
+    pub fn schedule(&mut self, delay: f64, kind: EventKind) {
+        debug_assert!(delay >= 0.0 && delay.is_finite(), "bad delay {delay}");
+        self.heap.push(Scheduled { time: self.now + delay, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    /// Schedules `kind` at an absolute time (must not be in the past).
+    pub fn schedule_at(&mut self, time: f64, kind: EventKind) {
+        debug_assert!(time >= self.now, "scheduling into the past");
+        self.heap.push(Scheduled { time, seq: self.seq, kind });
+        self.seq += 1;
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+        let ev = self.heap.pop()?;
+        debug_assert!(ev.time >= self.now);
+        self.now = ev.time;
+        Some((ev.time, ev.kind))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, EventKind::MonitorTick);
+        q.schedule(1.0, EventKind::Stop);
+        q.schedule(3.0, EventKind::CheckpointTick);
+        let order: Vec<f64> = std::iter::from_fn(|| q.pop()).map(|(t, _)| t).collect();
+        assert_eq!(order, vec![1.0, 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, EventKind::JobArrival { host: 0 });
+        q.schedule(2.0, EventKind::JobArrival { host: 1 });
+        q.schedule(2.0, EventKind::JobArrival { host: 2 });
+        let hosts: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|(_, k)| match k {
+                EventKind::JobArrival { host } => host,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(hosts, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(1.0, EventKind::Stop);
+        q.pop();
+        assert_eq!(q.now(), 1.0);
+        q.schedule(0.5, EventKind::Stop);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, 1.5);
+    }
+}

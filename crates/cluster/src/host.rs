@@ -1,0 +1,221 @@
+//! Workstation models: speeds, load averages, nice scheduling.
+
+use serde::{Deserialize, Serialize};
+use subsonic_solvers::MethodKind;
+
+/// The HP9000/700 models of the paper's cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostKind {
+    /// HP9000/715-50 — the 50 MHz reference machine (16 in the cluster).
+    Hp715_50,
+    /// HP9000/710 — slightly slower (3 in the cluster).
+    Hp710,
+    /// HP9000/720 — slightly slower (6 in the cluster).
+    Hp720,
+}
+
+impl HostKind {
+    /// The paper's cluster composition: 16× 715/50, 6× 720, 3× 710.
+    pub fn paper_cluster() -> Vec<HostKind> {
+        let mut v = vec![HostKind::Hp715_50; 16];
+        v.extend(vec![HostKind::Hp720; 6]);
+        v.extend(vec![HostKind::Hp710; 3]);
+        v
+    }
+
+    /// Computational speed in fluid nodes per second for a method and
+    /// dimensionality, from the section-7 speed table (`1.0 ≡ 39132`
+    /// nodes/s).
+    pub fn node_rate(self, method: MethodKind, three_d: bool) -> f64 {
+        let c = subsonic_model::PaperConstants::default();
+        let row = match (method, three_d) {
+            (MethodKind::LatticeBoltzmann, false) => c.rel_speed_lb2d,
+            (MethodKind::LatticeBoltzmann, true) => c.rel_speed_lb3d,
+            (MethodKind::FiniteDifference, false) => c.rel_speed_fd2d,
+            (MethodKind::FiniteDifference, true) => c.rel_speed_fd3d,
+        };
+        let rel = match self {
+            HostKind::Hp715_50 => row[0],
+            HostKind::Hp710 => row[1],
+            HostKind::Hp720 => row[2],
+        };
+        rel * c.u_calc_lb2d
+    }
+
+    /// Preference rank for job submission (faster models first): "our
+    /// strategy is to choose 715 models first before choosing the slightly
+    /// slower 710 and 720 models".
+    pub fn preference_rank(self) -> u8 {
+        match self {
+            HostKind::Hp715_50 => 0,
+            HostKind::Hp720 => 1,
+            HostKind::Hp710 => 2,
+        }
+    }
+}
+
+/// An exponentially-smoothed load average, as `uptime` reports.
+///
+/// UNIX load averages follow `L ← L·e^(−Δt/τ) + n·(1 − e^(−Δt/τ))` where `n`
+/// is the instantaneous run-queue length, with τ = 60/300/900 s for the
+/// 1/5/15-minute averages. We update lazily: the run-queue length is
+/// piecewise constant between events.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LoadAvg {
+    tau: f64,
+    value: f64,
+    last_update: f64,
+}
+
+impl LoadAvg {
+    /// A zero load average with the given time constant (seconds).
+    pub fn new(tau: f64) -> Self {
+        Self { tau, value: 0.0, last_update: 0.0 }
+    }
+
+    /// The load average at time `now`, given that the run-queue length has
+    /// been `n` since the last update.
+    pub fn at(&self, now: f64, n: f64) -> f64 {
+        let dt = (now - self.last_update).max(0.0);
+        let a = (-dt / self.tau).exp();
+        self.value * a + n * (1.0 - a)
+    }
+
+    /// Folds the interval since the last update (run-queue length `n`) into
+    /// the average and advances the update time.
+    pub fn advance(&mut self, now: f64, n: f64) {
+        self.value = self.at(now, n);
+        self.last_update = now;
+    }
+}
+
+/// Dynamic state of one workstation in the simulation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostState {
+    /// Hardware model.
+    pub kind: HostKind,
+    /// Whether the console user is currently active.
+    pub user_active: bool,
+    /// Time the user last went idle (valid when `!user_active`).
+    pub idle_since: f64,
+    /// Number of competing full-time (CPU-bound) jobs.
+    pub competitors: u32,
+    /// Parallel subprocess currently assigned here, if any.
+    pub assigned_proc: Option<usize>,
+    /// 5-minute load average (migration trigger: `> 1.5`).
+    pub load5: LoadAvg,
+    /// 15-minute load average (selection threshold: `< 0.6`).
+    pub load15: LoadAvg,
+}
+
+impl HostState {
+    /// A quiet host of the given model.
+    pub fn new(kind: HostKind) -> Self {
+        Self {
+            kind,
+            user_active: false,
+            idle_since: 0.0,
+            competitors: 0,
+            assigned_proc: None,
+            load5: LoadAvg::new(300.0),
+            load15: LoadAvg::new(900.0),
+        }
+    }
+
+    /// Instantaneous run-queue length as `uptime` would count it: competing
+    /// full-time jobs plus our own (nice'd) subprocess if one runs here.
+    pub fn run_queue(&self) -> f64 {
+        self.competitors as f64 + if self.assigned_proc.is_some() { 1.0 } else { 0.0 }
+    }
+
+    /// Folds elapsed time into the load averages (call *before* changing
+    /// `competitors` or `assigned_proc`).
+    pub fn touch(&mut self, now: f64) {
+        let n = self.run_queue();
+        self.load5.advance(now, n);
+        self.load15.advance(now, n);
+    }
+
+    /// The share of the CPU the nice'd parallel subprocess receives.
+    ///
+    /// Interactive users cost nothing measurable ("there is no loss of
+    /// interactiveness. After the user's tasks are serviced, there are enough
+    /// CPU cycles left for the distributed computation", section 5.1). A
+    /// competing *full-time* job at normal priority starves the nice'd
+    /// process down to a small share.
+    pub fn nice_share(&self, nice_floor: f64) -> f64 {
+        if self.competitors == 0 {
+            1.0
+        } else {
+            nice_floor / self.competitors as f64
+        }
+    }
+
+    /// Whether the user has been idle for at least `idle_threshold` seconds
+    /// (the paper's "more than 20 minutes idle time" classification).
+    pub fn user_is_idle(&self, now: f64, idle_threshold: f64) -> bool {
+        !self.user_active && (now - self.idle_since) >= idle_threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_composition() {
+        let hosts = HostKind::paper_cluster();
+        assert_eq!(hosts.len(), 25);
+        assert_eq!(hosts.iter().filter(|h| **h == HostKind::Hp715_50).count(), 16);
+        assert_eq!(hosts.iter().filter(|h| **h == HostKind::Hp720).count(), 6);
+        assert_eq!(hosts.iter().filter(|h| **h == HostKind::Hp710).count(), 3);
+    }
+
+    #[test]
+    fn node_rates_match_table() {
+        let r = HostKind::Hp715_50.node_rate(MethodKind::LatticeBoltzmann, false);
+        assert!((r - 39132.0).abs() < 1e-9);
+        let r = HostKind::Hp710.node_rate(MethodKind::LatticeBoltzmann, false);
+        assert!((r - 0.84 * 39132.0).abs() < 1e-9);
+        let r = HostKind::Hp715_50.node_rate(MethodKind::FiniteDifference, false);
+        assert!((r - 1.24 * 39132.0).abs() < 1e-9);
+        let r = HostKind::Hp720.node_rate(MethodKind::LatticeBoltzmann, true);
+        assert!((r - 0.42 * 39132.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_average_converges_to_run_queue() {
+        let mut l = LoadAvg::new(300.0);
+        l.advance(0.0, 0.0);
+        // hold n = 2 for a long time
+        assert!((l.at(3600.0, 2.0) - 2.0).abs() < 1e-4);
+        // crossing 1.5 from 1.0 to 2.0 takes 300 ln 2 ≈ 208 s
+        let mut l = LoadAvg::new(300.0);
+        l.value = 1.0;
+        l.last_update = 0.0;
+        let t_cross = 300.0 * 2.0f64.ln();
+        assert!(l.at(t_cross - 5.0, 2.0) < 1.5);
+        assert!(l.at(t_cross + 5.0, 2.0) > 1.5);
+    }
+
+    #[test]
+    fn nice_share_starves_under_competition() {
+        let mut h = HostState::new(HostKind::Hp715_50);
+        assert_eq!(h.nice_share(0.25), 1.0);
+        h.competitors = 1;
+        assert_eq!(h.nice_share(0.25), 0.25);
+        h.competitors = 2;
+        assert_eq!(h.nice_share(0.25), 0.125);
+    }
+
+    #[test]
+    fn idle_classification_needs_threshold() {
+        let mut h = HostState::new(HostKind::Hp710);
+        h.user_active = false;
+        h.idle_since = 100.0;
+        assert!(!h.user_is_idle(500.0, 1200.0));
+        assert!(h.user_is_idle(1400.0, 1200.0));
+        h.user_active = true;
+        assert!(!h.user_is_idle(1.0e6, 1200.0));
+    }
+}

@@ -1,0 +1,164 @@
+//! Runtime policies: job submission, monitoring, communication ordering.
+
+use crate::host::HostState;
+use serde::{Deserialize, Serialize};
+
+/// Host-selection policy of the job-submit program (section 4.1): "we first
+/// examine the idle-user workstations to see if the fifteen-minute average of
+/// the CPU load is below a pre-set value ... After examining the idle-user
+/// workstations, we examine the active-user workstations."
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SubmitPolicy {
+    /// Seconds of console inactivity before a user counts as idle (paper:
+    /// "more than 20 minutes idle time").
+    pub idle_threshold_s: f64,
+    /// Maximum 15-minute load average for selection (paper: 0.6).
+    pub load15_max: f64,
+    /// How long one search over the cluster takes (running `uptime` on every
+    /// of the 25 workstations remotely, roughly a second each); the dominant
+    /// share of the paper's ~30-second migration pause.
+    pub search_duration_s: f64,
+}
+
+impl Default for SubmitPolicy {
+    fn default() -> Self {
+        Self {
+            idle_threshold_s: 20.0 * 60.0,
+            load15_max: 0.6,
+            search_duration_s: 20.0,
+        }
+    }
+}
+
+impl SubmitPolicy {
+    /// Picks the best free host at time `now`, or `None`.
+    ///
+    /// Candidates must have no assigned subprocess and no competing full-time
+    /// job. Idle-user hosts under the load threshold come first, then
+    /// active-user hosts; within a tier, faster models first (the paper
+    /// chooses 715s before 710/720s), then lower 15-minute load.
+    pub fn select<'a>(
+        &self,
+        now: f64,
+        hosts: impl Iterator<Item = (usize, &'a HostState)>,
+    ) -> Option<usize> {
+        let mut best: Option<(u8, u8, f64, usize)> = None; // (tier, rank, load15, id)
+        for (id, h) in hosts {
+            if h.assigned_proc.is_some() || h.competitors > 0 {
+                continue;
+            }
+            let l15 = h.load15.at(now, h.run_queue());
+            let tier = if h.user_is_idle(now, self.idle_threshold_s) && l15 < self.load15_max {
+                0u8
+            } else {
+                1u8
+            };
+            let key = (tier, h.kind.preference_rank(), l15, id);
+            match &best {
+                Some(b) if (b.0, b.1, b.2) <= (key.0, key.1, key.2) => {}
+                _ => best = Some(key),
+            }
+        }
+        best.map(|(_, _, _, id)| id)
+    }
+}
+
+/// The monitoring program (sections 4.1, 5.1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MonitorPolicy {
+    /// Whether the monitor runs at all.
+    pub enabled: bool,
+    /// Check period ("checks every few minutes"), seconds.
+    pub period_s: f64,
+    /// 5-minute load threshold that triggers migration (paper: 1.5, "the
+    /// intent is to migrate only if a second full-time process is running on
+    /// the same host, and to avoid migrating too often").
+    pub load5_migrate: f64,
+}
+
+impl Default for MonitorPolicy {
+    fn default() -> Self {
+        Self { enabled: true, period_s: 180.0, load5_migrate: 1.5 }
+    }
+}
+
+/// Appendix-C ordering of neighbour communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CommOrdering {
+    /// Asynchronous first-come-first-served (the paper's choice, via
+    /// `select()`): "better performance is achieved overall".
+    Fcfs,
+    /// Strict pipelining: a process must receive from its lower-ranked
+    /// neighbours before sending to higher-ranked ones. "It does not work
+    /// very well ... strict ordering amplifies [small delays] to global
+    /// delays."
+    Strict,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostKind, HostState};
+
+    fn quiet_host(kind: HostKind, idle_since: f64) -> HostState {
+        let mut h = HostState::new(kind);
+        h.idle_since = idle_since;
+        h
+    }
+
+    #[test]
+    fn submit_prefers_idle_fast_hosts() {
+        let p = SubmitPolicy::default();
+        let now = 30.0 * 60.0;
+        let hosts = vec![
+            quiet_host(HostKind::Hp710, 0.0),    // idle, slow
+            quiet_host(HostKind::Hp715_50, 0.0), // idle, fast  <- winner
+            quiet_host(HostKind::Hp715_50, now), // user just left (not idle yet)
+        ];
+        let sel = p.select(now, hosts.iter().enumerate());
+        assert_eq!(sel, Some(1));
+    }
+
+    #[test]
+    fn submit_falls_back_to_active_user_hosts() {
+        let p = SubmitPolicy::default();
+        let now = 1.0;
+        let mut active = quiet_host(HostKind::Hp715_50, 0.0);
+        active.user_active = true;
+        let hosts = vec![active];
+        assert_eq!(p.select(now, hosts.iter().enumerate()), Some(0));
+    }
+
+    #[test]
+    fn submit_skips_busy_and_taken_hosts() {
+        let p = SubmitPolicy::default();
+        let now = 30.0 * 60.0;
+        let mut taken = quiet_host(HostKind::Hp715_50, 0.0);
+        taken.assigned_proc = Some(3);
+        let mut busy = quiet_host(HostKind::Hp715_50, 0.0);
+        busy.competitors = 1;
+        let hosts = vec![taken, busy];
+        assert_eq!(p.select(now, hosts.iter().enumerate()), None);
+    }
+
+    #[test]
+    fn high_load_idle_host_drops_to_second_tier() {
+        let p = SubmitPolicy::default();
+        let now = 40.0 * 60.0;
+        // an idle host whose load15 is high (e.g. background daemons)
+        let mut loaded = quiet_host(HostKind::Hp715_50, 0.0);
+        loaded.load15.advance(0.0, 0.0);
+        loaded.load15 = {
+            let mut l = crate::host::LoadAvg::new(900.0);
+            l.advance(0.0, 0.0);
+            l
+        };
+        // simulate a long-gone run-queue of 1.0 that keeps load15 ~ 0.9
+        loaded.load15.advance(now - 10.0, 0.9 / (1.0 - (-(now - 10.0) / 900.0f64).exp()));
+        let clean = quiet_host(HostKind::Hp710, 0.0);
+        let hosts = vec![loaded, clean];
+        // the slow-but-clean host wins because the fast one exceeds 0.6
+        let sel = p.select(now, hosts.iter().enumerate());
+        assert_eq!(sel, Some(1));
+    }
+}

@@ -1,0 +1,170 @@
+//! The parallel-subprocess state machine.
+
+use std::collections::{HashMap, HashSet};
+
+/// What a process is doing right now.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProcState {
+    /// Executing a compute phase; `remaining` node-units of work left,
+    /// progressing at `rate` nodes/second since `since`.
+    Computing {
+        /// Node-units of work left.
+        remaining: f64,
+        /// Current effective rate (host speed × nice share).
+        rate: f64,
+        /// When this rate took effect.
+        since: f64,
+    },
+    /// Blocked in an exchange phase waiting for neighbour messages.
+    WaitingRecv {
+        /// Exchange id being waited on.
+        xch: usize,
+    },
+    /// Paused at the synchronisation step (section 5, Appendix B).
+    AtSyncBarrier,
+    /// Saving its dump file prior to migrating.
+    MigrSaving,
+    /// Waiting for the submit program to find a free host.
+    MigrWaitingHost,
+    /// Loading its dump file on the new host.
+    MigrLoading,
+    /// Migration complete, waiting for everyone to resume.
+    MigrReady,
+    /// Interrupted mid-step to write a periodic checkpoint.
+    CkptSaving {
+        /// What to resume afterwards.
+        resume: CkptResume,
+    },
+    /// Reached the run's target step count.
+    Done,
+}
+
+/// Continuation after a checkpoint save.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CkptResume {
+    /// Resume computing with this much work left.
+    Compute {
+        /// Node-units of work left.
+        remaining: f64,
+    },
+    /// Re-enter the receive wait of this exchange.
+    Waiting {
+        /// Exchange id.
+        xch: usize,
+    },
+}
+
+/// One parallel subprocess.
+#[derive(Debug, Clone)]
+pub struct SimProcess {
+    /// Index into the workload tiles.
+    pub id: usize,
+    /// Host currently running this process.
+    pub host: usize,
+    /// Completed integration steps.
+    pub step: u64,
+    /// Index into the workload plan (current phase).
+    pub phase: usize,
+    /// Current state.
+    pub state: ProcState,
+    /// Epoch guarding `ComputeDone`/`DumpTransferDone` events.
+    pub epoch: u64,
+    /// Received halo messages: `(step, xch) → set of sender ids`.
+    pub inbox: HashMap<(u64, usize), HashSet<usize>>,
+    /// Sends deferred by strict ordering (Appendix C): `(peer, bytes, xch)`.
+    pub deferred_sends: Vec<(usize, f64, usize)>,
+    /// When the current receive wait began.
+    pub wait_since: f64,
+    /// When the current pause began.
+    pub pause_since: f64,
+    /// The monitor has asked this process to migrate.
+    pub migrate_requested: bool,
+    /// Running statistics.
+    pub t_calc: f64,
+    /// Time waiting on halos.
+    pub t_com: f64,
+    /// Time paused.
+    pub t_paused: f64,
+}
+
+impl SimProcess {
+    /// A fresh process at step 0 on `host`.
+    pub fn new(id: usize, host: usize) -> Self {
+        Self {
+            id,
+            host,
+            step: 0,
+            phase: 0,
+            state: ProcState::Done, // overwritten by the sim at start
+            epoch: 0,
+            inbox: HashMap::new(),
+            deferred_sends: Vec::new(),
+            wait_since: 0.0,
+            pause_since: 0.0,
+            migrate_requested: false,
+            t_calc: 0.0,
+            t_com: 0.0,
+            t_paused: 0.0,
+        }
+    }
+
+    /// Records an arrived message; returns `true` if it was new.
+    pub fn receive(&mut self, step: u64, xch: usize, from: usize) -> bool {
+        self.inbox.entry((step, xch)).or_default().insert(from)
+    }
+
+    /// Whether all `needed` senders have delivered for `(step, xch)`.
+    pub fn have_all(&self, step: u64, xch: usize, needed: &[usize]) -> bool {
+        match self.inbox.get(&(step, xch)) {
+            Some(got) => needed.iter().all(|n| got.contains(n)),
+            None => needed.is_empty(),
+        }
+    }
+
+    /// Drops the inbox entry for a completed exchange (bounded memory).
+    pub fn consume(&mut self, step: u64, xch: usize) {
+        self.inbox.remove(&(step, xch));
+    }
+
+    /// Invalidate outstanding timed events for this process.
+    pub fn bump_epoch(&mut self) -> u64 {
+        self.epoch += 1;
+        self.epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inbox_tracks_senders() {
+        let mut p = SimProcess::new(0, 0);
+        assert!(p.have_all(3, 0, &[]));
+        assert!(!p.have_all(3, 0, &[1, 2]));
+        assert!(p.receive(3, 0, 1));
+        assert!(!p.receive(3, 0, 1), "duplicate delivery detected");
+        assert!(!p.have_all(3, 0, &[1, 2]));
+        p.receive(3, 0, 2);
+        assert!(p.have_all(3, 0, &[1, 2]));
+        p.consume(3, 0);
+        assert!(!p.have_all(3, 0, &[1, 2]));
+    }
+
+    #[test]
+    fn epochs_increment() {
+        let mut p = SimProcess::new(0, 0);
+        let e1 = p.bump_epoch();
+        let e2 = p.bump_epoch();
+        assert!(e2 > e1);
+    }
+
+    #[test]
+    fn messages_for_future_steps_are_retained() {
+        // a fast neighbour may deliver step-7 data while we are at step 5
+        let mut p = SimProcess::new(0, 0);
+        p.receive(7, 0, 3);
+        assert!(p.have_all(7, 0, &[3]));
+        assert!(!p.have_all(5, 0, &[3]));
+    }
+}

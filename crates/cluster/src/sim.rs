@@ -1,0 +1,1079 @@
+//! The cluster simulation proper: event loop and runtime protocols.
+//!
+//! [`ClusterSim`] wires together hosts, the network, and the parallel
+//! subprocesses, and implements the paper's runtime protocols:
+//!
+//! * **job submission** (section 4.1) — idle-user-first host selection;
+//! * the **monitoring program** — periodic load checks, migration triggers
+//!   (5-minute load average above 1.5), restart bookkeeping;
+//! * **synchronisation and migration** (section 5, Appendix B) — every
+//!   process posts its integration step, the maximum plus one becomes the
+//!   synchronisation step, everyone runs exactly to it and pauses, the
+//!   migrating processes save dump files to the shared file server, the
+//!   submit program finds free hosts, dumps are reloaded, channels reopen
+//!   (CONT) and the computation continues;
+//! * **staggered checkpointing** (section 5.2) — processes save their state
+//!   "one after the other in an orderly fashion, allowing sufficient time
+//!   gaps" so the network and file server are not monopolised.
+
+use crate::bus::{NetworkConfig, NetworkModel, TransferPayload};
+use crate::events::{EventKind, EventQueue};
+use crate::host::{HostKind, HostState};
+use crate::policy::{CommOrdering, MonitorPolicy, SubmitPolicy};
+use crate::process::{CkptResume, ProcState, SimProcess};
+use crate::stats::{ClusterStats, MigrationRecord, ProcStats};
+use crate::user::{exp_sample, UserModelConfig};
+use crate::workload::{PhaseSpec, WorkloadSpec};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Full configuration of a simulated cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Workstations available (the paper's pool of 25).
+    pub hosts: Vec<HostKind>,
+    /// Network model parameters.
+    pub net: NetworkConfig,
+    /// The decomposed numerical workload.
+    pub workload: WorkloadSpec,
+    /// Host-selection policy.
+    pub submit: SubmitPolicy,
+    /// Monitoring policy.
+    pub monitor: MonitorPolicy,
+    /// User/background-job model.
+    pub user: UserModelConfig,
+    /// Communication ordering (Appendix C).
+    pub ordering: CommOrdering,
+    /// Periodic checkpoint interval (paper: every 10–20 minutes); `None`
+    /// disables checkpointing.
+    pub checkpoint_period_s: Option<f64>,
+    /// Gap between consecutive staggered saves.
+    pub checkpoint_gap_s: f64,
+    /// Dump-file size per subregion node, bytes ("a couple of megabytes per
+    /// process").
+    pub dump_bytes_per_node: f64,
+    /// Channel-reopen handshake time at resume.
+    pub handshake_s: f64,
+    /// CPU share floor of the nice'd subprocess under one competing job.
+    pub nice_floor: f64,
+    /// Fractional jitter on compute-phase durations, uniform in
+    /// `[1, 1 + jitter]` — the "small delays [that] are inevitable in
+    /// time-sharing UNIX systems" of Appendix C. Zero for exact timing.
+    pub compute_jitter: f64,
+    /// RNG seed (simulations are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl ClusterConfig {
+    /// A quiet-cluster configuration for performance measurement (the
+    /// conditions of section 7: no user load, no checkpoints, no monitor).
+    pub fn measurement(workload: WorkloadSpec) -> Self {
+        Self {
+            hosts: HostKind::paper_cluster(),
+            net: NetworkConfig::default(),
+            workload,
+            submit: SubmitPolicy::default(),
+            monitor: MonitorPolicy { enabled: false, ..MonitorPolicy::default() },
+            user: UserModelConfig::quiet(),
+            ordering: CommOrdering::Fcfs,
+            checkpoint_period_s: None,
+            checkpoint_gap_s: 20.0,
+            dump_bytes_per_node: 96.0,
+            handshake_s: 0.5,
+            nice_floor: 0.25,
+            compute_jitter: 0.0,
+            seed: 1,
+        }
+    }
+
+    /// A production configuration: users, jobs, monitoring, migration and
+    /// checkpointing all on (the paper's 12-hour overnight runs).
+    pub fn production(workload: WorkloadSpec, seed: u64) -> Self {
+        Self {
+            monitor: MonitorPolicy::default(),
+            user: UserModelConfig::default(),
+            checkpoint_period_s: Some(900.0),
+            seed,
+            ..Self::measurement(workload)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum SyncState {
+    Idle,
+    Draining { target: u64 },
+    Migrating,
+}
+
+#[derive(Debug, Clone)]
+struct CkptRound {
+    order: Vec<usize>,
+    next: usize,
+}
+
+/// The discrete-event cluster simulation.
+pub struct ClusterSim {
+    cfg: ClusterConfig,
+    q: EventQueue,
+    rng: SmallRng,
+    hosts: Vec<HostState>,
+    procs: Vec<SimProcess>,
+    net: NetworkModel,
+    sync: SyncState,
+    ckpt: Option<CkptRound>,
+    target_steps: Option<u64>,
+    done_count: usize,
+    paused_count: usize,
+    pending_migrators: Vec<usize>,
+    migration_signal_time: f64,
+    migration_pause_time: f64,
+    migration_from: Vec<(usize, usize)>, // (proc, origin host)
+    stats: ClusterStats,
+    finished_at: Option<f64>,
+    /// Per-xch, per-proc: ids of lower-ranked peers (strict ordering gates).
+    lower_peers: Vec<Vec<Vec<usize>>>,
+}
+
+impl ClusterSim {
+    /// Builds the simulation: assigns every process to a host with the
+    /// submit policy and starts the first step.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let n_proc = cfg.workload.processes();
+        assert!(n_proc > 0, "empty workload");
+        assert!(
+            n_proc <= cfg.hosts.len(),
+            "more processes ({n_proc}) than workstations ({})",
+            cfg.hosts.len()
+        );
+        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut hosts: Vec<HostState> = cfg.hosts.iter().map(|&k| HostState::new(k)).collect();
+        // initial user states
+        if cfg.user.enabled {
+            let p_active =
+                cfg.user.mean_active_s / (cfg.user.mean_active_s + cfg.user.mean_idle_s);
+            for h in &mut hosts {
+                h.user_active = rng.gen::<f64>() < p_active;
+                // long-idle so the 20-minute rule can be satisfied at t = 0
+                h.idle_since = -2.0 * cfg.submit.idle_threshold_s;
+            }
+        } else {
+            for h in &mut hosts {
+                h.idle_since = -2.0 * cfg.submit.idle_threshold_s;
+            }
+        }
+
+        // strict-ordering gate lists
+        let n_x = cfg.workload.exchanges_per_step();
+        let mut lower_peers = vec![vec![Vec::new(); n_proc]; n_x];
+        for (pid, tile) in cfg.workload.tiles.iter().enumerate() {
+            for (x, links) in tile.neighbors.iter().enumerate() {
+                lower_peers[x][pid] =
+                    links.iter().map(|&(peer, _)| peer).filter(|&peer| peer < pid).collect();
+            }
+        }
+
+        let mut sim = Self {
+            net: NetworkModel::new(cfg.net),
+            q: EventQueue::new(),
+            rng,
+            hosts,
+            procs: Vec::new(),
+            sync: SyncState::Idle,
+            ckpt: None,
+            target_steps: None,
+            done_count: 0,
+            paused_count: 0,
+            pending_migrators: Vec::new(),
+            migration_signal_time: 0.0,
+            migration_pause_time: 0.0,
+            migration_from: Vec::new(),
+            stats: ClusterStats::default(),
+            finished_at: None,
+            lower_peers,
+            cfg,
+        };
+
+        // submit: place every process
+        for pid in 0..n_proc {
+            let host = sim
+                .cfg
+                .submit
+                .select(0.0, sim.hosts.iter().enumerate())
+                .expect("no free workstation for a parallel subprocess");
+            sim.hosts[host].touch(0.0);
+            sim.hosts[host].assigned_proc = Some(pid);
+            sim.procs.push(SimProcess::new(pid, host));
+        }
+
+        // background events
+        if sim.cfg.user.enabled {
+            for h in 0..sim.hosts.len() {
+                let mean = if sim.hosts[h].user_active {
+                    sim.cfg.user.mean_active_s
+                } else {
+                    sim.cfg.user.mean_idle_s
+                };
+                let d = exp_sample(&mut sim.rng, mean);
+                sim.q.schedule(d, EventKind::UserFlip { host: h });
+                let a = exp_sample(&mut sim.rng, 1.0 / sim.cfg.user.job_rate_per_s);
+                sim.q.schedule(a, EventKind::JobArrival { host: h });
+            }
+        }
+        if sim.cfg.monitor.enabled {
+            sim.q.schedule(sim.cfg.monitor.period_s, EventKind::MonitorTick);
+        }
+        if let Some(p) = sim.cfg.checkpoint_period_s {
+            sim.q.schedule(p, EventKind::CheckpointTick);
+        }
+
+        // start every process on phase 0
+        for pid in 0..n_proc {
+            sim.start_phase(pid);
+        }
+        sim
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> f64 {
+        self.q.now()
+    }
+
+    /// Runs until `t_end` (simulated seconds) or until every process has
+    /// completed `target_steps`, whichever comes first. Returns statistics.
+    pub fn run(&mut self, t_end: f64, target_steps: Option<u64>) -> ClusterStats {
+        self.target_steps = target_steps;
+        self.q.schedule_at(t_end, EventKind::Stop);
+        while let Some((_, ev)) = self.q.pop() {
+            match ev {
+                EventKind::Stop => break,
+                other => self.dispatch(other),
+            }
+            if self.done_count == self.procs.len() {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    /// Like [`ClusterSim::run`] but prints a trace after `max_events` events
+    /// (debugging aid for event-loop diagnosis).
+    pub fn run_debug(
+        &mut self,
+        t_end: f64,
+        target_steps: Option<u64>,
+        max_events: u64,
+    ) -> ClusterStats {
+        self.target_steps = target_steps;
+        self.q.schedule_at(t_end, EventKind::Stop);
+        let mut count = 0u64;
+        while let Some((t, ev)) = self.q.pop() {
+            count += 1;
+            if count > max_events {
+                eprintln!(
+                    "event {count} at t={t:.9}: {ev:?} (queue {} pending, net {} active, epoch {})",
+                    self.q.len(),
+                    self.net.active(),
+                    self.net.epoch()
+                );
+                if count > max_events + 20 {
+                    break;
+                }
+            }
+            match ev {
+                EventKind::Stop => break,
+                other => self.dispatch(other),
+            }
+            if self.done_count == self.procs.len() {
+                break;
+            }
+        }
+        self.finalize()
+    }
+
+    // ------------------------------------------------------------------
+    // event dispatch
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: EventKind) {
+        match ev {
+            EventKind::ComputeDone { proc_id, epoch } => self.on_compute_done(proc_id, epoch),
+            EventKind::NetDone { epoch } => self.on_net_done(epoch),
+            EventKind::UserFlip { host } => self.on_user_flip(host),
+            EventKind::JobArrival { host } => self.on_job_arrival(host),
+            EventKind::JobDeparture { host } => self.on_job_departure(host),
+            EventKind::MonitorTick => self.on_monitor_tick(),
+            EventKind::CheckpointTick => self.on_checkpoint_tick(),
+            EventKind::CheckpointToken { order_index } => self.on_checkpoint_token(order_index),
+            EventKind::DumpTransferDone { .. } => {
+                unreachable!("dump completions arrive as NetDone payloads")
+            }
+            EventKind::SubmitRetry => self.on_submit_retry(),
+            EventKind::ResendHalo { to_proc, step, xch, from_proc } => {
+                self.on_resend_halo(to_proc, step, xch, from_proc)
+            }
+            EventKind::ResendDump { proc_id } => self.on_resend_dump(proc_id),
+            EventKind::ResumeAll => self.on_resume_all(),
+            EventKind::Stop => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // process execution
+    // ------------------------------------------------------------------
+
+    fn rate_of(&self, pid: usize) -> f64 {
+        let p = &self.procs[pid];
+        let h = &self.hosts[p.host];
+        h.kind.node_rate(self.cfg.workload.method, self.cfg.workload.three_d)
+            * h.nice_share(self.cfg.nice_floor)
+    }
+
+    fn start_phase(&mut self, pid: usize) {
+        let phase = self.procs[pid].phase;
+        match self.cfg.workload.plan[phase] {
+            PhaseSpec::Compute { fraction } => {
+                let work = fraction * self.cfg.workload.tiles[pid].nodes as f64;
+                self.begin_compute(pid, work);
+            }
+            PhaseSpec::Exchange { xch } => {
+                self.do_sends(pid, xch);
+                self.try_finish_recv(pid, xch);
+            }
+        }
+    }
+
+    /// Deterministic per-(process, step, phase) jitter factor in
+    /// `[1, 1 + jitter]`. A hash rather than the shared RNG stream, so two
+    /// runs that differ only in policy (e.g. FCFS vs strict ordering) see the
+    /// *identical* sequence of compute durations — the Appendix-C comparison
+    /// is then apples-to-apples.
+    fn jitter_factor(&self, pid: usize) -> f64 {
+        let p = &self.procs[pid];
+        let mut h = self
+            .cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (pid as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
+            ^ p.step.wrapping_mul(0x94D0_49BB_1331_11EB)
+            ^ (p.phase as u64).wrapping_add(0x2545_F491_4F6C_DD1D);
+        h ^= h >> 30;
+        h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h ^= h >> 27;
+        h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        1.0 + self.cfg.compute_jitter * (h as f64 / u64::MAX as f64)
+    }
+
+    fn begin_compute(&mut self, pid: usize, mut work: f64) {
+        if work <= 0.0 {
+            self.advance_phase(pid);
+            return;
+        }
+        if self.cfg.compute_jitter > 0.0 {
+            work *= self.jitter_factor(pid);
+        }
+        let now = self.now();
+        let rate = self.rate_of(pid);
+        let p = &mut self.procs[pid];
+        p.state = ProcState::Computing { remaining: work, rate, since: now };
+        let epoch = p.bump_epoch();
+        self.q.schedule(work / rate, EventKind::ComputeDone { proc_id: pid, epoch });
+    }
+
+    fn on_compute_done(&mut self, pid: usize, epoch: u64) {
+        let now = self.now();
+        let p = &mut self.procs[pid];
+        if p.epoch != epoch {
+            return; // superseded (rate change, checkpoint, ...)
+        }
+        if let ProcState::Computing { since, .. } = p.state {
+            p.t_calc += now - since;
+            self.advance_phase(pid);
+        }
+    }
+
+    fn advance_phase(&mut self, pid: usize) {
+        self.procs[pid].phase += 1;
+        if self.procs[pid].phase == self.cfg.workload.plan.len() {
+            self.complete_step(pid);
+        } else {
+            self.start_phase(pid);
+        }
+    }
+
+    fn complete_step(&mut self, pid: usize) {
+        let now = self.now();
+        self.procs[pid].step += 1;
+        self.procs[pid].phase = 0;
+        self.update_skew();
+
+        if let Some(t) = self.target_steps {
+            if self.procs[pid].step >= t {
+                self.procs[pid].state = ProcState::Done;
+                self.done_count += 1;
+                if self.done_count == self.procs.len() {
+                    self.finished_at = Some(now);
+                }
+                return;
+            }
+        }
+        if let SyncState::Draining { target } = self.sync {
+            if self.procs[pid].step == target {
+                self.procs[pid].state = ProcState::AtSyncBarrier;
+                self.procs[pid].pause_since = now;
+                self.paused_count += 1;
+                if self.paused_count == self.procs.len() - self.done_count {
+                    self.on_all_paused();
+                }
+                return;
+            }
+        }
+        self.start_phase(pid);
+    }
+
+    fn update_skew(&mut self) {
+        let mut lo = u64::MAX;
+        let mut hi = 0u64;
+        for p in &self.procs {
+            lo = lo.min(p.step);
+            hi = hi.max(p.step);
+        }
+        if lo != u64::MAX {
+            self.stats.max_observed_skew = self.stats.max_observed_skew.max(hi - lo);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // communication
+    // ------------------------------------------------------------------
+
+    fn do_sends(&mut self, pid: usize, xch: usize) {
+        let step = self.procs[pid].step;
+        let links = self.cfg.workload.tiles[pid].neighbors[xch].clone();
+        for (peer, bytes) in links {
+            debug_assert_ne!(peer, pid, "self-links are not supported by the cluster sim");
+            let gated = self.cfg.ordering == CommOrdering::Strict
+                && peer > pid
+                && !self.procs[pid].have_all(step, xch, &self.lower_peers[xch][pid]);
+            if gated {
+                self.procs[pid].deferred_sends.push((peer, bytes, xch));
+            } else {
+                self.send_halo(pid, peer, bytes, step, xch);
+            }
+        }
+    }
+
+    fn send_halo(&mut self, from: usize, to: usize, bytes: f64, step: u64, xch: usize) {
+        let now = self.now();
+        self.net.start_transfer(
+            now,
+            bytes,
+            TransferPayload::Halo { to_proc: to, step, xch, from_proc: from },
+            &mut self.rng,
+        );
+        self.reschedule_net();
+    }
+
+    fn reschedule_net(&mut self) {
+        if let Some(t) = self.net.next_completion() {
+            let epoch = self.net.epoch();
+            self.q.schedule_at(t.max(self.now()), EventKind::NetDone { epoch });
+        }
+    }
+
+    fn needed_senders(&self, pid: usize, xch: usize) -> Vec<usize> {
+        self.cfg.workload.tiles[pid].neighbors[xch]
+            .iter()
+            .map(|&(peer, _)| peer)
+            .collect()
+    }
+
+    fn try_finish_recv(&mut self, pid: usize, xch: usize) {
+        let now = self.now();
+        let step = self.procs[pid].step;
+        let needed = self.needed_senders(pid, xch);
+        if self.procs[pid].have_all(step, xch, &needed) {
+            self.procs[pid].consume(step, xch);
+            self.advance_phase(pid);
+        } else {
+            let p = &mut self.procs[pid];
+            p.state = ProcState::WaitingRecv { xch };
+            p.wait_since = now;
+        }
+    }
+
+    fn on_net_done(&mut self, epoch: u64) {
+        if epoch != self.net.epoch() {
+            return;
+        }
+        let now = self.now();
+        let done = self.net.complete_due(now);
+        let ack = self.cfg.net.udp_ack_timeout_s;
+        for c in done {
+            if !c.delivered {
+                // Appendix D: the datagram was lost; the application notices
+                // at the acknowledgement timeout and resends precisely the
+                // missing data ("the failure problem is handled directly").
+                match c.payload {
+                    TransferPayload::Halo { to_proc, step, xch, from_proc } => {
+                        self.q.schedule(ack, EventKind::ResendHalo {
+                            to_proc,
+                            step,
+                            xch,
+                            from_proc,
+                        });
+                    }
+                    TransferPayload::Dump { proc_id } => {
+                        self.q.schedule(ack, EventKind::ResendDump { proc_id });
+                    }
+                }
+                continue;
+            }
+            match c.payload {
+                TransferPayload::Halo { to_proc, step, xch, from_proc } => {
+                    self.deliver_halo(to_proc, step, xch, from_proc);
+                }
+                TransferPayload::Dump { proc_id } => self.on_dump_done(proc_id),
+            }
+        }
+        self.reschedule_net();
+    }
+
+    fn on_resend_halo(&mut self, to_proc: usize, step: u64, xch: usize, from_proc: usize) {
+        let bytes = self.cfg.workload.tiles[from_proc].neighbors[xch]
+            .iter()
+            .find(|&&(peer, _)| peer == to_proc)
+            .map(|&(_, b)| b)
+            .unwrap_or(0.0);
+        self.send_halo(from_proc, to_proc, bytes, step, xch);
+    }
+
+    fn on_resend_dump(&mut self, pid: usize) {
+        let now = self.now();
+        let bytes = self.cfg.workload.tiles[pid].nodes as f64 * self.cfg.dump_bytes_per_node;
+        self.net.start_transfer(
+            now,
+            bytes,
+            TransferPayload::Dump { proc_id: pid },
+            &mut self.rng,
+        );
+        self.reschedule_net();
+    }
+
+    fn deliver_halo(&mut self, pid: usize, step: u64, xch: usize, from: usize) {
+        let now = self.now();
+        self.procs[pid].receive(step, xch, from);
+
+        // strict ordering: the arrival may release deferred sends
+        if self.cfg.ordering == CommOrdering::Strict && !self.procs[pid].deferred_sends.is_empty()
+        {
+            let cur_step = self.procs[pid].step;
+            let deferred = std::mem::take(&mut self.procs[pid].deferred_sends);
+            for (peer, bytes, dxch) in deferred {
+                let ok = self.procs[pid].have_all(
+                    cur_step,
+                    dxch,
+                    &self.lower_peers[dxch][pid],
+                );
+                if ok {
+                    self.send_halo(pid, peer, bytes, cur_step, dxch);
+                } else {
+                    self.procs[pid].deferred_sends.push((peer, bytes, dxch));
+                }
+            }
+        }
+
+        if let ProcState::WaitingRecv { xch: wx } = self.procs[pid].state {
+            let cur_step = self.procs[pid].step;
+            if wx == xch && cur_step == step {
+                let needed = self.needed_senders(pid, xch);
+                if self.procs[pid].have_all(cur_step, xch, &needed) {
+                    let p = &mut self.procs[pid];
+                    p.t_com += now - p.wait_since;
+                    p.consume(cur_step, xch);
+                    self.advance_phase(pid);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // users, jobs, scheduling
+    // ------------------------------------------------------------------
+
+    fn on_user_flip(&mut self, host: usize) {
+        let now = self.now();
+        self.hosts[host].touch(now);
+        let active = self.hosts[host].user_active;
+        self.hosts[host].user_active = !active;
+        if active {
+            self.hosts[host].idle_since = now;
+        }
+        let mean = if self.hosts[host].user_active {
+            self.cfg.user.mean_active_s
+        } else {
+            self.cfg.user.mean_idle_s
+        };
+        let d = exp_sample(&mut self.rng, mean);
+        self.q.schedule(d, EventKind::UserFlip { host });
+    }
+
+    fn on_job_arrival(&mut self, host: usize) {
+        let now = self.now();
+        self.hosts[host].touch(now);
+        self.hosts[host].competitors += 1;
+        self.on_rate_change(host);
+        let dur = exp_sample(&mut self.rng, self.cfg.user.mean_job_s);
+        self.q.schedule(dur, EventKind::JobDeparture { host });
+        let next = exp_sample(&mut self.rng, 1.0 / self.cfg.user.job_rate_per_s);
+        self.q.schedule(next, EventKind::JobArrival { host });
+    }
+
+    fn on_job_departure(&mut self, host: usize) {
+        let now = self.now();
+        self.hosts[host].touch(now);
+        self.hosts[host].competitors = self.hosts[host].competitors.saturating_sub(1);
+        self.on_rate_change(host);
+    }
+
+    /// The host's CPU share changed: re-plan the in-flight compute phase.
+    fn on_rate_change(&mut self, host: usize) {
+        let Some(pid) = self.hosts[host].assigned_proc else {
+            return;
+        };
+        let now = self.now();
+        let new_rate = self.rate_of(pid);
+        let p = &mut self.procs[pid];
+        if let ProcState::Computing { remaining, rate, since } = p.state {
+            let worked = (now - since) * rate;
+            let left = (remaining - worked).max(0.0);
+            p.t_calc += now - since;
+            p.state = ProcState::Computing { remaining: left, rate: new_rate, since: now };
+            let epoch = p.bump_epoch();
+            self.q
+                .schedule(left / new_rate, EventKind::ComputeDone { proc_id: pid, epoch });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // the monitoring program and migration (section 5, Appendix B)
+    // ------------------------------------------------------------------
+
+    fn on_monitor_tick(&mut self) {
+        let now = self.now();
+        if self.cfg.monitor.enabled {
+            self.q.schedule(self.cfg.monitor.period_s, EventKind::MonitorTick);
+        }
+        if self.sync != SyncState::Idle || self.done_count > 0 {
+            return;
+        }
+        let mut any = false;
+        for h in 0..self.hosts.len() {
+            let Some(pid) = self.hosts[h].assigned_proc else {
+                continue;
+            };
+            let l5 = self.hosts[h].load5.at(now, self.hosts[h].run_queue());
+            if l5 > self.cfg.monitor.load5_migrate {
+                self.procs[pid].migrate_requested = true;
+                any = true;
+            }
+        }
+        if any {
+            self.initiate_sync();
+        }
+    }
+
+    /// Appendix B: every process posts its current integration step to the
+    /// shared file; the maximum plus one becomes the synchronisation step.
+    fn initiate_sync(&mut self) {
+        let t_max = self.procs.iter().map(|p| p.step).max().unwrap_or(0);
+        self.sync = SyncState::Draining { target: t_max + 1 };
+        self.migration_signal_time = self.now();
+        self.paused_count = 0;
+    }
+
+    /// Requests a migration of `pid` by hand (the paper's `kill -USR2`
+    /// interface for the regular user of a workstation).
+    pub fn request_migration(&mut self, pid: usize) {
+        if self.sync == SyncState::Idle && self.done_count == 0 {
+            self.procs[pid].migrate_requested = true;
+            self.initiate_sync();
+        }
+    }
+
+    fn on_all_paused(&mut self) {
+        let now = self.now();
+        self.migration_pause_time = now;
+        self.sync = SyncState::Migrating;
+        self.pending_migrators = (0..self.procs.len())
+            .filter(|&pid| self.procs[pid].migrate_requested)
+            .collect();
+        if self.pending_migrators.is_empty() {
+            self.q.schedule(0.0, EventKind::ResumeAll);
+            return;
+        }
+        for &pid in &self.pending_migrators.clone() {
+            self.procs[pid].state = ProcState::MigrSaving;
+            let bytes = self.cfg.workload.tiles[pid].nodes as f64 * self.cfg.dump_bytes_per_node;
+            self.net.start_transfer(
+                now,
+                bytes,
+                TransferPayload::Dump { proc_id: pid },
+                &mut self.rng,
+            );
+        }
+        self.reschedule_net();
+    }
+
+    fn on_dump_done(&mut self, pid: usize) {
+        let now = self.now();
+        match self.procs[pid].state.clone() {
+            ProcState::MigrSaving => {
+                // leave the busy host, ask submit for a new one
+                let old = self.procs[pid].host;
+                self.hosts[old].touch(now);
+                self.hosts[old].assigned_proc = None;
+                self.migration_from.push((pid, old));
+                self.procs[pid].state = ProcState::MigrWaitingHost;
+                self.q
+                    .schedule(self.cfg.submit.search_duration_s, EventKind::SubmitRetry);
+            }
+            ProcState::MigrLoading => {
+                self.procs[pid].state = ProcState::MigrReady;
+                let all_ready = self
+                    .pending_migrators
+                    .iter()
+                    .all(|&m| self.procs[m].state == ProcState::MigrReady);
+                if all_ready {
+                    self.q.schedule(self.cfg.handshake_s, EventKind::ResumeAll);
+                }
+            }
+            ProcState::CkptSaving { resume } => {
+                let p = &mut self.procs[pid];
+                let paused = now - p.pause_since;
+                p.t_paused += paused;
+                self.stats.checkpoint_pause_total += paused;
+                match resume {
+                    CkptResume::Compute { remaining } => self.begin_compute(pid, remaining),
+                    CkptResume::Waiting { xch } => self.try_finish_recv(pid, xch),
+                }
+                if let Some(round) = &mut self.ckpt {
+                    let next = round.next;
+                    self.q.schedule(
+                        self.cfg.checkpoint_gap_s,
+                        EventKind::CheckpointToken { order_index: next },
+                    );
+                }
+            }
+            other => {
+                debug_assert!(false, "dump completed in unexpected state {other:?}");
+            }
+        }
+    }
+
+    fn on_submit_retry(&mut self) {
+        let now = self.now();
+        let waiting: Vec<usize> = self
+            .pending_migrators
+            .iter()
+            .copied()
+            .filter(|&pid| self.procs[pid].state == ProcState::MigrWaitingHost)
+            .collect();
+        if waiting.is_empty() {
+            return;
+        }
+        let mut any_unplaced = false;
+        for pid in waiting {
+            match self.cfg.submit.select(now, self.hosts.iter().enumerate()) {
+                Some(h) => {
+                    self.hosts[h].touch(now);
+                    self.hosts[h].assigned_proc = Some(pid);
+                    self.procs[pid].host = h;
+                    self.procs[pid].state = ProcState::MigrLoading;
+                    let bytes =
+                        self.cfg.workload.tiles[pid].nodes as f64 * self.cfg.dump_bytes_per_node;
+                    self.net.start_transfer(
+                        now,
+                        bytes,
+                        TransferPayload::Dump { proc_id: pid },
+                        &mut self.rng,
+                    );
+                }
+                None => any_unplaced = true,
+            }
+        }
+        self.reschedule_net();
+        if any_unplaced {
+            self.q.schedule(30.0, EventKind::SubmitRetry);
+        }
+    }
+
+    fn on_resume_all(&mut self) {
+        let now = self.now();
+        for pid in 0..self.procs.len() {
+            match self.procs[pid].state {
+                ProcState::AtSyncBarrier | ProcState::MigrReady => {
+                    let p = &mut self.procs[pid];
+                    p.t_paused += now - p.pause_since;
+                    p.state = ProcState::Done; // placeholder, start_phase overwrites
+                    self.start_phase(pid);
+                }
+                _ => {}
+            }
+        }
+        for &(pid, from) in &self.migration_from {
+            self.stats.migrations.push(MigrationRecord {
+                proc_id: pid,
+                from_host: from,
+                to_host: self.procs[pid].host,
+                signal_time: self.migration_signal_time,
+                pause_time: self.migration_pause_time,
+                resume_time: now,
+            });
+        }
+        self.migration_from.clear();
+        self.pending_migrators.clear();
+        for p in &mut self.procs {
+            p.migrate_requested = false;
+        }
+        self.sync = SyncState::Idle;
+        self.paused_count = 0;
+    }
+
+    // ------------------------------------------------------------------
+    // staggered checkpointing (section 5.2)
+    // ------------------------------------------------------------------
+
+    fn on_checkpoint_tick(&mut self) {
+        if let Some(period) = self.cfg.checkpoint_period_s {
+            self.q.schedule(period, EventKind::CheckpointTick);
+        }
+        if self.ckpt.is_some() || self.sync != SyncState::Idle || self.done_count > 0 {
+            return; // skip a round rather than overlap
+        }
+        self.ckpt = Some(CkptRound { order: (0..self.procs.len()).collect(), next: 0 });
+        self.q.schedule(0.0, EventKind::CheckpointToken { order_index: 0 });
+    }
+
+    fn on_checkpoint_token(&mut self, idx: usize) {
+        let now = self.now();
+        let Some(round) = &mut self.ckpt else {
+            return;
+        };
+        if idx >= round.order.len() {
+            self.stats.checkpoint_rounds += 1;
+            self.ckpt = None;
+            return;
+        }
+        round.next = idx + 1;
+        let pid = round.order[idx];
+        let resume = match self.procs[pid].state.clone() {
+            ProcState::Computing { remaining, rate, since } => {
+                let worked = (now - since) * rate;
+                self.procs[pid].t_calc += now - since;
+                Some(CkptResume::Compute { remaining: (remaining - worked).max(0.0) })
+            }
+            ProcState::WaitingRecv { xch } => {
+                let p = &mut self.procs[pid];
+                p.t_com += now - p.wait_since;
+                Some(CkptResume::Waiting { xch })
+            }
+            // paused / migrating / done processes skip their save
+            _ => None,
+        };
+        match resume {
+            Some(resume) => {
+                let p = &mut self.procs[pid];
+                p.bump_epoch(); // invalidate any in-flight ComputeDone
+                p.pause_since = now;
+                p.state = ProcState::CkptSaving { resume };
+                let bytes =
+                    self.cfg.workload.tiles[pid].nodes as f64 * self.cfg.dump_bytes_per_node;
+                self.net.start_transfer(
+                    now,
+                    bytes,
+                    TransferPayload::Dump { proc_id: pid },
+                    &mut self.rng,
+                );
+                self.reschedule_net();
+            }
+            None => {
+                self.q.schedule(
+                    self.cfg.checkpoint_gap_s,
+                    EventKind::CheckpointToken { order_index: idx + 1 },
+                );
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // finishing
+    // ------------------------------------------------------------------
+
+    fn finalize(&mut self) -> ClusterStats {
+        let now = self.now();
+        let mut stats = self.stats.clone();
+        stats.procs = self
+            .procs
+            .iter()
+            .map(|p| {
+                let mut s = ProcStats {
+                    t_calc: p.t_calc,
+                    t_com: p.t_com,
+                    t_paused: p.t_paused,
+                    steps: p.step,
+                };
+                match p.state {
+                    ProcState::Computing { since, .. } => s.t_calc += now - since,
+                    ProcState::WaitingRecv { .. } => s.t_com += now - p.wait_since,
+                    ProcState::AtSyncBarrier
+                    | ProcState::MigrSaving
+                    | ProcState::MigrWaitingHost
+                    | ProcState::MigrLoading
+                    | ProcState::MigrReady
+                    | ProcState::CkptSaving { .. } => s.t_paused += now - p.pause_since,
+                    ProcState::Done => {}
+                }
+                s
+            })
+            .collect();
+        stats.net_bytes = self.net.bytes_delivered;
+        stats.net_messages = self.net.messages;
+        stats.net_errors = self.net.errors;
+        stats.net_losses = self.net.losses;
+        stats.net_busy = self.net.busy_time;
+        stats.finished_at = self.finished_at.unwrap_or(now);
+        stats
+    }
+
+    /// Step counters of all processes (for protocol tests).
+    pub fn steps(&self) -> Vec<u64> {
+        self.procs.iter().map(|p| p.step).collect()
+    }
+
+    /// Host each process currently runs on.
+    pub fn placements(&self) -> Vec<usize> {
+        self.procs.iter().map(|p| p.host).collect()
+    }
+
+    /// Forces the number of competing full-time jobs on a host (for
+    /// experiments that freeze or slow a workstation deliberately).
+    pub fn set_competitors(&mut self, host: usize, n: u32) {
+        let now = self.now();
+        self.hosts[host].touch(now);
+        self.hosts[host].competitors = n;
+        self.on_rate_change(host);
+    }
+
+    /// Largest step difference between processes right now.
+    pub fn current_skew(&self) -> u64 {
+        let steps = self.steps();
+        let lo = steps.iter().min().copied().unwrap_or(0);
+        let hi = steps.iter().max().copied().unwrap_or(0);
+        hi - lo
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsonic_solvers::MethodKind;
+
+    fn small_workload() -> WorkloadSpec {
+        WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 200, 100, 2, 1)
+    }
+
+    #[test]
+    fn quiet_run_completes_target_steps() {
+        let cfg = ClusterConfig::measurement(small_workload());
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1.0e6, Some(20));
+        assert_eq!(sim.steps(), vec![20, 20]);
+        assert!(stats.finished_at > 0.0);
+        assert!(stats.procs.iter().all(|p| p.steps == 20));
+        assert!(stats.net_messages >= 2 * 20);
+    }
+
+    #[test]
+    fn quiet_run_is_deterministic() {
+        let run = || {
+            let cfg = ClusterConfig::measurement(small_workload());
+            ClusterSim::new(cfg).run(1.0e6, Some(10)).finished_at
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn step_time_matches_hand_calculation() {
+        // one 100x100 LB tile per proc on 715s, quiet bus: per step
+        // T_calc = 10000/39132 s; T_com = message transfer both directions
+        // sharing the bus.
+        let cfg = ClusterConfig::measurement(small_workload());
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1.0e6, Some(20));
+        let t_calc_expected = 20.0 * 10_000.0 / 39_132.0;
+        for p in &stats.procs {
+            assert!(
+                (p.t_calc - t_calc_expected).abs() / t_calc_expected < 1e-9,
+                "t_calc {} vs {}",
+                p.t_calc,
+                t_calc_expected
+            );
+            assert!(p.t_com > 0.0, "no communication time recorded");
+        }
+    }
+
+    #[test]
+    fn migration_waits_until_a_host_frees_up() {
+        // a 2-process job on a 2-host cluster: when one host gets busy there
+        // is nowhere to go, so the migrator waits in MigrWaitingHost with the
+        // submit program retrying until the competing job ends
+        let w = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 120, 60, 2, 1);
+        let mut cfg = ClusterConfig::measurement(w);
+        cfg.hosts = vec![crate::host::HostKind::Hp715_50; 2];
+        let mut sim = ClusterSim::new(cfg);
+        sim.run(5.0, None);
+        let victim = sim.placements()[1];
+        sim.set_competitors(victim, 1);
+        sim.request_migration(1);
+        // nothing is free: after a while the process is still unplaced
+        sim.run(300.0, None);
+        let placements_mid = sim.placements();
+        assert_eq!(placements_mid[1], victim, "migrated with no free host?");
+        // the job departs; the retry finds the now-free... the *old* host is
+        // still busy, but let the competitor leave and the retry succeed
+        sim.set_competitors(victim, 0);
+        let stats = sim.run(2000.0, None);
+        assert_eq!(stats.migrations.len(), 1, "migration should complete");
+        // everyone is stepping again
+        let steps = sim.steps();
+        assert!(steps.iter().all(|&s| s > 0));
+        let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
+        assert!(spread <= 1, "out of sync after delayed migration: {steps:?}");
+    }
+
+    #[test]
+    fn manual_migration_moves_the_process() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        cfg.monitor.enabled = false;
+        let mut sim = ClusterSim::new(cfg);
+        let before = sim.placements();
+        sim.run(5.0, None); // let it run a bit
+        sim.request_migration(0);
+        let stats = sim.run(200.0, None);
+        assert_eq!(stats.migrations.len(), 1);
+        let m = &stats.migrations[0];
+        assert_eq!(m.proc_id, 0);
+        assert_eq!(m.from_host, before[0]);
+        assert_ne!(m.to_host, before[0]);
+        assert!(m.total_duration() > 0.0);
+        // both processes keep stepping after the resume
+        let steps = sim.steps();
+        assert!(steps[0] > 0 && steps[1] > 0);
+        assert!(
+            (steps[0] as i64 - steps[1] as i64).unsigned_abs() <= 1,
+            "processes out of sync after migration: {steps:?}"
+        );
+    }
+}

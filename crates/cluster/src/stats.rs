@@ -1,0 +1,129 @@
+//! Statistics collected by the cluster simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-process accounting.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct ProcStats {
+    /// Seconds spent computing.
+    pub t_calc: f64,
+    /// Seconds spent waiting for halo messages.
+    pub t_com: f64,
+    /// Seconds spent paused (synchronisation, migration, checkpointing).
+    pub t_paused: f64,
+    /// Integration steps completed.
+    pub steps: u64,
+}
+
+impl ProcStats {
+    /// Processor utilisation `g = T_calc / (T_calc + T_com)` (eq. 8),
+    /// excluding pauses.
+    pub fn utilization(&self) -> f64 {
+        if self.t_calc + self.t_com == 0.0 {
+            return 1.0;
+        }
+        self.t_calc / (self.t_calc + self.t_com)
+    }
+}
+
+/// One completed migration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MigrationRecord {
+    /// The migrated process.
+    pub proc_id: usize,
+    /// Host it left.
+    pub from_host: usize,
+    /// Host it moved to.
+    pub to_host: usize,
+    /// When the monitor signalled the migration.
+    pub signal_time: f64,
+    /// When every process had paused at the synchronisation step.
+    pub pause_time: f64,
+    /// When computation resumed (CONT).
+    pub resume_time: f64,
+}
+
+impl MigrationRecord {
+    /// The visible cost: global pause duration.
+    pub fn pause_duration(&self) -> f64 {
+        self.resume_time - self.pause_time
+    }
+
+    /// Signal-to-resume duration (includes the synchronisation drain).
+    pub fn total_duration(&self) -> f64 {
+        self.resume_time - self.signal_time
+    }
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ClusterStats {
+    /// Per-process accounting (indexed like the workload tiles).
+    pub procs: Vec<ProcStats>,
+    /// Completed migrations.
+    pub migrations: Vec<MigrationRecord>,
+    /// Checkpoint rounds completed.
+    pub checkpoint_rounds: u64,
+    /// Total seconds processes spent saving checkpoints.
+    pub checkpoint_pause_total: f64,
+    /// Payload bytes moved over the network.
+    pub net_bytes: f64,
+    /// Messages delivered.
+    pub net_messages: u64,
+    /// TCP give-up errors (section 7's 3D failure mode).
+    pub net_errors: u64,
+    /// UDP datagrams lost and resent by the application (Appendix D).
+    pub net_losses: u64,
+    /// Seconds the network was busy.
+    pub net_busy: f64,
+    /// Largest step difference ever observed between two processes
+    /// (Appendix A's un-synchronization).
+    pub max_observed_skew: u64,
+    /// Simulated time at which the run target was reached (or the run
+    /// stopped).
+    pub finished_at: f64,
+}
+
+impl ClusterStats {
+    /// Mean utilisation over processes.
+    pub fn mean_utilization(&self) -> f64 {
+        if self.procs.is_empty() {
+            return 1.0;
+        }
+        self.procs.iter().map(|p| p.utilization()).sum::<f64>() / self.procs.len() as f64
+    }
+
+    /// Mean interval between migrations over `span` seconds.
+    pub fn migration_interval(&self, span: f64) -> Option<f64> {
+        if self.migrations.is_empty() {
+            None
+        } else {
+            Some(span / self.migrations.len() as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_definition() {
+        let p = ProcStats { t_calc: 8.0, t_com: 2.0, t_paused: 1.0, steps: 20 };
+        assert!((p.utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn migration_durations() {
+        let m = MigrationRecord {
+            proc_id: 0,
+            from_host: 1,
+            to_host: 2,
+            signal_time: 100.0,
+            pause_time: 110.0,
+            resume_time: 140.0,
+        };
+        assert_eq!(m.pause_duration(), 30.0);
+        assert_eq!(m.total_duration(), 40.0);
+    }
+}

@@ -1,0 +1,293 @@
+//! Figures 5–11: measured parallel efficiency and speedup on the simulated
+//! cluster (quiet hosts, section-7 conditions).
+
+use crate::report::{Check, ExperimentResult, Series, Table};
+use subsonic_cluster::{measure_efficiency, MeasureConfig, WorkloadSpec};
+use subsonic_model::efficiency_2d_bus;
+use subsonic_solvers::MethodKind;
+
+fn sides_2d(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![40, 120, 240]
+    } else {
+        vec![20, 40, 60, 80, 100, 125, 150, 200, 250, 300]
+    }
+}
+
+const DECOMPS_2D: [(usize, usize, &str); 4] =
+    [(2, 2, "(2x2)"), (3, 3, "(3x3)"), (4, 4, "(4x4)"), (5, 4, "(5x4)")];
+
+fn sweep_2d(method: MethodKind, quick: bool, speedup: bool) -> Vec<Series> {
+    let mut out = Vec::new();
+    for (px, py, label) in DECOMPS_2D {
+        let mut s = Series::new(label);
+        for side in sides_2d(quick) {
+            let w = WorkloadSpec::new_2d(method, side * px, side * py, px, py);
+            let m = measure_efficiency(MeasureConfig::paper(w));
+            s.push(side as f64, if speedup { m.speedup } else { m.efficiency });
+        }
+        out.push(s);
+    }
+    out
+}
+
+/// Figure 5: 2D lattice Boltzmann efficiency vs `sqrt(N)`.
+pub fn fig5(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig5", "Parallel efficiency, 2D lattice Boltzmann");
+    let series = sweep_2d(MethodKind::LatticeBoltzmann, quick, false);
+    // the paper's operating point and model agreement
+    let f54 = series[3].y_last().unwrap();
+    let f54_at_120 = series[3]
+        .points
+        .iter()
+        .find(|p| p.0 >= 120.0)
+        .map(|p| p.1)
+        .unwrap();
+    // Note: eq. 20 itself gives f ≈ 0.70 at N = 120² with P = 20, so "good
+    // performance ... larger than 100^2" reads as f comfortably above one
+    // half and climbing; the ~80% headline is the production operating point
+    // at larger grains.
+    r.checks.push(Check::new(
+        "good performance beyond 100^2 subregions",
+        f54_at_120 > 0.6,
+        format!("f(5x4) at first side >= 120: {f54_at_120:.3}"),
+    ));
+    r.checks.push(Check::new(
+        "largest grain reaches high efficiency",
+        f54 > 0.8,
+        format!("f(5x4, largest N) = {f54:.3}"),
+    ));
+    r.checks.push(Check::new(
+        "coarser decompositions are more efficient at equal grain",
+        series[0].y_last().unwrap() > series[3].y_last().unwrap(),
+        format!(
+            "(2x2): {:.3} vs (5x4): {:.3}",
+            series[0].y_last().unwrap(),
+            series[3].y_last().unwrap()
+        ),
+    ));
+    // model agreement at large N (the paper: "good agreement when the
+    // subregion per processor is larger than N > 100^2")
+    let side = *sides_2d(quick).last().unwrap() as f64;
+    let model = efficiency_2d_bus(side * side, 20, 4.0, 2.0 / 3.0);
+    r.checks.push(Check::new(
+        "matches eq. 20 at large N within 0.08",
+        (f54 - model).abs() < 0.08,
+        format!("simulated {f54:.3} vs model {model:.3}"),
+    ));
+    r.tables.push(Table::from_series("Figure 5 series", "sqrt(N)", &series));
+    r
+}
+
+/// Figure 6: 2D lattice Boltzmann speedup vs `sqrt(N)`.
+pub fn fig6(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig6", "Parallel speedup, 2D lattice Boltzmann");
+    let series = sweep_2d(MethodKind::LatticeBoltzmann, quick, true);
+    let s54 = series[3].y_last().unwrap();
+    r.checks.push(Check::new(
+        "20 workstations deliver ~16x at the largest grain",
+        s54 > 14.0 && s54 <= 20.0,
+        format!("S(5x4, largest N) = {s54:.2}"),
+    ));
+    r.checks.push(Check::new(
+        "speedup ordering follows processor count at large N",
+        series[3].y_last().unwrap() > series[2].y_last().unwrap()
+            && series[2].y_last().unwrap() > series[1].y_last().unwrap(),
+        "S(5x4) > S(4x4) > S(3x3) at the largest grain",
+    ));
+    r.tables.push(Table::from_series("Figure 6 series", "sqrt(N)", &series));
+    r
+}
+
+/// Figure 7: 2D finite-difference efficiency vs `sqrt(N)`.
+pub fn fig7(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig7", "Parallel efficiency, 2D finite differences");
+    let series = sweep_2d(MethodKind::FiniteDifference, quick, false);
+    let lb = sweep_2d(MethodKind::LatticeBoltzmann, quick, false);
+    // FD decays faster at small subregions: two messages per step and a
+    // faster per-step computation (end of section 7)
+    let small_idx = 0;
+    let fd_small = series[3].points[small_idx].1;
+    let lb_small = lb[3].points[small_idx].1;
+    r.checks.push(Check::new(
+        "FD efficiency falls below LB at small subregions",
+        fd_small < lb_small,
+        format!("side {}: FD {fd_small:.3} vs LB {lb_small:.3}", series[3].points[small_idx].0),
+    ));
+    let fd_large = series[3].y_last().unwrap();
+    // FD pays two per-message overheads per step and computes 1.24x faster,
+    // so its large-grain efficiency trails LB slightly (paper Figure 7 shows
+    // the same ordering).
+    r.checks.push(Check::new(
+        "FD still reaches high efficiency at large grain",
+        fd_large > 0.7,
+        format!("f(5x4, largest N) = {fd_large:.3}"),
+    ));
+    r.tables.push(Table::from_series("Figure 7 series", "sqrt(N)", &series));
+    r
+}
+
+/// Figure 8: 2D finite-difference speedup vs `sqrt(N)`.
+pub fn fig8(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig8", "Parallel speedup, 2D finite differences");
+    let series = sweep_2d(MethodKind::FiniteDifference, quick, true);
+    let s = series[3].y_last().unwrap();
+    r.checks.push(Check::new(
+        "20 workstations deliver >13x at the largest grain",
+        s > 13.0 && s <= 20.0,
+        format!("S(5x4, largest N) = {s:.2}"),
+    ));
+    r.tables.push(Table::from_series("Figure 8 series", "sqrt(N)", &series));
+    r
+}
+
+/// Figure 9: scaled-problem efficiency vs number of processors — 2D at
+/// `120²` per processor vs 3D at `25³` per processor.
+pub fn fig9(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "fig9",
+        "Efficiency vs processors: Ethernet suffices in 2D, not in 3D",
+    );
+    let ps: Vec<usize> = if quick { vec![4, 10, 16] } else { (2..=20).step_by(2).collect() };
+    let mut s2 = Series::new("2D (Px1), 120^2 per proc");
+    let mut s3 = Series::new("3D (Px1x1), 25^3 per proc");
+    for &p in &ps {
+        let w2 = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 120 * p, 120, p, 1);
+        s2.push(p as f64, measure_efficiency(MeasureConfig::paper(w2)).efficiency);
+        let w3 = WorkloadSpec::new_3d(MethodKind::LatticeBoltzmann, (25 * p, 25, 25), (p, 1, 1));
+        s3.push(p as f64, measure_efficiency(MeasureConfig::paper(w3)).efficiency);
+    }
+    let f2 = s2.y_last().unwrap();
+    let f3 = s3.y_last().unwrap();
+    r.checks.push(Check::new(
+        "2D efficiency remains high at the largest P",
+        f2 > 0.75,
+        format!("f_2D = {f2:.3}"),
+    ));
+    r.checks.push(Check::new(
+        "3D efficiency decreases quickly",
+        f3 < f2 - 0.1,
+        format!("f_3D = {f3:.3} vs f_2D = {f2:.3}"),
+    ));
+    r.notes.push(
+        "The event simulation allows compute/communication overlap across \
+         processes, so the 3D decay is slightly milder than the paper's \
+         measurement (which also suffered TCP retransmission failures)."
+            .into(),
+    );
+    r.tables.push(Table::from_series("Figure 9 series", "P", &[s2, s3]));
+    r
+}
+
+const DECOMPS_3D: [(usize, usize, usize, &str); 4] = [
+    (2, 2, 2, "(2x2x2)"),
+    (3, 2, 2, "(3x2x2)"),
+    (4, 2, 2, "(4x2x2)"),
+    (3, 3, 2, "(3x3x2)"),
+];
+
+fn sides_3d(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![15, 30, 40]
+    } else {
+        vec![10, 15, 20, 25, 30, 35, 40]
+    }
+}
+
+/// Figure 10: 3D lattice Boltzmann efficiency vs subregion side.
+pub fn fig10(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig10", "Parallel efficiency, 3D lattice Boltzmann");
+    let mut series = Vec::new();
+    for (px, py, pz, label) in DECOMPS_3D {
+        let mut s = Series::new(label);
+        for side in sides_3d(quick) {
+            let w = WorkloadSpec::new_3d(
+                MethodKind::LatticeBoltzmann,
+                (side * px, side * py, side * pz),
+                (px, py, pz),
+            );
+            s.push(side as f64, measure_efficiency(MeasureConfig::paper(w)).efficiency);
+        }
+        series.push(s);
+    }
+    // "the efficiency is rather poor" — even at the memory limit of 40^3
+    let best_fine = series[3].y_last().unwrap();
+    r.checks.push(Check::new(
+        "3D efficiency is rather poor for fine decompositions",
+        best_fine < 0.75,
+        format!("f(3x3x2, 40^3) = {best_fine:.3}"),
+    ));
+    r.checks.push(Check::new(
+        "coarse (2x2x2) beats fine (3x3x2) at equal subregion",
+        series[0].y_last().unwrap() > series[3].y_last().unwrap(),
+        format!(
+            "(2x2x2): {:.3} vs (3x3x2): {:.3}",
+            series[0].y_last().unwrap(),
+            series[3].y_last().unwrap()
+        ),
+    ));
+    r.tables.push(Table::from_series("Figure 10 series", "subregion side", &series));
+    r
+}
+
+/// Figure 11: 3D lattice Boltzmann speedup vs total problem size.
+pub fn fig11(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("fig11", "Parallel speedup, 3D lattice Boltzmann");
+    let mut series = Vec::new();
+    for (px, py, pz, label) in DECOMPS_3D {
+        let mut s = Series::new(label);
+        for side in sides_3d(quick) {
+            let w = WorkloadSpec::new_3d(
+                MethodKind::LatticeBoltzmann,
+                (side * px, side * py, side * pz),
+                (px, py, pz),
+            );
+            let total = (side * side * side * px * py * pz) as f64;
+            s.push(total / 1.0e3, measure_efficiency(MeasureConfig::paper(w)).speedup);
+        }
+        series.push(s);
+    }
+    // "the speedup does not improve when finer decompositions are employed
+    // because the network is the bottleneck"
+    let s8 = series[0].y_max();
+    let s18 = series[3].y_max();
+    r.checks.push(Check::new(
+        "finer decompositions barely improve 3D speedup",
+        s18 < s8 * 1.8,
+        format!("best S(2x2x2) = {s8:.2}, best S(3x3x2) = {s18:.2} (18 procs vs 8)"),
+    ));
+    r.checks.push(Check::new(
+        "3D speedup stays far below processor count",
+        s18 < 13.0,
+        format!("best S with 18 processors = {s18:.2}"),
+    ));
+    r.tables.push(Table::from_series(
+        "Figure 11 series (x = total nodes / 1000)",
+        "total kNodes",
+        &series,
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_quick_passes() {
+        let r = fig5(true);
+        assert!(r.all_pass(), "{:#?}", r.checks);
+    }
+
+    #[test]
+    fn fig9_quick_passes() {
+        let r = fig9(true);
+        assert!(r.all_pass(), "{:#?}", r.checks);
+    }
+
+    #[test]
+    fn fig10_quick_passes() {
+        let r = fig10(true);
+        assert!(r.all_pass(), "{:#?}", r.checks);
+    }
+}

@@ -1,0 +1,299 @@
+//! Physics experiments: convergence, acoustics, the flue pipe, and real
+//! threaded execution.
+
+use crate::report::{Check, ExperimentResult, Table};
+use crate::simulation::Simulation2;
+use std::time::Instant;
+use subsonic_grid::Geometry2;
+use subsonic_solvers::diagnostics::{convergence_order, ProbeSeries};
+use subsonic_solvers::fluepipe::FluePipeScenario;
+use subsonic_solvers::{FluidParams, MethodKind};
+
+/// L2 error of a decaying shear wave `vx = U sin(2πy/n) e^(−νk²t)` at
+/// resolution `n` after a diffusively-scaled time.
+fn shear_wave_error(method: MethodKind, n: usize, u0: f64) -> f64 {
+    let nu = 0.05;
+    let mut params = FluidParams::lattice_units(nu);
+    params.filter_eps = 0.02;
+    let k = 2.0 * std::f64::consts::PI / n as f64;
+    // fixed physical decay: t = 0.4 n^2 lattice steps (diffusive scaling)
+    let steps = (0.4 * (n * n) as f64).round() as usize;
+    let mut sim = Simulation2::builder()
+        .geometry(Geometry2::open(n, n, true, true))
+        .method(method)
+        .params(params)
+        .init(move |_, y| (1.0, u0 * (k * y as f64).sin(), 0.0))
+        .build();
+    sim.run(steps);
+    let f = sim.fields();
+    let decay = (-nu * k * k * steps as f64).exp();
+    let mut sum2 = 0.0;
+    for y in 0..n {
+        for x in 0..n {
+            let want = u0 * (k * y as f64).sin() * decay;
+            let e = f.vx[(x, y)] - want;
+            sum2 += e * e;
+        }
+    }
+    (sum2 / (n * n) as f64).sqrt() / u0
+}
+
+/// E-conv: both methods converge quadratically in space (section 7's
+/// statement for the Hagen–Poiseuille problem; we use a decaying shear wave,
+/// whose error is not annihilated by the stencils, as the convergence probe).
+pub fn e_conv(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("conv", "Quadratic spatial convergence of both methods");
+    let ns: Vec<usize> = if quick { vec![16, 32] } else { vec![16, 32, 64] };
+    let mut table = Table::new(
+        "Relative L2 error of a decaying shear wave",
+        &["n", "LB error", "FD error"],
+    );
+    let mut errs = [Vec::new(), Vec::new()];
+    for &n in &ns {
+        let lb = shear_wave_error(MethodKind::LatticeBoltzmann, n, 0.01);
+        let fd = shear_wave_error(MethodKind::FiniteDifference, n, 0.01);
+        errs[0].push(lb);
+        errs[1].push(fd);
+        table.push_row(vec![n.to_string(), format!("{lb:.3e}"), format!("{fd:.3e}")]);
+    }
+    r.tables.push(table);
+    let hs: Vec<f64> = ns.iter().map(|&n| 1.0 / n as f64).collect();
+    let p_lb = convergence_order(&hs, &errs[0]);
+    let p_fd = convergence_order(&hs, &errs[1]);
+    r.checks.push(Check::new(
+        "LB converges ~quadratically",
+        p_lb > 1.6 && p_lb < 3.0,
+        format!("order {p_lb:.2}"),
+    ));
+    r.checks.push(Check::new(
+        "FD converges ~quadratically",
+        p_fd > 1.6 && p_fd < 3.0,
+        format!("order {p_fd:.2}"),
+    ));
+    r.notes.push(
+        "The paper demonstrates quadratic convergence on Hagen-Poiseuille \
+         flow; a parabolic profile is reproduced exactly by centred stencils, \
+         so we use a sinusoidal shear wave instead (same order, non-trivial \
+         error). The filter's fourth-order dissipation accumulated over \
+         diffusively-scaled step counts is itself second order, consistently."
+            .into(),
+    );
+    r
+}
+
+/// E-acoustic: density pulses propagate at the speed of sound `c_s` and the
+/// integration resolves them (the eq. 4 argument for explicit methods).
+pub fn e_acoustic(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("acoustic", "Acoustic pulse propagates at c_s");
+    let nx = if quick { 160 } else { 240 };
+    let ny = 16;
+    let steps = if quick { 60 } else { 100 };
+    let x0 = nx / 4;
+    let sigma = 6.0;
+    let amp = 1.0e-3;
+    let mut table = Table::new(
+        "Measured acoustic speed",
+        &["method", "expected c_s", "measured", "rel. error"],
+    );
+    let mut ok = true;
+    for method in [MethodKind::LatticeBoltzmann, MethodKind::FiniteDifference] {
+        let params = FluidParams::lattice_units(0.02);
+        let cs = params.cs;
+        let mut sim = Simulation2::builder()
+            .geometry(Geometry2::open(nx, ny, true, true))
+            .method(method)
+            .params(params)
+            .init(move |x, _| {
+                let d = x as f64 - x0 as f64;
+                (1.0 + amp * (-d * d / (2.0 * sigma * sigma)).exp(), 0.0, 0.0)
+            })
+            .build();
+        sim.run(steps);
+        let f = sim.fields();
+        // locate the right-going half-pulse with parabolic sub-cell fit
+        let row = ny / 2;
+        let mut best = (x0 + 1, f64::MIN);
+        for x in (x0 + 8)..nx {
+            let v = f.rho[(x, row)];
+            if v > best.1 {
+                best = (x, v);
+            }
+        }
+        let (xc, _) = best;
+        let (ym, y0, yp) = (
+            f.rho[(xc - 1, row)],
+            f.rho[(xc, row)],
+            f.rho[(xc + 1, row)],
+        );
+        let denom = ym - 2.0 * y0 + yp;
+        let frac = if denom.abs() > 1e-300 { 0.5 * (ym - yp) / denom } else { 0.0 };
+        let peak = xc as f64 + frac;
+        let speed = (peak - x0 as f64) / steps as f64;
+        let rel = (speed - cs).abs() / cs;
+        ok &= rel < 0.05;
+        table.push_row(vec![
+            method.label().into(),
+            format!("{cs:.4}"),
+            format!("{speed:.4}"),
+            format!("{:.2}%", rel * 100.0),
+        ]);
+    }
+    r.tables.push(table);
+    r.checks.push(Check::new(
+        "pulse speed within 5% of c_s for both methods",
+        ok,
+        "peak of the right-going half-pulse, parabolic sub-cell fit",
+    ));
+    r
+}
+
+/// E-pipe: the flue-pipe jet oscillates and produces a tone (section 2).
+pub fn e_pipe(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("pipe", "Flue-pipe jet oscillation");
+    let (nx, ny, steps) = if quick { (120, 72, 900) } else { (200, 120, 6000) };
+    let scenario = FluePipeScenario::new(nx, ny, 0.12, false);
+    let geom = scenario.geometry();
+    let mut sim = Simulation2::builder()
+        .geometry(geom)
+        .method(MethodKind::LatticeBoltzmann)
+        .params(scenario.params)
+        .decompose(2, 2)
+        .build();
+    let (px, py) = scenario.probe;
+    // a second probe on the jet axis halfway to the labium: the jet front
+    // reaches it early, giving a robust "the jet formed" signal even in
+    // short quick-mode runs
+    let mid = (scenario.spec.edge_x() / 2, scenario.spec.jet_axis());
+    let mut probe = ProbeSeries::new(scenario.params.dt);
+    let sample_every = 3usize;
+    let mut max_vx: f64 = 0.0;
+    for s in 0..steps {
+        sim.step();
+        if s % sample_every == 0 {
+            let (_, vx_mid, _) = sim.probe(mid.0, mid.1);
+            max_vx = max_vx.max(vx_mid.abs());
+            let (_, _, vy) = sim.probe(px, py);
+            probe.push(vy);
+        }
+    }
+    let mut probe_scaled = probe.clone();
+    probe_scaled.dt = scenario.params.dt * sample_every as f64;
+    let jet_u = scenario.params.inlet_velocity[0];
+    r.checks.push(Check::new(
+        "the jet forms and penetrates the cavity",
+        max_vx > 0.3 * jet_u,
+        format!("max |vx| on the jet axis = {max_vx:.4} vs jet {jet_u:.4}"),
+    ));
+    let rms = probe_scaled.rms();
+    r.checks.push(Check::new(
+        "transverse jet oscillation develops",
+        rms > 0.02 * jet_u,
+        format!("probe vy rms = {rms:.5}"),
+    ));
+    let mut table = Table::new("Jet diagnostics", &["quantity", "value"]);
+    table.push_row(vec!["probe vy rms".into(), format!("{rms:.5}")]);
+    if !quick {
+        if let Some(freq) = probe_scaled.dominant_frequency() {
+            let scale = scenario.expected_frequency_scale();
+            table.push_row(vec!["dominant frequency (1/steps)".into(), format!("{freq:.5}")]);
+            table.push_row(vec!["jet-drive scale 0.3 U/W".into(), format!("{scale:.5}")]);
+            r.checks.push(Check::new(
+                "oscillation frequency is of the jet-drive order",
+                freq > scale / 10.0 && freq < scale * 10.0,
+                format!("f = {freq:.5}, scale = {scale:.5}"),
+            ));
+        }
+    }
+    let f = sim.fields();
+    let mass: f64 = (0..f.rho.ny())
+        .flat_map(|y| (0..f.rho.nx()).map(move |x| (x, y)))
+        .map(|(x, y)| f.rho[(x, y)])
+        .sum();
+    r.checks.push(Check::new(
+        "simulation remains stable (finite fields)",
+        mass.is_finite(),
+        format!("total gathered density {mass:.1}"),
+    ));
+    r.tables.push(table);
+    r.notes.push(format!(
+        "Scaled-down domain {nx}x{ny} for {steps} steps (the paper used \
+         800x500 for 70,000 steps over 12 wall-clock hours on 20 \
+         workstations)."
+    ));
+    r
+}
+
+/// E-real: the real threaded runner on this machine — demonstrates the full
+/// data plane (threads, channels, halo packing) and reports the measured
+/// `T_calc`/`T_com` split.
+pub fn e_real(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new("real", "Real thread-per-subregion execution");
+    let side = if quick { 48 } else { 128 };
+    let steps: u64 = if quick { 10 } else { 60 };
+    let mut params = FluidParams::lattice_units(0.05);
+    params.body_force[0] = 1e-5;
+    let mut table = Table::new(
+        "Threaded runner on this machine",
+        &["P", "wall s/step", "mean utilisation g"],
+    );
+    let mut ok_bitwise = true;
+    let mut utils = Vec::new();
+    for (px, py) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let build = || {
+            Simulation2::builder()
+                .geometry(Geometry2::channel(side, side, 2))
+                .params(params)
+                .decompose(px, py)
+                .build()
+        };
+        let sim = build();
+        let t0 = Instant::now();
+        let (threaded, timing) = sim.run_threaded(steps);
+        let wall = t0.elapsed().as_secs_f64() / steps as f64;
+        let mut serial = build();
+        serial.run(steps as usize);
+        ok_bitwise &= serial.fields().first_difference(&threaded).is_none();
+        let g = timing.iter().map(|(_, t)| t.utilization()).sum::<f64>() / timing.len() as f64;
+        utils.push(g);
+        table.push_row(vec![
+            format!("{}", px * py),
+            format!("{wall:.4}"),
+            format!("{g:.3}"),
+        ]);
+    }
+    r.tables.push(table);
+    r.checks.push(Check::new(
+        "threaded results are bitwise identical to serial",
+        ok_bitwise,
+        "gathered fields compared bit-for-bit",
+    ));
+    r.checks.push(Check::new(
+        "per-tile T_calc/T_com instrumentation recorded",
+        utils.iter().all(|g| (0.0..=1.0).contains(g)),
+        format!("utilisations {utils:?}"),
+    ));
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    r.notes.push(format!(
+        "This machine exposes {cores} core(s); wall-clock speedup is only \
+         meaningful when cores >= P, so the headline speedup figures are \
+         reproduced on the simulated cluster instead (fig5-fig11)."
+    ));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acoustic_quick_passes() {
+        let r = e_acoustic(true);
+        assert!(r.all_pass(), "{:#?}", r.checks);
+    }
+
+    #[test]
+    fn real_quick_passes() {
+        let r = e_real(true);
+        assert!(r.all_pass(), "{:#?}", r.checks);
+    }
+}

@@ -1,0 +1,376 @@
+//! High-level simulation API.
+//!
+//! [`Simulation2`] wraps a decomposed problem and a solver behind a
+//! build-and-run interface. The default backend steps all tiles in the
+//! calling thread (bitwise identical to a serial run); [`Simulation2::run_threaded`]
+//! executes the same problem with one OS thread per subregion and reports the
+//! measured `T_calc`/`T_com` split.
+
+use std::sync::Arc;
+use subsonic_exec::timing::StepTiming;
+use subsonic_exec::{
+    GlobalFields2, GlobalFields3, LocalRunner2, LocalRunner3, Problem2, Problem3,
+    ThreadedRunner2, ThreadedRunner3,
+};
+use subsonic_grid::{Geometry2, Geometry3};
+use subsonic_solvers::{
+    FiniteDifference2, FiniteDifference3, FluidParams, LatticeBoltzmann2, LatticeBoltzmann3,
+    MethodKind, Solver2, Solver3,
+};
+
+/// Builder for [`Simulation2`].
+pub struct Simulation2Builder {
+    geometry: Option<Geometry2>,
+    params: FluidParams,
+    method: MethodKind,
+    px: usize,
+    py: usize,
+    init: Option<Box<dyn Fn(usize, usize) -> (f64, f64, f64) + Send + Sync>>,
+}
+
+impl Simulation2Builder {
+    /// Sets the geometry (required).
+    pub fn geometry(mut self, g: Geometry2) -> Self {
+        self.geometry = Some(g);
+        self
+    }
+
+    /// Sets the fluid parameters.
+    pub fn params(mut self, p: FluidParams) -> Self {
+        self.params = p;
+        self
+    }
+
+    /// Picks the numerical method (default: lattice Boltzmann).
+    pub fn method(mut self, m: MethodKind) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Decomposes the domain into `px × py` subregions (default `1 × 1`).
+    pub fn decompose(mut self, px: usize, py: usize) -> Self {
+        self.px = px;
+        self.py = py;
+        self
+    }
+
+    /// Sets the initial condition (global node → `(ρ, vx, vy)`).
+    pub fn init(
+        mut self,
+        f: impl Fn(usize, usize) -> (f64, f64, f64) + Send + Sync + 'static,
+    ) -> Self {
+        self.init = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Panics
+    /// Panics if no geometry was provided or the parameters are unstable.
+    pub fn build(self) -> Simulation2 {
+        let geometry = self.geometry.expect("Simulation2 requires a geometry");
+        let violations = self.params.stability_report(false);
+        assert!(violations.is_empty(), "unstable parameters: {violations:?}");
+        let mut problem = Problem2::new(geometry, self.px, self.py, self.params);
+        if let Some(f) = self.init {
+            problem.init = Arc::from(f);
+        }
+        let solver: Arc<dyn Solver2> = match self.method {
+            MethodKind::FiniteDifference => Arc::new(FiniteDifference2),
+            MethodKind::LatticeBoltzmann => Arc::new(LatticeBoltzmann2),
+        };
+        let runner = LocalRunner2::new(Arc::clone(&solver), problem.clone());
+        Simulation2 { solver, problem, runner, steps_done: 0 }
+    }
+}
+
+/// A 2D subsonic-flow simulation.
+pub struct Simulation2 {
+    solver: Arc<dyn Solver2>,
+    problem: Problem2,
+    runner: LocalRunner2,
+    steps_done: u64,
+}
+
+impl Simulation2 {
+    /// Starts a builder.
+    pub fn builder() -> Simulation2Builder {
+        Simulation2Builder {
+            geometry: None,
+            params: FluidParams::lattice_units(0.05),
+            method: MethodKind::LatticeBoltzmann,
+            px: 1,
+            py: 1,
+            init: None,
+        }
+    }
+
+    /// Runs `n` integration steps (in-thread, tile by tile).
+    pub fn run(&mut self, n: usize) {
+        self.runner.run(n);
+        self.steps_done += n as u64;
+    }
+
+    /// One integration step.
+    pub fn step(&mut self) {
+        self.run(1);
+    }
+
+    /// Completed steps.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Simulated time `steps × Δt`.
+    pub fn time(&self) -> f64 {
+        self.steps_done as f64 * self.problem.params.dt
+    }
+
+    /// Gathers the global fields.
+    pub fn fields(&self) -> GlobalFields2 {
+        self.runner.gather()
+    }
+
+    /// Density and velocity at a global node.
+    pub fn probe(&self, x: usize, y: usize) -> (f64, f64, f64) {
+        let f = self.fields();
+        (f.rho[(x, y)], f.vx[(x, y)], f.vy[(x, y)])
+    }
+
+    /// The problem's geometry.
+    pub fn geometry(&self) -> &Geometry2 {
+        &self.problem.geom
+    }
+
+    /// The fluid parameters.
+    pub fn params(&self) -> &FluidParams {
+        &self.problem.params
+    }
+
+    /// Active subregions (all-solid ones are skipped).
+    pub fn active_tiles(&self) -> Vec<usize> {
+        self.problem.active_tiles()
+    }
+
+    /// Runs the same problem from its initial state with one thread per
+    /// subregion, returning the gathered fields and per-tile timing.
+    ///
+    /// Note: this restarts from step 0 — it is a measurement companion, not a
+    /// continuation of [`Simulation2::run`].
+    pub fn run_threaded(&self, steps: u64) -> (GlobalFields2, Vec<(usize, StepTiming)>) {
+        let out = ThreadedRunner2::new(Arc::clone(&self.solver), self.problem.clone()).run(steps);
+        let fields = out.gather(
+            self.problem.geom.nx(),
+            self.problem.geom.ny(),
+            self.problem.params.rho0,
+        );
+        (fields, out.timing)
+    }
+}
+
+/// Builder for [`Simulation3`].
+pub struct Simulation3Builder {
+    geometry: Option<Geometry3>,
+    params: FluidParams,
+    method: MethodKind,
+    parts: (usize, usize, usize),
+    init: Option<Box<dyn Fn(usize, usize, usize) -> (f64, f64, f64, f64) + Send + Sync>>,
+}
+
+impl Simulation3Builder {
+    /// Sets the geometry (required).
+    pub fn geometry(mut self, g: Geometry3) -> Self {
+        self.geometry = Some(g);
+        self
+    }
+
+    /// Sets the fluid parameters.
+    pub fn params(mut self, p: FluidParams) -> Self {
+        self.params = p;
+        self
+    }
+
+    /// Picks the numerical method.
+    pub fn method(mut self, m: MethodKind) -> Self {
+        self.method = m;
+        self
+    }
+
+    /// Decomposes into `px × py × pz` subregions.
+    pub fn decompose(mut self, px: usize, py: usize, pz: usize) -> Self {
+        self.parts = (px, py, pz);
+        self
+    }
+
+    /// Sets the initial condition.
+    pub fn init(
+        mut self,
+        f: impl Fn(usize, usize, usize) -> (f64, f64, f64, f64) + Send + Sync + 'static,
+    ) -> Self {
+        self.init = Some(Box::new(f));
+        self
+    }
+
+    /// Builds the simulation.
+    pub fn build(self) -> Simulation3 {
+        let geometry = self.geometry.expect("Simulation3 requires a geometry");
+        let violations = self.params.stability_report(true);
+        assert!(violations.is_empty(), "unstable parameters: {violations:?}");
+        let mut problem =
+            Problem3::new(geometry, self.parts.0, self.parts.1, self.parts.2, self.params);
+        if let Some(f) = self.init {
+            problem.init = Arc::from(f);
+        }
+        let solver: Arc<dyn Solver3> = match self.method {
+            MethodKind::FiniteDifference => Arc::new(FiniteDifference3),
+            MethodKind::LatticeBoltzmann => Arc::new(LatticeBoltzmann3),
+        };
+        let runner = LocalRunner3::new(Arc::clone(&solver), problem.clone());
+        Simulation3 { solver, problem, runner, steps_done: 0 }
+    }
+}
+
+/// A 3D subsonic-flow simulation.
+pub struct Simulation3 {
+    solver: Arc<dyn Solver3>,
+    problem: Problem3,
+    runner: LocalRunner3,
+    steps_done: u64,
+}
+
+impl Simulation3 {
+    /// Starts a builder.
+    pub fn builder() -> Simulation3Builder {
+        Simulation3Builder {
+            geometry: None,
+            params: FluidParams::lattice_units(0.05),
+            method: MethodKind::LatticeBoltzmann,
+            parts: (1, 1, 1),
+            init: None,
+        }
+    }
+
+    /// Runs `n` integration steps.
+    pub fn run(&mut self, n: usize) {
+        self.runner.run(n);
+        self.steps_done += n as u64;
+    }
+
+    /// Completed steps.
+    pub fn steps_done(&self) -> u64 {
+        self.steps_done
+    }
+
+    /// Gathers the global fields.
+    pub fn fields(&self) -> GlobalFields3 {
+        self.runner.gather()
+    }
+
+    /// The fluid parameters.
+    pub fn params(&self) -> &FluidParams {
+        &self.problem.params
+    }
+
+    /// Runs the same problem from its initial state with one thread per
+    /// subregion (see [`Simulation2::run_threaded`]).
+    pub fn run_threaded(&self, steps: u64) -> (GlobalFields3, Vec<(usize, StepTiming)>) {
+        let out = ThreadedRunner3::new(Arc::clone(&self.solver), self.problem.clone()).run(steps);
+        let fields = out.gather(self.problem.geom.dims(), self.problem.params.rho0);
+        (fields, out.timing)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_runs_poiseuille() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let mut sim = Simulation2::builder()
+            .geometry(Geometry2::channel(32, 16, 2))
+            .params(params)
+            .decompose(2, 1)
+            .build();
+        sim.run(50);
+        assert_eq!(sim.steps_done(), 50);
+        let (_, vx, _) = sim.probe(16, 8);
+        assert!(vx > 0.0, "channel flow did not start");
+    }
+
+    #[test]
+    fn decomposition_is_transparent_via_facade() {
+        let build = |px, py| {
+            let mut params = FluidParams::lattice_units(0.05);
+            params.body_force[0] = 1e-5;
+            Simulation2::builder()
+                .geometry(Geometry2::channel(24, 12, 2))
+                .method(MethodKind::FiniteDifference)
+                .params(params)
+                .decompose(px, py)
+                .build()
+        };
+        let mut a = build(1, 1);
+        let mut b = build(3, 2);
+        a.run(10);
+        b.run(10);
+        assert_eq!(a.fields().first_difference(&b.fields()), None);
+    }
+
+    #[test]
+    fn threaded_matches_local_via_facade() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let mut sim = Simulation2::builder()
+            .geometry(Geometry2::channel(24, 12, 2))
+            .params(params)
+            .decompose(2, 2)
+            .build();
+        let (threaded, timing) = sim.run_threaded(8);
+        sim.run(8);
+        assert_eq!(sim.fields().first_difference(&threaded), None);
+        assert_eq!(timing.len(), 4);
+    }
+
+    #[test]
+    fn sim3_runs() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let mut sim = Simulation3::builder()
+            .geometry(Geometry3::duct(10, 9, 9, 2))
+            .params(params)
+            .decompose(2, 1, 1)
+            .build();
+        sim.run(10);
+        let f = sim.fields();
+        let c = f.idx(5, 4, 4);
+        assert!(f.vx[c] > 0.0);
+    }
+
+    #[test]
+    fn sim3_threaded_matches_local() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let mut sim = Simulation3::builder()
+            .geometry(Geometry3::duct(10, 9, 9, 2))
+            .params(params)
+            .decompose(2, 1, 1)
+            .build();
+        let (threaded, timing) = sim.run_threaded(6);
+        sim.run(6);
+        assert_eq!(sim.fields().first_difference(&threaded), None);
+        assert_eq!(timing.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable parameters")]
+    fn unstable_parameters_rejected() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.dt = 5.0;
+        let _ = Simulation2::builder()
+            .geometry(Geometry2::channel(16, 8, 2))
+            .params(params)
+            .build();
+    }
+}

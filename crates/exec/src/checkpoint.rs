@@ -1,0 +1,343 @@
+//! Dump files: binary checkpoints of tile state.
+//!
+//! The paper's dump files "contain all the information that is needed by a
+//! workstation to participate in a distributed computation" (section 4.1) and
+//! are reused for periodic fault-tolerance saves ("a new simulation is
+//! started from the last state which is saved automatically every 10–20
+//! minutes") and for migration. The format here is a simple little-endian
+//! binary codec: header, parameters, geometry mask, macroscopic fields, and —
+//! for the lattice Boltzmann method — the populations.
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+use subsonic_grid::{Cell, PaddedGrid2};
+use subsonic_solvers::{FluidParams, Macro2, TileState2};
+
+const MAGIC: u64 = 0x5355_4253_4f4e_4943; // "SUBSONIC"
+const VERSION: u32 = 1;
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn grid(&mut self, g: &PaddedGrid2<f64>) {
+        let h = g.halo() as isize;
+        for j in -h..(g.ny() as isize + h) {
+            for i in -h..(g.nx() as isize + h) {
+                self.f64(g[(i, j)]);
+            }
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short dump file"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn grid(&mut self, nx: usize, ny: usize, halo: usize) -> io::Result<PaddedGrid2<f64>> {
+        let mut g = PaddedGrid2::new(nx, ny, halo, 0.0f64);
+        let h = halo as isize;
+        for j in -h..(ny as isize + h) {
+            for i in -h..(nx as isize + h) {
+                g[(i, j)] = self.f64()?;
+            }
+        }
+        Ok(g)
+    }
+}
+
+fn cell_to_u8(c: Cell) -> u8 {
+    match c {
+        Cell::Fluid => 0,
+        Cell::Wall => 1,
+        Cell::Inlet => 2,
+        Cell::Outlet => 3,
+    }
+}
+
+fn cell_from_u8(v: u8) -> io::Result<Cell> {
+    Ok(match v {
+        0 => Cell::Fluid,
+        1 => Cell::Wall,
+        2 => Cell::Inlet,
+        3 => Cell::Outlet,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad cell tag")),
+    })
+}
+
+fn params_to(enc: &mut Enc, p: &FluidParams) {
+    enc.f64(p.cs);
+    enc.f64(p.nu);
+    enc.f64(p.dx);
+    enc.f64(p.dt);
+    enc.f64(p.rho0);
+    for v in p.body_force {
+        enc.f64(v);
+    }
+    for v in p.inlet_velocity {
+        enc.f64(v);
+    }
+    enc.f64(p.filter_eps);
+}
+
+fn params_from(dec: &mut Dec) -> io::Result<FluidParams> {
+    Ok(FluidParams {
+        cs: dec.f64()?,
+        nu: dec.f64()?,
+        dx: dec.f64()?,
+        dt: dec.f64()?,
+        rho0: dec.f64()?,
+        body_force: [dec.f64()?, dec.f64()?, dec.f64()?],
+        inlet_velocity: [dec.f64()?, dec.f64()?, dec.f64()?],
+        filter_eps: dec.f64()?,
+    })
+}
+
+/// Serialises a 2D tile into a dump-file byte buffer.
+pub fn dump_tile2(t: &TileState2) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    e.u64(MAGIC);
+    e.u32(VERSION);
+    e.u32(2); // dimensionality
+    e.u64(t.step);
+    e.u64(t.nx() as u64);
+    e.u64(t.ny() as u64);
+    e.u64(t.halo() as u64);
+    e.u64(t.offset.0 as u64);
+    e.u64(t.offset.1 as u64);
+    params_to(&mut e, &t.params);
+    // geometry mask over the full padded region
+    let h = t.halo() as isize;
+    for j in -h..(t.ny() as isize + h) {
+        for i in -h..(t.nx() as isize + h) {
+            e.buf.push(cell_to_u8(t.mask[(i, j)]));
+        }
+    }
+    e.grid(&t.mac.rho);
+    e.grid(&t.mac.vx);
+    e.grid(&t.mac.vy);
+    e.u32(t.f.len() as u32);
+    for fq in &t.f {
+        e.grid(fq);
+    }
+    e.buf
+}
+
+/// Restores a 2D tile from dump-file bytes.
+pub fn restore_tile2(bytes: &[u8]) -> io::Result<TileState2> {
+    let mut d = Dec { buf: bytes, at: 0 };
+    if d.u64()? != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a subsonic dump file"));
+    }
+    if d.u32()? != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported dump version"));
+    }
+    if d.u32()? != 2 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a 2D dump"));
+    }
+    let step = d.u64()?;
+    let nx = d.u64()? as usize;
+    let ny = d.u64()? as usize;
+    let halo = d.u64()? as usize;
+    let offset = (d.u64()? as usize, d.u64()? as usize);
+    let params = params_from(&mut d)?;
+    let mut mask = PaddedGrid2::new(nx, ny, halo, Cell::Fluid);
+    let h = halo as isize;
+    for j in -h..(ny as isize + h) {
+        for i in -h..(nx as isize + h) {
+            mask[(i, j)] = cell_from_u8(d.take(1)?[0])?;
+        }
+    }
+    let rho = d.grid(nx, ny, halo)?;
+    let vx = d.grid(nx, ny, halo)?;
+    let vy = d.grid(nx, ny, halo)?;
+    let nf = d.u32()? as usize;
+    let mut f = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        f.push(d.grid(nx, ny, halo)?);
+    }
+    let mac = Macro2 { rho, vx, vy };
+    let mac_new = mac.clone();
+    let f_tmp = f.clone();
+    let scratch = vec![PaddedGrid2::new(nx, ny, halo, 0.0f64)];
+    Ok(TileState2 {
+        mac,
+        mac_new,
+        f,
+        f_tmp,
+        mask,
+        scratch,
+        params,
+        offset,
+        step,
+    })
+}
+
+/// Writes a tile dump to a file.
+pub fn save_tile2(t: &TileState2, path: &Path) -> io::Result<u64> {
+    let bytes = dump_tile2(t);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads a tile dump from a file.
+pub fn load_tile2(path: &Path) -> io::Result<TileState2> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    restore_tile2(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsonic_grid::{Decomp2, Geometry2};
+    use subsonic_solvers::{
+        FiniteDifference2, InitialState2, LatticeBoltzmann2, Solver2,
+    };
+
+    fn sample_tile(lbm: bool) -> TileState2 {
+        let geom = Geometry2::channel(16, 12, 2);
+        let d = Decomp2::with_periodicity(16, 12, 1, 1, true, false);
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 2e-5;
+        let init = InitialState2::from_fn(|i, j| (1.0 + 0.001 * (i + j) as f64, 0.0, 0.0));
+        if lbm {
+            let s = LatticeBoltzmann2;
+            s.make_tile(geom.tile_mask(&d, 0, s.halo()), params, (0, 0), &init)
+        } else {
+            let s = FiniteDifference2;
+            s.make_tile(geom.tile_mask(&d, 0, s.halo()), params, (0, 0), &init)
+        }
+    }
+
+    fn assert_tiles_equal(a: &TileState2, b: &TileState2) {
+        assert_eq!(a.step, b.step);
+        assert_eq!(a.offset, b.offset);
+        assert_eq!((a.nx(), a.ny(), a.halo()), (b.nx(), b.ny(), b.halo()));
+        let h = a.halo() as isize;
+        for j in -h..(a.ny() as isize + h) {
+            for i in -h..(a.nx() as isize + h) {
+                assert_eq!(a.mask[(i, j)], b.mask[(i, j)]);
+                assert_eq!(a.mac.rho[(i, j)].to_bits(), b.mac.rho[(i, j)].to_bits());
+                assert_eq!(a.mac.vx[(i, j)].to_bits(), b.mac.vx[(i, j)].to_bits());
+                assert_eq!(a.mac.vy[(i, j)].to_bits(), b.mac.vy[(i, j)].to_bits());
+            }
+        }
+        assert_eq!(a.f.len(), b.f.len());
+        for (fa, fb) in a.f.iter().zip(&b.f) {
+            for j in -h..(a.ny() as isize + h) {
+                for i in -h..(a.nx() as isize + h) {
+                    assert_eq!(fa[(i, j)].to_bits(), fb[(i, j)].to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fd_tile_roundtrips() {
+        let t = sample_tile(false);
+        let restored = restore_tile2(&dump_tile2(&t)).unwrap();
+        assert_tiles_equal(&t, &restored);
+    }
+
+    #[test]
+    fn lbm_tile_roundtrips_with_populations() {
+        let t = sample_tile(true);
+        let bytes = dump_tile2(&t);
+        assert!(bytes.len() > 9 * 8 * 16 * 12, "populations missing from dump");
+        let restored = restore_tile2(&bytes).unwrap();
+        assert_tiles_equal(&t, &restored);
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let t = sample_tile(false);
+        let mut bytes = dump_tile2(&t);
+        bytes[0] ^= 0xff;
+        assert!(restore_tile2(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_dump_is_rejected() {
+        let t = sample_tile(false);
+        let bytes = dump_tile2(&t);
+        assert!(restore_tile2(&bytes[..bytes.len() / 2]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let t = sample_tile(true);
+        let dir = std::env::temp_dir().join("subsonic_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tile0.dump");
+        let n = save_tile2(&t, &path).unwrap();
+        assert!(n > 0);
+        let restored = load_tile2(&path).unwrap();
+        assert_tiles_equal(&t, &restored);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn restored_tile_continues_identically() {
+        // step a tile 5 times, dump, step 5 more; vs restore-then-step-5.
+        let solver = LatticeBoltzmann2;
+        let mut t = sample_tile(true);
+        let step =
+            |s: &LatticeBoltzmann2, t: &mut TileState2| {
+                use subsonic_grid::Face2;
+                use subsonic_solvers::StepOp;
+                for op in s.plan() {
+                    match *op {
+                        StepOp::Compute(k) => s.compute(t, k),
+                        StepOp::Exchange(x) => {
+                            for face in [Face2::West, Face2::East] {
+                                let mut buf = Vec::new();
+                                s.pack(t, x, face.opposite(), &mut buf);
+                                s.unpack(t, x, face, &buf);
+                            }
+                        }
+                    }
+                }
+            };
+        for _ in 0..5 {
+            step(&solver, &mut t);
+        }
+        let dump = dump_tile2(&t);
+        let mut branch = restore_tile2(&dump).unwrap();
+        for _ in 0..5 {
+            step(&solver, &mut t);
+            step(&solver, &mut branch);
+        }
+        assert_tiles_equal(&t, &branch);
+    }
+}

@@ -1,0 +1,283 @@
+//! Dump files for 3D tiles (companion to [`crate::checkpoint`]).
+
+use std::io::{self, Read, Write};
+use std::path::Path;
+use subsonic_grid::{Cell, PaddedGrid3};
+use subsonic_solvers::{FluidParams, Macro3, TileState3};
+
+const MAGIC: u64 = 0x5355_4253_4f4e_4943; // "SUBSONIC"
+const VERSION: u32 = 1;
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn grid(&mut self, g: &PaddedGrid3<f64>) {
+        let h = g.halo() as isize;
+        for k in -h..(g.nz() as isize + h) {
+            for j in -h..(g.ny() as isize + h) {
+                for i in -h..(g.nx() as isize + h) {
+                    self.f64(g[(i, j, k)]);
+                }
+            }
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.at + n > self.buf.len() {
+            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short dump file"));
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+    fn grid(&mut self, nx: usize, ny: usize, nz: usize, halo: usize) -> io::Result<PaddedGrid3<f64>> {
+        let mut g = PaddedGrid3::new(nx, ny, nz, halo, 0.0f64);
+        let h = halo as isize;
+        for k in -h..(nz as isize + h) {
+            for j in -h..(ny as isize + h) {
+                for i in -h..(nx as isize + h) {
+                    g[(i, j, k)] = self.f64()?;
+                }
+            }
+        }
+        Ok(g)
+    }
+}
+
+fn cell_to_u8(c: Cell) -> u8 {
+    match c {
+        Cell::Fluid => 0,
+        Cell::Wall => 1,
+        Cell::Inlet => 2,
+        Cell::Outlet => 3,
+    }
+}
+
+fn cell_from_u8(v: u8) -> io::Result<Cell> {
+    Ok(match v {
+        0 => Cell::Fluid,
+        1 => Cell::Wall,
+        2 => Cell::Inlet,
+        3 => Cell::Outlet,
+        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad cell tag")),
+    })
+}
+
+/// Serialises a 3D tile into dump-file bytes.
+pub fn dump_tile3(t: &TileState3) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    e.u64(MAGIC);
+    e.u32(VERSION);
+    e.u32(3); // dimensionality
+    e.u64(t.step);
+    e.u64(t.nx() as u64);
+    e.u64(t.ny() as u64);
+    e.u64(t.nz() as u64);
+    e.u64(t.halo() as u64);
+    e.u64(t.offset.0 as u64);
+    e.u64(t.offset.1 as u64);
+    e.u64(t.offset.2 as u64);
+    let p = &t.params;
+    e.f64(p.cs);
+    e.f64(p.nu);
+    e.f64(p.dx);
+    e.f64(p.dt);
+    e.f64(p.rho0);
+    for v in p.body_force {
+        e.f64(v);
+    }
+    for v in p.inlet_velocity {
+        e.f64(v);
+    }
+    e.f64(p.filter_eps);
+    let h = t.halo() as isize;
+    for k in -h..(t.nz() as isize + h) {
+        for j in -h..(t.ny() as isize + h) {
+            for i in -h..(t.nx() as isize + h) {
+                e.buf.push(cell_to_u8(t.mask[(i, j, k)]));
+            }
+        }
+    }
+    e.grid(&t.mac.rho);
+    e.grid(&t.mac.vx);
+    e.grid(&t.mac.vy);
+    e.grid(&t.mac.vz);
+    e.u32(t.f.len() as u32);
+    for fq in &t.f {
+        e.grid(fq);
+    }
+    e.buf
+}
+
+/// Restores a 3D tile from dump-file bytes.
+pub fn restore_tile3(bytes: &[u8]) -> io::Result<TileState3> {
+    let mut d = Dec { buf: bytes, at: 0 };
+    if d.u64()? != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a subsonic dump file"));
+    }
+    if d.u32()? != VERSION {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported dump version"));
+    }
+    if d.u32()? != 3 {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a 3D dump"));
+    }
+    let step = d.u64()?;
+    let nx = d.u64()? as usize;
+    let ny = d.u64()? as usize;
+    let nz = d.u64()? as usize;
+    let halo = d.u64()? as usize;
+    let offset = (d.u64()? as usize, d.u64()? as usize, d.u64()? as usize);
+    let params = FluidParams {
+        cs: d.f64()?,
+        nu: d.f64()?,
+        dx: d.f64()?,
+        dt: d.f64()?,
+        rho0: d.f64()?,
+        body_force: [d.f64()?, d.f64()?, d.f64()?],
+        inlet_velocity: [d.f64()?, d.f64()?, d.f64()?],
+        filter_eps: d.f64()?,
+    };
+    let mut mask = PaddedGrid3::new(nx, ny, nz, halo, Cell::Fluid);
+    let h = halo as isize;
+    for k in -h..(nz as isize + h) {
+        for j in -h..(ny as isize + h) {
+            for i in -h..(nx as isize + h) {
+                mask[(i, j, k)] = cell_from_u8(d.take(1)?[0])?;
+            }
+        }
+    }
+    let rho = d.grid(nx, ny, nz, halo)?;
+    let vx = d.grid(nx, ny, nz, halo)?;
+    let vy = d.grid(nx, ny, nz, halo)?;
+    let vz = d.grid(nx, ny, nz, halo)?;
+    let nf = d.u32()? as usize;
+    let mut f = Vec::with_capacity(nf);
+    for _ in 0..nf {
+        f.push(d.grid(nx, ny, nz, halo)?);
+    }
+    let mac = Macro3 { rho, vx, vy, vz };
+    let mac_new = mac.clone();
+    let f_tmp = f.clone();
+    let scratch = vec![
+        PaddedGrid3::new(nx, ny, nz, halo, 0.0f64),
+        PaddedGrid3::new(nx, ny, nz, halo, 0.0f64),
+    ];
+    Ok(TileState3 {
+        mac,
+        mac_new,
+        f,
+        f_tmp,
+        mask,
+        scratch,
+        params,
+        offset,
+        step,
+    })
+}
+
+/// Writes a 3D tile dump to a file.
+pub fn save_tile3(t: &TileState3, path: &Path) -> io::Result<u64> {
+    let bytes = dump_tile3(t);
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(&bytes)?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads a 3D tile dump from a file.
+pub fn load_tile3(path: &Path) -> io::Result<TileState3> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    restore_tile3(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsonic_grid::{Decomp3, Geometry3};
+    use subsonic_solvers::{InitialState3, LatticeBoltzmann3, Solver3};
+
+    fn sample_tile() -> TileState3 {
+        let geom = Geometry3::duct(10, 9, 9, 2);
+        let d = Decomp3::with_periodicity(10, 9, 9, 1, 1, 1, [true, false, false]);
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 2e-5;
+        let init = InitialState3::from_fn(|i, j, k| (1.0 + 0.001 * (i + j + k) as f64, 0.0, 0.0, 0.0));
+        let s = LatticeBoltzmann3;
+        s.make_tile(geom.tile_mask(&d, 0, s.halo()), params, (0, 0, 0), &init)
+    }
+
+    #[test]
+    fn roundtrip_3d() {
+        let t = sample_tile();
+        let restored = restore_tile3(&dump_tile3(&t)).unwrap();
+        assert_eq!(restored.step, t.step);
+        assert_eq!(restored.offset, t.offset);
+        let h = t.halo() as isize;
+        for k in -h..(t.nz() as isize + h) {
+            for j in -h..(t.ny() as isize + h) {
+                for i in -h..(t.nx() as isize + h) {
+                    assert_eq!(restored.mask[(i, j, k)], t.mask[(i, j, k)]);
+                    assert_eq!(
+                        restored.mac.rho[(i, j, k)].to_bits(),
+                        t.mac.rho[(i, j, k)].to_bits()
+                    );
+                    for q in 0..t.f.len() {
+                        assert_eq!(
+                            restored.f[q][(i, j, k)].to_bits(),
+                            t.f[q][(i, j, k)].to_bits()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_dimensionality_rejected() {
+        let t = sample_tile();
+        let mut bytes = dump_tile3(&t);
+        // flip the dimensionality field (offset: magic 8 + version 4)
+        bytes[12] = 2;
+        assert!(restore_tile3(&bytes).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_3d() {
+        let t = sample_tile();
+        let dir = std::env::temp_dir().join("subsonic_ckpt3_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tile.dump");
+        let n = save_tile3(&t, &path).unwrap();
+        assert!(n > 0);
+        let r = load_tile3(&path).unwrap();
+        assert_eq!(r.nx(), t.nx());
+        let _ = std::fs::remove_file(&path);
+    }
+}

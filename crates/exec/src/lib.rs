@@ -1,0 +1,40 @@
+//! Runners that execute decomposed flow problems for real.
+//!
+//! Three execution modes, all running the *same* solver plans from
+//! `subsonic-solvers`:
+//!
+//! * [`LocalRunner2`]/[`LocalRunner3`] — all tiles stepped sequentially in one
+//!   thread, halos moved by `memcpy`. With a `1×1` decomposition this is the
+//!   serial program; with more tiles it is the reference for the bitwise
+//!   serial/parallel equivalence tests.
+//! * [`ThreadedRunner2`] — one OS thread per subregion, halos moved over
+//!   crossbeam channels (the in-process analogue of the paper's TCP/IP
+//!   sockets), with per-phase `T_calc`/`T_com` instrumentation, the
+//!   Appendix-B synchronisation protocol, and a checkpoint/restore "migration
+//!   drill".
+//! * checkpointing ([`checkpoint`]) — binary dump files carrying everything a
+//!   process needs to resume, the in-process equivalent of the paper's dump
+//!   files ("these files contain all the information that is needed by a
+//!   workstation to participate in a distributed computation").
+//!
+//! The cluster-of-workstations *runtime* (hosts, Ethernet, monitoring,
+//! automatic migration) is modelled in `subsonic-cluster`; this crate is the
+//! real data-plane.
+
+pub mod checkpoint;
+pub mod checkpoint3;
+pub mod gather;
+pub mod local;
+pub mod problem;
+pub mod rayon_runner;
+pub mod threaded;
+pub mod threaded3;
+pub mod timing;
+
+pub use gather::{GlobalFields2, GlobalFields3};
+pub use local::{LocalRunner2, LocalRunner3};
+pub use problem::{Problem2, Problem3};
+pub use rayon_runner::RayonRunner2;
+pub use threaded::{MigrationDrill, ThreadedRunner2};
+pub use threaded3::ThreadedRunner3;
+pub use timing::StepTiming;

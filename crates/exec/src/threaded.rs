@@ -1,0 +1,385 @@
+//! Thread-per-subregion parallel runner.
+//!
+//! Each active subregion runs on its own OS thread; halo strips travel over
+//! unbounded crossbeam channels — the in-process analogue of the paper's
+//! TCP/IP sockets ("the TCP/IP protocol behaves as if there are two
+//! first-in-first-out channels for writing data in each direction between two
+//! processes", section 4.2). Communication is asynchronous and
+//! first-come-first-served within an exchange stage, which is the policy the
+//! paper recommends in Appendix C.
+//!
+//! The runner also implements the synchronisation machinery of section 5 /
+//! Appendix B as a *migration drill*: a monitor picks a synchronisation step
+//! just past the furthest process (every process publishes its integration
+//! step, the maximum plus a safety margin becomes the barrier — the
+//! shared-file max-step algorithm of Appendix B), all workers run exactly to
+//! that step and pause, the migrating worker saves its state to a dump file
+//! and restores from it (stop on the busy host / restart on a free host), and
+//! the computation resumes. The drill is bitwise transparent: a run with a
+//! drill produces exactly the fields of an undisturbed run, which the
+//! integration tests assert.
+
+use crate::checkpoint::{load_tile2, save_tile2};
+use crate::gather::GlobalFields2;
+use crate::problem::Problem2;
+use crate::timing::StepTiming;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use subsonic_grid::Face2;
+use subsonic_solvers::{Solver2, StepOp, TileState2};
+
+/// No synchronisation requested.
+const NO_SYNC: u64 = u64::MAX;
+
+/// A planned mid-run migration exercise.
+#[derive(Debug, Clone)]
+pub struct MigrationDrill {
+    /// Tile that "migrates" (its worker saves state to a dump file and
+    /// restores from it while everyone is paused).
+    pub tile: usize,
+    /// Arm the drill once any worker has completed this many steps.
+    pub arm_step: u64,
+    /// Directory for the dump file.
+    pub dump_dir: PathBuf,
+}
+
+/// What the drill actually did.
+#[derive(Debug, Clone)]
+pub struct DrillReport {
+    /// The synchronisation step every process paused at.
+    pub sync_step: u64,
+    /// Size of the dump file in bytes.
+    pub dump_bytes: u64,
+    /// Path of the dump file.
+    pub dump_path: PathBuf,
+}
+
+/// Result of a threaded run.
+pub struct RunOutcome2 {
+    /// Final tiles, in active-id order.
+    pub tiles: Vec<TileState2>,
+    /// Per-tile timing, `(tile_id, timing)`.
+    pub timing: Vec<(usize, StepTiming)>,
+    /// Drill report, if a drill was requested and fired.
+    pub drill: Option<DrillReport>,
+}
+
+impl RunOutcome2 {
+    /// Gathers the global fields from the final tiles.
+    pub fn gather(&self, nx: usize, ny: usize, rho0: f64) -> GlobalFields2 {
+        GlobalFields2::gather(nx, ny, rho0, self.tiles.iter())
+    }
+}
+
+struct Barrier {
+    state: Mutex<(usize, u64)>, // (paused count, resume epoch)
+    cv: Condvar,
+}
+
+struct Control {
+    published: Vec<AtomicU64>,
+    sync_step: AtomicU64,
+    barrier: Barrier,
+}
+
+impl Control {
+    fn new(n: usize) -> Self {
+        Self {
+            published: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sync_step: AtomicU64::new(NO_SYNC),
+            barrier: Barrier { state: Mutex::new((0, 0)), cv: Condvar::new() },
+        }
+    }
+
+    fn max_published(&self) -> u64 {
+        self.published
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Worker-side: pause at the barrier until the monitor resumes everyone.
+    fn pause(&self) {
+        let mut st = self.barrier.state.lock();
+        let epoch = st.1;
+        st.0 += 1;
+        self.barrier.cv.notify_all();
+        while st.1 == epoch {
+            self.barrier.cv.wait(&mut st);
+        }
+    }
+
+    /// Monitor-side: wait until `n` workers are paused.
+    fn wait_all_paused(&self, n: usize) {
+        let mut st = self.barrier.state.lock();
+        while st.0 < n {
+            self.barrier.cv.wait(&mut st);
+        }
+    }
+
+    /// Monitor-side: release all paused workers (the CONT signal).
+    fn resume_all(&self) {
+        let mut st = self.barrier.state.lock();
+        st.0 = 0;
+        st.1 += 1;
+        self.barrier.cv.notify_all();
+        // clear the sync request so workers run freely again
+        self.sync_step.store(NO_SYNC, Ordering::SeqCst);
+    }
+}
+
+/// One thread per subregion, channels as sockets.
+pub struct ThreadedRunner2 {
+    solver: Arc<dyn Solver2>,
+    problem: Problem2,
+}
+
+impl ThreadedRunner2 {
+    /// Creates a runner for `problem` using `solver`.
+    pub fn new(solver: Arc<dyn Solver2>, problem: Problem2) -> Self {
+        Self { solver, problem }
+    }
+
+    /// Runs `steps` integration steps on all active tiles in parallel.
+    pub fn run(&self, steps: u64) -> RunOutcome2 {
+        self.run_with_drill(steps, None)
+    }
+
+    /// Runs `steps` steps, optionally performing a migration drill mid-run.
+    pub fn run_with_drill(&self, steps: u64, drill: Option<MigrationDrill>) -> RunOutcome2 {
+        let active = self.problem.active_tiles();
+        let n = active.len();
+        let index_of: HashMap<usize, usize> =
+            active.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+
+        // Channels: key (receiver tile id, receiver face).
+        let mut senders: HashMap<(usize, Face2), Sender<Vec<f64>>> = HashMap::new();
+        let mut receivers: HashMap<(usize, Face2), Receiver<Vec<f64>>> = HashMap::new();
+        for &id in &active {
+            for f in Face2::ALL {
+                if let Some(nb) = self.problem.decomp.neighbor(id, f) {
+                    if index_of.contains_key(&nb) {
+                        let (s, r) = unbounded();
+                        senders.insert((id, f), s);
+                        receivers.insert((id, f), r);
+                    }
+                }
+            }
+        }
+
+        let control = Arc::new(Control::new(n));
+        let drill_fired: Mutex<Option<DrillReport>> = Mutex::new(None);
+
+        // Per-worker endpoints: my receivers (face -> rx), my senders into
+        // each neighbour's ghost (face -> tx of (nb, f.opposite())).
+        struct Endpoints {
+            rx: Vec<(Face2, Receiver<Vec<f64>>)>,
+            tx: Vec<(Face2, Sender<Vec<f64>>)>,
+        }
+        let mut endpoints: Vec<Endpoints> = Vec::with_capacity(n);
+        for &id in &active {
+            let mut rx = Vec::new();
+            let mut tx = Vec::new();
+            for f in Face2::ALL {
+                if let Some(r) = receivers.remove(&(id, f)) {
+                    rx.push((f, r));
+                }
+                if let Some(nb) = self.problem.decomp.neighbor(id, f) {
+                    if let Some(s) = senders.get(&(nb, f.opposite())) {
+                        tx.push((f, s.clone()));
+                    }
+                }
+            }
+            endpoints.push(Endpoints { rx, tx });
+        }
+        drop(senders);
+
+        let solver = &self.solver;
+        let plan = solver.plan();
+        let mut results: Vec<Option<(TileState2, StepTiming)>> = (0..n).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (k, &id) in active.iter().enumerate() {
+                let mut tile = self.problem.make_tile(solver.as_ref(), id);
+                let ep = endpoints.remove(0);
+                let control = Arc::clone(&control);
+                let drill = drill.clone();
+                let drill_fired = &drill_fired;
+                handles.push(scope.spawn(move || {
+                    let mut timing = StepTiming::default();
+                    for s in 0..steps {
+                        control.published[k].store(s, Ordering::SeqCst);
+                        // Synchronisation point of section 5: when a sync step
+                        // is announced, run exactly to it and pause.
+                        if control.sync_step.load(Ordering::SeqCst) == s {
+                            if let Some(d) = drill.as_ref() {
+                                if d.tile == id {
+                                    // migrate: save state, "move host", restore
+                                    let path =
+                                        d.dump_dir.join(format!("tile{id}_step{s}.dump"));
+                                    let bytes = save_tile2(&tile, &path)
+                                        .expect("dump file write failed");
+                                    tile = load_tile2(&path).expect("dump file read failed");
+                                    *drill_fired.lock() = Some(DrillReport {
+                                        sync_step: s,
+                                        dump_bytes: bytes,
+                                        dump_path: path,
+                                    });
+                                }
+                            }
+                            control.pause();
+                        }
+                        // one integration step
+                        for op in plan {
+                            match *op {
+                                StepOp::Compute(p) => {
+                                    let t0 = Instant::now();
+                                    solver.compute(&mut tile, p);
+                                    timing.t_calc += t0.elapsed();
+                                }
+                                StepOp::Exchange(x) => {
+                                    let t0 = Instant::now();
+                                    for stage in 0..2 {
+                                        for (f, tx) in
+                                            ep.tx.iter().filter(|(f, _)| f.stage() == stage)
+                                        {
+                                            let mut buf = Vec::new();
+                                            solver.pack(&tile, x, *f, &mut buf);
+                                            tx.send(buf).expect("peer hung up");
+                                        }
+                                        for (f, rx) in
+                                            ep.rx.iter().filter(|(f, _)| f.stage() == stage)
+                                        {
+                                            let buf = rx.recv().expect("peer hung up");
+                                            solver.unpack(&mut tile, x, *f, &buf);
+                                        }
+                                    }
+                                    timing.t_com += t0.elapsed();
+                                }
+                            }
+                        }
+                        timing.steps += 1;
+                    }
+                    // final publish so the monitor sees completion
+                    control.published[k].store(steps, Ordering::SeqCst);
+                    (tile, timing)
+                }));
+            }
+
+            // The monitoring program (section 4.1 / 5.1): arm the drill, pick
+            // the synchronisation step, wait for global pause, "find a free
+            // host", send CONT.
+            if let Some(d) = drill.as_ref() {
+                std::fs::create_dir_all(&d.dump_dir).expect("cannot create dump dir");
+                loop {
+                    let m = control.max_published();
+                    if m >= d.arm_step {
+                        // Appendix B: everyone posts its step; the largest
+                        // plus a margin becomes the synchronisation step
+                        // (+2 covers the step in flight at read time).
+                        let sync = m + 2;
+                        if sync >= steps {
+                            break; // too late in the run; drill skipped
+                        }
+                        control.sync_step.store(sync, Ordering::SeqCst);
+                        control.wait_all_paused(n);
+                        // host selection delay would go here
+                        control.resume_all();
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+
+            for (k, h) in handles.into_iter().enumerate() {
+                results[k] = Some(h.join().expect("worker panicked"));
+            }
+        });
+
+        let mut tiles = Vec::with_capacity(n);
+        let mut timing = Vec::with_capacity(n);
+        for (k, r) in results.into_iter().enumerate() {
+            let (tile, t) = r.unwrap();
+            tiles.push(tile);
+            timing.push((active[k], t));
+        }
+        RunOutcome2 { tiles, timing, drill: drill_fired.into_inner() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalRunner2;
+    use subsonic_grid::Geometry2;
+    use subsonic_solvers::{FiniteDifference2, FluidParams, LatticeBoltzmann2};
+
+    fn problem(px: usize, py: usize) -> Problem2 {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        Problem2::new(Geometry2::channel(24, 16, 2), px, py, params)
+            .with_init(|x, y| (1.0 + 1e-4 * ((x * 7 + y * 13) % 5) as f64, 0.0, 0.0))
+    }
+
+    #[test]
+    fn threaded_matches_local_bitwise_fd() {
+        let solver: Arc<dyn Solver2> = Arc::new(FiniteDifference2);
+        let mut local = LocalRunner2::new(Arc::clone(&solver), problem(2, 2));
+        local.run(10);
+        let a = local.gather();
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2)).run(10);
+        let b = out.gather(24, 16, 1.0);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn threaded_matches_local_bitwise_lbm() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let mut local = LocalRunner2::new(Arc::clone(&solver), problem(3, 1));
+        local.run(10);
+        let a = local.gather();
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 1)).run(10);
+        let b = out.gather(24, 16, 1.0);
+        assert_eq!(a.first_difference(&b), None);
+    }
+
+    #[test]
+    fn timing_is_recorded() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let out = ThreadedRunner2::new(solver, problem(2, 1)).run(5);
+        assert_eq!(out.timing.len(), 2);
+        for (_, t) in &out.timing {
+            assert_eq!(t.steps, 5);
+            assert!(t.t_calc.as_nanos() > 0);
+        }
+    }
+
+    #[test]
+    fn migration_drill_is_transparent() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let undisturbed = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2)).run(20);
+        let a = undisturbed.gather(24, 16, 1.0);
+
+        let dir = std::env::temp_dir().join("subsonic_drill_test");
+        let drill = MigrationDrill { tile: 1, arm_step: 5, dump_dir: dir };
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run_with_drill(20, Some(drill));
+        let report = out.drill.clone().expect("drill did not fire");
+        assert!(report.sync_step >= 5 && report.sync_step < 20);
+        assert!(report.dump_bytes > 0);
+        let b = out.gather(24, 16, 1.0);
+        assert_eq!(
+            a.first_difference(&b),
+            None,
+            "migration drill changed the results"
+        );
+        let _ = std::fs::remove_file(&report.dump_path);
+    }
+}

@@ -1,0 +1,292 @@
+//! Thread-per-subregion runner for 3D problems (companion to
+//! [`crate::threaded`]). Halo exchange runs in three stages (x, y, z) so
+//! edge and corner ghosts fill transitively without diagonal messages.
+
+use crate::checkpoint3::{load_tile3, save_tile3};
+use crate::gather::GlobalFields3;
+use crate::problem::Problem3;
+use crate::threaded::{DrillReport, MigrationDrill};
+use crate::timing::StepTiming;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Condvar, Mutex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use subsonic_grid::Face3;
+use subsonic_solvers::{Solver3, StepOp, TileState3};
+
+const NO_SYNC: u64 = u64::MAX;
+
+/// Result of a 3D threaded run.
+pub struct RunOutcome3 {
+    /// Final tiles, in active-id order.
+    pub tiles: Vec<TileState3>,
+    /// Per-tile timing, `(tile_id, timing)`.
+    pub timing: Vec<(usize, StepTiming)>,
+    /// Drill report, if one was requested and fired.
+    pub drill: Option<DrillReport>,
+}
+
+impl RunOutcome3 {
+    /// Gathers the global fields from the final tiles.
+    pub fn gather(&self, dims: (usize, usize, usize), rho0: f64) -> GlobalFields3 {
+        GlobalFields3::gather(dims, rho0, self.tiles.iter())
+    }
+}
+
+struct Control {
+    published: Vec<AtomicU64>,
+    sync_step: AtomicU64,
+    state: Mutex<(usize, u64)>, // (paused, epoch)
+    cv: Condvar,
+}
+
+impl Control {
+    fn new(n: usize) -> Self {
+        Self {
+            published: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sync_step: AtomicU64::new(NO_SYNC),
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn max_published(&self) -> u64 {
+        self.published.iter().map(|a| a.load(Ordering::SeqCst)).max().unwrap_or(0)
+    }
+
+    fn pause(&self) {
+        let mut st = self.state.lock();
+        let epoch = st.1;
+        st.0 += 1;
+        self.cv.notify_all();
+        while st.1 == epoch {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    fn wait_all_paused(&self, n: usize) {
+        let mut st = self.state.lock();
+        while st.0 < n {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    fn resume_all(&self) {
+        let mut st = self.state.lock();
+        st.0 = 0;
+        st.1 += 1;
+        self.cv.notify_all();
+        self.sync_step.store(NO_SYNC, Ordering::SeqCst);
+    }
+}
+
+/// One thread per 3D subregion, channels as sockets.
+pub struct ThreadedRunner3 {
+    solver: Arc<dyn Solver3>,
+    problem: Problem3,
+}
+
+impl ThreadedRunner3 {
+    /// Creates a runner.
+    pub fn new(solver: Arc<dyn Solver3>, problem: Problem3) -> Self {
+        Self { solver, problem }
+    }
+
+    /// Runs `steps` integration steps on all active tiles in parallel.
+    pub fn run(&self, steps: u64) -> RunOutcome3 {
+        self.run_with_drill(steps, None)
+    }
+
+    /// Runs with an optional mid-run migration drill.
+    pub fn run_with_drill(&self, steps: u64, drill: Option<MigrationDrill>) -> RunOutcome3 {
+        let active = self.problem.active_tiles();
+        let n = active.len();
+        let index_of: HashMap<usize, usize> =
+            active.iter().enumerate().map(|(k, &id)| (id, k)).collect();
+
+        let mut senders: HashMap<(usize, Face3), Sender<Vec<f64>>> = HashMap::new();
+        let mut receivers: HashMap<(usize, Face3), Receiver<Vec<f64>>> = HashMap::new();
+        for &id in &active {
+            for f in Face3::ALL {
+                if let Some(nb) = self.problem.decomp.neighbor(id, f) {
+                    if index_of.contains_key(&nb) {
+                        let (s, r) = unbounded();
+                        senders.insert((id, f), s);
+                        receivers.insert((id, f), r);
+                    }
+                }
+            }
+        }
+
+        struct Endpoints {
+            rx: Vec<(Face3, Receiver<Vec<f64>>)>,
+            tx: Vec<(Face3, Sender<Vec<f64>>)>,
+        }
+        let mut endpoints: Vec<Endpoints> = Vec::with_capacity(n);
+        for &id in &active {
+            let mut rx = Vec::new();
+            let mut tx = Vec::new();
+            for f in Face3::ALL {
+                if let Some(r) = receivers.remove(&(id, f)) {
+                    rx.push((f, r));
+                }
+                if let Some(nb) = self.problem.decomp.neighbor(id, f) {
+                    if let Some(s) = senders.get(&(nb, f.opposite())) {
+                        tx.push((f, s.clone()));
+                    }
+                }
+            }
+            endpoints.push(Endpoints { rx, tx });
+        }
+        drop(senders);
+
+        let control = Arc::new(Control::new(n));
+        let drill_fired: Mutex<Option<DrillReport>> = Mutex::new(None);
+        let solver = &self.solver;
+        let plan = solver.plan();
+        let mut results: Vec<Option<(TileState3, StepTiming)>> = (0..n).map(|_| None).collect();
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(n);
+            for (k, &id) in active.iter().enumerate() {
+                let mut tile = self.problem.make_tile(solver.as_ref(), id);
+                let ep = endpoints.remove(0);
+                let control = Arc::clone(&control);
+                let drill = drill.clone();
+                let drill_fired = &drill_fired;
+                handles.push(scope.spawn(move || {
+                    let mut timing = StepTiming::default();
+                    for s in 0..steps {
+                        control.published[k].store(s, Ordering::SeqCst);
+                        if control.sync_step.load(Ordering::SeqCst) == s {
+                            if let Some(d) = drill.as_ref() {
+                                if d.tile == id {
+                                    let path =
+                                        d.dump_dir.join(format!("tile3_{id}_step{s}.dump"));
+                                    let bytes = save_tile3(&tile, &path)
+                                        .expect("dump file write failed");
+                                    tile = load_tile3(&path).expect("dump file read failed");
+                                    *drill_fired.lock() = Some(DrillReport {
+                                        sync_step: s,
+                                        dump_bytes: bytes,
+                                        dump_path: path,
+                                    });
+                                }
+                            }
+                            control.pause();
+                        }
+                        for op in plan {
+                            match *op {
+                                StepOp::Compute(p) => {
+                                    let t0 = Instant::now();
+                                    solver.compute(&mut tile, p);
+                                    timing.t_calc += t0.elapsed();
+                                }
+                                StepOp::Exchange(x) => {
+                                    let t0 = Instant::now();
+                                    for stage in 0..3 {
+                                        for (f, tx) in
+                                            ep.tx.iter().filter(|(f, _)| f.stage() == stage)
+                                        {
+                                            let mut buf = Vec::new();
+                                            solver.pack(&tile, x, *f, &mut buf);
+                                            tx.send(buf).expect("peer hung up");
+                                        }
+                                        for (f, rx) in
+                                            ep.rx.iter().filter(|(f, _)| f.stage() == stage)
+                                        {
+                                            let buf = rx.recv().expect("peer hung up");
+                                            solver.unpack(&mut tile, x, *f, &buf);
+                                        }
+                                    }
+                                    timing.t_com += t0.elapsed();
+                                }
+                            }
+                        }
+                        timing.steps += 1;
+                    }
+                    control.published[k].store(steps, Ordering::SeqCst);
+                    (tile, timing)
+                }));
+            }
+
+            if let Some(d) = drill.as_ref() {
+                std::fs::create_dir_all(&d.dump_dir).expect("cannot create dump dir");
+                loop {
+                    let m = control.max_published();
+                    if m >= d.arm_step {
+                        let sync = m + 2;
+                        if sync >= steps {
+                            break;
+                        }
+                        control.sync_step.store(sync, Ordering::SeqCst);
+                        control.wait_all_paused(n);
+                        control.resume_all();
+                        break;
+                    }
+                    std::thread::yield_now();
+                }
+            }
+
+            for (k, h) in handles.into_iter().enumerate() {
+                results[k] = Some(h.join().expect("worker panicked"));
+            }
+        });
+
+        let mut tiles = Vec::with_capacity(n);
+        let mut timing = Vec::with_capacity(n);
+        for (k, r) in results.into_iter().enumerate() {
+            let (tile, t) = r.unwrap();
+            tiles.push(tile);
+            timing.push((active[k], t));
+        }
+        RunOutcome3 { tiles, timing, drill: drill_fired.into_inner() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::LocalRunner3;
+    use subsonic_grid::Geometry3;
+    use subsonic_solvers::{FluidParams, LatticeBoltzmann3};
+
+    fn problem(px: usize, py: usize, pz: usize) -> Problem3 {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        Problem3::new(Geometry3::duct(12, 10, 10, 2), px, py, pz, params)
+            .with_init(|x, y, z| (1.0 + 1e-4 * ((x + 2 * y + 3 * z) % 5) as f64, 0.0, 0.0, 0.0))
+    }
+
+    #[test]
+    fn threaded3_matches_local_bitwise() {
+        let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
+        let mut local = LocalRunner3::new(Arc::clone(&solver), problem(2, 1, 2));
+        local.run(6);
+        let a = local.gather();
+        let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2)).run(6);
+        let b = out.gather((12, 10, 10), 1.0);
+        assert_eq!(a.first_difference(&b), None, "threaded 3D diverged");
+    }
+
+    #[test]
+    fn drill3_is_transparent() {
+        let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
+        let clean = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 2, 1)).run(16);
+        let a = clean.gather((12, 10, 10), 1.0);
+        let drill = MigrationDrill {
+            tile: 2,
+            arm_step: 4,
+            dump_dir: std::env::temp_dir().join("subsonic_drill3_test"),
+        };
+        let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 2, 1))
+            .run_with_drill(16, Some(drill));
+        let report = out.drill.clone().expect("drill did not fire");
+        assert!(report.dump_bytes > 0);
+        let b = out.gather((12, 10, 10), 1.0);
+        assert_eq!(a.first_difference(&b), None, "3D drill changed results");
+        let _ = std::fs::remove_file(&report.dump_path);
+    }
+}

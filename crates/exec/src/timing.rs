@@ -1,0 +1,81 @@
+//! Per-phase timing instrumentation (the `T_calc` / `T_com` of section 8).
+
+use std::time::Duration;
+
+/// Accumulated wall-clock time of one worker, split the way the paper's
+/// efficiency analysis splits it: local computation vs waiting on
+/// communication.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StepTiming {
+    /// Time spent in local compute phases.
+    pub t_calc: Duration,
+    /// Time spent packing, sending, receiving and unpacking halos.
+    pub t_com: Duration,
+    /// Steps completed.
+    pub steps: u64,
+}
+
+impl StepTiming {
+    /// Processor utilisation `g = T_calc / (T_calc + T_com)` (eq. 8) — equal
+    /// to the parallel efficiency for completely parallelisable problems
+    /// (eq. 12).
+    pub fn utilization(&self) -> f64 {
+        let c = self.t_calc.as_secs_f64();
+        let m = self.t_com.as_secs_f64();
+        if c + m == 0.0 {
+            return 1.0;
+        }
+        c / (c + m)
+    }
+
+    /// Mean wall-clock duration of one integration step.
+    pub fn per_step(&self) -> Duration {
+        if self.steps == 0 {
+            return Duration::ZERO;
+        }
+        (self.t_calc + self.t_com) / self.steps as u32
+    }
+
+    /// Merges another worker's timing into this one (summing).
+    pub fn merge(&mut self, other: &StepTiming) {
+        self.t_calc += other.t_calc;
+        self.t_com += other.t_com;
+        self.steps = self.steps.max(other.steps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_limits() {
+        let t = StepTiming::default();
+        assert_eq!(t.utilization(), 1.0);
+        let t = StepTiming {
+            t_calc: Duration::from_secs(3),
+            t_com: Duration::from_secs(1),
+            steps: 4,
+        };
+        assert!((t.utilization() - 0.75).abs() < 1e-12);
+        assert_eq!(t.per_step(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn merge_sums_times() {
+        let mut a = StepTiming {
+            t_calc: Duration::from_secs(1),
+            t_com: Duration::from_secs(2),
+            steps: 10,
+        };
+        let b = StepTiming {
+            t_calc: Duration::from_secs(3),
+            t_com: Duration::from_secs(4),
+            steps: 10,
+        };
+        a.merge(&b);
+        assert_eq!(a.t_calc, Duration::from_secs(4));
+        assert_eq!(a.t_com, Duration::from_secs(6));
+        assert_eq!(a.steps, 10);
+    }
+}

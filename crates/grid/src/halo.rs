@@ -1,0 +1,345 @@
+//! Halo (ghost-layer) packing and unpacking.
+//!
+//! Exchange is staged per axis, mirroring the paper's face-neighbour-only
+//! communication: the x stage moves strips spanning the interior of the other
+//! axes; the y stage spans the *full padded* x range (whose ghosts are fresh
+//! after the x stage), and the z stage spans the full padded x and y ranges.
+//! Corner and edge ghosts are therefore filled transitively without diagonal
+//! messages.
+//!
+//! Conventions: `pack_*(tile_face)` extracts the interior strip adjacent to
+//! the tile's own face; `unpack_*(tile_face)` writes a received strip into the
+//! ghost band beyond that face. A tile's ghost band beyond face `f` receives
+//! the strip its neighbour across `f` packed with face `f.opposite()`:
+//!
+//! ```text
+//! ghost(tile, f)  <-  pack(neighbor(tile, f), f.opposite())
+//! ```
+
+use crate::face::{Face2, Face3};
+use crate::padded::{PaddedGrid2, PaddedGrid3};
+
+/// Number of elements a width-`w` message for face `f` of an `nx × ny` tile
+/// contains (per field).
+pub fn message_len2(nx: usize, ny: usize, f: Face2, w: usize) -> usize {
+    match f.axis() {
+        0 => w * ny,             // x stage: spans interior y
+        _ => w * (nx + 2 * w),   // y stage: spans full padded x
+    }
+}
+
+/// Number of elements a width-`w` message for face `f` of an
+/// `nx × ny × nz` tile contains (per field).
+pub fn message_len3(nx: usize, ny: usize, nz: usize, f: Face3, w: usize) -> usize {
+    match f.axis() {
+        0 => w * ny * nz,
+        1 => w * (nx + 2 * w) * nz,
+        _ => w * (nx + 2 * w) * (ny + 2 * w),
+    }
+}
+
+/// Packs the width-`w` interior strip adjacent to face `f` into `out`.
+pub fn pack2<T: Copy>(g: &PaddedGrid2<T>, f: Face2, w: usize, out: &mut Vec<T>) {
+    let (nx, ny) = (g.nx() as isize, g.ny() as isize);
+    let wi = w as isize;
+    debug_assert!(w <= g.halo(), "exchange width exceeds halo");
+    match f {
+        Face2::West => {
+            for j in 0..ny {
+                out.extend_from_slice(g.row_segment(j, 0, w));
+            }
+        }
+        Face2::East => {
+            for j in 0..ny {
+                out.extend_from_slice(g.row_segment(j, nx - wi, w));
+            }
+        }
+        Face2::South => {
+            for j in 0..wi {
+                out.extend_from_slice(g.row_segment(j, -wi, (nx + 2 * wi) as usize));
+            }
+        }
+        Face2::North => {
+            for j in (ny - wi)..ny {
+                out.extend_from_slice(g.row_segment(j, -wi, (nx + 2 * wi) as usize));
+            }
+        }
+    }
+}
+
+/// Writes a received strip into the ghost band beyond face `f`.
+/// Returns the number of elements consumed from `data`.
+pub fn unpack2<T: Copy>(g: &mut PaddedGrid2<T>, f: Face2, w: usize, data: &[T]) -> usize {
+    let (nx, ny) = (g.nx() as isize, g.ny() as isize);
+    let wi = w as isize;
+    let need = message_len2(g.nx(), g.ny(), f, w);
+    debug_assert!(data.len() >= need, "short halo message");
+    let mut at = 0usize;
+    match f {
+        Face2::West => {
+            for j in 0..ny {
+                g.row_segment_mut(j, -wi, w).copy_from_slice(&data[at..at + w]);
+                at += w;
+            }
+        }
+        Face2::East => {
+            for j in 0..ny {
+                g.row_segment_mut(j, nx, w).copy_from_slice(&data[at..at + w]);
+                at += w;
+            }
+        }
+        Face2::South => {
+            let span = (nx + 2 * wi) as usize;
+            for j in -wi..0 {
+                g.row_segment_mut(j, -wi, span).copy_from_slice(&data[at..at + span]);
+                at += span;
+            }
+        }
+        Face2::North => {
+            let span = (nx + 2 * wi) as usize;
+            for j in ny..(ny + wi) {
+                g.row_segment_mut(j, -wi, span).copy_from_slice(&data[at..at + span]);
+                at += span;
+            }
+        }
+    }
+    debug_assert_eq!(at, need);
+    at
+}
+
+/// Packs the width-`w` interior strip adjacent to face `f` into `out` (3D).
+pub fn pack3<T: Copy>(g: &PaddedGrid3<T>, f: Face3, w: usize, out: &mut Vec<T>) {
+    let (nx, ny, nz) = (g.nx() as isize, g.ny() as isize, g.nz() as isize);
+    let wi = w as isize;
+    debug_assert!(w <= g.halo(), "exchange width exceeds halo");
+    match f {
+        Face3::West => {
+            for k in 0..nz {
+                for j in 0..ny {
+                    out.extend_from_slice(g.row_segment(j, k, 0, w));
+                }
+            }
+        }
+        Face3::East => {
+            for k in 0..nz {
+                for j in 0..ny {
+                    out.extend_from_slice(g.row_segment(j, k, nx - wi, w));
+                }
+            }
+        }
+        Face3::South => {
+            let span = (nx + 2 * wi) as usize;
+            for k in 0..nz {
+                for j in 0..wi {
+                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+                }
+            }
+        }
+        Face3::North => {
+            let span = (nx + 2 * wi) as usize;
+            for k in 0..nz {
+                for j in (ny - wi)..ny {
+                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+                }
+            }
+        }
+        Face3::Down => {
+            let span = (nx + 2 * wi) as usize;
+            for k in 0..wi {
+                for j in -wi..(ny + wi) {
+                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+                }
+            }
+        }
+        Face3::Up => {
+            let span = (nx + 2 * wi) as usize;
+            for k in (nz - wi)..nz {
+                for j in -wi..(ny + wi) {
+                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+                }
+            }
+        }
+    }
+}
+
+/// Writes a received strip into the ghost band beyond face `f` (3D).
+/// Returns the number of elements consumed from `data`.
+pub fn unpack3<T: Copy>(g: &mut PaddedGrid3<T>, f: Face3, w: usize, data: &[T]) -> usize {
+    let (nx, ny, nz) = (g.nx() as isize, g.ny() as isize, g.nz() as isize);
+    let wi = w as isize;
+    let need = message_len3(g.nx(), g.ny(), g.nz(), f, w);
+    debug_assert!(data.len() >= need, "short halo message");
+    let mut at = 0usize;
+    match f {
+        Face3::West => {
+            for k in 0..nz {
+                for j in 0..ny {
+                    g.row_segment_mut(j, k, -wi, w).copy_from_slice(&data[at..at + w]);
+                    at += w;
+                }
+            }
+        }
+        Face3::East => {
+            for k in 0..nz {
+                for j in 0..ny {
+                    g.row_segment_mut(j, k, nx, w).copy_from_slice(&data[at..at + w]);
+                    at += w;
+                }
+            }
+        }
+        Face3::South => {
+            let span = (nx + 2 * wi) as usize;
+            for k in 0..nz {
+                for j in -wi..0 {
+                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
+                    at += span;
+                }
+            }
+        }
+        Face3::North => {
+            let span = (nx + 2 * wi) as usize;
+            for k in 0..nz {
+                for j in ny..(ny + wi) {
+                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
+                    at += span;
+                }
+            }
+        }
+        Face3::Down => {
+            let span = (nx + 2 * wi) as usize;
+            for k in -wi..0 {
+                for j in -wi..(ny + wi) {
+                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
+                    at += span;
+                }
+            }
+        }
+        Face3::Up => {
+            let span = (nx + 2 * wi) as usize;
+            for k in nz..(nz + wi) {
+                for j in -wi..(ny + wi) {
+                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
+                    at += span;
+                }
+            }
+        }
+    }
+    debug_assert_eq!(at, need);
+    at
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::Decomp2;
+
+    /// Builds tiles of a decomposed global field, runs the staged exchange
+    /// and checks every ghost value matches the global field.
+    #[test]
+    fn staged_exchange_fills_all_ghosts_including_corners() {
+        let (nx, ny, w) = (12usize, 10usize, 2usize);
+        let global = |x: isize, y: isize| -> f64 {
+            // wrap both axes (fully periodic domain)
+            let xm = x.rem_euclid(nx as isize);
+            let ym = y.rem_euclid(ny as isize);
+            (xm * 1000 + ym) as f64
+        };
+        let d = Decomp2::with_periodicity(nx, ny, 2, 2, true, true);
+        // create tiles with interiors from the global function, ghosts poisoned
+        let mut tiles: Vec<PaddedGrid2<f64>> = (0..d.tiles())
+            .map(|id| {
+                let b = d.tile_box(id);
+                PaddedGrid2::from_fn(b.x.len, b.y.len, w, |i, j| {
+                    let inside = i >= 0 && j >= 0 && (i as usize) < b.x.len && (j as usize) < b.y.len;
+                    if inside {
+                        global(b.x.start as isize + i, b.y.start as isize + j)
+                    } else {
+                        f64::NAN
+                    }
+                })
+            })
+            .collect();
+
+        // Staged exchange: stage 0 (x faces) then stage 1 (y faces).
+        for stage in 0..2 {
+            let mut msgs: Vec<(usize, Face2, Vec<f64>)> = Vec::new();
+            for id in 0..d.tiles() {
+                for f in Face2::ALL.iter().copied().filter(|f| f.stage() == stage) {
+                    if let Some(nb) = d.neighbor(id, f) {
+                        // tile `id` receives into ghost(f) what `nb` packs with f.opposite()
+                        let mut buf = Vec::new();
+                        pack2(&tiles[nb], f.opposite(), w, &mut buf);
+                        msgs.push((id, f, buf));
+                    }
+                }
+            }
+            for (id, f, buf) in msgs {
+                unpack2(&mut tiles[id], f, w, &buf);
+            }
+        }
+
+        // Every padded node of every tile must now match the global function.
+        for id in 0..d.tiles() {
+            let b = d.tile_box(id);
+            let t = &tiles[id];
+            let wi = w as isize;
+            for j in -wi..(b.y.len as isize + wi) {
+                for i in -wi..(b.x.len as isize + wi) {
+                    let want = global(b.x.start as isize + i, b.y.start as isize + j);
+                    let got = t[(i, j)];
+                    assert!(
+                        (got - want).abs() < 1e-12,
+                        "tile {id} ghost ({i},{j}): got {got}, want {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_2d() {
+        let g = PaddedGrid2::from_fn(6, 5, 2, |i, j| (i * 37 + j) as f64);
+        let mut recv = PaddedGrid2::new(6, 5, 2, 0.0f64);
+        for f in Face2::ALL {
+            let mut buf = Vec::new();
+            pack2(&g, f.opposite(), 2, &mut buf);
+            assert_eq!(buf.len(), message_len2(6, 5, f, 2));
+            let used = unpack2(&mut recv, f, 2, &buf);
+            assert_eq!(used, buf.len());
+        }
+        // West ghost of recv = East interior strip of g
+        assert_eq!(recv[(-1, 0)], g[(5, 0)]);
+        assert_eq!(recv[(-2, 4)], g[(4, 4)]);
+        // North ghost of recv = South interior strip of g (row 0..2)
+        assert_eq!(recv[(0, 5)], g[(0, 0)]);
+        assert_eq!(recv[(3, 6)], g[(3, 1)]);
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip_3d() {
+        use crate::padded::PaddedGrid3;
+        let g = PaddedGrid3::from_fn(4, 5, 6, 2, |i, j, k| (i + 10 * j + 100 * k) as f64);
+        let mut recv = PaddedGrid3::new(4, 5, 6, 2, 0.0f64);
+        for f in Face3::ALL {
+            let mut buf = Vec::new();
+            pack3(&g, f.opposite(), 2, &mut buf);
+            assert_eq!(buf.len(), message_len3(4, 5, 6, f, 2));
+            let used = unpack3(&mut recv, f, 2, &buf);
+            assert_eq!(used, buf.len());
+        }
+        // Down ghost = Up interior strip
+        assert_eq!(recv[(0, 0, -1)], g[(0, 0, 5)]);
+        assert_eq!(recv[(2, 3, -2)], g[(2, 3, 4)]);
+        // Up ghost = Down interior strip
+        assert_eq!(recv[(1, 2, 6)], g[(1, 2, 0)]);
+    }
+
+    #[test]
+    fn message_lengths() {
+        assert_eq!(message_len2(10, 8, Face2::West, 2), 16);
+        assert_eq!(message_len2(10, 8, Face2::North, 2), 2 * 14);
+        assert_eq!(message_len3(4, 5, 6, Face3::East, 1), 30);
+        assert_eq!(message_len3(4, 5, 6, Face3::South, 1), 6 * 6);
+        assert_eq!(message_len3(4, 5, 6, Face3::Up, 1), 6 * 7);
+    }
+}

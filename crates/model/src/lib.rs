@@ -1,0 +1,39 @@
+//! Closed-form model of parallel efficiency for local-interaction
+//! computations — section 8 of P. A. Skordos, *"Parallel simulation of
+//! subsonic fluid dynamics on a cluster of workstations"* (1994).
+//!
+//! The model rests on two assumptions: (i) the computation is completely
+//! parallelisable, and (ii) communication does not overlap computation. Then
+//! the parallel efficiency equals the processor utilisation (eq. 12):
+//!
+//! ```text
+//! f = g = (1 + T_com / T_calc)^-1
+//! ```
+//!
+//! with `T_calc = N / U_calc` (eq. 13) and `T_com = N_c / U_com` (eq. 14),
+//! where the communicating surface is `N_c = m N^(1/2)` in 2D and
+//! `m N^(2/3)` in 3D (eqs. 15–16). On a shared-bus network every processor
+//! shares the wire, so `T_com` grows with `(P − 1)` (eq. 19), giving eq. (20)
+//! in 2D and, with the paper's 3D cost factors (half the computational speed,
+//! 5/3 the data per node), eq. (21) in 3D.
+//!
+//! This crate also implements the paper's Appendix-A bounds on how far apart
+//! neighbouring processes can drift ("un-synchronization"), and a
+//! message-overhead extension the paper mentions but leaves unmodelled ("we
+//! have not attempted to model the overhead of small messages here") — our
+//! event simulation exhibits that overhead, and the extension reproduces it in
+//! closed form.
+
+pub mod constants;
+pub mod efficiency;
+pub mod skew;
+
+pub use constants::PaperConstants;
+pub use efficiency::{
+    efficiency_2d_bus, efficiency_3d_bus, efficiency_from_times, efficiency_point_to_point,
+    speedup, EfficiencyModel, NetworkKind,
+};
+pub use skew::{
+    max_skew_full_stencil, max_skew_full_stencil_3d, max_skew_star_stencil,
+    max_skew_star_stencil_3d,
+};

@@ -1,0 +1,79 @@
+//! Appendix A: bounds on the "un-synchronization" of parallel processes.
+//!
+//! Communication only *nearly* synchronises neighbours: a stopped process
+//! lets its nearest neighbour run one more step, the next-nearest two more,
+//! and so on. For a `(J × K)` decomposition the largest possible difference
+//! in integration step between two processes is
+//!
+//! * `ΔN = max(J, K) − 1` when neighbours depend on each other diagonally
+//!   (full stencil, eq. 22), because dependence spreads along diagonals;
+//! * `ΔN = (J − 1) + (K − 1)` when only horizontal/vertical neighbours
+//!   interact (star stencil, eq. 23), the Manhattan diameter of the grid.
+//!
+//! These bounds matter for migration: the synchronisation algorithm of
+//! Appendix B must let every process run forward to `T_max + 1`, and the
+//! bound caps how much forward running that can be.
+
+/// Eq. (22): maximum step skew across a `(J × K)` decomposition with a full
+/// (diagonal-coupling) stencil.
+pub fn max_skew_full_stencil(j: usize, k: usize) -> usize {
+    j.max(k).saturating_sub(1)
+}
+
+/// Eq. (23): maximum step skew with a star (axis-coupling-only) stencil.
+pub fn max_skew_star_stencil(j: usize, k: usize) -> usize {
+    j.saturating_sub(1) + k.saturating_sub(1)
+}
+
+/// Maximum step skew for a 3D `(J × K × L)` decomposition, by the same
+/// arguments: Chebyshev diameter for the full stencil, Manhattan diameter for
+/// the star stencil.
+pub fn max_skew_full_stencil_3d(j: usize, k: usize, l: usize) -> usize {
+    j.max(k).max(l).saturating_sub(1)
+}
+
+/// 3D star-stencil skew bound (Manhattan diameter).
+pub fn max_skew_star_stencil_3d(j: usize, k: usize, l: usize) -> usize {
+    j.saturating_sub(1) + k.saturating_sub(1) + l.saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_formulas() {
+        // (5 x 4): full stencil allows 4 steps of drift, star allows 7.
+        assert_eq!(max_skew_full_stencil(5, 4), 4);
+        assert_eq!(max_skew_star_stencil(5, 4), 7);
+    }
+
+    #[test]
+    fn single_tile_cannot_drift() {
+        assert_eq!(max_skew_full_stencil(1, 1), 0);
+        assert_eq!(max_skew_star_stencil(1, 1), 0);
+        assert_eq!(max_skew_full_stencil_3d(1, 1, 1), 0);
+    }
+
+    #[test]
+    fn star_bound_dominates_full_bound() {
+        for j in 1..8 {
+            for k in 1..8 {
+                assert!(max_skew_star_stencil(j, k) >= max_skew_full_stencil(j, k));
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_decomposition() {
+        // (J x 1): both stencils give J-1.
+        assert_eq!(max_skew_full_stencil(6, 1), 5);
+        assert_eq!(max_skew_star_stencil(6, 1), 5);
+    }
+
+    #[test]
+    fn three_d_bounds() {
+        assert_eq!(max_skew_full_stencil_3d(3, 2, 2), 2);
+        assert_eq!(max_skew_star_stencil_3d(3, 2, 2), 4);
+    }
+}

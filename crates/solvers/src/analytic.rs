@@ -1,0 +1,114 @@
+//! Analytic reference solutions used for validation and the convergence
+//! experiment (the paper's section 7: "both methods converge quadratically
+//! with increased resolution in space to the exact solution of the
+//! Hagen-Poiseuille flow problem").
+
+/// Steady plane Poiseuille velocity profile between no-slip planes at
+/// `y0 < y1`, driven by a body force (acceleration) `g` along the channel in a
+/// fluid of kinematic viscosity `nu`:
+///
+/// `u(y) = g / (2 ν) · (y − y0)(y1 − y)`.
+pub fn poiseuille_u(y: f64, y0: f64, y1: f64, g: f64, nu: f64) -> f64 {
+    if y <= y0 || y >= y1 {
+        return 0.0;
+    }
+    g / (2.0 * nu) * (y - y0) * (y1 - y)
+}
+
+/// Peak (centreline) velocity of the plane Poiseuille profile.
+pub fn poiseuille_umax(y0: f64, y1: f64, g: f64, nu: f64) -> f64 {
+    let h = y1 - y0;
+    g * h * h / (8.0 * nu)
+}
+
+/// Steady velocity in a rectangular duct `y ∈ (0, a)`, `z ∈ (0, b)` with
+/// no-slip walls, driven by acceleration `g` along x (Fourier series; see
+/// e.g. White, *Viscous Fluid Flow*). Truncated at `terms` odd modes.
+pub fn duct_u(y: f64, z: f64, a: f64, b: f64, g: f64, nu: f64, terms: usize) -> f64 {
+    if y <= 0.0 || y >= a || z <= 0.0 || z >= b {
+        return 0.0;
+    }
+    // u(y,z) = (4 g a^2 / (nu pi^3)) sum_{n odd} 1/n^3 [1 - cosh(n pi (z - b/2)/a) / cosh(n pi b / (2a))] sin(n pi y / a)
+    let mut sum = 0.0;
+    let pi = std::f64::consts::PI;
+    let mut n = 1usize;
+    for _ in 0..terms {
+        let nf = n as f64;
+        let arg_num = nf * pi * (z - b / 2.0) / a;
+        let arg_den = nf * pi * b / (2.0 * a);
+        // cosh ratio computed stably: cosh(x)/cosh(X) = exp(|x|-X) * (1+e^{-2|x|}) / (1+e^{-2X})
+        let ratio = ((arg_num.abs() - arg_den).exp()) * (1.0 + (-2.0 * arg_num.abs()).exp())
+            / (1.0 + (-2.0 * arg_den).exp());
+        sum += (1.0 - ratio) * (nf * pi * y / a).sin() / (nf * nf * nf);
+        n += 2;
+    }
+    4.0 * g * a * a / (nu * pi * pi * pi) * sum
+}
+
+/// A Gaussian acoustic density pulse `ρ(x, 0) = ρ0 + A exp(−(x−x0)²/(2σ²))`
+/// released at rest splits into two half-amplitude pulses travelling at ±c_s
+/// (linear acoustics). Returns the predicted density at `(x, t)`.
+pub fn acoustic_pulse_rho(x: f64, t: f64, x0: f64, amp: f64, sigma: f64, cs: f64, rho0: f64) -> f64 {
+    let g = |d: f64| (-d * d / (2.0 * sigma * sigma)).exp();
+    rho0 + 0.5 * amp * (g(x - x0 - cs * t) + g(x - x0 + cs * t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poiseuille_peak_is_at_midplane() {
+        let (y0, y1, g, nu) = (1.0, 9.0, 2e-5, 0.1);
+        let mid = 0.5 * (y0 + y1);
+        let u_mid = poiseuille_u(mid, y0, y1, g, nu);
+        assert!((u_mid - poiseuille_umax(y0, y1, g, nu)).abs() < 1e-15);
+        assert!(poiseuille_u(y0, y0, y1, g, nu) == 0.0);
+        assert!(poiseuille_u(mid + 1.0, y0, y1, g, nu) < u_mid);
+    }
+
+    #[test]
+    fn poiseuille_is_symmetric() {
+        let (y0, y1, g, nu) = (0.5, 10.5, 1e-5, 0.05);
+        let mid = 0.5 * (y0 + y1);
+        for d in [0.5, 1.5, 3.0] {
+            let a = poiseuille_u(mid - d, y0, y1, g, nu);
+            let b = poiseuille_u(mid + d, y0, y1, g, nu);
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn duct_reduces_to_poiseuille_for_wide_aspect() {
+        // When b >> a the duct mid-plane profile approaches plane Poiseuille.
+        let (a, b, g, nu) = (1.0, 40.0, 1e-4, 0.1);
+        let u_duct = duct_u(0.5, b / 2.0, a, b, g, nu, 60);
+        let u_plane = poiseuille_umax(0.0, a, g, nu);
+        assert!(
+            (u_duct - u_plane).abs() / u_plane < 1e-3,
+            "duct {u_duct} vs plane {u_plane}"
+        );
+    }
+
+    #[test]
+    fn duct_vanishes_on_walls_and_is_symmetric() {
+        let (a, b, g, nu) = (1.0, 2.0, 1e-4, 0.1);
+        assert_eq!(duct_u(0.0, 1.0, a, b, g, nu, 40), 0.0);
+        assert_eq!(duct_u(0.5, 2.0, a, b, g, nu, 40), 0.0);
+        let u1 = duct_u(0.3, 0.7, a, b, g, nu, 40);
+        let u2 = duct_u(0.7, 1.3, a, b, g, nu, 40);
+        assert!((u1 - u2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acoustic_pulse_splits_and_travels() {
+        let (x0, amp, sigma, cs, rho0) = (50.0, 1e-3, 3.0, 0.577, 1.0);
+        // at t=0 the pulse peaks at x0 with full amplitude
+        let r0 = acoustic_pulse_rho(x0, 0.0, x0, amp, sigma, cs, rho0);
+        assert!((r0 - rho0 - amp).abs() < 1e-12);
+        // later, half-amplitude peaks at x0 ± cs t
+        let t = 20.0;
+        let right = acoustic_pulse_rho(x0 + cs * t, t, x0, amp, sigma, cs, rho0);
+        assert!((right - rho0 - 0.5 * amp).abs() < 1e-6);
+    }
+}

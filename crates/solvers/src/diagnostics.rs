@@ -1,0 +1,336 @@
+//! Diagnostics: conserved quantities, error norms, probes and spectra.
+
+use subsonic_grid::{Array2, Cell, Geometry2};
+
+/// Total mass, x-momentum and y-momentum over the fluid (non-wall) nodes of
+/// gathered global fields.
+pub fn totals_2d(
+    rho: &Array2<f64>,
+    vx: &Array2<f64>,
+    vy: &Array2<f64>,
+    geom: &Geometry2,
+) -> (f64, f64, f64) {
+    let mut mass = 0.0;
+    let mut px = 0.0;
+    let mut py = 0.0;
+    for y in 0..rho.ny() {
+        for x in 0..rho.nx() {
+            if geom.at(x, y).is_wall() {
+                continue;
+            }
+            let r = rho[(x, y)];
+            mass += r;
+            px += r * vx[(x, y)];
+            py += r * vy[(x, y)];
+        }
+    }
+    (mass, px, py)
+}
+
+/// L2 and L∞ norms of the difference between a gathered field and a
+/// reference function, over fluid nodes only.
+pub fn error_norms_2d(
+    field: &Array2<f64>,
+    geom: &Geometry2,
+    reference: impl Fn(usize, usize) -> f64,
+) -> (f64, f64) {
+    let mut sum2 = 0.0;
+    let mut linf: f64 = 0.0;
+    let mut n = 0usize;
+    for y in 0..field.ny() {
+        for x in 0..field.nx() {
+            if geom.at(x, y) != Cell::Fluid {
+                continue;
+            }
+            let e = field[(x, y)] - reference(x, y);
+            sum2 += e * e;
+            linf = linf.max(e.abs());
+            n += 1;
+        }
+    }
+    ((sum2 / n.max(1) as f64).sqrt(), linf)
+}
+
+/// Vorticity (curl of velocity) of gathered 2D fields, centred differences;
+/// zero on and next to non-fluid nodes. Used for the equi-vorticity plots of
+/// Figures 1–2.
+pub fn vorticity_2d(vx: &Array2<f64>, vy: &Array2<f64>, geom: &Geometry2, dx: f64) -> Array2<f64> {
+    let (nx, ny) = (vx.nx(), vx.ny());
+    let mut w = Array2::new(nx, ny, 0.0f64);
+    for y in 1..ny - 1 {
+        for x in 1..nx - 1 {
+            let fluid = geom.at(x, y).is_fluid()
+                && geom.at(x + 1, y).is_fluid()
+                && geom.at(x - 1, y).is_fluid()
+                && geom.at(x, y + 1).is_fluid()
+                && geom.at(x, y - 1).is_fluid();
+            if fluid {
+                let dvy_dx = (vy[(x + 1, y)] - vy[(x - 1, y)]) / (2.0 * dx);
+                let dvx_dy = (vx[(x, y + 1)] - vx[(x, y - 1)]) / (2.0 * dx);
+                w[(x, y)] = dvy_dx - dvx_dy;
+            }
+        }
+    }
+    w
+}
+
+/// Renders a field as coarse ASCII art (for terminal snapshots of the
+/// flue-pipe simulations). Walls print as `#`, inlets as `>`, outlets as `o`;
+/// fluid prints a character from `levels` scaled between −`scale` and
+/// +`scale`.
+pub fn ascii_field(
+    field: &Array2<f64>,
+    geom: &Geometry2,
+    cols: usize,
+    rows: usize,
+    scale: f64,
+) -> String {
+    const LEVELS: &[u8] = b" .:-=+*%@";
+    let (nx, ny) = (field.nx(), field.ny());
+    let mut out = String::with_capacity((cols + 1) * rows);
+    for r in 0..rows {
+        // render top row of the picture first (large y at the top)
+        let y = ((rows - 1 - r) * ny) / rows + ny / (2 * rows).max(1);
+        let y = y.min(ny - 1);
+        for c in 0..cols {
+            let x = (c * nx) / cols + nx / (2 * cols).max(1);
+            let x = x.min(nx - 1);
+            let ch = match geom.at(x, y) {
+                Cell::Wall => '#',
+                Cell::Inlet => '>',
+                Cell::Outlet => 'o',
+                Cell::Fluid => {
+                    let v = field[(x, y)];
+                    let t = ((v / scale).clamp(-1.0, 1.0) + 1.0) / 2.0;
+                    let idx = (t * (LEVELS.len() - 1) as f64).round() as usize;
+                    LEVELS[idx] as char
+                }
+            };
+            out.push(ch);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a field as a binary PGM (grey-map) image, the equi-value plots of
+/// the paper's Figures 1–2. Fluid values map `−scale..+scale` onto black..
+/// white; walls render dark grey, inlets white, outlets light grey.
+pub fn write_pgm(
+    field: &Array2<f64>,
+    geom: &Geometry2,
+    scale: f64,
+    path: &std::path::Path,
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let (nx, ny) = (field.nx(), field.ny());
+    let mut buf = Vec::with_capacity(nx * ny + 32);
+    // PGM renders top row first; our y axis points up
+    write!(buf, "P5\n{nx} {ny}\n255\n")?;
+    for y in (0..ny).rev() {
+        for x in 0..nx {
+            let px = match geom.at(x, y) {
+                Cell::Wall => 40u8,
+                Cell::Inlet => 255,
+                Cell::Outlet => 200,
+                Cell::Fluid => {
+                    let t = ((field[(x, y)] / scale).clamp(-1.0, 1.0) + 1.0) / 2.0;
+                    (t * 255.0) as u8
+                }
+            };
+            buf.push(px);
+        }
+    }
+    std::fs::write(path, buf)
+}
+
+/// A probe time series (e.g. transverse jet velocity near the labium).
+#[derive(Debug, Clone, Default)]
+pub struct ProbeSeries {
+    /// Sample interval in simulated seconds.
+    pub dt: f64,
+    /// The recorded samples.
+    pub samples: Vec<f64>,
+}
+
+impl ProbeSeries {
+    /// Creates an empty series with the given sampling interval.
+    pub fn new(dt: f64) -> Self {
+        Self { dt, samples: Vec::new() }
+    }
+
+    /// Records one sample.
+    pub fn push(&mut self, v: f64) {
+        self.samples.push(v);
+    }
+
+    /// Mean of the samples.
+    pub fn mean(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Dominant frequency (Hz in simulated time) via a direct DFT scan of the
+    /// mean-removed series, skipping the DC bin. Returns `None` for series
+    /// shorter than 8 samples.
+    pub fn dominant_frequency(&self) -> Option<f64> {
+        let n = self.samples.len();
+        if n < 8 {
+            return None;
+        }
+        let mean = self.mean();
+        let mut best = (0usize, 0.0f64);
+        // DFT bins k = 1 .. n/2
+        for k in 1..=(n / 2) {
+            let w = 2.0 * std::f64::consts::PI * k as f64 / n as f64;
+            let (mut re, mut im) = (0.0, 0.0);
+            for (idx, &s) in self.samples.iter().enumerate() {
+                let v = s - mean;
+                let ph = w * idx as f64;
+                re += v * ph.cos();
+                im -= v * ph.sin();
+            }
+            let mag = re * re + im * im;
+            if mag > best.1 {
+                best = (k, mag);
+            }
+        }
+        if best.1 == 0.0 {
+            return None;
+        }
+        Some(best.0 as f64 / (n as f64 * self.dt))
+    }
+
+    /// RMS amplitude of the mean-removed series.
+    pub fn rms(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self
+            .samples
+            .iter()
+            .map(|s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / self.samples.len() as f64)
+            .sqrt()
+    }
+}
+
+/// Fits `log(err) ~ p log(h) + c` by least squares and returns the order `p`.
+/// Used by the convergence experiment (expects `p ≈ 2` for both methods).
+pub fn convergence_order(resolutions: &[f64], errors: &[f64]) -> f64 {
+    assert_eq!(resolutions.len(), errors.len());
+    assert!(resolutions.len() >= 2);
+    let n = resolutions.len() as f64;
+    let xs: Vec<f64> = resolutions.iter().map(|h| h.ln()).collect();
+    let ys: Vec<f64> = errors.iter().map(|e| e.max(1e-300).ln()).collect();
+    let sx: f64 = xs.iter().sum();
+    let sy: f64 = ys.iter().sum();
+    let sxx: f64 = xs.iter().map(|x| x * x).sum();
+    let sxy: f64 = xs.iter().zip(&ys).map(|(x, y)| x * y).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_skip_walls() {
+        let geom = Geometry2::channel(4, 3, 1);
+        let rho = Array2::new(4, 3, 2.0f64);
+        let vx = Array2::new(4, 3, 1.0f64);
+        let vy = Array2::new(4, 3, 0.0f64);
+        let (m, px, py) = totals_2d(&rho, &vx, &vy, &geom);
+        // only the middle row (4 nodes) is fluid
+        assert_eq!(m, 8.0);
+        assert_eq!(px, 8.0);
+        assert_eq!(py, 0.0);
+    }
+
+    #[test]
+    fn error_norms_detect_exact_match() {
+        let geom = Geometry2::open(5, 5, true, true);
+        let f = Array2::from_fn(5, 5, |x, y| (x + y) as f64);
+        let (l2, linf) = error_norms_2d(&f, &geom, |x, y| (x + y) as f64);
+        assert_eq!(l2, 0.0);
+        assert_eq!(linf, 0.0);
+        let (l2, linf) = error_norms_2d(&f, &geom, |x, y| (x + y) as f64 + 1.0);
+        assert!((l2 - 1.0).abs() < 1e-14);
+        assert!((linf - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn vorticity_of_rigid_rotation_is_constant() {
+        // v = Omega x r => vorticity = 2*Omega
+        let n = 16;
+        let geom = Geometry2::open(n, n, false, false);
+        let omega = 0.3;
+        let c = (n as f64 - 1.0) / 2.0;
+        let vx = Array2::from_fn(n, n, |_x, y| -omega * (y as f64 - c));
+        let vy = Array2::from_fn(n, n, |x, _y| omega * (x as f64 - c));
+        let w = vorticity_2d(&vx, &vy, &geom, 1.0);
+        assert!((w[(8, 8)] - 2.0 * omega).abs() < 1e-12);
+        assert!((w[(3, 11)] - 2.0 * omega).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_finds_sine_frequency() {
+        let mut p = ProbeSeries::new(0.01);
+        let f0 = 7.0; // Hz
+        for i in 0..400 {
+            let t = i as f64 * 0.01;
+            p.push(3.0 + 0.5 * (2.0 * std::f64::consts::PI * f0 * t).sin());
+        }
+        let f = p.dominant_frequency().unwrap();
+        assert!((f - f0).abs() < 0.3, "estimated {f} Hz");
+    }
+
+    #[test]
+    fn probe_rms_of_sine() {
+        let mut p = ProbeSeries::new(1.0);
+        for i in 0..1000 {
+            p.push((i as f64 * 0.37).sin());
+        }
+        assert!((p.rms() - 1.0 / 2.0f64.sqrt()).abs() < 0.05);
+    }
+
+    #[test]
+    fn convergence_order_of_quadratic_data() {
+        let hs = [0.1, 0.05, 0.025, 0.0125];
+        let errs: Vec<f64> = hs.iter().map(|h| 3.0 * h * h).collect();
+        let p = convergence_order(&hs, &errs);
+        assert!((p - 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn pgm_writer_produces_valid_header_and_size() {
+        let geom = Geometry2::channel(12, 8, 1);
+        let f = Array2::from_fn(12, 8, |x, _| x as f64 * 0.1);
+        let path = std::env::temp_dir().join("subsonic_pgm_test.pgm");
+        write_pgm(&f, &geom, 1.0, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        assert!(bytes.starts_with(b"P5\n12 8\n255\n"));
+        assert_eq!(bytes.len(), b"P5\n12 8\n255\n".len() + 12 * 8);
+        // first row written is the top of the picture: a wall row (40)
+        let data = &bytes[b"P5\n12 8\n255\n".len()..];
+        assert!(data[..12].iter().all(|&b| b == 40));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn ascii_render_shape() {
+        let geom = Geometry2::channel(20, 10, 2);
+        let f = Array2::new(20, 10, 0.0f64);
+        let s = ascii_field(&f, &geom, 10, 5, 1.0);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines.iter().all(|l| l.len() == 10));
+        // top and bottom rows are wall
+        assert!(lines[0].chars().all(|c| c == '#'));
+        assert!(lines[4].chars().all(|c| c == '#'));
+    }
+}

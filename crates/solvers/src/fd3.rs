@@ -1,0 +1,389 @@
+//! Explicit finite differences in 3D (adds the Vz equation, section 6).
+//!
+//! Identical structure to [`crate::fd2`]: velocities first, then density from
+//! the new velocities, then the filter; two messages per neighbour per step
+//! carrying 4 field values per boundary node (Vx, Vy, Vz then ρ) — the
+//! paper's 3D FD communication count.
+
+use crate::fields::{Macro3, TileState3};
+use crate::filter::filter_field3;
+use crate::init::InitialState3;
+use crate::params::{FluidParams, MethodKind};
+use crate::plan::StepOp;
+use crate::solver::Solver3;
+use subsonic_grid::halo::{message_len3, pack3, unpack3};
+use subsonic_grid::{Cell, Face3, PaddedGrid3};
+
+/// Ghost-layer width required by the 3D FD scheme.
+pub const FD3_HALO: usize = 4;
+
+static PLAN: [StepOp; 5] = [
+    StepOp::Compute(0),
+    StepOp::Exchange(0),
+    StepOp::Compute(1),
+    StepOp::Exchange(1),
+    StepOp::Compute(2),
+];
+
+/// The 3D explicit finite-difference method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FiniteDifference3;
+
+const NBR6: [(isize, isize, isize); 6] = [
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+];
+
+impl FiniteDifference3 {
+    fn wall_rho(&self, t: &mut TileState3) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        for k in -1..(nz + 1) {
+            for j in -1..(ny + 1) {
+                for i in -1..(nx + 1) {
+                    if !t.mask[(i, j, k)].is_wall() {
+                        continue;
+                    }
+                    let mut sum = 0.0;
+                    let mut n = 0u32;
+                    for (di, dj, dk) in NBR6 {
+                        if t.mask[(i + di, j + dj, k + dk)].is_fluid() {
+                            sum += t.mac.rho[(i + di, j + dj, k + dk)];
+                            n += 1;
+                        }
+                    }
+                    if n > 0 {
+                        t.mac.rho[(i, j, k)] = sum / n as f64;
+                    }
+                }
+            }
+        }
+    }
+
+    fn calc_velocity(&self, t: &mut TileState3) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        let p = t.params;
+        let inv2dx = 1.0 / (2.0 * p.dx);
+        let invdx2 = 1.0 / (p.dx * p.dx);
+        let cs2 = p.cs * p.cs;
+        let g = p.body_force;
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !t.mask[(i, j, k)].is_fluid() {
+                        t.mac_new.vx[(i, j, k)] = t.mac.vx[(i, j, k)];
+                        t.mac_new.vy[(i, j, k)] = t.mac.vy[(i, j, k)];
+                        t.mac_new.vz[(i, j, k)] = t.mac.vz[(i, j, k)];
+                        continue;
+                    }
+                    let v = [
+                        t.mac.vx[(i, j, k)],
+                        t.mac.vy[(i, j, k)],
+                        t.mac.vz[(i, j, k)],
+                    ];
+                    let rho = t.mac.rho[(i, j, k)];
+                    // gradients of each velocity component and of rho
+                    let fields: [&PaddedGrid3<f64>; 4] =
+                        [&t.mac.vx, &t.mac.vy, &t.mac.vz, &t.mac.rho];
+                    let mut grad = [[0.0f64; 3]; 4]; // [field][axis]
+                    let mut lap = [0.0f64; 3];
+                    for (fi, fld) in fields.iter().enumerate() {
+                        let e = fld[(i + 1, j, k)];
+                        let w = fld[(i - 1, j, k)];
+                        let n = fld[(i, j + 1, k)];
+                        let s = fld[(i, j - 1, k)];
+                        let u = fld[(i, j, k + 1)];
+                        let d = fld[(i, j, k - 1)];
+                        grad[fi] = [(e - w) * inv2dx, (n - s) * inv2dx, (u - d) * inv2dx];
+                        if fi < 3 {
+                            lap[fi] = (e + w + n + s + u + d - 6.0 * v[fi]) * invdx2;
+                        }
+                    }
+                    let out: [&mut PaddedGrid3<f64>; 3] = [
+                        &mut t.mac_new.vx,
+                        &mut t.mac_new.vy,
+                        &mut t.mac_new.vz,
+                    ];
+                    for (a, o) in out.into_iter().enumerate() {
+                        let adv =
+                            v[0] * grad[a][0] + v[1] * grad[a][1] + v[2] * grad[a][2];
+                        o[(i, j, k)] = v[a]
+                            + p.dt * (-adv - cs2 / rho * grad[3][a] + p.nu * lap[a] + g[a]);
+                    }
+                }
+            }
+        }
+    }
+
+    fn calc_density(&self, t: &mut TileState3) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        let p = t.params;
+        let inv2dx = 1.0 / (2.0 * p.dx);
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !t.mask[(i, j, k)].is_fluid() {
+                        t.mac_new.rho[(i, j, k)] = t.mac.rho[(i, j, k)];
+                        continue;
+                    }
+                    let fx = (t.mac.rho[(i + 1, j, k)] * t.mac_new.vx[(i + 1, j, k)]
+                        - t.mac.rho[(i - 1, j, k)] * t.mac_new.vx[(i - 1, j, k)])
+                        * inv2dx;
+                    let fy = (t.mac.rho[(i, j + 1, k)] * t.mac_new.vy[(i, j + 1, k)]
+                        - t.mac.rho[(i, j - 1, k)] * t.mac_new.vy[(i, j - 1, k)])
+                        * inv2dx;
+                    let fz = (t.mac.rho[(i, j, k + 1)] * t.mac_new.vz[(i, j, k + 1)]
+                        - t.mac.rho[(i, j, k - 1)] * t.mac_new.vz[(i, j, k - 1)])
+                        * inv2dx;
+                    t.mac_new.rho[(i, j, k)] = t.mac.rho[(i, j, k)] - p.dt * (fx + fy + fz);
+                }
+            }
+        }
+    }
+
+    fn apply_bcs(&self, t: &mut TileState3) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        let p = t.params;
+        for k in -2..(nz + 2) {
+            for j in -2..(ny + 2) {
+                for i in -2..(nx + 2) {
+                    match t.mask[(i, j, k)] {
+                        Cell::Fluid => {}
+                        Cell::Wall => {
+                            t.mac_new.vx[(i, j, k)] = 0.0;
+                            t.mac_new.vy[(i, j, k)] = 0.0;
+                            t.mac_new.vz[(i, j, k)] = 0.0;
+                        }
+                        Cell::Inlet => {
+                            t.mac_new.vx[(i, j, k)] = p.inlet_velocity[0];
+                            t.mac_new.vy[(i, j, k)] = p.inlet_velocity[1];
+                            t.mac_new.vz[(i, j, k)] = p.inlet_velocity[2];
+                            t.mac_new.rho[(i, j, k)] = p.rho0;
+                        }
+                        Cell::Outlet => {
+                            t.mac_new.rho[(i, j, k)] = p.rho0;
+                            let mut s = [0.0f64; 3];
+                            let mut n = 0u32;
+                            for (di, dj, dk) in NBR6 {
+                                if t.mask[(i + di, j + dj, k + dk)].is_fluid() {
+                                    s[0] += t.mac_new.vx[(i + di, j + dj, k + dk)];
+                                    s[1] += t.mac_new.vy[(i + di, j + dj, k + dk)];
+                                    s[2] += t.mac_new.vz[(i + di, j + dj, k + dk)];
+                                    n += 1;
+                                }
+                            }
+                            if n > 0 {
+                                t.mac_new.vx[(i, j, k)] = s[0] / n as f64;
+                                t.mac_new.vy[(i, j, k)] = s[1] / n as f64;
+                                t.mac_new.vz[(i, j, k)] = s[2] / n as f64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Solver3 for FiniteDifference3 {
+    fn kind(&self) -> MethodKind {
+        MethodKind::FiniteDifference
+    }
+
+    fn halo(&self) -> usize {
+        FD3_HALO
+    }
+
+    fn plan(&self) -> &'static [StepOp] {
+        &PLAN
+    }
+
+    fn compute(&self, t: &mut TileState3, phase: usize) {
+        match phase {
+            0 => {
+                self.wall_rho(t);
+                self.calc_velocity(t);
+            }
+            1 => self.calc_density(t),
+            2 => {
+                self.apply_bcs(t);
+                let eps = t.params.filter_eps;
+                if eps != 0.0 {
+                    let TileState3 { mac_new, scratch, mask, .. } = t;
+                    let (sx, rest) = scratch.split_at_mut(1);
+                    let sx = &mut sx[0];
+                    let sy = &mut rest[0];
+                    filter_field3(&mut mac_new.rho, sx, sy, mask, eps, 2);
+                    filter_field3(&mut mac_new.vx, sx, sy, mask, eps, 2);
+                    filter_field3(&mut mac_new.vy, sx, sy, mask, eps, 2);
+                    filter_field3(&mut mac_new.vz, sx, sy, mask, eps, 2);
+                }
+                std::mem::swap(&mut t.mac, &mut t.mac_new);
+                t.step += 1;
+            }
+            _ => unreachable!("FD3 has 3 compute phases"),
+        }
+    }
+
+    fn pack(&self, t: &TileState3, xch: usize, face: Face3, out: &mut Vec<f64>) {
+        let w = FD3_HALO;
+        match xch {
+            0 => {
+                pack3(&t.mac_new.vx, face, w, out);
+                pack3(&t.mac_new.vy, face, w, out);
+                pack3(&t.mac_new.vz, face, w, out);
+            }
+            1 => pack3(&t.mac_new.rho, face, w, out),
+            _ => unreachable!("FD3 has 2 exchanges"),
+        }
+    }
+
+    fn unpack(&self, t: &mut TileState3, xch: usize, face: Face3, data: &[f64]) {
+        let w = FD3_HALO;
+        match xch {
+            0 => {
+                let mut at = unpack3(&mut t.mac_new.vx, face, w, data);
+                at += unpack3(&mut t.mac_new.vy, face, w, &data[at..]);
+                unpack3(&mut t.mac_new.vz, face, w, &data[at..]);
+            }
+            1 => {
+                unpack3(&mut t.mac_new.rho, face, w, data);
+            }
+            _ => unreachable!("FD3 has 2 exchanges"),
+        }
+    }
+
+    fn message_doubles(&self, t: &TileState3, xch: usize, face: Face3) -> usize {
+        let per_field = message_len3(t.nx(), t.ny(), t.nz(), face, FD3_HALO);
+        match xch {
+            0 => 3 * per_field,
+            1 => per_field,
+            _ => unreachable!(),
+        }
+    }
+
+    fn make_tile(
+        &self,
+        mask: PaddedGrid3<Cell>,
+        params: FluidParams,
+        offset: (usize, usize, usize),
+        init: &InitialState3,
+    ) -> TileState3 {
+        assert!(mask.halo() >= FD3_HALO, "tile mask halo too small for FD3");
+        let (nx, ny, nz, h) = (mask.nx(), mask.ny(), mask.nz(), mask.halo());
+        let mut mac = Macro3::uniform(nx, ny, nz, h, params.rho0);
+        let hi = h as isize;
+        for k in -hi..(nz as isize + hi) {
+            for j in -hi..(ny as isize + hi) {
+                for i in -hi..(nx as isize + hi) {
+                    if mask[(i, j, k)].is_wall() {
+                        continue;
+                    }
+                    let (r, vx, vy, vz) = init.at(i, j, k);
+                    mac.rho[(i, j, k)] = r;
+                    mac.vx[(i, j, k)] = vx;
+                    mac.vy[(i, j, k)] = vy;
+                    mac.vz[(i, j, k)] = vz;
+                }
+            }
+        }
+        let mac_new = mac.clone();
+        let scratch = vec![
+            PaddedGrid3::new(nx, ny, nz, h, 0.0f64),
+            PaddedGrid3::new(nx, ny, nz, h, 0.0f64),
+        ];
+        TileState3 {
+            mac,
+            mac_new,
+            f: Vec::new(),
+            f_tmp: Vec::new(),
+            mask,
+            scratch,
+            params,
+            offset,
+            step: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_serial(solver: &FiniteDifference3, t: &mut TileState3, wrap_x: bool) {
+        for op in solver.plan() {
+            match *op {
+                StepOp::Compute(k) => solver.compute(t, k),
+                StepOp::Exchange(x) => {
+                    if wrap_x {
+                        for face in [Face3::West, Face3::East] {
+                            let mut buf = Vec::new();
+                            solver.pack(t, x, face.opposite(), &mut buf);
+                            solver.unpack(t, x, face, &buf);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn duct_tile(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        params: FluidParams,
+    ) -> (FiniteDifference3, TileState3) {
+        let geom = subsonic_grid::Geometry3::duct(nx, ny, nz, 2);
+        let d =
+            subsonic_grid::Decomp3::with_periodicity(nx, ny, nz, 1, 1, 1, [true, false, false]);
+        let mask = geom.tile_mask(&d, 0, FD3_HALO);
+        let solver = FiniteDifference3;
+        let init = InitialState3::uniform(params.rho0);
+        let tile = solver.make_tile(mask, params, (0, 0, 0), &init);
+        (solver, tile)
+    }
+
+    #[test]
+    fn uniform_rest_state_is_a_fixed_point() {
+        let params = FluidParams::lattice_units(0.05);
+        let (solver, mut t) = duct_tile(10, 9, 9, params);
+        for _ in 0..3 {
+            step_serial(&solver, &mut t, true);
+        }
+        assert!((t.mac.rho[(5, 4, 4)] - 1.0).abs() < 1e-13);
+        assert!(t.mac.vx[(5, 4, 4)].abs() < 1e-13);
+    }
+
+    #[test]
+    fn body_force_accelerates_duct_fluid() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let (solver, mut t) = duct_tile(10, 9, 9, params);
+        for _ in 0..20 {
+            step_serial(&solver, &mut t, true);
+        }
+        assert!(t.mac.vx[(5, 4, 4)] > 1e-6);
+        assert_eq!(t.mac.vx[(5, 0, 4)], 0.0, "wall slipped");
+    }
+
+    #[test]
+    fn fd3_message_counts_match_paper() {
+        // FD communicates 4 variables per fluid node in 3D: Vx,Vy,Vz then rho.
+        let params = FluidParams::lattice_units(0.05);
+        let (solver, t) = duct_tile(10, 9, 9, params);
+        let v = solver.message_doubles(&t, 0, Face3::East);
+        let r = solver.message_doubles(&t, 1, Face3::East);
+        assert_eq!(v / r, 3, "V message carries 3 fields, rho message 1");
+    }
+}

@@ -1,0 +1,175 @@
+//! Field storage for one subregion ("tile") of the decomposed problem.
+
+use crate::params::FluidParams;
+use serde::{Deserialize, Serialize};
+use subsonic_grid::{Cell, PaddedGrid2, PaddedGrid3};
+
+/// Macroscopic fields of a 2D tile: density and velocity components.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Macro2 {
+    /// Fluid density ρ.
+    pub rho: PaddedGrid2<f64>,
+    /// x-velocity Vx.
+    pub vx: PaddedGrid2<f64>,
+    /// y-velocity Vy.
+    pub vy: PaddedGrid2<f64>,
+}
+
+impl Macro2 {
+    /// Uniform state at rest with density `rho0`.
+    pub fn uniform(nx: usize, ny: usize, halo: usize, rho0: f64) -> Self {
+        Self {
+            rho: PaddedGrid2::new(nx, ny, halo, rho0),
+            vx: PaddedGrid2::new(nx, ny, halo, 0.0),
+            vy: PaddedGrid2::new(nx, ny, halo, 0.0),
+        }
+    }
+}
+
+/// Macroscopic fields of a 3D tile.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Macro3 {
+    /// Fluid density ρ.
+    pub rho: PaddedGrid3<f64>,
+    /// x-velocity Vx.
+    pub vx: PaddedGrid3<f64>,
+    /// y-velocity Vy.
+    pub vy: PaddedGrid3<f64>,
+    /// z-velocity Vz.
+    pub vz: PaddedGrid3<f64>,
+}
+
+impl Macro3 {
+    /// Uniform state at rest with density `rho0`.
+    pub fn uniform(nx: usize, ny: usize, nz: usize, halo: usize, rho0: f64) -> Self {
+        Self {
+            rho: PaddedGrid3::new(nx, ny, nz, halo, rho0),
+            vx: PaddedGrid3::new(nx, ny, nz, halo, 0.0),
+            vy: PaddedGrid3::new(nx, ny, nz, halo, 0.0),
+            vz: PaddedGrid3::new(nx, ny, nz, halo, 0.0),
+        }
+    }
+}
+
+/// The full state of one 2D subregion: fields, geometry, scratch buffers.
+///
+/// A tile knows its own interior size, its global offset inside the problem
+/// (for initial conditions and gathering), and carries everything a parallel
+/// subprocess needs — this is exactly the content of the paper's "dump files"
+/// ("these files contain all the information that is needed by a workstation
+/// to participate in a distributed computation", section 4.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TileState2 {
+    /// Current macroscopic fields.
+    pub mac: Macro2,
+    /// Next-step macroscopic fields (finite-difference double buffer; also
+    /// reused as filter output).
+    pub mac_new: Macro2,
+    /// Lattice Boltzmann populations, one padded grid per velocity
+    /// (empty for finite differences).
+    pub f: Vec<PaddedGrid2<f64>>,
+    /// Post-shift population buffer (empty for finite differences).
+    pub f_tmp: Vec<PaddedGrid2<f64>>,
+    /// Padded geometry mask (ghosts carry the *global* geometry).
+    pub mask: PaddedGrid2<Cell>,
+    /// Two scratch fields for the per-axis filter passes.
+    pub scratch: Vec<PaddedGrid2<f64>>,
+    /// Solver parameters.
+    pub params: FluidParams,
+    /// Global offset of this tile's interior node (0,0).
+    pub offset: (usize, usize),
+    /// Completed integration steps.
+    pub step: u64,
+}
+
+impl TileState2 {
+    /// Interior width.
+    pub fn nx(&self) -> usize {
+        self.mac.rho.nx()
+    }
+
+    /// Interior height.
+    pub fn ny(&self) -> usize {
+        self.mac.rho.ny()
+    }
+
+    /// Ghost-layer width.
+    pub fn halo(&self) -> usize {
+        self.mac.rho.halo()
+    }
+
+    /// Interior node count (the `N` of the efficiency model).
+    pub fn nodes(&self) -> usize {
+        self.nx() * self.ny()
+    }
+}
+
+/// The full state of one 3D subregion.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TileState3 {
+    /// Current macroscopic fields.
+    pub mac: Macro3,
+    /// Next-step macroscopic fields (FD double buffer / filter output).
+    pub mac_new: Macro3,
+    /// Lattice Boltzmann populations (empty for finite differences).
+    pub f: Vec<PaddedGrid3<f64>>,
+    /// Post-shift population buffer (empty for finite differences).
+    pub f_tmp: Vec<PaddedGrid3<f64>>,
+    /// Padded geometry mask.
+    pub mask: PaddedGrid3<Cell>,
+    /// Scratch fields for the per-axis filter passes.
+    pub scratch: Vec<PaddedGrid3<f64>>,
+    /// Solver parameters.
+    pub params: FluidParams,
+    /// Global offset of this tile's interior node (0,0,0).
+    pub offset: (usize, usize, usize),
+    /// Completed integration steps.
+    pub step: u64,
+}
+
+impl TileState3 {
+    /// Interior extent along x.
+    pub fn nx(&self) -> usize {
+        self.mac.rho.nx()
+    }
+
+    /// Interior extent along y.
+    pub fn ny(&self) -> usize {
+        self.mac.rho.ny()
+    }
+
+    /// Interior extent along z.
+    pub fn nz(&self) -> usize {
+        self.mac.rho.nz()
+    }
+
+    /// Ghost-layer width.
+    pub fn halo(&self) -> usize {
+        self.mac.rho.halo()
+    }
+
+    /// Interior node count.
+    pub fn nodes(&self) -> usize {
+        self.nx() * self.ny() * self.nz()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_macro_is_at_rest() {
+        let m = Macro2::uniform(5, 4, 2, 1.25);
+        assert_eq!(m.rho[(0, 0)], 1.25);
+        assert_eq!(m.vx[(2, 3)], 0.0);
+        assert_eq!(m.rho[(-2, -2)], 1.25);
+    }
+
+    #[test]
+    fn uniform_macro3() {
+        let m = Macro3::uniform(3, 4, 5, 1, 0.5);
+        assert_eq!(m.rho[(2, 3, 4)], 0.5);
+        assert_eq!(m.vz[(0, 0, 0)], 0.0);
+    }
+}

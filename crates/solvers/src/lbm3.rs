@@ -1,0 +1,405 @@
+//! The lattice Boltzmann method in 3D (D3Q15, BGK relaxation).
+//!
+//! Mirrors [`crate::lbm2`]; one message per neighbour per step. Of the 15
+//! populations, 5 cross a given face per boundary node — the "5 variables per
+//! fluid node" of the paper's 3D communication accounting (end of section 6),
+//! the origin of the 5/6 factor in its eq. (21).
+
+use crate::fields::{Macro3, TileState3};
+use crate::filter::filter_field3;
+use crate::init::InitialState3;
+use crate::params::{FluidParams, MethodKind};
+use crate::plan::StepOp;
+use crate::qlattice::{feq3, E3, OPP3, Q3};
+use crate::solver::Solver3;
+use subsonic_grid::halo::{message_len3, pack3, unpack3};
+use subsonic_grid::{Cell, Face3, PaddedGrid3};
+
+/// Ghost-layer width required by the 3D LB scheme.
+pub const LBM3_HALO: usize = 3;
+
+static PLAN: [StepOp; 4] = [
+    StepOp::Exchange(0),
+    StepOp::Compute(0),
+    StepOp::Compute(1),
+    StepOp::Compute(2),
+];
+
+/// The 3D lattice Boltzmann method.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatticeBoltzmann3;
+
+impl LatticeBoltzmann3 {
+    fn relax(&self, t: &mut TileState3) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        let p = t.params;
+        let tau = p.lbm_tau();
+        let inv_tau = 1.0 / tau;
+        let a = [
+            p.accel_to_lattice(p.body_force[0]),
+            p.accel_to_lattice(p.body_force[1]),
+            p.accel_to_lattice(p.body_force[2]),
+        ];
+        let uin = [
+            p.velocity_to_lattice(p.inlet_velocity[0]),
+            p.velocity_to_lattice(p.inlet_velocity[1]),
+            p.velocity_to_lattice(p.inlet_velocity[2]),
+        ];
+        for k in -3..(nz + 3) {
+            for j in -3..(ny + 3) {
+                for i in -3..(nx + 3) {
+                    match t.mask[(i, j, k)] {
+                        Cell::Fluid => {
+                            let mut rho = 0.0;
+                            let mut m = [0.0f64; 3];
+                            for q in 0..Q3 {
+                                let f = t.f[q][(i, j, k)];
+                                rho += f;
+                                m[0] += f * E3[q].0 as f64;
+                                m[1] += f * E3[q].1 as f64;
+                                m[2] += f * E3[q].2 as f64;
+                            }
+                            let ux = m[0] / rho + tau * a[0];
+                            let uy = m[1] / rho + tau * a[1];
+                            let uz = m[2] / rho + tau * a[2];
+                            for q in 0..Q3 {
+                                let f = t.f[q][(i, j, k)];
+                                t.f[q][(i, j, k)] =
+                                    f + (feq3(q, rho, ux, uy, uz) - f) * inv_tau;
+                            }
+                        }
+                        Cell::Inlet => {
+                            for q in 0..Q3 {
+                                t.f[q][(i, j, k)] = feq3(q, p.rho0, uin[0], uin[1], uin[2]);
+                            }
+                        }
+                        Cell::Outlet => {
+                            let mut rho = 0.0;
+                            let mut m = [0.0f64; 3];
+                            for q in 0..Q3 {
+                                let f = t.f[q][(i, j, k)];
+                                rho += f;
+                                m[0] += f * E3[q].0 as f64;
+                                m[1] += f * E3[q].1 as f64;
+                                m[2] += f * E3[q].2 as f64;
+                            }
+                            let (ux, uy, uz) = (m[0] / rho, m[1] / rho, m[2] / rho);
+                            for q in 0..Q3 {
+                                t.f[q][(i, j, k)] = feq3(q, p.rho0, ux, uy, uz);
+                            }
+                        }
+                        Cell::Wall => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn shift(&self, t: &mut TileState3) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        for q in 0..Q3 {
+            let (ex, ey, ez) = E3[q];
+            for k in -2..(nz + 2) {
+                for j in -2..(ny + 2) {
+                    for i in -2..(nx + 2) {
+                        let v = if t.mask[(i, j, k)].is_wall() {
+                            t.f[q][(i, j, k)]
+                        } else {
+                            let (si, sj, sk) = (i - ex, j - ey, k - ez);
+                            if t.mask[(si, sj, sk)].is_wall() {
+                                t.f[OPP3[q]][(i, j, k)]
+                            } else {
+                                t.f[q][(si, sj, sk)]
+                            }
+                        };
+                        t.f_tmp[q][(i, j, k)] = v;
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut t.f, &mut t.f_tmp);
+    }
+
+    fn macroscopic(&self, t: &mut TileState3) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        let p = t.params;
+        let c = p.dx / p.dt;
+        let ha = [
+            0.5 * p.accel_to_lattice(p.body_force[0]),
+            0.5 * p.accel_to_lattice(p.body_force[1]),
+            0.5 * p.accel_to_lattice(p.body_force[2]),
+        ];
+        for k in -2..(nz + 2) {
+            for j in -2..(ny + 2) {
+                for i in -2..(nx + 2) {
+                    if t.mask[(i, j, k)].is_wall() {
+                        t.mac.rho[(i, j, k)] = p.rho0;
+                        t.mac.vx[(i, j, k)] = 0.0;
+                        t.mac.vy[(i, j, k)] = 0.0;
+                        t.mac.vz[(i, j, k)] = 0.0;
+                        continue;
+                    }
+                    let mut rho = 0.0;
+                    let mut m = [0.0f64; 3];
+                    for q in 0..Q3 {
+                        let f = t.f[q][(i, j, k)];
+                        rho += f;
+                        m[0] += f * E3[q].0 as f64;
+                        m[1] += f * E3[q].1 as f64;
+                        m[2] += f * E3[q].2 as f64;
+                    }
+                    t.mac.rho[(i, j, k)] = rho;
+                    t.mac.vx[(i, j, k)] = (m[0] / rho + ha[0]) * c;
+                    t.mac.vy[(i, j, k)] = (m[1] / rho + ha[1]) * c;
+                    t.mac.vz[(i, j, k)] = (m[2] / rho + ha[2]) * c;
+                }
+            }
+        }
+    }
+
+    fn filter_and_resynthesize(&self, t: &mut TileState3) {
+        let p = t.params;
+        {
+            // keep the raw macroscopic fields for the non-equilibrium split
+            let TileState3 { mac, mac_new, scratch, mask, .. } = t;
+            for (dst, src) in [
+                (&mut mac_new.rho, &mac.rho),
+                (&mut mac_new.vx, &mac.vx),
+                (&mut mac_new.vy, &mac.vy),
+                (&mut mac_new.vz, &mac.vz),
+            ] {
+                let nz = src.nz() as isize;
+                let ny = src.ny() as isize;
+                let nx = src.nx() as isize;
+                for k in 0..nz {
+                    for j in 0..ny {
+                        for i in 0..nx {
+                            dst[(i, j, k)] = src[(i, j, k)];
+                        }
+                    }
+                }
+            }
+            let (sx, rest) = scratch.split_at_mut(1);
+            let sx = &mut sx[0];
+            let sy = &mut rest[0];
+            filter_field3(&mut mac.rho, sx, sy, mask, p.filter_eps, 0);
+            filter_field3(&mut mac.vx, sx, sy, mask, p.filter_eps, 0);
+            filter_field3(&mut mac.vy, sx, sy, mask, p.filter_eps, 0);
+            filter_field3(&mut mac.vz, sx, sy, mask, p.filter_eps, 0);
+        }
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        let inv_c = p.dt / p.dx;
+        let ha = [
+            0.5 * p.accel_to_lattice(p.body_force[0]),
+            0.5 * p.accel_to_lattice(p.body_force[1]),
+            0.5 * p.accel_to_lattice(p.body_force[2]),
+        ];
+        for k in 0..nz {
+            for j in 0..ny {
+                for i in 0..nx {
+                    if !t.mask[(i, j, k)].is_fluid() {
+                        continue;
+                    }
+                    let rho_f = t.mac.rho[(i, j, k)];
+                    let uf = [
+                        t.mac.vx[(i, j, k)] * inv_c - ha[0],
+                        t.mac.vy[(i, j, k)] * inv_c - ha[1],
+                        t.mac.vz[(i, j, k)] * inv_c - ha[2],
+                    ];
+                    let rho_r = t.mac_new.rho[(i, j, k)];
+                    let ur = [
+                        t.mac_new.vx[(i, j, k)] * inv_c - ha[0],
+                        t.mac_new.vy[(i, j, k)] * inv_c - ha[1],
+                        t.mac_new.vz[(i, j, k)] * inv_c - ha[2],
+                    ];
+                    for q in 0..Q3 {
+                        let fneq = t.f[q][(i, j, k)] - feq3(q, rho_r, ur[0], ur[1], ur[2]);
+                        t.f[q][(i, j, k)] = feq3(q, rho_f, uf[0], uf[1], uf[2]) + fneq;
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Solver3 for LatticeBoltzmann3 {
+    fn kind(&self) -> MethodKind {
+        MethodKind::LatticeBoltzmann
+    }
+
+    fn halo(&self) -> usize {
+        LBM3_HALO
+    }
+
+    fn plan(&self) -> &'static [StepOp] {
+        &PLAN
+    }
+
+    fn compute(&self, t: &mut TileState3, phase: usize) {
+        match phase {
+            0 => {
+                self.relax(t);
+                self.shift(t);
+            }
+            1 => self.macroscopic(t),
+            2 => {
+                if t.params.filter_eps != 0.0 {
+                    self.filter_and_resynthesize(t);
+                }
+                t.step += 1;
+            }
+            _ => unreachable!("LBM3 has 3 compute phases"),
+        }
+    }
+
+    fn pack(&self, t: &TileState3, xch: usize, face: Face3, out: &mut Vec<f64>) {
+        assert_eq!(xch, 0, "LBM3 has a single exchange");
+        for q in 0..Q3 {
+            pack3(&t.f[q], face, LBM3_HALO, out);
+        }
+    }
+
+    fn unpack(&self, t: &mut TileState3, xch: usize, face: Face3, data: &[f64]) {
+        assert_eq!(xch, 0, "LBM3 has a single exchange");
+        let mut at = 0;
+        for q in 0..Q3 {
+            at += unpack3(&mut t.f[q], face, LBM3_HALO, &data[at..]);
+        }
+    }
+
+    fn message_doubles(&self, t: &TileState3, xch: usize, face: Face3) -> usize {
+        assert_eq!(xch, 0);
+        Q3 * message_len3(t.nx(), t.ny(), t.nz(), face, LBM3_HALO)
+    }
+
+    fn make_tile(
+        &self,
+        mask: PaddedGrid3<Cell>,
+        params: FluidParams,
+        offset: (usize, usize, usize),
+        init: &InitialState3,
+    ) -> TileState3 {
+        assert!(mask.halo() >= LBM3_HALO, "tile mask halo too small for LBM3");
+        let (nx, ny, nz, h) = (mask.nx(), mask.ny(), mask.nz(), mask.halo());
+        let mut mac = Macro3::uniform(nx, ny, nz, h, params.rho0);
+        let mut f: Vec<PaddedGrid3<f64>> =
+            (0..Q3).map(|_| PaddedGrid3::new(nx, ny, nz, h, 0.0)).collect();
+        let hi = h as isize;
+        let inv_c = params.dt / params.dx;
+        for k in -hi..(nz as isize + hi) {
+            for j in -hi..(ny as isize + hi) {
+                for i in -hi..(nx as isize + hi) {
+                    let (rho, vx, vy, vz) = if mask[(i, j, k)].is_wall() {
+                        (params.rho0, 0.0, 0.0, 0.0)
+                    } else {
+                        init.at(i, j, k)
+                    };
+                    mac.rho[(i, j, k)] = rho;
+                    mac.vx[(i, j, k)] = vx;
+                    mac.vy[(i, j, k)] = vy;
+                    mac.vz[(i, j, k)] = vz;
+                    let (ux, uy, uz) = (vx * inv_c, vy * inv_c, vz * inv_c);
+                    for (q, fq) in f.iter_mut().enumerate() {
+                        fq[(i, j, k)] = feq3(q, rho, ux, uy, uz);
+                    }
+                }
+            }
+        }
+        let f_tmp = f.clone();
+        let mac_new = mac.clone();
+        let scratch = vec![
+            PaddedGrid3::new(nx, ny, nz, h, 0.0f64),
+            PaddedGrid3::new(nx, ny, nz, h, 0.0f64),
+        ];
+        TileState3 {
+            mac,
+            mac_new,
+            f,
+            f_tmp,
+            mask,
+            scratch,
+            params,
+            offset,
+            step: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_serial(solver: &LatticeBoltzmann3, t: &mut TileState3, wrap_x: bool) {
+        for op in solver.plan() {
+            match *op {
+                StepOp::Compute(k) => solver.compute(t, k),
+                StepOp::Exchange(x) => {
+                    if wrap_x {
+                        for face in [Face3::West, Face3::East] {
+                            let mut buf = Vec::new();
+                            solver.pack(t, x, face.opposite(), &mut buf);
+                            solver.unpack(t, x, face, &buf);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn duct_tile(
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        params: FluidParams,
+    ) -> (LatticeBoltzmann3, TileState3) {
+        let geom = subsonic_grid::Geometry3::duct(nx, ny, nz, 2);
+        let d =
+            subsonic_grid::Decomp3::with_periodicity(nx, ny, nz, 1, 1, 1, [true, false, false]);
+        let mask = geom.tile_mask(&d, 0, LBM3_HALO);
+        let solver = LatticeBoltzmann3;
+        let init = InitialState3::uniform(params.rho0);
+        let tile = solver.make_tile(mask, params, (0, 0, 0), &init);
+        (solver, tile)
+    }
+
+    #[test]
+    fn uniform_rest_state_is_a_fixed_point() {
+        let params = FluidParams::lattice_units(0.05);
+        let (solver, mut t) = duct_tile(8, 9, 9, params);
+        for _ in 0..3 {
+            step_serial(&solver, &mut t, true);
+        }
+        assert!((t.mac.rho[(4, 4, 4)] - 1.0).abs() < 1e-12);
+        assert!(t.mac.vx[(4, 4, 4)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn body_force_accelerates_duct_fluid() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let (solver, mut t) = duct_tile(8, 9, 9, params);
+        for _ in 0..25 {
+            step_serial(&solver, &mut t, true);
+        }
+        assert!(t.mac.vx[(4, 4, 4)] > 1e-6, "fluid did not accelerate");
+        assert_eq!(t.mac.vx[(4, 0, 4)], 0.0, "wall moved");
+    }
+
+    #[test]
+    fn lbm3_message_is_q3_populations() {
+        let params = FluidParams::lattice_units(0.05);
+        let (solver, t) = duct_tile(8, 9, 9, params);
+        assert_eq!(
+            solver.message_doubles(&t, 0, Face3::East),
+            Q3 * LBM3_HALO * 9 * 9
+        );
+    }
+}

@@ -1,0 +1,207 @@
+//! Velocity sets and equilibrium distributions for the lattice Boltzmann
+//! method: D2Q9 in two dimensions, D3Q15 in three.
+//!
+//! The population counts match the communication accounting of the paper
+//! (end of section 6): of the D2Q9 set, **3** populations cross a given face
+//! per node; of the D3Q15 set, **5** populations cross a given face — "LB
+//! communicates 5 variables per fluid node in three dimensional problems ...
+//! In two dimensional problems, both methods communicate 3 variables per
+//! fluid node."
+
+/// Number of populations in the 2D lattice.
+pub const Q2: usize = 9;
+
+/// D2Q9 lattice velocities: rest, 4 axis, 4 diagonal.
+pub const E2: [(isize, isize); Q2] = [
+    (0, 0),
+    (1, 0),
+    (-1, 0),
+    (0, 1),
+    (0, -1),
+    (1, 1),
+    (-1, -1),
+    (-1, 1),
+    (1, -1),
+];
+
+/// D2Q9 weights.
+pub const W2: [f64; Q2] = [
+    4.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+    1.0 / 36.0,
+];
+
+/// Index of the opposite D2Q9 velocity (for bounce-back).
+pub const OPP2: [usize; Q2] = [0, 2, 1, 4, 3, 6, 5, 8, 7];
+
+/// Number of populations in the 3D lattice.
+pub const Q3: usize = 15;
+
+/// D3Q15 lattice velocities: rest, 6 axis, 8 cube-diagonal.
+pub const E3: [(isize, isize, isize); Q3] = [
+    (0, 0, 0),
+    (1, 0, 0),
+    (-1, 0, 0),
+    (0, 1, 0),
+    (0, -1, 0),
+    (0, 0, 1),
+    (0, 0, -1),
+    (1, 1, 1),
+    (-1, -1, -1),
+    (1, 1, -1),
+    (-1, -1, 1),
+    (1, -1, 1),
+    (-1, 1, -1),
+    (1, -1, -1),
+    (-1, 1, 1),
+];
+
+/// D3Q15 weights.
+pub const W3: [f64; Q3] = [
+    2.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 9.0,
+    1.0 / 72.0,
+    1.0 / 72.0,
+    1.0 / 72.0,
+    1.0 / 72.0,
+    1.0 / 72.0,
+    1.0 / 72.0,
+    1.0 / 72.0,
+    1.0 / 72.0,
+];
+
+/// Index of the opposite D3Q15 velocity.
+pub const OPP3: [usize; Q3] = [0, 2, 1, 4, 3, 6, 5, 8, 7, 10, 9, 12, 11, 14, 13];
+
+/// BGK equilibrium for the D2Q9 lattice at `(rho, ux, uy)` for population `q`.
+///
+/// `f_eq = w_q ρ (1 + 3 e·u + 9/2 (e·u)² − 3/2 u²)`, lattice units
+/// (`c_s² = 1/3`).
+#[inline(always)]
+pub fn feq2(q: usize, rho: f64, ux: f64, uy: f64) -> f64 {
+    let (ex, ey) = E2[q];
+    let eu = ex as f64 * ux + ey as f64 * uy;
+    let usq = ux * ux + uy * uy;
+    W2[q] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq)
+}
+
+/// BGK equilibrium for the D3Q15 lattice.
+#[inline(always)]
+pub fn feq3(q: usize, rho: f64, ux: f64, uy: f64, uz: f64) -> f64 {
+    let (ex, ey, ez) = E3[q];
+    let eu = ex as f64 * ux + ey as f64 * uy + ez as f64 * uz;
+    let usq = ux * ux + uy * uy + uz * uz;
+    W3[q] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq)
+}
+
+/// Number of D2Q9 populations with a positive component along a given axis —
+/// the populations that cross a face per node. Equals 3, the paper's 2D
+/// "variables per fluid node" for the lattice Boltzmann method.
+pub fn crossing_populations_2d() -> usize {
+    E2.iter().filter(|&&(ex, _)| ex > 0).count()
+}
+
+/// Number of D3Q15 populations with a positive component along a given axis.
+/// Equals 5, the paper's 3D "variables per fluid node".
+pub fn crossing_populations_3d() -> usize {
+    E3.iter().filter(|&&(ex, _, _)| ex > 0).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_sum_to_one() {
+        assert!((W2.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+        assert!((W3.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn opposites_negate_velocities() {
+        for q in 0..Q2 {
+            let (ex, ey) = E2[q];
+            let (ox, oy) = E2[OPP2[q]];
+            assert_eq!((ex, ey), (-ox, -oy));
+        }
+        for q in 0..Q3 {
+            let (ex, ey, ez) = E3[q];
+            let (ox, oy, oz) = E3[OPP3[q]];
+            assert_eq!((ex, ey, ez), (-ox, -oy, -oz));
+        }
+    }
+
+    #[test]
+    fn equilibrium_recovers_moments_2d() {
+        let (rho, ux, uy) = (1.1, 0.05, -0.03);
+        let mut m0 = 0.0;
+        let (mut mx, mut my) = (0.0, 0.0);
+        for q in 0..Q2 {
+            let f = feq2(q, rho, ux, uy);
+            m0 += f;
+            mx += f * E2[q].0 as f64;
+            my += f * E2[q].1 as f64;
+        }
+        assert!((m0 - rho).abs() < 1e-12);
+        assert!((mx - rho * ux).abs() < 1e-12);
+        assert!((my - rho * uy).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_recovers_moments_3d() {
+        let (rho, ux, uy, uz) = (0.9, 0.02, 0.04, -0.01);
+        let mut m0 = 0.0;
+        let (mut mx, mut my, mut mz) = (0.0, 0.0, 0.0);
+        for q in 0..Q3 {
+            let f = feq3(q, rho, ux, uy, uz);
+            m0 += f;
+            mx += f * E3[q].0 as f64;
+            my += f * E3[q].1 as f64;
+            mz += f * E3[q].2 as f64;
+        }
+        assert!((m0 - rho).abs() < 1e-12);
+        assert!((mx - rho * ux).abs() < 1e-12);
+        assert!((my - rho * uy).abs() < 1e-12);
+        assert!((mz - rho * uz).abs() < 1e-12);
+    }
+
+    #[test]
+    fn second_moment_is_isotropic_at_rest() {
+        // sum_q w_q e_a e_b = c_s^2 delta_ab with c_s^2 = 1/3
+        for (a, b) in [(0, 0), (0, 1), (1, 1)] {
+            let mut s = 0.0;
+            for q in 0..Q2 {
+                let e = [E2[q].0 as f64, E2[q].1 as f64];
+                s += W2[q] * e[a] * e[b];
+            }
+            let want = if a == b { 1.0 / 3.0 } else { 0.0 };
+            assert!((s - want).abs() < 1e-14, "2D second moment ({a},{b})");
+        }
+        for (a, b) in [(0, 0), (0, 1), (0, 2), (1, 1), (1, 2), (2, 2)] {
+            let mut s = 0.0;
+            for q in 0..Q3 {
+                let e = [E3[q].0 as f64, E3[q].1 as f64, E3[q].2 as f64];
+                s += W3[q] * e[a] * e[b];
+            }
+            let want = if a == b { 1.0 / 3.0 } else { 0.0 };
+            assert!((s - want).abs() < 1e-14, "3D second moment ({a},{b})");
+        }
+    }
+
+    #[test]
+    fn crossing_population_counts_match_paper() {
+        assert_eq!(crossing_populations_2d(), 3);
+        assert_eq!(crossing_populations_3d(), 5);
+    }
+}

@@ -1,0 +1,82 @@
+//! The solver interface executed by runners.
+//!
+//! A solver turns the paper's per-cycle structure into data: a [`StepOp`]
+//! plan, local compute phases, and pack/unpack routines for each exchange id.
+//! Runners (serial, threaded, or the discrete-event cluster simulation) never
+//! look inside a phase — they only schedule compute ops and move packed
+//! strips, which is exactly the modularity the paper attributes to padding:
+//! "the computation does not need to know anything about the communication of
+//! the boundary" (section 4.2).
+
+use crate::fields::{TileState2, TileState3};
+use crate::init::{InitialState2, InitialState3};
+use crate::params::{FluidParams, MethodKind};
+use crate::plan::StepOp;
+use subsonic_grid::{Cell, Face2, Face3, PaddedGrid2, PaddedGrid3};
+
+/// A 2D explicit method decomposed into compute phases and halo exchanges.
+pub trait Solver2: Send + Sync {
+    /// Which method this is (for reports).
+    fn kind(&self) -> MethodKind;
+
+    /// Ghost-layer width tiles must carry (also the exchange width).
+    fn halo(&self) -> usize;
+
+    /// The per-cycle plan.
+    fn plan(&self) -> &'static [StepOp];
+
+    /// Runs local compute phase `phase` on a tile.
+    fn compute(&self, t: &mut TileState2, phase: usize);
+
+    /// Packs the strip for exchange `xch` across the tile's own face `face`.
+    fn pack(&self, t: &TileState2, xch: usize, face: Face2, out: &mut Vec<f64>);
+
+    /// Unpacks a strip received across `face` for exchange `xch`.
+    fn unpack(&self, t: &mut TileState2, xch: usize, face: Face2, data: &[f64]);
+
+    /// Number of `f64`s a message for exchange `xch` across `face` carries.
+    fn message_doubles(&self, t: &TileState2, xch: usize, face: Face2) -> usize;
+
+    /// Builds a tile from a padded geometry mask and an initial state given
+    /// in local padded coordinates.
+    fn make_tile(
+        &self,
+        mask: PaddedGrid2<Cell>,
+        params: FluidParams,
+        offset: (usize, usize),
+        init: &InitialState2,
+    ) -> TileState2;
+}
+
+/// A 3D explicit method decomposed into compute phases and halo exchanges.
+pub trait Solver3: Send + Sync {
+    /// Which method this is (for reports).
+    fn kind(&self) -> MethodKind;
+
+    /// Ghost-layer width tiles must carry (also the exchange width).
+    fn halo(&self) -> usize;
+
+    /// The per-cycle plan.
+    fn plan(&self) -> &'static [StepOp];
+
+    /// Runs local compute phase `phase` on a tile.
+    fn compute(&self, t: &mut TileState3, phase: usize);
+
+    /// Packs the strip for exchange `xch` across the tile's own face `face`.
+    fn pack(&self, t: &TileState3, xch: usize, face: Face3, out: &mut Vec<f64>);
+
+    /// Unpacks a strip received across `face` for exchange `xch`.
+    fn unpack(&self, t: &mut TileState3, xch: usize, face: Face3, data: &[f64]);
+
+    /// Number of `f64`s a message for exchange `xch` across `face` carries.
+    fn message_doubles(&self, t: &TileState3, xch: usize, face: Face3) -> usize;
+
+    /// Builds a tile from a padded geometry mask and an initial state.
+    fn make_tile(
+        &self,
+        mask: PaddedGrid3<Cell>,
+        params: FluidParams,
+        offset: (usize, usize, usize),
+        init: &InitialState3,
+    ) -> TileState3;
+}

@@ -1,0 +1,89 @@
+//! Acoustics: why subsonic flow wants explicit methods (section 6). A
+//! Gaussian density pulse is released at rest in a closed box; it splits into
+//! waves travelling at c_s, reflects off the walls and returns — all resolved
+//! because the explicit time step obeys Δx ≈ c_s Δt (eq. 4).
+//!
+//! ```text
+//! cargo run --release --bin acoustic_reflection [--method FD|LB]
+//! ```
+
+use subsonic::prelude::*;
+use subsonic_examples::{arg_value, header};
+
+fn main() {
+    let method = match arg_value("--method").as_deref() {
+        Some("FD") | Some("fd") => MethodKind::FiniteDifference,
+        _ => MethodKind::LatticeBoltzmann,
+    };
+    let (nx, ny) = (200usize, 24usize);
+    let params = FluidParams::lattice_units(0.02);
+    let cs = params.cs;
+    let x0 = nx / 2;
+    let (amp, sigma) = (1.0e-3, 5.0);
+
+    header(&format!("Pulse in a closed box, {} method", method.label()));
+    println!("c_s = {cs:.4} nodes/step; box {nx}x{ny}; pulse at x = {x0}");
+
+    let mut sim = Simulation2::builder()
+        .geometry(Geometry2::enclosed_box(nx, ny, 2))
+        .method(method)
+        .params(params)
+        .init(move |x, _| {
+            let d = x as f64 - x0 as f64;
+            (1.0 + amp * (-d * d / (2.0 * sigma * sigma)).exp(), 0.0, 0.0)
+        })
+        .build();
+
+    // one full traversal: pulse reaches the wall and comes back to centre
+    let to_wall = ((nx / 2 - 4) as f64 / cs) as usize;
+    let row = ny / 2;
+    let peak_x = |sim: &Simulation2| -> usize {
+        let f = sim.fields();
+        (x0..nx - 2)
+            .max_by(|&a, &b| f.rho[(a, row)].total_cmp(&f.rho[(b, row)]))
+            .unwrap()
+    };
+
+    println!("\n{:>8} {:>10} {:>12} {:>14}", "step", "peak x", "expected", "peak rho-1");
+    let checkpoints = [to_wall / 4, to_wall / 2, (3 * to_wall) / 4, to_wall, to_wall * 3 / 2, to_wall * 2];
+    let mut done = 0usize;
+    for &target in &checkpoints {
+        sim.run(target - done);
+        done = target;
+        let px = peak_x(&sim);
+        // position of the right-going pulse, folding the wall reflection
+        let travelled = cs * target as f64;
+        let wall = (nx - 3) as f64 - x0 as f64;
+        let expected = if travelled <= wall {
+            x0 as f64 + travelled
+        } else {
+            (nx - 3) as f64 - (travelled - wall)
+        };
+        let f = sim.fields();
+        println!(
+            "{target:>8} {px:>10} {expected:>12.1} {:>14.3e}",
+            f.rho[(px, row)] - 1.0
+        );
+    }
+
+    header("Verdict");
+    let f = sim.fields();
+    let px = peak_x(&sim);
+    let travelled = cs * (2 * to_wall) as f64;
+    let wall = (nx - 3) as f64 - x0 as f64;
+    let expected = (nx - 3) as f64 - (travelled - wall);
+    let err = (px as f64 - expected).abs();
+    println!(
+        "after reflection the peak sits {err:.1} nodes from the linear-acoustics \
+         prediction (pulse height {:.2e})",
+        f.rho[(px, row)] - 1.0
+    );
+    println!(
+        "{}",
+        if err < 8.0 {
+            "acoustic propagation and wall reflection REPRODUCED"
+        } else {
+            "acoustic prediction NOT met — inspect parameters"
+        }
+    );
+}

@@ -1,0 +1,79 @@
+//! A day in the life of the non-dedicated cluster (sections 4–5): twenty
+//! parallel subprocesses on twenty-five simulated workstations, with regular
+//! users coming and going, background jobs landing on busy hosts, the
+//! monitoring program triggering automatic migrations, and staggered
+//! checkpoints every fifteen minutes.
+//!
+//! ```text
+//! cargo run --release --bin cluster_day [--hours H] [--seed S]
+//! ```
+
+use subsonic::prelude::*;
+use subsonic_examples::{arg_num, header};
+
+fn main() {
+    let hours: f64 = arg_num("--hours", 12.0);
+    let seed: u64 = arg_num("--seed", 42);
+
+    header("Workload");
+    // the paper's typical production run: 800x500 nodes on a (5x4) grid
+    let w = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 800, 500, 5, 4);
+    println!(
+        "800x500 lattice Boltzmann simulation, (5x4) = {} subregions of {} nodes",
+        w.processes(),
+        w.tiles[0].nodes
+    );
+
+    let cfg = ClusterConfig::production(w, seed);
+    let mut sim = ClusterSim::new(cfg);
+    let stats = sim.run(hours * 3600.0, None);
+
+    header("Progress");
+    let steps = stats.procs.iter().map(|p| p.steps).min().unwrap_or(0);
+    println!(
+        "{steps} integration steps in {hours} simulated hours \
+         ({:.1} ms of simulated flow at the paper's 0.17 ms/step scale)",
+        steps as f64 * 0.17
+    );
+    println!(
+        "paper reference: '70,000 integration steps in 12 hours of run time' \
+         for this problem on 20 HP9000/700s"
+    );
+
+    header("Utilisation");
+    let mean_g = stats.mean_utilization();
+    println!("mean processor utilisation g = {mean_g:.3}");
+    let paused: f64 = stats.procs.iter().map(|p| p.t_paused).sum::<f64>()
+        / (stats.procs.len() as f64 * hours * 3600.0);
+    println!("fraction of time paused (sync/migration/checkpoints): {:.2}%", 100.0 * paused);
+
+    header("Migrations (paper: ~1 per 45 min, ~30 s each)");
+    println!("{} migrations in {hours} hours", stats.migrations.len());
+    for m in stats.migrations.iter().take(12) {
+        println!(
+            "  t={:>7.0}s  proc {:>2}: host {:>2} -> {:>2}  (paused {:>5.1}s, total {:>5.1}s)",
+            m.signal_time,
+            m.proc_id,
+            m.from_host,
+            m.to_host,
+            m.pause_duration(),
+            m.total_duration()
+        );
+    }
+    if let Some(interval) = stats.migration_interval(hours * 3600.0) {
+        println!("mean interval: {:.0} minutes", interval / 60.0);
+    }
+
+    header("Checkpoints & network");
+    println!(
+        "{} staggered checkpoint rounds, {:.1} s total save pauses",
+        stats.checkpoint_rounds, stats.checkpoint_pause_total
+    );
+    println!(
+        "network: {:.1} GB in {} messages, {} TCP give-ups, busy {:.1}% of the day",
+        stats.net_bytes / 1.0e9,
+        stats.net_messages,
+        stats.net_errors,
+        100.0 * stats.net_busy / (hours * 3600.0)
+    );
+}

@@ -1,0 +1,74 @@
+//! Hagen–Poiseuille validation: drive a channel to steady state at several
+//! resolutions with both numerical methods and compare against the exact
+//! parabolic profile — the section-7 validation problem ("both methods
+//! converge ... to the exact solution of the Hagen-Poiseuille flow problem").
+//!
+//! ```text
+//! cargo run --release --bin poiseuille_convergence [--long]
+//! ```
+
+use subsonic::prelude::*;
+use subsonic_examples::{has_flag, header};
+
+/// Relative L∞ error of the steady channel profile at height `h` fluid rows.
+fn profile_error(method: MethodKind, h: usize) -> f64 {
+    let wall = 2usize;
+    let ny = h + 2 * wall;
+    let nx = 16usize;
+    let nu = 0.12;
+    let mut params = FluidParams::lattice_units(nu);
+    // keep the peak velocity resolution-independent (fixed Mach)
+    let umax = 0.02;
+    let hh = h as f64;
+    params.body_force[0] = umax * 8.0 * nu / (hh * hh);
+    let mut sim = Simulation2::builder()
+        .geometry(Geometry2::channel(nx, ny, wall))
+        .method(method)
+        .params(params)
+        .build();
+    // steady state after a few momentum-diffusion times
+    let steps = (4.0 * hh * hh / nu) as usize;
+    sim.run(steps);
+    let f = sim.fields();
+    // no-slip planes: FD at the last wall node; LB half a link outside it
+    let (y0, y1) = match method {
+        MethodKind::FiniteDifference => (wall as f64 - 1.0, (ny - wall) as f64),
+        MethodKind::LatticeBoltzmann => (wall as f64 - 0.5, (ny - wall) as f64 - 0.5),
+    };
+    let mut err: f64 = 0.0;
+    let mut umax_num: f64 = 0.0;
+    for y in wall..(ny - wall) {
+        let exact = analytic::poiseuille_u(y as f64, y0, y1, params.body_force[0], nu);
+        err = err.max((f.vx[(nx / 2, y)] - exact).abs());
+        umax_num = umax_num.max(f.vx[(nx / 2, y)]);
+    }
+    err / umax
+}
+
+fn main() {
+    let long = has_flag("--long");
+    let heights: &[usize] = if long { &[8, 12, 16, 24, 32] } else { &[8, 12, 16] };
+
+    header("Steady Poiseuille profile error vs resolution");
+    println!("{:>6} {:>14} {:>14}", "H", "LB rel Linf", "FD rel Linf");
+    let mut errs_lb = Vec::new();
+    let mut errs_fd = Vec::new();
+    for &h in heights {
+        let lb = profile_error(MethodKind::LatticeBoltzmann, h);
+        let fd = profile_error(MethodKind::FiniteDifference, h);
+        errs_lb.push(lb);
+        errs_fd.push(fd);
+        println!("{h:>6} {lb:>14.3e} {fd:>14.3e}");
+    }
+
+    header("Notes");
+    println!(
+        "A parabola is in the null space of the centred second-difference\n\
+         operator, so once the drive balances viscosity both methods land on\n\
+         the exact profile up to boundary placement and steady-state residue;\n\
+         the spatial-order measurement on a non-polynomial solution is the\n\
+         `conv` experiment of the reproduce harness (decaying shear wave)."
+    );
+    let ok = errs_lb.iter().chain(&errs_fd).all(|e| *e < 0.05);
+    println!("\nall profiles within 5% of exact: {}", if ok { "YES" } else { "NO" });
+}

@@ -1,0 +1,65 @@
+//! Quickstart: a body-force-driven channel flow (plane Poiseuille), the
+//! paper's performance test problem, integrated with the lattice Boltzmann
+//! method on a 2×2 decomposition — serially, then with one thread per
+//! subregion, checking the two agree bit for bit.
+//!
+//! ```text
+//! cargo run --release --bin quickstart [--steps N]
+//! ```
+
+use subsonic::prelude::*;
+use subsonic_examples::{arg_num, header};
+
+fn main() {
+    let steps: usize = arg_num("--steps", 1600);
+    let (nx, ny) = (96usize, 24usize);
+
+    header("Problem");
+    let mut params = FluidParams::lattice_units(0.1);
+    params.body_force[0] = 1.0e-5; // the pressure-gradient drive
+    println!("channel {nx}x{ny}, nu = {}, body force {:.1e}", params.nu, params.body_force[0]);
+    println!("stability: {:?}", params.stability_report(false));
+
+    let mut sim = Simulation2::builder()
+        .geometry(Geometry2::channel(nx, ny, 2))
+        .method(MethodKind::LatticeBoltzmann)
+        .params(params)
+        .decompose(2, 2)
+        .build();
+
+    header("Serial (tile-by-tile) integration");
+    sim.run(steps);
+    let fields = sim.fields();
+    let mid = ny / 2;
+    println!("after {steps} steps:");
+    for y in 2..ny - 2 {
+        let bar = "#".repeat((fields.vx[(nx / 2, y)] * 1.2e4) as usize);
+        println!("  y={y:>3} vx={:+.5e} {bar}", fields.vx[(nx / 2, y)]);
+    }
+
+    // compare against the analytic steady profile (walls at the half-link)
+    let g = params.body_force[0];
+    let (y0, y1) = (1.5f64, ny as f64 - 2.5);
+    let u_exact = analytic::poiseuille_u(mid as f64, y0, y1, g, params.nu);
+    let u_num = fields.vx[(nx / 2, mid)];
+    println!(
+        "centreline: numeric {u_num:.5e} vs analytic {u_exact:.5e} ({:.1}% off; steady state needs ~H^2/nu steps)",
+        100.0 * (u_num - u_exact).abs() / u_exact
+    );
+
+    header("Threaded (one process per subregion)");
+    let (threaded, timing) = sim.run_threaded(steps as u64);
+    match sim.fields().first_difference(&threaded) {
+        None => println!("threaded run is BITWISE IDENTICAL to the serial run"),
+        Some((x, y, a, b)) => println!("MISMATCH at ({x},{y}): {a} vs {b}"),
+    }
+    for (tile, t) in &timing {
+        println!(
+            "  subregion {tile}: T_calc {:>8.2?}  T_com {:>8.2?}  utilisation g = {:.3}",
+            t.t_calc,
+            t.t_com,
+            t.utilization()
+        );
+    }
+    println!("\n(The paper's parallel efficiency f equals g for fully parallel problems, eq. 12.)");
+}

@@ -1,0 +1,30 @@
+//! Shared helpers for the example binaries.
+
+/// Parses `--flag value`-style options very simply: returns the value after
+/// the given flag, if present.
+pub fn arg_value(flag: &str) -> Option<String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == flag {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Whether a bare flag is present.
+pub fn has_flag(flag: &str) -> bool {
+    std::env::args().skip(1).any(|a| a == flag)
+}
+
+/// Parses a numeric option with a default.
+pub fn arg_num<T: std::str::FromStr>(flag: &str, default: T) -> T {
+    arg_value(flag)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}

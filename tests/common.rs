@@ -1,0 +1,36 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use subsonic::prelude::*;
+
+/// A body-force-driven Poiseuille channel problem with a mildly non-uniform
+/// initial density so decomposition bugs can't hide behind symmetry.
+pub fn poiseuille_problem(nx: usize, ny: usize, px: usize, py: usize) -> Problem2 {
+    let mut params = FluidParams::lattice_units(0.05);
+    params.body_force[0] = 1.0e-5;
+    Problem2::new(Geometry2::channel(nx, ny, 2), px, py, params)
+        .with_init(|x, y| (1.0 + 1e-4 * ((x * 7 + y * 13) % 5) as f64, 0.0, 0.0))
+}
+
+/// A flue-pipe problem (walls, inlet jet, outlet) for boundary-condition
+/// coverage.
+pub fn flue_problem(px: usize, py: usize) -> Problem2 {
+    let spec = FluePipeSpec::figure1(80, 60);
+    let mut params = FluidParams::lattice_units(0.02);
+    params.inlet_velocity = [0.05, 0.0, 0.0];
+    params.filter_eps = 0.03;
+    Problem2::new(spec.build(), px, py, params)
+}
+
+/// A 3D duct problem.
+pub fn duct_problem(n: usize, px: usize, py: usize, pz: usize) -> Problem3 {
+    let mut params = FluidParams::lattice_units(0.05);
+    params.body_force[0] = 1.0e-5;
+    Problem3::new(Geometry3::duct(n, n, n, 2), px, py, pz, params)
+}
+
+/// Asserts two gathered 2D field sets are bitwise identical.
+pub fn assert_bitwise_equal(a: &GlobalFields2, b: &GlobalFields2, what: &str) {
+    if let Some((x, y, va, vb)) = a.first_difference(b) {
+        panic!("{what}: first difference at ({x},{y}): {va:e} vs {vb:e}");
+    }
+}

@@ -1,0 +1,271 @@
+//! Physics validation against analytic solutions (section 7's
+//! Hagen–Poiseuille problem and the acoustics of section 6).
+
+use subsonic::prelude::*;
+use subsonic_solvers::analytic;
+
+/// Steady plane Poiseuille flow matches the exact parabola.
+fn check_poiseuille(method: MethodKind, tol: f64) {
+    let (nx, ny, wall) = (12usize, 24usize, 2usize);
+    let h = (ny - 2 * wall) as f64;
+    let nu = 0.12;
+    let mut params = FluidParams::lattice_units(nu);
+    params.body_force[0] = 0.02 * 8.0 * nu / (h * h);
+    let mut sim = Simulation2::builder()
+        .geometry(Geometry2::channel(nx, ny, wall))
+        .method(method)
+        .params(params)
+        .decompose(1, 2)
+        .build();
+    sim.run((5.0 * h * h / nu) as usize);
+    let f = sim.fields();
+    let (y0, y1) = match method {
+        MethodKind::FiniteDifference => (wall as f64 - 1.0, (ny - wall) as f64),
+        MethodKind::LatticeBoltzmann => (wall as f64 - 0.5, (ny - wall) as f64 - 0.5),
+    };
+    let umax = analytic::poiseuille_umax(y0, y1, params.body_force[0], nu);
+    for y in wall..(ny - wall) {
+        let exact = analytic::poiseuille_u(y as f64, y0, y1, params.body_force[0], nu);
+        let got = f.vx[(nx / 2, y)];
+        assert!(
+            (got - exact).abs() / umax < tol,
+            "{} y={y}: {got:.4e} vs exact {exact:.4e}",
+            method.label()
+        );
+        // no transverse flow
+        assert!(f.vy[(nx / 2, y)].abs() < 1e-9 * umax.max(1e-30) + 1e-12);
+    }
+}
+
+#[test]
+fn poiseuille_profile_lbm() {
+    check_poiseuille(MethodKind::LatticeBoltzmann, 0.02);
+}
+
+#[test]
+fn poiseuille_profile_fd() {
+    check_poiseuille(MethodKind::FiniteDifference, 0.02);
+}
+
+#[test]
+fn duct_profile_3d_matches_fourier_series() {
+    // 3D Hagen-Poiseuille in a square duct (the paper's 3D test problem)
+    let n = 15usize;
+    let wall = 2usize;
+    // LBM half-way bounce-back: no-slip planes sit half a link outside the
+    // first/last fluid nodes, so the duct width is exactly the fluid count
+    let a = (n - 2 * wall) as f64;
+    let nu = 0.12;
+    let mut params = FluidParams::lattice_units(nu);
+    params.body_force[0] = 0.03 * 8.0 * nu / (a * a);
+    let mut sim = Simulation3::builder()
+        .geometry(Geometry3::duct(8, n, n, wall))
+        .method(MethodKind::LatticeBoltzmann)
+        .params(params)
+        .decompose(2, 1, 1)
+        .build();
+    sim.run((4.0 * a * a / nu) as usize);
+    let f = sim.fields();
+    let y_off = wall as f64 - 0.5;
+    let mut max_err: f64 = 0.0;
+    let mut umax: f64 = 0.0;
+    for z in wall..(n - wall) {
+        for y in wall..(n - wall) {
+            let exact = analytic::duct_u(
+                y as f64 - y_off,
+                z as f64 - y_off,
+                a,
+                a,
+                params.body_force[0],
+                nu,
+                60,
+            );
+            let got = f.vx[f.idx(4, y, z)];
+            max_err = max_err.max((got - exact).abs());
+            umax = umax.max(exact);
+        }
+    }
+    assert!(
+        max_err / umax < 0.05,
+        "duct error {:.3}% of peak",
+        100.0 * max_err / umax
+    );
+}
+
+#[test]
+fn shear_wave_decays_at_the_right_rate() {
+    // ν controls the exponential decay of a sinusoidal shear wave
+    let n = 32usize;
+    let nu = 0.08;
+    let mut params = FluidParams::lattice_units(nu);
+    params.filter_eps = 0.0; // isolate physical viscosity
+    let k = 2.0 * std::f64::consts::PI / n as f64;
+    let u0 = 0.01;
+    let mut sim = Simulation2::builder()
+        .geometry(Geometry2::open(n, n, true, true))
+        .method(MethodKind::LatticeBoltzmann)
+        .params(params)
+        .init(move |_, y| (1.0, u0 * (k * y as f64).sin(), 0.0))
+        .build();
+    let steps = 400usize;
+    sim.run(steps);
+    let f = sim.fields();
+    let expected = u0 * (-nu * k * k * steps as f64).exp();
+    // peak of the sine is at y = n/4
+    let got = f.vx[(5, n / 4)];
+    assert!(
+        (got - expected).abs() / expected < 0.02,
+        "decay: got {got:.5e}, expected {expected:.5e}"
+    );
+}
+
+#[test]
+fn acoustic_pulse_speed_both_methods() {
+    for method in [MethodKind::LatticeBoltzmann, MethodKind::FiniteDifference] {
+        let (nx, ny) = (180usize, 12usize);
+        let params = FluidParams::lattice_units(0.02);
+        let cs = params.cs;
+        let x0 = 40usize;
+        let mut sim = Simulation2::builder()
+            .geometry(Geometry2::open(nx, ny, true, true))
+            .method(method)
+            .params(params)
+            .init(move |x, _| {
+                let d = x as f64 - x0 as f64;
+                (1.0 + 1e-3 * (-d * d / 50.0).exp(), 0.0, 0.0)
+            })
+            .build();
+        let steps = 120usize;
+        sim.run(steps);
+        let f = sim.fields();
+        // scan only where the right-going pulse can be: the left-going half
+        // wraps around the periodic domain and would otherwise be found too
+        let hi = (x0 as f64 + cs * steps as f64 * 1.25) as usize;
+        let peak = (x0 + 10..hi.min(nx))
+            .max_by(|&a, &b| f.rho[(a, 6)].total_cmp(&f.rho[(b, 6)]))
+            .unwrap();
+        let speed = (peak - x0) as f64 / steps as f64;
+        assert!(
+            (speed - cs).abs() / cs < 0.06,
+            "{}: speed {speed:.4} vs c_s {cs:.4}",
+            method.label()
+        );
+    }
+}
+
+#[test]
+fn through_flow_develops_between_inlet_and_outlet() {
+    // an enclosed box with an inlet strip on the left wall and an outlet on
+    // the right: a steady through-flow must develop (the flue-pipe situation
+    // reduced to its simplest case)
+    let (nx, ny) = (60usize, 24usize);
+    let mut geom = Geometry2::enclosed_box(nx, ny, 2);
+    for y in 9..15 {
+        for x in 0..2 {
+            geom.set(x, y, Cell::Inlet);
+        }
+        for x in (nx - 2)..nx {
+            geom.set(x, y, Cell::Outlet);
+        }
+    }
+    let mut params = FluidParams::lattice_units(0.02);
+    params.inlet_velocity = [0.05, 0.0, 0.0];
+    params.filter_eps = 0.03;
+    let mut sim = Simulation2::builder()
+        .geometry(geom.clone())
+        .method(MethodKind::LatticeBoltzmann)
+        .params(params)
+        .decompose(3, 1)
+        .build();
+    sim.run(2500);
+    let f = sim.fields();
+    // flow crosses the middle of the box toward the outlet
+    let mid_flux: f64 = (2..ny - 2).map(|y| f.vx[(nx / 2, y)]).sum();
+    assert!(mid_flux > 0.02, "no through-flow: mid flux {mid_flux:.4}");
+    // density stays near the reference everywhere (pressure relief works)
+    let mut max_dev: f64 = 0.0;
+    for y in 0..ny {
+        for x in 0..nx {
+            max_dev = max_dev.max((f.rho[(x, y)] - 1.0).abs());
+        }
+    }
+    assert!(max_dev < 0.2, "density deviation {max_dev:.3}");
+}
+
+#[test]
+fn acoustic_pulse_splits_symmetrically() {
+    // with zero mean flow the two half-pulses are mirror images — a parity
+    // check on the centred stencils (both methods)
+    for method in [MethodKind::LatticeBoltzmann, MethodKind::FiniteDifference] {
+        let (nx, ny) = (160usize, 10usize);
+        let x0 = nx / 2;
+        let mut sim = Simulation2::builder()
+            .geometry(Geometry2::open(nx, ny, true, true))
+            .method(method)
+            .params(FluidParams::lattice_units(0.02))
+            .init(move |x, _| {
+                let d = x as f64 - x0 as f64;
+                (1.0 + 1e-3 * (-d * d / 40.0).exp(), 0.0, 0.0)
+            })
+            .build();
+        sim.run(50);
+        let f = sim.fields();
+        for dx in 1..(nx / 2 - 2) {
+            let right = f.rho[(x0 + dx, 5)];
+            let left = f.rho[(x0 - dx, 5)];
+            assert!(
+                (right - left).abs() < 1e-9,
+                "{}: asymmetry at ±{dx}: {right:.3e} vs {left:.3e}",
+                method.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn filter_keeps_high_reynolds_jet_stable() {
+    // "The fast flow ... can lead to slow-growing numerical instabilities.
+    // The filter prevents the instabilities."
+    let spec = FluePipeSpec::figure1(100, 64);
+    let mut params = FluidParams::lattice_units(0.005); // high Reynolds
+    params.inlet_velocity = [0.10, 0.0, 0.0];
+    params.filter_eps = 0.04;
+    let mut sim = Simulation2::builder()
+        .geometry(spec.build())
+        .method(MethodKind::LatticeBoltzmann)
+        .params(params)
+        .build();
+    sim.run(1200);
+    let f = sim.fields();
+    let mut max_rho: f64 = 0.0;
+    let mut finite = true;
+    for y in 0..64 {
+        for x in 0..100 {
+            finite &= f.rho[(x, y)].is_finite() && f.vx[(x, y)].is_finite();
+            max_rho = max_rho.max((f.rho[(x, y)] - 1.0).abs());
+        }
+    }
+    assert!(finite, "fields blew up");
+    assert!(max_rho < 0.5, "density excursion {max_rho:.3} signals instability");
+}
+
+#[test]
+fn mass_conserved_in_closed_geometry() {
+    let mut params = FluidParams::lattice_units(0.05);
+    params.body_force[0] = 1e-5;
+    let geom = Geometry2::channel(40, 20, 2);
+    let mut sim = Simulation2::builder()
+        .geometry(geom.clone())
+        .method(MethodKind::LatticeBoltzmann)
+        .params(params)
+        .decompose(2, 2)
+        .build();
+    let mass = |sim: &Simulation2| {
+        let f = sim.fields();
+        subsonic_solvers::diagnostics::totals_2d(&f.rho, &f.vx, &f.vy, &geom).0
+    };
+    let m0 = mass(&sim);
+    sim.run(200);
+    let m1 = mass(&sim);
+    assert!((m1 - m0).abs() / m0 < 1e-6, "mass drift {m0} -> {m1}");
+}
