@@ -1,26 +1,68 @@
 //! Halo pack/unpack throughput (the memcpy side of the paper's padding
-//! technique, section 4.2).
+//! technique, section 4.2). Width 2 is the acceptance width used by
+//! `reproduce bench`; width 4 matches the finite-difference halo.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use subsonic_grid::halo::{message_len2, pack2, unpack2};
-use subsonic_grid::{Face2, PaddedGrid2};
+use subsonic_grid::halo::{message_len2, message_len3, pack2, pack3, unpack2, unpack3};
+use subsonic_grid::{Face2, Face3, PaddedGrid2, PaddedGrid3};
 
 fn bench_pack(c: &mut Criterion) {
-    let mut g = c.benchmark_group("halo_pack_2d");
-    for side in [64usize, 128, 256] {
-        let grid = PaddedGrid2::from_fn(side, side, 4, |i, j| (i * 31 + j) as f64);
-        let w = 4usize;
-        let len: usize = Face2::ALL
+    for w in [2usize, 4] {
+        let mut g = c.benchmark_group(format!("halo_pack_2d_w{w}"));
+        for side in [64usize, 128, 256] {
+            let grid = PaddedGrid2::from_fn(side, side, 4, |i, j| (i * 31 + j) as f64);
+            let len: usize = Face2::ALL
+                .iter()
+                .map(|&f| message_len2(side, side, f, w))
+                .sum();
+            g.throughput(Throughput::Elements(len as u64));
+            g.bench_function(BenchmarkId::new("pack4faces", side), |b| {
+                let mut buf = Vec::with_capacity(len);
+                b.iter(|| {
+                    buf.clear();
+                    for f in Face2::ALL {
+                        pack2(&grid, f, w, &mut buf);
+                    }
+                    std::hint::black_box(buf.len())
+                });
+            });
+            g.bench_function(BenchmarkId::new("roundtrip", side), |b| {
+                let mut dst = grid.clone();
+                let mut buf = Vec::with_capacity(len);
+                b.iter(|| {
+                    buf.clear();
+                    for f in Face2::ALL {
+                        pack2(&grid, f.opposite(), w, &mut buf);
+                    }
+                    let mut at = 0;
+                    for f in Face2::ALL {
+                        at += unpack2(&mut dst, f, w, &buf[at..]);
+                    }
+                    std::hint::black_box(at)
+                });
+            });
+        }
+        g.finish();
+    }
+}
+
+fn bench_pack3(c: &mut Criterion) {
+    let w = 2usize;
+    let mut g = c.benchmark_group("halo_pack_3d_w2");
+    for side in [24usize, 48] {
+        let grid =
+            PaddedGrid3::from_fn(side, side, side, 3, |i, j, k| (i * 31 + j * 7 + k) as f64);
+        let len: usize = Face3::ALL
             .iter()
-            .map(|&f| message_len2(side, side, f, w))
+            .map(|&f| message_len3(side, side, side, f, w))
             .sum();
         g.throughput(Throughput::Elements(len as u64));
-        g.bench_function(BenchmarkId::new("pack4faces", side), |b| {
+        g.bench_function(BenchmarkId::new("pack6faces", side), |b| {
             let mut buf = Vec::with_capacity(len);
             b.iter(|| {
                 buf.clear();
-                for f in Face2::ALL {
-                    pack2(&grid, f, w, &mut buf);
+                for f in Face3::ALL {
+                    pack3(&grid, f, w, &mut buf);
                 }
                 std::hint::black_box(buf.len())
             });
@@ -30,12 +72,12 @@ fn bench_pack(c: &mut Criterion) {
             let mut buf = Vec::with_capacity(len);
             b.iter(|| {
                 buf.clear();
-                for f in Face2::ALL {
-                    pack2(&grid, f.opposite(), w, &mut buf);
+                for f in Face3::ALL {
+                    pack3(&grid, f.opposite(), w, &mut buf);
                 }
                 let mut at = 0;
-                for f in Face2::ALL {
-                    at += unpack2(&mut dst, f, w, &buf[at..]);
+                for f in Face3::ALL {
+                    at += unpack3(&mut dst, f, w, &buf[at..]);
                 }
                 std::hint::black_box(at)
             });
@@ -47,6 +89,6 @@ fn bench_pack(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = bench_pack
+    targets = bench_pack, bench_pack3
 }
 criterion_main!(benches);

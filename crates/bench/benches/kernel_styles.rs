@@ -1,0 +1,127 @@
+//! Indexed vs row-slice kernel formulations.
+//!
+//! PR 1 rewrote the solver inner loops from per-element `grid[(i, j)]`
+//! indexing (bounds-checked offset arithmetic per access) to row-slice
+//! iteration (`row_segment` once per row, then plain slice walks). This bench
+//! keeps the indexed style alive as a replica and pits the two against each
+//! other on the same data so the win stays measurable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use subsonic_grid::{Cell, PaddedGrid2};
+use subsonic_solvers::filter::filter_field2;
+use subsonic_solvers::qlattice::{Q2, W2};
+
+/// The along-x biharmonic filter pass, written in the pre-PR-1 indexed style.
+fn filter_x_indexed(
+    out: &mut PaddedGrid2<f64>,
+    u: &PaddedGrid2<f64>,
+    mask: &PaddedGrid2<Cell>,
+    eps: f64,
+) {
+    let nx = u.nx() as isize;
+    let ny = u.ny() as isize;
+    for j in 0..ny {
+        for i in 0..nx {
+            let v = u[(i, j)];
+            let ok = (-2..=2).all(|d| mask[(i + d, j)].is_fluid());
+            out[(i, j)] = if ok {
+                v - eps
+                    * (u[(i - 2, j)] - 4.0 * u[(i - 1, j)] + 6.0 * v - 4.0 * u[(i + 1, j)]
+                        + u[(i + 2, j)])
+            } else {
+                v
+            };
+        }
+    }
+}
+
+fn bench_filter(c: &mut Criterion) {
+    let mut g = c.benchmark_group("filter_styles");
+    for side in [64usize, 256] {
+        let mask = PaddedGrid2::new(side, side, 4, Cell::Fluid);
+        let u0 = PaddedGrid2::from_fn(side, side, 4, |i, j| ((i * 7 + j * 3) % 13) as f64 * 0.1);
+        let eps = 0.02;
+        g.throughput(Throughput::Elements((side * side) as u64));
+        g.bench_function(BenchmarkId::new("indexed_x_pass", side), |b| {
+            let u = u0.clone();
+            let mut out = u0.clone();
+            b.iter(|| {
+                filter_x_indexed(&mut out, &u, &mask, eps);
+                std::hint::black_box(out[(0, 0)])
+            });
+        });
+        g.bench_function(BenchmarkId::new("rowslice_two_pass", side), |b| {
+            let mut u = u0.clone();
+            let mut sx = u0.clone();
+            b.iter(|| {
+                filter_field2(&mut u, &mut sx, &mask, eps, 0);
+                std::hint::black_box(u[(0, 0)])
+            });
+        });
+    }
+    g.finish();
+}
+
+/// D2Q9 zeroth/first-moment accumulation, indexed style.
+fn moments_indexed(f: &[PaddedGrid2<f64>], rho: &mut PaddedGrid2<f64>) {
+    let nx = rho.nx() as isize;
+    let ny = rho.ny() as isize;
+    for j in 0..ny {
+        for i in 0..nx {
+            let mut r = 0.0;
+            for fq in f {
+                r += fq[(i, j)];
+            }
+            rho[(i, j)] = r;
+        }
+    }
+}
+
+/// The same accumulation over row slices, as the rewritten solvers do it.
+fn moments_rowslice(f: &[PaddedGrid2<f64>], rho: &mut PaddedGrid2<f64>) {
+    let nx = rho.nx();
+    let ny = rho.ny() as isize;
+    for j in 0..ny {
+        let rows: [&[f64]; Q2] = std::array::from_fn(|q| f[q].interior_row(j));
+        let out = rho.interior_row_mut(j);
+        for (x, o) in out.iter_mut().enumerate().take(nx) {
+            let mut r = 0.0;
+            for row in &rows {
+                r += row[x];
+            }
+            *o = r;
+        }
+    }
+}
+
+fn bench_moments(c: &mut Criterion) {
+    let mut g = c.benchmark_group("moment_styles");
+    for side in [64usize, 256] {
+        let f: Vec<PaddedGrid2<f64>> = (0..Q2)
+            .map(|q| PaddedGrid2::from_fn(side, side, 3, |i, j| W2[q] * (1.0 + (i + j) as f64 * 1e-3)))
+            .collect();
+        g.throughput(Throughput::Elements((side * side) as u64));
+        g.bench_function(BenchmarkId::new("indexed", side), |b| {
+            let mut rho = PaddedGrid2::new(side, side, 3, 0.0f64);
+            b.iter(|| {
+                moments_indexed(&f, &mut rho);
+                std::hint::black_box(rho[(0, 0)])
+            });
+        });
+        g.bench_function(BenchmarkId::new("rowslice", side), |b| {
+            let mut rho = PaddedGrid2::new(side, side, 3, 0.0f64);
+            b.iter(|| {
+                moments_rowslice(&f, &mut rho);
+                std::hint::black_box(rho[(0, 0)])
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_filter, bench_moments
+}
+criterion_main!(benches);

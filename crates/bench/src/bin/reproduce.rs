@@ -4,16 +4,63 @@
 //!
 //! ```text
 //! reproduce [--quick] [--out DIR] [id ...]
+//! reproduce bench [--quick] [--label LABEL] [--out FILE]
 //! ```
 //!
 //! Without ids, runs every experiment in `subsonic::experiments::ALL_IDS`.
 //! Writes one CSV per result table into `DIR` (default `results/`) and a
 //! `summary.md` with all tables and PASS/FAIL shape checks, then prints the
 //! summary to stdout.
+//!
+//! The `bench` subcommand instead runs the perf-baseline suite
+//! (`subsonic_bench::perf`) and writes a flat JSON report (default
+//! `results/bench.json`); the checked-in `BENCH_*.json` files are built from
+//! these reports.
 
 use std::io::Write;
 use std::path::PathBuf;
 use subsonic::experiments::{run_experiment, ALL_IDS};
+
+fn bench_usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: reproduce bench [--quick] [--label LABEL] [--out FILE]");
+    std::process::exit(2);
+}
+
+fn run_bench_subcommand(mut args: impl Iterator<Item = String>) {
+    let mut quick = false;
+    let mut label = String::from("local");
+    let mut out = PathBuf::from("results/bench.json");
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--label" => {
+                label = args.next().unwrap_or_else(|| bench_usage_error("--label needs a value"))
+            }
+            "--out" => {
+                out = args
+                    .next()
+                    .map(PathBuf::from)
+                    .unwrap_or_else(|| bench_usage_error("--out needs a file"))
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: reproduce bench [--quick] [--label LABEL] [--out FILE]");
+                return;
+            }
+            other => bench_usage_error(&format!("unknown bench option '{other}'")),
+        }
+    }
+    let entries = subsonic_bench::perf::run_suite(quick);
+    for e in &entries {
+        println!("{:<24} {:>14.3e} {}", e.name, e.value, e.unit);
+    }
+    let json = subsonic_bench::perf::to_json(&label, &entries);
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).expect("cannot create output dir");
+    }
+    std::fs::write(&out, json).expect("cannot write bench report");
+    eprintln!("wrote {}", out.display());
+}
 
 fn main() {
     let mut quick = false;
@@ -22,12 +69,17 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
+            "bench" if ids.is_empty() && !quick => {
+                run_bench_subcommand(args);
+                return;
+            }
             "--quick" => quick = true,
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
             "--help" | "-h" => {
                 eprintln!("usage: reproduce [--quick] [--out DIR] [id ...]");
+                eprintln!("       reproduce bench [--quick] [--label LABEL] [--out FILE]");
                 eprintln!("ids: {}", ALL_IDS.join(" "));
                 return;
             }

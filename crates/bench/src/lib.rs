@@ -7,7 +7,10 @@
 //!   the Appendix-E page-stride pathology;
 //! * the `reproduce` binary, which runs the experiment drivers of
 //!   `subsonic::experiments` and writes one CSV per table plus a Markdown
-//!   summary into `results/`.
+//!   summary into `results/`, and whose `bench` subcommand emits the
+//!   machine-readable perf baseline (see [`perf`]).
+
+pub mod perf;
 
 use std::fs;
 use std::path::Path;

@@ -1,0 +1,290 @@
+//! Machine-readable perf baseline — the `reproduce bench` subcommand.
+//!
+//! Times the hot paths the paper's efficiency analysis cares about (T_1 node
+//! rates for LB/FD × 2D/3D, halo pack/unpack throughput, threaded-runner
+//! steps per second) and emits a flat JSON report. Successive PRs check in
+//! `BENCH_<PR>.json` files built from these reports, so performance claims
+//! in the history are measured on a recorded machine state rather than
+//! asserted.
+//!
+//! Methodology: each measurement calibrates an iteration count to a minimum
+//! batch duration, then takes the fastest of three batches (the noise floor
+//! of a loaded machine is one-sided — interference only slows a batch down).
+
+use std::sync::Arc;
+use std::time::Instant;
+use subsonic_exec::{LocalRunner2, LocalRunner3, Problem2, Problem3, ThreadedRunner2, ThreadedRunner3};
+use subsonic_grid::halo::{message_len2, message_len3, pack2, pack3, unpack2, unpack3};
+use subsonic_grid::{Face2, Face3, Geometry2, Geometry3, PaddedGrid2, PaddedGrid3};
+use subsonic_solvers::{
+    FiniteDifference2, FiniteDifference3, FluidParams, LatticeBoltzmann2, LatticeBoltzmann3,
+    Solver2, Solver3,
+};
+
+/// One measured rate.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Stable key, e.g. `node_rate_2d_lb`.
+    pub name: String,
+    /// The measured rate (higher is better).
+    pub value: f64,
+    /// Unit of `value`, e.g. `nodes/s`.
+    pub unit: String,
+}
+
+/// Seconds per call of `f`: calibrate batch size to `min_time`, then best of
+/// three batches.
+fn secs_per_iter(mut f: impl FnMut(), min_time: f64) -> f64 {
+    f(); // warm-up (first call touches cold caches / spawns threads)
+    let mut iters: u64 = 1;
+    let dt = loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= min_time {
+            break dt;
+        }
+        let grow = (min_time / dt.max(1e-9) * 1.2).ceil() as u64;
+        iters = (iters * 2).max(iters.saturating_mul(grow)).max(iters + 1);
+    };
+    let mut best = dt;
+    for _ in 0..2 {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best / iters as f64
+}
+
+fn params() -> FluidParams {
+    let mut p = FluidParams::lattice_units(0.05);
+    p.body_force[0] = 1e-6;
+    p
+}
+
+fn node_rates_2d(out: &mut Vec<PerfEntry>, min_time: f64, side: usize) {
+    for (label, solver) in [
+        ("lb", Arc::new(LatticeBoltzmann2) as Arc<dyn Solver2>),
+        ("fd", Arc::new(FiniteDifference2) as Arc<dyn Solver2>),
+    ] {
+        let problem = Problem2::new(Geometry2::channel(side, side, 2), 1, 1, params());
+        let mut runner = LocalRunner2::new(solver, problem);
+        runner.run(2);
+        let spi = secs_per_iter(|| runner.step(), min_time);
+        out.push(PerfEntry {
+            name: format!("node_rate_2d_{label}"),
+            value: (side * side) as f64 / spi,
+            unit: "nodes/s".into(),
+        });
+    }
+}
+
+fn node_rates_3d(out: &mut Vec<PerfEntry>, min_time: f64, side: usize) {
+    for (label, solver) in [
+        ("lb", Arc::new(LatticeBoltzmann3) as Arc<dyn Solver3>),
+        ("fd", Arc::new(FiniteDifference3) as Arc<dyn Solver3>),
+    ] {
+        let problem = Problem3::new(Geometry3::duct(side, side, side, 2), 1, 1, 1, params());
+        let mut runner = LocalRunner3::new(solver, problem);
+        runner.run(1);
+        let spi = secs_per_iter(|| runner.step(), min_time);
+        out.push(PerfEntry {
+            name: format!("node_rate_3d_{label}"),
+            value: (side * side * side) as f64 / spi,
+            unit: "nodes/s".into(),
+        });
+    }
+}
+
+fn halo_2d(out: &mut Vec<PerfEntry>, min_time: f64, side: usize) {
+    let grid = PaddedGrid2::from_fn(side, side, 4, |i, j| (i * 31 + j) as f64);
+    for w in [2usize, 4] {
+        let len: usize = Face2::ALL
+            .iter()
+            .map(|&f| message_len2(side, side, f, w))
+            .sum();
+        let mut buf: Vec<f64> = Vec::with_capacity(len);
+        let spi = secs_per_iter(
+            || {
+                buf.clear();
+                for f in Face2::ALL {
+                    pack2(&grid, f, w, &mut buf);
+                }
+                std::hint::black_box(buf.len());
+            },
+            min_time,
+        );
+        out.push(PerfEntry {
+            name: format!("halo2_pack_w{w}"),
+            value: len as f64 / spi,
+            unit: "doubles/s".into(),
+        });
+        if w == 2 {
+            let mut dst = grid.clone();
+            let mut buf: Vec<f64> = Vec::with_capacity(len);
+            let spi = secs_per_iter(
+                || {
+                    buf.clear();
+                    for f in Face2::ALL {
+                        pack2(&grid, f.opposite(), w, &mut buf);
+                    }
+                    let mut at = 0;
+                    for f in Face2::ALL {
+                        at += unpack2(&mut dst, f, w, &buf[at..]);
+                    }
+                    std::hint::black_box(at);
+                },
+                min_time,
+            );
+            out.push(PerfEntry {
+                name: format!("halo2_roundtrip_w{w}"),
+                value: len as f64 / spi,
+                unit: "doubles/s".into(),
+            });
+        }
+    }
+}
+
+fn halo_3d(out: &mut Vec<PerfEntry>, min_time: f64, side: usize) {
+    let grid = PaddedGrid3::from_fn(side, side, side, 4, |i, j, k| (i * 31 + j * 7 + k) as f64);
+    let w = 2usize;
+    let len: usize = Face3::ALL
+        .iter()
+        .map(|&f| message_len3(side, side, side, f, w))
+        .sum();
+    let mut buf: Vec<f64> = Vec::with_capacity(len);
+    let spi = secs_per_iter(
+        || {
+            buf.clear();
+            for f in Face3::ALL {
+                pack3(&grid, f, w, &mut buf);
+            }
+            std::hint::black_box(buf.len());
+        },
+        min_time,
+    );
+    out.push(PerfEntry {
+        name: format!("halo3_pack_w{w}"),
+        value: len as f64 / spi,
+        unit: "doubles/s".into(),
+    });
+    let mut dst = grid.clone();
+    let mut buf: Vec<f64> = Vec::with_capacity(len);
+    let spi = secs_per_iter(
+        || {
+            buf.clear();
+            for f in Face3::ALL {
+                pack3(&grid, f.opposite(), w, &mut buf);
+            }
+            let mut at = 0;
+            for f in Face3::ALL {
+                at += unpack3(&mut dst, f, w, &buf[at..]);
+            }
+            std::hint::black_box(at);
+        },
+        min_time,
+    );
+    out.push(PerfEntry {
+        name: format!("halo3_roundtrip_w{w}"),
+        value: len as f64 / spi,
+        unit: "doubles/s".into(),
+    });
+}
+
+fn threaded_runners(out: &mut Vec<PerfEntry>, side2: usize, steps2: u64, side3: usize, steps3: u64) {
+    let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+    let problem = Problem2::new(Geometry2::channel(side2, side2, 2), 2, 2, params());
+    let runner = ThreadedRunner2::new(solver, problem);
+    runner.run(2); // warm-up: first run pays thread spawn + page faults
+    let t0 = Instant::now();
+    runner.run(steps2);
+    out.push(PerfEntry {
+        name: "threaded2_lb_2x2".into(),
+        value: steps2 as f64 / t0.elapsed().as_secs_f64(),
+        unit: "steps/s".into(),
+    });
+
+    let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
+    let problem = Problem3::new(Geometry3::duct(side3, side3, side3, 2), 2, 2, 1, params());
+    let runner = ThreadedRunner3::new(solver, problem);
+    runner.run(1);
+    let t0 = Instant::now();
+    runner.run(steps3);
+    out.push(PerfEntry {
+        name: "threaded3_lb_2x2x1".into(),
+        value: steps3 as f64 / t0.elapsed().as_secs_f64(),
+        unit: "steps/s".into(),
+    });
+}
+
+/// Runs the full suite. `quick` shrinks problem sizes and batch times for
+/// smoke-testing the harness itself; baseline numbers use `quick = false`.
+pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
+    let mut out = Vec::new();
+    let min_time = if quick { 0.02 } else { 0.4 };
+    let (side2, side3) = if quick { (48, 12) } else { (128, 28) };
+    let halo_side2 = if quick { 64 } else { 256 };
+    let halo_side3 = if quick { 12 } else { 32 };
+    let (t2_steps, t3_steps) = if quick { (10, 4) } else { (200, 40) };
+    node_rates_2d(&mut out, min_time, side2);
+    node_rates_3d(&mut out, min_time, side3);
+    halo_2d(&mut out, min_time, halo_side2);
+    halo_3d(&mut out, min_time, halo_side3);
+    threaded_runners(&mut out, if quick { 48 } else { 128 }, t2_steps, if quick { 12 } else { 24 }, t3_steps);
+    out
+}
+
+/// Formats entries as the flat JSON document the `BENCH_*.json` trajectory
+/// uses (no external JSON crate in this tree — the format is a flat map of
+/// `name -> {value, unit}`, trivially hand-emitted).
+pub fn to_json(label: &str, entries: &[PerfEntry]) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"subsonic-bench-v1\",\n");
+    s.push_str(&format!("  \"label\": {:?},\n", label));
+    s.push_str("  \"entries\": {\n");
+    for (i, e) in entries.iter().enumerate() {
+        let comma = if i + 1 == entries.len() { "" } else { "," };
+        s.push_str(&format!(
+            "    {:?}: {{\"value\": {:.6e}, \"unit\": {:?}}}{comma}\n",
+            e.name, e.value, e.unit
+        ));
+    }
+    s.push_str("  }\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_produces_all_entries() {
+        let entries = run_suite(true);
+        let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
+        for expected in [
+            "node_rate_2d_lb",
+            "node_rate_2d_fd",
+            "node_rate_3d_lb",
+            "node_rate_3d_fd",
+            "halo2_pack_w2",
+            "halo2_roundtrip_w2",
+            "halo2_pack_w4",
+            "halo3_pack_w2",
+            "halo3_roundtrip_w2",
+            "threaded2_lb_2x2",
+            "threaded3_lb_2x2x1",
+        ] {
+            assert!(names.contains(&expected), "missing entry {expected}");
+        }
+        for e in &entries {
+            assert!(e.value.is_finite() && e.value > 0.0, "{}: {}", e.name, e.value);
+        }
+        let json = to_json("test", &entries);
+        assert!(json.contains("\"node_rate_2d_lb\""));
+        assert!(json.contains("subsonic-bench-v1"));
+    }
+}

@@ -110,7 +110,7 @@ mod tests {
     fn submit_prefers_idle_fast_hosts() {
         let p = SubmitPolicy::default();
         let now = 30.0 * 60.0;
-        let hosts = vec![
+        let hosts = [
             quiet_host(HostKind::Hp710, 0.0),    // idle, slow
             quiet_host(HostKind::Hp715_50, 0.0), // idle, fast  <- winner
             quiet_host(HostKind::Hp715_50, now), // user just left (not idle yet)
@@ -125,7 +125,7 @@ mod tests {
         let now = 1.0;
         let mut active = quiet_host(HostKind::Hp715_50, 0.0);
         active.user_active = true;
-        let hosts = vec![active];
+        let hosts = [active];
         assert_eq!(p.select(now, hosts.iter().enumerate()), Some(0));
     }
 
@@ -137,7 +137,7 @@ mod tests {
         taken.assigned_proc = Some(3);
         let mut busy = quiet_host(HostKind::Hp715_50, 0.0);
         busy.competitors = 1;
-        let hosts = vec![taken, busy];
+        let hosts = [taken, busy];
         assert_eq!(p.select(now, hosts.iter().enumerate()), None);
     }
 
@@ -156,7 +156,7 @@ mod tests {
         // simulate a long-gone run-queue of 1.0 that keeps load15 ~ 0.9
         loaded.load15.advance(now - 10.0, 0.9 / (1.0 - (-(now - 10.0) / 900.0f64).exp()));
         let clean = quiet_host(HostKind::Hp710, 0.0);
-        let hosts = vec![loaded, clean];
+        let hosts = [loaded, clean];
         // the slow-but-clean host wins because the fast one exceeds 0.6
         let sel = p.select(now, hosts.iter().enumerate());
         assert_eq!(sel, Some(1));

@@ -77,7 +77,7 @@ pub fn fig13() -> ExperimentResult {
     ));
     r.checks.push(Check::new(
         "comparable subregions: 125^2 ~ 25^3 ~ 14.5k nodes",
-        (125.0f64 * 125.0 - 15625.0).abs() < 1000.0,
+        (125.0f64 * 125.0 - 25.0f64.powi(3)).abs() < 1000.0,
         "both about 14,500-15,600 nodes per processor",
     ));
     r.tables.push(Table::from_series("Figure 13 series", "P", &[s2, s3]));

@@ -25,6 +25,7 @@ pub struct Simulation2Builder {
     method: MethodKind,
     px: usize,
     py: usize,
+    #[allow(clippy::type_complexity)]
     init: Option<Box<dyn Fn(usize, usize) -> (f64, f64, f64) + Send + Sync>>,
 }
 
@@ -174,6 +175,7 @@ pub struct Simulation3Builder {
     params: FluidParams,
     method: MethodKind,
     parts: (usize, usize, usize),
+    #[allow(clippy::type_complexity)]
     init: Option<Box<dyn Fn(usize, usize, usize) -> (f64, f64, f64, f64) + Send + Sync>>,
 }
 

@@ -199,6 +199,8 @@ pub fn restore_tile2(bytes: &[u8]) -> io::Result<TileState2> {
         params,
         offset,
         step,
+        // derived from the mask; rebuilt lazily by the solver
+        shift_links: None,
     })
 }
 

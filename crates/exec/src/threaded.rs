@@ -8,6 +8,13 @@
 //! first-come-first-served within an exchange stage, which is the policy the
 //! paper recommends in Appendix C.
 //!
+//! Halo buffers are recycled: every data channel is paired with a return
+//! channel, the receiver sends each consumed buffer back, and the sender
+//! reuses it for the next message on that edge. At most two buffers circulate
+//! per directed edge, so the steady-state exchange performs no heap
+//! allocation; [`StepTiming`] counts messages, doubles and buffer
+//! allocations/reuses so tests can assert both properties exactly.
+//!
 //! The runner also implements the synchronisation machinery of section 5 /
 //! Appendix B as a *migration drill*: a monitor picks a synchronisation step
 //! just past the furthest process (every process publishes its integration
@@ -158,9 +165,15 @@ impl ThreadedRunner2 {
         let index_of: HashMap<usize, usize> =
             active.iter().enumerate().map(|(k, &id)| (id, k)).collect();
 
-        // Channels: key (receiver tile id, receiver face).
+        // Channels: key (receiver tile id, receiver face). Each data channel
+        // is paired with a *return* channel flowing the other way: the
+        // receiver hands consumed buffers back to the sender, which reuses
+        // them for the next message on that edge. In steady state no halo
+        // buffer is ever allocated (at most two circulate per edge).
         let mut senders: HashMap<(usize, Face2), Sender<Vec<f64>>> = HashMap::new();
         let mut receivers: HashMap<(usize, Face2), Receiver<Vec<f64>>> = HashMap::new();
+        let mut ret_senders: HashMap<(usize, Face2), Sender<Vec<f64>>> = HashMap::new();
+        let mut ret_receivers: HashMap<(usize, Face2), Receiver<Vec<f64>>> = HashMap::new();
         for &id in &active {
             for f in Face2::ALL {
                 if let Some(nb) = self.problem.decomp.neighbor(id, f) {
@@ -168,6 +181,9 @@ impl ThreadedRunner2 {
                         let (s, r) = unbounded();
                         senders.insert((id, f), s);
                         receivers.insert((id, f), r);
+                        let (rs, rr) = unbounded();
+                        ret_senders.insert((id, f), rs);
+                        ret_receivers.insert((id, f), rr);
                     }
                 }
             }
@@ -176,11 +192,15 @@ impl ThreadedRunner2 {
         let control = Arc::new(Control::new(n));
         let drill_fired: Mutex<Option<DrillReport>> = Mutex::new(None);
 
-        // Per-worker endpoints: my receivers (face -> rx), my senders into
-        // each neighbour's ghost (face -> tx of (nb, f.opposite())).
+        // Per-worker endpoints: my receivers (face -> data rx + buffer-return
+        // tx), my senders into each neighbour's ghost (face -> data tx of
+        // (nb, f.opposite()) + the matching buffer-return rx).
+        // (face, data in, buffer-returns out) / (face, data out, returns in)
+        type RxEdge = (Face2, Receiver<Vec<f64>>, Sender<Vec<f64>>);
+        type TxEdge = (Face2, Sender<Vec<f64>>, Receiver<Vec<f64>>);
         struct Endpoints {
-            rx: Vec<(Face2, Receiver<Vec<f64>>)>,
-            tx: Vec<(Face2, Sender<Vec<f64>>)>,
+            rx: Vec<RxEdge>,
+            tx: Vec<TxEdge>,
         }
         let mut endpoints: Vec<Endpoints> = Vec::with_capacity(n);
         for &id in &active {
@@ -188,11 +208,13 @@ impl ThreadedRunner2 {
             let mut tx = Vec::new();
             for f in Face2::ALL {
                 if let Some(r) = receivers.remove(&(id, f)) {
-                    rx.push((f, r));
+                    let rs = ret_senders.remove(&(id, f)).unwrap();
+                    rx.push((f, r, rs));
                 }
                 if let Some(nb) = self.problem.decomp.neighbor(id, f) {
                     if let Some(s) = senders.get(&(nb, f.opposite())) {
-                        tx.push((f, s.clone()));
+                        let rr = ret_receivers.remove(&(nb, f.opposite())).unwrap();
+                        tx.push((f, s.clone(), rr));
                     }
                 }
             }
@@ -247,18 +269,35 @@ impl ThreadedRunner2 {
                                 StepOp::Exchange(x) => {
                                     let t0 = Instant::now();
                                     for stage in 0..2 {
-                                        for (f, tx) in
-                                            ep.tx.iter().filter(|(f, _)| f.stage() == stage)
+                                        for (f, tx, ret) in
+                                            ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
                                         {
-                                            let mut buf = Vec::new();
+                                            let mut buf = match ret.try_recv() {
+                                                Ok(mut b) => {
+                                                    timing.buf_reuses += 1;
+                                                    b.clear();
+                                                    b
+                                                }
+                                                Err(_) => {
+                                                    timing.buf_allocs += 1;
+                                                    Vec::new()
+                                                }
+                                            };
                                             solver.pack(&tile, x, *f, &mut buf);
+                                            timing.msgs_sent += 1;
+                                            timing.doubles_sent += buf.len() as u64;
                                             tx.send(buf).expect("peer hung up");
                                         }
-                                        for (f, rx) in
-                                            ep.rx.iter().filter(|(f, _)| f.stage() == stage)
+                                        for (f, rx, ret) in
+                                            ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
                                         {
                                             let buf = rx.recv().expect("peer hung up");
                                             solver.unpack(&mut tile, x, *f, &buf);
+                                            // hand the buffer back for reuse; a
+                                            // peer that already finished its run
+                                            // has dropped the other end, in which
+                                            // case the buffer is simply freed
+                                            let _ = ret.send(buf);
                                         }
                                     }
                                     timing.t_com += t0.elapsed();
@@ -359,6 +398,80 @@ mod tests {
             assert_eq!(t.steps, 5);
             assert!(t.t_calc.as_nanos() > 0);
         }
+    }
+
+    #[test]
+    fn message_volume_matches_solver_message_doubles() {
+        // The new StepTiming counters must account for every double on the
+        // wire: a J x K run sends exactly sum(message_doubles) per step.
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let steps = 7u64;
+        let p = problem(3, 2);
+        let active = p.active_tiles();
+        let mut per_step = 0u64;
+        let mut edges = 0u64;
+        for &id in &active {
+            let t = p.make_tile(solver.as_ref(), id);
+            for f in Face2::ALL {
+                if let Some(nb) = p.decomp.neighbor(id, f) {
+                    if active.contains(&nb) {
+                        edges += 1;
+                        for op in solver.plan() {
+                            if let StepOp::Exchange(x) = *op {
+                                per_step += solver.message_doubles(&t, x, f) as u64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(per_step > 0 && edges > 0);
+
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 2)).run(steps);
+        let mut total = StepTiming::default();
+        for (_, t) in &out.timing {
+            total.merge(t);
+        }
+        let exchanges = solver
+            .plan()
+            .iter()
+            .filter(|op| matches!(op, StepOp::Exchange(_)))
+            .count() as u64;
+        assert_eq!(total.doubles_sent, per_step * steps);
+        assert_eq!(total.msgs_sent, edges * exchanges * steps);
+    }
+
+    #[test]
+    fn halo_buffers_are_recycled() {
+        // Zero steady-state allocation: at most two buffers ever circulate
+        // per directed edge, no matter how many steps run.
+        let solver: Arc<dyn Solver2> = Arc::new(FiniteDifference2);
+        let p = problem(2, 2);
+        let active = p.active_tiles();
+        let mut edges = 0u64;
+        for &id in &active {
+            for f in Face2::ALL {
+                if let Some(nb) = p.decomp.neighbor(id, f) {
+                    if active.contains(&nb) {
+                        edges += 1;
+                    }
+                }
+            }
+        }
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2)).run(30);
+        let mut total = StepTiming::default();
+        for (_, t) in &out.timing {
+            total.merge(t);
+        }
+        // every message either reused a returned buffer or allocated one
+        assert_eq!(total.buf_allocs + total.buf_reuses, total.msgs_sent);
+        assert!(
+            total.buf_allocs <= 2 * edges,
+            "pool allocated {} buffers for {} edges — recycling broken",
+            total.buf_allocs,
+            edges
+        );
+        assert!(total.buf_reuses > total.buf_allocs);
     }
 
     #[test]

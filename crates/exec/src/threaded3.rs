@@ -106,8 +106,13 @@ impl ThreadedRunner3 {
         let index_of: HashMap<usize, usize> =
             active.iter().enumerate().map(|(k, &id)| (id, k)).collect();
 
+        // Data channels paired with buffer-return channels, exactly as in the
+        // 2D runner: consumed halo buffers flow back to their sender for
+        // reuse, so the steady-state exchange allocates nothing.
         let mut senders: HashMap<(usize, Face3), Sender<Vec<f64>>> = HashMap::new();
         let mut receivers: HashMap<(usize, Face3), Receiver<Vec<f64>>> = HashMap::new();
+        let mut ret_senders: HashMap<(usize, Face3), Sender<Vec<f64>>> = HashMap::new();
+        let mut ret_receivers: HashMap<(usize, Face3), Receiver<Vec<f64>>> = HashMap::new();
         for &id in &active {
             for f in Face3::ALL {
                 if let Some(nb) = self.problem.decomp.neighbor(id, f) {
@@ -115,14 +120,20 @@ impl ThreadedRunner3 {
                         let (s, r) = unbounded();
                         senders.insert((id, f), s);
                         receivers.insert((id, f), r);
+                        let (rs, rr) = unbounded();
+                        ret_senders.insert((id, f), rs);
+                        ret_receivers.insert((id, f), rr);
                     }
                 }
             }
         }
 
+        // (face, data in, buffer-returns out) / (face, data out, returns in)
+        type RxEdge = (Face3, Receiver<Vec<f64>>, Sender<Vec<f64>>);
+        type TxEdge = (Face3, Sender<Vec<f64>>, Receiver<Vec<f64>>);
         struct Endpoints {
-            rx: Vec<(Face3, Receiver<Vec<f64>>)>,
-            tx: Vec<(Face3, Sender<Vec<f64>>)>,
+            rx: Vec<RxEdge>,
+            tx: Vec<TxEdge>,
         }
         let mut endpoints: Vec<Endpoints> = Vec::with_capacity(n);
         for &id in &active {
@@ -130,11 +141,13 @@ impl ThreadedRunner3 {
             let mut tx = Vec::new();
             for f in Face3::ALL {
                 if let Some(r) = receivers.remove(&(id, f)) {
-                    rx.push((f, r));
+                    let rs = ret_senders.remove(&(id, f)).unwrap();
+                    rx.push((f, r, rs));
                 }
                 if let Some(nb) = self.problem.decomp.neighbor(id, f) {
                     if let Some(s) = senders.get(&(nb, f.opposite())) {
-                        tx.push((f, s.clone()));
+                        let rr = ret_receivers.remove(&(nb, f.opposite())).unwrap();
+                        tx.push((f, s.clone(), rr));
                     }
                 }
             }
@@ -187,18 +200,31 @@ impl ThreadedRunner3 {
                                 StepOp::Exchange(x) => {
                                     let t0 = Instant::now();
                                     for stage in 0..3 {
-                                        for (f, tx) in
-                                            ep.tx.iter().filter(|(f, _)| f.stage() == stage)
+                                        for (f, tx, ret) in
+                                            ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
                                         {
-                                            let mut buf = Vec::new();
+                                            let mut buf = match ret.try_recv() {
+                                                Ok(mut b) => {
+                                                    timing.buf_reuses += 1;
+                                                    b.clear();
+                                                    b
+                                                }
+                                                Err(_) => {
+                                                    timing.buf_allocs += 1;
+                                                    Vec::new()
+                                                }
+                                            };
                                             solver.pack(&tile, x, *f, &mut buf);
+                                            timing.msgs_sent += 1;
+                                            timing.doubles_sent += buf.len() as u64;
                                             tx.send(buf).expect("peer hung up");
                                         }
-                                        for (f, rx) in
-                                            ep.rx.iter().filter(|(f, _)| f.stage() == stage)
+                                        for (f, rx, ret) in
+                                            ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
                                         {
                                             let buf = rx.recv().expect("peer hung up");
                                             solver.unpack(&mut tile, x, *f, &buf);
+                                            let _ = ret.send(buf);
                                         }
                                     }
                                     timing.t_com += t0.elapsed();
@@ -269,6 +295,40 @@ mod tests {
         let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2)).run(6);
         let b = out.gather((12, 10, 10), 1.0);
         assert_eq!(a.first_difference(&b), None, "threaded 3D diverged");
+    }
+
+    #[test]
+    fn message_volume3_matches_solver() {
+        let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
+        let steps = 5u64;
+        let p = problem(2, 1, 2);
+        let active = p.active_tiles();
+        let mut per_step = 0u64;
+        let mut edges = 0u64;
+        for &id in &active {
+            let t = p.make_tile(solver.as_ref(), id);
+            for f in Face3::ALL {
+                if let Some(nb) = p.decomp.neighbor(id, f) {
+                    if active.contains(&nb) {
+                        edges += 1;
+                        for op in solver.plan() {
+                            if let StepOp::Exchange(x) = *op {
+                                per_step += solver.message_doubles(&t, x, f) as u64;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(per_step > 0 && edges > 0);
+        let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2)).run(steps);
+        let mut total = StepTiming::default();
+        for (_, t) in &out.timing {
+            total.merge(t);
+        }
+        assert_eq!(total.doubles_sent, per_step * steps);
+        assert_eq!(total.buf_allocs + total.buf_reuses, total.msgs_sent);
+        assert!(total.buf_allocs <= 2 * edges, "3D buffer recycling broken");
     }
 
     #[test]

@@ -13,6 +13,14 @@ pub struct StepTiming {
     pub t_com: Duration,
     /// Steps completed.
     pub steps: u64,
+    /// Halo messages sent.
+    pub msgs_sent: u64,
+    /// Total `f64`s sent across all halo messages.
+    pub doubles_sent: u64,
+    /// Message buffers freshly allocated (return channel was empty).
+    pub buf_allocs: u64,
+    /// Message buffers recycled from the return channel.
+    pub buf_reuses: u64,
 }
 
 impl StepTiming {
@@ -41,6 +49,10 @@ impl StepTiming {
         self.t_calc += other.t_calc;
         self.t_com += other.t_com;
         self.steps = self.steps.max(other.steps);
+        self.msgs_sent += other.msgs_sent;
+        self.doubles_sent += other.doubles_sent;
+        self.buf_allocs += other.buf_allocs;
+        self.buf_reuses += other.buf_reuses;
     }
 }
 
@@ -56,6 +68,7 @@ mod tests {
             t_calc: Duration::from_secs(3),
             t_com: Duration::from_secs(1),
             steps: 4,
+            ..Default::default()
         };
         assert!((t.utilization() - 0.75).abs() < 1e-12);
         assert_eq!(t.per_step(), Duration::from_secs(1));
@@ -67,15 +80,27 @@ mod tests {
             t_calc: Duration::from_secs(1),
             t_com: Duration::from_secs(2),
             steps: 10,
+            msgs_sent: 4,
+            doubles_sent: 100,
+            buf_allocs: 2,
+            buf_reuses: 2,
         };
         let b = StepTiming {
             t_calc: Duration::from_secs(3),
             t_com: Duration::from_secs(4),
             steps: 10,
+            msgs_sent: 6,
+            doubles_sent: 200,
+            buf_allocs: 1,
+            buf_reuses: 5,
         };
         a.merge(&b);
         assert_eq!(a.t_calc, Duration::from_secs(4));
         assert_eq!(a.t_com, Duration::from_secs(6));
         assert_eq!(a.steps, 10);
+        assert_eq!(a.msgs_sent, 10);
+        assert_eq!(a.doubles_sent, 300);
+        assert_eq!(a.buf_allocs, 3);
+        assert_eq!(a.buf_reuses, 7);
     }
 }

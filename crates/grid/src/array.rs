@@ -36,7 +36,7 @@ impl StridePolicy {
             StridePolicy::AvoidPageMultiples => {
                 let bytes = width * elem_bytes;
                 let rem = bytes % PAGE_BYTES;
-                let near = rem < 64 || rem > PAGE_BYTES - 64;
+                let near = !(64..=PAGE_BYTES - 64).contains(&rem);
                 if near {
                     // 256 bytes of pad, in elements (at least one element).
                     width + (256 / elem_bytes).max(1)

@@ -38,30 +38,151 @@ pub fn message_len3(nx: usize, ny: usize, nz: usize, f: Face3, w: usize) -> usiz
     }
 }
 
-/// Packs the width-`w` interior strip adjacent to face `f` into `out`.
-pub fn pack2<T: Copy>(g: &PaddedGrid2<T>, f: Face2, w: usize, out: &mut Vec<T>) {
+// ---------------------------------------------------------------------------
+// Tight copy kernels.
+//
+// The pack/unpack loops below avoid two per-row costs of the naive
+// `extend_from_slice` formulation: `Vec` growth/length bookkeeping (buffers
+// are sized once up front and filled through subslices) and opaque-length
+// `memcpy` calls for the narrow x-face segments (widths 1–4 dispatch to
+// const-generic kernels whose copy length is known to the compiler).
+// ---------------------------------------------------------------------------
+
+/// Copies `out.len() / W` segments of length `W` from `src`, starting at
+/// `base0` and advancing `stride` per segment, into consecutive chunks of
+/// `out`.
+#[inline]
+fn gather_rows_fixed<T: Copy, const W: usize>(src: &[T], base0: usize, stride: usize, out: &mut [T]) {
+    let mut base = base0;
+    for chunk in out.chunks_exact_mut(W) {
+        chunk.copy_from_slice(&src[base..base + W]);
+        base += stride;
+    }
+}
+
+/// Strided gather: `rows` segments of length `seg` into consecutive chunks
+/// of `out`.
+#[inline]
+fn gather_rows<T: Copy>(src: &[T], base0: usize, stride: usize, seg: usize, out: &mut [T]) {
+    match seg {
+        1 => gather_rows_fixed::<T, 1>(src, base0, stride, out),
+        2 => gather_rows_fixed::<T, 2>(src, base0, stride, out),
+        3 => gather_rows_fixed::<T, 3>(src, base0, stride, out),
+        4 => gather_rows_fixed::<T, 4>(src, base0, stride, out),
+        _ => {
+            let mut base = base0;
+            for chunk in out.chunks_exact_mut(seg) {
+                chunk.copy_from_slice(&src[base..base + seg]);
+                base += stride;
+            }
+        }
+    }
+}
+
+/// Scatter counterpart of [`gather_rows_fixed`].
+#[inline]
+fn scatter_rows_fixed<T: Copy, const W: usize>(dst: &mut [T], base0: usize, stride: usize, data: &[T]) {
+    let mut base = base0;
+    for chunk in data.chunks_exact(W) {
+        dst[base..base + W].copy_from_slice(chunk);
+        base += stride;
+    }
+}
+
+/// Strided scatter: consecutive `seg`-chunks of `data` into rows of `dst`.
+#[inline]
+fn scatter_rows<T: Copy>(dst: &mut [T], base0: usize, stride: usize, seg: usize, data: &[T]) {
+    match seg {
+        1 => scatter_rows_fixed::<T, 1>(dst, base0, stride, data),
+        2 => scatter_rows_fixed::<T, 2>(dst, base0, stride, data),
+        3 => scatter_rows_fixed::<T, 3>(dst, base0, stride, data),
+        4 => scatter_rows_fixed::<T, 4>(dst, base0, stride, data),
+        _ => {
+            let mut base = base0;
+            for chunk in data.chunks_exact(seg) {
+                dst[base..base + seg].copy_from_slice(chunk);
+                base += stride;
+            }
+        }
+    }
+}
+
+/// Packs the width-`w` interior strip adjacent to face `f` into the
+/// caller-sized buffer `out` (`out.len()` must equal [`message_len2`]).
+pub fn pack2_into<T: Copy>(g: &PaddedGrid2<T>, f: Face2, w: usize, out: &mut [T]) {
     let (nx, ny) = (g.nx() as isize, g.ny() as isize);
     let wi = w as isize;
     debug_assert!(w <= g.halo(), "exchange width exceeds halo");
+    debug_assert_eq!(out.len(), message_len2(g.nx(), g.ny(), f, w));
+    let stride = g.stride();
+    let raw = g.raw();
     match f {
-        Face2::West => {
-            for j in 0..ny {
-                out.extend_from_slice(g.row_segment(j, 0, w));
-            }
-        }
-        Face2::East => {
-            for j in 0..ny {
-                out.extend_from_slice(g.row_segment(j, nx - wi, w));
-            }
-        }
+        Face2::West => gather_rows(raw, g.idx(0, 0), stride, w, out),
+        Face2::East => gather_rows(raw, g.idx(nx - wi, 0), stride, w, out),
         Face2::South => {
-            for j in 0..wi {
-                out.extend_from_slice(g.row_segment(j, -wi, (nx + 2 * wi) as usize));
+            let span = (nx + 2 * wi) as usize;
+            let base = g.idx(-wi, 0);
+            if span == stride {
+                // strip rows are back-to-back in storage: one straight copy
+                out.copy_from_slice(&raw[base..base + w * stride]);
+            } else {
+                gather_rows(raw, base, stride, span, out);
             }
         }
         Face2::North => {
-            for j in (ny - wi)..ny {
-                out.extend_from_slice(g.row_segment(j, -wi, (nx + 2 * wi) as usize));
+            let span = (nx + 2 * wi) as usize;
+            let base = g.idx(-wi, ny - wi);
+            if span == stride {
+                out.copy_from_slice(&raw[base..base + w * stride]);
+            } else {
+                gather_rows(raw, base, stride, span, out);
+            }
+        }
+    }
+}
+
+/// Packs the width-`w` interior strip adjacent to face `f`, appending to the
+/// reusable buffer `out` (the buffer is grown once to its final size; a
+/// recycled buffer of the right length is reused without reallocation).
+pub fn pack2<T: Copy + Default>(g: &PaddedGrid2<T>, f: Face2, w: usize, out: &mut Vec<T>) {
+    let need = message_len2(g.nx(), g.ny(), f, w);
+    let start = out.len();
+    out.resize(start + need, T::default());
+    pack2_into(g, f, w, &mut out[start..]);
+}
+
+/// Writes a received strip into the ghost band beyond face `f`, consuming
+/// exactly [`message_len2`] elements from the front of `data`.
+pub fn unpack2_into<T: Copy>(g: &mut PaddedGrid2<T>, f: Face2, w: usize, data: &[T]) {
+    let (nx, ny) = (g.nx() as isize, g.ny() as isize);
+    let wi = w as isize;
+    debug_assert_eq!(data.len(), message_len2(g.nx(), g.ny(), f, w));
+    let stride = g.stride();
+    match f {
+        Face2::West => {
+            let base = g.idx(-wi, 0);
+            scatter_rows(g.raw_mut(), base, stride, w, data);
+        }
+        Face2::East => {
+            let base = g.idx(nx, 0);
+            scatter_rows(g.raw_mut(), base, stride, w, data);
+        }
+        Face2::South => {
+            let span = (nx + 2 * wi) as usize;
+            let base = g.idx(-wi, -wi);
+            if span == stride {
+                g.raw_mut()[base..base + w * stride].copy_from_slice(data);
+            } else {
+                scatter_rows(g.raw_mut(), base, stride, span, data);
+            }
+        }
+        Face2::North => {
+            let span = (nx + 2 * wi) as usize;
+            let base = g.idx(-wi, ny);
+            if span == stride {
+                g.raw_mut()[base..base + w * stride].copy_from_slice(data);
+            } else {
+                scatter_rows(g.raw_mut(), base, stride, span, data);
             }
         }
     }
@@ -70,92 +191,109 @@ pub fn pack2<T: Copy>(g: &PaddedGrid2<T>, f: Face2, w: usize, out: &mut Vec<T>) 
 /// Writes a received strip into the ghost band beyond face `f`.
 /// Returns the number of elements consumed from `data`.
 pub fn unpack2<T: Copy>(g: &mut PaddedGrid2<T>, f: Face2, w: usize, data: &[T]) -> usize {
-    let (nx, ny) = (g.nx() as isize, g.ny() as isize);
-    let wi = w as isize;
     let need = message_len2(g.nx(), g.ny(), f, w);
     debug_assert!(data.len() >= need, "short halo message");
-    let mut at = 0usize;
-    match f {
-        Face2::West => {
-            for j in 0..ny {
-                g.row_segment_mut(j, -wi, w).copy_from_slice(&data[at..at + w]);
-                at += w;
-            }
-        }
-        Face2::East => {
-            for j in 0..ny {
-                g.row_segment_mut(j, nx, w).copy_from_slice(&data[at..at + w]);
-                at += w;
-            }
-        }
-        Face2::South => {
-            let span = (nx + 2 * wi) as usize;
-            for j in -wi..0 {
-                g.row_segment_mut(j, -wi, span).copy_from_slice(&data[at..at + span]);
-                at += span;
-            }
-        }
-        Face2::North => {
-            let span = (nx + 2 * wi) as usize;
-            for j in ny..(ny + wi) {
-                g.row_segment_mut(j, -wi, span).copy_from_slice(&data[at..at + span]);
-                at += span;
-            }
-        }
-    }
-    debug_assert_eq!(at, need);
-    at
+    unpack2_into(g, f, w, &data[..need]);
+    need
 }
 
-/// Packs the width-`w` interior strip adjacent to face `f` into `out` (3D).
-pub fn pack3<T: Copy>(g: &PaddedGrid3<T>, f: Face3, w: usize, out: &mut Vec<T>) {
+/// Packs the width-`w` interior strip adjacent to face `f` into the
+/// caller-sized buffer `out` (`out.len()` must equal [`message_len3`]).
+pub fn pack3_into<T: Copy>(g: &PaddedGrid3<T>, f: Face3, w: usize, out: &mut [T]) {
     let (nx, ny, nz) = (g.nx() as isize, g.ny() as isize, g.nz() as isize);
     let wi = w as isize;
     debug_assert!(w <= g.halo(), "exchange width exceeds halo");
-    match f {
-        Face3::West => {
-            for k in 0..nz {
-                for j in 0..ny {
-                    out.extend_from_slice(g.row_segment(j, k, 0, w));
-                }
+    debug_assert_eq!(out.len(), message_len3(g.nx(), g.ny(), g.nz(), f, w));
+    let stride = g.stride();
+    let raw = g.raw();
+    match f.axis() {
+        0 => {
+            let i0 = if f == Face3::West { 0 } else { nx - wi };
+            let per_plane = w * g.ny();
+            for (k, chunk) in out.chunks_exact_mut(per_plane).enumerate() {
+                gather_rows(raw, g.idx(i0, 0, k as isize), stride, w, chunk);
             }
         }
-        Face3::East => {
-            for k in 0..nz {
-                for j in 0..ny {
-                    out.extend_from_slice(g.row_segment(j, k, nx - wi, w));
-                }
-            }
-        }
-        Face3::South => {
+        1 => {
             let span = (nx + 2 * wi) as usize;
-            for k in 0..nz {
-                for j in 0..wi {
-                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+            let j0 = if f == Face3::South { 0 } else { ny - wi };
+            let per_plane = w * span;
+            for (k, chunk) in out.chunks_exact_mut(per_plane).enumerate() {
+                let base = g.idx(-wi, j0, k as isize);
+                if span == stride {
+                    chunk.copy_from_slice(&raw[base..base + w * stride]);
+                } else {
+                    gather_rows(raw, base, stride, span, chunk);
                 }
             }
         }
-        Face3::North => {
+        _ => {
             let span = (nx + 2 * wi) as usize;
-            for k in 0..nz {
-                for j in (ny - wi)..ny {
-                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+            let k0 = if f == Face3::Down { 0 } else { nz - wi };
+            let rows = (ny + 2 * wi) as usize;
+            let per_plane = rows * span;
+            for (dk, chunk) in out.chunks_exact_mut(per_plane).enumerate() {
+                let base = g.idx(-wi, -wi, k0 + dk as isize);
+                if span == stride {
+                    // the whole row range of this slab is back-to-back
+                    chunk.copy_from_slice(&raw[base..base + rows * stride]);
+                } else {
+                    gather_rows(raw, base, stride, span, chunk);
                 }
             }
         }
-        Face3::Down => {
+    }
+}
+
+/// Packs the width-`w` interior strip adjacent to face `f`, appending to the
+/// reusable buffer `out` (3D; see [`pack2`] for the buffer contract).
+pub fn pack3<T: Copy + Default>(g: &PaddedGrid3<T>, f: Face3, w: usize, out: &mut Vec<T>) {
+    let need = message_len3(g.nx(), g.ny(), g.nz(), f, w);
+    let start = out.len();
+    out.resize(start + need, T::default());
+    pack3_into(g, f, w, &mut out[start..]);
+}
+
+/// Writes a received strip into the ghost band beyond face `f`, consuming
+/// exactly [`message_len3`] elements (3D).
+pub fn unpack3_into<T: Copy>(g: &mut PaddedGrid3<T>, f: Face3, w: usize, data: &[T]) {
+    let (nx, ny, nz) = (g.nx() as isize, g.ny() as isize, g.nz() as isize);
+    let wi = w as isize;
+    debug_assert_eq!(data.len(), message_len3(g.nx(), g.ny(), g.nz(), f, w));
+    let stride = g.stride();
+    match f.axis() {
+        0 => {
+            let i0 = if f == Face3::West { -wi } else { nx };
+            let per_plane = w * g.ny();
+            for (k, chunk) in data.chunks_exact(per_plane).enumerate() {
+                let base = g.idx(i0, 0, k as isize);
+                scatter_rows(g.raw_mut(), base, stride, w, chunk);
+            }
+        }
+        1 => {
             let span = (nx + 2 * wi) as usize;
-            for k in 0..wi {
-                for j in -wi..(ny + wi) {
-                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+            let j0 = if f == Face3::South { -wi } else { ny };
+            let per_plane = w * span;
+            for (k, chunk) in data.chunks_exact(per_plane).enumerate() {
+                let base = g.idx(-wi, j0, k as isize);
+                if span == stride {
+                    g.raw_mut()[base..base + w * stride].copy_from_slice(chunk);
+                } else {
+                    scatter_rows(g.raw_mut(), base, stride, span, chunk);
                 }
             }
         }
-        Face3::Up => {
+        _ => {
             let span = (nx + 2 * wi) as usize;
-            for k in (nz - wi)..nz {
-                for j in -wi..(ny + wi) {
-                    out.extend_from_slice(g.row_segment(j, k, -wi, span));
+            let k0 = if f == Face3::Down { -wi } else { nz };
+            let rows = (ny + 2 * wi) as usize;
+            let per_plane = rows * span;
+            for (dk, chunk) in data.chunks_exact(per_plane).enumerate() {
+                let base = g.idx(-wi, -wi, k0 + dk as isize);
+                if span == stride {
+                    g.raw_mut()[base..base + rows * stride].copy_from_slice(chunk);
+                } else {
+                    scatter_rows(g.raw_mut(), base, stride, span, chunk);
                 }
             }
         }
@@ -165,67 +303,10 @@ pub fn pack3<T: Copy>(g: &PaddedGrid3<T>, f: Face3, w: usize, out: &mut Vec<T>) 
 /// Writes a received strip into the ghost band beyond face `f` (3D).
 /// Returns the number of elements consumed from `data`.
 pub fn unpack3<T: Copy>(g: &mut PaddedGrid3<T>, f: Face3, w: usize, data: &[T]) -> usize {
-    let (nx, ny, nz) = (g.nx() as isize, g.ny() as isize, g.nz() as isize);
-    let wi = w as isize;
     let need = message_len3(g.nx(), g.ny(), g.nz(), f, w);
     debug_assert!(data.len() >= need, "short halo message");
-    let mut at = 0usize;
-    match f {
-        Face3::West => {
-            for k in 0..nz {
-                for j in 0..ny {
-                    g.row_segment_mut(j, k, -wi, w).copy_from_slice(&data[at..at + w]);
-                    at += w;
-                }
-            }
-        }
-        Face3::East => {
-            for k in 0..nz {
-                for j in 0..ny {
-                    g.row_segment_mut(j, k, nx, w).copy_from_slice(&data[at..at + w]);
-                    at += w;
-                }
-            }
-        }
-        Face3::South => {
-            let span = (nx + 2 * wi) as usize;
-            for k in 0..nz {
-                for j in -wi..0 {
-                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
-                    at += span;
-                }
-            }
-        }
-        Face3::North => {
-            let span = (nx + 2 * wi) as usize;
-            for k in 0..nz {
-                for j in ny..(ny + wi) {
-                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
-                    at += span;
-                }
-            }
-        }
-        Face3::Down => {
-            let span = (nx + 2 * wi) as usize;
-            for k in -wi..0 {
-                for j in -wi..(ny + wi) {
-                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
-                    at += span;
-                }
-            }
-        }
-        Face3::Up => {
-            let span = (nx + 2 * wi) as usize;
-            for k in nz..(nz + wi) {
-                for j in -wi..(ny + wi) {
-                    g.row_segment_mut(j, k, -wi, span).copy_from_slice(&data[at..at + span]);
-                    at += span;
-                }
-            }
-        }
-    }
-    debug_assert_eq!(at, need);
-    at
+    unpack3_into(g, f, w, &data[..need]);
+    need
 }
 
 #[cfg(test)]
@@ -279,9 +360,8 @@ mod tests {
         }
 
         // Every padded node of every tile must now match the global function.
-        for id in 0..d.tiles() {
+        for (id, t) in tiles.iter().enumerate() {
             let b = d.tile_box(id);
-            let t = &tiles[id];
             let wi = w as isize;
             for j in -wi..(b.y.len as isize + wi) {
                 for i in -wi..(b.x.len as isize + wi) {

@@ -36,9 +36,7 @@ impl<T: Clone> PaddedGrid2<T> {
 
     /// Fills every node, interior and ghost, with `v`.
     pub fn fill(&mut self, v: T) {
-        for x in self.storage.raw_mut() {
-            *x = v.clone();
-        }
+        self.storage.raw_mut().fill(v);
     }
 
     /// Builds a padded grid by evaluating `f(i, j)` over the *whole* padded
@@ -125,6 +123,63 @@ impl<T> PaddedGrid2<T> {
         &mut self.storage.raw_mut()[base..base + len]
     }
 
+    /// Interior row `j` as a slice, `i ∈ [0, nx)`.
+    #[inline]
+    pub fn interior_row(&self, j: isize) -> &[T] {
+        self.row_segment(j, 0, self.nx)
+    }
+
+    /// Interior row `j` as a mutable slice, `i ∈ [0, nx)`.
+    #[inline]
+    pub fn interior_row_mut(&mut self, j: isize) -> &mut [T] {
+        let nx = self.nx;
+        self.row_segment_mut(j, 0, nx)
+    }
+
+    /// The whole padded row `j` as a slice, `i ∈ [-halo, nx+halo)`.
+    #[inline]
+    pub fn padded_row(&self, j: isize) -> &[T] {
+        let h = self.halo;
+        self.row_segment(j, -(h as isize), self.nx + 2 * h)
+    }
+
+    /// The whole padded row `j` as a mutable slice, `i ∈ [-halo, nx+halo)`.
+    #[inline]
+    pub fn padded_row_mut(&mut self, j: isize) -> &mut [T] {
+        let h = self.halo;
+        let len = self.nx + 2 * h;
+        self.row_segment_mut(j, -(h as isize), len)
+    }
+
+    /// Split-borrow row pair: a mutable segment of row `j_dst` together with
+    /// a shared segment of a *different* row `j_src`, both `i ∈ [i0, i0+len)`.
+    /// Enables in-place row-to-row copies (e.g. axis shifts) without going
+    /// through per-element indexing.
+    ///
+    /// Panics if `j_dst == j_src` or `len > stride` (the segments would
+    /// alias).
+    #[inline]
+    pub fn row_pair_mut(
+        &mut self,
+        j_dst: isize,
+        j_src: isize,
+        i0: isize,
+        len: usize,
+    ) -> (&mut [T], &[T]) {
+        assert_ne!(j_dst, j_src, "row_pair_mut: aliasing rows");
+        assert!(len <= self.storage.stride(), "row_pair_mut: segment spans rows");
+        let bd = self.idx(i0, j_dst);
+        let bs = self.idx(i0, j_src);
+        let raw = self.storage.raw_mut();
+        if bd < bs {
+            let (lo, hi) = raw.split_at_mut(bs);
+            (&mut lo[bd..bd + len], &hi[..len])
+        } else {
+            let (lo, hi) = raw.split_at_mut(bd);
+            (&mut hi[..len], &lo[bs..bs + len])
+        }
+    }
+
     /// Copies the interior of `src` into our interior (shapes must match).
     pub fn copy_interior_from(&mut self, src: &PaddedGrid2<T>)
     where
@@ -176,9 +231,7 @@ impl<T: Clone> PaddedGrid3<T> {
 
     /// Fills every node, interior and ghost, with `v`.
     pub fn fill(&mut self, v: T) {
-        for x in self.storage.raw_mut() {
-            *x = v.clone();
-        }
+        self.storage.raw_mut().fill(v);
     }
 
     /// Builds a padded grid by evaluating `f(i, j, k)` over the whole padded
@@ -280,6 +333,64 @@ impl<T> PaddedGrid3<T> {
         let base = self.idx(i0, j, k);
         &mut self.storage.raw_mut()[base..base + len]
     }
+
+    /// Interior x-row at `(j, k)` as a slice, `i ∈ [0, nx)`.
+    #[inline]
+    pub fn interior_row(&self, j: isize, k: isize) -> &[T] {
+        self.row_segment(j, k, 0, self.nx)
+    }
+
+    /// Interior x-row at `(j, k)` as a mutable slice, `i ∈ [0, nx)`.
+    #[inline]
+    pub fn interior_row_mut(&mut self, j: isize, k: isize) -> &mut [T] {
+        let nx = self.nx;
+        self.row_segment_mut(j, k, 0, nx)
+    }
+
+    /// The whole padded x-row at `(j, k)` as a slice, `i ∈ [-halo, nx+halo)`.
+    #[inline]
+    pub fn padded_row(&self, j: isize, k: isize) -> &[T] {
+        let h = self.halo;
+        self.row_segment(j, k, -(h as isize), self.nx + 2 * h)
+    }
+
+    /// The whole padded x-row at `(j, k)` as a mutable slice.
+    #[inline]
+    pub fn padded_row_mut(&mut self, j: isize, k: isize) -> &mut [T] {
+        let h = self.halo;
+        let len = self.nx + 2 * h;
+        self.row_segment_mut(j, k, -(h as isize), len)
+    }
+
+    /// Split-borrow row pair: a mutable segment of row `(j_dst, k_dst)` and a
+    /// shared segment of a *different* row `(j_src, k_src)`, both
+    /// `i ∈ [i0, i0+len)`. See [`PaddedGrid2::row_pair_mut`].
+    ///
+    /// Panics if the rows coincide or `len > stride`.
+    #[inline]
+    pub fn row_pair_mut(
+        &mut self,
+        (j_dst, k_dst): (isize, isize),
+        (j_src, k_src): (isize, isize),
+        i0: isize,
+        len: usize,
+    ) -> (&mut [T], &[T]) {
+        assert!(
+            (j_dst, k_dst) != (j_src, k_src),
+            "row_pair_mut: aliasing rows"
+        );
+        assert!(len <= self.storage.stride(), "row_pair_mut: segment spans rows");
+        let bd = self.idx(i0, j_dst, k_dst);
+        let bs = self.idx(i0, j_src, k_src);
+        let raw = self.storage.raw_mut();
+        if bd < bs {
+            let (lo, hi) = raw.split_at_mut(bs);
+            (&mut lo[bd..bd + len], &hi[..len])
+        } else {
+            let (lo, hi) = raw.split_at_mut(bd);
+            (&mut hi[..len], &lo[bs..bs + len])
+        }
+    }
 }
 
 impl<T> std::ops::Index<(isize, isize, isize)> for PaddedGrid3<T> {
@@ -338,6 +449,38 @@ mod tests {
         assert_eq!(g[(-2, -2, -2)], 5);
         assert_eq!(g[(4, 5, 6)], 6);
         assert_eq!(g.interior_len(), 60);
+    }
+
+    #[test]
+    fn padded2_row_accessors_and_pair() {
+        let mut g = PaddedGrid2::from_fn(3, 2, 2, |i, j| (i + 10 * j) as f64);
+        assert_eq!(g.interior_row(1), &[10.0, 11.0, 12.0]);
+        assert_eq!(g.padded_row(0), &[-2.0, -1.0, 0.0, 1.0, 2.0, 3.0, 4.0]);
+        let (dst, src) = g.row_pair_mut(1, 0, -1, 4);
+        assert_eq!(src, &[-1.0, 0.0, 1.0, 2.0]);
+        dst.copy_from_slice(src);
+        assert_eq!(g[(0, 1)], 0.0);
+        // reversed order (dst below src) splits the other way
+        let (dst, src) = g.row_pair_mut(-1, 2, 0, 3);
+        dst.copy_from_slice(src);
+        assert_eq!(g[(2, -1)], 22.0);
+    }
+
+    #[test]
+    fn padded2_fill_covers_ghosts() {
+        let mut g = PaddedGrid2::from_fn(3, 2, 2, |i, j| (i + 10 * j) as f64);
+        g.fill(7.5);
+        assert_eq!(g[(-2, -2)], 7.5);
+        assert_eq!(g[(4, 3)], 7.5);
+    }
+
+    #[test]
+    fn padded3_row_pair() {
+        let mut g = PaddedGrid3::from_fn(3, 2, 2, 1, |i, j, k| (i + 10 * j + 100 * k) as f64);
+        let (dst, src) = g.row_pair_mut((0, 1), (1, 0), 0, 3);
+        assert_eq!(src, &[10.0, 11.0, 12.0]);
+        dst.copy_from_slice(src);
+        assert_eq!(g[(0, 0, 1)], 10.0);
     }
 
     #[test]

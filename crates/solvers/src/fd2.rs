@@ -82,8 +82,12 @@ impl FiniteDifference2 {
     }
 
     /// Momentum update (interior): forward Euler on eqs. (2)–(3).
+    ///
+    /// Row-slice formulation: each output row reads the centre rows (widened
+    /// by one for the E/W neighbours, so `row[x+1]` is the centre) and the
+    /// interior-width rows above and below.
     fn calc_velocity(&self, t: &mut TileState2) {
-        let nx = t.nx() as isize;
+        let nx = t.nx();
         let ny = t.ny() as isize;
         let p = t.params;
         let inv2dx = 1.0 / (2.0 * p.dx);
@@ -91,28 +95,41 @@ impl FiniteDifference2 {
         let cs2 = p.cs * p.cs;
         let (gx, gy) = (p.body_force[0], p.body_force[1]);
         for j in 0..ny {
-            for i in 0..nx {
-                if !t.mask[(i, j)].is_fluid() {
-                    t.mac_new.vx[(i, j)] = t.mac.vx[(i, j)];
-                    t.mac_new.vy[(i, j)] = t.mac.vy[(i, j)];
+            let mrow = t.mask.interior_row(j);
+            let vxc = t.mac.vx.row_segment(j, -1, nx + 2);
+            let vyc = t.mac.vy.row_segment(j, -1, nx + 2);
+            let rhoc = t.mac.rho.row_segment(j, -1, nx + 2);
+            let vxn = t.mac.vx.interior_row(j + 1);
+            let vxs = t.mac.vx.interior_row(j - 1);
+            let vyn = t.mac.vy.interior_row(j + 1);
+            let vys = t.mac.vy.interior_row(j - 1);
+            let rhon = t.mac.rho.interior_row(j + 1);
+            let rhos = t.mac.rho.interior_row(j - 1);
+            let mac_new = &mut t.mac_new;
+            let out_vx = mac_new.vx.interior_row_mut(j);
+            let out_vy = mac_new.vy.interior_row_mut(j);
+            for x in 0..nx {
+                if !mrow[x].is_fluid() {
+                    out_vx[x] = vxc[x + 1];
+                    out_vy[x] = vyc[x + 1];
                     continue;
                 }
-                let vx = t.mac.vx[(i, j)];
-                let vy = t.mac.vy[(i, j)];
-                let rho = t.mac.rho[(i, j)];
+                let vx = vxc[x + 1];
+                let vy = vyc[x + 1];
+                let rho = rhoc[x + 1];
 
-                let vx_e = t.mac.vx[(i + 1, j)];
-                let vx_w = t.mac.vx[(i - 1, j)];
-                let vx_n = t.mac.vx[(i, j + 1)];
-                let vx_s = t.mac.vx[(i, j - 1)];
-                let vy_e = t.mac.vy[(i + 1, j)];
-                let vy_w = t.mac.vy[(i - 1, j)];
-                let vy_n = t.mac.vy[(i, j + 1)];
-                let vy_s = t.mac.vy[(i, j - 1)];
-                let rho_e = t.mac.rho[(i + 1, j)];
-                let rho_w = t.mac.rho[(i - 1, j)];
-                let rho_n = t.mac.rho[(i, j + 1)];
-                let rho_s = t.mac.rho[(i, j - 1)];
+                let vx_e = vxc[x + 2];
+                let vx_w = vxc[x];
+                let vx_n = vxn[x];
+                let vx_s = vxs[x];
+                let vy_e = vyc[x + 2];
+                let vy_w = vyc[x];
+                let vy_n = vyn[x];
+                let vy_s = vys[x];
+                let rho_e = rhoc[x + 2];
+                let rho_w = rhoc[x];
+                let rho_n = rhon[x];
+                let rho_s = rhos[x];
 
                 let dvx_dx = (vx_e - vx_w) * inv2dx;
                 let dvx_dy = (vx_n - vx_s) * inv2dx;
@@ -123,10 +140,10 @@ impl FiniteDifference2 {
                 let lap_vx = (vx_e + vx_w + vx_n + vx_s - 4.0 * vx) * invdx2;
                 let lap_vy = (vy_e + vy_w + vy_n + vy_s - 4.0 * vy) * invdx2;
 
-                t.mac_new.vx[(i, j)] = vx
+                out_vx[x] = vx
                     + p.dt
                         * (-vx * dvx_dx - vy * dvx_dy - cs2 / rho * drho_dx + p.nu * lap_vx + gx);
-                t.mac_new.vy[(i, j)] = vy
+                out_vy[x] = vy
                     + p.dt
                         * (-vx * dvy_dx - vy * dvy_dy - cs2 / rho * drho_dy + p.nu * lap_vy + gy);
             }
@@ -136,23 +153,28 @@ impl FiniteDifference2 {
     /// Continuity update (interior), conservative form with the *new*
     /// velocities: `ρ_new = ρ − Δt ∇·(ρ V_new)`.
     fn calc_density(&self, t: &mut TileState2) {
-        let nx = t.nx() as isize;
+        let nx = t.nx();
         let ny = t.ny() as isize;
         let p = t.params;
         let inv2dx = 1.0 / (2.0 * p.dx);
         for j in 0..ny {
-            for i in 0..nx {
-                if !t.mask[(i, j)].is_fluid() {
-                    t.mac_new.rho[(i, j)] = t.mac.rho[(i, j)];
+            let mrow = t.mask.interior_row(j);
+            let rhoc = t.mac.rho.row_segment(j, -1, nx + 2);
+            let rhon = t.mac.rho.interior_row(j + 1);
+            let rhos = t.mac.rho.interior_row(j - 1);
+            let mac_new = &mut t.mac_new;
+            let nvx = mac_new.vx.row_segment(j, -1, nx + 2);
+            let nvyn = mac_new.vy.interior_row(j + 1);
+            let nvys = mac_new.vy.interior_row(j - 1);
+            let out = mac_new.rho.interior_row_mut(j);
+            for x in 0..nx {
+                if !mrow[x].is_fluid() {
+                    out[x] = rhoc[x + 1];
                     continue;
                 }
-                let flux_x = (t.mac.rho[(i + 1, j)] * t.mac_new.vx[(i + 1, j)]
-                    - t.mac.rho[(i - 1, j)] * t.mac_new.vx[(i - 1, j)])
-                    * inv2dx;
-                let flux_y = (t.mac.rho[(i, j + 1)] * t.mac_new.vy[(i, j + 1)]
-                    - t.mac.rho[(i, j - 1)] * t.mac_new.vy[(i, j - 1)])
-                    * inv2dx;
-                t.mac_new.rho[(i, j)] = t.mac.rho[(i, j)] - p.dt * (flux_x + flux_y);
+                let flux_x = (rhoc[x + 2] * nvx[x + 2] - rhoc[x] * nvx[x]) * inv2dx;
+                let flux_y = (rhon[x] * nvyn[x] - rhos[x] * nvys[x]) * inv2dx;
+                out[x] = rhoc[x + 1] - p.dt * (flux_x + flux_y);
             }
         }
     }
@@ -306,6 +328,7 @@ impl Solver2 for FiniteDifference2 {
             params,
             offset,
             step: 0,
+            shift_links: None,
         }
     }
 }

@@ -65,8 +65,11 @@ impl FiniteDifference3 {
         }
     }
 
+    /// Momentum update (interior), row-slice formulation: the centre rows are
+    /// widened by one so `row[x+1]` is the centre and `row[x]`/`row[x+2]` the
+    /// W/E neighbours; the four j/k-neighbour rows are interior-width.
     fn calc_velocity(&self, t: &mut TileState3) {
-        let nx = t.nx() as isize;
+        let nx = t.nx();
         let ny = t.ny() as isize;
         let nz = t.nz() as isize;
         let p = t.params;
@@ -76,46 +79,54 @@ impl FiniteDifference3 {
         let g = p.body_force;
         for k in 0..nz {
             for j in 0..ny {
-                for i in 0..nx {
-                    if !t.mask[(i, j, k)].is_fluid() {
-                        t.mac_new.vx[(i, j, k)] = t.mac.vx[(i, j, k)];
-                        t.mac_new.vy[(i, j, k)] = t.mac.vy[(i, j, k)];
-                        t.mac_new.vz[(i, j, k)] = t.mac.vz[(i, j, k)];
+                let mrow = t.mask.interior_row(j, k);
+                // per field (vx, vy, vz, rho): centre row and 4 neighbour rows
+                let fields: [&PaddedGrid3<f64>; 4] =
+                    [&t.mac.vx, &t.mac.vy, &t.mac.vz, &t.mac.rho];
+                let cen: [&[f64]; 4] =
+                    std::array::from_fn(|fi| fields[fi].row_segment(j, k, -1, nx + 2));
+                let rn: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j + 1, k));
+                let rs: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j - 1, k));
+                let ru: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j, k + 1));
+                let rd: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j, k - 1));
+                let mac_new = &mut t.mac_new;
+                let out_vx = mac_new.vx.interior_row_mut(j, k);
+                let out_vy = mac_new.vy.interior_row_mut(j, k);
+                let out_vz = mac_new.vz.interior_row_mut(j, k);
+                for x in 0..nx {
+                    if !mrow[x].is_fluid() {
+                        out_vx[x] = cen[0][x + 1];
+                        out_vy[x] = cen[1][x + 1];
+                        out_vz[x] = cen[2][x + 1];
                         continue;
                     }
-                    let v = [
-                        t.mac.vx[(i, j, k)],
-                        t.mac.vy[(i, j, k)],
-                        t.mac.vz[(i, j, k)],
-                    ];
-                    let rho = t.mac.rho[(i, j, k)];
+                    let v = [cen[0][x + 1], cen[1][x + 1], cen[2][x + 1]];
+                    let rho = cen[3][x + 1];
                     // gradients of each velocity component and of rho
-                    let fields: [&PaddedGrid3<f64>; 4] =
-                        [&t.mac.vx, &t.mac.vy, &t.mac.vz, &t.mac.rho];
                     let mut grad = [[0.0f64; 3]; 4]; // [field][axis]
                     let mut lap = [0.0f64; 3];
-                    for (fi, fld) in fields.iter().enumerate() {
-                        let e = fld[(i + 1, j, k)];
-                        let w = fld[(i - 1, j, k)];
-                        let n = fld[(i, j + 1, k)];
-                        let s = fld[(i, j - 1, k)];
-                        let u = fld[(i, j, k + 1)];
-                        let d = fld[(i, j, k - 1)];
+                    for fi in 0..4 {
+                        let e = cen[fi][x + 2];
+                        let w = cen[fi][x];
+                        let n = rn[fi][x];
+                        let s = rs[fi][x];
+                        let u = ru[fi][x];
+                        let d = rd[fi][x];
                         grad[fi] = [(e - w) * inv2dx, (n - s) * inv2dx, (u - d) * inv2dx];
                         if fi < 3 {
                             lap[fi] = (e + w + n + s + u + d - 6.0 * v[fi]) * invdx2;
                         }
                     }
-                    let out: [&mut PaddedGrid3<f64>; 3] = [
-                        &mut t.mac_new.vx,
-                        &mut t.mac_new.vy,
-                        &mut t.mac_new.vz,
-                    ];
-                    for (a, o) in out.into_iter().enumerate() {
+                    for a in 0..3 {
                         let adv =
                             v[0] * grad[a][0] + v[1] * grad[a][1] + v[2] * grad[a][2];
-                        o[(i, j, k)] = v[a]
+                        let val = v[a]
                             + p.dt * (-adv - cs2 / rho * grad[3][a] + p.nu * lap[a] + g[a]);
+                        match a {
+                            0 => out_vx[x] = val,
+                            1 => out_vy[x] = val,
+                            _ => out_vz[x] = val,
+                        }
                     }
                 }
             }
@@ -123,28 +134,35 @@ impl FiniteDifference3 {
     }
 
     fn calc_density(&self, t: &mut TileState3) {
-        let nx = t.nx() as isize;
+        let nx = t.nx();
         let ny = t.ny() as isize;
         let nz = t.nz() as isize;
         let p = t.params;
         let inv2dx = 1.0 / (2.0 * p.dx);
         for k in 0..nz {
             for j in 0..ny {
-                for i in 0..nx {
-                    if !t.mask[(i, j, k)].is_fluid() {
-                        t.mac_new.rho[(i, j, k)] = t.mac.rho[(i, j, k)];
+                let mrow = t.mask.interior_row(j, k);
+                let rhoc = t.mac.rho.row_segment(j, k, -1, nx + 2);
+                let rhon = t.mac.rho.interior_row(j + 1, k);
+                let rhos = t.mac.rho.interior_row(j - 1, k);
+                let rhou = t.mac.rho.interior_row(j, k + 1);
+                let rhod = t.mac.rho.interior_row(j, k - 1);
+                let mac_new = &mut t.mac_new;
+                let nvx = mac_new.vx.row_segment(j, k, -1, nx + 2);
+                let nvyn = mac_new.vy.interior_row(j + 1, k);
+                let nvys = mac_new.vy.interior_row(j - 1, k);
+                let nvzu = mac_new.vz.interior_row(j, k + 1);
+                let nvzd = mac_new.vz.interior_row(j, k - 1);
+                let out = mac_new.rho.interior_row_mut(j, k);
+                for x in 0..nx {
+                    if !mrow[x].is_fluid() {
+                        out[x] = rhoc[x + 1];
                         continue;
                     }
-                    let fx = (t.mac.rho[(i + 1, j, k)] * t.mac_new.vx[(i + 1, j, k)]
-                        - t.mac.rho[(i - 1, j, k)] * t.mac_new.vx[(i - 1, j, k)])
-                        * inv2dx;
-                    let fy = (t.mac.rho[(i, j + 1, k)] * t.mac_new.vy[(i, j + 1, k)]
-                        - t.mac.rho[(i, j - 1, k)] * t.mac_new.vy[(i, j - 1, k)])
-                        * inv2dx;
-                    let fz = (t.mac.rho[(i, j, k + 1)] * t.mac_new.vz[(i, j, k + 1)]
-                        - t.mac.rho[(i, j, k - 1)] * t.mac_new.vz[(i, j, k - 1)])
-                        * inv2dx;
-                    t.mac_new.rho[(i, j, k)] = t.mac.rho[(i, j, k)] - p.dt * (fx + fy + fz);
+                    let fx = (rhoc[x + 2] * nvx[x + 2] - rhoc[x] * nvx[x]) * inv2dx;
+                    let fy = (rhon[x] * nvyn[x] - rhos[x] * nvys[x]) * inv2dx;
+                    let fz = (rhou[x] * nvzu[x] - rhod[x] * nvzd[x]) * inv2dx;
+                    out[x] = rhoc[x + 1] - p.dt * (fx + fy + fz);
                 }
             }
         }
@@ -313,6 +331,7 @@ impl Solver3 for FiniteDifference3 {
             params,
             offset,
             step: 0,
+            shift_links: None,
         }
     }
 }

@@ -1,8 +1,80 @@
 //! Field storage for one subregion ("tile") of the decomposed problem.
 
 use crate::params::FluidParams;
+use crate::qlattice::{E2, E3, Q2, Q3};
 use serde::{Deserialize, Serialize};
 use subsonic_grid::{Cell, PaddedGrid2, PaddedGrid3};
+
+/// Cached boundary links for the 2D LB streaming step.
+///
+/// The geometry mask is immutable after tile creation, so the lattice links
+/// that need special handling during streaming — destinations on wall nodes
+/// (population held) and links whose upstream node is a wall (half-way
+/// bounce-back) — form a fixed set. Caching it turns the streaming interior
+/// into plain offset row copies with an O(boundary) fix-up pass. The cache is
+/// never serialized; it is rebuilt lazily after checkpoint reload or
+/// migration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShiftLinks2 {
+    /// `(q, i, j)`: destination is a wall node, population is held in place.
+    pub hold: Vec<(u8, i32, i32)>,
+    /// `(q, i, j)`: upstream node is a wall, population bounces back.
+    pub bounce: Vec<(u8, i32, i32)>,
+}
+
+impl ShiftLinks2 {
+    /// Scans the streamed region `[-2, n+2)` of `mask` for boundary links.
+    pub fn build(mask: &PaddedGrid2<Cell>) -> Self {
+        let nx = mask.nx() as isize;
+        let ny = mask.ny() as isize;
+        let mut links = Self::default();
+        for (q, &(ex, ey)) in E2.iter().enumerate().take(Q2) {
+            for j in -2..(ny + 2) {
+                for i in -2..(nx + 2) {
+                    if mask[(i, j)].is_wall() {
+                        links.hold.push((q as u8, i as i32, j as i32));
+                    } else if mask[(i - ex, j - ey)].is_wall() {
+                        links.bounce.push((q as u8, i as i32, j as i32));
+                    }
+                }
+            }
+        }
+        links
+    }
+}
+
+/// Cached boundary links for the 3D LB streaming step (see [`ShiftLinks2`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ShiftLinks3 {
+    /// `(q, i, j, k)`: destination is a wall node.
+    pub hold: Vec<(u8, i32, i32, i32)>,
+    /// `(q, i, j, k)`: upstream node is a wall.
+    pub bounce: Vec<(u8, i32, i32, i32)>,
+}
+
+impl ShiftLinks3 {
+    /// Scans the streamed region `[-2, n+2)` of `mask` for boundary links.
+    pub fn build(mask: &PaddedGrid3<Cell>) -> Self {
+        let nx = mask.nx() as isize;
+        let ny = mask.ny() as isize;
+        let nz = mask.nz() as isize;
+        let mut links = Self::default();
+        for (q, &(ex, ey, ez)) in E3.iter().enumerate().take(Q3) {
+            for k in -2..(nz + 2) {
+                for j in -2..(ny + 2) {
+                    for i in -2..(nx + 2) {
+                        if mask[(i, j, k)].is_wall() {
+                            links.hold.push((q as u8, i as i32, j as i32, k as i32));
+                        } else if mask[(i - ex, j - ey, k - ez)].is_wall() {
+                            links.bounce.push((q as u8, i as i32, j as i32, k as i32));
+                        }
+                    }
+                }
+            }
+        }
+        links
+    }
+}
 
 /// Macroscopic fields of a 2D tile: density and velocity components.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -80,6 +152,10 @@ pub struct TileState2 {
     pub offset: (usize, usize),
     /// Completed integration steps.
     pub step: u64,
+    /// Lazily built streaming boundary-link cache (LB only; derived from
+    /// `mask`, never serialized).
+    #[serde(skip)]
+    pub shift_links: Option<ShiftLinks2>,
 }
 
 impl TileState2 {
@@ -125,6 +201,10 @@ pub struct TileState3 {
     pub offset: (usize, usize, usize),
     /// Completed integration steps.
     pub step: u64,
+    /// Lazily built streaming boundary-link cache (LB only; derived from
+    /// `mask`, never serialized).
+    #[serde(skip)]
+    pub shift_links: Option<ShiftLinks3>,
 }
 
 impl TileState3 {

@@ -34,6 +34,42 @@ fn fluid5(
     (-2..=2).all(|d| m(d).is_fluid())
 }
 
+/// One row of the along-row (x) filter pass. `src` spans `[x0-2, x0+n+2)` of
+/// the input row, `msk` the same range of the mask row, `dst` spans
+/// `[x0, x0+n)` of the output row.
+#[inline(always)]
+fn filter_row_x(dst: &mut [f64], src: &[f64], msk: &[Cell], eps: f64) {
+    for (x, d) in dst.iter_mut().enumerate() {
+        let v = src[x + 2];
+        let ok = fluid5(|o| msk[(x as isize + 2 + o) as usize]);
+        *d = if ok {
+            v - eps * (src[x] - 4.0 * src[x + 1] + 6.0 * v - 4.0 * src[x + 3] + src[x + 4])
+        } else {
+            v
+        };
+    }
+}
+
+/// One row of an across-row filter pass: the five stencil inputs come from
+/// five parallel rows (offsets −2..+2 along the filtered axis) at the same x.
+#[inline(always)]
+fn filter_row_across(
+    dst: &mut [f64],
+    s: [&[f64]; 5],
+    m: [&[Cell]; 5],
+    eps: f64,
+) {
+    for (x, d) in dst.iter_mut().enumerate() {
+        let v = s[2][x];
+        let ok = fluid5(|o| m[(o + 2) as usize][x]);
+        *d = if ok {
+            v - eps * (s[0][x] - 4.0 * s[1][x] + 6.0 * v - 4.0 * s[3][x] + s[4][x])
+        } else {
+            v
+        };
+    }
+}
+
 /// Applies the two-pass 2D filter to `u` in place, using `sx` as scratch.
 ///
 /// Output region: `[-ring, n+ring)` on both axes. Requires `u` valid on
@@ -48,35 +84,27 @@ pub fn filter_field2(
     let nx = u.nx() as isize;
     let ny = u.ny() as isize;
     debug_assert!(u.halo() as isize >= ring + 2, "halo too small for filter ring");
+    let span = (nx + 2 * ring) as usize;
 
     // Pass 1 (x): scratch <- filtered-in-x, over a y-range widened by 2 so
     // pass 2 has valid inputs.
     for j in (-ring - 2)..(ny + ring + 2) {
-        for i in -ring..(nx + ring) {
-            let v = u[(i, j)];
-            let ok = fluid5(|d| mask[(i + d, j)]);
-            sx[(i, j)] = if ok {
-                v - eps * (u[(i - 2, j)] - 4.0 * u[(i - 1, j)] + 6.0 * v - 4.0 * u[(i + 1, j)]
-                    + u[(i + 2, j)])
-            } else {
-                v
-            };
-        }
+        filter_row_x(
+            sx.row_segment_mut(j, -ring, span),
+            u.row_segment(j, -ring - 2, span + 4),
+            mask.row_segment(j, -ring - 2, span + 4),
+            eps,
+        );
     }
 
     // Pass 2 (y): u <- filtered-in-y of scratch.
     for j in -ring..(ny + ring) {
-        for i in -ring..(nx + ring) {
-            let v = sx[(i, j)];
-            let ok = fluid5(|d| mask[(i, j + d)]);
-            u[(i, j)] = if ok {
-                v - eps * (sx[(i, j - 2)] - 4.0 * sx[(i, j - 1)] + 6.0 * v
-                    - 4.0 * sx[(i, j + 1)]
-                    + sx[(i, j + 2)])
-            } else {
-                v
-            };
-        }
+        filter_row_across(
+            u.row_segment_mut(j, -ring, span),
+            std::array::from_fn(|o| sx.row_segment(j + o as isize - 2, -ring, span)),
+            std::array::from_fn(|o| mask.row_segment(j + o as isize - 2, -ring, span)),
+            eps,
+        );
     }
 }
 
@@ -96,55 +124,38 @@ pub fn filter_field3(
     let ny = u.ny() as isize;
     let nz = u.nz() as isize;
     debug_assert!(u.halo() as isize >= ring + 2, "halo too small for filter ring");
+    let span = (nx + 2 * ring) as usize;
 
     for k in (-ring - 2)..(nz + ring + 2) {
         for j in (-ring - 2)..(ny + ring + 2) {
-            for i in -ring..(nx + ring) {
-                let v = u[(i, j, k)];
-                let ok = fluid5(|d| mask[(i + d, j, k)]);
-                sx[(i, j, k)] = if ok {
-                    v - eps
-                        * (u[(i - 2, j, k)] - 4.0 * u[(i - 1, j, k)] + 6.0 * v
-                            - 4.0 * u[(i + 1, j, k)]
-                            + u[(i + 2, j, k)])
-                } else {
-                    v
-                };
-            }
+            filter_row_x(
+                sx.row_segment_mut(j, k, -ring, span),
+                u.row_segment(j, k, -ring - 2, span + 4),
+                mask.row_segment(j, k, -ring - 2, span + 4),
+                eps,
+            );
         }
     }
 
     for k in (-ring - 2)..(nz + ring + 2) {
         for j in -ring..(ny + ring) {
-            for i in -ring..(nx + ring) {
-                let v = sx[(i, j, k)];
-                let ok = fluid5(|d| mask[(i, j + d, k)]);
-                sy[(i, j, k)] = if ok {
-                    v - eps
-                        * (sx[(i, j - 2, k)] - 4.0 * sx[(i, j - 1, k)] + 6.0 * v
-                            - 4.0 * sx[(i, j + 1, k)]
-                            + sx[(i, j + 2, k)])
-                } else {
-                    v
-                };
-            }
+            filter_row_across(
+                sy.row_segment_mut(j, k, -ring, span),
+                std::array::from_fn(|o| sx.row_segment(j + o as isize - 2, k, -ring, span)),
+                std::array::from_fn(|o| mask.row_segment(j + o as isize - 2, k, -ring, span)),
+                eps,
+            );
         }
     }
 
     for k in -ring..(nz + ring) {
         for j in -ring..(ny + ring) {
-            for i in -ring..(nx + ring) {
-                let v = sy[(i, j, k)];
-                let ok = fluid5(|d| mask[(i, j, k + d)]);
-                u[(i, j, k)] = if ok {
-                    v - eps
-                        * (sy[(i, j, k - 2)] - 4.0 * sy[(i, j, k - 1)] + 6.0 * v
-                            - 4.0 * sy[(i, j, k + 1)]
-                            + sy[(i, j, k + 2)])
-                } else {
-                    v
-                };
-            }
+            filter_row_across(
+                u.row_segment_mut(j, k, -ring, span),
+                std::array::from_fn(|o| sy.row_segment(j, k + o as isize - 2, -ring, span)),
+                std::array::from_fn(|o| mask.row_segment(j, k + o as isize - 2, -ring, span)),
+                eps,
+            );
         }
     }
 }

@@ -30,6 +30,7 @@ impl InitialState2 {
 /// Initial condition for 3D problems: local padded coordinates →
 /// `(ρ, vx, vy, vz)`.
 pub struct InitialState3(
+    #[allow(clippy::type_complexity)]
     pub Box<dyn Fn(isize, isize, isize) -> (f64, f64, f64, f64) + Send + Sync>,
 );
 

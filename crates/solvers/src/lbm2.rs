@@ -32,7 +32,7 @@
 //! stored in physical units (`Δx`, `Δt` conversions applied), so diagnostics
 //! are method-agnostic.
 
-use crate::fields::{Macro2, TileState2};
+use crate::fields::{Macro2, ShiftLinks2, TileState2};
 use crate::filter::filter_field2;
 use crate::init::InitialState2;
 use crate::params::{FluidParams, MethodKind};
@@ -59,6 +59,10 @@ pub struct LatticeBoltzmann2;
 
 impl LatticeBoltzmann2 {
     /// BGK relaxation (pointwise, over the full valid ghost band).
+    ///
+    /// Iterates row slices: the per-node work reads all `Q2` populations at
+    /// one x offset, so each row borrows one slice per population grid and
+    /// the inner loop is free of index arithmetic.
     fn relax(&self, t: &mut TileState2) {
         let nx = t.nx() as isize;
         let ny = t.ny() as isize;
@@ -69,45 +73,50 @@ impl LatticeBoltzmann2 {
         let ay = p.accel_to_lattice(p.body_force[1]);
         let uin_x = p.velocity_to_lattice(p.inlet_velocity[0]);
         let uin_y = p.velocity_to_lattice(p.inlet_velocity[1]);
+        let span = (nx + 6) as usize;
         for j in -3..(ny + 3) {
-            for i in -3..(nx + 3) {
-                match t.mask[(i, j)] {
+            let mrow = t.mask.row_segment(j, -3, span);
+            let mut fit = t.f.iter_mut();
+            let mut frows: [&mut [f64]; Q2] =
+                std::array::from_fn(|_| fit.next().unwrap().row_segment_mut(j, -3, span));
+            for x in 0..span {
+                match mrow[x] {
                     Cell::Fluid => {
                         let mut rho = 0.0;
                         let mut mx = 0.0;
                         let mut my = 0.0;
-                        for q in 0..Q2 {
-                            let f = t.f[q][(i, j)];
+                        for (q, fr) in frows.iter().enumerate() {
+                            let f = fr[x];
                             rho += f;
                             mx += f * E2[q].0 as f64;
                             my += f * E2[q].1 as f64;
                         }
                         let ux = mx / rho + tau * ax;
                         let uy = my / rho + tau * ay;
-                        for q in 0..Q2 {
-                            let f = t.f[q][(i, j)];
-                            t.f[q][(i, j)] = f + (feq2(q, rho, ux, uy) - f) * inv_tau;
+                        for (q, fr) in frows.iter_mut().enumerate() {
+                            let f = fr[x];
+                            fr[x] = f + (feq2(q, rho, ux, uy) - f) * inv_tau;
                         }
                     }
                     Cell::Inlet => {
-                        for q in 0..Q2 {
-                            t.f[q][(i, j)] = feq2(q, p.rho0, uin_x, uin_y);
+                        for (q, fr) in frows.iter_mut().enumerate() {
+                            fr[x] = feq2(q, p.rho0, uin_x, uin_y);
                         }
                     }
                     Cell::Outlet => {
                         let mut rho = 0.0;
                         let mut mx = 0.0;
                         let mut my = 0.0;
-                        for q in 0..Q2 {
-                            let f = t.f[q][(i, j)];
+                        for (q, fr) in frows.iter().enumerate() {
+                            let f = fr[x];
                             rho += f;
                             mx += f * E2[q].0 as f64;
                             my += f * E2[q].1 as f64;
                         }
                         let ux = mx / rho;
                         let uy = my / rho;
-                        for q in 0..Q2 {
-                            t.f[q][(i, j)] = feq2(q, p.rho0, ux, uy);
+                        for (q, fr) in frows.iter_mut().enumerate() {
+                            fr[x] = feq2(q, p.rho0, ux, uy);
                         }
                     }
                     Cell::Wall => {}
@@ -117,28 +126,34 @@ impl LatticeBoltzmann2 {
     }
 
     /// Streaming with half-way bounce-back into `f_tmp`, then buffer swap.
+    ///
+    /// The interior is a pure offset row copy per population; wall handling
+    /// (held populations, bounce-back) is applied afterwards from the cached
+    /// boundary-link set, which is O(boundary) instead of a per-node branch.
     fn shift(&self, t: &mut TileState2) {
+        if t.shift_links.is_none() {
+            t.shift_links = Some(ShiftLinks2::build(&t.mask));
+        }
         let nx = t.nx() as isize;
         let ny = t.ny() as isize;
-        for q in 0..Q2 {
+        let span = (nx + 4) as usize;
+        for (q, (fq, tq)) in t.f.iter().zip(t.f_tmp.iter_mut()).enumerate() {
             let (ex, ey) = E2[q];
             for j in -2..(ny + 2) {
-                for i in -2..(nx + 2) {
-                    let v = if t.mask[(i, j)].is_wall() {
-                        // walls hold their (inert) populations
-                        t.f[q][(i, j)]
-                    } else {
-                        let (si, sj) = (i - ex, j - ey);
-                        if t.mask[(si, sj)].is_wall() {
-                            // half-way bounce-back off the wall link
-                            t.f[OPP2[q]][(i, j)]
-                        } else {
-                            t.f[q][(si, sj)]
-                        }
-                    };
-                    t.f_tmp[q][(i, j)] = v;
-                }
+                let src = fq.row_segment(j - ey, -2 - ex, span);
+                tq.row_segment_mut(j, -2, span).copy_from_slice(src);
             }
+        }
+        let links = t.shift_links.as_ref().unwrap();
+        for &(q, i, j) in &links.hold {
+            // walls hold their (inert) populations
+            let (q, i, j) = (q as usize, i as isize, j as isize);
+            t.f_tmp[q][(i, j)] = t.f[q][(i, j)];
+        }
+        for &(q, i, j) in &links.bounce {
+            // half-way bounce-back off the wall link
+            let (q, i, j) = (q as usize, i as isize, j as isize);
+            t.f_tmp[q][(i, j)] = t.f[OPP2[q]][(i, j)];
         }
         std::mem::swap(&mut t.f, &mut t.f_tmp);
     }
@@ -152,26 +167,35 @@ impl LatticeBoltzmann2 {
         let c = p.dx / p.dt;
         let hax = 0.5 * p.accel_to_lattice(p.body_force[0]);
         let hay = 0.5 * p.accel_to_lattice(p.body_force[1]);
+        let span = (nx + 4) as usize;
         for j in -2..(ny + 2) {
-            for i in -2..(nx + 2) {
-                if t.mask[(i, j)].is_wall() {
-                    t.mac.rho[(i, j)] = p.rho0;
-                    t.mac.vx[(i, j)] = 0.0;
-                    t.mac.vy[(i, j)] = 0.0;
+            let mrow = t.mask.row_segment(j, -2, span);
+            let mut fit = t.f.iter();
+            let frows: [&[f64]; Q2] =
+                std::array::from_fn(|_| fit.next().unwrap().row_segment(j, -2, span));
+            let mac = &mut t.mac;
+            let rho_row = mac.rho.row_segment_mut(j, -2, span);
+            let vx_row = mac.vx.row_segment_mut(j, -2, span);
+            let vy_row = mac.vy.row_segment_mut(j, -2, span);
+            for x in 0..span {
+                if mrow[x].is_wall() {
+                    rho_row[x] = p.rho0;
+                    vx_row[x] = 0.0;
+                    vy_row[x] = 0.0;
                     continue;
                 }
                 let mut rho = 0.0;
                 let mut mx = 0.0;
                 let mut my = 0.0;
-                for q in 0..Q2 {
-                    let f = t.f[q][(i, j)];
+                for (q, fr) in frows.iter().enumerate() {
+                    let f = fr[x];
                     rho += f;
                     mx += f * E2[q].0 as f64;
                     my += f * E2[q].1 as f64;
                 }
-                t.mac.rho[(i, j)] = rho;
-                t.mac.vx[(i, j)] = (mx / rho + hax) * c;
-                t.mac.vy[(i, j)] = (my / rho + hay) * c;
+                rho_row[x] = rho;
+                vx_row[x] = (mx / rho + hax) * c;
+                vy_row[x] = (my / rho + hay) * c;
             }
         }
     }
@@ -194,25 +218,35 @@ impl LatticeBoltzmann2 {
             filter_field2(&mut mac.vx, sx, mask, p.filter_eps, 0);
             filter_field2(&mut mac.vy, sx, mask, p.filter_eps, 0);
         }
-        let nx = t.nx() as isize;
+        let nx = t.nx();
         let ny = t.ny() as isize;
         let inv_c = p.dt / p.dx;
         let hax = 0.5 * p.accel_to_lattice(p.body_force[0]);
         let hay = 0.5 * p.accel_to_lattice(p.body_force[1]);
         for j in 0..ny {
-            for i in 0..nx {
-                if !t.mask[(i, j)].is_fluid() {
+            let mrow = t.mask.interior_row(j);
+            let rho_f_row = t.mac.rho.interior_row(j);
+            let vx_f_row = t.mac.vx.interior_row(j);
+            let vy_f_row = t.mac.vy.interior_row(j);
+            let rho_r_row = t.mac_new.rho.interior_row(j);
+            let vx_r_row = t.mac_new.vx.interior_row(j);
+            let vy_r_row = t.mac_new.vy.interior_row(j);
+            let mut fit = t.f.iter_mut();
+            let mut frows: [&mut [f64]; Q2] =
+                std::array::from_fn(|_| fit.next().unwrap().interior_row_mut(j));
+            for x in 0..nx {
+                if !mrow[x].is_fluid() {
                     continue;
                 }
-                let rho_f = t.mac.rho[(i, j)];
-                let ux_f = t.mac.vx[(i, j)] * inv_c - hax;
-                let uy_f = t.mac.vy[(i, j)] * inv_c - hay;
-                let rho_r = t.mac_new.rho[(i, j)];
-                let ux_r = t.mac_new.vx[(i, j)] * inv_c - hax;
-                let uy_r = t.mac_new.vy[(i, j)] * inv_c - hay;
-                for q in 0..Q2 {
-                    let fneq = t.f[q][(i, j)] - feq2(q, rho_r, ux_r, uy_r);
-                    t.f[q][(i, j)] = feq2(q, rho_f, ux_f, uy_f) + fneq;
+                let rho_f = rho_f_row[x];
+                let ux_f = vx_f_row[x] * inv_c - hax;
+                let uy_f = vy_f_row[x] * inv_c - hay;
+                let rho_r = rho_r_row[x];
+                let ux_r = vx_r_row[x] * inv_c - hax;
+                let uy_r = vy_r_row[x] * inv_c - hay;
+                for (q, fr) in frows.iter_mut().enumerate() {
+                    let fneq = fr[x] - feq2(q, rho_r, ux_r, uy_r);
+                    fr[x] = feq2(q, rho_f, ux_f, uy_f) + fneq;
                 }
             }
         }
@@ -315,6 +349,7 @@ impl Solver2 for LatticeBoltzmann2 {
             params,
             offset,
             step: 0,
+            shift_links: None,
         }
     }
 }

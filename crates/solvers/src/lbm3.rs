@@ -5,7 +5,7 @@
 //! fluid node" of the paper's 3D communication accounting (end of section 6),
 //! the origin of the 5/6 factor in its eq. (21).
 
-use crate::fields::{Macro3, TileState3};
+use crate::fields::{Macro3, ShiftLinks3, TileState3};
 use crate::filter::filter_field3;
 use crate::init::InitialState3;
 use crate::params::{FluidParams, MethodKind};
@@ -47,15 +47,20 @@ impl LatticeBoltzmann3 {
             p.velocity_to_lattice(p.inlet_velocity[1]),
             p.velocity_to_lattice(p.inlet_velocity[2]),
         ];
+        let span = (nx + 6) as usize;
         for k in -3..(nz + 3) {
             for j in -3..(ny + 3) {
-                for i in -3..(nx + 3) {
-                    match t.mask[(i, j, k)] {
+                let mrow = t.mask.row_segment(j, k, -3, span);
+                let mut fit = t.f.iter_mut();
+                let mut frows: [&mut [f64]; Q3] =
+                    std::array::from_fn(|_| fit.next().unwrap().row_segment_mut(j, k, -3, span));
+                for x in 0..span {
+                    match mrow[x] {
                         Cell::Fluid => {
                             let mut rho = 0.0;
                             let mut m = [0.0f64; 3];
-                            for q in 0..Q3 {
-                                let f = t.f[q][(i, j, k)];
+                            for (q, fr) in frows.iter().enumerate() {
+                                let f = fr[x];
                                 rho += f;
                                 m[0] += f * E3[q].0 as f64;
                                 m[1] += f * E3[q].1 as f64;
@@ -64,30 +69,29 @@ impl LatticeBoltzmann3 {
                             let ux = m[0] / rho + tau * a[0];
                             let uy = m[1] / rho + tau * a[1];
                             let uz = m[2] / rho + tau * a[2];
-                            for q in 0..Q3 {
-                                let f = t.f[q][(i, j, k)];
-                                t.f[q][(i, j, k)] =
-                                    f + (feq3(q, rho, ux, uy, uz) - f) * inv_tau;
+                            for (q, fr) in frows.iter_mut().enumerate() {
+                                let f = fr[x];
+                                fr[x] = f + (feq3(q, rho, ux, uy, uz) - f) * inv_tau;
                             }
                         }
                         Cell::Inlet => {
-                            for q in 0..Q3 {
-                                t.f[q][(i, j, k)] = feq3(q, p.rho0, uin[0], uin[1], uin[2]);
+                            for (q, fr) in frows.iter_mut().enumerate() {
+                                fr[x] = feq3(q, p.rho0, uin[0], uin[1], uin[2]);
                             }
                         }
                         Cell::Outlet => {
                             let mut rho = 0.0;
                             let mut m = [0.0f64; 3];
-                            for q in 0..Q3 {
-                                let f = t.f[q][(i, j, k)];
+                            for (q, fr) in frows.iter().enumerate() {
+                                let f = fr[x];
                                 rho += f;
                                 m[0] += f * E3[q].0 as f64;
                                 m[1] += f * E3[q].1 as f64;
                                 m[2] += f * E3[q].2 as f64;
                             }
                             let (ux, uy, uz) = (m[0] / rho, m[1] / rho, m[2] / rho);
-                            for q in 0..Q3 {
-                                t.f[q][(i, j, k)] = feq3(q, p.rho0, ux, uy, uz);
+                            for (q, fr) in frows.iter_mut().enumerate() {
+                                fr[x] = feq3(q, p.rho0, ux, uy, uz);
                             }
                         }
                         Cell::Wall => {}
@@ -97,29 +101,33 @@ impl LatticeBoltzmann3 {
         }
     }
 
+    /// Streaming into `f_tmp` as offset row copies plus a cached
+    /// boundary-link fix-up pass (see [`crate::lbm2::LatticeBoltzmann2::shift`]).
     fn shift(&self, t: &mut TileState3) {
+        if t.shift_links.is_none() {
+            t.shift_links = Some(ShiftLinks3::build(&t.mask));
+        }
         let nx = t.nx() as isize;
         let ny = t.ny() as isize;
         let nz = t.nz() as isize;
-        for q in 0..Q3 {
+        let span = (nx + 4) as usize;
+        for (q, (fq, tq)) in t.f.iter().zip(t.f_tmp.iter_mut()).enumerate() {
             let (ex, ey, ez) = E3[q];
             for k in -2..(nz + 2) {
                 for j in -2..(ny + 2) {
-                    for i in -2..(nx + 2) {
-                        let v = if t.mask[(i, j, k)].is_wall() {
-                            t.f[q][(i, j, k)]
-                        } else {
-                            let (si, sj, sk) = (i - ex, j - ey, k - ez);
-                            if t.mask[(si, sj, sk)].is_wall() {
-                                t.f[OPP3[q]][(i, j, k)]
-                            } else {
-                                t.f[q][(si, sj, sk)]
-                            }
-                        };
-                        t.f_tmp[q][(i, j, k)] = v;
-                    }
+                    let src = fq.row_segment(j - ey, k - ez, -2 - ex, span);
+                    tq.row_segment_mut(j, k, -2, span).copy_from_slice(src);
                 }
             }
+        }
+        let links = t.shift_links.as_ref().unwrap();
+        for &(q, i, j, k) in &links.hold {
+            let (q, i, j, k) = (q as usize, i as isize, j as isize, k as isize);
+            t.f_tmp[q][(i, j, k)] = t.f[q][(i, j, k)];
+        }
+        for &(q, i, j, k) in &links.bounce {
+            let (q, i, j, k) = (q as usize, i as isize, j as isize, k as isize);
+            t.f_tmp[q][(i, j, k)] = t.f[OPP3[q]][(i, j, k)];
         }
         std::mem::swap(&mut t.f, &mut t.f_tmp);
     }
@@ -135,29 +143,39 @@ impl LatticeBoltzmann3 {
             0.5 * p.accel_to_lattice(p.body_force[1]),
             0.5 * p.accel_to_lattice(p.body_force[2]),
         ];
+        let span = (nx + 4) as usize;
         for k in -2..(nz + 2) {
             for j in -2..(ny + 2) {
-                for i in -2..(nx + 2) {
-                    if t.mask[(i, j, k)].is_wall() {
-                        t.mac.rho[(i, j, k)] = p.rho0;
-                        t.mac.vx[(i, j, k)] = 0.0;
-                        t.mac.vy[(i, j, k)] = 0.0;
-                        t.mac.vz[(i, j, k)] = 0.0;
+                let mrow = t.mask.row_segment(j, k, -2, span);
+                let mut fit = t.f.iter();
+                let frows: [&[f64]; Q3] =
+                    std::array::from_fn(|_| fit.next().unwrap().row_segment(j, k, -2, span));
+                let mac = &mut t.mac;
+                let rho_row = mac.rho.row_segment_mut(j, k, -2, span);
+                let vx_row = mac.vx.row_segment_mut(j, k, -2, span);
+                let vy_row = mac.vy.row_segment_mut(j, k, -2, span);
+                let vz_row = mac.vz.row_segment_mut(j, k, -2, span);
+                for x in 0..span {
+                    if mrow[x].is_wall() {
+                        rho_row[x] = p.rho0;
+                        vx_row[x] = 0.0;
+                        vy_row[x] = 0.0;
+                        vz_row[x] = 0.0;
                         continue;
                     }
                     let mut rho = 0.0;
                     let mut m = [0.0f64; 3];
-                    for q in 0..Q3 {
-                        let f = t.f[q][(i, j, k)];
+                    for (q, fr) in frows.iter().enumerate() {
+                        let f = fr[x];
                         rho += f;
                         m[0] += f * E3[q].0 as f64;
                         m[1] += f * E3[q].1 as f64;
                         m[2] += f * E3[q].2 as f64;
                     }
-                    t.mac.rho[(i, j, k)] = rho;
-                    t.mac.vx[(i, j, k)] = (m[0] / rho + ha[0]) * c;
-                    t.mac.vy[(i, j, k)] = (m[1] / rho + ha[1]) * c;
-                    t.mac.vz[(i, j, k)] = (m[2] / rho + ha[2]) * c;
+                    rho_row[x] = rho;
+                    vx_row[x] = (m[0] / rho + ha[0]) * c;
+                    vy_row[x] = (m[1] / rho + ha[1]) * c;
+                    vz_row[x] = (m[2] / rho + ha[2]) * c;
                 }
             }
         }
@@ -176,12 +194,9 @@ impl LatticeBoltzmann3 {
             ] {
                 let nz = src.nz() as isize;
                 let ny = src.ny() as isize;
-                let nx = src.nx() as isize;
                 for k in 0..nz {
                     for j in 0..ny {
-                        for i in 0..nx {
-                            dst[(i, j, k)] = src[(i, j, k)];
-                        }
+                        dst.interior_row_mut(j, k).copy_from_slice(src.interior_row(j, k));
                     }
                 }
             }
@@ -202,27 +217,40 @@ impl LatticeBoltzmann3 {
             0.5 * p.accel_to_lattice(p.body_force[1]),
             0.5 * p.accel_to_lattice(p.body_force[2]),
         ];
+        let nxu = nx as usize;
         for k in 0..nz {
             for j in 0..ny {
-                for i in 0..nx {
-                    if !t.mask[(i, j, k)].is_fluid() {
+                let mrow = t.mask.interior_row(j, k);
+                let rho_f_row = t.mac.rho.interior_row(j, k);
+                let vx_f_row = t.mac.vx.interior_row(j, k);
+                let vy_f_row = t.mac.vy.interior_row(j, k);
+                let vz_f_row = t.mac.vz.interior_row(j, k);
+                let rho_r_row = t.mac_new.rho.interior_row(j, k);
+                let vx_r_row = t.mac_new.vx.interior_row(j, k);
+                let vy_r_row = t.mac_new.vy.interior_row(j, k);
+                let vz_r_row = t.mac_new.vz.interior_row(j, k);
+                let mut fit = t.f.iter_mut();
+                let mut frows: [&mut [f64]; Q3] =
+                    std::array::from_fn(|_| fit.next().unwrap().interior_row_mut(j, k));
+                for x in 0..nxu {
+                    if !mrow[x].is_fluid() {
                         continue;
                     }
-                    let rho_f = t.mac.rho[(i, j, k)];
+                    let rho_f = rho_f_row[x];
                     let uf = [
-                        t.mac.vx[(i, j, k)] * inv_c - ha[0],
-                        t.mac.vy[(i, j, k)] * inv_c - ha[1],
-                        t.mac.vz[(i, j, k)] * inv_c - ha[2],
+                        vx_f_row[x] * inv_c - ha[0],
+                        vy_f_row[x] * inv_c - ha[1],
+                        vz_f_row[x] * inv_c - ha[2],
                     ];
-                    let rho_r = t.mac_new.rho[(i, j, k)];
+                    let rho_r = rho_r_row[x];
                     let ur = [
-                        t.mac_new.vx[(i, j, k)] * inv_c - ha[0],
-                        t.mac_new.vy[(i, j, k)] * inv_c - ha[1],
-                        t.mac_new.vz[(i, j, k)] * inv_c - ha[2],
+                        vx_r_row[x] * inv_c - ha[0],
+                        vy_r_row[x] * inv_c - ha[1],
+                        vz_r_row[x] * inv_c - ha[2],
                     ];
-                    for q in 0..Q3 {
-                        let fneq = t.f[q][(i, j, k)] - feq3(q, rho_r, ur[0], ur[1], ur[2]);
-                        t.f[q][(i, j, k)] = feq3(q, rho_f, uf[0], uf[1], uf[2]) + fneq;
+                    for (q, fr) in frows.iter_mut().enumerate() {
+                        let fneq = fr[x] - feq3(q, rho_r, ur[0], ur[1], ur[2]);
+                        fr[x] = feq3(q, rho_f, uf[0], uf[1], uf[2]) + fneq;
                     }
                 }
             }
@@ -329,6 +357,7 @@ impl Solver3 for LatticeBoltzmann3 {
             params,
             offset,
             step: 0,
+            shift_links: None,
         }
     }
 }

@@ -147,11 +147,11 @@ mod tests {
         let (rho, ux, uy) = (1.1, 0.05, -0.03);
         let mut m0 = 0.0;
         let (mut mx, mut my) = (0.0, 0.0);
-        for q in 0..Q2 {
+        for (q, e) in E2.iter().enumerate() {
             let f = feq2(q, rho, ux, uy);
             m0 += f;
-            mx += f * E2[q].0 as f64;
-            my += f * E2[q].1 as f64;
+            mx += f * e.0 as f64;
+            my += f * e.1 as f64;
         }
         assert!((m0 - rho).abs() < 1e-12);
         assert!((mx - rho * ux).abs() < 1e-12);
@@ -163,12 +163,12 @@ mod tests {
         let (rho, ux, uy, uz) = (0.9, 0.02, 0.04, -0.01);
         let mut m0 = 0.0;
         let (mut mx, mut my, mut mz) = (0.0, 0.0, 0.0);
-        for q in 0..Q3 {
+        for (q, e) in E3.iter().enumerate() {
             let f = feq3(q, rho, ux, uy, uz);
             m0 += f;
-            mx += f * E3[q].0 as f64;
-            my += f * E3[q].1 as f64;
-            mz += f * E3[q].2 as f64;
+            mx += f * e.0 as f64;
+            my += f * e.1 as f64;
+            mz += f * e.2 as f64;
         }
         assert!((m0 - rho).abs() < 1e-12);
         assert!((mx - rho * ux).abs() < 1e-12);

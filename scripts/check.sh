@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a PR must pass before merging.
+# Referenced from ROADMAP.md; run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo bench --no-run"
+cargo bench --no-run --workspace
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "All checks passed."

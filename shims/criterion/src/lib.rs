@@ -1,0 +1,230 @@
+//! Offline stand-in for `criterion`, covering the API surface this
+//! workspace's benches use: `criterion_group!`/`criterion_main!`,
+//! `Criterion::default().sample_size(..)`, `benchmark_group`, group
+//! `sample_size`/`throughput`/`bench_function`/`finish`, `BenchmarkId::new`,
+//! and `Bencher::iter`.
+//!
+//! Measurement model: geometric warm-up until the timer resolves, then
+//! `sample_size` fixed-iteration samples; the reported figure is the median
+//! sample (ns/iter), with throughput derived from it. No plots, no state
+//! files — one line per benchmark on stdout.
+
+use std::time::Instant;
+
+/// Work-per-iteration declaration for throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self { label: format!("{name}/{param}") }
+    }
+}
+
+/// Things accepted as a benchmark id (`&str`, `String`, [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    sample_size: usize,
+    /// Median ns/iter of the measured samples, set by `iter`.
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the median ns/iter over `sample_size` samples.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        // Warm-up: grow the iteration count geometrically until one batch
+        // takes long enough for the timer to resolve meaningfully.
+        let mut iters: u64 = 1;
+        let per_iter_ns = loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            if dt >= 5_000_000.0 || iters >= 1 << 20 {
+                break dt / iters as f64;
+            }
+            iters *= 2;
+        };
+        // Aim for ~2 ms per sample.
+        let sample_iters = ((2_000_000.0 / per_iter_ns).ceil() as u64).max(1);
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..sample_iters {
+                std::hint::black_box(f());
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / sample_iters as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn report(label: &str, median_ns: f64, throughput: Option<Throughput>) {
+    let time = if median_ns >= 1e9 {
+        format!("{:.3} s", median_ns / 1e9)
+    } else if median_ns >= 1e6 {
+        format!("{:.3} ms", median_ns / 1e6)
+    } else if median_ns >= 1e3 {
+        format!("{:.3} us", median_ns / 1e3)
+    } else {
+        format!("{median_ns:.1} ns")
+    };
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {:.3} Melem/s", n as f64 / median_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {:.3} MiB/s", n as f64 / median_ns * 1e9 / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{label:<50} time: {time}{thrpt}");
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Builder-style sample-size override (consuming, like criterion's).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.into(),
+            sample_size: None,
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) {
+        let mut b = Bencher { sample_size: self.sample_size, median_ns: f64::NAN };
+        f(&mut b);
+        report(&id.into_label(), b.median_ns, None);
+    }
+}
+
+/// Group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let n = self.sample_size.unwrap_or(self._c.sample_size);
+        let mut b = Bencher { sample_size: n, median_ns: f64::NAN };
+        f(&mut b);
+        let label = format!("{}/{}", self.name, id.into_label());
+        report(&label, b.median_ns, self.throughput);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(5);
+        g.throughput(Throughput::Elements(100));
+        g.bench_function(BenchmarkId::new("sum", 100), |b| {
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default().sample_size(5);
+        target(&mut c);
+        c.bench_function("plain", |b| b.iter(|| 2 + 2));
+    }
+}

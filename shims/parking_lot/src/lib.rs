@@ -1,0 +1,118 @@
+//! Offline stand-in for `parking_lot`, covering the slice this workspace
+//! uses: `Mutex` (panic-free `lock()` returning the guard directly,
+//! `into_inner`) and `Condvar` (`wait(&mut guard)`, `notify_all`,
+//! `notify_one`). Backed by `std::sync`; poisoning is unwrapped via
+//! `into_inner`, matching parking_lot's poison-free contract for in-process
+//! barrier use.
+
+use std::sync;
+
+/// Mutex whose `lock()` returns the guard directly (no poison `Result`).
+pub struct Mutex<T: ?Sized> {
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`]. The inner std guard sits in an `Option` so
+/// [`Condvar::wait`] can move it out and back through std's by-value `wait`.
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    pub const fn new(value: T) -> Self {
+        Self { inner: sync::Mutex::new(value) }
+    }
+
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}
+
+impl<T: ?Sized> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_deref().expect("guard moved during wait")
+    }
+}
+
+impl<T: ?Sized> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_deref_mut().expect("guard moved during wait")
+    }
+}
+
+/// Condition variable paired with [`Mutex`]; `wait` takes `&mut guard` like
+/// parking_lot (std's `wait` consumes and returns the guard, so the shim
+/// moves it through the guard's `Option` slot).
+pub struct Condvar {
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    pub const fn new() -> Self {
+        Self { inner: sync::Condvar::new() }
+    }
+
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.inner.take().expect("guard moved during wait");
+        let g = self.inner.wait(g).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(g);
+    }
+
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn condvar_roundtrip() {
+        let pair = Arc::new((Mutex::new(0usize), Condvar::new()));
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut g = m.lock();
+            *g += 1;
+            cv.notify_all();
+            while *g < 2 {
+                cv.wait(&mut g);
+            }
+        });
+        let (m, cv) = &*pair;
+        let mut g = m.lock();
+        while *g < 1 {
+            cv.wait(&mut g);
+        }
+        *g += 1;
+        cv.notify_all();
+        drop(g);
+        h.join().unwrap();
+        assert_eq!(*pair.0.lock(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Offline stand-in for `proptest`, covering the slice this workspace uses:
+//! the `proptest! { #![proptest_config(..)] #[test] fn name(arg in strategy, ..) { .. } }`
+//! block form with range strategies (`1usize..5000`, `16f64..1.0e8`),
+//! `any::<bool/u64/[bool; N]>()`, and `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!`.
+//!
+//! Differences from real proptest, deliberately accepted: no shrinking (a
+//! failing case panics with its inputs printed via the assert message), and
+//! cases are drawn from a fixed deterministic seed per test (derived from
+//! the test name) so failures reproduce across runs.
+
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Deterministic RNG handed to strategies by the `proptest!` harness.
+    pub struct TestRng(pub SmallRng);
+
+    /// Minimal strategy: draw one value per case.
+    pub trait Strategy {
+        type Value;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+    }
+
+    impl Strategy for Range<usize> {
+        type Value = usize;
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            rng.0.gen_range(self.clone())
+        }
+    }
+
+    /// Types with a `Standard`-like uniform distribution for `any::<T>()`.
+    pub trait Arbitrary {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.0.gen::<bool>()
+        }
+    }
+
+    impl Arbitrary for u64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.0.gen::<u64>()
+        }
+    }
+
+    impl<T: Arbitrary + Default + Copy, const N: usize> Arbitrary for [T; N] {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            let mut out = [T::default(); N];
+            for slot in &mut out {
+                *slot = T::arbitrary(rng);
+            }
+            out
+        }
+    }
+
+    /// Strategy wrapper returned by [`crate::prelude::any`].
+    pub struct Any<T>(std::marker::PhantomData<T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Self(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Any, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+
+    /// `any::<T>()` — uniform strategy over all values of `T`.
+    pub fn any<T: crate::strategy::Arbitrary>() -> Any<T> {
+        Any::default()
+    }
+
+    /// Harness configuration; only `cases` is honoured.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: usize,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: usize) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+}
+
+/// Seeds the per-test RNG from the test name (FNV-1a), so each test draws a
+/// reproducible sequence independent of sibling tests.
+pub fn test_rng(name: &str) -> strategy::TestRng {
+    use rand::SeedableRng;
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    strategy::TestRng(rand::rngs::SmallRng::seed_from_u64(h))
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! { ($crate::prelude::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    (($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::prelude::ProptestConfig = $cfg;
+            let mut rng = $crate::test_rng(stringify!($name));
+            let mut ran = 0usize;
+            let mut attempts = 0usize;
+            // Cap rejection retries like real proptest (which gives up after
+            // a global rejection budget) so a too-strict prop_assume! cannot
+            // loop forever.
+            while ran < cfg.cases && attempts < cfg.cases * 50 {
+                attempts += 1;
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let accepted = (|| -> ::core::option::Option<()> {
+                    $body
+                    ::core::option::Option::Some(())
+                })();
+                if accepted.is_some() {
+                    ran += 1;
+                }
+            }
+            assert!(
+                ran >= cfg.cases / 2,
+                "prop_assume! rejected too many cases ({ran}/{} accepted)",
+                cfg.cases
+            );
+        }
+    )*};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Rejects the current case (drawn values do not satisfy the precondition).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::option::Option::None;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_any(n in 1usize..100, x in 0.5f64..2.0, b in any::<bool>()) {
+            prop_assume!(n > 1);
+            prop_assert!((1..100).contains(&n));
+            prop_assert!((0.5..2.0).contains(&x));
+            prop_assert_eq!(b || !b, true);
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for `rand 0.8`, covering the slice this workspace uses:
+//! `SmallRng::seed_from_u64`, `Rng::gen::<f64>()`, `Rng::gen::<bool>()`,
+//! `Rng::gen::<u64>()` and `Rng::gen_range(Range<f64>)`.
+//!
+//! `SmallRng` is xoshiro256++ seeded through SplitMix64 — the same
+//! algorithm rand 0.8 uses on 64-bit targets — so seeded streams are
+//! deterministic and of the same statistical quality the cluster-simulation
+//! experiments were designed against.
+
+use std::ops::Range;
+
+/// Core source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Values producible uniformly from an [`RngCore`] (`Standard` distribution).
+pub trait Standard: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 random mantissa bits.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 != 0
+    }
+}
+
+/// Range types usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let u = f64::sample(rng);
+        u * (self.end - self.start) + self.start
+    }
+}
+
+impl SampleRange for Range<usize> {
+    type Output = usize;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "gen_range: empty range");
+        let span = (self.end - self.start) as u64;
+        // Lemire-style multiply-shift keeps bias below 2^-64, far under the
+        // modelling noise of the cluster simulation.
+        let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+        self.start + hi as usize
+    }
+}
+
+/// Convenience methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable RNG constructors (only `seed_from_u64` is used here).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — rand 0.8's `SmallRng` on 64-bit platforms.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            let s = [
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+                splitmix64(&mut st),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let out = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let x: f64 = a.gen();
+            let y: f64 = b.gen();
+            assert_eq!(x.to_bits(), y.to_bits());
+            assert!((0.0..1.0).contains(&x));
+        }
+        let mut c = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = c.gen_range(1.0e-12..1.0);
+            assert!((1.0e-12..1.0).contains(&v));
+            let n = c.gen_range(3usize..17);
+            assert!((3..17).contains(&n));
+        }
+    }
+
+    #[test]
+    fn roughly_uniform_mean() {
+        let mut r = SmallRng::seed_from_u64(123);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

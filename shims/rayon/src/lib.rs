@@ -1,0 +1,79 @@
+//! Offline stand-in for `rayon`, covering the slice this workspace uses:
+//! `par_iter_mut().for_each(..)` over a `Vec` of tiles.
+//!
+//! Genuinely parallel: the slice is split into one contiguous chunk per
+//! available core and each chunk is processed on a `std::thread::scope`
+//! thread. No work stealing — fine for this workspace, where per-item cost
+//! is uniform (equal-sized tiles) and item counts are small.
+
+/// Parallel mutable iterator over a slice (chunk-per-core execution).
+pub struct ParIterMut<'a, T> {
+    items: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Runs `f` on every element, in parallel across available cores.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'a mut T) + Send + Sync,
+    {
+        let n = self.items.len();
+        if n == 0 {
+            return;
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if threads <= 1 {
+            for item in self.items {
+                f(item);
+            }
+            return;
+        }
+        let chunk = n.div_ceil(threads);
+        let f = &f;
+        std::thread::scope(|s| {
+            for part in self.items.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for item in part {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Extension trait providing `par_iter_mut` on slices and `Vec`s.
+pub trait IntoParIterMut<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T>;
+}
+
+impl<T: Send> IntoParIterMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self }
+    }
+}
+
+impl<T: Send> IntoParIterMut<T> for Vec<T> {
+    fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
+        ParIterMut { items: self.as_mut_slice() }
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParIterMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn touches_every_element_once() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+}

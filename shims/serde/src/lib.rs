@@ -1,0 +1,15 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! Provides the `Serialize` / `Deserialize` *names* (trait + derive macro)
+//! so `use serde::{Serialize, Deserialize}` and `#[derive(...)]` compile.
+//! Checkpointing in this workspace uses a hand-rolled binary codec, so the
+//! traits carry no methods and the derives expand to nothing.
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching the real `serde::Serialize` name.
+pub trait Serialize {}
+
+/// Marker trait matching the real `serde::Deserialize` name.
+pub trait Deserialize<'de> {}
