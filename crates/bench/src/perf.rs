@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 use std::time::Instant;
+use subsonic_cluster::{ClusterConfig, ClusterSim, WorkloadSpec};
 use subsonic_exec::{LocalRunner2, LocalRunner3, Problem2, Problem3, ThreadedRunner2, ThreadedRunner3};
 use subsonic_grid::halo::{message_len2, message_len3, pack2, pack3, unpack2, unpack3};
 use subsonic_grid::{Face2, Face3, Geometry2, Geometry3, PaddedGrid2, PaddedGrid3};
@@ -221,6 +222,23 @@ fn threaded_runners(out: &mut Vec<PerfEntry>, side2: usize, steps2: u64, side3: 
     });
 }
 
+fn cluster_sim(out: &mut Vec<PerfEntry>, steps: u64) {
+    // Discrete-event engine throughput on the section-7 measurement run:
+    // a 20-process LB job on the heterogeneous paper cluster, rendezvous
+    // step-coupling and the shared-bus collision model both active.
+    let workload =
+        WorkloadSpec::new_2d(subsonic_solvers::MethodKind::LatticeBoltzmann, 750, 600, 5, 4);
+    let mut sim = ClusterSim::new(ClusterConfig::measurement(workload));
+    let t0 = Instant::now();
+    sim.run(1.0e9, Some(steps));
+    let dt = t0.elapsed().as_secs_f64();
+    out.push(PerfEntry {
+        name: "cluster_sim_events".into(),
+        value: sim.events_processed() as f64 / dt,
+        unit: "events/s".into(),
+    });
+}
+
 /// Runs the full suite. `quick` shrinks problem sizes and batch times for
 /// smoke-testing the harness itself; baseline numbers use `quick = false`.
 pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
@@ -235,6 +253,7 @@ pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
     halo_2d(&mut out, min_time, halo_side2);
     halo_3d(&mut out, min_time, halo_side3);
     threaded_runners(&mut out, if quick { 48 } else { 128 }, t2_steps, if quick { 12 } else { 24 }, t3_steps);
+    cluster_sim(&mut out, if quick { 20 } else { 400 });
     out
 }
 
@@ -277,6 +296,7 @@ mod tests {
             "halo3_roundtrip_w2",
             "threaded2_lb_2x2",
             "threaded3_lb_2x2x1",
+            "cluster_sim_events",
         ] {
             assert!(names.contains(&expected), "missing entry {expected}");
         }

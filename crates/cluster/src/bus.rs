@@ -146,6 +146,7 @@ pub struct Completion {
 #[derive(Debug, Clone)]
 struct Transfer {
     remaining: f64, // bytes still to move (including overhead-equivalent)
+    rate_scale: f64, // endpoint CPU cap: fraction of the bus share usable
     payload: TransferPayload,
     lost: bool, // UDP: transmitted but dropped before the receiver
 }
@@ -214,7 +215,7 @@ impl NetworkModel {
         if dt > 0.0 && !self.transfers.is_empty() {
             let moved = dt * self.per_transfer_rate();
             for t in &mut self.transfers {
-                t.remaining -= moved;
+                t.remaining -= moved * t.rate_scale;
             }
             self.busy_time += dt;
         }
@@ -231,6 +232,24 @@ impl NetworkModel {
         payload: TransferPayload,
         rng: &mut impl Rng,
     ) {
+        self.start_transfer_scaled(now, bytes, 1.0, payload, rng);
+    }
+
+    /// Like [`NetworkModel::start_transfer`], but the transfer can use at
+    /// most `rate_scale` of its bus share. The communication speed the paper
+    /// measures is CPU-bound (section 7 derives `V_com` from protocol
+    /// processing, not the 10 Mbps wire), so a transfer whose endpoint is a
+    /// slower machine pumps bytes at that machine's relative speed; the
+    /// unused share is contention the bus still pays.
+    pub fn start_transfer_scaled(
+        &mut self,
+        now: f64,
+        bytes: f64,
+        rate_scale: f64,
+        payload: TransferPayload,
+        rng: &mut impl Rng,
+    ) {
+        debug_assert!(rate_scale > 0.0 && rate_scale <= 1.0, "bad scale {rate_scale}");
         self.advance(now);
         let saturated = self.cfg.kind == NetworkKindCfg::SharedBus
             && self.transfers.len() >= self.cfg.saturation_transfers;
@@ -264,19 +283,20 @@ impl NetworkModel {
         if !lost {
             self.bytes_delivered += bytes;
         }
-        self.transfers.push(Transfer { remaining: total, payload, lost });
+        self.transfers.push(Transfer { remaining: total, rate_scale, payload, lost });
         self.epoch += 1;
     }
 
     /// Absolute time at which the earliest in-flight transfer completes.
     pub fn next_completion(&self) -> Option<f64> {
+        let rate = self.per_transfer_rate();
         let min = self
             .transfers
             .iter()
-            .map(|t| t.remaining)
+            .map(|t| t.remaining.max(0.0) / (rate * t.rate_scale))
             .fold(f64::INFINITY, f64::min);
         if min.is_finite() {
-            Some(self.last_advance + min.max(0.0) / self.per_transfer_rate())
+            Some(self.last_advance + min)
         } else {
             None
         }

@@ -17,6 +17,11 @@ pub enum EventKind {
     JobArrival { host: usize },
     /// A full-time background job finishes on a host.
     JobDeparture { host: usize },
+    /// Re-plan the compute rate on a host whose smoothed CPU demand is still
+    /// relaxing toward the instantaneous competitor count (the
+    /// processor-sharing rate follows the 1-minute load average, so the rate
+    /// keeps drifting between job arrivals/departures).
+    CpuRelax { host: usize },
     /// Periodic check of the monitoring program.
     MonitorTick,
     /// Periodic checkpoint trigger.
@@ -38,6 +43,21 @@ pub enum EventKind {
         xch: usize,
         /// Sending process.
         from_proc: usize,
+    },
+    /// A slow receiver finishes the CPU-bound catch-up of deferred protocol
+    /// work and the held-back halo below finally goes onto the wire (the
+    /// rendezvous step-coupling's heterogeneity penalty).
+    StagedCatchup {
+        /// Receiving process (the one that paid the catch-up).
+        to_proc: usize,
+        /// Sending process whose staged halo is released.
+        from_proc: usize,
+        /// Payload bytes of the released halo.
+        bytes: f64,
+        /// Integration step of the message.
+        step: u64,
+        /// Exchange id of the message.
+        xch: usize,
     },
     /// A UDP dump transfer was lost; resend it.
     ResendDump {

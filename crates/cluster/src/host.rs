@@ -102,10 +102,21 @@ pub struct HostState {
     pub competitors: u32,
     /// Parallel subprocess currently assigned here, if any.
     pub assigned_proc: Option<usize>,
+    /// 1-minute load average of the *competing* run queue only (excluding the
+    /// nice'd subprocess) — the smoothed CPU demand that governs the
+    /// processor-sharing rate in [`HostState::cpu_share`].
+    pub cpu1: LoadAvg,
     /// 5-minute load average (migration trigger: `> 1.5`).
     pub load5: LoadAvg,
     /// 15-minute load average (selection threshold: `< 0.6`).
     pub load15: LoadAvg,
+    /// Deliberate external slowdown factor (`>= 1`); the effective node rate
+    /// divides by this. `1.0` for normal operation — experiments use it to
+    /// throttle a single workstation without touching the job model.
+    pub slowdown: f64,
+    /// Whether a `CpuRelax` re-planning tick is already pending for this host
+    /// (the simulation's bookkeeping; avoids duplicate tick chains).
+    pub relax_scheduled: bool,
 }
 
 impl HostState {
@@ -117,8 +128,11 @@ impl HostState {
             idle_since: 0.0,
             competitors: 0,
             assigned_proc: None,
+            cpu1: LoadAvg::new(60.0),
             load5: LoadAvg::new(300.0),
             load15: LoadAvg::new(900.0),
+            slowdown: 1.0,
+            relax_scheduled: false,
         }
     }
 
@@ -132,23 +146,39 @@ impl HostState {
     /// `competitors` or `assigned_proc`).
     pub fn touch(&mut self, now: f64) {
         let n = self.run_queue();
+        self.cpu1.advance(now, self.competitors as f64);
         self.load5.advance(now, n);
         self.load15.advance(now, n);
     }
 
-    /// The share of the CPU the nice'd parallel subprocess receives.
+    /// Smoothed competing CPU demand at `now`: the 1-minute-averaged number
+    /// of full-time jobs contending for the processor.
+    pub fn cpu_demand(&self, now: f64) -> f64 {
+        self.cpu1.at(now, self.competitors as f64)
+    }
+
+    /// The share of the CPU the nice'd parallel subprocess receives at `now`,
+    /// under processor sharing with priority weights.
+    ///
+    /// The subprocess runs at weight `w` against `d` competing full-time jobs
+    /// of weight 1, so its share is `w / (w + d)`. The demand `d` is the
+    /// 1-minute load average of the competitors ([`HostState::cpu_demand`]) —
+    /// the scheduler reacts on the load-average timescale, so a job landing
+    /// on the host squeezes the subprocess gradually rather than instantly.
     ///
     /// Interactive users cost nothing measurable ("there is no loss of
     /// interactiveness. After the user's tasks are serviced, there are enough
-    /// CPU cycles left for the distributed computation", section 5.1). A
-    /// competing *full-time* job at normal priority starves the nice'd
-    /// process down to a small share.
-    pub fn nice_share(&self, nice_floor: f64) -> f64 {
-        if self.competitors == 0 {
-            1.0
-        } else {
-            nice_floor / self.competitors as f64
+    /// CPU cycles left for the distributed computation", section 5.1): only
+    /// full-time jobs enter the demand. With no competitors the share is
+    /// exactly 1. In steady state under one full-time job the share settles
+    /// at `w / (w + 1)` — choosing `w = floor / (1 − floor)` recovers the
+    /// configured `nice_floor` exactly (see `ClusterConfig::nice_weight`).
+    pub fn cpu_share(&self, now: f64, nice_weight: f64) -> f64 {
+        let d = self.cpu_demand(now);
+        if d <= 0.0 && self.competitors == 0 {
+            return 1.0;
         }
+        nice_weight / (nice_weight + d)
     }
 
     /// Whether the user has been idle for at least `idle_threshold` seconds
@@ -199,13 +229,40 @@ mod tests {
     }
 
     #[test]
-    fn nice_share_starves_under_competition() {
+    fn cpu_share_starves_under_competition() {
+        // weight for a 0.25 steady-state floor under one competitor
+        let w = 0.25 / (1.0 - 0.25);
         let mut h = HostState::new(HostKind::Hp715_50);
-        assert_eq!(h.nice_share(0.25), 1.0);
+        assert_eq!(h.cpu_share(0.0, w), 1.0);
+        // a job arrives at t = 0: the squeeze follows the 1-minute average
         h.competitors = 1;
-        assert_eq!(h.nice_share(0.25), 0.25);
+        let early = h.cpu_share(1.0, w);
+        let late = h.cpu_share(600.0, w);
+        assert!(early > 0.9, "squeeze should be gradual, got {early}");
+        assert!((late - 0.25).abs() < 1e-4, "steady share {late} != floor");
+        // two competitors: processor sharing gives w/(w+2) = 1/7
+        h.cpu1 = LoadAvg::new(60.0);
         h.competitors = 2;
-        assert_eq!(h.nice_share(0.25), 0.125);
+        let two = h.cpu_share(600.0, w);
+        assert!((two - w / (w + 2.0)).abs() < 1e-4, "share {two}");
+        assert!(two < 0.25, "more competitors must mean a smaller share");
+    }
+
+    #[test]
+    fn cpu_demand_relaxes_after_departure() {
+        let mut h = HostState::new(HostKind::Hp715_50);
+        h.competitors = 1;
+        h.touch(0.0);
+        // converge toward 1, then the job leaves at t = 300
+        h.touch(300.0);
+        h.competitors = 0;
+        let just_after = h.cpu_demand(301.0);
+        let much_later = h.cpu_demand(900.0);
+        assert!(just_after > 0.9, "demand should linger: {just_after}");
+        assert!(much_later < 0.01, "demand should decay: {much_later}");
+        // and the share recovers toward 1 as the demand decays
+        let w = 1.0 / 3.0;
+        assert!(h.cpu_share(900.0, w) > 0.97);
     }
 
     #[test]

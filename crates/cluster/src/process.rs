@@ -54,6 +54,24 @@ pub enum CkptResume {
     },
 }
 
+/// A halo send whose wire transmission is held back until the receiver posts
+/// the matching receive (the rendezvous step-coupling: TCP's flow control
+/// keeps a sender from streaming into a peer that is still computing, so the
+/// bulk transfer effectively starts when the receiver asks for the data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StagedHalo {
+    /// Sending process.
+    pub from: usize,
+    /// Payload bytes.
+    pub bytes: f64,
+    /// Integration step the message belongs to.
+    pub step: u64,
+    /// Exchange id within the step plan.
+    pub xch: usize,
+    /// When the sender offered the message (for blocked-time accounting).
+    pub since: f64,
+}
+
 /// One parallel subprocess.
 #[derive(Debug, Clone)]
 pub struct SimProcess {
@@ -73,6 +91,13 @@ pub struct SimProcess {
     pub inbox: HashMap<(u64, usize), HashSet<usize>>,
     /// Sends deferred by strict ordering (Appendix C): `(peer, bytes, xch)`.
     pub deferred_sends: Vec<(usize, f64, usize)>,
+    /// Inbound halo sends addressed to this process whose transmission waits
+    /// for it to post the matching receive (rendezvous coupling).
+    pub staged_in: Vec<StagedHalo>,
+    /// A staged release is mid catch-up (the receiver is working through
+    /// deferred protocol processing before the sender's bytes can flow);
+    /// further staged releases wait until it completes.
+    pub catchup_pending: bool,
     /// When the current receive wait began.
     pub wait_since: f64,
     /// When the current pause began.
@@ -99,6 +124,8 @@ impl SimProcess {
             epoch: 0,
             inbox: HashMap::new(),
             deferred_sends: Vec::new(),
+            staged_in: Vec::new(),
+            catchup_pending: false,
             wait_since: 0.0,
             pause_since: 0.0,
             migrate_requested: false,

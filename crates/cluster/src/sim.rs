@@ -20,8 +20,8 @@ use crate::bus::{NetworkConfig, NetworkModel, TransferPayload};
 use crate::events::{EventKind, EventQueue};
 use crate::host::{HostKind, HostState};
 use crate::policy::{CommOrdering, MonitorPolicy, SubmitPolicy};
-use crate::process::{CkptResume, ProcState, SimProcess};
-use crate::stats::{ClusterStats, MigrationRecord, ProcStats};
+use crate::process::{CkptResume, ProcState, SimProcess, StagedHalo};
+use crate::stats::{BackgroundEvent, BackgroundEventKind, ClusterStats, MigrationRecord, ProcStats};
 use crate::user::{exp_sample, UserModelConfig};
 use crate::workload::{PhaseSpec, WorkloadSpec};
 use rand::rngs::SmallRng;
@@ -64,7 +64,36 @@ pub struct ClusterConfig {
     pub seed: u64,
 }
 
+/// Re-planning period while a host's processor-sharing rate is still
+/// relaxing toward the instantaneous competitor count.
+const CPU_RELAX_TICK_S: f64 = 15.0;
+/// Demand convergence tolerance below which relaxation ticks stop.
+const CPU_RELAX_EPS: f64 = 0.02;
+/// Longest rendezvous stall a slow receiver is charged catch-up for: the
+/// protocol work a host can defer while computing is bounded (receive
+/// buffers fill and the sender's window closes), so the catch-up term of
+/// the step-coupling model saturates here. Calibrated against the section-7
+/// heterogeneous-pool measurements (see DESIGN.md).
+const STALL_CATCHUP_CAP_S: f64 = 0.5;
+/// Catch-up work per second of stall, relative to the receiver's speed
+/// deficit: the deferred protocol processing spans the kernel stack and the
+/// application's receive loop, so the charge exceeds the bare rate deficit.
+/// Calibrated so the simulated heterogeneous-pool step time reproduces the
+/// section-7 measurement (t20/t16 ≈ 1.16, see DESIGN.md).
+const STALL_CATCHUP_GAIN: f64 = 1.1;
+/// Seed salt separating the user/background RNG stream from the bus stream:
+/// policy-only configuration changes reorder bus draws but must never perturb
+/// the background environment.
+const USER_STREAM_SALT: u64 = 0xC0FF_EE00_5EED_0001;
+
 impl ClusterConfig {
+    /// Processor-sharing weight of the nice'd subprocess, derived from
+    /// `nice_floor` so that the steady-state share under exactly one
+    /// competing full-time job equals the floor: `w / (w + 1) = floor`.
+    pub fn nice_weight(&self) -> f64 {
+        self.nice_floor / (1.0 - self.nice_floor)
+    }
+
     /// A quiet-cluster configuration for performance measurement (the
     /// conditions of section 7: no user load, no checkpoints, no monitor).
     pub fn measurement(workload: WorkloadSpec) -> Self {
@@ -116,7 +145,10 @@ struct CkptRound {
 pub struct ClusterSim {
     cfg: ClusterConfig,
     q: EventQueue,
-    rng: SmallRng,
+    /// RNG stream of the network model (collision/loss draws).
+    rng_bus: SmallRng,
+    /// RNG stream of the user/background model.
+    rng_user: SmallRng,
     hosts: Vec<HostState>,
     procs: Vec<SimProcess>,
     net: NetworkModel,
@@ -133,6 +165,8 @@ pub struct ClusterSim {
     finished_at: Option<f64>,
     /// Per-xch, per-proc: ids of lower-ranked peers (strict ordering gates).
     lower_peers: Vec<Vec<Vec<usize>>>,
+    /// Events dispatched so far (simulation throughput accounting).
+    events_processed: u64,
 }
 
 impl ClusterSim {
@@ -146,14 +180,15 @@ impl ClusterSim {
             "more processes ({n_proc}) than workstations ({})",
             cfg.hosts.len()
         );
-        let mut rng = SmallRng::seed_from_u64(cfg.seed);
+        let rng_bus = SmallRng::seed_from_u64(cfg.seed);
+        let mut rng_user = SmallRng::seed_from_u64(cfg.seed ^ USER_STREAM_SALT);
         let mut hosts: Vec<HostState> = cfg.hosts.iter().map(|&k| HostState::new(k)).collect();
         // initial user states
         if cfg.user.enabled {
             let p_active =
                 cfg.user.mean_active_s / (cfg.user.mean_active_s + cfg.user.mean_idle_s);
             for h in &mut hosts {
-                h.user_active = rng.gen::<f64>() < p_active;
+                h.user_active = rng_user.gen::<f64>() < p_active;
                 // long-idle so the 20-minute rule can be satisfied at t = 0
                 h.idle_since = -2.0 * cfg.submit.idle_threshold_s;
             }
@@ -176,7 +211,8 @@ impl ClusterSim {
         let mut sim = Self {
             net: NetworkModel::new(cfg.net),
             q: EventQueue::new(),
-            rng,
+            rng_bus,
+            rng_user,
             hosts,
             procs: Vec::new(),
             sync: SyncState::Idle,
@@ -191,6 +227,7 @@ impl ClusterSim {
             stats: ClusterStats::default(),
             finished_at: None,
             lower_peers,
+            events_processed: 0,
             cfg,
         };
 
@@ -214,9 +251,9 @@ impl ClusterSim {
                 } else {
                     sim.cfg.user.mean_idle_s
                 };
-                let d = exp_sample(&mut sim.rng, mean);
+                let d = exp_sample(&mut sim.rng_user, mean);
                 sim.q.schedule(d, EventKind::UserFlip { host: h });
-                let a = exp_sample(&mut sim.rng, 1.0 / sim.cfg.user.job_rate_per_s);
+                let a = exp_sample(&mut sim.rng_user, 1.0 / sim.cfg.user.job_rate_per_s);
                 sim.q.schedule(a, EventKind::JobArrival { host: h });
             }
         }
@@ -296,9 +333,11 @@ impl ClusterSim {
     // ------------------------------------------------------------------
 
     fn dispatch(&mut self, ev: EventKind) {
+        self.events_processed += 1;
         match ev {
             EventKind::ComputeDone { proc_id, epoch } => self.on_compute_done(proc_id, epoch),
             EventKind::NetDone { epoch } => self.on_net_done(epoch),
+            EventKind::CpuRelax { host } => self.on_cpu_relax(host),
             EventKind::UserFlip { host } => self.on_user_flip(host),
             EventKind::JobArrival { host } => self.on_job_arrival(host),
             EventKind::JobDeparture { host } => self.on_job_departure(host),
@@ -312,6 +351,9 @@ impl ClusterSim {
             EventKind::ResendHalo { to_proc, step, xch, from_proc } => {
                 self.on_resend_halo(to_proc, step, xch, from_proc)
             }
+            EventKind::StagedCatchup { to_proc, from_proc, bytes, step, xch } => {
+                self.on_staged_catchup(to_proc, from_proc, bytes, step, xch)
+            }
             EventKind::ResendDump { proc_id } => self.on_resend_dump(proc_id),
             EventKind::ResumeAll => self.on_resume_all(),
             EventKind::Stop => {}
@@ -322,11 +364,16 @@ impl ClusterSim {
     // process execution
     // ------------------------------------------------------------------
 
+    /// Effective compute rate of a process right now: the host's hardware
+    /// speed times its processor-sharing CPU share (governed by the 1-minute
+    /// load average of competing jobs and the `nice` weight), divided by any
+    /// deliberate slowdown factor.
     fn rate_of(&self, pid: usize) -> f64 {
         let p = &self.procs[pid];
         let h = &self.hosts[p.host];
         h.kind.node_rate(self.cfg.workload.method, self.cfg.workload.three_d)
-            * h.nice_share(self.cfg.nice_floor)
+            * h.cpu_share(self.now(), self.cfg.nice_weight())
+            / h.slowdown
     }
 
     fn start_phase(&mut self, pid: usize) {
@@ -459,20 +506,78 @@ impl ClusterSim {
             if gated {
                 self.procs[pid].deferred_sends.push((peer, bytes, xch));
             } else {
-                self.send_halo(pid, peer, bytes, step, xch);
+                self.offer_halo(pid, peer, bytes, step, xch);
             }
         }
     }
 
+    /// Offers a halo to `to`: the wire transfer starts only if the receiver
+    /// has posted the matching receive (it is blocked in `WaitingRecv` for
+    /// exactly this `(step, xch)`). Otherwise the send is staged and released
+    /// when the receiver posts the receive in [`ClusterSim::try_finish_recv`].
+    ///
+    /// This is the per-edge, per-exchange dependency coupling: an early
+    /// sender cannot stream its boundary into a peer that is still computing
+    /// (TCP flow control stalls the bulk transfer until the reader drains its
+    /// socket), so a process's exchange phase genuinely waits on each
+    /// neighbour's step-`n` data crossing the wire *after* it asked for it —
+    /// which is what makes the pool's slowest machine govern the step time.
+    fn offer_halo(&mut self, from: usize, to: usize, bytes: f64, step: u64, xch: usize) {
+        let ready = self.procs[to].step == step
+            && matches!(self.procs[to].state, ProcState::WaitingRecv { xch: wx } if wx == xch);
+        if ready {
+            self.send_halo(from, to, bytes, step, xch);
+        } else {
+            let since = self.now();
+            self.procs[to].staged_in.push(StagedHalo { from, bytes, step, xch, since });
+            self.stats.rendezvous_staged += 1;
+        }
+    }
+
+    /// Endpoint CPU cap on a halo transfer's wire rate: the protocol stack
+    /// is CPU-bound (section 7's `V_com`), so the slower of the two hosts
+    /// limits how fast the message's bytes move through its bus share.
+    fn halo_rate_scale(&self, from: usize, to: usize) -> f64 {
+        let m = self.cfg.workload.method;
+        let d3 = self.cfg.workload.three_d;
+        let u_ref = HostKind::Hp715_50.node_rate(m, d3);
+        let rel_from = self.hosts[self.procs[from].host].kind.node_rate(m, d3) / u_ref;
+        let rel_to = self.hosts[self.procs[to].host].kind.node_rate(m, d3) / u_ref;
+        rel_from.min(rel_to).min(1.0)
+    }
+
     fn send_halo(&mut self, from: usize, to: usize, bytes: f64, step: u64, xch: usize) {
         let now = self.now();
-        self.net.start_transfer(
+        let scale = self.halo_rate_scale(from, to);
+        self.net.start_transfer_scaled(
             now,
             bytes,
+            scale,
             TransferPayload::Halo { to_proc: to, step, xch, from_proc: from },
-            &mut self.rng,
+            &mut self.rng_bus,
         );
         self.reschedule_net();
+    }
+
+    /// CPU-bound catch-up a receiver pays before a stalled sender's bytes
+    /// flow. A reference-speed host reopens the stalled connection for free,
+    /// but a slower host must first work through the protocol processing it
+    /// deferred while it was computing, at its speed deficit:
+    /// `min(τ, cap)·(1/rel − 1)` seconds for a stall of `τ`. This is the
+    /// step-coupling term that makes the slowest machines govern the step
+    /// time the way section 7 measures: the longer a slow host computes past
+    /// its peers, the longer its held-back senders take to get going again
+    /// once it finally asks for the data.
+    fn stall_catchup_delay(&self, pid: usize, stalled_for: f64) -> f64 {
+        let m = self.cfg.workload.method;
+        let d3 = self.cfg.workload.three_d;
+        let u_ref = HostKind::Hp715_50.node_rate(m, d3);
+        let rel = self.hosts[self.procs[pid].host].kind.node_rate(m, d3) / u_ref;
+        if rel >= 1.0 {
+            0.0
+        } else {
+            STALL_CATCHUP_GAIN * stalled_for.min(STALL_CATCHUP_CAP_S) * (1.0 / rel - 1.0)
+        }
     }
 
     fn reschedule_net(&mut self) {
@@ -500,7 +605,55 @@ impl ClusterSim {
             let p = &mut self.procs[pid];
             p.state = ProcState::WaitingRecv { xch };
             p.wait_since = now;
+            // prune staged entries for already-completed exchanges; entries
+            // matching the newly posted receive stay staged and go onto the
+            // wire one at a time (the receiver's event loop drains one
+            // socket at a time, so held-back senders unblock serially)
+            self.procs[pid]
+                .staged_in
+                .retain(|s| s.step > step || (s.step == step && s.xch >= xch));
+            self.release_next_staged(pid);
         }
+    }
+
+    /// Puts the next staged halo matching `pid`'s posted receive onto the
+    /// wire, if any. Called when the receive is posted and again on every
+    /// delivery to `pid`, which serialises the release of held-back sends.
+    fn release_next_staged(&mut self, pid: usize) {
+        let ProcState::WaitingRecv { xch } = self.procs[pid].state else {
+            return;
+        };
+        let step = self.procs[pid].step;
+        if self.procs[pid].catchup_pending {
+            return;
+        }
+        if let Some(i) = self.procs[pid]
+            .staged_in
+            .iter()
+            .position(|s| s.step == step && s.xch == xch)
+        {
+            let s = self.procs[pid].staged_in.remove(i);
+            let stalled_for = self.now() - s.since;
+            self.stats.rendezvous_wait_total += stalled_for;
+            let delay = self.stall_catchup_delay(pid, stalled_for);
+            if delay > 0.0 {
+                self.procs[pid].catchup_pending = true;
+                self.q.schedule(delay, EventKind::StagedCatchup {
+                    to_proc: pid,
+                    from_proc: s.from,
+                    bytes: s.bytes,
+                    step: s.step,
+                    xch: s.xch,
+                });
+            } else {
+                self.send_halo(s.from, pid, s.bytes, s.step, s.xch);
+            }
+        }
+    }
+
+    fn on_staged_catchup(&mut self, to: usize, from: usize, bytes: f64, step: u64, xch: usize) {
+        self.procs[to].catchup_pending = false;
+        self.send_halo(from, to, bytes, step, xch);
     }
 
     fn on_net_done(&mut self, epoch: u64) {
@@ -546,7 +699,10 @@ impl ClusterSim {
             .find(|&&(peer, _)| peer == to_proc)
             .map(|&(_, b)| b)
             .unwrap_or(0.0);
-        self.send_halo(from_proc, to_proc, bytes, step, xch);
+        // the receiver was waiting when the lost datagram was sent and still
+        // is (it cannot advance without the data), so the offer re-sends
+        // immediately; the staging path only catches stale duplicates
+        self.offer_halo(from_proc, to_proc, bytes, step, xch);
     }
 
     fn on_resend_dump(&mut self, pid: usize) {
@@ -556,7 +712,7 @@ impl ClusterSim {
             now,
             bytes,
             TransferPayload::Dump { proc_id: pid },
-            &mut self.rng,
+            &mut self.rng_bus,
         );
         self.reschedule_net();
     }
@@ -577,7 +733,7 @@ impl ClusterSim {
                     &self.lower_peers[dxch][pid],
                 );
                 if ok {
-                    self.send_halo(pid, peer, bytes, cur_step, dxch);
+                    self.offer_halo(pid, peer, bytes, cur_step, dxch);
                 } else {
                     self.procs[pid].deferred_sends.push((peer, bytes, dxch));
                 }
@@ -593,17 +749,27 @@ impl ClusterSim {
                     p.t_com += now - p.wait_since;
                     p.consume(cur_step, xch);
                     self.advance_phase(pid);
+                    return;
                 }
             }
         }
+        // a delivery frees the receiver's event loop to accept the next
+        // held-back sender, if the process is (still) blocked in a receive
+        self.release_next_staged(pid);
     }
 
     // ------------------------------------------------------------------
     // users, jobs, scheduling
     // ------------------------------------------------------------------
 
+    fn record_background(&mut self, host: usize, kind: BackgroundEventKind) {
+        let t = self.now();
+        self.stats.background_events.push(BackgroundEvent { t, host, kind });
+    }
+
     fn on_user_flip(&mut self, host: usize) {
         let now = self.now();
+        self.record_background(host, BackgroundEventKind::UserFlip);
         self.hosts[host].touch(now);
         let active = self.hosts[host].user_active;
         self.hosts[host].user_active = !active;
@@ -615,26 +781,59 @@ impl ClusterSim {
         } else {
             self.cfg.user.mean_idle_s
         };
-        let d = exp_sample(&mut self.rng, mean);
+        let d = exp_sample(&mut self.rng_user, mean);
         self.q.schedule(d, EventKind::UserFlip { host });
     }
 
     fn on_job_arrival(&mut self, host: usize) {
         let now = self.now();
+        self.record_background(host, BackgroundEventKind::JobArrival);
         self.hosts[host].touch(now);
         self.hosts[host].competitors += 1;
         self.on_rate_change(host);
-        let dur = exp_sample(&mut self.rng, self.cfg.user.mean_job_s);
+        self.maybe_schedule_relax(host);
+        let dur = exp_sample(&mut self.rng_user, self.cfg.user.mean_job_s);
         self.q.schedule(dur, EventKind::JobDeparture { host });
-        let next = exp_sample(&mut self.rng, 1.0 / self.cfg.user.job_rate_per_s);
+        let next = exp_sample(&mut self.rng_user, 1.0 / self.cfg.user.job_rate_per_s);
         self.q.schedule(next, EventKind::JobArrival { host });
     }
 
     fn on_job_departure(&mut self, host: usize) {
         let now = self.now();
+        self.record_background(host, BackgroundEventKind::JobDeparture);
         self.hosts[host].touch(now);
         self.hosts[host].competitors = self.hosts[host].competitors.saturating_sub(1);
         self.on_rate_change(host);
+        self.maybe_schedule_relax(host);
+    }
+
+    /// Whether the host's smoothed CPU demand still differs measurably from
+    /// its instantaneous competitor count (the processor-sharing rate will
+    /// keep drifting until they meet).
+    fn demand_unsettled(&self, host: usize) -> bool {
+        let h = &self.hosts[host];
+        (h.cpu_demand(self.now()) - h.competitors as f64).abs() > CPU_RELAX_EPS
+    }
+
+    /// Starts a chain of rate re-planning ticks on `host` if its smoothed CPU
+    /// demand has not yet converged and a subprocess runs there.
+    fn maybe_schedule_relax(&mut self, host: usize) {
+        if self.hosts[host].relax_scheduled
+            || self.hosts[host].assigned_proc.is_none()
+            || !self.demand_unsettled(host)
+        {
+            return;
+        }
+        self.hosts[host].relax_scheduled = true;
+        self.q.schedule(CPU_RELAX_TICK_S, EventKind::CpuRelax { host });
+    }
+
+    fn on_cpu_relax(&mut self, host: usize) {
+        self.hosts[host].relax_scheduled = false;
+        let now = self.now();
+        self.hosts[host].touch(now);
+        self.on_rate_change(host);
+        self.maybe_schedule_relax(host);
     }
 
     /// The host's CPU share changed: re-plan the in-flight compute phase.
@@ -720,7 +919,7 @@ impl ClusterSim {
                 now,
                 bytes,
                 TransferPayload::Dump { proc_id: pid },
-                &mut self.rng,
+                &mut self.rng_bus,
             );
         }
         self.reschedule_net();
@@ -791,13 +990,14 @@ impl ClusterSim {
                     self.hosts[h].assigned_proc = Some(pid);
                     self.procs[pid].host = h;
                     self.procs[pid].state = ProcState::MigrLoading;
+                    self.maybe_schedule_relax(h);
                     let bytes =
                         self.cfg.workload.tiles[pid].nodes as f64 * self.cfg.dump_bytes_per_node;
                     self.net.start_transfer(
                         now,
                         bytes,
                         TransferPayload::Dump { proc_id: pid },
-                        &mut self.rng,
+                        &mut self.rng_bus,
                     );
                 }
                 None => any_unplaced = true,
@@ -894,7 +1094,7 @@ impl ClusterSim {
                     now,
                     bytes,
                     TransferPayload::Dump { proc_id: pid },
-                    &mut self.rng,
+                    &mut self.rng_bus,
                 );
                 self.reschedule_net();
             }
@@ -964,6 +1164,20 @@ impl ClusterSim {
         self.hosts[host].touch(now);
         self.hosts[host].competitors = n;
         self.on_rate_change(host);
+        self.maybe_schedule_relax(host);
+    }
+
+    /// Applies a deliberate slowdown factor (`>= 1`) to a host's CPU; the
+    /// assigned subprocess's compute rate divides by it immediately.
+    pub fn set_host_slowdown(&mut self, host: usize, factor: f64) {
+        assert!(factor >= 1.0 && factor.is_finite(), "slowdown factor {factor} must be >= 1");
+        self.hosts[host].slowdown = factor;
+        self.on_rate_change(host);
+    }
+
+    /// Discrete events dispatched so far (simulation throughput accounting).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
     }
 
     /// Largest step difference between processes right now.

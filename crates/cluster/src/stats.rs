@@ -26,6 +26,32 @@ impl ProcStats {
     }
 }
 
+/// What happened in the user/background layer (the stochastic environment of
+/// section 5.1) — recorded so two runs can be compared event-for-event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BackgroundEventKind {
+    /// The console user switched between active and idle.
+    UserFlip,
+    /// A competing full-time job arrived.
+    JobArrival,
+    /// A competing full-time job finished.
+    JobDeparture,
+}
+
+/// One user/background event, timestamped. The trace is a determinism probe:
+/// the background layer draws from its own RNG stream, so two runs with the
+/// same seed but different *policy* settings (comm ordering, checkpoint
+/// schedule, ...) must produce identical traces.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BackgroundEvent {
+    /// Simulated time of the event.
+    pub t: f64,
+    /// Host it happened on.
+    pub host: usize,
+    /// What happened.
+    pub kind: BackgroundEventKind,
+}
+
 /// One completed migration.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct MigrationRecord {
@@ -76,6 +102,13 @@ pub struct ClusterStats {
     pub net_losses: u64,
     /// Seconds the network was busy.
     pub net_busy: f64,
+    /// Halo sends staged by the rendezvous coupling (transmission held until
+    /// the receiver posted its receive).
+    pub rendezvous_staged: u64,
+    /// Total seconds staged sends waited for their receiver's rendezvous.
+    pub rendezvous_wait_total: f64,
+    /// Trace of user/background events (empty when the user model is off).
+    pub background_events: Vec<BackgroundEvent>,
     /// Largest step difference ever observed between two processes
     /// (Appendix A's un-synchronization).
     pub max_observed_skew: u64,

@@ -14,6 +14,7 @@
 //! | `fig9` | scaled-problem efficiency vs P, 2D vs 3D |
 //! | `fig10`/`fig11` | 3D LB efficiency / speedup |
 //! | `fig12`/`fig13` | the section-8 model curves (eqs. 20–21) |
+//! | `hetero` | section-7 heterogeneous-pool step times vs the model |
 //! | `mig` | section-5 migration statistics |
 //! | `skew` | Appendix-A un-synchronization bounds |
 //! | `order` | Appendix-C FCFS vs strict ordering |
@@ -31,7 +32,7 @@ mod physics;
 mod protocols;
 mod table1;
 
-pub use model_figures::{fig12, fig13};
+pub use model_figures::{fig12, fig13, hetero};
 pub use perf_figures::{fig10, fig11, fig5, fig6, fig7, fig8, fig9};
 pub use physics::{e_acoustic, e_conv, e_pipe, e_real};
 pub use protocols::{e_mig, e_net, e_order, e_skew, e_solid, e_udp};
@@ -41,8 +42,8 @@ use crate::report::ExperimentResult;
 
 /// All experiment ids in the order they appear in the paper.
 pub const ALL_IDS: &[&str] = &[
-    "t1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "mig",
-    "skew", "order", "solid", "net", "udp", "conv", "acoustic", "pipe", "real",
+    "t1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "hetero",
+    "mig", "skew", "order", "solid", "net", "udp", "conv", "acoustic", "pipe", "real",
 ];
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
@@ -58,6 +59,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "fig11" => fig11(quick),
         "fig12" => fig12(),
         "fig13" => fig13(),
+        "hetero" => hetero(quick),
         "mig" => e_mig(quick),
         "skew" => e_skew(),
         "order" => e_order(),

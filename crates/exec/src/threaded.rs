@@ -238,6 +238,18 @@ impl ThreadedRunner2 {
                     let mut timing = StepTiming::default();
                     for s in 0..steps {
                         control.published[k].store(s, Ordering::SeqCst);
+                        // Appendix B picks the sync step with a margin so it
+                        // lands in every process's future; that only holds if
+                        // workers cannot outrun the monitor. Hold once, at the
+                        // arm step, until the step is announced (it is cleared
+                        // again at resume, so later steps must not re-gate).
+                        if let Some(d) = drill.as_ref() {
+                            if s == d.arm_step {
+                                while control.sync_step.load(Ordering::SeqCst) == NO_SYNC {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
                         // Synchronisation point of section 5: when a sync step
                         // is announced, run exactly to it and pause.
                         if control.sync_step.load(Ordering::SeqCst) == s {
@@ -325,7 +337,10 @@ impl ThreadedRunner2 {
                         // (+2 covers the step in flight at read time).
                         let sync = m + 2;
                         if sync >= steps {
-                            break; // too late in the run; drill skipped
+                            // Too late in the run; announce the (unreachable)
+                            // step anyway so gated workers are released.
+                            control.sync_step.store(sync, Ordering::SeqCst);
+                            break; // drill skipped
                         }
                         control.sync_step.store(sync, Ordering::SeqCst);
                         control.wait_all_paused(n);

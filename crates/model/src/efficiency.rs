@@ -137,6 +137,26 @@ impl EfficiencyModel {
         efficiency_from_times(self.t_calc(n), self.t_com(n))
     }
 
+    /// Section-7 heterogeneous-pool step time: the per-step dependency
+    /// coupling pins every process to the *slowest* machine's compute time
+    /// (each step needs the previous step's boundary from every neighbour),
+    /// so a pool whose slowest member runs at `rel_min ≤ 1` times the
+    /// reference speed steps in `T_p = T_calc/rel_min + T_com`. With the
+    /// paper's pool this reproduces the measured t16 = 0.728 s
+    /// (`rel_min = 1`, sixteen 715/50s) and t20 = 0.863 s (`rel_min = 0.86`
+    /// once the 720s join).
+    pub fn t_step_hetero(&self, n: f64, rel_min: f64) -> f64 {
+        assert!(rel_min > 0.0 && rel_min <= 1.0, "rel_min must be in (0, 1]");
+        self.t_calc(n) / rel_min + self.t_com(n)
+    }
+
+    /// Efficiency of the heterogeneous pool referenced to the reference
+    /// processor (the paper normalises speedup to the 715/50, eq. 5):
+    /// `f = (N/U_calc) / T_p`.
+    pub fn efficiency_hetero(&self, n: f64, rel_min: f64) -> f64 {
+        self.t_calc(n) / self.t_step_hetero(n, rel_min)
+    }
+
     /// Speedup `S = f P`.
     pub fn speedup(&self, n: f64) -> f64 {
         speedup(self.efficiency(n), self.p)
@@ -249,6 +269,31 @@ mod tests {
         let t8 = EfficiencyModel::paper_2d(8, 4.0).speedup(total2 / 8.0);
         let t16 = EfficiencyModel::paper_2d(16, 4.0).speedup(total2 / 16.0);
         assert!(t16 > t8 * 1.3, "t8 = {t8}, t16 = {t16}");
+    }
+
+    #[test]
+    fn hetero_model_reproduces_section_seven_step_times() {
+        // 150^2 subregions: sixteen 715/50s step in 0.728 s; adding the
+        // 0.86-relative 720s stretches the step to 0.863 s (ratio 1.185).
+        let n = 150.0 * 150.0;
+        let m16 = EfficiencyModel::paper_2d(16, 4.0);
+        let m20 = EfficiencyModel::paper_2d(20, 4.0);
+        let t16 = m16.t_step_hetero(n, 1.0);
+        let t20 = m20.t_step_hetero(n, 0.86);
+        assert!((t16 - 0.728).abs() < 0.01, "t16 = {t16}");
+        assert!((t20 - 0.863).abs() < 0.01, "t20 = {t20}");
+        assert!((1.10..1.25).contains(&(t20 / t16)), "ratio {}", t20 / t16);
+        // homogeneous pools recover the plain model
+        assert!((m16.t_step_hetero(n, 1.0) - (m16.t_calc(n) + m16.t_com(n))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hetero_efficiency_is_referenced_to_the_fast_machine() {
+        let n = 150.0 * 150.0;
+        let m20 = EfficiencyModel::paper_2d(20, 4.0);
+        let f = m20.efficiency_hetero(n, 0.86);
+        assert!(f < m20.efficiency(n), "slow hosts must cost efficiency");
+        assert!((f - 0.666).abs() < 0.01, "f = {f}");
     }
 
     #[test]

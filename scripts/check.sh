@@ -7,8 +7,8 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test -q"
-cargo test -q --workspace
+echo "==> cargo test -q (including #[ignore]d tests)"
+cargo test -q --workspace -- --include-ignored
 
 echo "==> cargo bench --no-run"
 cargo bench --no-run --workspace

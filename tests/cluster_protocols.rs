@@ -2,6 +2,7 @@
 //! the appendices).
 
 use subsonic::prelude::*;
+use subsonic_cluster::user::UserModelConfig;
 use subsonic_cluster::{CommOrdering, HostKind};
 use subsonic_model::{max_skew_star_stencil, max_skew_star_stencil_3d};
 
@@ -31,28 +32,25 @@ fn twenty_processes_spill_onto_slower_models() {
 }
 
 #[test]
-// Triage (PR 1): under FCFS comm ordering the simulated slow-host penalty is
-// mostly absorbed by compute/communication overlap — the fast 715s finish
-// early, so the 720s' halo messages are already waiting when they need them
-// and their critical path gains only the bus-transmission time. Measured
-// t20/t16 ≈ 1.013 against the asserted ≥ 1.05 (and the collision model also
-// consults the RNG, so the margin moves with the rand stream). The paper's
-// §7 measurements show the per-step time tracking the slowest machine, so
-// this points at the heterogeneity penalty in the cluster model, not at the
-// test; re-enable once the model review in ROADMAP's open items lands.
-#[ignore = "cluster model under-penalises heterogeneous hosts (t20/t16≈1.01 < 1.05); see ROADMAP open items"]
 fn heterogeneous_hosts_slow_the_computation() {
-    // 16 procs fit on 715s; 20 procs include slower 720s: the per-step time
-    // rises by roughly the speed ratio (the paper normalises to the 715).
+    // 16 processes fit on the 715/50s; 20 processes draft the slower 720s
+    // and 710s, and the rendezvous step-coupling makes the per-step time
+    // track the slowest machine the way section 7 measures. The analytic
+    // floor is the compute ratio (150²/u_710)/(150²/u_715) = 1/0.84 ≈ 1.16
+    // softened by communication terms common to both runs; the simulation
+    // lands t20/t16 ≈ 1.16 (paper model: 0.863/0.728 ≈ 1.19).
     let m16 = measure_efficiency(MeasureConfig::paper(lb_workload(4, 4, 150)));
     let m20 = measure_efficiency(MeasureConfig::paper(lb_workload(5, 4, 150)));
-    // step time is bounded below by the slowest machine: 0.86 relative
+    let ratio = m20.t_step / m16.t_step;
     assert!(
-        m20.t_step > m16.t_step * 1.05,
-        "t16 {} vs t20 {}",
+        (1.10..1.25).contains(&ratio),
+        "t20/t16 = {ratio:.4} (t16 {}, t20 {})",
         m16.t_step,
         m20.t_step
     );
+    // the extra time is blocked-on-receive, not bus saturation: the per-step
+    // decomposition shows the coupling charging the wait to t_com
+    assert!(m20.t_step_blocked > m16.t_step_blocked, "blocked should grow with the slow hosts");
 }
 
 #[test]
@@ -156,7 +154,12 @@ fn production_run_makes_progress_under_full_protocol() {
     // 100^2 nodes/proc at ~39k nodes/s -> ~0.26 s/step quiet; two hours
     // should deliver thousands of steps even with users and checkpoints
     assert!(min_steps > 5000, "only {min_steps} steps in 2 h");
-    assert!(stats.mean_utilization() > 0.5);
+    // utilisation g = T_calc/(T_calc + T_com) sits well below the quiet-run
+    // figure here: the rendezvous step-coupling makes every fast host wait
+    // for the loaded and slower machines each step, so a 20-process
+    // production run with users, background jobs and checkpoints spends a
+    // large fraction of its time blocked on receives
+    assert!(stats.mean_utilization() > 0.35, "g = {}", stats.mean_utilization());
 }
 
 #[test]
@@ -187,6 +190,33 @@ fn interactive_users_cost_nothing() {
         );
         assert_eq!(p.t_paused, 0.0, "proc {pid} paused with no jobs around");
     }
+}
+
+#[test]
+fn policy_changes_never_perturb_the_background_environment() {
+    // The user/background layer draws from its own RNG stream (split from
+    // the bus-collision stream), so two runs with the same seed but a
+    // different *policy* — here the Appendix-C comm ordering, which reorders
+    // every bus draw — must see the very same users typing and the very same
+    // jobs arriving, event for event.
+    let run = |ordering: CommOrdering| {
+        let mut cfg = ClusterConfig::measurement(lb_workload(3, 3, 60));
+        cfg.user = UserModelConfig::default();
+        cfg.user.job_rate_per_s = 1.0 / 600.0; // busy enough to exercise jobs
+        cfg.ordering = ordering;
+        cfg.seed = 42;
+        let mut sim = ClusterSim::new(cfg);
+        sim.run(3600.0, None)
+    };
+    let fcfs = run(CommOrdering::Fcfs);
+    let strict = run(CommOrdering::Strict);
+    assert!(!fcfs.background_events.is_empty(), "background model was silent");
+    assert_eq!(
+        fcfs.background_events, strict.background_events,
+        "comm ordering leaked into the user/background RNG stream"
+    );
+    // and the policy did change the computation itself
+    assert_ne!(fcfs.net_busy, strict.net_busy, "orderings were indistinguishable");
 }
 
 #[test]

@@ -71,6 +71,11 @@ fn fig13_runs() {
 }
 
 #[test]
+fn hetero_runs() {
+    run_and_check("hetero");
+}
+
+#[test]
 fn mig_runs() {
     run_and_check("mig");
 }
@@ -122,6 +127,6 @@ fn real_runs() {
 
 #[test]
 fn registry_is_complete() {
-    assert_eq!(ALL_IDS.len(), 20);
+    assert_eq!(ALL_IDS.len(), 21);
     assert!(run_experiment("bogus", true).is_none());
 }

@@ -9,18 +9,55 @@ use subsonic_model::{efficiency_2d_bus, efficiency_3d_bus, NetworkKind};
 #[test]
 fn model_tracks_simulation_at_large_grains_2d() {
     // paper: "good agreement when the subregion per processor is larger
-    // than N > 100^2"
-    for (p, px, py, m) in [(4usize, 2usize, 2usize, 2.0), (16, 4, 4, 4.0), (20, 5, 4, 4.0)] {
+    // than N > 100^2". Up to 16 processes the pool is all 715/50s; a
+    // 20-process run drafts the 0.86-relative 720s and the model needs the
+    // heterogeneous compute floor (rel_min < 1).
+    for (p, px, py, m, rel_min) in [
+        (4usize, 2usize, 2usize, 2.0, 1.0),
+        (16, 4, 4, 4.0, 1.0),
+        (20, 5, 4, 4.0, 0.86),
+    ] {
         for side in [150usize, 250] {
             let w = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, side * px, side * py, px, py);
             let sim = measure_efficiency(MeasureConfig::paper(w)).efficiency;
-            let model = efficiency_2d_bus((side * side) as f64, p, m, 2.0 / 3.0);
+            let model = EfficiencyModel::paper_2d(p, m).efficiency_hetero((side * side) as f64, rel_min);
             assert!(
                 (sim - model).abs() < 0.08,
                 "P={p} side={side}: sim {sim:.3} vs model {model:.3}"
             );
         }
     }
+}
+
+#[test]
+fn hetero_step_times_match_the_section_seven_model() {
+    // Section 7's heterogeneity measurement: at 150^2 per process the
+    // sixteen-way run is all 715/50s while the twenty-way run includes the
+    // slower 720s, and the per-step dependency coupling pins the step to the
+    // slow machines. The analytic compute bound alone is
+    // T_calc(720)/T_calc(715) = 1/0.86 ≈ 1.163; communication terms common
+    // to both runs soften it, the serial catch-up on the slow hosts adds to
+    // it, so the simulated ratio must land in [1.10, 1.25] around that bound
+    // (the paper's own model gives 0.863/0.728 ≈ 1.19).
+    let w16 = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 600, 600, 4, 4);
+    let w20 = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 750, 600, 5, 4);
+    let m16 = measure_efficiency(MeasureConfig::paper(w16));
+    let m20 = measure_efficiency(MeasureConfig::paper(w20));
+    let n = 150.0 * 150.0;
+    let model16 = EfficiencyModel::paper_2d(16, 4.0).t_step_hetero(n, 1.0);
+    let model20 = EfficiencyModel::paper_2d(20, 4.0).t_step_hetero(n, 0.86);
+    assert!(
+        (m16.t_step - model16).abs() / model16 < 0.08,
+        "t16 sim {:.4} vs model {model16:.4}",
+        m16.t_step
+    );
+    assert!(
+        (m20.t_step - model20).abs() / model20 < 0.08,
+        "t20 sim {:.4} vs model {model20:.4}",
+        m20.t_step
+    );
+    let ratio = m20.t_step / m16.t_step;
+    assert!((1.10..1.25).contains(&ratio), "t20/t16 = {ratio:.4}");
 }
 
 #[test]

@@ -186,6 +186,32 @@ proptest! {
         prop_assert!(max_skew_star_stencil(j + 1, k) > star || k == 0);
     }
 
+    /// Slowing any single host can only lengthen the run: the rendezvous
+    /// step-coupling makes every process's step depend on its neighbours'
+    /// previous step, so per-step time is monotonically non-decreasing in a
+    /// host's slowdown factor (the cluster stays below bus saturation here,
+    /// keeping the network deterministic).
+    #[test]
+    fn cluster_step_time_monotone_in_host_slowdown(
+        victim in 0usize..4,
+        f_raw in 1.0f64..3.0,
+        df in 0.0f64..2.0,
+    ) {
+        use subsonic_cluster::{ClusterConfig, ClusterSim, WorkloadSpec};
+        use subsonic_solvers::MethodKind;
+        let time_with = |factor: f64| {
+            let w = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 60, 60, 2, 2);
+            let cfg = ClusterConfig::measurement(w);
+            let mut sim = ClusterSim::new(cfg);
+            let host = sim.placements()[victim];
+            sim.set_host_slowdown(host, factor);
+            sim.run(f64::INFINITY, Some(5)).finished_at
+        };
+        let slow = time_with(f_raw + df);
+        let fast = time_with(f_raw);
+        prop_assert!(slow >= fast - 1e-12, "slowdown {} -> {slow}, {} -> {fast}", f_raw + df, f_raw);
+    }
+
     /// The m-factor's measured mean never exceeds its max, and the paper's
     /// table value is at least the mean.
     #[test]
