@@ -200,9 +200,10 @@ fn threaded_runners(out: &mut Vec<PerfEntry>, side2: usize, steps2: u64, side3: 
     let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
     let problem = Problem2::new(Geometry2::channel(side2, side2, 2), 2, 2, params());
     let runner = ThreadedRunner2::new(solver, problem);
-    runner.run(2); // warm-up: first run pays thread spawn + page faults
+    // warm-up: first run pays thread spawn + page faults
+    runner.run(2).expect("threaded2 warm-up failed");
     let t0 = Instant::now();
-    runner.run(steps2);
+    runner.run(steps2).expect("threaded2 bench run failed");
     out.push(PerfEntry {
         name: "threaded2_lb_2x2".into(),
         value: steps2 as f64 / t0.elapsed().as_secs_f64(),
@@ -212,9 +213,9 @@ fn threaded_runners(out: &mut Vec<PerfEntry>, side2: usize, steps2: u64, side3: 
     let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
     let problem = Problem3::new(Geometry3::duct(side3, side3, side3, 2), 2, 2, 1, params());
     let runner = ThreadedRunner3::new(solver, problem);
-    runner.run(1);
+    runner.run(1).expect("threaded3 warm-up failed");
     let t0 = Instant::now();
-    runner.run(steps3);
+    runner.run(steps3).expect("threaded3 bench run failed");
     out.push(PerfEntry {
         name: "threaded3_lb_2x2x1".into(),
         value: steps3 as f64 / t0.elapsed().as_secs_f64(),
@@ -239,6 +240,35 @@ fn cluster_sim(out: &mut Vec<PerfEntry>, steps: u64) {
     });
 }
 
+fn fault_recovery(out: &mut Vec<PerfEntry>, quick: bool) {
+    // The recovery-cost vs checkpoint-interval curve of the `faults`
+    // experiment (simulated seconds, deterministic — not wall-clock), plus
+    // the model-agreement figure the acceptance bar tracks.
+    let sweep = subsonic::experiments::recovery_sweep(quick);
+    for (p, label) in sweep.points.iter().zip(["tight", "mid", "loose"]) {
+        out.push(PerfEntry {
+            name: format!("recovery_interval_{label}"),
+            value: p.interval_s,
+            unit: "s".into(),
+        });
+        out.push(PerfEntry {
+            name: format!("recovery_cost_{label}"),
+            value: p.sim_extra_s,
+            unit: "s".into(),
+        });
+    }
+    out.push(PerfEntry {
+        name: "recovery_model_err_max".into(),
+        value: sweep.max_rel_err(),
+        unit: "fraction".into(),
+    });
+    out.push(PerfEntry {
+        name: "recovery_opt_interval".into(),
+        value: sweep.model.optimal_interval_s(),
+        unit: "s".into(),
+    });
+}
+
 /// Runs the full suite. `quick` shrinks problem sizes and batch times for
 /// smoke-testing the harness itself; baseline numbers use `quick = false`.
 pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
@@ -254,6 +284,7 @@ pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
     halo_3d(&mut out, min_time, halo_side3);
     threaded_runners(&mut out, if quick { 48 } else { 128 }, t2_steps, if quick { 12 } else { 24 }, t3_steps);
     cluster_sim(&mut out, if quick { 20 } else { 400 });
+    fault_recovery(&mut out, quick);
     out
 }
 
@@ -297,6 +328,12 @@ mod tests {
             "threaded2_lb_2x2",
             "threaded3_lb_2x2x1",
             "cluster_sim_events",
+            "recovery_interval_tight",
+            "recovery_cost_tight",
+            "recovery_cost_mid",
+            "recovery_cost_loose",
+            "recovery_model_err_max",
+            "recovery_opt_interval",
         ] {
             assert!(names.contains(&expected), "missing entry {expected}");
         }

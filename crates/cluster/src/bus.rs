@@ -158,6 +158,7 @@ pub struct NetworkModel {
     transfers: Vec<Transfer>,
     last_advance: f64,
     epoch: u64,
+    forced_saturation: bool,
     /// Total payload bytes moved (excluding overhead and retransmissions).
     pub bytes_delivered: f64,
     /// Messages delivered.
@@ -178,6 +179,7 @@ impl NetworkModel {
             transfers: Vec::new(),
             last_advance: 0.0,
             epoch: 0,
+            forced_saturation: false,
             bytes_delivered: 0.0,
             messages: 0,
             errors: 0,
@@ -199,6 +201,20 @@ impl NetworkModel {
     /// Number of in-flight transfers.
     pub fn active(&self) -> usize {
         self.transfers.len()
+    }
+
+    /// Forces saturation behaviour regardless of the in-flight transfer
+    /// count — an injected burst of competing broadcast traffic on the
+    /// shared bus. Every transfer *started* while the flag is set samples
+    /// collisions/losses as if the bus were congested. No effect on an
+    /// idealised switch.
+    pub fn set_forced_saturation(&mut self, on: bool) {
+        self.forced_saturation = on;
+    }
+
+    /// Whether an injected saturation burst is currently active.
+    pub fn forced_saturation(&self) -> bool {
+        self.forced_saturation
     }
 
     fn per_transfer_rate(&self) -> f64 {
@@ -252,7 +268,8 @@ impl NetworkModel {
         debug_assert!(rate_scale > 0.0 && rate_scale <= 1.0, "bad scale {rate_scale}");
         self.advance(now);
         let saturated = self.cfg.kind == NetworkKindCfg::SharedBus
-            && self.transfers.len() >= self.cfg.saturation_transfers;
+            && (self.forced_saturation
+                || self.transfers.len() >= self.cfg.saturation_transfers);
         let (overhead_bytes, rounds, lost) = match self.cfg.transport {
             Transport::Tcp => {
                 let overhead = self.cfg.overhead_s * self.cfg.bytes_per_sec();
@@ -433,6 +450,26 @@ mod tests {
         // colliding until TCP gives up
         net.start_transfer(0.0, 1000.0, p(2), &mut r);
         assert_eq!(net.errors, 1);
+    }
+
+    #[test]
+    fn forced_saturation_congests_an_otherwise_idle_bus() {
+        let cfg = NetworkConfig {
+            saturation_transfers: 100, // never saturates organically here
+            udp_loss_prob: 1.0,
+            ..NetworkConfig::default()
+        }
+        .udp();
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        net.start_transfer(0.0, 1000.0, TransferPayload::Dump { proc_id: 0 }, &mut r);
+        assert_eq!(net.losses, 0, "idle bus loses nothing");
+        net.set_forced_saturation(true);
+        net.start_transfer(0.0, 1000.0, TransferPayload::Dump { proc_id: 1 }, &mut r);
+        assert_eq!(net.losses, 1, "burst traffic drops the datagram");
+        net.set_forced_saturation(false);
+        net.start_transfer(0.0, 1000.0, TransferPayload::Dump { proc_id: 2 }, &mut r);
+        assert_eq!(net.losses, 1, "burst over: clean again");
     }
 
     #[test]

@@ -66,6 +66,42 @@ pub enum EventKind {
     },
     /// Channel reopening handshake completes, computation resumes (CONT).
     ResumeAll,
+    /// An injected fault: the host goes down and its subprocess dies.
+    HostCrash {
+        /// Host index.
+        host: usize,
+    },
+    /// A crashed host finishes rebooting and rejoins the pool.
+    HostReboot {
+        /// Host index.
+        host: usize,
+    },
+    /// An injected transient stall begins on a host.
+    HostFreezeStart {
+        /// Host index.
+        host: usize,
+    },
+    /// The transient stall ends; the host resumes making progress.
+    HostFreezeEnd {
+        /// Host index.
+        host: usize,
+    },
+    /// An injected bus-saturation burst begins (every transfer started during
+    /// the burst behaves as if the shared bus were congested).
+    BusBurstStart,
+    /// The bus-saturation burst ends.
+    BusBurstEnd,
+    /// The failure detector probes a suspect host for a heartbeat. The chain
+    /// is guarded by the host's `probe_epoch`; `misses` counts consecutive
+    /// unanswered probes so far (this probe included if it goes unanswered).
+    HeartbeatProbe {
+        /// Suspect host.
+        host: usize,
+        /// Consecutive misses including this probe.
+        misses: u32,
+        /// Guard against stale chains (host recovered, chain restarted).
+        probe_epoch: u64,
+    },
     /// End of the simulated measurement window.
     Stop,
 }

@@ -117,6 +117,15 @@ pub struct HostState {
     /// Whether a `CpuRelax` re-planning tick is already pending for this host
     /// (the simulation's bookkeeping; avoids duplicate tick chains).
     pub relax_scheduled: bool,
+    /// Whether the machine is powered on. A crashed host is down until its
+    /// reboot event (if any); down hosts are never selected for placement.
+    pub up: bool,
+    /// Whether the machine is in an injected transient stall (alive but not
+    /// making progress); frozen hosts are never selected for placement.
+    pub frozen: bool,
+    /// Guard for the failure detector's probe chain: bumping it invalidates
+    /// any outstanding `HeartbeatProbe` events for this host.
+    pub probe_epoch: u64,
 }
 
 impl HostState {
@@ -133,7 +142,16 @@ impl HostState {
             load15: LoadAvg::new(900.0),
             slowdown: 1.0,
             relax_scheduled: false,
+            up: true,
+            frozen: false,
+            probe_epoch: 0,
         }
+    }
+
+    /// Whether the host can run (or receive) a subprocess right now: powered
+    /// on and not stalled.
+    pub fn available(&self) -> bool {
+        self.up && !self.frozen
     }
 
     /// Instantaneous run-queue length as `uptime` would count it: competing

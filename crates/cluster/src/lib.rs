@@ -27,6 +27,7 @@
 
 pub mod bus;
 pub mod events;
+pub mod fault;
 pub mod host;
 pub mod measure;
 pub mod policy;
@@ -37,9 +38,10 @@ pub mod user;
 pub mod workload;
 
 pub use bus::{NetworkConfig, NetworkModel};
+pub use fault::{FaultEvent, FaultPlan, FaultSpec, FAULT_STREAM_SALT};
 pub use host::{HostKind, HostState};
 pub use measure::{measure_efficiency, MeasureConfig, Measurement};
-pub use policy::{CommOrdering, MonitorPolicy, SubmitPolicy};
+pub use policy::{CommOrdering, DetectorPolicy, MonitorPolicy, SubmitPolicy};
 pub use sim::{ClusterConfig, ClusterSim};
-pub use stats::ClusterStats;
+pub use stats::{ClusterStats, RecoveryRecord};
 pub use workload::{WorkloadSpec, WorkloadTile};

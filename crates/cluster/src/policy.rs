@@ -33,10 +33,11 @@ impl Default for SubmitPolicy {
 impl SubmitPolicy {
     /// Picks the best free host at time `now`, or `None`.
     ///
-    /// Candidates must have no assigned subprocess and no competing full-time
-    /// job. Idle-user hosts under the load threshold come first, then
-    /// active-user hosts; within a tier, faster models first (the paper
-    /// chooses 715s before 710/720s), then lower 15-minute load.
+    /// Candidates must be up (not crashed or stalled), have no assigned
+    /// subprocess and no competing full-time job. Idle-user hosts under the
+    /// load threshold come first, then active-user hosts; within a tier,
+    /// faster models first (the paper chooses 715s before 710/720s), then
+    /// lower 15-minute load.
     pub fn select<'a>(
         &self,
         now: f64,
@@ -44,7 +45,7 @@ impl SubmitPolicy {
     ) -> Option<usize> {
         let mut best: Option<(u8, u8, f64, usize)> = None; // (tier, rank, load15, id)
         for (id, h) in hosts {
-            if h.assigned_proc.is_some() || h.competitors > 0 {
+            if !h.available() || h.assigned_proc.is_some() || h.competitors > 0 {
                 continue;
             }
             let l15 = h.load15.at(now, h.run_queue());
@@ -79,6 +80,56 @@ pub struct MonitorPolicy {
 impl Default for MonitorPolicy {
     fn default() -> Self {
         Self { enabled: true, period_s: 180.0, load5_migrate: 1.5 }
+    }
+}
+
+/// The monitor's heartbeat failure detector.
+///
+/// The paper's monitoring program notices a dead subprocess and re-submits it
+/// "in the same way as the monitoring program restarts an interrupted
+/// computation" (section 4.1). We model the detection side explicitly: when a
+/// host stops answering, the monitor probes it after `timeout_s`, then backs
+/// off exponentially (`timeout_s · backoff^k`) to avoid hammering a machine
+/// that may just be slow, and declares the subprocess dead after
+/// `max_misses` consecutive unanswered probes. A transient stall shorter
+/// than the full schedule goes unpunished; a longer one triggers a
+/// false-positive restart — the classic completeness/accuracy trade-off.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorPolicy {
+    /// Whether failure detection runs at all.
+    pub enabled: bool,
+    /// Seconds without a heartbeat before the first probe fires.
+    pub timeout_s: f64,
+    /// Multiplier applied to the wait before each subsequent probe (`>= 1`).
+    pub backoff: f64,
+    /// Consecutive unanswered probes before the process is declared dead.
+    pub max_misses: u32,
+}
+
+impl Default for DetectorPolicy {
+    fn default() -> Self {
+        Self { enabled: true, timeout_s: 5.0, backoff: 2.0, max_misses: 3 }
+    }
+}
+
+impl DetectorPolicy {
+    /// Offsets (seconds after the heartbeat stopped) at which each probe
+    /// fires: `timeout · Σ backoff^j`, one entry per probe up to the
+    /// declaration probe.
+    pub fn probe_offsets(&self) -> Vec<f64> {
+        let mut offsets = Vec::with_capacity(self.max_misses as usize);
+        let mut t = 0.0;
+        for k in 0..self.max_misses {
+            t += self.timeout_s * self.backoff.powi(k as i32);
+            offsets.push(t);
+        }
+        offsets
+    }
+
+    /// Seconds from heartbeat loss to declaration (the last probe offset);
+    /// the geometric sum `timeout · (backoff^m − 1)/(backoff − 1)`.
+    pub fn detection_latency(&self) -> f64 {
+        self.probe_offsets().last().copied().unwrap_or(0.0)
     }
 }
 
@@ -139,6 +190,40 @@ mod tests {
         busy.competitors = 1;
         let hosts = [taken, busy];
         assert_eq!(p.select(now, hosts.iter().enumerate()), None);
+    }
+
+    #[test]
+    fn submit_skips_down_and_frozen_hosts() {
+        let p = SubmitPolicy::default();
+        let now = 30.0 * 60.0;
+        let mut down = quiet_host(HostKind::Hp715_50, 0.0);
+        down.up = false;
+        let mut frozen = quiet_host(HostKind::Hp715_50, 0.0);
+        frozen.frozen = true;
+        let ok = quiet_host(HostKind::Hp710, 0.0);
+        let hosts = [down, frozen, ok];
+        assert_eq!(p.select(now, hosts.iter().enumerate()), Some(2));
+    }
+
+    #[test]
+    fn detector_schedule_is_exponential() {
+        let d = DetectorPolicy { enabled: true, timeout_s: 5.0, backoff: 2.0, max_misses: 3 };
+        let offs = d.probe_offsets();
+        assert_eq!(offs.len(), 3);
+        assert!((offs[0] - 5.0).abs() < 1e-12);
+        assert!((offs[1] - 15.0).abs() < 1e-12);
+        assert!((offs[2] - 35.0).abs() < 1e-12);
+        assert!((d.detection_latency() - 35.0).abs() < 1e-12);
+        // closed form: timeout · (b^m − 1)/(b − 1)
+        let closed = 5.0 * (2.0f64.powi(3) - 1.0) / (2.0 - 1.0);
+        assert!((d.detection_latency() - closed).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detector_without_backoff_is_periodic() {
+        let d = DetectorPolicy { enabled: true, timeout_s: 2.0, backoff: 1.0, max_misses: 4 };
+        assert_eq!(d.probe_offsets(), vec![2.0, 4.0, 6.0, 8.0]);
+        assert!((d.detection_latency() - 8.0).abs() < 1e-12);
     }
 
     #[test]

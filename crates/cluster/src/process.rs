@@ -35,6 +35,15 @@ pub enum ProcState {
         /// What to resume afterwards.
         resume: CkptResume,
     },
+    /// The host is in a transient stall: the process is alive but frozen
+    /// mid-step; `resume` says how to continue when the stall lifts.
+    Frozen {
+        /// What to resume when the host thaws.
+        resume: CkptResume,
+    },
+    /// The process died with its host (or was declared dead by the failure
+    /// detector) and awaits recovery.
+    Failed,
     /// Reached the run's target step count.
     Done,
 }
@@ -52,6 +61,10 @@ pub enum CkptResume {
         /// Exchange id.
         xch: usize,
     },
+    /// The interrupted phase was invalidated (crash-recovery rolled the
+    /// process back to an earlier step); restart the current phase from
+    /// scratch instead of resuming mid-phase.
+    Restart,
 }
 
 /// A halo send whose wire transmission is held back until the receiver posts
@@ -157,6 +170,21 @@ impl SimProcess {
     pub fn bump_epoch(&mut self) -> u64 {
         self.epoch += 1;
         self.epoch
+    }
+
+    /// Rewinds the process to the start of `step` (crash recovery): resets
+    /// the phase and discards every in-flight message artefact — pending
+    /// receives, staged rendezvous sends, deferred strict-ordering sends —
+    /// because the whole computation re-executes from the checkpointed step
+    /// and every needed message will be re-sent.
+    pub fn rollback_to(&mut self, step: u64) {
+        self.step = step;
+        self.phase = 0;
+        self.inbox.clear();
+        self.staged_in.clear();
+        self.deferred_sends.clear();
+        self.catchup_pending = false;
+        self.migrate_requested = false;
     }
 }
 

@@ -18,10 +18,13 @@
 
 use crate::bus::{NetworkConfig, NetworkModel, TransferPayload};
 use crate::events::{EventKind, EventQueue};
+use crate::fault::{FaultEvent, FaultPlan};
 use crate::host::{HostKind, HostState};
-use crate::policy::{CommOrdering, MonitorPolicy, SubmitPolicy};
+use crate::policy::{CommOrdering, DetectorPolicy, MonitorPolicy, SubmitPolicy};
 use crate::process::{CkptResume, ProcState, SimProcess, StagedHalo};
-use crate::stats::{BackgroundEvent, BackgroundEventKind, ClusterStats, MigrationRecord, ProcStats};
+use crate::stats::{
+    BackgroundEvent, BackgroundEventKind, ClusterStats, MigrationRecord, ProcStats, RecoveryRecord,
+};
 use crate::user::{exp_sample, UserModelConfig};
 use crate::workload::{PhaseSpec, WorkloadSpec};
 use rand::rngs::SmallRng;
@@ -60,6 +63,12 @@ pub struct ClusterConfig {
     /// `[1, 1 + jitter]` — the "small delays [that] are inevitable in
     /// time-sharing UNIX systems" of Appendix C. Zero for exact timing.
     pub compute_jitter: f64,
+    /// Injected failures (host crashes/reboots, transient stalls, bus
+    /// saturation bursts). The empty plan schedules nothing and leaves every
+    /// seeded result bit-identical.
+    pub faults: FaultPlan,
+    /// Heartbeat failure detector of the monitoring program.
+    pub detector: DetectorPolicy,
     /// RNG seed (simulations are deterministic given the seed).
     pub seed: u64,
 }
@@ -111,6 +120,8 @@ impl ClusterConfig {
             handshake_s: 0.5,
             nice_floor: 0.25,
             compute_jitter: 0.0,
+            faults: FaultPlan::empty(),
+            detector: DetectorPolicy::default(),
             seed: 1,
         }
     }
@@ -139,6 +150,26 @@ enum SyncState {
 struct CkptRound {
     order: Vec<usize>,
     next: usize,
+    /// Minimum integration step among the saves of this round — the
+    /// coordinated-checkpoint step crash recovery can roll back to once the
+    /// round completes (the staggered saves of section 5.2 bound a
+    /// consistent cut at their minimum step).
+    min_step: u64,
+    /// Processes that actually saved this round (a round that skipped a
+    /// paused/migrating process does not advance the recovery point).
+    saved: usize,
+}
+
+/// A failure-triggered recovery in progress (between declaration and the
+/// global resume).
+#[derive(Debug, Clone, Copy)]
+struct RecoveryCtx {
+    pid: usize,
+    from_host: usize,
+    fault_time: f64,
+    detect_time: f64,
+    step_at_failure: u64,
+    false_positive: bool,
 }
 
 /// The discrete-event cluster simulation.
@@ -157,6 +188,17 @@ pub struct ClusterSim {
     target_steps: Option<u64>,
     done_count: usize,
     paused_count: usize,
+    /// Processes currently dead (crashed or declared dead), excluded from the
+    /// synchronisation barrier count.
+    failed_count: usize,
+    /// The failure-triggered recovery in progress, if any.
+    recovering: Option<RecoveryCtx>,
+    /// Step of the last *completed* coordinated checkpoint round (0 = the
+    /// initial state; every process starts from its submitted dump file).
+    last_ckpt_step: u64,
+    /// A `ResumeAll` is already scheduled (guards against double resumes when
+    /// a crash re-checks migrator readiness).
+    resume_pending: bool,
     pending_migrators: Vec<usize>,
     migration_signal_time: f64,
     migration_pause_time: f64,
@@ -220,6 +262,10 @@ impl ClusterSim {
             target_steps: None,
             done_count: 0,
             paused_count: 0,
+            failed_count: 0,
+            recovering: None,
+            last_ckpt_step: 0,
+            resume_pending: false,
             pending_migrators: Vec::new(),
             migration_signal_time: 0.0,
             migration_pause_time: 0.0,
@@ -262,6 +308,34 @@ impl ClusterSim {
         }
         if let Some(p) = sim.cfg.checkpoint_period_s {
             sim.q.schedule(p, EventKind::CheckpointTick);
+        }
+
+        // injected faults — an empty plan schedules nothing, so the event
+        // sequence numbering (and hence every RNG-coupled result) is
+        // bit-identical to a build without the fault layer
+        let fault_events = sim.cfg.faults.events.clone();
+        for ev in fault_events {
+            match ev {
+                FaultEvent::HostCrash { host, at, reboot_after } => {
+                    assert!(host < sim.hosts.len(), "fault host {host} out of range");
+                    let at = at.max(0.0);
+                    sim.q.schedule_at(at, EventKind::HostCrash { host });
+                    if let Some(r) = reboot_after {
+                        sim.q.schedule_at(at + r, EventKind::HostReboot { host });
+                    }
+                }
+                FaultEvent::HostFreeze { host, at, duration } => {
+                    assert!(host < sim.hosts.len(), "fault host {host} out of range");
+                    let at = at.max(0.0);
+                    sim.q.schedule_at(at, EventKind::HostFreezeStart { host });
+                    sim.q.schedule_at(at + duration.max(0.0), EventKind::HostFreezeEnd { host });
+                }
+                FaultEvent::BusBurst { at, duration } => {
+                    let at = at.max(0.0);
+                    sim.q.schedule_at(at, EventKind::BusBurstStart);
+                    sim.q.schedule_at(at + duration.max(0.0), EventKind::BusBurstEnd);
+                }
+            }
         }
 
         // start every process on phase 0
@@ -356,6 +430,18 @@ impl ClusterSim {
             }
             EventKind::ResendDump { proc_id } => self.on_resend_dump(proc_id),
             EventKind::ResumeAll => self.on_resume_all(),
+            EventKind::HostCrash { host } => self.on_host_crash(host),
+            EventKind::HostReboot { host } => self.on_host_reboot(host),
+            EventKind::HostFreezeStart { host } => self.on_host_freeze_start(host),
+            EventKind::HostFreezeEnd { host } => self.on_host_freeze_end(host),
+            EventKind::BusBurstStart => {
+                self.stats.bus_bursts += 1;
+                self.net.set_forced_saturation(true);
+            }
+            EventKind::BusBurstEnd => self.net.set_forced_saturation(false),
+            EventKind::HeartbeatProbe { host, misses, probe_epoch } => {
+                self.on_heartbeat_probe(host, misses, probe_epoch)
+            }
             EventKind::Stop => {}
         }
     }
@@ -462,6 +548,8 @@ impl ClusterSim {
                 if self.done_count == self.procs.len() {
                     self.finished_at = Some(now);
                 }
+                // finishing shrinks the barrier population: re-check a drain
+                self.maybe_all_paused();
                 return;
             }
         }
@@ -470,13 +558,27 @@ impl ClusterSim {
                 self.procs[pid].state = ProcState::AtSyncBarrier;
                 self.procs[pid].pause_since = now;
                 self.paused_count += 1;
-                if self.paused_count == self.procs.len() - self.done_count {
-                    self.on_all_paused();
-                }
+                self.maybe_all_paused();
                 return;
             }
         }
         self.start_phase(pid);
+    }
+
+    /// Live processes the synchronisation barrier waits for: everyone not
+    /// done and not dead.
+    fn live_expected(&self) -> usize {
+        self.procs.len() - self.done_count - self.failed_count
+    }
+
+    /// Fires the barrier completion if every live process has paused (called
+    /// on barrier arrivals *and* when a crash removes a straggler).
+    fn maybe_all_paused(&mut self) {
+        if matches!(self.sync, SyncState::Draining { .. })
+            && self.paused_count >= self.live_expected()
+        {
+            self.on_all_paused();
+        }
     }
 
     fn update_skew(&mut self) {
@@ -872,6 +974,9 @@ impl ClusterSim {
             let Some(pid) = self.hosts[h].assigned_proc else {
                 continue;
             };
+            if !self.hosts[h].available() {
+                continue; // dead/stalled hosts are the detector's business
+            }
             let l5 = self.hosts[h].load5.at(now, self.hosts[h].run_queue());
             if l5 > self.cfg.monitor.load5_migrate {
                 self.procs[pid].migrate_requested = true;
@@ -906,9 +1011,12 @@ impl ClusterSim {
         self.migration_pause_time = now;
         self.sync = SyncState::Migrating;
         self.pending_migrators = (0..self.procs.len())
-            .filter(|&pid| self.procs[pid].migrate_requested)
+            .filter(|&pid| {
+                self.procs[pid].migrate_requested && self.procs[pid].state != ProcState::Failed
+            })
             .collect();
         if self.pending_migrators.is_empty() {
+            self.resume_pending = true;
             self.q.schedule(0.0, EventKind::ResumeAll);
             return;
         }
@@ -940,23 +1048,14 @@ impl ClusterSim {
             }
             ProcState::MigrLoading => {
                 self.procs[pid].state = ProcState::MigrReady;
-                let all_ready = self
-                    .pending_migrators
-                    .iter()
-                    .all(|&m| self.procs[m].state == ProcState::MigrReady);
-                if all_ready {
-                    self.q.schedule(self.cfg.handshake_s, EventKind::ResumeAll);
-                }
+                self.check_migrators_ready();
             }
             ProcState::CkptSaving { resume } => {
                 let p = &mut self.procs[pid];
                 let paused = now - p.pause_since;
                 p.t_paused += paused;
                 self.stats.checkpoint_pause_total += paused;
-                match resume {
-                    CkptResume::Compute { remaining } => self.begin_compute(pid, remaining),
-                    CkptResume::Waiting { xch } => self.try_finish_recv(pid, xch),
-                }
+                self.resume_from(pid, resume);
                 if let Some(round) = &mut self.ckpt {
                     let next = round.next;
                     self.q.schedule(
@@ -965,9 +1064,32 @@ impl ClusterSim {
                     );
                 }
             }
-            other => {
-                debug_assert!(false, "dump completed in unexpected state {other:?}");
+            _ => {
+                // A stale dump completion: the fault layer interrupted the
+                // process (crash, freeze, declaration, recovery rollback)
+                // after the transfer went onto the wire. The bytes land at
+                // the file server; nobody is waiting for them any more.
             }
+        }
+    }
+
+    /// Schedules the global resume once every pending migrator has either
+    /// reloaded its dump or died (a crashed migrator must not stall the
+    /// others forever).
+    fn check_migrators_ready(&mut self) {
+        if self.sync != SyncState::Migrating
+            || self.resume_pending
+            || self.pending_migrators.is_empty()
+        {
+            return;
+        }
+        let all_settled = self
+            .pending_migrators
+            .iter()
+            .all(|&m| matches!(self.procs[m].state, ProcState::MigrReady | ProcState::Failed));
+        if all_settled {
+            self.resume_pending = true;
+            self.q.schedule(self.cfg.handshake_s, EventKind::ResumeAll);
         }
     }
 
@@ -1011,6 +1133,11 @@ impl ClusterSim {
 
     fn on_resume_all(&mut self) {
         let now = self.now();
+        self.resume_pending = false;
+        if let Some(ctx) = self.recovering.take() {
+            self.finish_recovery(ctx);
+            return;
+        }
         for pid in 0..self.procs.len() {
             match self.procs[pid].state {
                 ProcState::AtSyncBarrier | ProcState::MigrReady => {
@@ -1042,6 +1169,328 @@ impl ClusterSim {
     }
 
     // ------------------------------------------------------------------
+    // fault injection, failure detection, crash recovery
+    // ------------------------------------------------------------------
+
+    /// The workstation loses power: the host goes down and the parallel
+    /// subprocess on it (if any) dies instantly. Background chains (user
+    /// flips, job arrivals) keep running untouched — their RNG stream must
+    /// not depend on fault timing — and their effects on a dead host are
+    /// harmless because placement skips unavailable machines.
+    fn on_host_crash(&mut self, host: usize) {
+        let now = self.now();
+        self.stats.host_crashes += 1;
+        self.hosts[host].touch(now);
+        if !self.hosts[host].up {
+            return; // already down
+        }
+        self.hosts[host].up = false;
+        self.hosts[host].frozen = false;
+        let Some(pid) = self.hosts[host].assigned_proc else {
+            return; // an empty workstation died; nobody notices until submit
+        };
+        let state = self.procs[pid].state.clone();
+        if state == ProcState::Done {
+            return; // results already delivered; the loss costs nothing
+        }
+        {
+            let p = &mut self.procs[pid];
+            match state {
+                ProcState::Computing { since, .. } => p.t_calc += now - since,
+                ProcState::WaitingRecv { .. } => p.t_com += now - p.wait_since,
+                ProcState::Failed => return, // double-kill
+                _ => p.t_paused += now - p.pause_since,
+            }
+            if state == ProcState::AtSyncBarrier {
+                // it no longer counts toward the barrier
+                self.paused_count = self.paused_count.saturating_sub(1);
+            }
+            let p = &mut self.procs[pid];
+            p.bump_epoch();
+            p.state = ProcState::Failed;
+            p.pause_since = now; // the moment heartbeats stopped
+            self.failed_count += 1;
+        }
+        // a dead straggler must not hang an in-progress drain or migration
+        self.maybe_all_paused();
+        self.check_migrators_ready();
+        self.start_probe_chain(host);
+    }
+
+    /// The crashed machine finishes rebooting and rejoins the pool. Its dead
+    /// subprocess (if still assigned) stays dead — the reboot restores the
+    /// *host*, not the process — so a pending detection still declares.
+    fn on_host_reboot(&mut self, host: usize) {
+        let now = self.now();
+        self.hosts[host].touch(now);
+        if self.hosts[host].up {
+            return;
+        }
+        self.stats.host_reboots += 1;
+        self.hosts[host].up = true;
+    }
+
+    /// A transient stall begins: the subprocess stops making progress but
+    /// stays alive. Only actively running states are interrupted; a process
+    /// that is already paused (barrier, migration, checkpoint save) does not
+    /// notice a stall on its host.
+    fn on_host_freeze_start(&mut self, host: usize) {
+        let now = self.now();
+        self.stats.host_freezes += 1;
+        self.hosts[host].touch(now);
+        if !self.hosts[host].up || self.hosts[host].frozen {
+            return;
+        }
+        self.hosts[host].frozen = true;
+        let Some(pid) = self.hosts[host].assigned_proc else {
+            return;
+        };
+        let resume = match self.procs[pid].state.clone() {
+            ProcState::Computing { remaining, rate, since } => {
+                let worked = (now - since) * rate;
+                self.procs[pid].t_calc += now - since;
+                Some(CkptResume::Compute { remaining: (remaining - worked).max(0.0) })
+            }
+            ProcState::WaitingRecv { xch } => {
+                let p = &mut self.procs[pid];
+                p.t_com += now - p.wait_since;
+                Some(CkptResume::Waiting { xch })
+            }
+            _ => None,
+        };
+        if let Some(resume) = resume {
+            let p = &mut self.procs[pid];
+            p.bump_epoch();
+            p.pause_since = now;
+            p.state = ProcState::Frozen { resume };
+            self.start_probe_chain(host);
+        }
+    }
+
+    /// The stall lifts. If the detector has not yet declared the process
+    /// dead, it resumes exactly where it was interrupted (heartbeats restart,
+    /// cancelling the probe chain); if recovery rolled it back meanwhile it
+    /// restarts its current phase from the rollback step.
+    fn on_host_freeze_end(&mut self, host: usize) {
+        let now = self.now();
+        self.hosts[host].touch(now);
+        if !self.hosts[host].frozen {
+            return; // crash superseded the stall, or never froze
+        }
+        self.hosts[host].frozen = false;
+        self.hosts[host].probe_epoch += 1; // heartbeats resume: drop the chain
+        let Some(pid) = self.hosts[host].assigned_proc else {
+            return;
+        };
+        if let ProcState::Frozen { resume } = self.procs[pid].state.clone() {
+            let p = &mut self.procs[pid];
+            p.t_paused += now - p.pause_since;
+            if self.sync == SyncState::Migrating {
+                // the runtime is mid-migration/recovery: wait for ResumeAll
+                p.pause_since = now;
+                p.state = ProcState::AtSyncBarrier;
+            } else {
+                self.resume_from(pid, resume);
+            }
+        }
+    }
+
+    /// Continues a process from a saved mid-step continuation.
+    fn resume_from(&mut self, pid: usize, resume: CkptResume) {
+        match resume {
+            CkptResume::Compute { remaining } => self.begin_compute(pid, remaining),
+            CkptResume::Waiting { xch } => self.try_finish_recv(pid, xch),
+            CkptResume::Restart => self.start_phase(pid),
+        }
+    }
+
+    /// Starts (or restarts) the heartbeat probe chain against `host` after
+    /// its subprocess stopped answering.
+    fn start_probe_chain(&mut self, host: usize) {
+        if !self.cfg.detector.enabled {
+            return;
+        }
+        self.hosts[host].probe_epoch += 1;
+        let probe_epoch = self.hosts[host].probe_epoch;
+        self.q.schedule(
+            self.cfg.detector.timeout_s,
+            EventKind::HeartbeatProbe { host, misses: 1, probe_epoch },
+        );
+    }
+
+    fn on_heartbeat_probe(&mut self, host: usize, misses: u32, probe_epoch: u64) {
+        if probe_epoch != self.hosts[host].probe_epoch {
+            return; // stale chain (host recovered or was re-suspected)
+        }
+        let Some(pid) = self.hosts[host].assigned_proc else {
+            return;
+        };
+        let silent = !self.hosts[host].available()
+            || matches!(self.procs[pid].state, ProcState::Failed | ProcState::Frozen { .. });
+        if !silent {
+            return; // heartbeats are back; the suspicion evaporates
+        }
+        if misses >= self.cfg.detector.max_misses {
+            if self.sync != SyncState::Idle || self.recovering.is_some() {
+                // the runtime is mid-sync/migration/recovery: declaring now
+                // would tangle two protocols, so keep probing until idle
+                self.q.schedule(
+                    self.cfg.detector.timeout_s,
+                    EventKind::HeartbeatProbe { host, misses, probe_epoch },
+                );
+                return;
+            }
+            self.declare_failure(host, pid);
+        } else {
+            let wait = self.cfg.detector.timeout_s * self.cfg.detector.backoff.powi(misses as i32);
+            self.q.schedule(
+                wait,
+                EventKind::HeartbeatProbe { host, misses: misses + 1, probe_epoch },
+            );
+        }
+    }
+
+    /// The detector gives up on the process: declare it dead and launch the
+    /// checkpoint-restart recovery. If the process was merely stalled (a
+    /// freeze outlasting the probe schedule) this is a false positive — the
+    /// monitor kills the unresponsive process and restarts it anyway, which
+    /// is exactly what a real timeout-based monitor would do.
+    fn declare_failure(&mut self, host: usize, pid: usize) {
+        let now = self.now();
+        let false_positive = matches!(self.procs[pid].state, ProcState::Frozen { .. });
+        if false_positive {
+            let p = &mut self.procs[pid];
+            p.t_paused += now - p.pause_since;
+            // keep pause_since: it marks when progress stopped (fault time)
+            let fault = p.pause_since;
+            p.bump_epoch();
+            p.state = ProcState::Failed;
+            p.pause_since = fault;
+            self.failed_count += 1;
+        }
+        self.hosts[host].probe_epoch += 1; // chain consumed
+        self.begin_recovery(pid, host, false_positive);
+    }
+
+    /// Extends the section-4.1 migration machinery into failure-triggered
+    /// re-submission: pause every live process where it stands, re-submit the
+    /// dead one to a fresh host, reload the last coordinated checkpoint, and
+    /// resume everyone from the checkpointed step (the lost steps are
+    /// recomputed).
+    fn begin_recovery(&mut self, pid: usize, from_host: usize, false_positive: bool) {
+        let now = self.now();
+        let fault_time = self.procs[pid].pause_since;
+        self.recovering = Some(RecoveryCtx {
+            pid,
+            from_host,
+            fault_time,
+            detect_time: now,
+            step_at_failure: self.procs[pid].step,
+            false_positive,
+        });
+        self.ckpt = None; // abandon any checkpoint round in progress
+        self.sync = SyncState::Migrating;
+        self.hosts[from_host].touch(now);
+        self.hosts[from_host].assigned_proc = None;
+        // stop the world: every live process pauses where it stands
+        for i in 0..self.procs.len() {
+            if i == pid {
+                continue;
+            }
+            let state = self.procs[i].state.clone();
+            let p = &mut self.procs[i];
+            match state {
+                ProcState::Computing { since, .. } => {
+                    p.t_calc += now - since;
+                }
+                ProcState::WaitingRecv { .. } => {
+                    p.t_com += now - p.wait_since;
+                }
+                ProcState::CkptSaving { .. } => {
+                    p.t_paused += now - p.pause_since;
+                }
+                // frozen processes stay frozen (their stall outlives the
+                // pause); failed ones await their own recovery; done ones
+                // are rolled back at resume
+                _ => continue,
+            }
+            p.bump_epoch();
+            p.state = ProcState::AtSyncBarrier;
+            p.pause_since = now;
+        }
+        // the victim: dead time so far is pause, then it queues for submit
+        {
+            let p = &mut self.procs[pid];
+            p.t_paused += now - p.pause_since;
+            p.pause_since = now;
+            p.bump_epoch();
+            p.state = ProcState::MigrWaitingHost;
+        }
+        self.failed_count = self.failed_count.saturating_sub(1);
+        self.pending_migrators = vec![pid];
+        self.q.schedule(self.cfg.submit.search_duration_s, EventKind::SubmitRetry);
+    }
+
+    /// The recovered process has reloaded the checkpoint on its new host and
+    /// the channels have reopened: roll *everyone* back to the coordinated
+    /// checkpoint step and restart computation from there.
+    fn finish_recovery(&mut self, ctx: RecoveryCtx) {
+        let now = self.now();
+        let rollback = self.last_ckpt_step;
+        // two passes: every process must be rewound before any restarts,
+        // because a restarted process's first phase can be an exchange whose
+        // offer lands (staged) in a peer that has not been rewound yet —
+        // rolling that peer back afterwards would discard the offer
+        let mut restart = Vec::with_capacity(self.procs.len());
+        for i in 0..self.procs.len() {
+            match self.procs[i].state.clone() {
+                ProcState::AtSyncBarrier | ProcState::MigrReady => {
+                    let p = &mut self.procs[i];
+                    p.t_paused += now - p.pause_since;
+                    p.rollback_to(rollback);
+                    p.state = ProcState::Done; // placeholder, start_phase overwrites
+                    restart.push(i);
+                }
+                ProcState::Done => {
+                    // a finished process restarts too: the global rollback
+                    // invalidates the steps it computed past the checkpoint
+                    self.done_count -= 1;
+                    self.procs[i].rollback_to(rollback);
+                    restart.push(i);
+                }
+                ProcState::Frozen { .. } => {
+                    // still stalled: rewound, restarts its phase at thaw
+                    let p = &mut self.procs[i];
+                    p.rollback_to(rollback);
+                    p.state = ProcState::Frozen { resume: CkptResume::Restart };
+                }
+                ProcState::Failed => {
+                    // a second casualty: rewound, awaits its own recovery
+                    self.procs[i].rollback_to(rollback);
+                }
+                other => debug_assert!(false, "recovery resume found state {other:?}"),
+            }
+        }
+        for i in restart {
+            self.start_phase(i);
+        }
+        self.stats.recoveries.push(RecoveryRecord {
+            proc_id: ctx.pid,
+            from_host: ctx.from_host,
+            to_host: self.procs[ctx.pid].host,
+            fault_time: ctx.fault_time,
+            detect_time: ctx.detect_time,
+            resume_time: now,
+            rollback_step: rollback,
+            lost_steps: ctx.step_at_failure.saturating_sub(rollback),
+            false_positive: ctx.false_positive,
+        });
+        self.pending_migrators.clear();
+        self.sync = SyncState::Idle;
+        self.paused_count = 0;
+    }
+
+    // ------------------------------------------------------------------
     // staggered checkpointing (section 5.2)
     // ------------------------------------------------------------------
 
@@ -1052,7 +1501,12 @@ impl ClusterSim {
         if self.ckpt.is_some() || self.sync != SyncState::Idle || self.done_count > 0 {
             return; // skip a round rather than overlap
         }
-        self.ckpt = Some(CkptRound { order: (0..self.procs.len()).collect(), next: 0 });
+        self.ckpt = Some(CkptRound {
+            order: (0..self.procs.len()).collect(),
+            next: 0,
+            min_step: u64::MAX,
+            saved: 0,
+        });
         self.q.schedule(0.0, EventKind::CheckpointToken { order_index: 0 });
     }
 
@@ -1062,6 +1516,12 @@ impl ClusterSim {
             return;
         };
         if idx >= round.order.len() {
+            // the coordinated checkpoint only advances the recovery line if
+            // every process saved this round: a skipped process still has only
+            // its previous dump on the file server
+            if round.saved == self.procs.len() && round.min_step != u64::MAX {
+                self.last_ckpt_step = round.min_step;
+            }
             self.stats.checkpoint_rounds += 1;
             self.ckpt = None;
             return;
@@ -1084,6 +1544,12 @@ impl ClusterSim {
         };
         match resume {
             Some(resume) => {
+                let step = self.procs[pid].step;
+                if let Some(round) = &mut self.ckpt {
+                    // the coordinated rollback point is the slowest saver's step
+                    round.min_step = round.min_step.min(step);
+                    round.saved += 1;
+                }
                 let p = &mut self.procs[pid];
                 p.bump_epoch(); // invalidate any in-flight ComputeDone
                 p.pause_since = now;
@@ -1132,7 +1598,9 @@ impl ClusterSim {
                     | ProcState::MigrWaitingHost
                     | ProcState::MigrLoading
                     | ProcState::MigrReady
-                    | ProcState::CkptSaving { .. } => s.t_paused += now - p.pause_since,
+                    | ProcState::CkptSaving { .. }
+                    | ProcState::Frozen { .. }
+                    | ProcState::Failed => s.t_paused += now - p.pause_since,
                     ProcState::Done => {}
                 }
                 s
@@ -1186,6 +1654,17 @@ impl ClusterSim {
         let lo = steps.iter().min().copied().unwrap_or(0);
         let hi = steps.iter().max().copied().unwrap_or(0);
         hi - lo
+    }
+
+    /// Workstation states (for fault-injection tests).
+    pub fn hosts(&self) -> &[HostState] {
+        &self.hosts
+    }
+
+    /// Step of the last completed coordinated checkpoint round (the rollback
+    /// point crash recovery restarts from).
+    pub fn last_checkpoint_step(&self) -> u64 {
+        self.last_ckpt_step
     }
 }
 
@@ -1289,5 +1768,147 @@ mod tests {
             (steps[0] as i64 - steps[1] as i64).unsigned_abs() <= 1,
             "processes out of sync after migration: {steps:?}"
         );
+    }
+
+    /// Host that process 0 lands on under `cfg` (placement is deterministic,
+    /// so building a throwaway sim reveals it).
+    fn host_of_proc0(cfg: &ClusterConfig) -> usize {
+        ClusterSim::new(cfg.clone()).placements()[0]
+    }
+
+    #[test]
+    fn host_crash_is_detected_and_recovered() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        cfg.checkpoint_period_s = Some(30.0);
+        cfg.checkpoint_gap_s = 1.0;
+        let victim = host_of_proc0(&cfg);
+        cfg.faults = FaultPlan::empty().crash(victim, 60.0, None);
+        let mut sim = ClusterSim::new(cfg.clone());
+        let stats = sim.run(1000.0, None);
+        assert_eq!(stats.host_crashes, 1);
+        assert_eq!(stats.recoveries.len(), 1, "exactly one recovery expected");
+        let r = &stats.recoveries[0];
+        assert_eq!(r.proc_id, 0);
+        assert_eq!(r.from_host, victim);
+        assert_ne!(r.to_host, victim, "cannot restart on a dead host");
+        assert!(!r.false_positive);
+        // the detector's schedule: probes at +5, +15, declaration at +35
+        let expected = cfg.detector.detection_latency();
+        assert!(
+            (r.detection_latency() - expected).abs() < 1e-9,
+            "detection latency {} vs schedule {}",
+            r.detection_latency(),
+            expected
+        );
+        // a checkpoint round completed before the crash, so the rollback is
+        // not all the way to step 0
+        assert!(r.rollback_step > 0, "no checkpoint to roll back to?");
+        assert!(r.lost_steps > 0, "the victim should lose some work");
+        // the computation is alive and in lockstep afterwards
+        let steps = sim.steps();
+        assert!(steps.iter().all(|&s| s > r.rollback_step));
+        let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
+        assert!(spread <= 1, "out of sync after recovery: {steps:?}");
+        // the dead host is still down and empty
+        assert!(!sim.hosts()[victim].up);
+        assert_eq!(sim.hosts()[victim].assigned_proc, None);
+    }
+
+    #[test]
+    fn crash_without_checkpoints_rolls_back_to_the_start() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        let victim = host_of_proc0(&cfg);
+        cfg.faults = FaultPlan::empty().crash(victim, 10.0, None);
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1.0e4, Some(60));
+        assert_eq!(stats.recoveries.len(), 1);
+        let r = &stats.recoveries[0];
+        assert_eq!(r.rollback_step, 0, "no checkpoints: recovery restarts from the dump");
+        assert!(r.lost_steps > 0);
+        // the run still completes its target in full
+        assert_eq!(sim.steps(), vec![60, 60]);
+    }
+
+    #[test]
+    fn crashed_host_reboots_and_rejoins() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        let victim = host_of_proc0(&cfg);
+        cfg.faults = FaultPlan::empty().crash(victim, 20.0, Some(120.0));
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(600.0, None);
+        assert_eq!(stats.host_crashes, 1);
+        assert_eq!(stats.host_reboots, 1);
+        assert_eq!(stats.recoveries.len(), 1, "the reboot must not cancel the recovery");
+        assert!(sim.hosts()[victim].up, "host should be back up");
+        assert_eq!(sim.hosts()[victim].assigned_proc, None, "but empty");
+    }
+
+    #[test]
+    fn short_freeze_resumes_in_place() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        let victim = host_of_proc0(&cfg);
+        // 10 s stall, well under the 35 s detection schedule
+        cfg.faults = FaultPlan::empty().freeze(victim, 10.0, 10.0);
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1.0e4, Some(100));
+        assert_eq!(stats.host_freezes, 1);
+        assert!(stats.recoveries.is_empty(), "a short stall must not trigger a restart");
+        assert_eq!(sim.steps(), vec![100, 100]);
+        // the stall shows up as pause time on the frozen process
+        assert!(stats.procs[0].t_paused >= 10.0 - 1e-9, "paused {}", stats.procs[0].t_paused);
+    }
+
+    #[test]
+    fn long_freeze_becomes_a_false_positive_restart() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        let victim = host_of_proc0(&cfg);
+        // the stall outlasts the detector's 35 s schedule
+        cfg.faults = FaultPlan::empty().freeze(victim, 30.0, 200.0);
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1000.0, None);
+        assert_eq!(stats.host_freezes, 1);
+        assert_eq!(stats.recoveries.len(), 1);
+        assert!(stats.recoveries[0].false_positive, "this restart killed a live process");
+        assert_ne!(stats.recoveries[0].to_host, victim);
+        // the computation survives the spurious restart
+        let steps = sim.steps();
+        let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
+        assert!(spread <= 1, "out of sync after false-positive recovery: {steps:?}");
+    }
+
+    #[test]
+    fn bus_burst_congests_and_passes() {
+        let run = |faults: FaultPlan| {
+            let mut cfg = ClusterConfig::measurement(small_workload());
+            cfg.faults = faults;
+            let mut sim = ClusterSim::new(cfg);
+            sim.run(f64::INFINITY, Some(100))
+        };
+        let quiet = run(FaultPlan::empty());
+        let bursty = run(FaultPlan::empty().bus_burst(5.0, 10.0));
+        assert_eq!(bursty.bus_bursts, 1);
+        assert!(
+            bursty.finished_at > quiet.finished_at,
+            "a saturated bus must slow the run: {} vs {}",
+            bursty.finished_at,
+            quiet.finished_at
+        );
+        // and both runs still complete every step
+        assert!(bursty.procs.iter().all(|p| p.steps == 100));
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bit_identical() {
+        // the fault layer off vs explicitly empty: not one event differs
+        let run = |faults: FaultPlan| {
+            let mut cfg = ClusterConfig::measurement(small_workload());
+            cfg.faults = faults;
+            ClusterSim::new(cfg).run(1.0e6, Some(50))
+        };
+        let a = run(FaultPlan::empty());
+        let b = run(FaultPlan::default());
+        assert_eq!(a.finished_at, b.finished_at);
+        assert_eq!(a.net_messages, b.net_messages);
+        assert_eq!(a.net_busy, b.net_busy);
     }
 }

@@ -81,6 +81,46 @@ impl MigrationRecord {
     }
 }
 
+/// One failure-triggered recovery: a subprocess died (host crash) or was
+/// declared dead (stall outlasting the detector), and the runtime restarted
+/// it on a fresh host from the last coordinated checkpoint, rolling every
+/// process back to the checkpointed step.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct RecoveryRecord {
+    /// The process that was restarted.
+    pub proc_id: usize,
+    /// Host it died on.
+    pub from_host: usize,
+    /// Host it was re-submitted to.
+    pub to_host: usize,
+    /// When the fault struck (heartbeats stopped).
+    pub fault_time: f64,
+    /// When the failure detector declared the process dead.
+    pub detect_time: f64,
+    /// When the whole computation resumed from the rollback step.
+    pub resume_time: f64,
+    /// The coordinated-checkpoint step everyone rolled back to.
+    pub rollback_step: u64,
+    /// Steps of work the failed process had completed past the rollback step
+    /// (the recomputation the cluster must redo).
+    pub lost_steps: u64,
+    /// Whether the "dead" process was actually alive (a transient stall that
+    /// outlasted the detector — a false-positive restart).
+    pub false_positive: bool,
+}
+
+impl RecoveryRecord {
+    /// Fault-to-declaration latency (the detector's contribution).
+    pub fn detection_latency(&self) -> f64 {
+        self.detect_time - self.fault_time
+    }
+
+    /// Fault-to-resume downtime (detection + re-submission + reload).
+    pub fn downtime(&self) -> f64 {
+        self.resume_time - self.fault_time
+    }
+}
+
 /// Aggregate results of a simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusterStats {
@@ -112,6 +152,16 @@ pub struct ClusterStats {
     /// Largest step difference ever observed between two processes
     /// (Appendix A's un-synchronization).
     pub max_observed_skew: u64,
+    /// Completed failure-triggered recoveries.
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Injected host crashes that actually hit the run.
+    pub host_crashes: u64,
+    /// Crashed hosts that finished rebooting.
+    pub host_reboots: u64,
+    /// Injected transient host stalls.
+    pub host_freezes: u64,
+    /// Injected bus-saturation bursts.
+    pub bus_bursts: u64,
     /// Simulated time at which the run target was reached (or the run
     /// stopped).
     pub finished_at: f64,
@@ -144,6 +194,23 @@ mod tests {
     fn utilization_definition() {
         let p = ProcStats { t_calc: 8.0, t_com: 2.0, t_paused: 1.0, steps: 20 };
         assert!((p.utilization() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_latencies() {
+        let r = RecoveryRecord {
+            proc_id: 2,
+            from_host: 4,
+            to_host: 9,
+            fault_time: 400.0,
+            detect_time: 435.0,
+            resume_time: 470.0,
+            rollback_step: 1000,
+            lost_steps: 180,
+            false_positive: false,
+        };
+        assert_eq!(r.detection_latency(), 35.0);
+        assert_eq!(r.downtime(), 70.0);
     }
 
     #[test]

@@ -1,0 +1,258 @@
+//! E-faults: recovery cost vs checkpoint interval, event simulation vs the
+//! analytic model.
+//!
+//! The paper's runtime survives workstation loss by restarting the dead
+//! subprocess from the last coordinated checkpoint (section 4.1). That makes
+//! the checkpoint interval a tunable with a classic trade: tight intervals
+//! pay frequent save pauses, loose intervals pay long recomputation after a
+//! crash. [`subsonic_model::RecoveryModel`] prices the trade in closed form
+//! (Young's formula); this experiment validates the closed form against the
+//! discrete-event cluster simulation with one injected host crash, sweeping
+//! the checkpoint interval and comparing the simulated extra wall-clock
+//! against the prediction.
+//!
+//! Calibration protocol (all runs are seeded and deterministic):
+//!
+//! 1. a faultless, checkpoint-free run measures the baseline `T0` and the
+//!    per-step time;
+//! 2. a faultless checkpointing run at a calibration interval measures the
+//!    cost `C` of one coordinated round;
+//! 3. a crashed run at the same interval measures the restart cost `R`
+//!    (host search + dump reload + handshake) after subtracting the known
+//!    detection latency `D` and the recomputation;
+//! 4. the sweep then *predicts* each interval's recovery cost as
+//!    `(lost · t_step + D + R) / (1 − C/I)` — the denominator prices the
+//!    checkpoint rounds the recomputation itself pays — and compares against
+//!    the simulated cost. The acceptance bar is 15% agreement.
+
+use crate::report::{Check, ExperimentResult, Table};
+use subsonic_cluster::{ClusterConfig, ClusterSim, ClusterStats, FaultPlan, WorkloadSpec};
+use subsonic_model::RecoveryModel;
+use subsonic_solvers::MethodKind;
+
+/// Nominal pool MTBF used for the availability / optimal-interval columns:
+/// 25 hosts at a 50-hour per-host crash MTBF, i.e. one crash somewhere every
+/// two hours. (The sweep injects exactly one crash per run; the MTBF only
+/// scales the model's availability mapping, not the validated costs.)
+const NOMINAL_MTBF_S: f64 = 2.0 * 3600.0;
+
+/// One swept checkpoint interval.
+#[derive(Debug, Clone, Copy)]
+pub struct SweepPoint {
+    /// Checkpoint interval, seconds.
+    pub interval_s: f64,
+    /// Coordinated rounds completed in the faultless checkpointing run.
+    pub rounds: u64,
+    /// Simulated checkpointing overhead: faultless-with-checkpoints runtime
+    /// minus the checkpoint-free baseline, seconds.
+    pub ckpt_overhead_s: f64,
+    /// Steps the victim had computed past the rollback checkpoint.
+    pub lost_steps: u64,
+    /// Simulated recovery cost: crashed runtime minus the faultless
+    /// checkpointing runtime at the same interval, seconds.
+    pub sim_extra_s: f64,
+    /// The model's predicted recovery cost, seconds.
+    pub model_extra_s: f64,
+    /// Model availability at this interval under the nominal MTBF.
+    pub availability: f64,
+    /// Recoveries observed in the crashed run (must be exactly 1).
+    pub recoveries: usize,
+    /// Whether the recovery was a detector false positive (must be false).
+    pub false_positive: bool,
+}
+
+/// The full sweep plus its calibrated model.
+pub struct RecoverySweep {
+    /// The calibrated recovery-cost model.
+    pub model: RecoveryModel,
+    /// Checkpoint-free, fault-free baseline runtime, seconds.
+    pub baseline_s: f64,
+    /// Mean wall-clock per integration step in the baseline run.
+    pub t_step_s: f64,
+    /// The swept intervals, tightest first.
+    pub points: Vec<SweepPoint>,
+}
+
+impl RecoverySweep {
+    /// Largest relative disagreement between simulated and predicted
+    /// recovery cost over the sweep.
+    pub fn max_rel_err(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| (p.sim_extra_s - p.model_extra_s).abs() / p.sim_extra_s.max(1e-9))
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs the calibration and the interval sweep. `quick` shrinks the run
+/// length; the intervals scale with the measured baseline so both modes
+/// exercise the same tight-to-loose range.
+pub fn recovery_sweep(quick: bool) -> RecoverySweep {
+    let steps: u64 = if quick { 1200 } else { 3000 };
+    let workload =
+        || WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 3 * 60, 2 * 60, 3, 2);
+    let cfg_with = |period: Option<f64>, faults: FaultPlan| -> ClusterConfig {
+        let mut cfg = ClusterConfig::measurement(workload());
+        cfg.checkpoint_period_s = period;
+        cfg.checkpoint_gap_s = 2.0;
+        cfg.faults = faults;
+        cfg
+    };
+    let run = |cfg: ClusterConfig| -> ClusterStats { ClusterSim::new(cfg).run(1.0e9, Some(steps)) };
+
+    // 1. checkpoint-free, fault-free baseline
+    let base = run(cfg_with(None, FaultPlan::empty()));
+    let t0 = base.finished_at;
+    let t_step = t0 / steps as f64;
+    let detection_s = cfg_with(None, FaultPlan::empty()).detector.detection_latency();
+
+    // the crash always lands on process 2's host, late enough that even the
+    // loosest swept interval has completed a coordinated round
+    let victim_host = ClusterSim::new(cfg_with(None, FaultPlan::empty())).placements()[2];
+    let fault_at = 0.7 * t0;
+    let crash = || FaultPlan::empty().crash(victim_host, fault_at, None);
+
+    // 2. calibrate the per-round checkpoint cost C
+    let i_cal = t0 / 6.0;
+    let cal = run(cfg_with(Some(i_cal), FaultPlan::empty()));
+    let checkpoint_cost_s = (cal.finished_at - t0) / cal.checkpoint_rounds.max(1) as f64;
+
+    // 3. calibrate the restart cost R from one crashed run at the same
+    //    interval: what is left of the extra wall-clock after subtracting
+    //    the recomputation, the detection latency and the extra checkpoint
+    //    rounds the longer run paid
+    let cal_f = run(cfg_with(Some(i_cal), crash()));
+    let cal_rec = cal_f.recoveries.first().copied();
+    let restart_s = match cal_rec {
+        Some(r) => {
+            let extra = cal_f.finished_at - cal.finished_at;
+            let extra_rounds = cal_f.checkpoint_rounds.saturating_sub(cal.checkpoint_rounds);
+            (extra
+                - r.lost_steps as f64 * t_step
+                - detection_s
+                - extra_rounds as f64 * checkpoint_cost_s)
+                .max(0.0)
+        }
+        None => 0.0,
+    };
+
+    let model = RecoveryModel {
+        checkpoint_cost_s,
+        detection_s,
+        restart_s,
+        mtbf_s: NOMINAL_MTBF_S,
+    };
+
+    // 4. the sweep: tight, medium, loose (fractions of the baseline so the
+    //    loosest interval still completes a round before the crash)
+    let mut points = Vec::new();
+    for interval in [t0 / 8.0, t0 / 4.0, t0 / 2.0] {
+        let ck = run(cfg_with(Some(interval), FaultPlan::empty()));
+        let fl = run(cfg_with(Some(interval), crash()));
+        let rec = fl.recoveries.first().copied();
+        let lost_steps = rec.map(|r| r.lost_steps).unwrap_or(0);
+        let sim_extra_s = fl.finished_at - ck.finished_at;
+        let gross = lost_steps as f64 * t_step + detection_s + restart_s;
+        let model_extra_s = gross / (1.0 - (checkpoint_cost_s / interval).min(0.5));
+        points.push(SweepPoint {
+            interval_s: interval,
+            rounds: ck.checkpoint_rounds,
+            ckpt_overhead_s: ck.finished_at - t0,
+            lost_steps,
+            sim_extra_s,
+            model_extra_s,
+            availability: model.availability(interval),
+            recoveries: fl.recoveries.len(),
+            false_positive: rec.map(|r| r.false_positive).unwrap_or(false),
+        });
+    }
+
+    RecoverySweep { model, baseline_s: t0, t_step_s: t_step, points }
+}
+
+/// E-faults: the recovery-cost/availability figure (see module docs).
+pub fn e_faults(quick: bool) -> ExperimentResult {
+    let mut r = ExperimentResult::new(
+        "faults",
+        "Recovery cost vs checkpoint interval: simulation vs analytic model",
+    );
+    let sweep = recovery_sweep(quick);
+    let m = &sweep.model;
+
+    let mut calib = Table::new(
+        "Calibrated recovery-model parameters",
+        &["parameter", "value", "unit"],
+    );
+    calib.push_row(vec!["baseline runtime T0".into(), format!("{:.1}", sweep.baseline_s), "s".into()]);
+    calib.push_row(vec!["step time".into(), format!("{:.4}", sweep.t_step_s), "s".into()]);
+    calib.push_row(vec!["checkpoint round C".into(), format!("{:.2}", m.checkpoint_cost_s), "s".into()]);
+    calib.push_row(vec!["detection D".into(), format!("{:.1}", m.detection_s), "s".into()]);
+    calib.push_row(vec!["restart R".into(), format!("{:.2}", m.restart_s), "s".into()]);
+    calib.push_row(vec!["nominal pool MTBF".into(), format!("{:.0}", m.mtbf_s), "s".into()]);
+    calib.push_row(vec!["Young optimum I*".into(), format!("{:.0}", m.optimal_interval_s()), "s".into()]);
+    r.tables.push(calib);
+
+    let mut sw = Table::new(
+        "Recovery cost vs checkpoint interval (one injected host crash)",
+        &[
+            "interval (s)",
+            "ckpt rounds",
+            "ckpt overhead (s)",
+            "lost steps",
+            "recovery cost sim (s)",
+            "recovery cost model (s)",
+            "err %",
+            "availability (model)",
+        ],
+    );
+    for p in &sweep.points {
+        let err = 100.0 * (p.sim_extra_s - p.model_extra_s).abs() / p.sim_extra_s.max(1e-9);
+        sw.push_row(vec![
+            format!("{:.0}", p.interval_s),
+            p.rounds.to_string(),
+            format!("{:.1}", p.ckpt_overhead_s),
+            p.lost_steps.to_string(),
+            format!("{:.1}", p.sim_extra_s),
+            format!("{:.1}", p.model_extra_s),
+            format!("{:.1}", err),
+            format!("{:.4}", p.availability),
+        ]);
+    }
+    r.tables.push(sw);
+
+    r.checks.push(Check::new(
+        "calibration is sane (C > 0, R >= 0, every interval checkpoints)",
+        m.checkpoint_cost_s > 0.0
+            && m.restart_s >= 0.0
+            && sweep.points.iter().all(|p| p.rounds >= 1),
+        format!("C {:.2} s, R {:.2} s", m.checkpoint_cost_s, m.restart_s),
+    ));
+    r.checks.push(Check::new(
+        "one injected crash triggers exactly one true-positive recovery",
+        sweep.points.iter().all(|p| p.recoveries == 1 && !p.false_positive),
+        format!(
+            "recoveries per interval: {:?}",
+            sweep.points.iter().map(|p| p.recoveries).collect::<Vec<_>>()
+        ),
+    ));
+    let max_err = sweep.max_rel_err();
+    r.checks.push(Check::new(
+        "simulated recovery cost matches the analytic model within 15%",
+        max_err <= 0.15,
+        format!("max relative error {:.1}%", 100.0 * max_err),
+    ));
+    let first = sweep.points.first().map(|p| p.lost_steps).unwrap_or(0);
+    let last = sweep.points.last().map(|p| p.lost_steps).unwrap_or(0);
+    r.checks.push(Check::new(
+        "tighter checkpoints lose less recomputation",
+        first < last,
+        format!("lost steps {first} (tight) vs {last} (loose)"),
+    ));
+
+    r.notes.push(
+        "One deterministic host crash per run at 0.7 T0; intervals swept as T0/8, T0/4, T0/2. \
+         The MTBF is nominal (one pool crash per 2 h) and only scales the availability column."
+            .into(),
+    );
+    r
+}

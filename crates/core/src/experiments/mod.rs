@@ -25,13 +25,16 @@
 //! | `acoustic` | acoustic waves propagate at c_s (section 6) |
 //! | `pipe` | flue-pipe jet oscillation (section 2) |
 //! | `real` | real threaded runner timing on this machine |
+//! | `faults` | recovery cost vs checkpoint interval (section 4.1 + Young's model) |
 
+mod faults;
 mod model_figures;
 mod perf_figures;
 mod physics;
 mod protocols;
 mod table1;
 
+pub use faults::{e_faults, recovery_sweep, RecoverySweep, SweepPoint};
 pub use model_figures::{fig12, fig13, hetero};
 pub use perf_figures::{fig10, fig11, fig5, fig6, fig7, fig8, fig9};
 pub use physics::{e_acoustic, e_conv, e_pipe, e_real};
@@ -43,7 +46,7 @@ use crate::report::ExperimentResult;
 /// All experiment ids in the order they appear in the paper.
 pub const ALL_IDS: &[&str] = &[
     "t1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "hetero",
-    "mig", "skew", "order", "solid", "net", "udp", "conv", "acoustic", "pipe", "real",
+    "mig", "skew", "order", "solid", "net", "udp", "conv", "acoustic", "pipe", "real", "faults",
 ];
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
@@ -70,6 +73,7 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "acoustic" => e_acoustic(quick),
         "pipe" => e_pipe(quick),
         "real" => e_real(quick),
+        "faults" => e_faults(quick),
         _ => return None,
     })
 }

@@ -159,7 +159,9 @@ impl Simulation2 {
     /// Note: this restarts from step 0 — it is a measurement companion, not a
     /// continuation of [`Simulation2::run`].
     pub fn run_threaded(&self, steps: u64) -> (GlobalFields2, Vec<(usize, StepTiming)>) {
-        let out = ThreadedRunner2::new(Arc::clone(&self.solver), self.problem.clone()).run(steps);
+        let out = ThreadedRunner2::new(Arc::clone(&self.solver), self.problem.clone())
+            .run(steps)
+            .expect("threaded 2D run failed");
         let fields = out.gather(
             self.problem.geom.nx(),
             self.problem.geom.ny(),
@@ -276,7 +278,9 @@ impl Simulation3 {
     /// Runs the same problem from its initial state with one thread per
     /// subregion (see [`Simulation2::run_threaded`]).
     pub fn run_threaded(&self, steps: u64) -> (GlobalFields3, Vec<(usize, StepTiming)>) {
-        let out = ThreadedRunner3::new(Arc::clone(&self.solver), self.problem.clone()).run(steps);
+        let out = ThreadedRunner3::new(Arc::clone(&self.solver), self.problem.clone())
+            .run(steps)
+            .expect("threaded 3D run failed");
         let fields = out.gather(self.problem.geom.dims(), self.problem.params.rho0);
         (fields, out.timing)
     }

@@ -7,6 +7,11 @@
 //! minutes") and for migration. The format here is a simple little-endian
 //! binary codec: header, parameters, geometry mask, macroscopic fields, and —
 //! for the lattice Boltzmann method — the populations.
+//!
+//! Because a dump may be read back after a host crash, the file must be
+//! self-validating: version 2 appends a 64-bit FNV-1a checksum over the whole
+//! payload, so a truncated or bit-rotted dump is rejected with a clean
+//! [`io::Error`] instead of resurrecting silently-corrupt fields.
 
 use std::io::{self, Read, Write};
 use std::path::Path;
@@ -14,7 +19,44 @@ use subsonic_grid::{Cell, PaddedGrid2};
 use subsonic_solvers::{FluidParams, Macro2, TileState2};
 
 const MAGIC: u64 = 0x5355_4253_4f4e_4943; // "SUBSONIC"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2; // v2 = v1 + FNV-1a checksum trailer
+
+/// 64-bit FNV-1a over `bytes`.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Appends the checksum trailer over everything encoded so far.
+pub(crate) fn seal(mut buf: Vec<u8>) -> Vec<u8> {
+    let sum = fnv1a(&buf);
+    buf.extend_from_slice(&sum.to_le_bytes());
+    buf
+}
+
+/// Validates and strips the checksum trailer, returning the payload.
+pub(crate) fn verify(bytes: &[u8]) -> io::Result<&[u8]> {
+    if bytes.len() < 8 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "dump shorter than its checksum",
+        ));
+    }
+    let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+    let mut sum = [0u8; 8];
+    sum.copy_from_slice(trailer);
+    if fnv1a(payload) != u64::from_le_bytes(sum) {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "dump checksum mismatch (corrupt or truncated)",
+        ));
+    }
+    Ok(payload)
+}
 
 struct Enc {
     buf: Vec<u8>,
@@ -55,13 +97,20 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
     }
     fn f64(&mut self) -> io::Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(f64::from_le_bytes(a))
     }
     fn grid(&mut self, nx: usize, ny: usize, halo: usize) -> io::Result<PaddedGrid2<f64>> {
         let mut g = PaddedGrid2::new(nx, ny, halo, 0.0f64);
@@ -149,12 +198,13 @@ pub fn dump_tile2(t: &TileState2) -> Vec<u8> {
     for fq in &t.f {
         e.grid(fq);
     }
-    e.buf
+    seal(e.buf)
 }
 
 /// Restores a 2D tile from dump-file bytes.
 pub fn restore_tile2(bytes: &[u8]) -> io::Result<TileState2> {
-    let mut d = Dec { buf: bytes, at: 0 };
+    let payload = verify(bytes)?;
+    let mut d = Dec { buf: payload, at: 0 };
     if d.u64()? != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "not a subsonic dump file"));
     }
@@ -221,6 +271,7 @@ pub fn load_tile2(path: &Path) -> io::Result<TileState2> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use subsonic_grid::{Decomp2, Geometry2};
     use subsonic_solvers::{
@@ -294,6 +345,44 @@ mod tests {
         let t = sample_tile(false);
         let bytes = dump_tile2(&t);
         assert!(restore_tile2(&bytes[..bytes.len() / 2]).is_err());
+        // even losing a single trailing byte must fail the checksum
+        assert!(restore_tile2(&bytes[..bytes.len() - 1]).is_err());
+        assert!(restore_tile2(&bytes[..4]).is_err(), "shorter than the trailer");
+    }
+
+    #[test]
+    fn bit_rot_in_the_payload_is_detected() {
+        // Version 1 validated only the header: a flipped bit deep inside a
+        // field grid restored "successfully" as corrupt physics. The v2
+        // checksum must catch it anywhere in the file.
+        let t = sample_tile(true);
+        let clean = dump_tile2(&t);
+        for at in [100, clean.len() / 2, clean.len() - 9] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x04;
+            let err = restore_tile2(&bytes).expect_err("corruption missed");
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {at}");
+        }
+    }
+
+    #[test]
+    fn version_1_dumps_are_rejected() {
+        // Fake an old dump: rewrite the version field and re-seal so only
+        // the version check can fail.
+        let t = sample_tile(false);
+        let bytes = dump_tile2(&t);
+        let mut payload = bytes[..bytes.len() - 8].to_vec();
+        payload[8..12].copy_from_slice(&1u32.to_le_bytes());
+        let err = restore_tile2(&seal(payload)).expect_err("version check missed");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // standard FNV-1a test vectors
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

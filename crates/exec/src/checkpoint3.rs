@@ -1,12 +1,15 @@
-//! Dump files for 3D tiles (companion to [`crate::checkpoint`]).
+//! Dump files for 3D tiles (companion to [`crate::checkpoint`], sharing its
+//! version-2 self-validating format: FNV-1a checksum trailer over the whole
+//! payload).
 
+use crate::checkpoint::{seal, verify};
 use std::io::{self, Read, Write};
 use std::path::Path;
 use subsonic_grid::{Cell, PaddedGrid3};
 use subsonic_solvers::{FluidParams, Macro3, TileState3};
 
 const MAGIC: u64 = 0x5355_4253_4f4e_4943; // "SUBSONIC"
-const VERSION: u32 = 1;
+const VERSION: u32 = 2; // v2 = v1 + FNV-1a checksum trailer
 
 struct Enc {
     buf: Vec<u8>,
@@ -49,13 +52,20 @@ impl<'a> Dec<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> io::Result<u32> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
     fn u64(&mut self) -> io::Result<u64> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
     }
     fn f64(&mut self) -> io::Result<f64> {
-        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(f64::from_le_bytes(a))
     }
     fn grid(&mut self, nx: usize, ny: usize, nz: usize, halo: usize) -> io::Result<PaddedGrid3<f64>> {
         let mut g = PaddedGrid3::new(nx, ny, nz, halo, 0.0f64);
@@ -133,12 +143,13 @@ pub fn dump_tile3(t: &TileState3) -> Vec<u8> {
     for fq in &t.f {
         e.grid(fq);
     }
-    e.buf
+    seal(e.buf)
 }
 
 /// Restores a 3D tile from dump-file bytes.
 pub fn restore_tile3(bytes: &[u8]) -> io::Result<TileState3> {
-    let mut d = Dec { buf: bytes, at: 0 };
+    let payload = verify(bytes)?;
+    let mut d = Dec { buf: payload, at: 0 };
     if d.u64()? != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "not a subsonic dump file"));
     }
@@ -221,6 +232,7 @@ pub fn load_tile3(path: &Path) -> io::Result<TileState3> {
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use subsonic_grid::{Decomp3, Geometry3};
     use subsonic_solvers::{InitialState3, LatticeBoltzmann3, Solver3};
@@ -264,10 +276,24 @@ mod tests {
     #[test]
     fn wrong_dimensionality_rejected() {
         let t = sample_tile();
-        let mut bytes = dump_tile3(&t);
-        // flip the dimensionality field (offset: magic 8 + version 4)
-        bytes[12] = 2;
-        assert!(restore_tile3(&bytes).is_err());
+        let bytes = dump_tile3(&t);
+        // rewrite the dimensionality field (offset: magic 8 + version 4) and
+        // re-seal so the checksum passes and only the dim check can fire
+        let mut payload = bytes[..bytes.len() - 8].to_vec();
+        payload[12] = 2;
+        assert!(restore_tile3(&seal(payload)).is_err());
+    }
+
+    #[test]
+    fn corrupt_3d_dump_is_detected_anywhere() {
+        let t = sample_tile();
+        let clean = dump_tile3(&t);
+        for at in [40, clean.len() / 3, clean.len() - 10] {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x10;
+            assert!(restore_tile3(&bytes).is_err(), "flip at {at} missed");
+        }
+        assert!(restore_tile3(&clean[..clean.len() - 3]).is_err(), "truncation missed");
     }
 
     #[test]

@@ -20,9 +20,17 @@
 //! The cluster-of-workstations *runtime* (hosts, Ethernet, monitoring,
 //! automatic migration) is modelled in `subsonic-cluster`; this crate is the
 //! real data-plane.
+//!
+//! Failure handling is typed: worker deaths surface as [`RunError`] instead
+//! of panics, and the supervised runners
+//! ([`ThreadedRunner2::run_supervised`](threaded::ThreadedRunner2::run_supervised))
+//! recover from them via in-memory coordinated checkpoints.
+
+#![warn(clippy::unwrap_used)]
 
 pub mod checkpoint;
 pub mod checkpoint3;
+pub mod error;
 pub mod gather;
 pub mod local;
 pub mod problem;
@@ -31,10 +39,11 @@ pub mod threaded;
 pub mod threaded3;
 pub mod timing;
 
+pub use error::RunError;
 pub use gather::{GlobalFields2, GlobalFields3};
 pub use local::{LocalRunner2, LocalRunner3};
 pub use problem::{Problem2, Problem3};
 pub use rayon_runner::RayonRunner2;
-pub use threaded::{MigrationDrill, ThreadedRunner2};
-pub use threaded3::ThreadedRunner3;
+pub use threaded::{KillSpec, MigrationDrill, RunOutcome2, SupervisorConfig, ThreadedRunner2};
+pub use threaded3::{RunOutcome3, ThreadedRunner3};
 pub use timing::StepTiming;

@@ -53,7 +53,7 @@ impl LocalRunner2 {
             match *op {
                 StepOp::Compute(k) => {
                     for &id in &self.active {
-                        self.solver.compute(self.tiles[id].as_mut().unwrap(), k);
+                        self.solver.compute(self.tiles[id].as_mut().expect("active tile missing"), k);
                     }
                 }
                 StepOp::Exchange(x) => self.exchange(x),
@@ -79,7 +79,7 @@ impl LocalRunner2 {
             }
             for (id, f, buf) in msgs {
                 self.solver
-                    .unpack(self.tiles[id].as_mut().unwrap(), xch, f, &buf);
+                    .unpack(self.tiles[id].as_mut().expect("active tile missing"), xch, f, &buf);
             }
         }
     }
@@ -97,7 +97,7 @@ impl LocalRunner2 {
             self.problem.geom.nx(),
             self.problem.geom.ny(),
             self.problem.params.rho0,
-            self.active.iter().map(|&id| self.tiles[id].as_ref().unwrap()),
+            self.active.iter().map(|&id| self.tiles[id].as_ref().expect("active tile missing")),
         )
     }
 
@@ -143,7 +143,7 @@ impl LocalRunner3 {
             match *op {
                 StepOp::Compute(k) => {
                     for &id in &self.active {
-                        self.solver.compute(self.tiles[id].as_mut().unwrap(), k);
+                        self.solver.compute(self.tiles[id].as_mut().expect("active tile missing"), k);
                     }
                 }
                 StepOp::Exchange(x) => self.exchange(x),
@@ -168,7 +168,7 @@ impl LocalRunner3 {
             }
             for (id, f, buf) in msgs {
                 self.solver
-                    .unpack(self.tiles[id].as_mut().unwrap(), xch, f, &buf);
+                    .unpack(self.tiles[id].as_mut().expect("active tile missing"), xch, f, &buf);
             }
         }
     }
@@ -185,7 +185,7 @@ impl LocalRunner3 {
         GlobalFields3::gather(
             self.problem.geom.dims(),
             self.problem.params.rho0,
-            self.active.iter().map(|&id| self.tiles[id].as_ref().unwrap()),
+            self.active.iter().map(|&id| self.tiles[id].as_ref().expect("active tile missing")),
         )
     }
 }

@@ -25,8 +25,18 @@
 //! the computation resumes. The drill is bitwise transparent: a run with a
 //! drill produces exactly the fields of an undisturbed run, which the
 //! integration tests assert.
+//!
+//! Finally, [`ThreadedRunner2::run_supervised`] is the crash-recovery mode:
+//! the run is cut into segments of `checkpoint_interval` steps, the tiles are
+//! snapshotted in memory at every segment barrier (a coordinated checkpoint),
+//! and a worker that dies — a panic, or a seeded [`KillSpec`] — discards the
+//! broken segment and replays it from the last snapshot. Because each segment
+//! starts from a complete same-step snapshot and the solvers are
+//! deterministic, a recovered run is *bitwise identical* to an undisturbed
+//! one, which the fault-recovery tests assert property-style.
 
 use crate::checkpoint::{load_tile2, save_tile2};
+use crate::error::{note_failure, panic_message, RunError};
 use crate::gather::GlobalFields2;
 use crate::problem::Problem2;
 use crate::timing::StepTiming;
@@ -66,14 +76,50 @@ pub struct DrillReport {
     pub dump_path: PathBuf,
 }
 
+/// Supervisor policy for [`ThreadedRunner2::run_supervised`] (and the 3D
+/// counterpart).
+#[derive(Debug, Clone)]
+pub struct SupervisorConfig {
+    /// Steps between in-memory coordinated checkpoints: the supervisor runs
+    /// the workers in segments of this length and snapshots every tile at the
+    /// segment barrier. A crash costs at most this many steps of recompute.
+    pub checkpoint_interval: u64,
+    /// Restarts allowed before the supervisor gives up with
+    /// [`RunError::RetriesExhausted`].
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self { checkpoint_interval: 8, max_restarts: 2 }
+    }
+}
+
+/// A seeded worker kill, the in-process analogue of the cluster layer's
+/// host-crash fault. Fires at most once per supervised run.
+#[derive(Debug, Clone)]
+pub struct KillSpec {
+    /// Tile whose worker dies.
+    pub tile: usize,
+    /// Global step at which it dies (before computing that step).
+    pub at_step: u64,
+    /// `true`: the worker panics (unwinds mid-flight, peers see broken
+    /// channels); `false`: it exits cleanly with [`RunError::Injected`].
+    pub panic: bool,
+}
+
 /// Result of a threaded run.
 pub struct RunOutcome2 {
     /// Final tiles, in active-id order.
     pub tiles: Vec<TileState2>,
-    /// Per-tile timing, `(tile_id, timing)`.
+    /// Per-tile timing, `(tile_id, timing)`. Under supervision this counts
+    /// only committed segments — work thrown away by a rollback is excluded,
+    /// exactly like the cluster simulation's per-process accounting.
     pub timing: Vec<(usize, StepTiming)>,
     /// Drill report, if a drill was requested and fired.
     pub drill: Option<DrillReport>,
+    /// Segment replays performed by the supervisor (0 for unsupervised runs).
+    pub restarts: u32,
 }
 
 impl RunOutcome2 {
@@ -141,6 +187,13 @@ impl Control {
     }
 }
 
+/// Output of one supervised segment (or a whole unsupervised run).
+struct Segment2 {
+    tiles: Vec<TileState2>,
+    timing: Vec<(usize, StepTiming)>,
+    drill: Option<DrillReport>,
+}
+
 /// One thread per subregion, channels as sockets.
 pub struct ThreadedRunner2 {
     solver: Arc<dyn Solver2>,
@@ -154,12 +207,97 @@ impl ThreadedRunner2 {
     }
 
     /// Runs `steps` integration steps on all active tiles in parallel.
-    pub fn run(&self, steps: u64) -> RunOutcome2 {
+    pub fn run(&self, steps: u64) -> Result<RunOutcome2, RunError> {
         self.run_with_drill(steps, None)
     }
 
     /// Runs `steps` steps, optionally performing a migration drill mid-run.
-    pub fn run_with_drill(&self, steps: u64, drill: Option<MigrationDrill>) -> RunOutcome2 {
+    pub fn run_with_drill(
+        &self,
+        steps: u64,
+        drill: Option<MigrationDrill>,
+    ) -> Result<RunOutcome2, RunError> {
+        if let Some(d) = drill.as_ref() {
+            std::fs::create_dir_all(&d.dump_dir)?;
+        }
+        let tiles = self.initial_tiles();
+        let seg = self.run_segment(tiles, 0, steps, drill, None)?;
+        Ok(RunOutcome2 { tiles: seg.tiles, timing: seg.timing, drill: seg.drill, restarts: 0 })
+    }
+
+    /// Runs `steps` steps under crash-recovery supervision: the run proceeds
+    /// in segments of `cfg.checkpoint_interval` steps with an in-memory
+    /// coordinated checkpoint at every segment barrier. A worker death —
+    /// a panic, or the seeded `kill` — aborts the segment; the supervisor
+    /// rolls back to the last checkpoint and replays, up to
+    /// `cfg.max_restarts` times. The recovered result is bitwise identical
+    /// to an undisturbed run.
+    pub fn run_supervised(
+        &self,
+        steps: u64,
+        cfg: &SupervisorConfig,
+        kill: Option<KillSpec>,
+    ) -> Result<RunOutcome2, RunError> {
+        let active = self.problem.active_tiles();
+        let mut snapshot = self.initial_tiles();
+        let interval = cfg.checkpoint_interval.max(1);
+        let mut timing: Vec<(usize, StepTiming)> =
+            active.iter().map(|&id| (id, StepTiming::default())).collect();
+        let mut kill = kill;
+        let mut restarts = 0u32;
+        let mut done = 0u64;
+        while done < steps {
+            let end = (done + interval).min(steps);
+            match self.run_segment(snapshot.clone(), done, end, None, kill.clone()) {
+                Ok(seg) => {
+                    snapshot = seg.tiles;
+                    for (acc, (_, t)) in timing.iter_mut().zip(seg.timing) {
+                        acc.1.append(&t);
+                    }
+                    done = end;
+                }
+                Err(e) => {
+                    // the injected kill fires at most once: disarm it if its
+                    // step fell inside the aborted window
+                    if kill.as_ref().is_some_and(|kl| kl.at_step < end) {
+                        kill = None;
+                    }
+                    restarts += 1;
+                    if restarts > cfg.max_restarts {
+                        return Err(RunError::RetriesExhausted {
+                            attempts: restarts,
+                            last: Box::new(e),
+                        });
+                    }
+                    // snapshot untouched — replay the segment from the last
+                    // coordinated checkpoint
+                }
+            }
+        }
+        Ok(RunOutcome2 { tiles: snapshot, timing, drill: None, restarts })
+    }
+
+    /// Builds the step-0 tiles in active-id order.
+    fn initial_tiles(&self) -> Vec<TileState2> {
+        self.problem
+            .active_tiles()
+            .iter()
+            .map(|&id| self.problem.make_tile(self.solver.as_ref(), id))
+            .collect()
+    }
+
+    /// Runs global steps `start..end` from `tiles_in` (one tile per active
+    /// id, in order). The whole channel fabric is rebuilt per segment; a
+    /// worker failure tears it down and every survivor unwinds through
+    /// [`RunError::Disconnected`].
+    fn run_segment(
+        &self,
+        tiles_in: Vec<TileState2>,
+        start: u64,
+        end: u64,
+        drill: Option<MigrationDrill>,
+        kill: Option<KillSpec>,
+    ) -> Result<Segment2, RunError> {
         let active = self.problem.active_tiles();
         let n = active.len();
         let index_of: HashMap<usize, usize> =
@@ -208,12 +346,14 @@ impl ThreadedRunner2 {
             let mut tx = Vec::new();
             for f in Face2::ALL {
                 if let Some(r) = receivers.remove(&(id, f)) {
-                    let rs = ret_senders.remove(&(id, f)).unwrap();
+                    let rs = ret_senders.remove(&(id, f)).expect("return sender missing");
                     rx.push((f, r, rs));
                 }
                 if let Some(nb) = self.problem.decomp.neighbor(id, f) {
                     if let Some(s) = senders.get(&(nb, f.opposite())) {
-                        let rr = ret_receivers.remove(&(nb, f.opposite())).unwrap();
+                        let rr = ret_receivers
+                            .remove(&(nb, f.opposite()))
+                            .expect("return receiver missing");
                         tx.push((f, s.clone(), rr));
                     }
                 }
@@ -225,19 +365,31 @@ impl ThreadedRunner2 {
         let solver = &self.solver;
         let plan = solver.plan();
         let mut results: Vec<Option<(TileState2, StepTiming)>> = (0..n).map(|_| None).collect();
+        let mut failure: Option<RunError> = None;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
+            let mut tiles_in = tiles_in;
             for (k, &id) in active.iter().enumerate() {
-                let mut tile = self.problem.make_tile(solver.as_ref(), id);
+                let mut tile = tiles_in.remove(0);
                 let ep = endpoints.remove(0);
                 let control = Arc::clone(&control);
                 let drill = drill.clone();
+                let kill = kill.clone();
                 let drill_fired = &drill_fired;
-                handles.push(scope.spawn(move || {
+                handles.push(scope.spawn(move || -> Result<(TileState2, StepTiming), RunError> {
                     let mut timing = StepTiming::default();
-                    for s in 0..steps {
+                    for s in start..end {
                         control.published[k].store(s, Ordering::SeqCst);
+                        // seeded fault injection: this worker dies here
+                        if let Some(kl) = kill.as_ref() {
+                            if kl.tile == id && kl.at_step == s {
+                                if kl.panic {
+                                    panic!("injected fault: tile {id} killed at step {s}");
+                                }
+                                return Err(RunError::Injected { tile: id, step: s });
+                            }
+                        }
                         // Appendix B picks the sync step with a margin so it
                         // lands in every process's future; that only holds if
                         // workers cannot outrun the monitor. Hold once, at the
@@ -253,22 +405,34 @@ impl ThreadedRunner2 {
                         // Synchronisation point of section 5: when a sync step
                         // is announced, run exactly to it and pause.
                         if control.sync_step.load(Ordering::SeqCst) == s {
+                            // A failed dump must still reach the barrier
+                            // (otherwise the monitor waits forever), so the
+                            // error is carried across the pause.
+                            let mut drill_err: Option<RunError> = None;
                             if let Some(d) = drill.as_ref() {
                                 if d.tile == id {
                                     // migrate: save state, "move host", restore
                                     let path =
                                         d.dump_dir.join(format!("tile{id}_step{s}.dump"));
-                                    let bytes = save_tile2(&tile, &path)
-                                        .expect("dump file write failed");
-                                    tile = load_tile2(&path).expect("dump file read failed");
-                                    *drill_fired.lock() = Some(DrillReport {
-                                        sync_step: s,
-                                        dump_bytes: bytes,
-                                        dump_path: path,
-                                    });
+                                    match save_tile2(&tile, &path)
+                                        .and_then(|bytes| Ok((bytes, load_tile2(&path)?)))
+                                    {
+                                        Ok((bytes, restored)) => {
+                                            tile = restored;
+                                            *drill_fired.lock() = Some(DrillReport {
+                                                sync_step: s,
+                                                dump_bytes: bytes,
+                                                dump_path: path,
+                                            });
+                                        }
+                                        Err(e) => drill_err = Some(RunError::Io(e)),
+                                    }
                                 }
                             }
                             control.pause();
+                            if let Some(e) = drill_err {
+                                return Err(e);
+                            }
                         }
                         // one integration step
                         for op in plan {
@@ -298,12 +462,16 @@ impl ThreadedRunner2 {
                                             solver.pack(&tile, x, *f, &mut buf);
                                             timing.msgs_sent += 1;
                                             timing.doubles_sent += buf.len() as u64;
-                                            tx.send(buf).expect("peer hung up");
+                                            tx.send(buf).map_err(|_| {
+                                                RunError::Disconnected { tile: id }
+                                            })?;
                                         }
                                         for (f, rx, ret) in
                                             ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
                                         {
-                                            let buf = rx.recv().expect("peer hung up");
+                                            let buf = rx.recv().map_err(|_| {
+                                                RunError::Disconnected { tile: id }
+                                            })?;
                                             solver.unpack(&mut tile, x, *f, &buf);
                                             // hand the buffer back for reuse; a
                                             // peer that already finished its run
@@ -319,8 +487,8 @@ impl ThreadedRunner2 {
                         timing.steps += 1;
                     }
                     // final publish so the monitor sees completion
-                    control.published[k].store(steps, Ordering::SeqCst);
-                    (tile, timing)
+                    control.published[k].store(end, Ordering::SeqCst);
+                    Ok((tile, timing))
                 }));
             }
 
@@ -328,7 +496,6 @@ impl ThreadedRunner2 {
             // the synchronisation step, wait for global pause, "find a free
             // host", send CONT.
             if let Some(d) = drill.as_ref() {
-                std::fs::create_dir_all(&d.dump_dir).expect("cannot create dump dir");
                 loop {
                     let m = control.max_published();
                     if m >= d.arm_step {
@@ -336,7 +503,7 @@ impl ThreadedRunner2 {
                         // plus a margin becomes the synchronisation step
                         // (+2 covers the step in flight at read time).
                         let sync = m + 2;
-                        if sync >= steps {
+                        if sync >= end {
                             // Too late in the run; announce the (unreachable)
                             // step anyway so gated workers are released.
                             control.sync_step.store(sync, Ordering::SeqCst);
@@ -353,23 +520,37 @@ impl ThreadedRunner2 {
             }
 
             for (k, h) in handles.into_iter().enumerate() {
-                results[k] = Some(h.join().expect("worker panicked"));
+                match h.join() {
+                    Ok(Ok(pair)) => results[k] = Some(pair),
+                    Ok(Err(e)) => note_failure(&mut failure, e),
+                    Err(payload) => note_failure(
+                        &mut failure,
+                        RunError::WorkerPanic {
+                            tile: active[k],
+                            message: panic_message(payload),
+                        },
+                    ),
+                }
             }
         });
 
+        if let Some(e) = failure {
+            return Err(e);
+        }
         let mut tiles = Vec::with_capacity(n);
         let mut timing = Vec::with_capacity(n);
         for (k, r) in results.into_iter().enumerate() {
-            let (tile, t) = r.unwrap();
+            let (tile, t) = r.expect("worker result missing without a recorded failure");
             tiles.push(tile);
             timing.push((active[k], t));
         }
-        RunOutcome2 { tiles, timing, drill: drill_fired.into_inner() }
+        Ok(Segment2 { tiles, timing, drill: drill_fired.into_inner() })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::local::LocalRunner2;
     use subsonic_grid::Geometry2;
@@ -388,7 +569,9 @@ mod tests {
         let mut local = LocalRunner2::new(Arc::clone(&solver), problem(2, 2));
         local.run(10);
         let a = local.gather();
-        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2)).run(10);
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run(10)
+            .unwrap();
         let b = out.gather(24, 16, 1.0);
         assert_eq!(a.first_difference(&b), None);
     }
@@ -399,7 +582,9 @@ mod tests {
         let mut local = LocalRunner2::new(Arc::clone(&solver), problem(3, 1));
         local.run(10);
         let a = local.gather();
-        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 1)).run(10);
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 1))
+            .run(10)
+            .unwrap();
         let b = out.gather(24, 16, 1.0);
         assert_eq!(a.first_difference(&b), None);
     }
@@ -407,7 +592,7 @@ mod tests {
     #[test]
     fn timing_is_recorded() {
         let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
-        let out = ThreadedRunner2::new(solver, problem(2, 1)).run(5);
+        let out = ThreadedRunner2::new(solver, problem(2, 1)).run(5).unwrap();
         assert_eq!(out.timing.len(), 2);
         for (_, t) in &out.timing {
             assert_eq!(t.steps, 5);
@@ -442,7 +627,9 @@ mod tests {
         }
         assert!(per_step > 0 && edges > 0);
 
-        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 2)).run(steps);
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 2))
+            .run(steps)
+            .unwrap();
         let mut total = StepTiming::default();
         for (_, t) in &out.timing {
             total.merge(t);
@@ -473,7 +660,9 @@ mod tests {
                 }
             }
         }
-        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2)).run(30);
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run(30)
+            .unwrap();
         let mut total = StepTiming::default();
         for (_, t) in &out.timing {
             total.merge(t);
@@ -492,13 +681,16 @@ mod tests {
     #[test]
     fn migration_drill_is_transparent() {
         let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
-        let undisturbed = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2)).run(20);
+        let undisturbed = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run(20)
+            .unwrap();
         let a = undisturbed.gather(24, 16, 1.0);
 
         let dir = std::env::temp_dir().join("subsonic_drill_test");
         let drill = MigrationDrill { tile: 1, arm_step: 5, dump_dir: dir };
         let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
-            .run_with_drill(20, Some(drill));
+            .run_with_drill(20, Some(drill))
+            .unwrap();
         let report = out.drill.clone().expect("drill did not fire");
         assert!(report.sync_step >= 5 && report.sync_step < 20);
         assert!(report.dump_bytes > 0);
@@ -509,5 +701,112 @@ mod tests {
             "migration drill changed the results"
         );
         let _ = std::fs::remove_file(&report.dump_path);
+    }
+
+    #[test]
+    fn supervised_run_without_faults_is_bit_identical() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let plain = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run(20)
+            .unwrap();
+        let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run_supervised(20, &SupervisorConfig { checkpoint_interval: 6, max_restarts: 2 }, None)
+            .unwrap();
+        assert_eq!(sup.restarts, 0);
+        let a = plain.gather(24, 16, 1.0);
+        let b = sup.gather(24, 16, 1.0);
+        assert_eq!(a.first_difference(&b), None, "supervision changed the results");
+        // committed timing covers the whole run
+        for (_, t) in &sup.timing {
+            assert_eq!(t.steps, 20);
+        }
+    }
+
+    #[test]
+    fn clean_kill_recovers_to_the_bitwise_result() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let plain = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run(20)
+            .unwrap();
+        let kill = KillSpec { tile: 1, at_step: 13, panic: false };
+        let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run_supervised(
+                20,
+                &SupervisorConfig { checkpoint_interval: 6, max_restarts: 2 },
+                Some(kill),
+            )
+            .unwrap();
+        assert_eq!(sup.restarts, 1, "the kill should cost exactly one replay");
+        let a = plain.gather(24, 16, 1.0);
+        let b = sup.gather(24, 16, 1.0);
+        assert_eq!(a.first_difference(&b), None, "recovery diverged from clean run");
+    }
+
+    #[test]
+    fn worker_panic_recovers_to_the_bitwise_result() {
+        let solver: Arc<dyn Solver2> = Arc::new(FiniteDifference2);
+        let plain = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 1))
+            .run(15)
+            .unwrap();
+        // silence the default panic hook for the injected unwind
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 1)).run_supervised(
+            15,
+            &SupervisorConfig { checkpoint_interval: 4, max_restarts: 2 },
+            Some(KillSpec { tile: 2, at_step: 9, panic: true }),
+        );
+        std::panic::set_hook(prev);
+        let sup = sup.unwrap();
+        assert_eq!(sup.restarts, 1);
+        let a = plain.gather(24, 16, 1.0);
+        let b = sup.gather(24, 16, 1.0);
+        assert_eq!(a.first_difference(&b), None, "panic recovery diverged");
+    }
+
+    #[test]
+    fn restart_budget_is_enforced() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let err = match ThreadedRunner2::new(Arc::clone(&solver), problem(2, 1)).run_supervised(
+            10,
+            &SupervisorConfig { checkpoint_interval: 4, max_restarts: 0 },
+            Some(KillSpec { tile: 0, at_step: 2, panic: false }),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("a zero-restart budget should not survive a kill"),
+        };
+        match err {
+            RunError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 1);
+                assert!(
+                    matches!(*last, RunError::Injected { tile: 0, step: 2 }),
+                    "root cause should be the injected kill, got {last}"
+                );
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn kill_root_cause_beats_peer_disconnects() {
+        // The killed worker's neighbours die of Disconnected; the error the
+        // caller sees must still be the injected kill.
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let runner = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2));
+        let tiles = runner.initial_tiles();
+        let err = match runner.run_segment(
+            tiles,
+            0,
+            10,
+            None,
+            Some(KillSpec { tile: 3, at_step: 5, panic: false }),
+        ) {
+            Err(e) => e,
+            Ok(_) => panic!("the injected kill should abort the segment"),
+        };
+        assert!(
+            matches!(err, RunError::Injected { tile: 3, step: 5 }),
+            "got {err}"
+        );
     }
 }

@@ -1,11 +1,17 @@
 //! Thread-per-subregion runner for 3D problems (companion to
 //! [`crate::threaded`]). Halo exchange runs in three stages (x, y, z) so
 //! edge and corner ghosts fill transitively without diagonal messages.
+//!
+//! Supports the same crash-recovery supervision as the 2D runner: segments
+//! of `checkpoint_interval` steps with in-memory coordinated checkpoints at
+//! the barriers, seeded [`KillSpec`] faults, and bitwise-identical replay
+//! from the last snapshot.
 
 use crate::checkpoint3::{load_tile3, save_tile3};
+use crate::error::{note_failure, panic_message, RunError};
 use crate::gather::GlobalFields3;
 use crate::problem::Problem3;
-use crate::threaded::{DrillReport, MigrationDrill};
+use crate::threaded::{DrillReport, KillSpec, MigrationDrill, SupervisorConfig};
 use crate::timing::StepTiming;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::{Condvar, Mutex};
@@ -22,10 +28,13 @@ const NO_SYNC: u64 = u64::MAX;
 pub struct RunOutcome3 {
     /// Final tiles, in active-id order.
     pub tiles: Vec<TileState3>,
-    /// Per-tile timing, `(tile_id, timing)`.
+    /// Per-tile timing, `(tile_id, timing)`. Under supervision this counts
+    /// only committed segments.
     pub timing: Vec<(usize, StepTiming)>,
     /// Drill report, if one was requested and fired.
     pub drill: Option<DrillReport>,
+    /// Segment replays performed by the supervisor (0 for unsupervised runs).
+    pub restarts: u32,
 }
 
 impl RunOutcome3 {
@@ -82,6 +91,13 @@ impl Control {
     }
 }
 
+/// Output of one supervised segment (or a whole unsupervised run).
+struct Segment3 {
+    tiles: Vec<TileState3>,
+    timing: Vec<(usize, StepTiming)>,
+    drill: Option<DrillReport>,
+}
+
 /// One thread per 3D subregion, channels as sockets.
 pub struct ThreadedRunner3 {
     solver: Arc<dyn Solver3>,
@@ -95,12 +111,84 @@ impl ThreadedRunner3 {
     }
 
     /// Runs `steps` integration steps on all active tiles in parallel.
-    pub fn run(&self, steps: u64) -> RunOutcome3 {
+    pub fn run(&self, steps: u64) -> Result<RunOutcome3, RunError> {
         self.run_with_drill(steps, None)
     }
 
     /// Runs with an optional mid-run migration drill.
-    pub fn run_with_drill(&self, steps: u64, drill: Option<MigrationDrill>) -> RunOutcome3 {
+    pub fn run_with_drill(
+        &self,
+        steps: u64,
+        drill: Option<MigrationDrill>,
+    ) -> Result<RunOutcome3, RunError> {
+        if let Some(d) = drill.as_ref() {
+            std::fs::create_dir_all(&d.dump_dir)?;
+        }
+        let tiles = self.initial_tiles();
+        let seg = self.run_segment(tiles, 0, steps, drill, None)?;
+        Ok(RunOutcome3 { tiles: seg.tiles, timing: seg.timing, drill: seg.drill, restarts: 0 })
+    }
+
+    /// Runs `steps` steps under crash-recovery supervision; see
+    /// [`ThreadedRunner2::run_supervised`](crate::threaded::ThreadedRunner2::run_supervised).
+    pub fn run_supervised(
+        &self,
+        steps: u64,
+        cfg: &SupervisorConfig,
+        kill: Option<KillSpec>,
+    ) -> Result<RunOutcome3, RunError> {
+        let active = self.problem.active_tiles();
+        let mut snapshot = self.initial_tiles();
+        let interval = cfg.checkpoint_interval.max(1);
+        let mut timing: Vec<(usize, StepTiming)> =
+            active.iter().map(|&id| (id, StepTiming::default())).collect();
+        let mut kill = kill;
+        let mut restarts = 0u32;
+        let mut done = 0u64;
+        while done < steps {
+            let end = (done + interval).min(steps);
+            match self.run_segment(snapshot.clone(), done, end, None, kill.clone()) {
+                Ok(seg) => {
+                    snapshot = seg.tiles;
+                    for (acc, (_, t)) in timing.iter_mut().zip(seg.timing) {
+                        acc.1.append(&t);
+                    }
+                    done = end;
+                }
+                Err(e) => {
+                    if kill.as_ref().is_some_and(|kl| kl.at_step < end) {
+                        kill = None;
+                    }
+                    restarts += 1;
+                    if restarts > cfg.max_restarts {
+                        return Err(RunError::RetriesExhausted {
+                            attempts: restarts,
+                            last: Box::new(e),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(RunOutcome3 { tiles: snapshot, timing, drill: None, restarts })
+    }
+
+    fn initial_tiles(&self) -> Vec<TileState3> {
+        self.problem
+            .active_tiles()
+            .iter()
+            .map(|&id| self.problem.make_tile(self.solver.as_ref(), id))
+            .collect()
+    }
+
+    /// Runs global steps `start..end` from `tiles_in`, one tile per active id.
+    fn run_segment(
+        &self,
+        tiles_in: Vec<TileState3>,
+        start: u64,
+        end: u64,
+        drill: Option<MigrationDrill>,
+        kill: Option<KillSpec>,
+    ) -> Result<Segment3, RunError> {
         let active = self.problem.active_tiles();
         let n = active.len();
         let index_of: HashMap<usize, usize> =
@@ -141,12 +229,14 @@ impl ThreadedRunner3 {
             let mut tx = Vec::new();
             for f in Face3::ALL {
                 if let Some(r) = receivers.remove(&(id, f)) {
-                    let rs = ret_senders.remove(&(id, f)).unwrap();
+                    let rs = ret_senders.remove(&(id, f)).expect("return sender missing");
                     rx.push((f, r, rs));
                 }
                 if let Some(nb) = self.problem.decomp.neighbor(id, f) {
                     if let Some(s) = senders.get(&(nb, f.opposite())) {
-                        let rr = ret_receivers.remove(&(nb, f.opposite())).unwrap();
+                        let rr = ret_receivers
+                            .remove(&(nb, f.opposite()))
+                            .expect("return receiver missing");
                         tx.push((f, s.clone(), rr));
                     }
                 }
@@ -160,35 +250,66 @@ impl ThreadedRunner3 {
         let solver = &self.solver;
         let plan = solver.plan();
         let mut results: Vec<Option<(TileState3, StepTiming)>> = (0..n).map(|_| None).collect();
+        let mut failure: Option<RunError> = None;
 
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(n);
+            let mut tiles_in = tiles_in;
             for (k, &id) in active.iter().enumerate() {
-                let mut tile = self.problem.make_tile(solver.as_ref(), id);
+                let mut tile = tiles_in.remove(0);
                 let ep = endpoints.remove(0);
                 let control = Arc::clone(&control);
                 let drill = drill.clone();
+                let kill = kill.clone();
                 let drill_fired = &drill_fired;
-                handles.push(scope.spawn(move || {
+                handles.push(scope.spawn(move || -> Result<(TileState3, StepTiming), RunError> {
                     let mut timing = StepTiming::default();
-                    for s in 0..steps {
+                    for s in start..end {
                         control.published[k].store(s, Ordering::SeqCst);
+                        // seeded fault injection: this worker dies here
+                        if let Some(kl) = kill.as_ref() {
+                            if kl.tile == id && kl.at_step == s {
+                                if kl.panic {
+                                    panic!("injected fault: tile {id} killed at step {s}");
+                                }
+                                return Err(RunError::Injected { tile: id, step: s });
+                            }
+                        }
+                        // Hold once at the arm step so workers cannot outrun
+                        // the monitor's sync-step announcement (same guard as
+                        // the 2D runner — Appendix B's margin assumes it).
+                        if let Some(d) = drill.as_ref() {
+                            if s == d.arm_step {
+                                while control.sync_step.load(Ordering::SeqCst) == NO_SYNC {
+                                    std::thread::yield_now();
+                                }
+                            }
+                        }
                         if control.sync_step.load(Ordering::SeqCst) == s {
+                            let mut drill_err: Option<RunError> = None;
                             if let Some(d) = drill.as_ref() {
                                 if d.tile == id {
                                     let path =
                                         d.dump_dir.join(format!("tile3_{id}_step{s}.dump"));
-                                    let bytes = save_tile3(&tile, &path)
-                                        .expect("dump file write failed");
-                                    tile = load_tile3(&path).expect("dump file read failed");
-                                    *drill_fired.lock() = Some(DrillReport {
-                                        sync_step: s,
-                                        dump_bytes: bytes,
-                                        dump_path: path,
-                                    });
+                                    match save_tile3(&tile, &path)
+                                        .and_then(|bytes| Ok((bytes, load_tile3(&path)?)))
+                                    {
+                                        Ok((bytes, restored)) => {
+                                            tile = restored;
+                                            *drill_fired.lock() = Some(DrillReport {
+                                                sync_step: s,
+                                                dump_bytes: bytes,
+                                                dump_path: path,
+                                            });
+                                        }
+                                        Err(e) => drill_err = Some(RunError::Io(e)),
+                                    }
                                 }
                             }
                             control.pause();
+                            if let Some(e) = drill_err {
+                                return Err(e);
+                            }
                         }
                         for op in plan {
                             match *op {
@@ -217,12 +338,16 @@ impl ThreadedRunner3 {
                                             solver.pack(&tile, x, *f, &mut buf);
                                             timing.msgs_sent += 1;
                                             timing.doubles_sent += buf.len() as u64;
-                                            tx.send(buf).expect("peer hung up");
+                                            tx.send(buf).map_err(|_| {
+                                                RunError::Disconnected { tile: id }
+                                            })?;
                                         }
                                         for (f, rx, ret) in
                                             ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
                                         {
-                                            let buf = rx.recv().expect("peer hung up");
+                                            let buf = rx.recv().map_err(|_| {
+                                                RunError::Disconnected { tile: id }
+                                            })?;
                                             solver.unpack(&mut tile, x, *f, &buf);
                                             let _ = ret.send(buf);
                                         }
@@ -233,18 +358,20 @@ impl ThreadedRunner3 {
                         }
                         timing.steps += 1;
                     }
-                    control.published[k].store(steps, Ordering::SeqCst);
-                    (tile, timing)
+                    control.published[k].store(end, Ordering::SeqCst);
+                    Ok((tile, timing))
                 }));
             }
 
             if let Some(d) = drill.as_ref() {
-                std::fs::create_dir_all(&d.dump_dir).expect("cannot create dump dir");
                 loop {
                     let m = control.max_published();
                     if m >= d.arm_step {
                         let sync = m + 2;
-                        if sync >= steps {
+                        if sync >= end {
+                            // Too late; announce the unreachable step anyway
+                            // so workers gated at the arm step are released.
+                            control.sync_step.store(sync, Ordering::SeqCst);
                             break;
                         }
                         control.sync_step.store(sync, Ordering::SeqCst);
@@ -257,23 +384,37 @@ impl ThreadedRunner3 {
             }
 
             for (k, h) in handles.into_iter().enumerate() {
-                results[k] = Some(h.join().expect("worker panicked"));
+                match h.join() {
+                    Ok(Ok(pair)) => results[k] = Some(pair),
+                    Ok(Err(e)) => note_failure(&mut failure, e),
+                    Err(payload) => note_failure(
+                        &mut failure,
+                        RunError::WorkerPanic {
+                            tile: active[k],
+                            message: panic_message(payload),
+                        },
+                    ),
+                }
             }
         });
 
+        if let Some(e) = failure {
+            return Err(e);
+        }
         let mut tiles = Vec::with_capacity(n);
         let mut timing = Vec::with_capacity(n);
         for (k, r) in results.into_iter().enumerate() {
-            let (tile, t) = r.unwrap();
+            let (tile, t) = r.expect("worker result missing without a recorded failure");
             tiles.push(tile);
             timing.push((active[k], t));
         }
-        RunOutcome3 { tiles, timing, drill: drill_fired.into_inner() }
+        Ok(Segment3 { tiles, timing, drill: drill_fired.into_inner() })
     }
 }
 
 #[cfg(test)]
 mod tests {
+    #![allow(clippy::unwrap_used)]
     use super::*;
     use crate::local::LocalRunner3;
     use subsonic_grid::Geometry3;
@@ -292,7 +433,9 @@ mod tests {
         let mut local = LocalRunner3::new(Arc::clone(&solver), problem(2, 1, 2));
         local.run(6);
         let a = local.gather();
-        let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2)).run(6);
+        let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
+            .run(6)
+            .unwrap();
         let b = out.gather((12, 10, 10), 1.0);
         assert_eq!(a.first_difference(&b), None, "threaded 3D diverged");
     }
@@ -321,7 +464,9 @@ mod tests {
             }
         }
         assert!(per_step > 0 && edges > 0);
-        let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2)).run(steps);
+        let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
+            .run(steps)
+            .unwrap();
         let mut total = StepTiming::default();
         for (_, t) in &out.timing {
             total.merge(t);
@@ -334,7 +479,9 @@ mod tests {
     #[test]
     fn drill3_is_transparent() {
         let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
-        let clean = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 2, 1)).run(16);
+        let clean = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 2, 1))
+            .run(16)
+            .unwrap();
         let a = clean.gather((12, 10, 10), 1.0);
         let drill = MigrationDrill {
             tile: 2,
@@ -342,11 +489,31 @@ mod tests {
             dump_dir: std::env::temp_dir().join("subsonic_drill3_test"),
         };
         let out = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 2, 1))
-            .run_with_drill(16, Some(drill));
+            .run_with_drill(16, Some(drill))
+            .unwrap();
         let report = out.drill.clone().expect("drill did not fire");
         assert!(report.dump_bytes > 0);
         let b = out.gather((12, 10, 10), 1.0);
         assert_eq!(a.first_difference(&b), None, "3D drill changed results");
         let _ = std::fs::remove_file(&report.dump_path);
+    }
+
+    #[test]
+    fn supervised3_recovers_bitwise_from_a_kill() {
+        let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
+        let plain = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
+            .run(12)
+            .unwrap();
+        let sup = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
+            .run_supervised(
+                12,
+                &SupervisorConfig { checkpoint_interval: 5, max_restarts: 2 },
+                Some(KillSpec { tile: 2, at_step: 7, panic: false }),
+            )
+            .unwrap();
+        assert_eq!(sup.restarts, 1);
+        let a = plain.gather((12, 10, 10), 1.0);
+        let b = sup.gather((12, 10, 10), 1.0);
+        assert_eq!(a.first_difference(&b), None, "3D recovery diverged");
     }
 }

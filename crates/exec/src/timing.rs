@@ -44,11 +44,25 @@ impl StepTiming {
         (self.t_calc + self.t_com) / self.steps as u32
     }
 
-    /// Merges another worker's timing into this one (summing).
+    /// Merges another worker's timing into this one (summing; `steps` takes
+    /// the max since peers run the same step range).
     pub fn merge(&mut self, other: &StepTiming) {
         self.t_calc += other.t_calc;
         self.t_com += other.t_com;
         self.steps = self.steps.max(other.steps);
+        self.msgs_sent += other.msgs_sent;
+        self.doubles_sent += other.doubles_sent;
+        self.buf_allocs += other.buf_allocs;
+        self.buf_reuses += other.buf_reuses;
+    }
+
+    /// Appends a *later segment of the same worker* (everything sums,
+    /// including `steps`) — used by the supervised runners to accumulate
+    /// committed segments across checkpoints.
+    pub fn append(&mut self, other: &StepTiming) {
+        self.t_calc += other.t_calc;
+        self.t_com += other.t_com;
+        self.steps += other.steps;
         self.msgs_sent += other.msgs_sent;
         self.doubles_sent += other.doubles_sent;
         self.buf_allocs += other.buf_allocs;

@@ -26,6 +26,7 @@
 
 pub mod constants;
 pub mod efficiency;
+pub mod recovery;
 pub mod skew;
 
 pub use constants::PaperConstants;
@@ -33,6 +34,7 @@ pub use efficiency::{
     efficiency_2d_bus, efficiency_3d_bus, efficiency_from_times, efficiency_point_to_point,
     speedup, EfficiencyModel, NetworkKind,
 };
+pub use recovery::RecoveryModel;
 pub use skew::{
     max_skew_full_stencil, max_skew_full_stencil_3d, max_skew_star_stencil,
     max_skew_star_stencil_3d,

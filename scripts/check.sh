@@ -16,4 +16,8 @@ cargo bench --no-run --workspace
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> fault suite (injection, detection, crash recovery)"
+cargo test --release -q -p subsonic-integration --test fault_recovery
+cargo run --release -q -p subsonic-bench --bin reproduce -- --quick --out /tmp/subsonic-fault-smoke faults
+
 echo "All checks passed."

@@ -126,7 +126,12 @@ fn real_runs() {
 }
 
 #[test]
+fn faults_runs() {
+    run_and_check("faults");
+}
+
+#[test]
 fn registry_is_complete() {
-    assert_eq!(ALL_IDS.len(), 21);
+    assert_eq!(ALL_IDS.len(), 22);
     assert!(run_experiment("bogus", true).is_none());
 }

@@ -1,0 +1,260 @@
+//! Fault injection and crash recovery, end to end.
+//!
+//! Two contracts are pinned here:
+//!
+//! 1. **Determinism** — the fault layer draws from its own salted RNG stream
+//!    and an empty [`FaultPlan`] schedules nothing, so every seeded result of
+//!    the previous PRs is bit-identical with the layer compiled in. The pin
+//!    test asserts the section-7 heterogeneous-pool step times *to the digit*.
+//! 2. **Recovery correctness** — a crashed subprocess is detected by the
+//!    heartbeat schedule, re-submitted to a fresh host, and the computation
+//!    rolls back to the last coordinated checkpoint and completes; in the
+//!    threaded runners a killed worker recovers to a *bitwise identical*
+//!    result (see the proptests at the bottom).
+
+// the determinism pins below spell out every digit of the captured values
+#![allow(clippy::excessive_precision)]
+
+use subsonic::prelude::*;
+use subsonic_cluster::{DetectorPolicy, FaultPlan};
+
+fn lb_workload(px: usize, py: usize, side: usize) -> WorkloadSpec {
+    WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, side * px, side * py, px, py)
+}
+
+// ---------------------------------------------------------------------------
+// determinism pins
+// ---------------------------------------------------------------------------
+
+/// The PR2 heterogeneous-pool measurements, captured before the fault layer
+/// existed. The empty plan must leave them unchanged to the last digit: any
+/// drift means the fault layer consumed an RNG draw or perturbed the event
+/// sequence numbering on the no-fault path.
+#[test]
+fn empty_fault_plan_preserves_seeded_results_to_the_digit() {
+    let m16 = measure_efficiency(MeasureConfig::paper(lb_workload(4, 4, 150)));
+    let m20 = measure_efficiency(MeasureConfig::paper(lb_workload(5, 4, 150)));
+    assert_eq!(m16.t_step, 7.520_025_708_678_461_65e-1, "t16 drifted");
+    assert_eq!(m20.t_step, 8.719_828_655_458_042_87e-1, "t20 drifted");
+    assert_eq!(m16.efficiency, 7.645_944_617_668_165_58e-1, "eff16 drifted");
+    assert_eq!(m20.efficiency, 6.593_902_513_899_343_45e-1, "eff20 drifted");
+}
+
+// ---------------------------------------------------------------------------
+// cluster-level crash recovery
+// ---------------------------------------------------------------------------
+
+/// Builds a sim once to learn the (deterministic) placement, so a fault can
+/// target the host a given process actually runs on.
+fn host_of(cfg: &ClusterConfig, pid: usize) -> usize {
+    ClusterSim::new(cfg.clone()).placements()[pid]
+}
+
+#[test]
+fn crash_recovery_restores_lockstep_and_finishes() {
+    // 6 processes, periodic checkpoints, one host dies mid-run with no
+    // reboot: the runtime must detect, re-submit, roll back and complete.
+    let mut cfg = ClusterConfig::measurement(lb_workload(3, 2, 60));
+    cfg.checkpoint_period_s = Some(60.0);
+    cfg.checkpoint_gap_s = 2.0;
+    let victim = host_of(&cfg, 2);
+    cfg.faults = FaultPlan::empty().crash(victim, 150.0, None);
+    let mut sim = ClusterSim::new(cfg.clone());
+    let stats = sim.run(1.0e4, Some(1500));
+    assert_eq!(stats.host_crashes, 1);
+    assert_eq!(stats.recoveries.len(), 1, "exactly one recovery");
+    let r = &stats.recoveries[0];
+    assert_eq!(r.proc_id, 2);
+    assert_eq!(r.from_host, victim);
+    assert_ne!(r.to_host, victim);
+    assert!(!r.false_positive);
+    // rollback is a completed checkpoint round, not the initial dump
+    assert!(r.rollback_step > 0, "a checkpoint round should have completed");
+    assert!(r.lost_steps > 0, "the victim was ahead of the checkpoint");
+    // downtime = detection + search + dump reload + handshake: tens of
+    // seconds on the paper's constants, not minutes
+    assert!(
+        r.downtime() > cfg.detector.detection_latency() && r.downtime() < 120.0,
+        "downtime {}",
+        r.downtime()
+    );
+    // every process completed the full run despite the crash
+    assert_eq!(sim.steps(), vec![1500; 6]);
+}
+
+#[test]
+fn detection_latency_follows_the_probe_schedule() {
+    let mut cfg = ClusterConfig::measurement(lb_workload(2, 1, 60));
+    cfg.detector = DetectorPolicy { enabled: true, timeout_s: 3.0, backoff: 2.0, max_misses: 4 };
+    let victim = host_of(&cfg, 0);
+    cfg.faults = FaultPlan::empty().crash(victim, 40.0, None);
+    let mut sim = ClusterSim::new(cfg.clone());
+    let stats = sim.run(2000.0, None);
+    assert_eq!(stats.recoveries.len(), 1);
+    // 3·(1+2+4+8) = 45 s from heartbeat loss to declaration
+    let expected = cfg.detector.detection_latency();
+    assert!((expected - 45.0).abs() < 1e-12);
+    assert!(
+        (stats.recoveries[0].detection_latency() - expected).abs() < 1e-9,
+        "latency {} vs schedule {}",
+        stats.recoveries[0].detection_latency(),
+        expected
+    );
+}
+
+#[test]
+fn disabled_detector_never_recovers() {
+    let mut cfg = ClusterConfig::measurement(lb_workload(2, 1, 60));
+    cfg.detector.enabled = false;
+    let victim = host_of(&cfg, 0);
+    cfg.faults = FaultPlan::empty().crash(victim, 20.0, None);
+    let mut sim = ClusterSim::new(cfg);
+    let stats = sim.run(2000.0, None);
+    assert_eq!(stats.host_crashes, 1);
+    assert!(stats.recoveries.is_empty(), "no detector, no recovery");
+    // the survivor blocks on the dead peer's halo: the computation hangs,
+    // which is exactly what the paper's runtime without monitoring would do
+    let steps = sim.steps();
+    assert!(steps[1] < 2000, "survivor should be blocked, got {steps:?}");
+}
+
+#[test]
+fn checkpoint_interval_bounds_lost_work() {
+    // Tighter checkpoint intervals mean fewer lost steps when the crash
+    // hits — the fundamental trade Young's formula prices.
+    let run = |period: f64| {
+        let mut cfg = ClusterConfig::measurement(lb_workload(3, 2, 60));
+        cfg.checkpoint_period_s = Some(period);
+        cfg.checkpoint_gap_s = 2.0;
+        let victim = host_of(&cfg, 0);
+        cfg.faults = FaultPlan::empty().crash(victim, 120.0, None);
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1.0e4, Some(2000));
+        assert_eq!(stats.recoveries.len(), 1, "period {period}");
+        stats.recoveries[0].lost_steps
+    };
+    let tight = run(40.0);
+    let loose = run(240.0);
+    assert!(
+        tight < loose,
+        "tight checkpoints should lose less work: {tight} vs {loose}"
+    );
+}
+
+#[test]
+fn bus_burst_and_freeze_do_not_break_completion() {
+    let mut cfg = ClusterConfig::measurement(lb_workload(3, 1, 60));
+    let victim = host_of(&cfg, 1);
+    cfg.faults = FaultPlan::empty()
+        .freeze(victim, 20.0, 8.0) // short stall: survives the detector
+        .bus_burst(40.0, 5.0);
+    let mut sim = ClusterSim::new(cfg);
+    let stats = sim.run(1.0e4, Some(500));
+    assert_eq!(stats.host_freezes, 1);
+    assert_eq!(stats.bus_bursts, 1);
+    assert!(stats.recoveries.is_empty(), "neither fault should trigger a restart");
+    assert_eq!(sim.steps(), vec![500; 3]);
+}
+
+#[test]
+fn generated_plans_drive_production_runs_to_completion() {
+    // A seeded random fault plan over a production-style run: whatever the
+    // draw, the runtime keeps the computation alive and in lockstep.
+    use subsonic_cluster::FaultSpec;
+    let w = lb_workload(3, 2, 60);
+    let horizon = 4000.0;
+    let mut spec = FaultSpec::quiet(25, horizon);
+    spec.crash_mtbf_s = 30.0 * 3600.0; // ~a couple of crashes over the pool
+    spec.freeze_mtbf_s = 20.0 * 3600.0;
+    spec.burst_mtbf_s = 2.0 * 3600.0;
+    let mut cfg = ClusterConfig::measurement(w);
+    cfg.checkpoint_period_s = Some(120.0);
+    cfg.checkpoint_gap_s = 2.0;
+    cfg.seed = 11;
+    cfg.faults = FaultPlan::generate(cfg.seed, &spec);
+    assert!(!cfg.faults.is_empty(), "seed 11 should draw some faults");
+    let mut sim = ClusterSim::new(cfg);
+    let stats = sim.run(horizon, None);
+    let steps = sim.steps();
+    let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
+    assert!(spread <= 1, "cluster out of lockstep: {steps:?}");
+    assert!(steps.iter().all(|&s| s > 100), "no progress: {steps:?}");
+    // determinism: the same seed reproduces the same run, recoveries and all
+    let mut cfg2 = ClusterConfig::measurement(lb_workload(3, 2, 60));
+    cfg2.checkpoint_period_s = Some(120.0);
+    cfg2.checkpoint_gap_s = 2.0;
+    cfg2.seed = 11;
+    cfg2.faults = FaultPlan::generate(cfg2.seed, &spec);
+    let stats2 = ClusterSim::new(cfg2).run(horizon, None);
+    assert_eq!(stats.finished_at, stats2.finished_at);
+    assert_eq!(stats.recoveries.len(), stats2.recoveries.len());
+    assert_eq!(stats.net_messages, stats2.net_messages);
+}
+
+// ---------------------------------------------------------------------------
+// threaded-runner crash recovery: bitwise equivalence under arbitrary kills
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use subsonic_exec::{KillSpec, SupervisorConfig};
+use subsonic_integration::{duct_problem, poiseuille_problem};
+use subsonic_solvers::{LatticeBoltzmann2, LatticeBoltzmann3};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Killing any 2D worker at any step and replaying from the last
+    /// in-memory checkpoint yields final fields bitwise identical to an
+    /// undisturbed run, whatever the checkpoint interval.
+    #[test]
+    fn killed_worker2_recovers_bitwise(
+        tile in 0usize..6,
+        at_step in 1usize..12,
+        interval in 1usize..6,
+    ) {
+        let solver: Arc<dyn subsonic_solvers::Solver2> = Arc::new(LatticeBoltzmann2);
+        let plain = ThreadedRunner2::new(Arc::clone(&solver), poiseuille_problem(36, 24, 3, 2))
+            .run(12)
+            .unwrap();
+        let sup = ThreadedRunner2::new(Arc::clone(&solver), poiseuille_problem(36, 24, 3, 2))
+            .run_supervised(
+                12,
+                &SupervisorConfig { checkpoint_interval: interval as u64, max_restarts: 2 },
+                Some(KillSpec { tile, at_step: at_step as u64, panic: false }),
+            )
+            .unwrap();
+        prop_assert_eq!(sup.restarts, 1, "the injected kill must actually fire");
+        let a = plain.gather(36, 24, 1.0);
+        let b = sup.gather(36, 24, 1.0);
+        prop_assert_eq!(a.first_difference(&b), None, "2D recovery diverged");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The 3D analogue: arbitrary victim, kill step and interval.
+    #[test]
+    fn killed_worker3_recovers_bitwise(
+        tile in 0usize..4,
+        at_step in 1usize..10,
+        interval in 1usize..5,
+    ) {
+        let solver: Arc<dyn subsonic_solvers::Solver3> = Arc::new(LatticeBoltzmann3);
+        let plain = ThreadedRunner3::new(Arc::clone(&solver), duct_problem(12, 2, 1, 2))
+            .run(10)
+            .unwrap();
+        let sup = ThreadedRunner3::new(Arc::clone(&solver), duct_problem(12, 2, 1, 2))
+            .run_supervised(
+                10,
+                &SupervisorConfig { checkpoint_interval: interval as u64, max_restarts: 2 },
+                Some(KillSpec { tile, at_step: at_step as u64, panic: false }),
+            )
+            .unwrap();
+        prop_assert_eq!(sup.restarts, 1, "the injected kill must actually fire");
+        let a = plain.gather((12, 12, 12), 1.0);
+        let b = sup.gather((12, 12, 12), 1.0);
+        prop_assert_eq!(a.first_difference(&b), None, "3D recovery diverged");
+    }
+}

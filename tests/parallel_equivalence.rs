@@ -64,7 +64,8 @@ fn threaded_runner_matches_local_across_methods() {
         local.run(10);
         let reference = local.gather();
         let out = ThreadedRunner2::new(Arc::clone(&solver), poiseuille_problem(32, 20, 2, 2))
-            .run(10);
+            .run(10)
+            .expect("threaded run failed");
         let got = out.gather(32, 20, 1.0);
         assert_bitwise_equal(&reference, &got, if lbm { "threaded LBM" } else { "threaded FD" });
     }
@@ -114,7 +115,8 @@ fn migration_drill_preserves_results_everywhere() {
     use subsonic_exec::MigrationDrill;
     let solver: Arc<dyn subsonic_solvers::Solver2> = Arc::new(FiniteDifference2);
     let clean = ThreadedRunner2::new(Arc::clone(&solver), poiseuille_problem(32, 20, 2, 2))
-        .run(24);
+        .run(24)
+        .expect("clean run failed");
     let a = clean.gather(32, 20, 1.0);
     for tile in [0usize, 3] {
         let drill = MigrationDrill {
@@ -123,7 +125,8 @@ fn migration_drill_preserves_results_everywhere() {
             dump_dir: std::env::temp_dir().join("subsonic_integration_drill"),
         };
         let out = ThreadedRunner2::new(Arc::clone(&solver), poiseuille_problem(32, 20, 2, 2))
-            .run_with_drill(24, Some(drill));
+            .run_with_drill(24, Some(drill))
+            .expect("drill run failed");
         assert!(out.drill.is_some(), "drill for tile {tile} did not fire");
         let b = out.gather(32, 20, 1.0);
         assert_bitwise_equal(&a, &b, &format!("drill tile {tile}"));
