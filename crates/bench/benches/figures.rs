@@ -23,7 +23,9 @@ fn bench_figures(c: &mut Criterion) {
 
     let mut g = c.benchmark_group("figures_sweeps_quick");
     g.sample_size(10);
-    for id in ["fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "net"] {
+    for id in [
+        "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "net",
+    ] {
         g.bench_function(id, |b| {
             b.iter(|| {
                 let r = run_experiment(id, true).unwrap();

@@ -50,8 +50,7 @@ fn bench_pack3(c: &mut Criterion) {
     let w = 2usize;
     let mut g = c.benchmark_group("halo_pack_3d_w2");
     for side in [24usize, 48] {
-        let grid =
-            PaddedGrid3::from_fn(side, side, side, 3, |i, j, k| (i * 31 + j * 7 + k) as f64);
+        let grid = PaddedGrid3::from_fn(side, side, side, 3, |i, j, k| (i * 31 + j * 7 + k) as f64);
         let len: usize = Face3::ALL
             .iter()
             .map(|&f| message_len3(side, side, side, f, w))

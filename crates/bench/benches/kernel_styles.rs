@@ -98,7 +98,9 @@ fn bench_moments(c: &mut Criterion) {
     let mut g = c.benchmark_group("moment_styles");
     for side in [64usize, 256] {
         let f: Vec<PaddedGrid2<f64>> = (0..Q2)
-            .map(|q| PaddedGrid2::from_fn(side, side, 3, |i, j| W2[q] * (1.0 + (i + j) as f64 * 1e-3)))
+            .map(|q| {
+                PaddedGrid2::from_fn(side, side, 3, |i, j| W2[q] * (1.0 + (i + j) as f64 * 1e-3))
+            })
             .collect();
         g.throughput(Throughput::Elements((side * side) as u64));
         g.bench_function(BenchmarkId::new("indexed", side), |b| {

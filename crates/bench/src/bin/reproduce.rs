@@ -3,23 +3,25 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [--quick] [--out DIR] [id ...]
+//! reproduce [--quick] [--out DIR] [--trace FILE] [id ...]
 //! reproduce bench [--quick] [--label LABEL] [--out FILE]
 //! ```
 //!
 //! Without ids, runs every experiment in `subsonic::experiments::ALL_IDS`.
 //! Writes one CSV per result table into `DIR` (default `results/`) and a
 //! `summary.md` with all tables and PASS/FAIL shape checks, then prints the
-//! summary to stdout.
+//! summary to stdout. With `--trace FILE`, instrumented experiments (the
+//! `faults` recovery run) record a flight-recorder timeline that is exported
+//! as Chrome trace-event JSON — load it at `ui.perfetto.dev`.
 //!
 //! The `bench` subcommand instead runs the perf-baseline suite
 //! (`subsonic_bench::perf`) and writes a flat JSON report (default
-//! `results/bench.json`); the checked-in `BENCH_*.json` files are built from
-//! these reports.
+//! `results/bench.json`) plus a `METRICS.json` registry dump next to it;
+//! the checked-in `BENCH_*.json` files are built from these reports.
 
 use std::io::Write;
 use std::path::PathBuf;
-use subsonic::experiments::{run_experiment, ALL_IDS};
+use subsonic::experiments::{run_experiment_obs, ObsSession, ALL_IDS};
 
 fn bench_usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -35,7 +37,9 @@ fn run_bench_subcommand(mut args: impl Iterator<Item = String>) {
         match a.as_str() {
             "--quick" => quick = true,
             "--label" => {
-                label = args.next().unwrap_or_else(|| bench_usage_error("--label needs a value"))
+                label = args
+                    .next()
+                    .unwrap_or_else(|| bench_usage_error("--label needs a value"))
             }
             "--out" => {
                 out = args
@@ -50,7 +54,8 @@ fn run_bench_subcommand(mut args: impl Iterator<Item = String>) {
             other => bench_usage_error(&format!("unknown bench option '{other}'")),
         }
     }
-    let entries = subsonic_bench::perf::run_suite(quick);
+    let metrics = subsonic_obs::MetricsRegistry::new();
+    let entries = subsonic_bench::perf::run_suite_obs(quick, Some(&metrics));
     for e in &entries {
         println!("{:<24} {:>14.3e} {}", e.name, e.value, e.unit);
     }
@@ -60,11 +65,15 @@ fn run_bench_subcommand(mut args: impl Iterator<Item = String>) {
     }
     std::fs::write(&out, json).expect("cannot write bench report");
     eprintln!("wrote {}", out.display());
+    let metrics_path = out.with_file_name("METRICS.json");
+    std::fs::write(&metrics_path, metrics.to_json()).expect("cannot write metrics report");
+    eprintln!("wrote {}", metrics_path.display());
 }
 
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("results");
+    let mut trace_out: Option<PathBuf> = None;
     let mut ids: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -77,8 +86,11 @@ fn main() {
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
             }
+            "--trace" => {
+                trace_out = Some(PathBuf::from(args.next().expect("--trace needs a file")));
+            }
             "--help" | "-h" => {
-                eprintln!("usage: reproduce [--quick] [--out DIR] [id ...]");
+                eprintln!("usage: reproduce [--quick] [--out DIR] [--trace FILE] [id ...]");
                 eprintln!("       reproduce bench [--quick] [--label LABEL] [--out FILE]");
                 eprintln!("ids: {}", ALL_IDS.join(" "));
                 return;
@@ -89,6 +101,11 @@ fn main() {
     if ids.is_empty() {
         ids = ALL_IDS.iter().map(|s| s.to_string()).collect();
     }
+    let obs = if trace_out.is_some() {
+        ObsSession::tracing()
+    } else {
+        ObsSession::metrics_only()
+    };
 
     let mut summary = String::from("# Reproduction summary\n\n");
     let mut failures = 0usize;
@@ -96,7 +113,7 @@ fn main() {
         let t0 = std::time::Instant::now();
         eprint!("running {id} ... ");
         let _ = std::io::stderr().flush();
-        match run_experiment(id, quick) {
+        match run_experiment_obs(id, quick, Some(&obs)) {
             Some(result) => {
                 let dt = t0.elapsed().as_secs_f64();
                 let ok = result.all_pass();
@@ -104,8 +121,8 @@ fn main() {
                     failures += 1;
                 }
                 eprintln!("{} ({dt:.1} s)", if ok { "PASS" } else { "FAIL" });
-                let md = subsonic_bench::emit_result(&result, &out_dir)
-                    .expect("cannot write results");
+                let md =
+                    subsonic_bench::emit_result(&result, &out_dir).expect("cannot write results");
                 summary.push_str(&md);
                 summary.push('\n');
             }
@@ -117,6 +134,14 @@ fn main() {
     }
     std::fs::create_dir_all(&out_dir).expect("cannot create results dir");
     std::fs::write(out_dir.join("summary.md"), &summary).expect("cannot write summary");
+    if let Some(path) = trace_out {
+        let json = subsonic_obs::chrome::export(&obs.recorder);
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir).expect("cannot create trace dir");
+        }
+        std::fs::write(&path, json).expect("cannot write trace");
+        eprintln!("wrote {} (load at ui.perfetto.dev)", path.display());
+    }
     println!("{summary}");
     if failures > 0 {
         eprintln!("{failures} experiment(s) had failing checks");

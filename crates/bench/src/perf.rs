@@ -14,9 +14,12 @@
 use std::sync::Arc;
 use std::time::Instant;
 use subsonic_cluster::{ClusterConfig, ClusterSim, WorkloadSpec};
-use subsonic_exec::{LocalRunner2, LocalRunner3, Problem2, Problem3, ThreadedRunner2, ThreadedRunner3};
+use subsonic_exec::{
+    LocalRunner2, LocalRunner3, Problem2, Problem3, StepTiming, ThreadedRunner2, ThreadedRunner3,
+};
 use subsonic_grid::halo::{message_len2, message_len3, pack2, pack3, unpack2, unpack3};
 use subsonic_grid::{Face2, Face3, Geometry2, Geometry3, PaddedGrid2, PaddedGrid3};
+use subsonic_obs::MetricsRegistry;
 use subsonic_solvers::{
     FiniteDifference2, FiniteDifference3, FluidParams, LatticeBoltzmann2, LatticeBoltzmann3,
     Solver2, Solver3,
@@ -196,39 +199,65 @@ fn halo_3d(out: &mut Vec<PerfEntry>, min_time: f64, side: usize) {
     });
 }
 
-fn threaded_runners(out: &mut Vec<PerfEntry>, side2: usize, steps2: u64, side3: usize, steps3: u64) {
+fn threaded_runners(
+    out: &mut Vec<PerfEntry>,
+    metrics: Option<&MetricsRegistry>,
+    side2: usize,
+    steps2: u64,
+    side3: usize,
+    steps3: u64,
+) {
     let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
     let problem = Problem2::new(Geometry2::channel(side2, side2, 2), 2, 2, params());
     let runner = ThreadedRunner2::new(solver, problem);
     // warm-up: first run pays thread spawn + page faults
     runner.run(2).expect("threaded2 warm-up failed");
     let t0 = Instant::now();
-    runner.run(steps2).expect("threaded2 bench run failed");
+    let outcome = runner.run(steps2).expect("threaded2 bench run failed");
     out.push(PerfEntry {
         name: "threaded2_lb_2x2".into(),
         value: steps2 as f64 / t0.elapsed().as_secs_f64(),
         unit: "steps/s".into(),
     });
+    if let Some(reg) = metrics {
+        let mut total = StepTiming::default();
+        for (_, t) in &outcome.timing {
+            total.merge(t);
+        }
+        total.publish(reg, "exec.threaded2");
+    }
 
     let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
     let problem = Problem3::new(Geometry3::duct(side3, side3, side3, 2), 2, 2, 1, params());
     let runner = ThreadedRunner3::new(solver, problem);
     runner.run(1).expect("threaded3 warm-up failed");
     let t0 = Instant::now();
-    runner.run(steps3).expect("threaded3 bench run failed");
+    let outcome = runner.run(steps3).expect("threaded3 bench run failed");
     out.push(PerfEntry {
         name: "threaded3_lb_2x2x1".into(),
         value: steps3 as f64 / t0.elapsed().as_secs_f64(),
         unit: "steps/s".into(),
     });
+    if let Some(reg) = metrics {
+        let mut total = StepTiming::default();
+        for (_, t) in &outcome.timing {
+            total.merge(t);
+        }
+        total.publish(reg, "exec.threaded3");
+    }
 }
 
 fn cluster_sim(out: &mut Vec<PerfEntry>, steps: u64) {
     // Discrete-event engine throughput on the section-7 measurement run:
     // a 20-process LB job on the heterogeneous paper cluster, rendezvous
     // step-coupling and the shared-bus collision model both active.
-    let workload =
-        WorkloadSpec::new_2d(subsonic_solvers::MethodKind::LatticeBoltzmann, 750, 600, 5, 4);
+    let workload = WorkloadSpec::new_2d(
+        subsonic_solvers::MethodKind::LatticeBoltzmann,
+        750,
+        600,
+        5,
+        4,
+    );
     let mut sim = ClusterSim::new(ClusterConfig::measurement(workload));
     let t0 = Instant::now();
     sim.run(1.0e9, Some(steps));
@@ -272,6 +301,14 @@ fn fault_recovery(out: &mut Vec<PerfEntry>, quick: bool) {
 /// Runs the full suite. `quick` shrinks problem sizes and batch times for
 /// smoke-testing the harness itself; baseline numbers use `quick = false`.
 pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
+    run_suite_obs(quick, None)
+}
+
+/// [`run_suite`] with a metrics registry attached: every measured rate is
+/// additionally published as a `bench.*` gauge, and the threaded runners
+/// publish their per-step timing breakdown (`exec.threaded{2,3}.*`). This is
+/// what `reproduce bench` uses to emit `METRICS.json`.
+pub fn run_suite_obs(quick: bool, metrics: Option<&MetricsRegistry>) -> Vec<PerfEntry> {
     let mut out = Vec::new();
     let min_time = if quick { 0.02 } else { 0.4 };
     let (side2, side3) = if quick { (48, 12) } else { (128, 28) };
@@ -282,10 +319,35 @@ pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
     node_rates_3d(&mut out, min_time, side3);
     halo_2d(&mut out, min_time, halo_side2);
     halo_3d(&mut out, min_time, halo_side3);
-    threaded_runners(&mut out, if quick { 48 } else { 128 }, t2_steps, if quick { 12 } else { 24 }, t3_steps);
+    threaded_runners(
+        &mut out,
+        metrics,
+        if quick { 48 } else { 128 },
+        t2_steps,
+        if quick { 12 } else { 24 },
+        t3_steps,
+    );
     cluster_sim(&mut out, if quick { 20 } else { 400 });
     fault_recovery(&mut out, quick);
+    if let Some(reg) = metrics {
+        for e in &out {
+            reg.gauge_set(&format!("bench.{}", e.name), e.value, static_unit(&e.unit));
+        }
+    }
     out
+}
+
+/// Maps the suite's unit strings onto the registry's `'static` units.
+fn static_unit(unit: &str) -> &'static str {
+    match unit {
+        "nodes/s" => "nodes/s",
+        "doubles/s" => "doubles/s",
+        "steps/s" => "steps/s",
+        "events/s" => "events/s",
+        "s" => "s",
+        "fraction" => "fraction",
+        _ => "",
+    }
 }
 
 /// Formats entries as the flat JSON document the `BENCH_*.json` trajectory
@@ -338,7 +400,12 @@ mod tests {
             assert!(names.contains(&expected), "missing entry {expected}");
         }
         for e in &entries {
-            assert!(e.value.is_finite() && e.value > 0.0, "{}: {}", e.name, e.value);
+            assert!(
+                e.value.is_finite() && e.value > 0.0,
+                "{}: {}",
+                e.name,
+                e.value
+            );
         }
         let json = to_json("test", &entries);
         assert!(json.contains("\"node_rate_2d_lb\""));

@@ -134,21 +134,25 @@ impl NetworkConfig {
 
 /// A finished transfer: the payload plus whether it actually reached the
 /// receiver (UDP datagrams can be lost; TCP always delivers).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Completion {
     /// What was being moved.
     pub payload: TransferPayload,
     /// `false` means the datagram was lost on a saturated bus and the
     /// application must resend after its acknowledgement timeout.
     pub delivered: bool,
+    /// Simulated time the transfer went onto the wire — the observability
+    /// layer turns (started, completion time) into a `net` wire span.
+    pub started: f64,
 }
 
 #[derive(Debug, Clone)]
 struct Transfer {
-    remaining: f64, // bytes still to move (including overhead-equivalent)
+    remaining: f64,  // bytes still to move (including overhead-equivalent)
     rate_scale: f64, // endpoint CPU cap: fraction of the bus share usable
     payload: TransferPayload,
-    lost: bool, // UDP: transmitted but dropped before the receiver
+    lost: bool,   // UDP: transmitted but dropped before the receiver
+    started: f64, // wire time of the first transmission
 }
 
 /// The simulated network.
@@ -265,11 +269,13 @@ impl NetworkModel {
         payload: TransferPayload,
         rng: &mut impl Rng,
     ) {
-        debug_assert!(rate_scale > 0.0 && rate_scale <= 1.0, "bad scale {rate_scale}");
+        debug_assert!(
+            rate_scale > 0.0 && rate_scale <= 1.0,
+            "bad scale {rate_scale}"
+        );
         self.advance(now);
         let saturated = self.cfg.kind == NetworkKindCfg::SharedBus
-            && (self.forced_saturation
-                || self.transfers.len() >= self.cfg.saturation_transfers);
+            && (self.forced_saturation || self.transfers.len() >= self.cfg.saturation_transfers);
         let (overhead_bytes, rounds, lost) = match self.cfg.transport {
             Transport::Tcp => {
                 let overhead = self.cfg.overhead_s * self.cfg.bytes_per_sec();
@@ -300,7 +306,13 @@ impl NetworkModel {
         if !lost {
             self.bytes_delivered += bytes;
         }
-        self.transfers.push(Transfer { remaining: total, rate_scale, payload, lost });
+        self.transfers.push(Transfer {
+            remaining: total,
+            rate_scale,
+            payload,
+            lost,
+            started: now,
+        });
         self.epoch += 1;
     }
 
@@ -337,7 +349,11 @@ impl NetworkModel {
             if self.transfers[i].remaining <= 1e-3 {
                 let t = self.transfers.remove(i);
                 self.messages += 1;
-                done.push(Completion { payload: t.payload, delivered: !t.lost });
+                done.push(Completion {
+                    payload: t.payload,
+                    delivered: !t.lost,
+                    started: t.started,
+                });
             } else {
                 i += 1;
             }
@@ -354,7 +370,11 @@ impl NetworkModel {
             if self.transfers[idx].remaining < 1.0 {
                 let t = self.transfers.remove(idx);
                 self.messages += 1;
-                done.push(Completion { payload: t.payload, delivered: !t.lost });
+                done.push(Completion {
+                    payload: t.payload,
+                    delivered: !t.lost,
+                    started: t.started,
+                });
             }
         }
         if !done.is_empty() {
@@ -376,7 +396,10 @@ mod tests {
 
     #[test]
     fn single_transfer_takes_bytes_over_bandwidth_plus_overhead() {
-        let cfg = NetworkConfig { overhead_s: 0.001, ..NetworkConfig::default() };
+        let cfg = NetworkConfig {
+            overhead_s: 0.001,
+            ..NetworkConfig::default()
+        };
         let mut net = NetworkModel::new(cfg);
         let payload = TransferPayload::Dump { proc_id: 0 };
         net.start_transfer(0.0, 125_000.0, payload.clone(), &mut rng());
@@ -384,13 +407,23 @@ mod tests {
         let t = net.next_completion().unwrap();
         assert!((t - 0.101).abs() < 1e-9, "completion at {t}");
         let done = net.complete_due(t);
-        assert_eq!(done, vec![Completion { payload, delivered: true }]);
+        assert_eq!(
+            done,
+            vec![Completion {
+                payload,
+                delivered: true,
+                started: 0.0
+            }]
+        );
         assert!(net.next_completion().is_none());
     }
 
     #[test]
     fn bus_shares_bandwidth_between_transfers() {
-        let cfg = NetworkConfig { overhead_s: 0.0, ..NetworkConfig::default() };
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        };
         let mut net = NetworkModel::new(cfg);
         let p = |i| TransferPayload::Dump { proc_id: i };
         net.start_transfer(0.0, 125_000.0, p(0), &mut rng());
@@ -404,7 +437,11 @@ mod tests {
 
     #[test]
     fn switch_does_not_share() {
-        let cfg = NetworkConfig { overhead_s: 0.0, ..NetworkConfig::default() }.switched();
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        }
+        .switched();
         let mut net = NetworkModel::new(cfg);
         let p = |i| TransferPayload::Dump { proc_id: i };
         net.start_transfer(0.0, 125_000.0, p(0), &mut rng());
@@ -415,7 +452,10 @@ mod tests {
 
     #[test]
     fn late_joiner_slows_first_transfer() {
-        let cfg = NetworkConfig { overhead_s: 0.0, ..NetworkConfig::default() };
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        };
         let mut net = NetworkModel::new(cfg);
         let p = |i| TransferPayload::Dump { proc_id: i };
         net.start_transfer(0.0, 125_000.0, p(0), &mut rng());
@@ -425,7 +465,14 @@ mod tests {
         let t = net.next_completion().unwrap();
         assert!((t - 0.15).abs() < 1e-9, "completion at {t}");
         let done = net.complete_due(t);
-        assert_eq!(done, vec![Completion { payload: p(0), delivered: true }]);
+        assert_eq!(
+            done,
+            vec![Completion {
+                payload: p(0),
+                delivered: true,
+                started: 0.0
+            }]
+        );
         // second then finishes alone: 62500 bytes at full speed
         let t2 = net.next_completion().unwrap();
         assert!((t2 - 0.2).abs() < 1e-9, "completion at {t2}");
@@ -474,8 +521,15 @@ mod tests {
 
     #[test]
     fn udp_has_lower_overhead() {
-        let tcp = NetworkConfig { overhead_s: 0.001, ..NetworkConfig::default() };
-        let udp = NetworkConfig { udp_overhead_s: 0.0004, ..tcp }.udp();
+        let tcp = NetworkConfig {
+            overhead_s: 0.001,
+            ..NetworkConfig::default()
+        };
+        let udp = NetworkConfig {
+            udp_overhead_s: 0.0004,
+            ..tcp
+        }
+        .udp();
         let mut a = NetworkModel::new(tcp);
         let mut b = NetworkModel::new(udp);
         let payload = TransferPayload::Dump { proc_id: 0 };

@@ -159,14 +159,22 @@ impl EventQueue {
     /// Schedules `kind` to fire `delay` seconds from now.
     pub fn schedule(&mut self, delay: f64, kind: EventKind) {
         debug_assert!(delay >= 0.0 && delay.is_finite(), "bad delay {delay}");
-        self.heap.push(Scheduled { time: self.now + delay, seq: self.seq, kind });
+        self.heap.push(Scheduled {
+            time: self.now + delay,
+            seq: self.seq,
+            kind,
+        });
         self.seq += 1;
     }
 
     /// Schedules `kind` at an absolute time (must not be in the past).
     pub fn schedule_at(&mut self, time: f64, kind: EventKind) {
         debug_assert!(time >= self.now, "scheduling into the past");
-        self.heap.push(Scheduled { time, seq: self.seq, kind });
+        self.heap.push(Scheduled {
+            time,
+            seq: self.seq,
+            kind,
+        });
         self.seq += 1;
     }
 

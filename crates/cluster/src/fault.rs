@@ -92,13 +92,18 @@ impl FaultPlan {
 
     /// Adds a host crash (builder style).
     pub fn crash(mut self, host: usize, at: f64, reboot_after: Option<f64>) -> Self {
-        self.events.push(FaultEvent::HostCrash { host, at, reboot_after });
+        self.events.push(FaultEvent::HostCrash {
+            host,
+            at,
+            reboot_after,
+        });
         self
     }
 
     /// Adds a transient host freeze.
     pub fn freeze(mut self, host: usize, at: f64, duration: f64) -> Self {
-        self.events.push(FaultEvent::HostFreeze { host, at, duration });
+        self.events
+            .push(FaultEvent::HostFreeze { host, at, duration });
         self
     }
 

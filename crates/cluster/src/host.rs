@@ -70,7 +70,11 @@ pub struct LoadAvg {
 impl LoadAvg {
     /// A zero load average with the given time constant (seconds).
     pub fn new(tau: f64) -> Self {
-        Self { tau, value: 0.0, last_update: 0.0 }
+        Self {
+            tau,
+            value: 0.0,
+            last_update: 0.0,
+        }
     }
 
     /// The load average at time `now`, given that the run-queue length has
@@ -157,7 +161,12 @@ impl HostState {
     /// Instantaneous run-queue length as `uptime` would count it: competing
     /// full-time jobs plus our own (nice'd) subprocess if one runs here.
     pub fn run_queue(&self) -> f64 {
-        self.competitors as f64 + if self.assigned_proc.is_some() { 1.0 } else { 0.0 }
+        self.competitors as f64
+            + if self.assigned_proc.is_some() {
+                1.0
+            } else {
+                0.0
+            }
     }
 
     /// Folds elapsed time into the load averages (call *before* changing
@@ -214,7 +223,10 @@ mod tests {
     fn paper_cluster_composition() {
         let hosts = HostKind::paper_cluster();
         assert_eq!(hosts.len(), 25);
-        assert_eq!(hosts.iter().filter(|h| **h == HostKind::Hp715_50).count(), 16);
+        assert_eq!(
+            hosts.iter().filter(|h| **h == HostKind::Hp715_50).count(),
+            16
+        );
         assert_eq!(hosts.iter().filter(|h| **h == HostKind::Hp720).count(), 6);
         assert_eq!(hosts.iter().filter(|h| **h == HostKind::Hp710).count(), 3);
     }

@@ -26,7 +26,11 @@ impl MeasureConfig {
     /// Default section-7 conditions: quiet paper cluster, 20 steps.
     pub fn paper(workload: WorkloadSpec) -> Self {
         let cluster = ClusterConfig::measurement(workload.clone());
-        Self { workload, steps: 20, cluster }
+        Self {
+            workload,
+            steps: 20,
+            cluster,
+        }
     }
 }
 
@@ -59,11 +63,43 @@ pub struct Measurement {
     pub stats: ClusterStats,
 }
 
+impl Measurement {
+    /// Publishes the headline efficiency numbers (and the underlying run
+    /// stats) into a [`subsonic_obs::MetricsRegistry`] under `{prefix}.`.
+    pub fn publish(&self, reg: &subsonic_obs::MetricsRegistry, prefix: &str) {
+        reg.gauge_set(&format!("{prefix}.p"), self.p as f64, "procs");
+        reg.gauge_set(
+            &format!("{prefix}.nodes_per_proc"),
+            self.nodes_per_proc as f64,
+            "nodes",
+        );
+        reg.gauge_set(&format!("{prefix}.t_step"), self.t_step, "s");
+        reg.gauge_set(&format!("{prefix}.t1_step"), self.t1_step, "s");
+        reg.gauge_set(&format!("{prefix}.speedup"), self.speedup, "x");
+        reg.gauge_set(&format!("{prefix}.efficiency"), self.efficiency, "ratio");
+        reg.gauge_set(&format!("{prefix}.utilization"), self.utilization, "ratio");
+        reg.gauge_set(&format!("{prefix}.t_step_calc"), self.t_step_calc, "s");
+        reg.gauge_set(
+            &format!("{prefix}.t_step_blocked"),
+            self.t_step_blocked,
+            "s",
+        );
+        reg.gauge_set(&format!("{prefix}.t_step_bus"), self.t_step_bus, "s");
+        self.stats.publish(reg, prefix);
+    }
+}
+
 /// Runs the workload on the simulated cluster and measures efficiency.
 pub fn measure_efficiency(cfg: MeasureConfig) -> Measurement {
     let steps = cfg.steps;
     let p = cfg.workload.processes();
-    let nodes_per_proc = cfg.workload.tiles.iter().map(|t| t.nodes).max().unwrap_or(0);
+    let nodes_per_proc = cfg
+        .workload
+        .tiles
+        .iter()
+        .map(|t| t.nodes)
+        .max()
+        .unwrap_or(0);
     let u_ref = HostKind::Hp715_50.node_rate(cfg.workload.method, cfg.workload.three_d);
     let t1_step = cfg.workload.total_nodes as f64 / u_ref;
 
@@ -156,7 +192,11 @@ mod tests {
         let m2 = measure_efficiency(MeasureConfig::paper(w2));
         let w3 = WorkloadSpec::new_3d(MethodKind::LatticeBoltzmann, (25 * p, 25, 25), (p, 1, 1));
         let m3 = measure_efficiency(MeasureConfig::paper(w3));
-        assert!(m2.efficiency > 0.78, "2D should stay high: {}", m2.efficiency);
+        assert!(
+            m2.efficiency > 0.78,
+            "2D should stay high: {}",
+            m2.efficiency
+        );
         assert!(m3.efficiency < 0.72, "3D should degrade: {}", m3.efficiency);
         assert!(
             m3.efficiency < m2.efficiency - 0.12,

@@ -79,7 +79,11 @@ pub struct MonitorPolicy {
 
 impl Default for MonitorPolicy {
     fn default() -> Self {
-        Self { enabled: true, period_s: 180.0, load5_migrate: 1.5 }
+        Self {
+            enabled: true,
+            period_s: 180.0,
+            load5_migrate: 1.5,
+        }
     }
 }
 
@@ -108,7 +112,12 @@ pub struct DetectorPolicy {
 
 impl Default for DetectorPolicy {
     fn default() -> Self {
-        Self { enabled: true, timeout_s: 5.0, backoff: 2.0, max_misses: 3 }
+        Self {
+            enabled: true,
+            timeout_s: 5.0,
+            backoff: 2.0,
+            max_misses: 3,
+        }
     }
 }
 
@@ -207,7 +216,12 @@ mod tests {
 
     #[test]
     fn detector_schedule_is_exponential() {
-        let d = DetectorPolicy { enabled: true, timeout_s: 5.0, backoff: 2.0, max_misses: 3 };
+        let d = DetectorPolicy {
+            enabled: true,
+            timeout_s: 5.0,
+            backoff: 2.0,
+            max_misses: 3,
+        };
         let offs = d.probe_offsets();
         assert_eq!(offs.len(), 3);
         assert!((offs[0] - 5.0).abs() < 1e-12);
@@ -221,7 +235,12 @@ mod tests {
 
     #[test]
     fn detector_without_backoff_is_periodic() {
-        let d = DetectorPolicy { enabled: true, timeout_s: 2.0, backoff: 1.0, max_misses: 4 };
+        let d = DetectorPolicy {
+            enabled: true,
+            timeout_s: 2.0,
+            backoff: 1.0,
+            max_misses: 4,
+        };
         assert_eq!(d.probe_offsets(), vec![2.0, 4.0, 6.0, 8.0]);
         assert!((d.detection_latency() - 8.0).abs() < 1e-12);
     }
@@ -239,7 +258,9 @@ mod tests {
             l
         };
         // simulate a long-gone run-queue of 1.0 that keeps load15 ~ 0.9
-        loaded.load15.advance(now - 10.0, 0.9 / (1.0 - (-(now - 10.0) / 900.0f64).exp()));
+        loaded
+            .load15
+            .advance(now - 10.0, 0.9 / (1.0 - (-(now - 10.0) / 900.0f64).exp()));
         let clean = quiet_host(HostKind::Hp710, 0.0);
         let hosts = [loaded, clean];
         // the slow-but-clean host wins because the fast one exceeds 0.6

@@ -29,6 +29,10 @@ use crate::user::{exp_sample, UserModelConfig};
 use crate::workload::{PhaseSpec, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use subsonic_obs::{Category, FlightRecorder, TrackRecorder};
+
+/// Flight-recorder process id for cluster-simulation tracks.
+const TRACE_PID: u32 = 1;
 
 /// Full configuration of a simulated cluster run.
 #[derive(Debug, Clone)]
@@ -111,7 +115,10 @@ impl ClusterConfig {
             net: NetworkConfig::default(),
             workload,
             submit: SubmitPolicy::default(),
-            monitor: MonitorPolicy { enabled: false, ..MonitorPolicy::default() },
+            monitor: MonitorPolicy {
+                enabled: false,
+                ..MonitorPolicy::default()
+            },
             user: UserModelConfig::quiet(),
             ordering: CommOrdering::Fcfs,
             checkpoint_period_s: None,
@@ -209,6 +216,14 @@ pub struct ClusterSim {
     lower_peers: Vec<Vec<Vec<usize>>>,
     /// Events dispatched so far (simulation throughput accounting).
     events_processed: u64,
+    /// Flight-recorder session (disabled by default: recording costs nothing
+    /// and alters nothing — all timestamps are simulated time, so an enabled
+    /// recorder observes a byte-identical event sequence).
+    recorder: FlightRecorder,
+    /// One sim-time trace track per process (empty when disabled).
+    tracks: Vec<TrackRecorder>,
+    /// Control-plane track: faults, detection, recovery, migration, wire.
+    ctrl: TrackRecorder,
 }
 
 impl ClusterSim {
@@ -227,8 +242,7 @@ impl ClusterSim {
         let mut hosts: Vec<HostState> = cfg.hosts.iter().map(|&k| HostState::new(k)).collect();
         // initial user states
         if cfg.user.enabled {
-            let p_active =
-                cfg.user.mean_active_s / (cfg.user.mean_active_s + cfg.user.mean_idle_s);
+            let p_active = cfg.user.mean_active_s / (cfg.user.mean_active_s + cfg.user.mean_idle_s);
             for h in &mut hosts {
                 h.user_active = rng_user.gen::<f64>() < p_active;
                 // long-idle so the 20-minute rule can be satisfied at t = 0
@@ -245,8 +259,11 @@ impl ClusterSim {
         let mut lower_peers = vec![vec![Vec::new(); n_proc]; n_x];
         for (pid, tile) in cfg.workload.tiles.iter().enumerate() {
             for (x, links) in tile.neighbors.iter().enumerate() {
-                lower_peers[x][pid] =
-                    links.iter().map(|&(peer, _)| peer).filter(|&peer| peer < pid).collect();
+                lower_peers[x][pid] = links
+                    .iter()
+                    .map(|&(peer, _)| peer)
+                    .filter(|&peer| peer < pid)
+                    .collect();
             }
         }
 
@@ -274,6 +291,9 @@ impl ClusterSim {
             finished_at: None,
             lower_peers,
             events_processed: 0,
+            recorder: FlightRecorder::disabled(),
+            tracks: Vec::new(),
+            ctrl: TrackRecorder::disabled(),
             cfg,
         };
 
@@ -304,7 +324,8 @@ impl ClusterSim {
             }
         }
         if sim.cfg.monitor.enabled {
-            sim.q.schedule(sim.cfg.monitor.period_s, EventKind::MonitorTick);
+            sim.q
+                .schedule(sim.cfg.monitor.period_s, EventKind::MonitorTick);
         }
         if let Some(p) = sim.cfg.checkpoint_period_s {
             sim.q.schedule(p, EventKind::CheckpointTick);
@@ -316,7 +337,11 @@ impl ClusterSim {
         let fault_events = sim.cfg.faults.events.clone();
         for ev in fault_events {
             match ev {
-                FaultEvent::HostCrash { host, at, reboot_after } => {
+                FaultEvent::HostCrash {
+                    host,
+                    at,
+                    reboot_after,
+                } => {
                     assert!(host < sim.hosts.len(), "fault host {host} out of range");
                     let at = at.max(0.0);
                     sim.q.schedule_at(at, EventKind::HostCrash { host });
@@ -328,12 +353,14 @@ impl ClusterSim {
                     assert!(host < sim.hosts.len(), "fault host {host} out of range");
                     let at = at.max(0.0);
                     sim.q.schedule_at(at, EventKind::HostFreezeStart { host });
-                    sim.q.schedule_at(at + duration.max(0.0), EventKind::HostFreezeEnd { host });
+                    sim.q
+                        .schedule_at(at + duration.max(0.0), EventKind::HostFreezeEnd { host });
                 }
                 FaultEvent::BusBurst { at, duration } => {
                     let at = at.max(0.0);
                     sim.q.schedule_at(at, EventKind::BusBurstStart);
-                    sim.q.schedule_at(at + duration.max(0.0), EventKind::BusBurstEnd);
+                    sim.q
+                        .schedule_at(at + duration.max(0.0), EventKind::BusBurstEnd);
                 }
             }
         }
@@ -348,6 +375,40 @@ impl ClusterSim {
     /// Current simulated time.
     pub fn now(&self) -> f64 {
         self.q.now()
+    }
+
+    /// Attaches a flight recorder: one sim-time track per process (compute /
+    /// halo-wait / checkpoint spans) plus a control track for faults,
+    /// detection, recovery, migrations and wire transfers. All timestamps
+    /// come from the simulated clock, so the trace is deterministic given
+    /// the seed and recording never perturbs the event sequence.
+    pub fn with_recorder(mut self, recorder: &FlightRecorder) -> Self {
+        self.recorder = recorder.clone();
+        if self.recorder.is_enabled() {
+            self.tracks = (0..self.procs.len())
+                .map(|pid| {
+                    self.recorder.track(
+                        TRACE_PID,
+                        pid as u32,
+                        "cluster-sim",
+                        &format!("proc {pid}"),
+                    )
+                })
+                .collect();
+            self.ctrl =
+                self.recorder
+                    .track(TRACE_PID, self.procs.len() as u32, "cluster-sim", "runtime");
+        }
+        self
+    }
+
+    /// Records a sim-time span on process `pid`'s track (no-op when the
+    /// recorder is disabled — `tracks` is empty then).
+    #[inline]
+    fn rec_span(&mut self, pid: usize, cat: Category, name: &'static str, t0: f64, t1: f64) {
+        if let Some(tr) = self.tracks.get_mut(pid) {
+            tr.span_sim(cat, name, t0, t1);
+        }
     }
 
     /// Runs until `t_end` (simulated seconds) or until every process has
@@ -422,12 +483,19 @@ impl ClusterSim {
                 unreachable!("dump completions arrive as NetDone payloads")
             }
             EventKind::SubmitRetry => self.on_submit_retry(),
-            EventKind::ResendHalo { to_proc, step, xch, from_proc } => {
-                self.on_resend_halo(to_proc, step, xch, from_proc)
-            }
-            EventKind::StagedCatchup { to_proc, from_proc, bytes, step, xch } => {
-                self.on_staged_catchup(to_proc, from_proc, bytes, step, xch)
-            }
+            EventKind::ResendHalo {
+                to_proc,
+                step,
+                xch,
+                from_proc,
+            } => self.on_resend_halo(to_proc, step, xch, from_proc),
+            EventKind::StagedCatchup {
+                to_proc,
+                from_proc,
+                bytes,
+                step,
+                xch,
+            } => self.on_staged_catchup(to_proc, from_proc, bytes, step, xch),
             EventKind::ResendDump { proc_id } => self.on_resend_dump(proc_id),
             EventKind::ResumeAll => self.on_resume_all(),
             EventKind::HostCrash { host } => self.on_host_crash(host),
@@ -437,11 +505,19 @@ impl ClusterSim {
             EventKind::BusBurstStart => {
                 self.stats.bus_bursts += 1;
                 self.net.set_forced_saturation(true);
+                let now = self.now();
+                self.ctrl.instant_sim(Category::Net, "bus burst start", now);
             }
-            EventKind::BusBurstEnd => self.net.set_forced_saturation(false),
-            EventKind::HeartbeatProbe { host, misses, probe_epoch } => {
-                self.on_heartbeat_probe(host, misses, probe_epoch)
+            EventKind::BusBurstEnd => {
+                self.net.set_forced_saturation(false);
+                let now = self.now();
+                self.ctrl.instant_sim(Category::Net, "bus burst end", now);
             }
+            EventKind::HeartbeatProbe {
+                host,
+                misses,
+                probe_epoch,
+            } => self.on_heartbeat_probe(host, misses, probe_epoch),
             EventKind::Stop => {}
         }
     }
@@ -457,7 +533,8 @@ impl ClusterSim {
     fn rate_of(&self, pid: usize) -> f64 {
         let p = &self.procs[pid];
         let h = &self.hosts[p.host];
-        h.kind.node_rate(self.cfg.workload.method, self.cfg.workload.three_d)
+        h.kind
+            .node_rate(self.cfg.workload.method, self.cfg.workload.three_d)
             * h.cpu_share(self.now(), self.cfg.nice_weight())
             / h.slowdown
     }
@@ -483,10 +560,7 @@ impl ClusterSim {
     /// is then apples-to-apples.
     fn jitter_factor(&self, pid: usize) -> f64 {
         let p = &self.procs[pid];
-        let mut h = self
-            .cfg
-            .seed
-            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        let mut h = self.cfg.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15)
             ^ (pid as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9)
             ^ p.step.wrapping_mul(0x94D0_49BB_1331_11EB)
             ^ (p.phase as u64).wrapping_add(0x2545_F491_4F6C_DD1D);
@@ -509,9 +583,19 @@ impl ClusterSim {
         let now = self.now();
         let rate = self.rate_of(pid);
         let p = &mut self.procs[pid];
-        p.state = ProcState::Computing { remaining: work, rate, since: now };
+        p.state = ProcState::Computing {
+            remaining: work,
+            rate,
+            since: now,
+        };
         let epoch = p.bump_epoch();
-        self.q.schedule(work / rate, EventKind::ComputeDone { proc_id: pid, epoch });
+        self.q.schedule(
+            work / rate,
+            EventKind::ComputeDone {
+                proc_id: pid,
+                epoch,
+            },
+        );
     }
 
     fn on_compute_done(&mut self, pid: usize, epoch: u64) {
@@ -522,6 +606,7 @@ impl ClusterSim {
         }
         if let ProcState::Computing { since, .. } = p.state {
             p.t_calc += now - since;
+            self.rec_span(pid, Category::Compute, "compute", since, now);
             self.advance_phase(pid);
         }
     }
@@ -631,7 +716,13 @@ impl ClusterSim {
             self.send_halo(from, to, bytes, step, xch);
         } else {
             let since = self.now();
-            self.procs[to].staged_in.push(StagedHalo { from, bytes, step, xch, since });
+            self.procs[to].staged_in.push(StagedHalo {
+                from,
+                bytes,
+                step,
+                xch,
+                since,
+            });
             self.stats.rendezvous_staged += 1;
         }
     }
@@ -655,7 +746,12 @@ impl ClusterSim {
             now,
             bytes,
             scale,
-            TransferPayload::Halo { to_proc: to, step, xch, from_proc: from },
+            TransferPayload::Halo {
+                to_proc: to,
+                step,
+                xch,
+                from_proc: from,
+            },
             &mut self.rng_bus,
         );
         self.reschedule_net();
@@ -685,7 +781,8 @@ impl ClusterSim {
     fn reschedule_net(&mut self) {
         if let Some(t) = self.net.next_completion() {
             let epoch = self.net.epoch();
-            self.q.schedule_at(t.max(self.now()), EventKind::NetDone { epoch });
+            self.q
+                .schedule_at(t.max(self.now()), EventKind::NetDone { epoch });
         }
     }
 
@@ -740,13 +837,16 @@ impl ClusterSim {
             let delay = self.stall_catchup_delay(pid, stalled_for);
             if delay > 0.0 {
                 self.procs[pid].catchup_pending = true;
-                self.q.schedule(delay, EventKind::StagedCatchup {
-                    to_proc: pid,
-                    from_proc: s.from,
-                    bytes: s.bytes,
-                    step: s.step,
-                    xch: s.xch,
-                });
+                self.q.schedule(
+                    delay,
+                    EventKind::StagedCatchup {
+                        to_proc: pid,
+                        from_proc: s.from,
+                        bytes: s.bytes,
+                        step: s.step,
+                        xch: s.xch,
+                    },
+                );
             } else {
                 self.send_halo(s.from, pid, s.bytes, s.step, s.xch);
             }
@@ -771,13 +871,21 @@ impl ClusterSim {
                 // at the acknowledgement timeout and resends precisely the
                 // missing data ("the failure problem is handled directly").
                 match c.payload {
-                    TransferPayload::Halo { to_proc, step, xch, from_proc } => {
-                        self.q.schedule(ack, EventKind::ResendHalo {
-                            to_proc,
-                            step,
-                            xch,
-                            from_proc,
-                        });
+                    TransferPayload::Halo {
+                        to_proc,
+                        step,
+                        xch,
+                        from_proc,
+                    } => {
+                        self.q.schedule(
+                            ack,
+                            EventKind::ResendHalo {
+                                to_proc,
+                                step,
+                                xch,
+                                from_proc,
+                            },
+                        );
                     }
                     TransferPayload::Dump { proc_id } => {
                         self.q.schedule(ack, EventKind::ResendDump { proc_id });
@@ -786,10 +894,31 @@ impl ClusterSim {
                 continue;
             }
             match c.payload {
-                TransferPayload::Halo { to_proc, step, xch, from_proc } => {
+                TransferPayload::Halo {
+                    to_proc,
+                    step,
+                    xch,
+                    from_proc,
+                } => {
+                    self.ctrl.span_sim_arg(
+                        Category::Net,
+                        "halo wire",
+                        c.started,
+                        now,
+                        Some(("to_proc", to_proc as f64)),
+                    );
                     self.deliver_halo(to_proc, step, xch, from_proc);
                 }
-                TransferPayload::Dump { proc_id } => self.on_dump_done(proc_id),
+                TransferPayload::Dump { proc_id } => {
+                    self.ctrl.span_sim_arg(
+                        Category::Net,
+                        "dump wire",
+                        c.started,
+                        now,
+                        Some(("proc", proc_id as f64)),
+                    );
+                    self.on_dump_done(proc_id);
+                }
             }
         }
         self.reschedule_net();
@@ -824,16 +953,11 @@ impl ClusterSim {
         self.procs[pid].receive(step, xch, from);
 
         // strict ordering: the arrival may release deferred sends
-        if self.cfg.ordering == CommOrdering::Strict && !self.procs[pid].deferred_sends.is_empty()
-        {
+        if self.cfg.ordering == CommOrdering::Strict && !self.procs[pid].deferred_sends.is_empty() {
             let cur_step = self.procs[pid].step;
             let deferred = std::mem::take(&mut self.procs[pid].deferred_sends);
             for (peer, bytes, dxch) in deferred {
-                let ok = self.procs[pid].have_all(
-                    cur_step,
-                    dxch,
-                    &self.lower_peers[dxch][pid],
-                );
+                let ok = self.procs[pid].have_all(cur_step, dxch, &self.lower_peers[dxch][pid]);
                 if ok {
                     self.offer_halo(pid, peer, bytes, cur_step, dxch);
                 } else {
@@ -848,8 +972,10 @@ impl ClusterSim {
                 let needed = self.needed_senders(pid, xch);
                 if self.procs[pid].have_all(cur_step, xch, &needed) {
                     let p = &mut self.procs[pid];
-                    p.t_com += now - p.wait_since;
+                    let waited_since = p.wait_since;
+                    p.t_com += now - waited_since;
                     p.consume(cur_step, xch);
+                    self.rec_span(pid, Category::Halo, "halo wait", waited_since, now);
                     self.advance_phase(pid);
                     return;
                 }
@@ -866,7 +992,9 @@ impl ClusterSim {
 
     fn record_background(&mut self, host: usize, kind: BackgroundEventKind) {
         let t = self.now();
-        self.stats.background_events.push(BackgroundEvent { t, host, kind });
+        self.stats
+            .background_events
+            .push(BackgroundEvent { t, host, kind });
     }
 
     fn on_user_flip(&mut self, host: usize) {
@@ -927,7 +1055,8 @@ impl ClusterSim {
             return;
         }
         self.hosts[host].relax_scheduled = true;
-        self.q.schedule(CPU_RELAX_TICK_S, EventKind::CpuRelax { host });
+        self.q
+            .schedule(CPU_RELAX_TICK_S, EventKind::CpuRelax { host });
     }
 
     fn on_cpu_relax(&mut self, host: usize) {
@@ -946,14 +1075,29 @@ impl ClusterSim {
         let now = self.now();
         let new_rate = self.rate_of(pid);
         let p = &mut self.procs[pid];
-        if let ProcState::Computing { remaining, rate, since } = p.state {
+        if let ProcState::Computing {
+            remaining,
+            rate,
+            since,
+        } = p.state
+        {
             let worked = (now - since) * rate;
             let left = (remaining - worked).max(0.0);
             p.t_calc += now - since;
-            p.state = ProcState::Computing { remaining: left, rate: new_rate, since: now };
+            p.state = ProcState::Computing {
+                remaining: left,
+                rate: new_rate,
+                since: now,
+            };
             let epoch = p.bump_epoch();
-            self.q
-                .schedule(left / new_rate, EventKind::ComputeDone { proc_id: pid, epoch });
+            self.q.schedule(
+                left / new_rate,
+                EventKind::ComputeDone {
+                    proc_id: pid,
+                    epoch,
+                },
+            );
+            self.rec_span(pid, Category::Compute, "compute", since, now);
         }
     }
 
@@ -964,7 +1108,8 @@ impl ClusterSim {
     fn on_monitor_tick(&mut self) {
         let now = self.now();
         if self.cfg.monitor.enabled {
-            self.q.schedule(self.cfg.monitor.period_s, EventKind::MonitorTick);
+            self.q
+                .schedule(self.cfg.monitor.period_s, EventKind::MonitorTick);
         }
         if self.sync != SyncState::Idle || self.done_count > 0 {
             return;
@@ -1052,9 +1197,11 @@ impl ClusterSim {
             }
             ProcState::CkptSaving { resume } => {
                 let p = &mut self.procs[pid];
-                let paused = now - p.pause_since;
+                let since = p.pause_since;
+                let paused = now - since;
                 p.t_paused += paused;
                 self.stats.checkpoint_pause_total += paused;
+                self.rec_span(pid, Category::Checkpoint, "ckpt save", since, now);
                 self.resume_from(pid, resume);
                 if let Some(round) = &mut self.ckpt {
                     let next = round.next;
@@ -1083,10 +1230,12 @@ impl ClusterSim {
         {
             return;
         }
-        let all_settled = self
-            .pending_migrators
-            .iter()
-            .all(|&m| matches!(self.procs[m].state, ProcState::MigrReady | ProcState::Failed));
+        let all_settled = self.pending_migrators.iter().all(|&m| {
+            matches!(
+                self.procs[m].state,
+                ProcState::MigrReady | ProcState::Failed
+            )
+        });
         if all_settled {
             self.resume_pending = true;
             self.q.schedule(self.cfg.handshake_s, EventKind::ResumeAll);
@@ -1142,8 +1291,10 @@ impl ClusterSim {
             match self.procs[pid].state {
                 ProcState::AtSyncBarrier | ProcState::MigrReady => {
                     let p = &mut self.procs[pid];
-                    p.t_paused += now - p.pause_since;
+                    let since = p.pause_since;
+                    p.t_paused += now - since;
                     p.state = ProcState::Done; // placeholder, start_phase overwrites
+                    self.rec_span(pid, Category::Sync, "paused", since, now);
                     self.start_phase(pid);
                 }
                 _ => {}
@@ -1158,6 +1309,13 @@ impl ClusterSim {
                 pause_time: self.migration_pause_time,
                 resume_time: now,
             });
+            self.ctrl.span_sim_arg(
+                Category::Migration,
+                "migration",
+                self.migration_signal_time,
+                now,
+                Some(("proc", pid as f64)),
+            );
         }
         self.migration_from.clear();
         self.pending_migrators.clear();
@@ -1195,12 +1353,29 @@ impl ClusterSim {
         }
         {
             let p = &mut self.procs[pid];
+            let (wait_since, pause_since) = (p.wait_since, p.pause_since);
             match state {
                 ProcState::Computing { since, .. } => p.t_calc += now - since,
                 ProcState::WaitingRecv { .. } => p.t_com += now - p.wait_since,
                 ProcState::Failed => return, // double-kill
                 _ => p.t_paused += now - p.pause_since,
             }
+            // the work the crash interrupted, so the timeline has no gap
+            match state {
+                ProcState::Computing { since, .. } => {
+                    self.rec_span(pid, Category::Compute, "compute", since, now)
+                }
+                ProcState::WaitingRecv { .. } => {
+                    self.rec_span(pid, Category::Halo, "halo wait", wait_since, now)
+                }
+                _ => self.rec_span(pid, Category::Sync, "paused", pause_since, now),
+            }
+            self.ctrl.instant_sim_arg(
+                Category::Fault,
+                "host crash",
+                now,
+                Some(("host", host as f64)),
+            );
             if state == ProcState::AtSyncBarrier {
                 // it no longer counts toward the barrier
                 self.paused_count = self.paused_count.saturating_sub(1);
@@ -1246,14 +1421,23 @@ impl ClusterSim {
             return;
         };
         let resume = match self.procs[pid].state.clone() {
-            ProcState::Computing { remaining, rate, since } => {
+            ProcState::Computing {
+                remaining,
+                rate,
+                since,
+            } => {
                 let worked = (now - since) * rate;
                 self.procs[pid].t_calc += now - since;
-                Some(CkptResume::Compute { remaining: (remaining - worked).max(0.0) })
+                self.rec_span(pid, Category::Compute, "compute", since, now);
+                Some(CkptResume::Compute {
+                    remaining: (remaining - worked).max(0.0),
+                })
             }
             ProcState::WaitingRecv { xch } => {
                 let p = &mut self.procs[pid];
-                p.t_com += now - p.wait_since;
+                let waited_since = p.wait_since;
+                p.t_com += now - waited_since;
+                self.rec_span(pid, Category::Halo, "halo wait", waited_since, now);
                 Some(CkptResume::Waiting { xch })
             }
             _ => None,
@@ -1263,6 +1447,12 @@ impl ClusterSim {
             p.bump_epoch();
             p.pause_since = now;
             p.state = ProcState::Frozen { resume };
+            self.ctrl.instant_sim_arg(
+                Category::Fault,
+                "freeze start",
+                now,
+                Some(("host", host as f64)),
+            );
             self.start_probe_chain(host);
         }
     }
@@ -1284,7 +1474,16 @@ impl ClusterSim {
         };
         if let ProcState::Frozen { resume } = self.procs[pid].state.clone() {
             let p = &mut self.procs[pid];
-            p.t_paused += now - p.pause_since;
+            let since = p.pause_since;
+            p.t_paused += now - since;
+            self.rec_span(pid, Category::Fault, "frozen", since, now);
+            self.ctrl.instant_sim_arg(
+                Category::Fault,
+                "freeze end",
+                now,
+                Some(("host", host as f64)),
+            );
+            let p = &mut self.procs[pid];
             if self.sync == SyncState::Migrating {
                 // the runtime is mid-migration/recovery: wait for ResumeAll
                 p.pause_since = now;
@@ -1314,7 +1513,11 @@ impl ClusterSim {
         let probe_epoch = self.hosts[host].probe_epoch;
         self.q.schedule(
             self.cfg.detector.timeout_s,
-            EventKind::HeartbeatProbe { host, misses: 1, probe_epoch },
+            EventKind::HeartbeatProbe {
+                host,
+                misses: 1,
+                probe_epoch,
+            },
         );
     }
 
@@ -1326,7 +1529,10 @@ impl ClusterSim {
             return;
         };
         let silent = !self.hosts[host].available()
-            || matches!(self.procs[pid].state, ProcState::Failed | ProcState::Frozen { .. });
+            || matches!(
+                self.procs[pid].state,
+                ProcState::Failed | ProcState::Frozen { .. }
+            );
         if !silent {
             return; // heartbeats are back; the suspicion evaporates
         }
@@ -1336,7 +1542,11 @@ impl ClusterSim {
                 // would tangle two protocols, so keep probing until idle
                 self.q.schedule(
                     self.cfg.detector.timeout_s,
-                    EventKind::HeartbeatProbe { host, misses, probe_epoch },
+                    EventKind::HeartbeatProbe {
+                        host,
+                        misses,
+                        probe_epoch,
+                    },
                 );
                 return;
             }
@@ -1345,7 +1555,11 @@ impl ClusterSim {
             let wait = self.cfg.detector.timeout_s * self.cfg.detector.backoff.powi(misses as i32);
             self.q.schedule(
                 wait,
-                EventKind::HeartbeatProbe { host, misses: misses + 1, probe_epoch },
+                EventKind::HeartbeatProbe {
+                    host,
+                    misses: misses + 1,
+                    probe_epoch,
+                },
             );
         }
     }
@@ -1367,6 +1581,7 @@ impl ClusterSim {
             p.state = ProcState::Failed;
             p.pause_since = fault;
             self.failed_count += 1;
+            self.rec_span(pid, Category::Fault, "frozen (declared dead)", fault, now);
         }
         self.hosts[host].probe_epoch += 1; // chain consumed
         self.begin_recovery(pid, host, false_positive);
@@ -1388,6 +1603,15 @@ impl ClusterSim {
             step_at_failure: self.procs[pid].step,
             false_positive,
         });
+        // detection latency: heartbeats stopped at fault_time, the detector
+        // declared at now
+        self.ctrl.span_sim_arg(
+            Category::Detection,
+            "detect",
+            fault_time,
+            now,
+            Some(("proc", pid as f64)),
+        );
         self.ckpt = None; // abandon any checkpoint round in progress
         self.sync = SyncState::Migrating;
         self.hosts[from_host].touch(now);
@@ -1399,21 +1623,26 @@ impl ClusterSim {
             }
             let state = self.procs[i].state.clone();
             let p = &mut self.procs[i];
+            let (wait_since, pause_since) = (p.wait_since, p.pause_since);
             match state {
                 ProcState::Computing { since, .. } => {
                     p.t_calc += now - since;
+                    self.rec_span(i, Category::Compute, "compute", since, now);
                 }
                 ProcState::WaitingRecv { .. } => {
-                    p.t_com += now - p.wait_since;
+                    p.t_com += now - wait_since;
+                    self.rec_span(i, Category::Halo, "halo wait", wait_since, now);
                 }
                 ProcState::CkptSaving { .. } => {
-                    p.t_paused += now - p.pause_since;
+                    p.t_paused += now - pause_since;
+                    self.rec_span(i, Category::Checkpoint, "ckpt save", pause_since, now);
                 }
                 // frozen processes stay frozen (their stall outlives the
                 // pause); failed ones await their own recovery; done ones
                 // are rolled back at resume
                 _ => continue,
             }
+            let p = &mut self.procs[i];
             p.bump_epoch();
             p.state = ProcState::AtSyncBarrier;
             p.pause_since = now;
@@ -1421,14 +1650,17 @@ impl ClusterSim {
         // the victim: dead time so far is pause, then it queues for submit
         {
             let p = &mut self.procs[pid];
-            p.t_paused += now - p.pause_since;
+            let since = p.pause_since;
+            p.t_paused += now - since;
             p.pause_since = now;
             p.bump_epoch();
             p.state = ProcState::MigrWaitingHost;
+            self.rec_span(pid, Category::Fault, "down", since, now);
         }
         self.failed_count = self.failed_count.saturating_sub(1);
         self.pending_migrators = vec![pid];
-        self.q.schedule(self.cfg.submit.search_duration_s, EventKind::SubmitRetry);
+        self.q
+            .schedule(self.cfg.submit.search_duration_s, EventKind::SubmitRetry);
     }
 
     /// The recovered process has reloaded the checkpoint on its new host and
@@ -1446,10 +1678,12 @@ impl ClusterSim {
             match self.procs[i].state.clone() {
                 ProcState::AtSyncBarrier | ProcState::MigrReady => {
                     let p = &mut self.procs[i];
-                    p.t_paused += now - p.pause_since;
+                    let since = p.pause_since;
+                    p.t_paused += now - since;
                     p.rollback_to(rollback);
                     p.state = ProcState::Done; // placeholder, start_phase overwrites
                     restart.push(i);
+                    self.rec_span(i, Category::Sync, "paused", since, now);
                 }
                 ProcState::Done => {
                     // a finished process restarts too: the global rollback
@@ -1462,7 +1696,9 @@ impl ClusterSim {
                     // still stalled: rewound, restarts its phase at thaw
                     let p = &mut self.procs[i];
                     p.rollback_to(rollback);
-                    p.state = ProcState::Frozen { resume: CkptResume::Restart };
+                    p.state = ProcState::Frozen {
+                        resume: CkptResume::Restart,
+                    };
                 }
                 ProcState::Failed => {
                     // a second casualty: rewound, awaits its own recovery
@@ -1474,6 +1710,14 @@ impl ClusterSim {
         for i in restart {
             self.start_phase(i);
         }
+        let lost_steps = ctx.step_at_failure.saturating_sub(rollback);
+        self.ctrl.span_sim_arg(
+            Category::Recovery,
+            "recover",
+            ctx.detect_time,
+            now,
+            Some(("lost_steps", lost_steps as f64)),
+        );
         self.stats.recoveries.push(RecoveryRecord {
             proc_id: ctx.pid,
             from_host: ctx.from_host,
@@ -1482,7 +1726,7 @@ impl ClusterSim {
             detect_time: ctx.detect_time,
             resume_time: now,
             rollback_step: rollback,
-            lost_steps: ctx.step_at_failure.saturating_sub(rollback),
+            lost_steps,
             false_positive: ctx.false_positive,
         });
         self.pending_migrators.clear();
@@ -1507,7 +1751,8 @@ impl ClusterSim {
             min_step: u64::MAX,
             saved: 0,
         });
-        self.q.schedule(0.0, EventKind::CheckpointToken { order_index: 0 });
+        self.q
+            .schedule(0.0, EventKind::CheckpointToken { order_index: 0 });
     }
 
     fn on_checkpoint_token(&mut self, idx: usize) {
@@ -1529,14 +1774,23 @@ impl ClusterSim {
         round.next = idx + 1;
         let pid = round.order[idx];
         let resume = match self.procs[pid].state.clone() {
-            ProcState::Computing { remaining, rate, since } => {
+            ProcState::Computing {
+                remaining,
+                rate,
+                since,
+            } => {
                 let worked = (now - since) * rate;
                 self.procs[pid].t_calc += now - since;
-                Some(CkptResume::Compute { remaining: (remaining - worked).max(0.0) })
+                self.rec_span(pid, Category::Compute, "compute", since, now);
+                Some(CkptResume::Compute {
+                    remaining: (remaining - worked).max(0.0),
+                })
             }
             ProcState::WaitingRecv { xch } => {
                 let p = &mut self.procs[pid];
-                p.t_com += now - p.wait_since;
+                let since = p.wait_since;
+                p.t_com += now - since;
+                self.rec_span(pid, Category::Halo, "halo wait", since, now);
                 Some(CkptResume::Waiting { xch })
             }
             // paused / migrating / done processes skip their save
@@ -1567,7 +1821,9 @@ impl ClusterSim {
             None => {
                 self.q.schedule(
                     self.cfg.checkpoint_gap_s,
-                    EventKind::CheckpointToken { order_index: idx + 1 },
+                    EventKind::CheckpointToken {
+                        order_index: idx + 1,
+                    },
                 );
             }
         }
@@ -1579,6 +1835,10 @@ impl ClusterSim {
 
     fn finalize(&mut self) -> ClusterStats {
         let now = self.now();
+        for t in &mut self.tracks {
+            t.finish();
+        }
+        self.ctrl.finish();
         let mut stats = self.stats.clone();
         stats.procs = self
             .procs
@@ -1638,7 +1898,10 @@ impl ClusterSim {
     /// Applies a deliberate slowdown factor (`>= 1`) to a host's CPU; the
     /// assigned subprocess's compute rate divides by it immediately.
     pub fn set_host_slowdown(&mut self, host: usize, factor: f64) {
-        assert!(factor >= 1.0 && factor.is_finite(), "slowdown factor {factor} must be >= 1");
+        assert!(
+            factor >= 1.0 && factor.is_finite(),
+            "slowdown factor {factor} must be >= 1"
+        );
         self.hosts[host].slowdown = factor;
         self.on_rate_change(host);
     }
@@ -1743,7 +2006,10 @@ mod tests {
         let steps = sim.steps();
         assert!(steps.iter().all(|&s| s > 0));
         let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
-        assert!(spread <= 1, "out of sync after delayed migration: {steps:?}");
+        assert!(
+            spread <= 1,
+            "out of sync after delayed migration: {steps:?}"
+        );
     }
 
     #[test]
@@ -1823,7 +2089,10 @@ mod tests {
         let stats = sim.run(1.0e4, Some(60));
         assert_eq!(stats.recoveries.len(), 1);
         let r = &stats.recoveries[0];
-        assert_eq!(r.rollback_step, 0, "no checkpoints: recovery restarts from the dump");
+        assert_eq!(
+            r.rollback_step, 0,
+            "no checkpoints: recovery restarts from the dump"
+        );
         assert!(r.lost_steps > 0);
         // the run still completes its target in full
         assert_eq!(sim.steps(), vec![60, 60]);
@@ -1838,7 +2107,11 @@ mod tests {
         let stats = sim.run(600.0, None);
         assert_eq!(stats.host_crashes, 1);
         assert_eq!(stats.host_reboots, 1);
-        assert_eq!(stats.recoveries.len(), 1, "the reboot must not cancel the recovery");
+        assert_eq!(
+            stats.recoveries.len(),
+            1,
+            "the reboot must not cancel the recovery"
+        );
         assert!(sim.hosts()[victim].up, "host should be back up");
         assert_eq!(sim.hosts()[victim].assigned_proc, None, "but empty");
     }
@@ -1852,10 +2125,17 @@ mod tests {
         let mut sim = ClusterSim::new(cfg);
         let stats = sim.run(1.0e4, Some(100));
         assert_eq!(stats.host_freezes, 1);
-        assert!(stats.recoveries.is_empty(), "a short stall must not trigger a restart");
+        assert!(
+            stats.recoveries.is_empty(),
+            "a short stall must not trigger a restart"
+        );
         assert_eq!(sim.steps(), vec![100, 100]);
         // the stall shows up as pause time on the frozen process
-        assert!(stats.procs[0].t_paused >= 10.0 - 1e-9, "paused {}", stats.procs[0].t_paused);
+        assert!(
+            stats.procs[0].t_paused >= 10.0 - 1e-9,
+            "paused {}",
+            stats.procs[0].t_paused
+        );
     }
 
     #[test]
@@ -1868,12 +2148,18 @@ mod tests {
         let stats = sim.run(1000.0, None);
         assert_eq!(stats.host_freezes, 1);
         assert_eq!(stats.recoveries.len(), 1);
-        assert!(stats.recoveries[0].false_positive, "this restart killed a live process");
+        assert!(
+            stats.recoveries[0].false_positive,
+            "this restart killed a live process"
+        );
         assert_ne!(stats.recoveries[0].to_host, victim);
         // the computation survives the spurious restart
         let steps = sim.steps();
         let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
-        assert!(spread <= 1, "out of sync after false-positive recovery: {steps:?}");
+        assert!(
+            spread <= 1,
+            "out of sync after false-positive recovery: {steps:?}"
+        );
     }
 
     #[test]

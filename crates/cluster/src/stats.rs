@@ -1,6 +1,7 @@
 //! Statistics collected by the cluster simulation.
 
 use serde::{Deserialize, Serialize};
+use subsonic_obs::MetricsRegistry;
 
 /// Per-process accounting.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
@@ -184,6 +185,73 @@ impl ClusterStats {
             Some(span / self.migrations.len() as f64)
         }
     }
+
+    /// Publishes the run's aggregates into a [`MetricsRegistry`] under
+    /// `{prefix}.`: run-level counters, utilisation/time gauges, and
+    /// latency histograms for recoveries and migrations.
+    pub fn publish(&self, reg: &MetricsRegistry, prefix: &str) {
+        reg.counter_add(
+            &format!("{prefix}.checkpoint_rounds"),
+            self.checkpoint_rounds,
+        );
+        reg.counter_add(&format!("{prefix}.net_messages"), self.net_messages);
+        reg.counter_add(&format!("{prefix}.net_errors"), self.net_errors);
+        reg.counter_add(&format!("{prefix}.net_losses"), self.net_losses);
+        reg.counter_add(
+            &format!("{prefix}.rendezvous_staged"),
+            self.rendezvous_staged,
+        );
+        reg.counter_add(&format!("{prefix}.host_crashes"), self.host_crashes);
+        reg.counter_add(&format!("{prefix}.host_reboots"), self.host_reboots);
+        reg.counter_add(&format!("{prefix}.host_freezes"), self.host_freezes);
+        reg.counter_add(&format!("{prefix}.bus_bursts"), self.bus_bursts);
+        reg.counter_add(
+            &format!("{prefix}.migrations"),
+            self.migrations.len() as u64,
+        );
+        reg.counter_add(
+            &format!("{prefix}.recoveries"),
+            self.recoveries.len() as u64,
+        );
+        reg.gauge_set(&format!("{prefix}.finished_at"), self.finished_at, "s");
+        reg.gauge_set(&format!("{prefix}.net_bytes"), self.net_bytes, "bytes");
+        reg.gauge_set(&format!("{prefix}.net_busy"), self.net_busy, "s");
+        reg.gauge_set(
+            &format!("{prefix}.checkpoint_pause_total"),
+            self.checkpoint_pause_total,
+            "s",
+        );
+        reg.gauge_set(
+            &format!("{prefix}.mean_utilization"),
+            self.mean_utilization(),
+            "ratio",
+        );
+        reg.gauge_set(
+            &format!("{prefix}.max_observed_skew"),
+            self.max_observed_skew as f64,
+            "steps",
+        );
+        for r in &self.recoveries {
+            reg.histogram_observe(
+                &format!("{prefix}.detection_latency"),
+                r.detection_latency(),
+                "s",
+            );
+            reg.histogram_observe(&format!("{prefix}.downtime"), r.downtime(), "s");
+            reg.histogram_observe(
+                &format!("{prefix}.lost_steps"),
+                r.lost_steps as f64,
+                "steps",
+            );
+        }
+        for m in &self.migrations {
+            reg.histogram_observe(
+                &format!("{prefix}.migration_pause"),
+                m.pause_duration(),
+                "s",
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,7 +260,12 @@ mod tests {
 
     #[test]
     fn utilization_definition() {
-        let p = ProcStats { t_calc: 8.0, t_com: 2.0, t_paused: 1.0, steps: 20 };
+        let p = ProcStats {
+            t_calc: 8.0,
+            t_com: 2.0,
+            t_paused: 1.0,
+            steps: 20,
+        };
         assert!((p.utilization() - 0.8).abs() < 1e-12);
     }
 
@@ -211,6 +284,35 @@ mod tests {
         };
         assert_eq!(r.detection_latency(), 35.0);
         assert_eq!(r.downtime(), 70.0);
+    }
+
+    #[test]
+    fn publish_exports_counters_gauges_and_histograms() {
+        let mut s = ClusterStats {
+            checkpoint_rounds: 3,
+            finished_at: 12.5,
+            ..Default::default()
+        };
+        s.recoveries.push(RecoveryRecord {
+            proc_id: 0,
+            from_host: 0,
+            to_host: 1,
+            fault_time: 1.0,
+            detect_time: 2.0,
+            resume_time: 4.0,
+            rollback_step: 10,
+            lost_steps: 5,
+            false_positive: false,
+        });
+        let reg = MetricsRegistry::new();
+        s.publish(&reg, "cluster");
+        assert_eq!(reg.counter("cluster.checkpoint_rounds"), Some(3));
+        assert_eq!(reg.counter("cluster.recoveries"), Some(1));
+        assert_eq!(reg.gauge("cluster.finished_at"), Some(12.5));
+        let h = reg
+            .histogram("cluster.downtime")
+            .expect("downtime histogram");
+        assert_eq!(h.count, 1);
     }
 
     #[test]

@@ -52,7 +52,10 @@ impl Default for UserModelConfig {
 impl UserModelConfig {
     /// A silent cluster (no users, no jobs) for performance measurement.
     pub fn quiet() -> Self {
-        Self { enabled: false, ..Self::default() }
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
     }
 }
 

@@ -119,7 +119,10 @@ impl WorkloadSpec {
                     }
                 }
             }
-            tiles.push(WorkloadTile { nodes: b.nodes(), neighbors });
+            tiles.push(WorkloadTile {
+                nodes: b.nodes(),
+                neighbors,
+            });
         }
         Self {
             method,
@@ -157,8 +160,7 @@ impl WorkloadSpec {
                 }
                 let nb = d.tile_id(ntx as usize, nty as usize);
                 for x in 0..n_x {
-                    let bytes =
-                        (halo * halo) as f64 * vars_per_node(self.method, false, x) * 8.0;
+                    let bytes = (halo * halo) as f64 * vars_per_node(self.method, false, x) * 8.0;
                     self.tiles[id].neighbors[x].push((nb, bytes));
                 }
             }
@@ -190,7 +192,10 @@ impl WorkloadSpec {
                     }
                 }
             }
-            tiles.push(WorkloadTile { nodes: b.nodes(), neighbors });
+            tiles.push(WorkloadTile {
+                nodes: b.nodes(),
+                neighbors,
+            });
         }
         Self {
             method,
@@ -223,13 +228,11 @@ mod tests {
     #[test]
     fn plan_message_counts_match_paper() {
         assert_eq!(
-            WorkloadSpec::new_2d(MethodKind::FiniteDifference, 100, 100, 2, 2)
-                .exchanges_per_step(),
+            WorkloadSpec::new_2d(MethodKind::FiniteDifference, 100, 100, 2, 2).exchanges_per_step(),
             2
         );
         assert_eq!(
-            WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 100, 100, 2, 2)
-                .exchanges_per_step(),
+            WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 100, 100, 2, 2).exchanges_per_step(),
             1
         );
     }
@@ -263,7 +266,7 @@ mod tests {
         assert_eq!(t.neighbors.len(), 2);
         assert_eq!(t.neighbors[0][0].1, 100.0 * 2.0 * 8.0); // V message
         assert_eq!(t.neighbors[1][0].1, 100.0 * 1.0 * 8.0); // rho message
-        // total per step equals LB's single message: 3 values/node in 2D
+                                                            // total per step equals LB's single message: 3 values/node in 2D
         assert_eq!(
             t.neighbors[0][0].1 + t.neighbors[1][0].1,
             tile.neighbors[0][0].1
@@ -293,8 +296,12 @@ mod tests {
     #[test]
     fn diagonal_links_form_the_full_stencil() {
         let d = Decomp2::new(90, 90, 3, 3);
-        let w = WorkloadSpec::from_decomp2(MethodKind::LatticeBoltzmann, &d, &(0..9).collect::<Vec<_>>())
-            .with_diagonals_2d(&d, 3);
+        let w = WorkloadSpec::from_decomp2(
+            MethodKind::LatticeBoltzmann,
+            &d,
+            &(0..9).collect::<Vec<_>>(),
+        )
+        .with_diagonals_2d(&d, 3);
         // centre tile: 4 faces + 4 diagonals
         assert_eq!(w.tiles[4].neighbors[0].len(), 8);
         // corner tile: 2 faces + 1 diagonal

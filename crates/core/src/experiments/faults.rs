@@ -25,9 +25,11 @@
 //!    checkpoint rounds the recomputation itself pays — and compares against
 //!    the simulated cost. The acceptance bar is 15% agreement.
 
+use super::ObsSession;
 use crate::report::{Check, ExperimentResult, Table};
 use subsonic_cluster::{ClusterConfig, ClusterSim, ClusterStats, FaultPlan, WorkloadSpec};
 use subsonic_model::RecoveryModel;
+use subsonic_obs::FlightRecorder;
 use subsonic_solvers::MethodKind;
 
 /// Nominal pool MTBF used for the availability / optimal-interval columns:
@@ -88,9 +90,16 @@ impl RecoverySweep {
 /// length; the intervals scale with the measured baseline so both modes
 /// exercise the same tight-to-loose range.
 pub fn recovery_sweep(quick: bool) -> RecoverySweep {
+    recovery_sweep_obs(quick, None)
+}
+
+/// [`recovery_sweep`] with observability attached: the tightest-interval
+/// crashed run records its timeline (compute, halo waits, checkpoint saves,
+/// detection, recovery) into `obs.recorder`, and the sweep publishes its
+/// calibration and headline numbers into `obs.metrics`.
+pub fn recovery_sweep_obs(quick: bool, obs: Option<&ObsSession>) -> RecoverySweep {
     let steps: u64 = if quick { 1200 } else { 3000 };
-    let workload =
-        || WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 3 * 60, 2 * 60, 3, 2);
+    let workload = || WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 3 * 60, 2 * 60, 3, 2);
     let cfg_with = |period: Option<f64>, faults: FaultPlan| -> ClusterConfig {
         let mut cfg = ClusterConfig::measurement(workload());
         cfg.checkpoint_period_s = period;
@@ -98,13 +107,22 @@ pub fn recovery_sweep(quick: bool) -> RecoverySweep {
         cfg.faults = faults;
         cfg
     };
-    let run = |cfg: ClusterConfig| -> ClusterStats { ClusterSim::new(cfg).run(1.0e9, Some(steps)) };
+    let run_with = |cfg: ClusterConfig, rec: Option<&FlightRecorder>| -> ClusterStats {
+        let mut sim = ClusterSim::new(cfg);
+        if let Some(rec) = rec {
+            sim = sim.with_recorder(rec);
+        }
+        sim.run(1.0e9, Some(steps))
+    };
+    let run = |cfg: ClusterConfig| -> ClusterStats { run_with(cfg, None) };
 
     // 1. checkpoint-free, fault-free baseline
     let base = run(cfg_with(None, FaultPlan::empty()));
     let t0 = base.finished_at;
     let t_step = t0 / steps as f64;
-    let detection_s = cfg_with(None, FaultPlan::empty()).detector.detection_latency();
+    let detection_s = cfg_with(None, FaultPlan::empty())
+        .detector
+        .detection_latency();
 
     // the crash always lands on process 2's host, late enough that even the
     // loosest swept interval has completed a coordinated round
@@ -126,7 +144,9 @@ pub fn recovery_sweep(quick: bool) -> RecoverySweep {
     let restart_s = match cal_rec {
         Some(r) => {
             let extra = cal_f.finished_at - cal.finished_at;
-            let extra_rounds = cal_f.checkpoint_rounds.saturating_sub(cal.checkpoint_rounds);
+            let extra_rounds = cal_f
+                .checkpoint_rounds
+                .saturating_sub(cal.checkpoint_rounds);
             (extra
                 - r.lost_steps as f64 * t_step
                 - detection_s
@@ -146,9 +166,19 @@ pub fn recovery_sweep(quick: bool) -> RecoverySweep {
     // 4. the sweep: tight, medium, loose (fractions of the baseline so the
     //    loosest interval still completes a round before the crash)
     let mut points = Vec::new();
-    for interval in [t0 / 8.0, t0 / 4.0, t0 / 2.0] {
+    for (idx, interval) in [t0 / 8.0, t0 / 4.0, t0 / 2.0].into_iter().enumerate() {
         let ck = run(cfg_with(Some(interval), FaultPlan::empty()));
-        let fl = run(cfg_with(Some(interval), crash()));
+        // the tightest-interval crashed run is the one worth a timeline: it
+        // shows checkpoint rounds, the crash, detection and the recovery
+        let recorder = if idx == 0 {
+            obs.map(|o| &o.recorder)
+        } else {
+            None
+        };
+        let fl = run_with(cfg_with(Some(interval), crash()), recorder);
+        if let (Some(o), Some(_)) = (obs, recorder) {
+            fl.publish(&o.metrics, "faults.crashed_run");
+        }
         let rec = fl.recoveries.first().copied();
         let lost_steps = rec.map(|r| r.lost_steps).unwrap_or(0);
         let sim_extra_s = fl.finished_at - ck.finished_at;
@@ -167,29 +197,86 @@ pub fn recovery_sweep(quick: bool) -> RecoverySweep {
         });
     }
 
-    RecoverySweep { model, baseline_s: t0, t_step_s: t_step, points }
+    let sweep = RecoverySweep {
+        model,
+        baseline_s: t0,
+        t_step_s: t_step,
+        points,
+    };
+    if let Some(o) = obs {
+        let m = &o.metrics;
+        m.gauge_set("faults.baseline_s", sweep.baseline_s, "s");
+        m.gauge_set("faults.t_step", sweep.t_step_s, "s");
+        m.gauge_set("faults.checkpoint_cost", sweep.model.checkpoint_cost_s, "s");
+        m.gauge_set("faults.detection", sweep.model.detection_s, "s");
+        m.gauge_set("faults.restart", sweep.model.restart_s, "s");
+        m.gauge_set(
+            "faults.optimal_interval",
+            sweep.model.optimal_interval_s(),
+            "s",
+        );
+        m.gauge_set("faults.max_rel_err", sweep.max_rel_err(), "ratio");
+        for p in &sweep.points {
+            m.histogram_observe("faults.sim_extra", p.sim_extra_s, "s");
+            m.histogram_observe("faults.model_extra", p.model_extra_s, "s");
+        }
+    }
+    sweep
 }
 
 /// E-faults: the recovery-cost/availability figure (see module docs).
 pub fn e_faults(quick: bool) -> ExperimentResult {
+    e_faults_obs(quick, None)
+}
+
+/// [`e_faults`] with observability: see [`recovery_sweep_obs`].
+pub fn e_faults_obs(quick: bool, obs: Option<&ObsSession>) -> ExperimentResult {
     let mut r = ExperimentResult::new(
         "faults",
         "Recovery cost vs checkpoint interval: simulation vs analytic model",
     );
-    let sweep = recovery_sweep(quick);
+    let sweep = recovery_sweep_obs(quick, obs);
     let m = &sweep.model;
 
     let mut calib = Table::new(
         "Calibrated recovery-model parameters",
         &["parameter", "value", "unit"],
     );
-    calib.push_row(vec!["baseline runtime T0".into(), format!("{:.1}", sweep.baseline_s), "s".into()]);
-    calib.push_row(vec!["step time".into(), format!("{:.4}", sweep.t_step_s), "s".into()]);
-    calib.push_row(vec!["checkpoint round C".into(), format!("{:.2}", m.checkpoint_cost_s), "s".into()]);
-    calib.push_row(vec!["detection D".into(), format!("{:.1}", m.detection_s), "s".into()]);
-    calib.push_row(vec!["restart R".into(), format!("{:.2}", m.restart_s), "s".into()]);
-    calib.push_row(vec!["nominal pool MTBF".into(), format!("{:.0}", m.mtbf_s), "s".into()]);
-    calib.push_row(vec!["Young optimum I*".into(), format!("{:.0}", m.optimal_interval_s()), "s".into()]);
+    calib.push_row(vec![
+        "baseline runtime T0".into(),
+        format!("{:.1}", sweep.baseline_s),
+        "s".into(),
+    ]);
+    calib.push_row(vec![
+        "step time".into(),
+        format!("{:.4}", sweep.t_step_s),
+        "s".into(),
+    ]);
+    calib.push_row(vec![
+        "checkpoint round C".into(),
+        format!("{:.2}", m.checkpoint_cost_s),
+        "s".into(),
+    ]);
+    calib.push_row(vec![
+        "detection D".into(),
+        format!("{:.1}", m.detection_s),
+        "s".into(),
+    ]);
+    calib.push_row(vec![
+        "restart R".into(),
+        format!("{:.2}", m.restart_s),
+        "s".into(),
+    ]);
+    calib.push_row(vec![
+        "nominal pool MTBF".into(),
+        format!("{:.0}", m.mtbf_s),
+        "s".into(),
+    ]);
+    calib.push_row(vec![
+        "Young optimum I*".into(),
+        format!("{:.0}", m.optimal_interval_s()),
+        "s".into(),
+    ]);
     r.tables.push(calib);
 
     let mut sw = Table::new(
@@ -229,10 +316,17 @@ pub fn e_faults(quick: bool) -> ExperimentResult {
     ));
     r.checks.push(Check::new(
         "one injected crash triggers exactly one true-positive recovery",
-        sweep.points.iter().all(|p| p.recoveries == 1 && !p.false_positive),
+        sweep
+            .points
+            .iter()
+            .all(|p| p.recoveries == 1 && !p.false_positive),
         format!(
             "recoveries per interval: {:?}",
-            sweep.points.iter().map(|p| p.recoveries).collect::<Vec<_>>()
+            sweep
+                .points
+                .iter()
+                .map(|p| p.recoveries)
+                .collect::<Vec<_>>()
         ),
     ));
     let max_err = sweep.max_rel_err();

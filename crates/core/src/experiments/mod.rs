@@ -34,7 +34,9 @@ mod physics;
 mod protocols;
 mod table1;
 
-pub use faults::{e_faults, recovery_sweep, RecoverySweep, SweepPoint};
+pub use faults::{
+    e_faults, e_faults_obs, recovery_sweep, recovery_sweep_obs, RecoverySweep, SweepPoint,
+};
 pub use model_figures::{fig12, fig13, hetero};
 pub use perf_figures::{fig10, fig11, fig5, fig6, fig7, fig8, fig9};
 pub use physics::{e_acoustic, e_conv, e_pipe, e_real};
@@ -42,6 +44,36 @@ pub use protocols::{e_mig, e_net, e_order, e_skew, e_solid, e_udp};
 pub use table1::t1;
 
 use crate::report::ExperimentResult;
+use subsonic_obs::{FlightRecorder, MetricsRegistry};
+
+/// Observability session threaded through experiment drivers: a flight
+/// recorder for timeline traces and a metrics registry for scalar results.
+/// Both are cheap to create; the recorder is a no-op unless tracing was
+/// requested, so drivers attach it unconditionally.
+pub struct ObsSession {
+    /// Flight recorder experiment drivers attach to instrumented runs.
+    pub recorder: FlightRecorder,
+    /// Registry experiment drivers publish their headline numbers into.
+    pub metrics: MetricsRegistry,
+}
+
+impl ObsSession {
+    /// A session whose recorder actually records (for `--trace`).
+    pub fn tracing() -> Self {
+        Self {
+            recorder: FlightRecorder::enabled(subsonic_obs::recorder::DEFAULT_TRACK_CAPACITY),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// A session that collects metrics but drops all trace events.
+    pub fn metrics_only() -> Self {
+        Self {
+            recorder: FlightRecorder::disabled(),
+            metrics: MetricsRegistry::new(),
+        }
+    }
+}
 
 /// All experiment ids in the order they appear in the paper.
 pub const ALL_IDS: &[&str] = &[
@@ -51,6 +83,20 @@ pub const ALL_IDS: &[&str] = &[
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
 pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
+    run_experiment_obs(id, quick, None)
+}
+
+/// Like [`run_experiment`], but threads an [`ObsSession`] through drivers
+/// that support instrumented runs (currently `faults`), so `reproduce
+/// --trace` can export their timeline and metrics.
+pub fn run_experiment_obs(
+    id: &str,
+    quick: bool,
+    obs: Option<&ObsSession>,
+) -> Option<ExperimentResult> {
+    if id == "faults" {
+        return Some(e_faults_obs(quick, obs));
+    }
     Some(match id {
         "t1" => t1(quick),
         "fig5" => fig5(quick),
@@ -73,7 +119,6 @@ pub fn run_experiment(id: &str, quick: bool) -> Option<ExperimentResult> {
         "acoustic" => e_acoustic(quick),
         "pipe" => e_pipe(quick),
         "real" => e_real(quick),
-        "faults" => e_faults(quick),
         _ => return None,
     })
 }

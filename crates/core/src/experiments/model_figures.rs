@@ -13,7 +13,12 @@ pub fn fig12() -> ExperimentResult {
         "fig12",
         "Theoretical model of parallel efficiency, 2D (eq. 20)",
     );
-    let cases = [(4usize, 2.0, "(2x2)"), (9, 3.0, "(3x3)"), (16, 4.0, "(4x4)"), (20, 4.0, "(5x4)")];
+    let cases = [
+        (4usize, 2.0, "(2x2)"),
+        (9, 3.0, "(3x3)"),
+        (16, 4.0, "(4x4)"),
+        (20, 4.0, "(5x4)"),
+    ];
     let mut series = Vec::new();
     for (p, m, label) in cases {
         let mut s = Series::new(format!("P={p} {label}"));
@@ -49,7 +54,8 @@ pub fn fig12() -> ExperimentResult {
         f4_large > f20_large,
         format!("P=4: {f4_large:.3} vs P=20: {f20_large:.3}"),
     ));
-    r.tables.push(Table::from_series("Figure 12 series", "sqrt(N)", &series));
+    r.tables
+        .push(Table::from_series("Figure 12 series", "sqrt(N)", &series));
     r
 }
 
@@ -63,8 +69,14 @@ pub fn fig13() -> ExperimentResult {
     let mut s2 = Series::new("2D N=125^2 m=2");
     let mut s3 = Series::new("3D N=25^3 m=2");
     for p in 2..=20usize {
-        s2.push(p as f64, efficiency_2d_bus(125.0 * 125.0, p, 2.0, 2.0 / 3.0));
-        s3.push(p as f64, efficiency_3d_bus(25.0f64.powi(3), p, 2.0, 2.0 / 3.0));
+        s2.push(
+            p as f64,
+            efficiency_2d_bus(125.0 * 125.0, p, 2.0, 2.0 / 3.0),
+        );
+        s3.push(
+            p as f64,
+            efficiency_3d_bus(25.0f64.powi(3), p, 2.0, 2.0 / 3.0),
+        );
     }
     let f2_20 = s2.y_last().unwrap();
     let f3_20 = s3.y_last().unwrap();
@@ -83,7 +95,8 @@ pub fn fig13() -> ExperimentResult {
         (125.0f64 * 125.0 - 25.0f64.powi(3)).abs() < 1000.0,
         "both about 14,500-15,600 nodes per processor",
     ));
-    r.tables.push(Table::from_series("Figure 13 series", "P", &[s2, s3]));
+    r.tables
+        .push(Table::from_series("Figure 13 series", "P", &[s2, s3]));
     r
 }
 

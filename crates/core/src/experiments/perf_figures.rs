@@ -14,8 +14,12 @@ fn sides_2d(quick: bool) -> Vec<usize> {
     }
 }
 
-const DECOMPS_2D: [(usize, usize, &str); 4] =
-    [(2, 2, "(2x2)"), (3, 3, "(3x3)"), (4, 4, "(4x4)"), (5, 4, "(5x4)")];
+const DECOMPS_2D: [(usize, usize, &str); 4] = [
+    (2, 2, "(2x2)"),
+    (3, 3, "(3x3)"),
+    (4, 4, "(4x4)"),
+    (5, 4, "(5x4)"),
+];
 
 fn sweep_2d(method: MethodKind, quick: bool, speedup: bool) -> Vec<Series> {
     let mut out = Vec::new();
@@ -81,7 +85,8 @@ pub fn fig5(quick: bool) -> ExperimentResult {
         (f54 - model).abs() < 0.08,
         format!("simulated {f54:.3} vs model {model:.3}"),
     ));
-    r.tables.push(Table::from_series("Figure 5 series", "sqrt(N)", &series));
+    r.tables
+        .push(Table::from_series("Figure 5 series", "sqrt(N)", &series));
     r
 }
 
@@ -101,7 +106,8 @@ pub fn fig6(quick: bool) -> ExperimentResult {
             && series[2].y_last().unwrap() > series[1].y_last().unwrap(),
         "S(5x4) > S(4x4) > S(3x3) at the largest grain",
     ));
-    r.tables.push(Table::from_series("Figure 6 series", "sqrt(N)", &series));
+    r.tables
+        .push(Table::from_series("Figure 6 series", "sqrt(N)", &series));
     r
 }
 
@@ -118,7 +124,10 @@ pub fn fig7(quick: bool) -> ExperimentResult {
     r.checks.push(Check::new(
         "FD efficiency falls below LB at small subregions",
         fd_small < lb_small,
-        format!("side {}: FD {fd_small:.3} vs LB {lb_small:.3}", series[3].points[small_idx].0),
+        format!(
+            "side {}: FD {fd_small:.3} vs LB {lb_small:.3}",
+            series[3].points[small_idx].0
+        ),
     ));
     let fd_large = series[3].y_last().unwrap();
     // FD pays two per-message overheads per step and computes 1.24x faster,
@@ -129,7 +138,8 @@ pub fn fig7(quick: bool) -> ExperimentResult {
         fd_large > 0.7,
         format!("f(5x4, largest N) = {fd_large:.3}"),
     ));
-    r.tables.push(Table::from_series("Figure 7 series", "sqrt(N)", &series));
+    r.tables
+        .push(Table::from_series("Figure 7 series", "sqrt(N)", &series));
     r
 }
 
@@ -143,7 +153,8 @@ pub fn fig8(quick: bool) -> ExperimentResult {
         s > 13.0 && s <= 20.0,
         format!("S(5x4, largest N) = {s:.2}"),
     ));
-    r.tables.push(Table::from_series("Figure 8 series", "sqrt(N)", &series));
+    r.tables
+        .push(Table::from_series("Figure 8 series", "sqrt(N)", &series));
     r
 }
 
@@ -154,14 +165,24 @@ pub fn fig9(quick: bool) -> ExperimentResult {
         "fig9",
         "Efficiency vs processors: Ethernet suffices in 2D, not in 3D",
     );
-    let ps: Vec<usize> = if quick { vec![4, 10, 16] } else { (2..=20).step_by(2).collect() };
+    let ps: Vec<usize> = if quick {
+        vec![4, 10, 16]
+    } else {
+        (2..=20).step_by(2).collect()
+    };
     let mut s2 = Series::new("2D (Px1), 120^2 per proc");
     let mut s3 = Series::new("3D (Px1x1), 25^3 per proc");
     for &p in &ps {
         let w2 = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, 120 * p, 120, p, 1);
-        s2.push(p as f64, measure_efficiency(MeasureConfig::paper(w2)).efficiency);
+        s2.push(
+            p as f64,
+            measure_efficiency(MeasureConfig::paper(w2)).efficiency,
+        );
         let w3 = WorkloadSpec::new_3d(MethodKind::LatticeBoltzmann, (25 * p, 25, 25), (p, 1, 1));
-        s3.push(p as f64, measure_efficiency(MeasureConfig::paper(w3)).efficiency);
+        s3.push(
+            p as f64,
+            measure_efficiency(MeasureConfig::paper(w3)).efficiency,
+        );
     }
     let f2 = s2.y_last().unwrap();
     let f3 = s3.y_last().unwrap();
@@ -184,7 +205,8 @@ pub fn fig9(quick: bool) -> ExperimentResult {
          measurement (which also suffered TCP retransmission failures)."
             .into(),
     );
-    r.tables.push(Table::from_series("Figure 9 series", "P", &[s2, s3]));
+    r.tables
+        .push(Table::from_series("Figure 9 series", "P", &[s2, s3]));
     r
 }
 
@@ -215,7 +237,10 @@ pub fn fig10(quick: bool) -> ExperimentResult {
                 (side * px, side * py, side * pz),
                 (px, py, pz),
             );
-            s.push(side as f64, measure_efficiency(MeasureConfig::paper(w)).efficiency);
+            s.push(
+                side as f64,
+                measure_efficiency(MeasureConfig::paper(w)).efficiency,
+            );
         }
         series.push(s);
     }
@@ -235,7 +260,11 @@ pub fn fig10(quick: bool) -> ExperimentResult {
             series[3].y_last().unwrap()
         ),
     ));
-    r.tables.push(Table::from_series("Figure 10 series", "subregion side", &series));
+    r.tables.push(Table::from_series(
+        "Figure 10 series",
+        "subregion side",
+        &series,
+    ));
     r
 }
 
@@ -252,7 +281,10 @@ pub fn fig11(quick: bool) -> ExperimentResult {
                 (px, py, pz),
             );
             let total = (side * side * side * px * py * pz) as f64;
-            s.push(total / 1.0e3, measure_efficiency(MeasureConfig::paper(w)).speedup);
+            s.push(
+                total / 1.0e3,
+                measure_efficiency(MeasureConfig::paper(w)).speedup,
+            );
         }
         series.push(s);
     }

@@ -43,7 +43,11 @@ fn shear_wave_error(method: MethodKind, n: usize, u0: f64) -> f64 {
 /// whose error is not annihilated by the stencils, as the convergence probe).
 pub fn e_conv(quick: bool) -> ExperimentResult {
     let mut r = ExperimentResult::new("conv", "Quadratic spatial convergence of both methods");
-    let ns: Vec<usize> = if quick { vec![16, 32] } else { vec![16, 32, 64] };
+    let ns: Vec<usize> = if quick {
+        vec![16, 32]
+    } else {
+        vec![16, 32, 64]
+    };
     let mut table = Table::new(
         "Relative L2 error of a decaying shear wave",
         &["n", "LB error", "FD error"],
@@ -54,7 +58,11 @@ pub fn e_conv(quick: bool) -> ExperimentResult {
         let fd = shear_wave_error(MethodKind::FiniteDifference, n, 0.01);
         errs[0].push(lb);
         errs[1].push(fd);
-        table.push_row(vec![n.to_string(), format!("{lb:.3e}"), format!("{fd:.3e}")]);
+        table.push_row(vec![
+            n.to_string(),
+            format!("{lb:.3e}"),
+            format!("{fd:.3e}"),
+        ]);
     }
     r.tables.push(table);
     let hs: Vec<f64> = ns.iter().map(|&n| 1.0 / n as f64).collect();
@@ -120,13 +128,13 @@ pub fn e_acoustic(quick: bool) -> ExperimentResult {
             }
         }
         let (xc, _) = best;
-        let (ym, y0, yp) = (
-            f.rho[(xc - 1, row)],
-            f.rho[(xc, row)],
-            f.rho[(xc + 1, row)],
-        );
+        let (ym, y0, yp) = (f.rho[(xc - 1, row)], f.rho[(xc, row)], f.rho[(xc + 1, row)]);
         let denom = ym - 2.0 * y0 + yp;
-        let frac = if denom.abs() > 1e-300 { 0.5 * (ym - yp) / denom } else { 0.0 };
+        let frac = if denom.abs() > 1e-300 {
+            0.5 * (ym - yp) / denom
+        } else {
+            0.0
+        };
         let peak = xc as f64 + frac;
         let speed = (peak - x0 as f64) / steps as f64;
         let rel = (speed - cs).abs() / cs;
@@ -150,7 +158,11 @@ pub fn e_acoustic(quick: bool) -> ExperimentResult {
 /// E-pipe: the flue-pipe jet oscillates and produces a tone (section 2).
 pub fn e_pipe(quick: bool) -> ExperimentResult {
     let mut r = ExperimentResult::new("pipe", "Flue-pipe jet oscillation");
-    let (nx, ny, steps) = if quick { (120, 72, 900) } else { (200, 120, 6000) };
+    let (nx, ny, steps) = if quick {
+        (120, 72, 900)
+    } else {
+        (200, 120, 6000)
+    };
     let scenario = FluePipeScenario::new(nx, ny, 0.12, false);
     let geom = scenario.geometry();
     let mut sim = Simulation2::builder()
@@ -195,8 +207,14 @@ pub fn e_pipe(quick: bool) -> ExperimentResult {
     if !quick {
         if let Some(freq) = probe_scaled.dominant_frequency() {
             let scale = scenario.expected_frequency_scale();
-            table.push_row(vec!["dominant frequency (1/steps)".into(), format!("{freq:.5}")]);
-            table.push_row(vec!["jet-drive scale 0.3 U/W".into(), format!("{scale:.5}")]);
+            table.push_row(vec![
+                "dominant frequency (1/steps)".into(),
+                format!("{freq:.5}"),
+            ]);
+            table.push_row(vec![
+                "jet-drive scale 0.3 U/W".into(),
+                format!("{scale:.5}"),
+            ]);
             r.checks.push(Check::new(
                 "oscillation frequency is of the jet-drive order",
                 freq > scale / 10.0 && freq < scale * 10.0,
@@ -272,7 +290,9 @@ pub fn e_real(quick: bool) -> ExperimentResult {
         utils.iter().all(|g| (0.0..=1.0).contains(g)),
         format!("utilisations {utils:?}"),
     ));
-    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     r.notes.push(format!(
         "This machine exposes {cores} core(s); wall-clock speedup is only \
          meaningful when cores >= P, so the headline speedup figures are \

@@ -25,10 +25,21 @@ pub fn e_mig(quick: bool) -> ExperimentResult {
     let mut pause_sum = 0.0;
     let mut pause_max: f64 = 0.0;
     let mut paused_fraction_sum = 0.0;
-    let seeds: &[u64] = if quick { &[11, 12] } else { &[11, 12, 13, 14, 15] };
+    let seeds: &[u64] = if quick {
+        &[11, 12]
+    } else {
+        &[11, 12, 13, 14, 15]
+    };
     let mut table = Table::new(
         "Migration statistics per simulated run",
-        &["seed", "hours", "migrations", "interval (min)", "mean pause (s)", "paused %"],
+        &[
+            "seed",
+            "hours",
+            "migrations",
+            "interval (min)",
+            "mean pause (s)",
+            "paused %",
+        ],
     );
     for &seed in seeds {
         let cfg = ClusterConfig::production(w.clone(), seed);
@@ -37,7 +48,12 @@ pub fn e_mig(quick: bool) -> ExperimentResult {
         let n = stats.migrations.len();
         total_migrations += n;
         let mean_pause = if n > 0 {
-            stats.migrations.iter().map(|m| m.pause_duration()).sum::<f64>() / n as f64
+            stats
+                .migrations
+                .iter()
+                .map(|m| m.pause_duration())
+                .sum::<f64>()
+                / n as f64
         } else {
             0.0
         };
@@ -69,7 +85,10 @@ pub fn e_mig(quick: bool) -> ExperimentResult {
     r.checks.push(Check::new(
         "migrations happen but are infrequent (paper: ~every 45 min)",
         total_migrations > 0 && (10.0..240.0).contains(&interval_min),
-        format!("mean interval {interval_min:.0} min over {} runs", seeds.len()),
+        format!(
+            "mean interval {interval_min:.0} min over {} runs",
+            seeds.len()
+        ),
     ));
     r.checks.push(Check::new(
         "each migration pauses the computation ~tens of seconds (paper: ~30 s)",
@@ -187,7 +206,12 @@ pub fn e_order() -> ExperimentResult {
     let mut r = ExperimentResult::new("order", "FCFS vs strict communication ordering");
     let mut table = Table::new(
         "strict/FCFS time-per-step ratio (<1: pipelining wins; >1: amplification)",
-        &["jitter", "FCFS t/step (s)", "strict t/step (s)", "strict/FCFS"],
+        &[
+            "jitter",
+            "FCFS t/step (s)",
+            "strict t/step (s)",
+            "strict/FCFS",
+        ],
     );
     let seeds: [u64; 4] = [1, 2, 3, 4];
     let run = |ordering: CommOrdering, jitter: f64, seed: u64| -> f64 {
@@ -201,8 +225,14 @@ pub fn e_order() -> ExperimentResult {
     };
     let mut ratios = Vec::new();
     for jitter in [0.0, 0.5, 1.0, 2.0] {
-        let fcfs: f64 = seeds.iter().map(|&s| run(CommOrdering::Fcfs, jitter, s)).sum();
-        let strict: f64 = seeds.iter().map(|&s| run(CommOrdering::Strict, jitter, s)).sum();
+        let fcfs: f64 = seeds
+            .iter()
+            .map(|&s| run(CommOrdering::Fcfs, jitter, s))
+            .sum();
+        let strict: f64 = seeds
+            .iter()
+            .map(|&s| run(CommOrdering::Strict, jitter, s))
+            .sum();
         let ratio = strict / fcfs;
         ratios.push((jitter, ratio));
         table.push_row(vec![
@@ -246,8 +276,16 @@ pub fn e_solid() -> ExperimentResult {
         "Figure-2 decomposition accounting",
         &["quantity", "paper", "ours"],
     );
-    table.push_row(vec!["decomposition".into(), "(6x4) = 24".into(), format!("(6x4) = {}", d.tiles())]);
-    table.push_row(vec!["workstations used".into(), "15".into(), active.len().to_string()]);
+    table.push_row(vec![
+        "decomposition".into(),
+        "(6x4) = 24".into(),
+        format!("(6x4) = {}", d.tiles()),
+    ]);
+    table.push_row(vec![
+        "workstations used".into(),
+        "15".into(),
+        active.len().to_string(),
+    ]);
     table.push_row(vec![
         "fraction of nodes simulated".into(),
         "15/24 = 0.63".into(),
@@ -330,12 +368,19 @@ pub fn e_udp(quick: bool) -> ExperimentResult {
 /// concluding outlook).
 pub fn e_net(quick: bool) -> ExperimentResult {
     let mut r = ExperimentResult::new("net", "Shared bus vs switched network, 3D");
-    let ps: Vec<usize> = if quick { vec![6, 12] } else { vec![2, 4, 6, 8, 10, 12, 16, 20] };
+    let ps: Vec<usize> = if quick {
+        vec![6, 12]
+    } else {
+        vec![2, 4, 6, 8, 10, 12, 16, 20]
+    };
     let mut bus = Series::new("shared bus");
     let mut sw = Series::new("switched");
     for &p in &ps {
         let w = WorkloadSpec::new_3d(MethodKind::LatticeBoltzmann, (25 * p, 25, 25), (p, 1, 1));
-        bus.push(p as f64, measure_efficiency(MeasureConfig::paper(w.clone())).efficiency);
+        bus.push(
+            p as f64,
+            measure_efficiency(MeasureConfig::paper(w.clone())).efficiency,
+        );
         let mut cfg = MeasureConfig::paper(w);
         cfg.cluster.net = cfg.cluster.net.switched();
         sw.push(p as f64, measure_efficiency(cfg).efficiency);
@@ -352,9 +397,13 @@ pub fn e_net(quick: bool) -> ExperimentResult {
     r.checks.push(Check::new(
         "a switched network makes 3D practical (paper section 9)",
         sw_j > 0.85 && sw_j - bus_j > 0.15,
-        format!("switched {sw_j:.3} vs bus {bus_j:.3} at P={}", ps[judge_idx]),
+        format!(
+            "switched {sw_j:.3} vs bus {bus_j:.3} at P={}",
+            ps[judge_idx]
+        ),
     ));
-    r.tables.push(Table::from_series("E-net series", "P", &[bus, sw]));
+    r.tables
+        .push(Table::from_series("E-net series", "P", &[bus, sw]));
     r
 }
 

@@ -14,7 +14,10 @@ pub struct Series {
 impl Series {
     /// Creates a series.
     pub fn new(label: impl Into<String>) -> Self {
-        Self { label: label.into(), points: Vec::new() }
+        Self {
+            label: label.into(),
+            points: Vec::new(),
+        }
     }
 
     /// Appends a point.
@@ -24,7 +27,10 @@ impl Series {
 
     /// Largest y value.
     pub fn y_max(&self) -> f64 {
-        self.points.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.1)
+            .fold(f64::NEG_INFINITY, f64::max)
     }
 
     /// y value at the largest x.
@@ -65,9 +71,16 @@ impl Table {
     pub fn from_series(title: impl Into<String>, x_name: &str, series: &[Series]) -> Self {
         let mut cols = vec![x_name.to_string()];
         cols.extend(series.iter().map(|s| s.label.clone()));
-        let mut t = Self { title: title.into(), columns: cols, rows: Vec::new() };
+        let mut t = Self {
+            title: title.into(),
+            columns: cols,
+            rows: Vec::new(),
+        };
         // union of x values, sorted
-        let mut xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+        let mut xs: Vec<f64> = series
+            .iter()
+            .flat_map(|s| s.points.iter().map(|p| p.0))
+            .collect();
         xs.sort_by(f64::total_cmp);
         xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
         for x in xs {
@@ -125,7 +138,11 @@ pub struct Check {
 impl Check {
     /// Creates a check.
     pub fn new(name: impl Into<String>, pass: bool, detail: impl Into<String>) -> Self {
-        Self { name: name.into(), pass, detail: detail.into() }
+        Self {
+            name: name.into(),
+            pass,
+            detail: detail.into(),
+        }
     }
 }
 

@@ -9,8 +9,8 @@
 use std::sync::Arc;
 use subsonic_exec::timing::StepTiming;
 use subsonic_exec::{
-    GlobalFields2, GlobalFields3, LocalRunner2, LocalRunner3, Problem2, Problem3,
-    ThreadedRunner2, ThreadedRunner3,
+    GlobalFields2, GlobalFields3, LocalRunner2, LocalRunner3, Problem2, Problem3, ThreadedRunner2,
+    ThreadedRunner3,
 };
 use subsonic_grid::{Geometry2, Geometry3};
 use subsonic_solvers::{
@@ -81,7 +81,12 @@ impl Simulation2Builder {
             MethodKind::LatticeBoltzmann => Arc::new(LatticeBoltzmann2),
         };
         let runner = LocalRunner2::new(Arc::clone(&solver), problem.clone());
-        Simulation2 { solver, problem, runner, steps_done: 0 }
+        Simulation2 {
+            solver,
+            problem,
+            runner,
+            steps_done: 0,
+        }
     }
 }
 
@@ -220,8 +225,13 @@ impl Simulation3Builder {
         let geometry = self.geometry.expect("Simulation3 requires a geometry");
         let violations = self.params.stability_report(true);
         assert!(violations.is_empty(), "unstable parameters: {violations:?}");
-        let mut problem =
-            Problem3::new(geometry, self.parts.0, self.parts.1, self.parts.2, self.params);
+        let mut problem = Problem3::new(
+            geometry,
+            self.parts.0,
+            self.parts.1,
+            self.parts.2,
+            self.params,
+        );
         if let Some(f) = self.init {
             problem.init = Arc::from(f);
         }
@@ -230,7 +240,12 @@ impl Simulation3Builder {
             MethodKind::LatticeBoltzmann => Arc::new(LatticeBoltzmann3),
         };
         let runner = LocalRunner3::new(Arc::clone(&solver), problem.clone());
-        Simulation3 { solver, problem, runner, steps_done: 0 }
+        Simulation3 {
+            solver,
+            problem,
+            runner,
+            steps_done: 0,
+        }
     }
 }
 

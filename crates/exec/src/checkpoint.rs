@@ -90,7 +90,10 @@ struct Dec<'a> {
 impl<'a> Dec<'a> {
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         if self.at + n > self.buf.len() {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short dump file"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short dump file",
+            ));
         }
         let s = &self.buf[self.at..self.at + n];
         self.at += n;
@@ -204,12 +207,21 @@ pub fn dump_tile2(t: &TileState2) -> Vec<u8> {
 /// Restores a 2D tile from dump-file bytes.
 pub fn restore_tile2(bytes: &[u8]) -> io::Result<TileState2> {
     let payload = verify(bytes)?;
-    let mut d = Dec { buf: payload, at: 0 };
+    let mut d = Dec {
+        buf: payload,
+        at: 0,
+    };
     if d.u64()? != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a subsonic dump file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a subsonic dump file",
+        ));
     }
     if d.u32()? != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported dump version"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported dump version",
+        ));
     }
     if d.u32()? != 2 {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "not a 2D dump"));
@@ -274,9 +286,7 @@ mod tests {
     #![allow(clippy::unwrap_used)]
     use super::*;
     use subsonic_grid::{Decomp2, Geometry2};
-    use subsonic_solvers::{
-        FiniteDifference2, InitialState2, LatticeBoltzmann2, Solver2,
-    };
+    use subsonic_solvers::{FiniteDifference2, InitialState2, LatticeBoltzmann2, Solver2};
 
     fn sample_tile(lbm: bool) -> TileState2 {
         let geom = Geometry2::channel(16, 12, 2);
@@ -327,7 +337,10 @@ mod tests {
     fn lbm_tile_roundtrips_with_populations() {
         let t = sample_tile(true);
         let bytes = dump_tile2(&t);
-        assert!(bytes.len() > 9 * 8 * 16 * 12, "populations missing from dump");
+        assert!(
+            bytes.len() > 9 * 8 * 16 * 12,
+            "populations missing from dump"
+        );
         let restored = restore_tile2(&bytes).unwrap();
         assert_tiles_equal(&t, &restored);
     }
@@ -347,7 +360,10 @@ mod tests {
         assert!(restore_tile2(&bytes[..bytes.len() / 2]).is_err());
         // even losing a single trailing byte must fail the checksum
         assert!(restore_tile2(&bytes[..bytes.len() - 1]).is_err());
-        assert!(restore_tile2(&bytes[..4]).is_err(), "shorter than the trailer");
+        assert!(
+            restore_tile2(&bytes[..4]).is_err(),
+            "shorter than the trailer"
+        );
     }
 
     #[test]
@@ -403,23 +419,22 @@ mod tests {
         // step a tile 5 times, dump, step 5 more; vs restore-then-step-5.
         let solver = LatticeBoltzmann2;
         let mut t = sample_tile(true);
-        let step =
-            |s: &LatticeBoltzmann2, t: &mut TileState2| {
-                use subsonic_grid::Face2;
-                use subsonic_solvers::StepOp;
-                for op in s.plan() {
-                    match *op {
-                        StepOp::Compute(k) => s.compute(t, k),
-                        StepOp::Exchange(x) => {
-                            for face in [Face2::West, Face2::East] {
-                                let mut buf = Vec::new();
-                                s.pack(t, x, face.opposite(), &mut buf);
-                                s.unpack(t, x, face, &buf);
-                            }
+        let step = |s: &LatticeBoltzmann2, t: &mut TileState2| {
+            use subsonic_grid::Face2;
+            use subsonic_solvers::StepOp;
+            for op in s.plan() {
+                match *op {
+                    StepOp::Compute(k) => s.compute(t, k),
+                    StepOp::Exchange(x) => {
+                        for face in [Face2::West, Face2::East] {
+                            let mut buf = Vec::new();
+                            s.pack(t, x, face.opposite(), &mut buf);
+                            s.unpack(t, x, face, &buf);
                         }
                     }
                 }
-            };
+            }
+        };
         for _ in 0..5 {
             step(&solver, &mut t);
         }

@@ -45,7 +45,10 @@ struct Dec<'a> {
 impl<'a> Dec<'a> {
     fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
         if self.at + n > self.buf.len() {
-            return Err(io::Error::new(io::ErrorKind::UnexpectedEof, "short dump file"));
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "short dump file",
+            ));
         }
         let s = &self.buf[self.at..self.at + n];
         self.at += n;
@@ -67,7 +70,13 @@ impl<'a> Dec<'a> {
         a.copy_from_slice(b);
         Ok(f64::from_le_bytes(a))
     }
-    fn grid(&mut self, nx: usize, ny: usize, nz: usize, halo: usize) -> io::Result<PaddedGrid3<f64>> {
+    fn grid(
+        &mut self,
+        nx: usize,
+        ny: usize,
+        nz: usize,
+        halo: usize,
+    ) -> io::Result<PaddedGrid3<f64>> {
         let mut g = PaddedGrid3::new(nx, ny, nz, halo, 0.0f64);
         let h = halo as isize;
         for k in -h..(nz as isize + h) {
@@ -149,12 +158,21 @@ pub fn dump_tile3(t: &TileState3) -> Vec<u8> {
 /// Restores a 3D tile from dump-file bytes.
 pub fn restore_tile3(bytes: &[u8]) -> io::Result<TileState3> {
     let payload = verify(bytes)?;
-    let mut d = Dec { buf: payload, at: 0 };
+    let mut d = Dec {
+        buf: payload,
+        at: 0,
+    };
     if d.u64()? != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a subsonic dump file"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not a subsonic dump file",
+        ));
     }
     if d.u32()? != VERSION {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "unsupported dump version"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported dump version",
+        ));
     }
     if d.u32()? != 3 {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "not a 3D dump"));
@@ -242,7 +260,8 @@ mod tests {
         let d = Decomp3::with_periodicity(10, 9, 9, 1, 1, 1, [true, false, false]);
         let mut params = FluidParams::lattice_units(0.05);
         params.body_force[0] = 2e-5;
-        let init = InitialState3::from_fn(|i, j, k| (1.0 + 0.001 * (i + j + k) as f64, 0.0, 0.0, 0.0));
+        let init =
+            InitialState3::from_fn(|i, j, k| (1.0 + 0.001 * (i + j + k) as f64, 0.0, 0.0, 0.0));
         let s = LatticeBoltzmann3;
         s.make_tile(geom.tile_mask(&d, 0, s.halo()), params, (0, 0, 0), &init)
     }
@@ -293,7 +312,10 @@ mod tests {
             bytes[at] ^= 0x10;
             assert!(restore_tile3(&bytes).is_err(), "flip at {at} missed");
         }
-        assert!(restore_tile3(&clean[..clean.len() - 3]).is_err(), "truncation missed");
+        assert!(
+            restore_tile3(&clean[..clean.len() - 3]).is_err(),
+            "truncation missed"
+        );
     }
 
     #[test]

@@ -123,13 +123,22 @@ mod tests {
         note_failure(&mut slot, RunError::Disconnected { tile: 1 });
         note_failure(&mut slot, RunError::Injected { tile: 3, step: 7 });
         note_failure(&mut slot, RunError::Disconnected { tile: 2 });
-        assert!(matches!(slot, Some(RunError::Injected { tile: 3, step: 7 })));
+        assert!(matches!(
+            slot,
+            Some(RunError::Injected { tile: 3, step: 7 })
+        ));
     }
 
     #[test]
     fn first_root_cause_is_kept() {
         let mut slot = None;
-        note_failure(&mut slot, RunError::WorkerPanic { tile: 0, message: "a".into() });
+        note_failure(
+            &mut slot,
+            RunError::WorkerPanic {
+                tile: 0,
+                message: "a".into(),
+            },
+        );
         note_failure(&mut slot, RunError::Injected { tile: 1, step: 2 });
         assert!(matches!(slot, Some(RunError::WorkerPanic { tile: 0, .. })));
     }
@@ -142,7 +151,10 @@ mod tests {
             last: Box::new(RunError::Disconnected { tile: 4 }),
         };
         for e in [
-            RunError::WorkerPanic { tile: 0, message: "boom".into() },
+            RunError::WorkerPanic {
+                tile: 0,
+                message: "boom".into(),
+            },
             RunError::Disconnected { tile: 1 },
             RunError::Injected { tile: 2, step: 9 },
             nested,

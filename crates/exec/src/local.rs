@@ -24,11 +24,17 @@ impl LocalRunner2 {
     /// Builds all active tiles of `problem`.
     pub fn new(solver: Arc<dyn Solver2>, problem: Problem2) -> Self {
         let active = problem.active_tiles();
-        let mut tiles: Vec<Option<TileState2>> = (0..problem.decomp.tiles()).map(|_| None).collect();
+        let mut tiles: Vec<Option<TileState2>> =
+            (0..problem.decomp.tiles()).map(|_| None).collect();
         for &id in &active {
             tiles[id] = Some(problem.make_tile(solver.as_ref(), id));
         }
-        Self { solver, problem, active, tiles }
+        Self {
+            solver,
+            problem,
+            active,
+            tiles,
+        }
     }
 
     /// Tile ids being integrated.
@@ -53,7 +59,8 @@ impl LocalRunner2 {
             match *op {
                 StepOp::Compute(k) => {
                     for &id in &self.active {
-                        self.solver.compute(self.tiles[id].as_mut().expect("active tile missing"), k);
+                        self.solver
+                            .compute(self.tiles[id].as_mut().expect("active tile missing"), k);
                     }
                 }
                 StepOp::Exchange(x) => self.exchange(x),
@@ -78,8 +85,12 @@ impl LocalRunner2 {
                 }
             }
             for (id, f, buf) in msgs {
-                self.solver
-                    .unpack(self.tiles[id].as_mut().expect("active tile missing"), xch, f, &buf);
+                self.solver.unpack(
+                    self.tiles[id].as_mut().expect("active tile missing"),
+                    xch,
+                    f,
+                    &buf,
+                );
             }
         }
     }
@@ -97,7 +108,9 @@ impl LocalRunner2 {
             self.problem.geom.nx(),
             self.problem.geom.ny(),
             self.problem.params.rho0,
-            self.active.iter().map(|&id| self.tiles[id].as_ref().expect("active tile missing")),
+            self.active
+                .iter()
+                .map(|&id| self.tiles[id].as_ref().expect("active tile missing")),
         )
     }
 
@@ -119,11 +132,17 @@ impl LocalRunner3 {
     /// Builds all active tiles of `problem`.
     pub fn new(solver: Arc<dyn Solver3>, problem: Problem3) -> Self {
         let active = problem.active_tiles();
-        let mut tiles: Vec<Option<TileState3>> = (0..problem.decomp.tiles()).map(|_| None).collect();
+        let mut tiles: Vec<Option<TileState3>> =
+            (0..problem.decomp.tiles()).map(|_| None).collect();
         for &id in &active {
             tiles[id] = Some(problem.make_tile(solver.as_ref(), id));
         }
-        Self { solver, problem, active, tiles }
+        Self {
+            solver,
+            problem,
+            active,
+            tiles,
+        }
     }
 
     /// Tile ids being integrated.
@@ -143,7 +162,8 @@ impl LocalRunner3 {
             match *op {
                 StepOp::Compute(k) => {
                     for &id in &self.active {
-                        self.solver.compute(self.tiles[id].as_mut().expect("active tile missing"), k);
+                        self.solver
+                            .compute(self.tiles[id].as_mut().expect("active tile missing"), k);
                     }
                 }
                 StepOp::Exchange(x) => self.exchange(x),
@@ -167,8 +187,12 @@ impl LocalRunner3 {
                 }
             }
             for (id, f, buf) in msgs {
-                self.solver
-                    .unpack(self.tiles[id].as_mut().expect("active tile missing"), xch, f, &buf);
+                self.solver.unpack(
+                    self.tiles[id].as_mut().expect("active tile missing"),
+                    xch,
+                    f,
+                    &buf,
+                );
             }
         }
     }
@@ -185,7 +209,9 @@ impl LocalRunner3 {
         GlobalFields3::gather(
             self.problem.geom.dims(),
             self.problem.params.rho0,
-            self.active.iter().map(|&id| self.tiles[id].as_ref().expect("active tile missing")),
+            self.active
+                .iter()
+                .map(|&id| self.tiles[id].as_ref().expect("active tile missing")),
         )
     }
 }

@@ -89,8 +89,16 @@ impl Problem2 {
         let (px, py) = (geom.periodic_x(), geom.periodic_y());
         let (ox, oy) = (b.x.start as isize, b.y.start as isize);
         let local = InitialState2::from_fn(move |i, j| {
-            let gx = if px { (ox + i).rem_euclid(nx) } else { (ox + i).clamp(0, nx - 1) };
-            let gy = if py { (oy + j).rem_euclid(ny) } else { (oy + j).clamp(0, ny - 1) };
+            let gx = if px {
+                (ox + i).rem_euclid(nx)
+            } else {
+                (ox + i).clamp(0, nx - 1)
+            };
+            let gy = if py {
+                (oy + j).rem_euclid(ny)
+            } else {
+                (oy + j).clamp(0, ny - 1)
+            };
             init_fn(gx as usize, gy as usize)
         });
         solver.make_tile(mask, self.params, (b.x.start, b.y.start), &local)

@@ -36,7 +36,12 @@ impl RayonRunner2 {
             .iter()
             .map(|&id| problem.make_tile(solver.as_ref(), id))
             .collect();
-        Self { solver, problem, active, tiles }
+        Self {
+            solver,
+            problem,
+            active,
+            tiles,
+        }
     }
 
     /// Runs one integration step: compute phases in parallel over tiles,
@@ -64,7 +69,8 @@ impl RayonRunner2 {
                     if let Some(nb) = self.problem.decomp.neighbor(id, f) {
                         if let Some(nb_idx) = self.active.iter().position(|&a| a == nb) {
                             let mut buf = Vec::new();
-                            self.solver.pack(&self.tiles[nb_idx], xch, f.opposite(), &mut buf);
+                            self.solver
+                                .pack(&self.tiles[nb_idx], xch, f.opposite(), &mut buf);
                             msgs.push((k, f, buf));
                         }
                     }

@@ -46,12 +46,19 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use subsonic_grid::Face2;
+use subsonic_obs::{Category, FlightRecorder, TrackRecorder};
 use subsonic_solvers::{Solver2, StepOp, TileState2};
 
 /// No synchronisation requested.
 const NO_SYNC: u64 = u64::MAX;
+
+/// Flight-recorder process id for this runner's tracks.
+const TRACE_PID: u32 = 2;
+
+/// Track id for the supervisor timeline (far above any real tile id).
+const SUPERVISOR_TID: u32 = u32::MAX;
 
 /// A planned mid-run migration exercise.
 #[derive(Debug, Clone)]
@@ -91,7 +98,10 @@ pub struct SupervisorConfig {
 
 impl Default for SupervisorConfig {
     fn default() -> Self {
-        Self { checkpoint_interval: 8, max_restarts: 2 }
+        Self {
+            checkpoint_interval: 8,
+            max_restarts: 2,
+        }
     }
 }
 
@@ -145,7 +155,10 @@ impl Control {
         Self {
             published: (0..n).map(|_| AtomicU64::new(0)).collect(),
             sync_step: AtomicU64::new(NO_SYNC),
-            barrier: Barrier { state: Mutex::new((0, 0)), cv: Condvar::new() },
+            barrier: Barrier {
+                state: Mutex::new((0, 0)),
+                cv: Condvar::new(),
+            },
         }
     }
 
@@ -198,12 +211,38 @@ struct Segment2 {
 pub struct ThreadedRunner2 {
     solver: Arc<dyn Solver2>,
     problem: Problem2,
+    recorder: FlightRecorder,
 }
 
 impl ThreadedRunner2 {
     /// Creates a runner for `problem` using `solver`.
     pub fn new(solver: Arc<dyn Solver2>, problem: Problem2) -> Self {
-        Self { solver, problem }
+        Self {
+            solver,
+            problem,
+            recorder: FlightRecorder::disabled(),
+        }
+    }
+
+    /// Attaches a flight recorder: each worker gets a wall-clock track
+    /// (compute / halo-exchange spans, checkpoint and recovery events).
+    /// With a disabled recorder — the default — every record call is a
+    /// no-op and the step hot path allocates nothing extra, which the
+    /// buffer-recycling test pins via the alloc counters.
+    pub fn with_recorder(mut self, recorder: &FlightRecorder) -> Self {
+        self.recorder = recorder.clone();
+        self
+    }
+
+    /// Opens a per-tile trace track (inert when the recorder is disabled;
+    /// the name is only formatted when actually recording).
+    fn tile_track(&self, id: usize) -> TrackRecorder {
+        if self.recorder.is_enabled() {
+            self.recorder
+                .track(TRACE_PID, id as u32, "threaded2", &format!("tile {id}"))
+        } else {
+            TrackRecorder::disabled()
+        }
     }
 
     /// Runs `steps` integration steps on all active tiles in parallel.
@@ -222,7 +261,12 @@ impl ThreadedRunner2 {
         }
         let tiles = self.initial_tiles();
         let seg = self.run_segment(tiles, 0, steps, drill, None)?;
-        Ok(RunOutcome2 { tiles: seg.tiles, timing: seg.timing, drill: seg.drill, restarts: 0 })
+        Ok(RunOutcome2 {
+            tiles: seg.tiles,
+            timing: seg.timing,
+            drill: seg.drill,
+            restarts: 0,
+        })
     }
 
     /// Runs `steps` steps under crash-recovery supervision: the run proceeds
@@ -241,13 +285,20 @@ impl ThreadedRunner2 {
         let active = self.problem.active_tiles();
         let mut snapshot = self.initial_tiles();
         let interval = cfg.checkpoint_interval.max(1);
-        let mut timing: Vec<(usize, StepTiming)> =
-            active.iter().map(|&id| (id, StepTiming::default())).collect();
+        let mut timing: Vec<(usize, StepTiming)> = active
+            .iter()
+            .map(|&id| (id, StepTiming::default()))
+            .collect();
         let mut kill = kill;
         let mut restarts = 0u32;
         let mut done = 0u64;
+        let mut supervisor =
+            self.recorder
+                .track(TRACE_PID, SUPERVISOR_TID, "threaded2", "supervisor");
+        let mut replaying = false;
         while done < steps {
             let end = (done + interval).min(steps);
+            let seg0 = Instant::now();
             match self.run_segment(snapshot.clone(), done, end, None, kill.clone()) {
                 Ok(seg) => {
                     snapshot = seg.tiles;
@@ -255,8 +306,27 @@ impl ThreadedRunner2 {
                         acc.1.append(&t);
                     }
                     done = end;
+                    if replaying {
+                        // this segment was a rollback replay: the recompute
+                        // cost of the crash, distinct from normal progress
+                        supervisor.span_wall_arg(
+                            Category::Recovery,
+                            "replay segment",
+                            seg0,
+                            Instant::now(),
+                            Some(("end_step", end as f64)),
+                        );
+                        replaying = false;
+                    }
+                    supervisor.instant_wall(
+                        Category::Checkpoint,
+                        "checkpoint commit",
+                        Instant::now(),
+                    );
                 }
                 Err(e) => {
+                    supervisor.instant_wall(Category::Fault, "segment failed", Instant::now());
+                    replaying = true;
                     // the injected kill fires at most once: disarm it if its
                     // step fell inside the aborted window
                     if kill.as_ref().is_some_and(|kl| kl.at_step < end) {
@@ -274,7 +344,12 @@ impl ThreadedRunner2 {
                 }
             }
         }
-        Ok(RunOutcome2 { tiles: snapshot, timing, drill: None, restarts })
+        Ok(RunOutcome2 {
+            tiles: snapshot,
+            timing,
+            drill: None,
+            restarts,
+        })
     }
 
     /// Builds the step-0 tiles in active-id order.
@@ -377,119 +452,142 @@ impl ThreadedRunner2 {
                 let drill = drill.clone();
                 let kill = kill.clone();
                 let drill_fired = &drill_fired;
-                handles.push(scope.spawn(move || -> Result<(TileState2, StepTiming), RunError> {
-                    let mut timing = StepTiming::default();
-                    for s in start..end {
-                        control.published[k].store(s, Ordering::SeqCst);
-                        // seeded fault injection: this worker dies here
-                        if let Some(kl) = kill.as_ref() {
-                            if kl.tile == id && kl.at_step == s {
-                                if kl.panic {
-                                    panic!("injected fault: tile {id} killed at step {s}");
-                                }
-                                return Err(RunError::Injected { tile: id, step: s });
-                            }
-                        }
-                        // Appendix B picks the sync step with a margin so it
-                        // lands in every process's future; that only holds if
-                        // workers cannot outrun the monitor. Hold once, at the
-                        // arm step, until the step is announced (it is cleared
-                        // again at resume, so later steps must not re-gate).
-                        if let Some(d) = drill.as_ref() {
-                            if s == d.arm_step {
-                                while control.sync_step.load(Ordering::SeqCst) == NO_SYNC {
-                                    std::thread::yield_now();
+                let mut track = self.tile_track(id);
+                handles.push(
+                    scope.spawn(move || -> Result<(TileState2, StepTiming), RunError> {
+                        let mut timing = StepTiming::default();
+                        for s in start..end {
+                            control.published[k].store(s, Ordering::SeqCst);
+                            // seeded fault injection: this worker dies here
+                            if let Some(kl) = kill.as_ref() {
+                                if kl.tile == id && kl.at_step == s {
+                                    if kl.panic {
+                                        panic!("injected fault: tile {id} killed at step {s}");
+                                    }
+                                    return Err(RunError::Injected { tile: id, step: s });
                                 }
                             }
-                        }
-                        // Synchronisation point of section 5: when a sync step
-                        // is announced, run exactly to it and pause.
-                        if control.sync_step.load(Ordering::SeqCst) == s {
-                            // A failed dump must still reach the barrier
-                            // (otherwise the monitor waits forever), so the
-                            // error is carried across the pause.
-                            let mut drill_err: Option<RunError> = None;
+                            // Appendix B picks the sync step with a margin so it
+                            // lands in every process's future; that only holds if
+                            // workers cannot outrun the monitor. Hold once, at the
+                            // arm step, until the step is announced (it is cleared
+                            // again at resume, so later steps must not re-gate).
                             if let Some(d) = drill.as_ref() {
-                                if d.tile == id {
-                                    // migrate: save state, "move host", restore
-                                    let path =
-                                        d.dump_dir.join(format!("tile{id}_step{s}.dump"));
-                                    match save_tile2(&tile, &path)
-                                        .and_then(|bytes| Ok((bytes, load_tile2(&path)?)))
-                                    {
-                                        Ok((bytes, restored)) => {
-                                            tile = restored;
-                                            *drill_fired.lock() = Some(DrillReport {
-                                                sync_step: s,
-                                                dump_bytes: bytes,
-                                                dump_path: path,
-                                            });
-                                        }
-                                        Err(e) => drill_err = Some(RunError::Io(e)),
+                                if s == d.arm_step {
+                                    while control.sync_step.load(Ordering::SeqCst) == NO_SYNC {
+                                        std::thread::yield_now();
                                     }
                                 }
                             }
-                            control.pause();
-                            if let Some(e) = drill_err {
-                                return Err(e);
-                            }
-                        }
-                        // one integration step
-                        for op in plan {
-                            match *op {
-                                StepOp::Compute(p) => {
-                                    let t0 = Instant::now();
-                                    solver.compute(&mut tile, p);
-                                    timing.t_calc += t0.elapsed();
-                                }
-                                StepOp::Exchange(x) => {
-                                    let t0 = Instant::now();
-                                    for stage in 0..2 {
-                                        for (f, tx, ret) in
-                                            ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
+                            // Synchronisation point of section 5: when a sync step
+                            // is announced, run exactly to it and pause.
+                            if control.sync_step.load(Ordering::SeqCst) == s {
+                                // A failed dump must still reach the barrier
+                                // (otherwise the monitor waits forever), so the
+                                // error is carried across the pause.
+                                let mut drill_err: Option<RunError> = None;
+                                if let Some(d) = drill.as_ref() {
+                                    if d.tile == id {
+                                        // migrate: save state, "move host", restore
+                                        let path =
+                                            d.dump_dir.join(format!("tile{id}_step{s}.dump"));
+                                        let d0 = Instant::now();
+                                        match save_tile2(&tile, &path)
+                                            .and_then(|bytes| Ok((bytes, load_tile2(&path)?)))
                                         {
-                                            let mut buf = match ret.try_recv() {
-                                                Ok(mut b) => {
-                                                    timing.buf_reuses += 1;
-                                                    b.clear();
-                                                    b
-                                                }
-                                                Err(_) => {
-                                                    timing.buf_allocs += 1;
-                                                    Vec::new()
-                                                }
-                                            };
-                                            solver.pack(&tile, x, *f, &mut buf);
-                                            timing.msgs_sent += 1;
-                                            timing.doubles_sent += buf.len() as u64;
-                                            tx.send(buf).map_err(|_| {
-                                                RunError::Disconnected { tile: id }
-                                            })?;
-                                        }
-                                        for (f, rx, ret) in
-                                            ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
-                                        {
-                                            let buf = rx.recv().map_err(|_| {
-                                                RunError::Disconnected { tile: id }
-                                            })?;
-                                            solver.unpack(&mut tile, x, *f, &buf);
-                                            // hand the buffer back for reuse; a
-                                            // peer that already finished its run
-                                            // has dropped the other end, in which
-                                            // case the buffer is simply freed
-                                            let _ = ret.send(buf);
+                                            Ok((bytes, restored)) => {
+                                                tile = restored;
+                                                track.span_wall_arg(
+                                                    Category::Checkpoint,
+                                                    "migration dump",
+                                                    d0,
+                                                    Instant::now(),
+                                                    Some(("bytes", bytes as f64)),
+                                                );
+                                                *drill_fired.lock() = Some(DrillReport {
+                                                    sync_step: s,
+                                                    dump_bytes: bytes,
+                                                    dump_path: path,
+                                                });
+                                            }
+                                            Err(e) => drill_err = Some(RunError::Io(e)),
                                         }
                                     }
-                                    timing.t_com += t0.elapsed();
+                                }
+                                control.pause();
+                                if let Some(e) = drill_err {
+                                    return Err(e);
                                 }
                             }
+                            // one integration step
+                            for op in plan {
+                                match *op {
+                                    StepOp::Compute(p) => {
+                                        let t0 = Instant::now();
+                                        solver.compute(&mut tile, p);
+                                        let t1 = Instant::now();
+                                        timing.t_calc += t1 - t0;
+                                        track.span_wall(Category::Compute, "compute", t0, t1);
+                                    }
+                                    StepOp::Exchange(x) => {
+                                        let t0 = Instant::now();
+                                        // Pack time is a sub-component of the
+                                        // t_com window below; it is accumulated
+                                        // into t_pack only, never added to t_com
+                                        // a second time.
+                                        let mut pack = Duration::ZERO;
+                                        for stage in 0..2 {
+                                            for (f, tx, ret) in
+                                                ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
+                                            {
+                                                let mut buf = match ret.try_recv() {
+                                                    Ok(mut b) => {
+                                                        timing.buf_reuses += 1;
+                                                        b.clear();
+                                                        b
+                                                    }
+                                                    Err(_) => {
+                                                        timing.buf_allocs += 1;
+                                                        Vec::new()
+                                                    }
+                                                };
+                                                let p0 = Instant::now();
+                                                solver.pack(&tile, x, *f, &mut buf);
+                                                pack += p0.elapsed();
+                                                timing.msgs_sent += 1;
+                                                timing.doubles_sent += buf.len() as u64;
+                                                tx.send(buf).map_err(|_| {
+                                                    RunError::Disconnected { tile: id }
+                                                })?;
+                                            }
+                                            for (f, rx, ret) in
+                                                ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
+                                            {
+                                                let buf = rx.recv().map_err(|_| {
+                                                    RunError::Disconnected { tile: id }
+                                                })?;
+                                                solver.unpack(&mut tile, x, *f, &buf);
+                                                // hand the buffer back for reuse; a
+                                                // peer that already finished its run
+                                                // has dropped the other end, in which
+                                                // case the buffer is simply freed
+                                                let _ = ret.send(buf);
+                                            }
+                                        }
+                                        let t1 = Instant::now();
+                                        timing.t_com += t1 - t0;
+                                        timing.t_pack += pack;
+                                        track.span_wall(Category::Halo, "exchange", t0, t1);
+                                    }
+                                }
+                            }
+                            timing.steps += 1;
                         }
-                        timing.steps += 1;
-                    }
-                    // final publish so the monitor sees completion
-                    control.published[k].store(end, Ordering::SeqCst);
-                    Ok((tile, timing))
-                }));
+                        // final publish so the monitor sees completion
+                        control.published[k].store(end, Ordering::SeqCst);
+                        Ok((tile, timing))
+                    }),
+                );
             }
 
             // The monitoring program (section 4.1 / 5.1): arm the drill, pick
@@ -544,7 +642,11 @@ impl ThreadedRunner2 {
             tiles.push(tile);
             timing.push((active[k], t));
         }
-        Ok(Segment2 { tiles, timing, drill: drill_fired.into_inner() })
+        Ok(Segment2 {
+            tiles,
+            timing,
+            drill: drill_fired.into_inner(),
+        })
     }
 }
 
@@ -678,6 +780,120 @@ mod tests {
         assert!(total.buf_reuses > total.buf_allocs);
     }
 
+    /// The acceptance pin for "zero-cost when disabled": recording must not
+    /// add any allocation to the step hot path, measured with the same alloc
+    /// counters the recycling test uses. The exact buf_allocs value is
+    /// scheduling-dependent (a returned buffer may or may not be back in
+    /// time), so the invariant is the steady-state pool bound — at most two
+    /// buffers per directed edge — which must hold identically with the
+    /// recorder disabled (the default) and enabled.
+    #[test]
+    fn recorder_adds_no_hot_path_allocations() {
+        let solver: Arc<dyn Solver2> = Arc::new(FiniteDifference2);
+        let p = problem(2, 2);
+        let active = p.active_tiles();
+        let mut edges = 0u64;
+        for &id in &active {
+            for f in Face2::ALL {
+                if let Some(nb) = p.decomp.neighbor(id, f) {
+                    if active.contains(&nb) {
+                        edges += 1;
+                    }
+                }
+            }
+        }
+        let totals = |out: &RunOutcome2| {
+            let mut total = StepTiming::default();
+            for (_, t) in &out.timing {
+                total.merge(t);
+            }
+            total
+        };
+
+        let plain = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run(30)
+            .unwrap();
+
+        let rec = FlightRecorder::enabled(4096);
+        let traced = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .with_recorder(&rec)
+            .run(30)
+            .unwrap();
+
+        let a = totals(&plain);
+        let b = totals(&traced);
+        assert!(a.buf_allocs <= 2 * edges, "baseline exceeded buffer pool");
+        assert!(
+            b.buf_allocs <= 2 * edges,
+            "recorder added hot-path allocations: {} allocs for {} edges",
+            b.buf_allocs,
+            edges
+        );
+        assert_eq!(a.msgs_sent, b.msgs_sent);
+        // pack time is measured inside the t_com window, never beyond it
+        assert!(
+            a.t_pack <= a.t_com,
+            "t_pack {:?} > t_com {:?}",
+            a.t_pack,
+            a.t_com
+        );
+        assert!(b.t_pack <= b.t_com);
+        assert!(a.t_pack.as_nanos() > 0);
+
+        // and the traced run actually produced per-tile compute/halo tracks
+        let tracks = rec.finished_tracks();
+        assert_eq!(tracks.len(), 4, "one track per tile");
+        for t in &tracks {
+            assert_eq!(t.pid, TRACE_PID);
+            assert!(t.events.iter().any(|e| e.cat == Category::Compute));
+            assert!(t.events.iter().any(|e| e.cat == Category::Halo));
+        }
+        assert_eq!(rec.dropped_events(), 0);
+    }
+
+    /// A supervised run with an injected kill leaves a supervisor track with
+    /// the failure instant, the rollback replay span and checkpoint commits.
+    #[test]
+    fn supervised_trace_shows_recovery() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let rec = FlightRecorder::enabled(4096);
+        let cfg = SupervisorConfig {
+            checkpoint_interval: 5,
+            max_restarts: 3,
+        };
+        let kill = KillSpec {
+            tile: 1,
+            at_step: 7,
+            panic: false,
+        };
+        let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .with_recorder(&rec)
+            .run_supervised(20, &cfg, Some(kill))
+            .unwrap();
+        assert_eq!(out.restarts, 1);
+        let tracks = rec.finished_tracks();
+        let sup = tracks
+            .iter()
+            .find(|t| t.tid == SUPERVISOR_TID)
+            .expect("supervisor track missing");
+        assert!(sup
+            .events
+            .iter()
+            .any(|e| e.cat == Category::Fault && e.is_instant()));
+        assert!(sup
+            .events
+            .iter()
+            .any(|e| e.cat == Category::Recovery && !e.is_instant()));
+        assert_eq!(
+            sup.events
+                .iter()
+                .filter(|e| e.cat == Category::Checkpoint)
+                .count(),
+            4,
+            "one commit per completed segment"
+        );
+    }
+
     #[test]
     fn migration_drill_is_transparent() {
         let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
@@ -687,7 +903,11 @@ mod tests {
         let a = undisturbed.gather(24, 16, 1.0);
 
         let dir = std::env::temp_dir().join("subsonic_drill_test");
-        let drill = MigrationDrill { tile: 1, arm_step: 5, dump_dir: dir };
+        let drill = MigrationDrill {
+            tile: 1,
+            arm_step: 5,
+            dump_dir: dir,
+        };
         let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
             .run_with_drill(20, Some(drill))
             .unwrap();
@@ -710,12 +930,23 @@ mod tests {
             .run(20)
             .unwrap();
         let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
-            .run_supervised(20, &SupervisorConfig { checkpoint_interval: 6, max_restarts: 2 }, None)
+            .run_supervised(
+                20,
+                &SupervisorConfig {
+                    checkpoint_interval: 6,
+                    max_restarts: 2,
+                },
+                None,
+            )
             .unwrap();
         assert_eq!(sup.restarts, 0);
         let a = plain.gather(24, 16, 1.0);
         let b = sup.gather(24, 16, 1.0);
-        assert_eq!(a.first_difference(&b), None, "supervision changed the results");
+        assert_eq!(
+            a.first_difference(&b),
+            None,
+            "supervision changed the results"
+        );
         // committed timing covers the whole run
         for (_, t) in &sup.timing {
             assert_eq!(t.steps, 20);
@@ -728,18 +959,29 @@ mod tests {
         let plain = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
             .run(20)
             .unwrap();
-        let kill = KillSpec { tile: 1, at_step: 13, panic: false };
+        let kill = KillSpec {
+            tile: 1,
+            at_step: 13,
+            panic: false,
+        };
         let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
             .run_supervised(
                 20,
-                &SupervisorConfig { checkpoint_interval: 6, max_restarts: 2 },
+                &SupervisorConfig {
+                    checkpoint_interval: 6,
+                    max_restarts: 2,
+                },
                 Some(kill),
             )
             .unwrap();
         assert_eq!(sup.restarts, 1, "the kill should cost exactly one replay");
         let a = plain.gather(24, 16, 1.0);
         let b = sup.gather(24, 16, 1.0);
-        assert_eq!(a.first_difference(&b), None, "recovery diverged from clean run");
+        assert_eq!(
+            a.first_difference(&b),
+            None,
+            "recovery diverged from clean run"
+        );
     }
 
     #[test]
@@ -753,8 +995,15 @@ mod tests {
         std::panic::set_hook(Box::new(|_| {}));
         let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(3, 1)).run_supervised(
             15,
-            &SupervisorConfig { checkpoint_interval: 4, max_restarts: 2 },
-            Some(KillSpec { tile: 2, at_step: 9, panic: true }),
+            &SupervisorConfig {
+                checkpoint_interval: 4,
+                max_restarts: 2,
+            },
+            Some(KillSpec {
+                tile: 2,
+                at_step: 9,
+                panic: true,
+            }),
         );
         std::panic::set_hook(prev);
         let sup = sup.unwrap();
@@ -769,8 +1018,15 @@ mod tests {
         let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
         let err = match ThreadedRunner2::new(Arc::clone(&solver), problem(2, 1)).run_supervised(
             10,
-            &SupervisorConfig { checkpoint_interval: 4, max_restarts: 0 },
-            Some(KillSpec { tile: 0, at_step: 2, panic: false }),
+            &SupervisorConfig {
+                checkpoint_interval: 4,
+                max_restarts: 0,
+            },
+            Some(KillSpec {
+                tile: 0,
+                at_step: 2,
+                panic: false,
+            }),
         ) {
             Err(e) => e,
             Ok(_) => panic!("a zero-restart budget should not survive a kill"),
@@ -799,7 +1055,11 @@ mod tests {
             0,
             10,
             None,
-            Some(KillSpec { tile: 3, at_step: 5, panic: false }),
+            Some(KillSpec {
+                tile: 3,
+                at_step: 5,
+                panic: false,
+            }),
         ) {
             Err(e) => e,
             Ok(_) => panic!("the injected kill should abort the segment"),

@@ -18,11 +18,18 @@ use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use subsonic_grid::Face3;
+use subsonic_obs::{Category, FlightRecorder, TrackRecorder};
 use subsonic_solvers::{Solver3, StepOp, TileState3};
 
 const NO_SYNC: u64 = u64::MAX;
+
+/// Flight-recorder process id for the 3D runner's tracks.
+const TRACE_PID: u32 = 3;
+
+/// Track id for the supervisor timeline (far above any real tile id).
+const SUPERVISOR_TID: u32 = u32::MAX;
 
 /// Result of a 3D threaded run.
 pub struct RunOutcome3 {
@@ -62,7 +69,11 @@ impl Control {
     }
 
     fn max_published(&self) -> u64 {
-        self.published.iter().map(|a| a.load(Ordering::SeqCst)).max().unwrap_or(0)
+        self.published
+            .iter()
+            .map(|a| a.load(Ordering::SeqCst))
+            .max()
+            .unwrap_or(0)
     }
 
     fn pause(&self) {
@@ -102,12 +113,34 @@ struct Segment3 {
 pub struct ThreadedRunner3 {
     solver: Arc<dyn Solver3>,
     problem: Problem3,
+    recorder: FlightRecorder,
 }
 
 impl ThreadedRunner3 {
     /// Creates a runner.
     pub fn new(solver: Arc<dyn Solver3>, problem: Problem3) -> Self {
-        Self { solver, problem }
+        Self {
+            solver,
+            problem,
+            recorder: FlightRecorder::disabled(),
+        }
+    }
+
+    /// Attaches a flight recorder (wall-clock tracks per worker, same
+    /// zero-cost-when-disabled contract as the 2D runner).
+    pub fn with_recorder(mut self, recorder: &FlightRecorder) -> Self {
+        self.recorder = recorder.clone();
+        self
+    }
+
+    /// Opens a per-tile trace track (inert when the recorder is disabled).
+    fn tile_track(&self, id: usize) -> TrackRecorder {
+        if self.recorder.is_enabled() {
+            self.recorder
+                .track(TRACE_PID, id as u32, "threaded3", &format!("tile {id}"))
+        } else {
+            TrackRecorder::disabled()
+        }
     }
 
     /// Runs `steps` integration steps on all active tiles in parallel.
@@ -126,7 +159,12 @@ impl ThreadedRunner3 {
         }
         let tiles = self.initial_tiles();
         let seg = self.run_segment(tiles, 0, steps, drill, None)?;
-        Ok(RunOutcome3 { tiles: seg.tiles, timing: seg.timing, drill: seg.drill, restarts: 0 })
+        Ok(RunOutcome3 {
+            tiles: seg.tiles,
+            timing: seg.timing,
+            drill: seg.drill,
+            restarts: 0,
+        })
     }
 
     /// Runs `steps` steps under crash-recovery supervision; see
@@ -140,13 +178,20 @@ impl ThreadedRunner3 {
         let active = self.problem.active_tiles();
         let mut snapshot = self.initial_tiles();
         let interval = cfg.checkpoint_interval.max(1);
-        let mut timing: Vec<(usize, StepTiming)> =
-            active.iter().map(|&id| (id, StepTiming::default())).collect();
+        let mut timing: Vec<(usize, StepTiming)> = active
+            .iter()
+            .map(|&id| (id, StepTiming::default()))
+            .collect();
         let mut kill = kill;
         let mut restarts = 0u32;
         let mut done = 0u64;
+        let mut supervisor =
+            self.recorder
+                .track(TRACE_PID, SUPERVISOR_TID, "threaded3", "supervisor");
+        let mut replaying = false;
         while done < steps {
             let end = (done + interval).min(steps);
+            let seg0 = Instant::now();
             match self.run_segment(snapshot.clone(), done, end, None, kill.clone()) {
                 Ok(seg) => {
                     snapshot = seg.tiles;
@@ -154,8 +199,25 @@ impl ThreadedRunner3 {
                         acc.1.append(&t);
                     }
                     done = end;
+                    if replaying {
+                        supervisor.span_wall_arg(
+                            Category::Recovery,
+                            "replay segment",
+                            seg0,
+                            Instant::now(),
+                            Some(("end_step", end as f64)),
+                        );
+                        replaying = false;
+                    }
+                    supervisor.instant_wall(
+                        Category::Checkpoint,
+                        "checkpoint commit",
+                        Instant::now(),
+                    );
                 }
                 Err(e) => {
+                    supervisor.instant_wall(Category::Fault, "segment failed", Instant::now());
+                    replaying = true;
                     if kill.as_ref().is_some_and(|kl| kl.at_step < end) {
                         kill = None;
                     }
@@ -169,7 +231,12 @@ impl ThreadedRunner3 {
                 }
             }
         }
-        Ok(RunOutcome3 { tiles: snapshot, timing, drill: None, restarts })
+        Ok(RunOutcome3 {
+            tiles: snapshot,
+            timing,
+            drill: None,
+            restarts,
+        })
     }
 
     fn initial_tiles(&self) -> Vec<TileState3> {
@@ -262,105 +329,126 @@ impl ThreadedRunner3 {
                 let drill = drill.clone();
                 let kill = kill.clone();
                 let drill_fired = &drill_fired;
-                handles.push(scope.spawn(move || -> Result<(TileState3, StepTiming), RunError> {
-                    let mut timing = StepTiming::default();
-                    for s in start..end {
-                        control.published[k].store(s, Ordering::SeqCst);
-                        // seeded fault injection: this worker dies here
-                        if let Some(kl) = kill.as_ref() {
-                            if kl.tile == id && kl.at_step == s {
-                                if kl.panic {
-                                    panic!("injected fault: tile {id} killed at step {s}");
-                                }
-                                return Err(RunError::Injected { tile: id, step: s });
-                            }
-                        }
-                        // Hold once at the arm step so workers cannot outrun
-                        // the monitor's sync-step announcement (same guard as
-                        // the 2D runner — Appendix B's margin assumes it).
-                        if let Some(d) = drill.as_ref() {
-                            if s == d.arm_step {
-                                while control.sync_step.load(Ordering::SeqCst) == NO_SYNC {
-                                    std::thread::yield_now();
+                let mut track = self.tile_track(id);
+                handles.push(
+                    scope.spawn(move || -> Result<(TileState3, StepTiming), RunError> {
+                        let mut timing = StepTiming::default();
+                        for s in start..end {
+                            control.published[k].store(s, Ordering::SeqCst);
+                            // seeded fault injection: this worker dies here
+                            if let Some(kl) = kill.as_ref() {
+                                if kl.tile == id && kl.at_step == s {
+                                    if kl.panic {
+                                        panic!("injected fault: tile {id} killed at step {s}");
+                                    }
+                                    return Err(RunError::Injected { tile: id, step: s });
                                 }
                             }
-                        }
-                        if control.sync_step.load(Ordering::SeqCst) == s {
-                            let mut drill_err: Option<RunError> = None;
+                            // Hold once at the arm step so workers cannot outrun
+                            // the monitor's sync-step announcement (same guard as
+                            // the 2D runner — Appendix B's margin assumes it).
                             if let Some(d) = drill.as_ref() {
-                                if d.tile == id {
-                                    let path =
-                                        d.dump_dir.join(format!("tile3_{id}_step{s}.dump"));
-                                    match save_tile3(&tile, &path)
-                                        .and_then(|bytes| Ok((bytes, load_tile3(&path)?)))
-                                    {
-                                        Ok((bytes, restored)) => {
-                                            tile = restored;
-                                            *drill_fired.lock() = Some(DrillReport {
-                                                sync_step: s,
-                                                dump_bytes: bytes,
-                                                dump_path: path,
-                                            });
-                                        }
-                                        Err(e) => drill_err = Some(RunError::Io(e)),
+                                if s == d.arm_step {
+                                    while control.sync_step.load(Ordering::SeqCst) == NO_SYNC {
+                                        std::thread::yield_now();
                                     }
                                 }
                             }
-                            control.pause();
-                            if let Some(e) = drill_err {
-                                return Err(e);
-                            }
-                        }
-                        for op in plan {
-                            match *op {
-                                StepOp::Compute(p) => {
-                                    let t0 = Instant::now();
-                                    solver.compute(&mut tile, p);
-                                    timing.t_calc += t0.elapsed();
-                                }
-                                StepOp::Exchange(x) => {
-                                    let t0 = Instant::now();
-                                    for stage in 0..3 {
-                                        for (f, tx, ret) in
-                                            ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
+                            if control.sync_step.load(Ordering::SeqCst) == s {
+                                let mut drill_err: Option<RunError> = None;
+                                if let Some(d) = drill.as_ref() {
+                                    if d.tile == id {
+                                        let path =
+                                            d.dump_dir.join(format!("tile3_{id}_step{s}.dump"));
+                                        let d0 = Instant::now();
+                                        match save_tile3(&tile, &path)
+                                            .and_then(|bytes| Ok((bytes, load_tile3(&path)?)))
                                         {
-                                            let mut buf = match ret.try_recv() {
-                                                Ok(mut b) => {
-                                                    timing.buf_reuses += 1;
-                                                    b.clear();
-                                                    b
-                                                }
-                                                Err(_) => {
-                                                    timing.buf_allocs += 1;
-                                                    Vec::new()
-                                                }
-                                            };
-                                            solver.pack(&tile, x, *f, &mut buf);
-                                            timing.msgs_sent += 1;
-                                            timing.doubles_sent += buf.len() as u64;
-                                            tx.send(buf).map_err(|_| {
-                                                RunError::Disconnected { tile: id }
-                                            })?;
-                                        }
-                                        for (f, rx, ret) in
-                                            ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
-                                        {
-                                            let buf = rx.recv().map_err(|_| {
-                                                RunError::Disconnected { tile: id }
-                                            })?;
-                                            solver.unpack(&mut tile, x, *f, &buf);
-                                            let _ = ret.send(buf);
+                                            Ok((bytes, restored)) => {
+                                                tile = restored;
+                                                track.span_wall_arg(
+                                                    Category::Checkpoint,
+                                                    "migration dump",
+                                                    d0,
+                                                    Instant::now(),
+                                                    Some(("bytes", bytes as f64)),
+                                                );
+                                                *drill_fired.lock() = Some(DrillReport {
+                                                    sync_step: s,
+                                                    dump_bytes: bytes,
+                                                    dump_path: path,
+                                                });
+                                            }
+                                            Err(e) => drill_err = Some(RunError::Io(e)),
                                         }
                                     }
-                                    timing.t_com += t0.elapsed();
+                                }
+                                control.pause();
+                                if let Some(e) = drill_err {
+                                    return Err(e);
                                 }
                             }
+                            for op in plan {
+                                match *op {
+                                    StepOp::Compute(p) => {
+                                        let t0 = Instant::now();
+                                        solver.compute(&mut tile, p);
+                                        let t1 = Instant::now();
+                                        timing.t_calc += t1 - t0;
+                                        track.span_wall(Category::Compute, "compute", t0, t1);
+                                    }
+                                    StepOp::Exchange(x) => {
+                                        let t0 = Instant::now();
+                                        // pack time: sub-component of the t_com
+                                        // window, accumulated into t_pack only
+                                        let mut pack = Duration::ZERO;
+                                        for stage in 0..3 {
+                                            for (f, tx, ret) in
+                                                ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
+                                            {
+                                                let mut buf = match ret.try_recv() {
+                                                    Ok(mut b) => {
+                                                        timing.buf_reuses += 1;
+                                                        b.clear();
+                                                        b
+                                                    }
+                                                    Err(_) => {
+                                                        timing.buf_allocs += 1;
+                                                        Vec::new()
+                                                    }
+                                                };
+                                                let p0 = Instant::now();
+                                                solver.pack(&tile, x, *f, &mut buf);
+                                                pack += p0.elapsed();
+                                                timing.msgs_sent += 1;
+                                                timing.doubles_sent += buf.len() as u64;
+                                                tx.send(buf).map_err(|_| {
+                                                    RunError::Disconnected { tile: id }
+                                                })?;
+                                            }
+                                            for (f, rx, ret) in
+                                                ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
+                                            {
+                                                let buf = rx.recv().map_err(|_| {
+                                                    RunError::Disconnected { tile: id }
+                                                })?;
+                                                solver.unpack(&mut tile, x, *f, &buf);
+                                                let _ = ret.send(buf);
+                                            }
+                                        }
+                                        let t1 = Instant::now();
+                                        timing.t_com += t1 - t0;
+                                        timing.t_pack += pack;
+                                        track.span_wall(Category::Halo, "exchange", t0, t1);
+                                    }
+                                }
+                            }
+                            timing.steps += 1;
                         }
-                        timing.steps += 1;
-                    }
-                    control.published[k].store(end, Ordering::SeqCst);
-                    Ok((tile, timing))
-                }));
+                        control.published[k].store(end, Ordering::SeqCst);
+                        Ok((tile, timing))
+                    }),
+                );
             }
 
             if let Some(d) = drill.as_ref() {
@@ -408,7 +496,11 @@ impl ThreadedRunner3 {
             tiles.push(tile);
             timing.push((active[k], t));
         }
-        Ok(Segment3 { tiles, timing, drill: drill_fired.into_inner() })
+        Ok(Segment3 {
+            tiles,
+            timing,
+            drill: drill_fired.into_inner(),
+        })
     }
 }
 
@@ -499,6 +591,48 @@ mod tests {
     }
 
     #[test]
+    fn recorder3_adds_no_hot_path_allocations() {
+        // Same pool-bound invariant as the 2D runner's test: enabling the
+        // recorder must keep buf_allocs within two per directed edge.
+        let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
+        let p = problem(2, 1, 2);
+        let active = p.active_tiles();
+        let mut edges = 0u64;
+        for &id in &active {
+            for f in Face3::ALL {
+                if let Some(nb) = p.decomp.neighbor(id, f) {
+                    if active.contains(&nb) {
+                        edges += 1;
+                    }
+                }
+            }
+        }
+        let rec = FlightRecorder::enabled(4096);
+        let traced = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
+            .with_recorder(&rec)
+            .run(10)
+            .unwrap();
+        let mut b = StepTiming::default();
+        for (_, t) in &traced.timing {
+            b.merge(t);
+        }
+        assert!(
+            b.buf_allocs <= 2 * edges,
+            "recorder added 3D hot-path allocations: {} allocs for {} edges",
+            b.buf_allocs,
+            edges
+        );
+        assert!(b.t_pack <= b.t_com);
+        assert!(b.t_pack.as_nanos() > 0);
+        let tracks = rec.finished_tracks();
+        assert_eq!(tracks.len(), 4);
+        assert!(tracks.iter().all(|t| t.pid == TRACE_PID));
+        assert!(tracks
+            .iter()
+            .all(|t| t.events.iter().any(|e| e.cat == Category::Halo)));
+    }
+
+    #[test]
     fn supervised3_recovers_bitwise_from_a_kill() {
         let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
         let plain = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
@@ -507,8 +641,15 @@ mod tests {
         let sup = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
             .run_supervised(
                 12,
-                &SupervisorConfig { checkpoint_interval: 5, max_restarts: 2 },
-                Some(KillSpec { tile: 2, at_step: 7, panic: false }),
+                &SupervisorConfig {
+                    checkpoint_interval: 5,
+                    max_restarts: 2,
+                },
+                Some(KillSpec {
+                    tile: 2,
+                    at_step: 7,
+                    panic: false,
+                }),
             )
             .unwrap();
         assert_eq!(sup.restarts, 1);

@@ -11,6 +11,13 @@ pub struct StepTiming {
     pub t_calc: Duration,
     /// Time spent packing, sending, receiving and unpacking halos.
     pub t_com: Duration,
+    /// Time spent packing halo faces into send buffers. This is a
+    /// *sub-component* of `t_com`, measured exactly once per pack (the pack
+    /// happens inside the timed exchange window, so it must never be added
+    /// to `t_com` a second time by `merge`/`append`/`per_step`). The
+    /// invariant `t_pack <= t_com` is pinned by unit tests and asserted by
+    /// the runner integration tests.
+    pub t_pack: Duration,
     /// Steps completed.
     pub steps: u64,
     /// Halo messages sent.
@@ -26,7 +33,7 @@ pub struct StepTiming {
 impl StepTiming {
     /// Processor utilisation `g = T_calc / (T_calc + T_com)` (eq. 8) — equal
     /// to the parallel efficiency for completely parallelisable problems
-    /// (eq. 12).
+    /// (eq. 12). `t_pack` is inside `t_com` and must not be added here.
     pub fn utilization(&self) -> f64 {
         let c = self.t_calc.as_secs_f64();
         let m = self.t_com.as_secs_f64();
@@ -36,7 +43,9 @@ impl StepTiming {
         c / (c + m)
     }
 
-    /// Mean wall-clock duration of one integration step.
+    /// Mean wall-clock duration of one integration step. `t_pack` already
+    /// lives inside `t_com`, so the total is `t_calc + t_com` — adding the
+    /// pack time again would double-count it.
     pub fn per_step(&self) -> Duration {
         if self.steps == 0 {
             return Duration::ZERO;
@@ -44,11 +53,22 @@ impl StepTiming {
         (self.t_calc + self.t_com) / self.steps as u32
     }
 
+    /// Fraction of communication time spent packing (as opposed to waiting
+    /// on the wire / unpacking).
+    pub fn pack_fraction(&self) -> f64 {
+        let m = self.t_com.as_secs_f64();
+        if m == 0.0 {
+            return 0.0;
+        }
+        self.t_pack.as_secs_f64() / m
+    }
+
     /// Merges another worker's timing into this one (summing; `steps` takes
     /// the max since peers run the same step range).
     pub fn merge(&mut self, other: &StepTiming) {
         self.t_calc += other.t_calc;
         self.t_com += other.t_com;
+        self.t_pack += other.t_pack;
         self.steps = self.steps.max(other.steps);
         self.msgs_sent += other.msgs_sent;
         self.doubles_sent += other.doubles_sent;
@@ -62,11 +82,26 @@ impl StepTiming {
     pub fn append(&mut self, other: &StepTiming) {
         self.t_calc += other.t_calc;
         self.t_com += other.t_com;
+        self.t_pack += other.t_pack;
         self.steps += other.steps;
         self.msgs_sent += other.msgs_sent;
         self.doubles_sent += other.doubles_sent;
         self.buf_allocs += other.buf_allocs;
         self.buf_reuses += other.buf_reuses;
+    }
+
+    /// Publish this timing into a metrics registry under `prefix.*`.
+    /// Times land as gauges in seconds, counters as counters.
+    pub fn publish(&self, reg: &subsonic_obs::MetricsRegistry, prefix: &str) {
+        reg.gauge_set(&format!("{prefix}.t_calc"), self.t_calc.as_secs_f64(), "s");
+        reg.gauge_set(&format!("{prefix}.t_com"), self.t_com.as_secs_f64(), "s");
+        reg.gauge_set(&format!("{prefix}.t_pack"), self.t_pack.as_secs_f64(), "s");
+        reg.gauge_set(&format!("{prefix}.utilization"), self.utilization(), "");
+        reg.counter_add(&format!("{prefix}.steps"), self.steps);
+        reg.counter_add(&format!("{prefix}.msgs_sent"), self.msgs_sent);
+        reg.counter_add(&format!("{prefix}.doubles_sent"), self.doubles_sent);
+        reg.counter_add(&format!("{prefix}.buf_allocs"), self.buf_allocs);
+        reg.counter_add(&format!("{prefix}.buf_reuses"), self.buf_reuses);
     }
 }
 
@@ -93,6 +128,7 @@ mod tests {
         let mut a = StepTiming {
             t_calc: Duration::from_secs(1),
             t_com: Duration::from_secs(2),
+            t_pack: Duration::from_millis(500),
             steps: 10,
             msgs_sent: 4,
             doubles_sent: 100,
@@ -102,6 +138,7 @@ mod tests {
         let b = StepTiming {
             t_calc: Duration::from_secs(3),
             t_com: Duration::from_secs(4),
+            t_pack: Duration::from_millis(250),
             steps: 10,
             msgs_sent: 6,
             doubles_sent: 200,
@@ -111,10 +148,65 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.t_calc, Duration::from_secs(4));
         assert_eq!(a.t_com, Duration::from_secs(6));
+        assert_eq!(a.t_pack, Duration::from_millis(750));
         assert_eq!(a.steps, 10);
         assert_eq!(a.msgs_sent, 10);
         assert_eq!(a.doubles_sent, 300);
         assert_eq!(a.buf_allocs, 3);
         assert_eq!(a.buf_reuses, 7);
+    }
+
+    /// Pins the pack-time accounting: `t_pack` is a sub-component of `t_com`
+    /// and must never be counted into the step total a second time — not by
+    /// `per_step`, not by `utilization`, and not when segments are appended
+    /// (the supervised-runner path, where the buffer-return channel being
+    /// empty forces a fresh alloc inside the timed pack window).
+    #[test]
+    fn pack_time_is_not_double_counted() {
+        let seg = StepTiming {
+            t_calc: Duration::from_secs(6),
+            t_com: Duration::from_secs(2),
+            t_pack: Duration::from_secs(1), // half the com window was packing
+            steps: 4,
+            buf_allocs: 1, // return channel was empty: alloc inside pack
+            ..Default::default()
+        };
+        // per_step uses t_calc + t_com only: (6+2)/4 = 2 s, NOT (6+2+1)/4.
+        assert_eq!(seg.per_step(), Duration::from_secs(2));
+        // utilization likewise: 6/(6+2), not 6/(6+2+1).
+        assert!((seg.utilization() - 0.75).abs() < 1e-12);
+
+        // Append two identical committed segments: every field doubles and
+        // the invariant t_pack <= t_com is preserved exactly.
+        let mut total = seg;
+        total.append(&seg);
+        assert_eq!(total.t_com, Duration::from_secs(4));
+        assert_eq!(total.t_pack, Duration::from_secs(2));
+        assert!(total.t_pack <= total.t_com);
+        assert_eq!(total.per_step(), Duration::from_secs(2));
+        assert!((total.pack_fraction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn publish_lands_in_registry() {
+        let reg = subsonic_obs::MetricsRegistry::new();
+        let t = StepTiming {
+            t_calc: Duration::from_secs(3),
+            t_com: Duration::from_secs(1),
+            t_pack: Duration::from_millis(100),
+            steps: 7,
+            msgs_sent: 14,
+            doubles_sent: 700,
+            buf_allocs: 2,
+            buf_reuses: 12,
+        };
+        t.publish(&reg, "exec.threaded2");
+        assert_eq!(reg.gauge("exec.threaded2.t_calc"), Some(3.0));
+        assert_eq!(reg.counter("exec.threaded2.msgs_sent"), Some(14));
+        assert_eq!(reg.counter("exec.threaded2.buf_allocs"), Some(2));
+        let util = reg
+            .gauge("exec.threaded2.utilization")
+            .expect("utilization gauge");
+        assert!((util - 0.75).abs() < 1e-12);
     }
 }

@@ -123,7 +123,12 @@ impl<T> Array2<T> {
     /// Flat storage index of `(x, y)`.
     #[inline(always)]
     pub fn idx(&self, x: usize, y: usize) -> usize {
-        debug_assert!(x < self.nx && y < self.ny, "({x},{y}) out of {}x{}", self.nx, self.ny);
+        debug_assert!(
+            x < self.nx && y < self.ny,
+            "({x},{y}) out of {}x{}",
+            self.nx,
+            self.ny
+        );
         y * self.stride + x
     }
 

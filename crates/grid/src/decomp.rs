@@ -124,7 +124,16 @@ impl Decomp2 {
     ) -> Self {
         let xs = split_even(nx, px);
         let ys = split_even(ny, py);
-        Self { nx, ny, px, py, periodic_x, periodic_y, xs, ys }
+        Self {
+            nx,
+            ny,
+            px,
+            py,
+            periodic_x,
+            periodic_y,
+            xs,
+            ys,
+        }
     }
 
     /// Global grid width.
@@ -177,7 +186,12 @@ impl Decomp2 {
     /// The box of global indices covered by tile `id`.
     pub fn tile_box(&self, id: usize) -> TileBox2 {
         let (tx, ty) = self.tile_coord(id);
-        TileBox2 { tx, ty, x: self.xs[tx], y: self.ys[ty] }
+        TileBox2 {
+            tx,
+            ty,
+            x: self.xs[tx],
+            y: self.ys[ty],
+        }
     }
 
     /// All tile boxes in tile-id order.
@@ -187,8 +201,16 @@ impl Decomp2 {
 
     /// The tile id owning global node `(x, y)`.
     pub fn owner(&self, x: usize, y: usize) -> usize {
-        let tx = self.xs.iter().position(|e| e.contains(x)).expect("x inside grid");
-        let ty = self.ys.iter().position(|e| e.contains(y)).expect("y inside grid");
+        let tx = self
+            .xs
+            .iter()
+            .position(|e| e.contains(x))
+            .expect("x inside grid");
+        let ty = self
+            .ys
+            .iter()
+            .position(|e| e.contains(y))
+            .expect("y inside grid");
         self.tile_id(tx, ty)
     }
 
@@ -229,7 +251,10 @@ impl Decomp2 {
     /// lengths over faces with a neighbour. This is the `N_c` of eq. (14).
     pub fn surface_nodes(&self, id: usize) -> usize {
         let b = self.tile_box(id);
-        self.communicating_faces(id).iter().map(|&f| b.face_nodes(f)).sum()
+        self.communicating_faces(id)
+            .iter()
+            .map(|&f| b.face_nodes(f))
+            .sum()
     }
 
     /// The geometry factor `m` (see [`MFactor`]).
@@ -251,7 +276,11 @@ impl Decomp2 {
             (5, 4) | (4, 5) => 4.0,
             _ => max as f64,
         };
-        MFactor { mean_faces: mean, max_faces: max, paper }
+        MFactor {
+            mean_faces: mean,
+            max_faces: max,
+            paper,
+        }
     }
 }
 
@@ -290,7 +319,18 @@ impl Decomp3 {
         let xs = split_even(nx, px);
         let ys = split_even(ny, py);
         let zs = split_even(nz, pz);
-        Self { nx, ny, nz, px, py, pz, periodic, xs, ys, zs }
+        Self {
+            nx,
+            ny,
+            nz,
+            px,
+            py,
+            pz,
+            periodic,
+            xs,
+            ys,
+            zs,
+        }
     }
 
     /// Global extents.
@@ -331,7 +371,14 @@ impl Decomp3 {
     /// The box of global indices covered by tile `id`.
     pub fn tile_box(&self, id: usize) -> TileBox3 {
         let (tx, ty, tz) = self.tile_coord(id);
-        TileBox3 { tx, ty, tz, x: self.xs[tx], y: self.ys[ty], z: self.zs[tz] }
+        TileBox3 {
+            tx,
+            ty,
+            tz,
+            x: self.xs[tx],
+            y: self.ys[ty],
+            z: self.zs[tz],
+        }
     }
 
     /// Neighbour tile across face `f`, honouring periodicity.
@@ -370,7 +417,10 @@ impl Decomp3 {
     /// Number of communicating (surface) nodes of tile `id`.
     pub fn surface_nodes(&self, id: usize) -> usize {
         let b = self.tile_box(id);
-        self.communicating_faces(id).iter().map(|&f| b.face_nodes(f)).sum()
+        self.communicating_faces(id)
+            .iter()
+            .map(|&f| b.face_nodes(f))
+            .sum()
     }
 
     /// The geometry factor `m` (mean/max faces; `paper` follows the same
@@ -393,7 +443,11 @@ impl Decomp3 {
         } else {
             max as f64
         };
-        MFactor { mean_faces: mean, max_faces: max, paper }
+        MFactor {
+            mean_faces: mean,
+            max_faces: max,
+            paper,
+        }
     }
 }
 

@@ -53,7 +53,11 @@ pub struct Geometry2 {
 impl Geometry2 {
     /// An all-fluid `nx × ny` geometry with the given periodicity.
     pub fn open(nx: usize, ny: usize, periodic_x: bool, periodic_y: bool) -> Self {
-        Self { mask: Array2::new(nx, ny, Cell::Fluid), periodic_x, periodic_y }
+        Self {
+            mask: Array2::new(nx, ny, Cell::Fluid),
+            periodic_x,
+            periodic_y,
+        }
     }
 
     /// An `nx × ny` region fully enclosed by walls of the given thickness
@@ -201,12 +205,22 @@ pub struct FluePipeSpec {
 impl FluePipeSpec {
     /// Figure-1 style geometry at the given size.
     pub fn figure1(nx: usize, ny: usize) -> Self {
-        Self { nx, ny, wall: 2, figure2: false }
+        Self {
+            nx,
+            ny,
+            wall: 2,
+            figure2: false,
+        }
     }
 
     /// Figure-2 style geometry at the given size.
     pub fn figure2(nx: usize, ny: usize) -> Self {
-        Self { nx, ny, wall: 2, figure2: true }
+        Self {
+            nx,
+            ny,
+            wall: 2,
+            figure2: true,
+        }
     }
 
     /// Height of the jet axis (centre of the inlet opening).
@@ -228,7 +242,10 @@ impl FluePipeSpec {
     /// Builds the geometry mask.
     pub fn build(&self) -> Geometry2 {
         let (nx, ny, w) = (self.nx, self.ny, self.wall);
-        assert!(nx >= 40 && ny >= 40, "flue pipe domain too small to resolve");
+        assert!(
+            nx >= 40 && ny >= 40,
+            "flue pipe domain too small to resolve"
+        );
         let mut g = Geometry2::enclosed_box(nx, ny, w);
         let jet_y = self.jet_axis();
         let jh = self.jet_half_width();
@@ -303,7 +320,10 @@ pub struct Geometry3 {
 impl Geometry3 {
     /// An all-fluid geometry with the given periodicity `[x, y, z]`.
     pub fn open(nx: usize, ny: usize, nz: usize, periodic: [bool; 3]) -> Self {
-        Self { mask: Array3::new(nx, ny, nz, Cell::Fluid), periodic }
+        Self {
+            mask: Array3::new(nx, ny, nz, Cell::Fluid),
+            periodic,
+        }
     }
 
     /// A rectangular duct: walls on the y and z boundaries, periodic in x

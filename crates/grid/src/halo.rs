@@ -23,8 +23,8 @@ use crate::padded::{PaddedGrid2, PaddedGrid3};
 /// contains (per field).
 pub fn message_len2(nx: usize, ny: usize, f: Face2, w: usize) -> usize {
     match f.axis() {
-        0 => w * ny,             // x stage: spans interior y
-        _ => w * (nx + 2 * w),   // y stage: spans full padded x
+        0 => w * ny,           // x stage: spans interior y
+        _ => w * (nx + 2 * w), // y stage: spans full padded x
     }
 }
 
@@ -52,7 +52,12 @@ pub fn message_len3(nx: usize, ny: usize, nz: usize, f: Face3, w: usize) -> usiz
 /// `base0` and advancing `stride` per segment, into consecutive chunks of
 /// `out`.
 #[inline]
-fn gather_rows_fixed<T: Copy, const W: usize>(src: &[T], base0: usize, stride: usize, out: &mut [T]) {
+fn gather_rows_fixed<T: Copy, const W: usize>(
+    src: &[T],
+    base0: usize,
+    stride: usize,
+    out: &mut [T],
+) {
     let mut base = base0;
     for chunk in out.chunks_exact_mut(W) {
         chunk.copy_from_slice(&src[base..base + W]);
@@ -81,7 +86,12 @@ fn gather_rows<T: Copy>(src: &[T], base0: usize, stride: usize, seg: usize, out:
 
 /// Scatter counterpart of [`gather_rows_fixed`].
 #[inline]
-fn scatter_rows_fixed<T: Copy, const W: usize>(dst: &mut [T], base0: usize, stride: usize, data: &[T]) {
+fn scatter_rows_fixed<T: Copy, const W: usize>(
+    dst: &mut [T],
+    base0: usize,
+    stride: usize,
+    data: &[T],
+) {
     let mut base = base0;
     for chunk in data.chunks_exact(W) {
         dst[base..base + W].copy_from_slice(chunk);
@@ -331,7 +341,8 @@ mod tests {
             .map(|id| {
                 let b = d.tile_box(id);
                 PaddedGrid2::from_fn(b.x.len, b.y.len, w, |i, j| {
-                    let inside = i >= 0 && j >= 0 && (i as usize) < b.x.len && (j as usize) < b.y.len;
+                    let inside =
+                        i >= 0 && j >= 0 && (i as usize) < b.x.len && (j as usize) < b.y.len;
                     if inside {
                         global(b.x.start as isize + i, b.y.start as isize + j)
                     } else {

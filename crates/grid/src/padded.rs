@@ -31,7 +31,12 @@ impl<T: Clone> PaddedGrid2<T> {
     /// (see [`StridePolicy::AvoidPageMultiples`] for the Appendix-E pad).
     pub fn with_policy(nx: usize, ny: usize, halo: usize, fill: T, policy: StridePolicy) -> Self {
         let storage = Array2::with_policy(nx + 2 * halo, ny + 2 * halo, fill, policy);
-        Self { nx, ny, halo, storage }
+        Self {
+            nx,
+            ny,
+            halo,
+            storage,
+        }
     }
 
     /// Fills every node, interior and ghost, with `v`.
@@ -86,8 +91,14 @@ impl<T> PaddedGrid2<T> {
     #[inline(always)]
     pub fn idx(&self, i: isize, j: isize) -> usize {
         let h = self.halo as isize;
-        debug_assert!(i >= -h && i < self.nx as isize + h, "i={i} out of halo range");
-        debug_assert!(j >= -h && j < self.ny as isize + h, "j={j} out of halo range");
+        debug_assert!(
+            i >= -h && i < self.nx as isize + h,
+            "i={i} out of halo range"
+        );
+        debug_assert!(
+            j >= -h && j < self.ny as isize + h,
+            "j={j} out of halo range"
+        );
         ((j + h) as usize) * self.storage.stride() + (i + h) as usize
     }
 
@@ -167,7 +178,10 @@ impl<T> PaddedGrid2<T> {
         len: usize,
     ) -> (&mut [T], &[T]) {
         assert_ne!(j_dst, j_src, "row_pair_mut: aliasing rows");
-        assert!(len <= self.storage.stride(), "row_pair_mut: segment spans rows");
+        assert!(
+            len <= self.storage.stride(),
+            "row_pair_mut: segment spans rows"
+        );
         let bd = self.idx(i0, j_dst);
         let bs = self.idx(i0, j_src);
         let raw = self.storage.raw_mut();
@@ -226,7 +240,13 @@ impl<T: Clone> PaddedGrid3<T> {
     /// Creates a padded grid with every node set to `fill`.
     pub fn new(nx: usize, ny: usize, nz: usize, halo: usize, fill: T) -> Self {
         let storage = Array3::new(nx + 2 * halo, ny + 2 * halo, nz + 2 * halo, fill);
-        Self { nx, ny, nz, halo, storage }
+        Self {
+            nx,
+            ny,
+            nz,
+            halo,
+            storage,
+        }
     }
 
     /// Fills every node, interior and ghost, with `v`.
@@ -379,7 +399,10 @@ impl<T> PaddedGrid3<T> {
             (j_dst, k_dst) != (j_src, k_src),
             "row_pair_mut: aliasing rows"
         );
-        assert!(len <= self.storage.stride(), "row_pair_mut: segment spans rows");
+        assert!(
+            len <= self.storage.stride(),
+            "row_pair_mut: segment spans rows"
+        );
         let bd = self.idx(i0, j_dst, k_dst);
         let bs = self.idx(i0, j_src, k_src);
         let raw = self.storage.raw_mut();

@@ -199,7 +199,11 @@ mod tests {
         let m = EfficiencyModel::paper_3d(10, 2.0);
         let n = 25.0f64.powi(3);
         let direct = efficiency_3d_bus(n, 10, 2.0, 2.0 / 3.0);
-        assert!((m.efficiency(n) - direct).abs() < 1e-12, "{} vs {direct}", m.efficiency(n));
+        assert!(
+            (m.efficiency(n) - direct).abs() < 1e-12,
+            "{} vs {direct}",
+            m.efficiency(n)
+        );
     }
 
     #[test]
@@ -251,7 +255,10 @@ mod tests {
         let large = 300.0 * 300.0;
         let drop_small = clean.efficiency(small) - noisy.efficiency(small);
         let drop_large = clean.efficiency(large) - noisy.efficiency(large);
-        assert!(drop_small > 4.0 * drop_large, "{drop_small} vs {drop_large}");
+        assert!(
+            drop_small > 4.0 * drop_large,
+            "{drop_small} vs {drop_large}"
+        );
     }
 
     #[test]

@@ -1,0 +1,228 @@
+//! Chrome trace-event JSON exporter.
+//!
+//! Emits the subset of the trace-event format that Perfetto and
+//! `chrome://tracing` load: `"M"` metadata events naming each process/thread
+//! track, `"X"` complete spans (`ts` + `dur` in microseconds) and `"i"`
+//! thread-scoped instants.
+//!
+//! The output is **deterministic**: tracks are grouped by `(pid, tid)` and
+//! sorted, per-track metadata is emitted exactly once (supervised runs
+//! re-create workers each segment, yielding several `TrackData` for the same
+//! track), events are stable-sorted by timestamp, and floats are printed with
+//! fixed `%.3f` formatting. Two runs that record the same events in any flush
+//! order produce byte-identical files — which is what the trace-determinism
+//! test pins for seeded cluster runs.
+
+use crate::metrics::push_escaped;
+use crate::recorder::{FlightRecorder, TraceEvent, TrackData};
+
+/// Serialise every finished track of `rec` as a Chrome trace-event JSON
+/// document. Returns the empty-trace document for a disabled recorder.
+pub fn export(rec: &FlightRecorder) -> String {
+    export_tracks(&rec.finished_tracks())
+}
+
+/// Serialise an explicit track list (exposed for tests).
+pub fn export_tracks(tracks: &[TrackData]) -> String {
+    // Group by (pid, tid): concatenate events, keep first-seen names.
+    let mut grouped: std::collections::BTreeMap<(u32, u32), (String, String, Vec<TraceEvent>)> =
+        std::collections::BTreeMap::new();
+    for t in tracks {
+        let entry = grouped
+            .entry((t.pid, t.tid))
+            .or_insert_with(|| (t.process.clone(), t.thread.clone(), Vec::new()));
+        entry.2.extend_from_slice(&t.events);
+    }
+
+    let mut out =
+        String::with_capacity(256 + tracks.iter().map(|t| t.events.len()).sum::<usize>() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let emit = |out: &mut String, line: &str, first: &mut bool| {
+        if !*first {
+            out.push_str(",\n");
+        }
+        *first = false;
+        out.push_str(line);
+    };
+
+    // Metadata rows first, in (pid, tid) order (BTreeMap iteration).
+    let mut seen_pid = std::collections::BTreeSet::new();
+    for ((pid, tid), (process, thread, _)) in grouped.iter() {
+        if seen_pid.insert(*pid) {
+            let mut line = format!(
+                "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\"name\":\"process_name\",\"args\":{{\"name\":\""
+            );
+            push_escaped(&mut line, process);
+            line.push_str("\"}}");
+            emit(&mut out, &line, &mut first);
+        }
+        let mut line = format!(
+            "{{\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"name\":\"thread_name\",\"args\":{{\"name\":\""
+        );
+        push_escaped(&mut line, thread);
+        line.push_str("\"}}");
+        emit(&mut out, &line, &mut first);
+    }
+
+    // Event rows, per track in (pid, tid) order, stable-sorted by timestamp.
+    for ((pid, tid), (_, _, events)) in grouped.iter_mut() {
+        events.sort_by(|a, b| {
+            a.ts_us
+                .partial_cmp(&b.ts_us)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        for ev in events.iter() {
+            let mut line = format!(
+                "{{\"ph\":\"{}\",\"pid\":{pid},\"tid\":{tid},\"cat\":\"{}\",\"name\":\"{}\",\"ts\":{:.3}",
+                if ev.is_instant() { "i" } else { "X" },
+                ev.cat.as_str(),
+                ev.name,
+                ev.ts_us,
+            );
+            if ev.is_instant() {
+                line.push_str(",\"s\":\"t\"");
+            } else {
+                line.push_str(&format!(",\"dur\":{:.3}", ev.dur_us));
+            }
+            if let Some((k, v)) = ev.arg {
+                line.push_str(&format!(",\"args\":{{\"{k}\":{:.3}}}", v));
+            }
+            line.push('}');
+            emit(&mut out, &line, &mut first);
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Minimal structural validation used by tests and the CLI: checks the
+/// document parses as balanced JSON with a top-level `traceEvents` array.
+/// Not a full JSON parser — enough to catch malformed escaping/nesting.
+pub fn looks_like_valid_trace(json: &str) -> bool {
+    let trimmed = json.trim_start();
+    if !trimmed.starts_with('{') || !json.contains("\"traceEvents\"") {
+        return false;
+    }
+    let mut depth_obj = 0i64;
+    let mut depth_arr = 0i64;
+    let mut in_str = false;
+    let mut escaped = false;
+    for ch in json.chars() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if ch == '\\' {
+                escaped = true;
+            } else if ch == '"' {
+                in_str = false;
+            }
+            continue;
+        }
+        match ch {
+            '"' => in_str = true,
+            '{' => depth_obj += 1,
+            '}' => depth_obj -= 1,
+            '[' => depth_arr += 1,
+            ']' => depth_arr -= 1,
+            _ => {}
+        }
+        if depth_obj < 0 || depth_arr < 0 {
+            return false;
+        }
+    }
+    depth_obj == 0 && depth_arr == 0 && !in_str
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Category;
+
+    fn sample_recorder() -> FlightRecorder {
+        let rec = FlightRecorder::enabled(64);
+        let mut p0 = rec.track(1, 0, "cluster-sim", "proc 0");
+        p0.span_sim(Category::Compute, "step", 0.0, 0.010);
+        p0.span_sim_arg(
+            Category::Halo,
+            "exchange",
+            0.010,
+            0.012,
+            Some(("bytes", 800.0)),
+        );
+        p0.instant_sim(Category::Fault, "crash", 0.020);
+        p0.finish();
+        let mut p1 = rec.track(1, 1, "cluster-sim", "proc 1");
+        p1.span_sim(Category::Checkpoint, "dump", 0.005, 0.007);
+        p1.span_sim(Category::Recovery, "rollback", 0.021, 0.030);
+        p1.finish();
+        rec
+    }
+
+    #[test]
+    fn export_is_valid_and_has_tracks() {
+        let json = export(&sample_recorder());
+        assert!(looks_like_valid_trace(&json), "{json}");
+        assert!(json.contains("\"process_name\""));
+        assert!(json.contains("\"thread_name\""));
+        assert!(json.contains("\"proc 0\""));
+        assert!(json.contains("\"proc 1\""));
+        for cat in ["compute", "halo", "checkpoint", "recovery", "fault"] {
+            assert!(
+                json.contains(&format!("\"cat\":\"{cat}\"")),
+                "missing {cat}"
+            );
+        }
+        // Span timestamps in µs with fixed formatting.
+        assert!(json.contains("\"ts\":10000.000"));
+        assert!(json.contains("\"dur\":2000.000"));
+        assert!(json.contains("\"args\":{\"bytes\":800.000}"));
+        // Instant carries scope marker.
+        assert!(json.contains("\"ph\":\"i\""));
+        assert!(json.contains("\"s\":\"t\""));
+    }
+
+    #[test]
+    fn export_is_flush_order_independent() {
+        // Same events delivered as differently-ordered TrackData lists must
+        // serialise identically (supervised runs flush per segment).
+        let rec = sample_recorder();
+        let mut tracks = rec.finished_tracks();
+        let a = export_tracks(&tracks);
+        tracks.reverse();
+        let b = export_tracks(&tracks);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn duplicate_track_metadata_emitted_once() {
+        let rec = FlightRecorder::enabled(16);
+        for seg in 0..3 {
+            let mut t = rec.track(2, 5, "runner", "tile 5");
+            t.span_us(Category::Compute, "seg", seg as f64 * 100.0, 50.0);
+            t.finish();
+        }
+        let json = export(&rec);
+        assert!(looks_like_valid_trace(&json));
+        assert_eq!(json.matches("\"thread_name\"").count(), 1);
+        assert_eq!(json.matches("\"ph\":\"X\"").count(), 3);
+    }
+
+    #[test]
+    fn disabled_recorder_exports_empty_trace() {
+        let json = export(&FlightRecorder::disabled());
+        assert!(looks_like_valid_trace(&json));
+        assert!(!json.contains("\"ph\":\"X\""));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(!looks_like_valid_trace("not json"));
+        assert!(!looks_like_valid_trace("{\"traceEvents\":["));
+        assert!(!looks_like_valid_trace("{\"traceEvents\":[]}}"));
+        assert!(!looks_like_valid_trace(
+            "{\"traceEvents\":[\"unterminated]}"
+        ));
+    }
+}

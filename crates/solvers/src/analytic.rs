@@ -48,7 +48,15 @@ pub fn duct_u(y: f64, z: f64, a: f64, b: f64, g: f64, nu: f64, terms: usize) -> 
 /// A Gaussian acoustic density pulse `ρ(x, 0) = ρ0 + A exp(−(x−x0)²/(2σ²))`
 /// released at rest splits into two half-amplitude pulses travelling at ±c_s
 /// (linear acoustics). Returns the predicted density at `(x, t)`.
-pub fn acoustic_pulse_rho(x: f64, t: f64, x0: f64, amp: f64, sigma: f64, cs: f64, rho0: f64) -> f64 {
+pub fn acoustic_pulse_rho(
+    x: f64,
+    t: f64,
+    x0: f64,
+    amp: f64,
+    sigma: f64,
+    cs: f64,
+    rho0: f64,
+) -> f64 {
     let g = |d: f64| (-d * d / (2.0 * sigma * sigma)).exp();
     rho0 + 0.5 * amp * (g(x - x0 - cs * t) + g(x - x0 + cs * t))
 }

@@ -156,7 +156,10 @@ pub struct ProbeSeries {
 impl ProbeSeries {
     /// Creates an empty series with the given sampling interval.
     pub fn new(dt: f64) -> Self {
-        Self { dt, samples: Vec::new() }
+        Self {
+            dt,
+            samples: Vec::new(),
+        }
     }
 
     /// Records one sample.

@@ -246,7 +246,12 @@ impl Solver2 for FiniteDifference2 {
                 self.apply_bcs(t);
                 let eps = t.params.filter_eps;
                 if eps != 0.0 {
-                    let TileState2 { mac_new, scratch, mask, .. } = t;
+                    let TileState2 {
+                        mac_new,
+                        scratch,
+                        mask,
+                        ..
+                    } = t;
                     let sx = &mut scratch[0];
                     filter_field2(&mut mac_new.rho, sx, mask, eps, 2);
                     filter_field2(&mut mac_new.vx, sx, mask, eps, 2);
@@ -434,9 +439,6 @@ mod tests {
             2 * FD2_HALO * 12
         );
         // rho message is half the V message
-        assert_eq!(
-            solver.message_doubles(&t, 1, Face2::West),
-            FD2_HALO * 12
-        );
+        assert_eq!(solver.message_doubles(&t, 1, Face2::West), FD2_HALO * 12);
     }
 }

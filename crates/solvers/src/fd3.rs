@@ -81,8 +81,7 @@ impl FiniteDifference3 {
             for j in 0..ny {
                 let mrow = t.mask.interior_row(j, k);
                 // per field (vx, vy, vz, rho): centre row and 4 neighbour rows
-                let fields: [&PaddedGrid3<f64>; 4] =
-                    [&t.mac.vx, &t.mac.vy, &t.mac.vz, &t.mac.rho];
+                let fields: [&PaddedGrid3<f64>; 4] = [&t.mac.vx, &t.mac.vy, &t.mac.vz, &t.mac.rho];
                 let cen: [&[f64]; 4] =
                     std::array::from_fn(|fi| fields[fi].row_segment(j, k, -1, nx + 2));
                 let rn: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j + 1, k));
@@ -118,10 +117,9 @@ impl FiniteDifference3 {
                         }
                     }
                     for a in 0..3 {
-                        let adv =
-                            v[0] * grad[a][0] + v[1] * grad[a][1] + v[2] * grad[a][2];
-                        let val = v[a]
-                            + p.dt * (-adv - cs2 / rho * grad[3][a] + p.nu * lap[a] + g[a]);
+                        let adv = v[0] * grad[a][0] + v[1] * grad[a][1] + v[2] * grad[a][2];
+                        let val =
+                            v[a] + p.dt * (-adv - cs2 / rho * grad[3][a] + p.nu * lap[a] + g[a]);
                         match a {
                             0 => out_vx[x] = val,
                             1 => out_vy[x] = val,
@@ -238,7 +236,12 @@ impl Solver3 for FiniteDifference3 {
                 self.apply_bcs(t);
                 let eps = t.params.filter_eps;
                 if eps != 0.0 {
-                    let TileState3 { mac_new, scratch, mask, .. } = t;
+                    let TileState3 {
+                        mac_new,
+                        scratch,
+                        mask,
+                        ..
+                    } = t;
                     let (sx, rest) = scratch.split_at_mut(1);
                     let sx = &mut sx[0];
                     let sy = &mut rest[0];
@@ -364,8 +367,7 @@ mod tests {
         params: FluidParams,
     ) -> (FiniteDifference3, TileState3) {
         let geom = subsonic_grid::Geometry3::duct(nx, ny, nz, 2);
-        let d =
-            subsonic_grid::Decomp3::with_periodicity(nx, ny, nz, 1, 1, 1, [true, false, false]);
+        let d = subsonic_grid::Decomp3::with_periodicity(nx, ny, nz, 1, 1, 1, [true, false, false]);
         let mask = geom.tile_mask(&d, 0, FD3_HALO);
         let solver = FiniteDifference3;
         let init = InitialState3::uniform(params.rho0);

@@ -28,9 +28,7 @@ pub fn nyquist_gain(eps: f64) -> f64 {
 }
 
 #[inline(always)]
-fn fluid5(
-    m: impl Fn(isize) -> Cell,
-) -> bool {
+fn fluid5(m: impl Fn(isize) -> Cell) -> bool {
     (-2..=2).all(|d| m(d).is_fluid())
 }
 
@@ -53,12 +51,7 @@ fn filter_row_x(dst: &mut [f64], src: &[f64], msk: &[Cell], eps: f64) {
 /// One row of an across-row filter pass: the five stencil inputs come from
 /// five parallel rows (offsets −2..+2 along the filtered axis) at the same x.
 #[inline(always)]
-fn filter_row_across(
-    dst: &mut [f64],
-    s: [&[f64]; 5],
-    m: [&[Cell]; 5],
-    eps: f64,
-) {
+fn filter_row_across(dst: &mut [f64], s: [&[f64]; 5], m: [&[Cell]; 5], eps: f64) {
     for (x, d) in dst.iter_mut().enumerate() {
         let v = s[2][x];
         let ok = fluid5(|o| m[(o + 2) as usize][x]);
@@ -83,7 +76,10 @@ pub fn filter_field2(
 ) {
     let nx = u.nx() as isize;
     let ny = u.ny() as isize;
-    debug_assert!(u.halo() as isize >= ring + 2, "halo too small for filter ring");
+    debug_assert!(
+        u.halo() as isize >= ring + 2,
+        "halo too small for filter ring"
+    );
     let span = (nx + 2 * ring) as usize;
 
     // Pass 1 (x): scratch <- filtered-in-x, over a y-range widened by 2 so
@@ -123,7 +119,10 @@ pub fn filter_field3(
     let nx = u.nx() as isize;
     let ny = u.ny() as isize;
     let nz = u.nz() as isize;
-    debug_assert!(u.halo() as isize >= ring + 2, "halo too small for filter ring");
+    debug_assert!(
+        u.halo() as isize >= ring + 2,
+        "halo too small for filter ring"
+    );
     let span = (nx + 2 * ring) as usize;
 
     for k in (-ring - 2)..(nz + ring + 2) {
@@ -248,8 +247,7 @@ mod tests {
     fn filter3_nyquist_damped() {
         let mask = PaddedGrid3::new(8, 8, 8, 3, Cell::Fluid);
         let eps = 0.01;
-        let mut u =
-            PaddedGrid3::from_fn(8, 8, 8, 3, |_, j, _| if j % 2 == 0 { 1.0 } else { -1.0 });
+        let mut u = PaddedGrid3::from_fn(8, 8, 8, 3, |_, j, _| if j % 2 == 0 { 1.0 } else { -1.0 });
         let mut sx = u.clone();
         let mut sy = u.clone();
         filter_field3(&mut u, &mut sx, &mut sy, &mask, eps, 0);

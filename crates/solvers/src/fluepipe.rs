@@ -39,7 +39,11 @@ impl FluePipeScenario {
         params.inlet_velocity = [mach * params.cs, 0.0, 0.0];
         params.filter_eps = 0.03;
         let probe = (spec.edge_x().saturating_sub(2), spec.jet_axis() + 2);
-        Self { spec, params, probe }
+        Self {
+            spec,
+            params,
+            probe,
+        }
     }
 
     /// Builds the geometry mask.

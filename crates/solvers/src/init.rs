@@ -31,7 +31,7 @@ impl InitialState2 {
 /// `(ρ, vx, vy, vz)`.
 pub struct InitialState3(
     #[allow(clippy::type_complexity)]
-    pub Box<dyn Fn(isize, isize, isize) -> (f64, f64, f64, f64) + Send + Sync>,
+    pub  Box<dyn Fn(isize, isize, isize) -> (f64, f64, f64, f64) + Send + Sync>,
 );
 
 impl InitialState3 {

@@ -212,7 +212,9 @@ impl LatticeBoltzmann2 {
         t.mac_new.vx.copy_interior_from(&t.mac.vx);
         t.mac_new.vy.copy_interior_from(&t.mac.vy);
         {
-            let TileState2 { mac, scratch, mask, .. } = t;
+            let TileState2 {
+                mac, scratch, mask, ..
+            } = t;
             let sx = &mut scratch[0];
             filter_field2(&mut mac.rho, sx, mask, p.filter_eps, 0);
             filter_field2(&mut mac.vx, sx, mask, p.filter_eps, 0);
@@ -313,7 +315,10 @@ impl Solver2 for LatticeBoltzmann2 {
         offset: (usize, usize),
         init: &InitialState2,
     ) -> TileState2 {
-        assert!(mask.halo() >= LBM2_HALO, "tile mask halo too small for LBM2");
+        assert!(
+            mask.halo() >= LBM2_HALO,
+            "tile mask halo too small for LBM2"
+        );
         let (nx, ny, h) = (mask.nx(), mask.ny(), mask.halo());
         let mut mac = Macro2::uniform(nx, ny, h, params.rho0);
         let mut f: Vec<PaddedGrid2<f64>> =

@@ -185,7 +185,13 @@ impl LatticeBoltzmann3 {
         let p = t.params;
         {
             // keep the raw macroscopic fields for the non-equilibrium split
-            let TileState3 { mac, mac_new, scratch, mask, .. } = t;
+            let TileState3 {
+                mac,
+                mac_new,
+                scratch,
+                mask,
+                ..
+            } = t;
             for (dst, src) in [
                 (&mut mac_new.rho, &mac.rho),
                 (&mut mac_new.vx, &mac.vx),
@@ -196,7 +202,8 @@ impl LatticeBoltzmann3 {
                 let ny = src.ny() as isize;
                 for k in 0..nz {
                     for j in 0..ny {
-                        dst.interior_row_mut(j, k).copy_from_slice(src.interior_row(j, k));
+                        dst.interior_row_mut(j, k)
+                            .copy_from_slice(src.interior_row(j, k));
                     }
                 }
             }
@@ -315,11 +322,15 @@ impl Solver3 for LatticeBoltzmann3 {
         offset: (usize, usize, usize),
         init: &InitialState3,
     ) -> TileState3 {
-        assert!(mask.halo() >= LBM3_HALO, "tile mask halo too small for LBM3");
+        assert!(
+            mask.halo() >= LBM3_HALO,
+            "tile mask halo too small for LBM3"
+        );
         let (nx, ny, nz, h) = (mask.nx(), mask.ny(), mask.nz(), mask.halo());
         let mut mac = Macro3::uniform(nx, ny, nz, h, params.rho0);
-        let mut f: Vec<PaddedGrid3<f64>> =
-            (0..Q3).map(|_| PaddedGrid3::new(nx, ny, nz, h, 0.0)).collect();
+        let mut f: Vec<PaddedGrid3<f64>> = (0..Q3)
+            .map(|_| PaddedGrid3::new(nx, ny, nz, h, 0.0))
+            .collect();
         let hi = h as isize;
         let inv_c = params.dt / params.dx;
         for k in -hi..(nz as isize + hi) {
@@ -390,8 +401,7 @@ mod tests {
         params: FluidParams,
     ) -> (LatticeBoltzmann3, TileState3) {
         let geom = subsonic_grid::Geometry3::duct(nx, ny, nz, 2);
-        let d =
-            subsonic_grid::Decomp3::with_periodicity(nx, ny, nz, 1, 1, 1, [true, false, false]);
+        let d = subsonic_grid::Decomp3::with_periodicity(nx, ny, nz, 1, 1, 1, [true, false, false]);
         let mask = geom.tile_mask(&d, 0, LBM3_HALO);
         let solver = LatticeBoltzmann3;
         let init = InitialState3::uniform(params.rho0);

@@ -123,7 +123,10 @@ impl FluidParams {
             v.push(format!("filter_eps {} outside [0, 1/16]", self.filter_eps));
         }
         if self.lbm_tau() <= 0.5 {
-            v.push(format!("LBM tau {:.3} <= 1/2 (negative viscosity)", self.lbm_tau()));
+            v.push(format!(
+                "LBM tau {:.3} <= 1/2 (negative viscosity)",
+                self.lbm_tau()
+            ));
         }
         let umax = self
             .inlet_velocity

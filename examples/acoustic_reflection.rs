@@ -44,8 +44,18 @@ fn main() {
             .unwrap()
     };
 
-    println!("\n{:>8} {:>10} {:>12} {:>14}", "step", "peak x", "expected", "peak rho-1");
-    let checkpoints = [to_wall / 4, to_wall / 2, (3 * to_wall) / 4, to_wall, to_wall * 3 / 2, to_wall * 2];
+    println!(
+        "\n{:>8} {:>10} {:>12} {:>14}",
+        "step", "peak x", "expected", "peak rho-1"
+    );
+    let checkpoints = [
+        to_wall / 4,
+        to_wall / 2,
+        (3 * to_wall) / 4,
+        to_wall,
+        to_wall * 3 / 2,
+        to_wall * 2,
+    ];
     let mut done = 0usize;
     for &target in &checkpoints {
         sim.run(target - done);

@@ -45,7 +45,10 @@ fn main() {
     println!("mean processor utilisation g = {mean_g:.3}");
     let paused: f64 = stats.procs.iter().map(|p| p.t_paused).sum::<f64>()
         / (stats.procs.len() as f64 * hours * 3600.0);
-    println!("fraction of time paused (sync/migration/checkpoints): {:.2}%", 100.0 * paused);
+    println!(
+        "fraction of time paused (sync/migration/checkpoints): {:.2}%",
+        100.0 * paused
+    );
 
     header("Migrations (paper: ~1 per 45 min, ~30 s each)");
     println!("{} migrations in {hours} hours", stats.migrations.len());

@@ -26,7 +26,10 @@ fn main() {
     );
 
     header("Model vs simulated cluster (2D lattice Boltzmann)");
-    println!("{:>8} {:>12} {:>12} {:>12}", "side", "model f", "simulated f", "speedup");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "side", "model f", "simulated f", "speedup"
+    );
     for s in [side / 2, side, side * 2] {
         let model = EfficiencyModel::paper_2d(p, m.paper).efficiency((s * s) as f64);
         let w = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, s * px, s * py, px, py);

@@ -47,7 +47,11 @@ fn profile_error(method: MethodKind, h: usize) -> f64 {
 
 fn main() {
     let long = has_flag("--long");
-    let heights: &[usize] = if long { &[8, 12, 16, 24, 32] } else { &[8, 12, 16] };
+    let heights: &[usize] = if long {
+        &[8, 12, 16, 24, 32]
+    } else {
+        &[8, 12, 16]
+    };
 
     header("Steady Poiseuille profile error vs resolution");
     println!("{:>6} {:>14} {:>14}", "H", "LB rel Linf", "FD rel Linf");
@@ -70,5 +74,8 @@ fn main() {
          `conv` experiment of the reproduce harness (decaying shear wave)."
     );
     let ok = errs_lb.iter().chain(&errs_fd).all(|e| *e < 0.05);
-    println!("\nall profiles within 5% of exact: {}", if ok { "YES" } else { "NO" });
+    println!(
+        "\nall profiles within 5% of exact: {}",
+        if ok { "YES" } else { "NO" }
+    );
 }

@@ -17,7 +17,10 @@ fn main() {
     header("Problem");
     let mut params = FluidParams::lattice_units(0.1);
     params.body_force[0] = 1.0e-5; // the pressure-gradient drive
-    println!("channel {nx}x{ny}, nu = {}, body force {:.1e}", params.nu, params.body_force[0]);
+    println!(
+        "channel {nx}x{ny}, nu = {}, body force {:.1e}",
+        params.nu, params.body_force[0]
+    );
     println!("stability: {:?}", params.stability_report(false));
 
     let mut sim = Simulation2::builder()

@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Bench regression guard: compares the two newest checked-in BENCH_*.json
+# reports and fails when a guarded metric (node rates, halo pack/roundtrip
+# throughput) regressed by more than 15%. Bench numbers are machine-state
+# snapshots, so this runs as a NON-blocking stage in check.sh — it flags the
+# regression loudly but cannot tell a real slowdown from a different
+# recording machine. Run it standalone to gate a perf-sensitive change.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# newest two by PR number (BENCH_PR<N>.json sorts numerically via -V)
+mapfile -t reports < <(ls BENCH_*.json 2>/dev/null | sort -V)
+if (( ${#reports[@]} < 2 )); then
+    echo "bench_guard: fewer than two BENCH_*.json reports, nothing to compare"
+    exit 0
+fi
+prev="${reports[-2]}"
+curr="${reports[-1]}"
+echo "bench_guard: $prev -> $curr (threshold: -15% on node_rate_*/halo*_pack*/halo*_roundtrip*)"
+
+python3 - "$prev" "$curr" <<'EOF'
+import json, sys
+
+prev_path, curr_path = sys.argv[1], sys.argv[2]
+prev = json.load(open(prev_path))["entries"]
+curr = json.load(open(curr_path))["entries"]
+
+GUARDED = ("node_rate_", "halo2_pack", "halo2_roundtrip", "halo3_pack", "halo3_roundtrip")
+THRESHOLD = 0.15
+
+failures = []
+for name in sorted(curr):
+    if not name.startswith(GUARDED):
+        continue
+    if name not in prev:
+        print(f"  {name:<24} new metric, skipped")
+        continue
+    old, new = prev[name]["value"], curr[name]["value"]
+    if old <= 0:
+        continue
+    delta = (new - old) / old
+    marker = "REGRESSION" if delta < -THRESHOLD else "ok"
+    print(f"  {name:<24} {old:12.3e} -> {new:12.3e}  {delta:+7.1%}  {marker}")
+    if delta < -THRESHOLD:
+        failures.append(name)
+
+if failures:
+    print(f"bench_guard: {len(failures)} metric(s) regressed more than {THRESHOLD:.0%}: "
+          + ", ".join(failures))
+    sys.exit(1)
+print("bench_guard: no guarded metric regressed")
+EOF

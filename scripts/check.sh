@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -19,5 +22,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> fault suite (injection, detection, crash recovery)"
 cargo test --release -q -p subsonic-integration --test fault_recovery
 cargo run --release -q -p subsonic-bench --bin reproduce -- --quick --out /tmp/subsonic-fault-smoke faults
+
+echo "==> bench regression guard (non-blocking: bench numbers are machine snapshots)"
+./scripts/bench_guard.sh || echo "bench_guard: WARNING — guarded metrics regressed (non-blocking)"
 
 echo "All checks passed."

@@ -25,7 +25,9 @@ pub struct BenchmarkId {
 
 impl BenchmarkId {
     pub fn new(name: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
-        Self { label: format!("{name}/{param}") }
+        Self {
+            label: format!("{name}/{param}"),
+        }
     }
 }
 
@@ -106,7 +108,10 @@ fn report(label: &str, median_ns: f64, throughput: Option<Throughput>) {
             format!("  thrpt: {:.3} Melem/s", n as f64 / median_ns * 1e3)
         }
         Some(Throughput::Bytes(n)) => {
-            format!("  thrpt: {:.3} MiB/s", n as f64 / median_ns * 1e9 / (1024.0 * 1024.0))
+            format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / median_ns * 1e9 / (1024.0 * 1024.0)
+            )
         }
         None => String::new(),
     };
@@ -141,7 +146,10 @@ impl Criterion {
     }
 
     pub fn bench_function(&mut self, id: impl IntoBenchmarkId, mut f: impl FnMut(&mut Bencher)) {
-        let mut b = Bencher { sample_size: self.sample_size, median_ns: f64::NAN };
+        let mut b = Bencher {
+            sample_size: self.sample_size,
+            median_ns: f64::NAN,
+        };
         f(&mut b);
         report(&id.into_label(), b.median_ns, None);
     }
@@ -172,7 +180,10 @@ impl BenchmarkGroup<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let n = self.sample_size.unwrap_or(self._c.sample_size);
-        let mut b = Bencher { sample_size: n, median_ns: f64::NAN };
+        let mut b = Bencher {
+            sample_size: n,
+            median_ns: f64::NAN,
+        };
         f(&mut b);
         let label = format!("{}/{}", self.name, id.into_label());
         report(&label, b.median_ns, self.throughput);

@@ -44,13 +44,17 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            Self { inner: self.inner.clone() }
+            Self {
+                inner: self.inner.clone(),
+            }
         }
     }
 
     impl<T> Sender<T> {
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            self.inner.send(msg).map_err(|mpsc::SendError(v)| SendError(v))
+            self.inner
+                .send(msg)
+                .map_err(|mpsc::SendError(v)| SendError(v))
         }
     }
 

@@ -20,7 +20,9 @@ pub struct MutexGuard<'a, T: ?Sized> {
 
 impl<T> Mutex<T> {
     pub const fn new(value: T) -> Self {
-        Self { inner: sync::Mutex::new(value) }
+        Self {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     pub fn lock(&self) -> MutexGuard<'_, T> {
@@ -62,7 +64,9 @@ pub struct Condvar {
 
 impl Condvar {
     pub const fn new() -> Self {
-        Self { inner: sync::Condvar::new() }
+        Self {
+            inner: sync::Condvar::new(),
+        }
     }
 
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {

@@ -58,7 +58,9 @@ impl<T: Send> IntoParIterMut<T> for [T] {
 
 impl<T: Send> IntoParIterMut<T> for Vec<T> {
     fn par_iter_mut(&mut self) -> ParIterMut<'_, T> {
-        ParIterMut { items: self.as_mut_slice() }
+        ParIterMut {
+            items: self.as_mut_slice(),
+        }
     }
 }
 

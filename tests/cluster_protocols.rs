@@ -27,7 +27,11 @@ fn twenty_processes_spill_onto_slower_models() {
     let cfg = ClusterConfig::measurement(lb_workload(5, 4, 50));
     let sim = ClusterSim::new(cfg);
     let hosts = HostKind::paper_cluster();
-    let fast = sim.placements().iter().filter(|&&h| hosts[h] == HostKind::Hp715_50).count();
+    let fast = sim
+        .placements()
+        .iter()
+        .filter(|&&h| hosts[h] == HostKind::Hp715_50)
+        .count();
     assert_eq!(fast, 16, "all sixteen 715s should be used first");
 }
 
@@ -50,7 +54,10 @@ fn heterogeneous_hosts_slow_the_computation() {
     );
     // the extra time is blocked-on-receive, not bus saturation: the per-step
     // decomposition shows the coupling charging the wait to t_com
-    assert!(m20.t_step_blocked > m16.t_step_blocked, "blocked should grow with the slow hosts");
+    assert!(
+        m20.t_step_blocked > m16.t_step_blocked,
+        "blocked should grow with the slow hosts"
+    );
 }
 
 #[test]
@@ -80,7 +87,10 @@ fn migration_is_triggered_by_load_and_relocates() {
     // all processes resume in lockstep afterwards
     let steps = sim.steps();
     let spread = steps.iter().max().unwrap() - steps.iter().min().unwrap();
-    assert!(spread <= 1, "processes out of sync after migration: {steps:?}");
+    assert!(
+        spread <= 1,
+        "processes out of sync after migration: {steps:?}"
+    );
 }
 
 #[test]
@@ -99,7 +109,10 @@ fn skew_bound_holds_2d_and_3d() {
     let h0 = sim.placements()[0];
     sim.set_competitors(h0, 100_000);
     let stats = sim.run(1.0e4, None);
-    assert_eq!(stats.max_observed_skew, max_skew_star_stencil_3d(2, 2, 2) as u64);
+    assert_eq!(
+        stats.max_observed_skew,
+        max_skew_star_stencil_3d(2, 2, 2) as u64
+    );
 }
 
 #[test]
@@ -109,7 +122,11 @@ fn checkpoints_are_staggered_not_simultaneous() {
     cfg.checkpoint_gap_s = 15.0;
     let mut sim = ClusterSim::new(cfg);
     let stats = sim.run(1000.0, None);
-    assert!(stats.checkpoint_rounds >= 2, "rounds: {}", stats.checkpoint_rounds);
+    assert!(
+        stats.checkpoint_rounds >= 2,
+        "rounds: {}",
+        stats.checkpoint_rounds
+    );
     // each round saves 3 dumps of 60*60*96 B ≈ 0.35 MB ≈ 0.28 s each on a
     // 1.25 MB/s bus: total pause well under a simultaneous-save pile-up
     assert!(stats.checkpoint_pause_total > 0.0);
@@ -133,13 +150,22 @@ fn strict_ordering_amplifies_delays() {
     };
     let ratio = |jitter: f64| -> f64 {
         let seeds = [1u64, 9, 33, 77];
-        let f: f64 = seeds.iter().map(|&s| run(CommOrdering::Fcfs, jitter, s)).sum();
-        let st: f64 = seeds.iter().map(|&s| run(CommOrdering::Strict, jitter, s)).sum();
+        let f: f64 = seeds
+            .iter()
+            .map(|&s| run(CommOrdering::Fcfs, jitter, s))
+            .sum();
+        let st: f64 = seeds
+            .iter()
+            .map(|&s| run(CommOrdering::Strict, jitter, s))
+            .sum();
         st / f
     };
     let quiet = ratio(0.0);
     let noisy = ratio(2.0);
-    assert!(quiet <= 1.0, "quiet cluster: pipelining should not lose ({quiet:.3})");
+    assert!(
+        quiet <= 1.0,
+        "quiet cluster: pipelining should not lose ({quiet:.3})"
+    );
     assert!(noisy > 1.0, "jittery cluster: FCFS should win ({noisy:.3})");
     assert!(noisy > quiet, "amplification should grow with jitter");
 }
@@ -159,7 +185,11 @@ fn production_run_makes_progress_under_full_protocol() {
     // for the loaded and slower machines each step, so a 20-process
     // production run with users, background jobs and checkpoints spends a
     // large fraction of its time blocked on receives
-    assert!(stats.mean_utilization() > 0.35, "g = {}", stats.mean_utilization());
+    assert!(
+        stats.mean_utilization() > 0.35,
+        "g = {}",
+        stats.mean_utilization()
+    );
 }
 
 #[test]
@@ -210,13 +240,19 @@ fn policy_changes_never_perturb_the_background_environment() {
     };
     let fcfs = run(CommOrdering::Fcfs);
     let strict = run(CommOrdering::Strict);
-    assert!(!fcfs.background_events.is_empty(), "background model was silent");
+    assert!(
+        !fcfs.background_events.is_empty(),
+        "background model was silent"
+    );
     assert_eq!(
         fcfs.background_events, strict.background_events,
         "comm ordering leaked into the user/background RNG stream"
     );
     // and the policy did change the computation itself
-    assert_ne!(fcfs.net_busy, strict.net_busy, "orderings were indistinguishable");
+    assert_ne!(
+        fcfs.net_busy, strict.net_busy,
+        "orderings were indistinguishable"
+    );
 }
 
 #[test]
@@ -228,8 +264,15 @@ fn udp_transport_completes_despite_losses() {
     cfg.net = cfg.net.udp();
     let mut sim = ClusterSim::new(cfg);
     let stats = sim.run(f64::INFINITY, Some(20));
-    assert!(stats.procs.iter().all(|p| p.steps == 20), "steps: {:?}", sim.steps());
-    assert!(stats.net_losses > 0, "expected losses on the saturated 3D bus");
+    assert!(
+        stats.procs.iter().all(|p| p.steps == 20),
+        "steps: {:?}",
+        sim.steps()
+    );
+    assert!(
+        stats.net_losses > 0,
+        "expected losses on the saturated 3D bus"
+    );
     assert_eq!(stats.net_errors, 0, "UDP should never give up");
 }
 
@@ -237,7 +280,11 @@ fn udp_transport_completes_despite_losses() {
 fn network_errors_appear_under_3d_load_only() {
     let w2 = lb_workload(5, 4, 120);
     let m2 = measure_efficiency(MeasureConfig::paper(w2));
-    let w3 = WorkloadSpec::new_3d(MethodKind::LatticeBoltzmann, (30 * 4, 30 * 2, 30 * 2), (4, 2, 2));
+    let w3 = WorkloadSpec::new_3d(
+        MethodKind::LatticeBoltzmann,
+        (30 * 4, 30 * 2, 30 * 2),
+        (4, 2, 2),
+    );
     let m3 = measure_efficiency(MeasureConfig::paper(w3));
     // the paper observed TCP failures specifically in the 3D runs
     assert!(

@@ -69,7 +69,10 @@ fn crash_recovery_restores_lockstep_and_finishes() {
     assert_ne!(r.to_host, victim);
     assert!(!r.false_positive);
     // rollback is a completed checkpoint round, not the initial dump
-    assert!(r.rollback_step > 0, "a checkpoint round should have completed");
+    assert!(
+        r.rollback_step > 0,
+        "a checkpoint round should have completed"
+    );
     assert!(r.lost_steps > 0, "the victim was ahead of the checkpoint");
     // downtime = detection + search + dump reload + handshake: tens of
     // seconds on the paper's constants, not minutes
@@ -85,7 +88,12 @@ fn crash_recovery_restores_lockstep_and_finishes() {
 #[test]
 fn detection_latency_follows_the_probe_schedule() {
     let mut cfg = ClusterConfig::measurement(lb_workload(2, 1, 60));
-    cfg.detector = DetectorPolicy { enabled: true, timeout_s: 3.0, backoff: 2.0, max_misses: 4 };
+    cfg.detector = DetectorPolicy {
+        enabled: true,
+        timeout_s: 3.0,
+        backoff: 2.0,
+        max_misses: 4,
+    };
     let victim = host_of(&cfg, 0);
     cfg.faults = FaultPlan::empty().crash(victim, 40.0, None);
     let mut sim = ClusterSim::new(cfg.clone());
@@ -152,7 +160,10 @@ fn bus_burst_and_freeze_do_not_break_completion() {
     let stats = sim.run(1.0e4, Some(500));
     assert_eq!(stats.host_freezes, 1);
     assert_eq!(stats.bus_bursts, 1);
-    assert!(stats.recoveries.is_empty(), "neither fault should trigger a restart");
+    assert!(
+        stats.recoveries.is_empty(),
+        "neither fault should trigger a restart"
+    );
     assert_eq!(sim.steps(), vec![500; 3]);
 }
 

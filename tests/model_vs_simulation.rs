@@ -18,9 +18,11 @@ fn model_tracks_simulation_at_large_grains_2d() {
         (20, 5, 4, 4.0, 0.86),
     ] {
         for side in [150usize, 250] {
-            let w = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, side * px, side * py, px, py);
+            let w =
+                WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, side * px, side * py, px, py);
             let sim = measure_efficiency(MeasureConfig::paper(w)).efficiency;
-            let model = EfficiencyModel::paper_2d(p, m).efficiency_hetero((side * side) as f64, rel_min);
+            let model =
+                EfficiencyModel::paper_2d(p, m).efficiency_hetero((side * side) as f64, rel_min);
             assert!(
                 (sim - model).abs() < 0.08,
                 "P={p} side={side}: sim {sim:.3} vs model {model:.3}"
@@ -160,5 +162,10 @@ fn fd_and_lb_efficiency_ordering_matches_table_speeds() {
     let wlb = WorkloadSpec::new_2d(MethodKind::LatticeBoltzmann, side * 4, side * 4, 4, 4);
     let fd = measure_efficiency(MeasureConfig::paper(wfd));
     let lb = measure_efficiency(MeasureConfig::paper(wlb));
-    assert!(fd.t_step < lb.t_step, "FD {} vs LB {}", fd.t_step, lb.t_step);
+    assert!(
+        fd.t_step < lb.t_step,
+        "FD {} vs LB {}",
+        fd.t_step,
+        lb.t_step
+    );
 }

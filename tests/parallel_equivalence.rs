@@ -5,9 +5,15 @@
 use std::sync::Arc;
 use subsonic::prelude::*;
 use subsonic_integration::{assert_bitwise_equal, duct_problem, flue_problem, poiseuille_problem};
-use subsonic_solvers::{FiniteDifference2, FiniteDifference3, LatticeBoltzmann2, LatticeBoltzmann3};
+use subsonic_solvers::{
+    FiniteDifference2, FiniteDifference3, LatticeBoltzmann2, LatticeBoltzmann3,
+};
 
-fn gather_local2(solver: Arc<dyn subsonic_solvers::Solver2>, p: Problem2, steps: usize) -> GlobalFields2 {
+fn gather_local2(
+    solver: Arc<dyn subsonic_solvers::Solver2>,
+    p: Problem2,
+    steps: usize,
+) -> GlobalFields2 {
     let mut r = LocalRunner2::new(solver, p);
     r.run(steps);
     r.gather()
@@ -67,7 +73,11 @@ fn threaded_runner_matches_local_across_methods() {
             .run(10)
             .expect("threaded run failed");
         let got = out.gather(32, 20, 1.0);
-        assert_bitwise_equal(&reference, &got, if lbm { "threaded LBM" } else { "threaded FD" });
+        assert_bitwise_equal(
+            &reference,
+            &got,
+            if lbm { "threaded LBM" } else { "threaded FD" },
+        );
     }
 }
 
@@ -78,8 +88,10 @@ fn fd3_decomposition_matches_serial() {
     serial.run(8);
     let a = serial.gather();
     for parts in [(2, 1, 1), (1, 2, 1), (1, 1, 2), (2, 2, 2)] {
-        let mut tiled =
-            LocalRunner3::new(Arc::clone(&solver), duct_problem(12, parts.0, parts.1, parts.2));
+        let mut tiled = LocalRunner3::new(
+            Arc::clone(&solver),
+            duct_problem(12, parts.0, parts.1, parts.2),
+        );
         tiled.run(8);
         let b = tiled.gather();
         assert_eq!(a.first_difference(&b), None, "FD3 {parts:?} diverged");
@@ -93,8 +105,10 @@ fn lbm3_decomposition_matches_serial() {
     serial.run(8);
     let a = serial.gather();
     for parts in [(2, 1, 1), (2, 2, 1), (2, 2, 2), (3, 2, 2)] {
-        let mut tiled =
-            LocalRunner3::new(Arc::clone(&solver), duct_problem(12, parts.0, parts.1, parts.2));
+        let mut tiled = LocalRunner3::new(
+            Arc::clone(&solver),
+            duct_problem(12, parts.0, parts.1, parts.2),
+        );
         tiled.run(8);
         let b = tiled.gather();
         assert_eq!(a.first_difference(&b), None, "LBM3 {parts:?} diverged");

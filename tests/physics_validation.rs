@@ -246,7 +246,10 @@ fn filter_keeps_high_reynolds_jet_stable() {
         }
     }
     assert!(finite, "fields blew up");
-    assert!(max_rho < 0.5, "density excursion {max_rho:.3} signals instability");
+    assert!(
+        max_rho < 0.5,
+        "density excursion {max_rho:.3} signals instability"
+    );
 }
 
 #[test]
