@@ -298,6 +298,23 @@ fn fault_recovery(out: &mut Vec<PerfEntry>, quick: bool) {
     });
 }
 
+fn failure_detection(out: &mut Vec<PerfEntry>, quick: bool) {
+    // Detection latencies from the `partition` experiment's real-crash leg
+    // (simulated seconds, deterministic). Lower is better: a regression here
+    // means the probe schedule or the phi crossing got slower.
+    let study = subsonic::experiments::partition_study(quick);
+    out.push(PerfEntry {
+        name: "detect_latency_fixed".into(),
+        value: study.fixed_detect_s,
+        unit: "s".into(),
+    });
+    out.push(PerfEntry {
+        name: "detect_latency_accrual".into(),
+        value: study.accrual_detect_s,
+        unit: "s".into(),
+    });
+}
+
 /// Runs the full suite. `quick` shrinks problem sizes and batch times for
 /// smoke-testing the harness itself; baseline numbers use `quick = false`.
 pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
@@ -329,6 +346,7 @@ pub fn run_suite_obs(quick: bool, metrics: Option<&MetricsRegistry>) -> Vec<Perf
     );
     cluster_sim(&mut out, if quick { 20 } else { 400 });
     fault_recovery(&mut out, quick);
+    failure_detection(&mut out, quick);
     if let Some(reg) = metrics {
         for e in &out {
             reg.gauge_set(&format!("bench.{}", e.name), e.value, static_unit(&e.unit));
@@ -396,6 +414,8 @@ mod tests {
             "recovery_cost_loose",
             "recovery_model_err_max",
             "recovery_opt_interval",
+            "detect_latency_fixed",
+            "detect_latency_accrual",
         ] {
             assert!(names.contains(&expected), "missing entry {expected}");
         }

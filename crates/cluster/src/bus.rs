@@ -35,6 +35,50 @@ pub enum TransferPayload {
         /// The process saving or loading.
         proc_id: usize,
     },
+    /// A reliable-transport DATA message carrying one halo exchange. Unlike
+    /// the legacy [`TransferPayload::Halo`], delivery is not assumed: the
+    /// receiver must acknowledge, and the sender retransmits on timeout.
+    HaloData {
+        /// Receiving process.
+        to_proc: usize,
+        /// Integration step the message belongs to.
+        step: u64,
+        /// Exchange id within the step plan.
+        xch: usize,
+        /// Sending process.
+        from_proc: usize,
+        /// Per-link `(from, to)` sequence number for duplicate suppression.
+        seq: u64,
+        /// Transmission attempt (1 = first send).
+        attempt: u32,
+    },
+    /// The acknowledgement for a [`TransferPayload::HaloData`] message,
+    /// travelling on the reverse link.
+    Ack {
+        /// The original sender the ACK returns to.
+        to_proc: usize,
+        /// The receiver that acknowledges.
+        from_proc: usize,
+        /// Sequence number being acknowledged.
+        seq: u64,
+        /// Attempt number the receiver saw (for RTT sampling — Karn's rule
+        /// only takes samples from first attempts).
+        attempt: u32,
+    },
+    /// An accrual-detector heartbeat probe travelling to a suspect host.
+    Probe {
+        /// Suspect host.
+        host: usize,
+        /// Probe sequence number (send time is tracked by the monitor).
+        seq: u64,
+    },
+    /// The suspect host's reply to a [`TransferPayload::Probe`].
+    ProbeReply {
+        /// The host that replied.
+        host: usize,
+        /// Sequence number of the probe being answered.
+        seq: u64,
+    },
 }
 
 /// Which network connects the workstations.
@@ -269,6 +313,24 @@ impl NetworkModel {
         payload: TransferPayload,
         rng: &mut impl Rng,
     ) {
+        self.start_transfer_faulted(now, bytes, rate_scale, payload, rng, false);
+    }
+
+    /// Like [`NetworkModel::start_transfer_scaled`], but the caller can mark
+    /// the transmission as lost in flight (`force_lost`) — an injected
+    /// message fault or a partition boundary. The wire time is still paid
+    /// (the bytes occupy the bus) but the receiver never sees the payload
+    /// and no delivery is recorded. Congestion sampling is unchanged, so a
+    /// `force_lost = false` call is exactly the legacy path.
+    pub fn start_transfer_faulted(
+        &mut self,
+        now: f64,
+        bytes: f64,
+        rate_scale: f64,
+        payload: TransferPayload,
+        rng: &mut impl Rng,
+        force_lost: bool,
+    ) {
         debug_assert!(
             rate_scale > 0.0 && rate_scale <= 1.0,
             "bad scale {rate_scale}"
@@ -302,6 +364,7 @@ impl NetworkModel {
                 (overhead, 1, lost)
             }
         };
+        let lost = lost || force_lost;
         let total = (bytes + overhead_bytes) * rounds as f64;
         if !lost {
             self.bytes_delivered += bytes;
@@ -586,6 +649,34 @@ mod tests {
         assert_eq!(net.losses, 0);
         // but it does record give-up errors under these extreme collisions
         assert!(net.errors > 0);
+    }
+
+    #[test]
+    fn forced_loss_pays_wire_time_but_never_delivers() {
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        };
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        let p = TransferPayload::HaloData {
+            to_proc: 1,
+            step: 0,
+            xch: 0,
+            from_proc: 0,
+            seq: 1,
+            attempt: 1,
+        };
+        net.start_transfer_faulted(0.0, 125_000.0, 1.0, p.clone(), &mut r, true);
+        let t = net.next_completion().unwrap();
+        assert!((t - 0.1).abs() < 1e-9, "wire time still paid: {t}");
+        let done = net.complete_due(t);
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].delivered, "forced loss must not deliver");
+        assert_eq!(net.bytes_delivered, 0.0);
+        // TCP congestion counters are untouched by injected losses
+        assert_eq!(net.errors, 0);
+        assert_eq!(net.losses, 0);
     }
 
     #[test]

@@ -102,6 +102,58 @@ pub enum EventKind {
         /// Guard against stale chains (host recovered, chain restarted).
         probe_epoch: u64,
     },
+    /// Reliable transport: the retransmission timeout for an outstanding
+    /// DATA message expired without an ACK. Stale timers (message already
+    /// acknowledged, or a newer attempt re-armed the timer) are recognised
+    /// by the `(seq, attempt)` pair and ignored.
+    RetxTimer {
+        /// Sending process.
+        from_proc: usize,
+        /// Receiving process.
+        to_proc: usize,
+        /// Per-link sequence number of the outstanding message.
+        seq: u64,
+        /// Attempt number this timer was armed for.
+        attempt: u32,
+    },
+    /// Reliable transport: a DATA transmission held back by a reorder fault
+    /// finally enters the wire. The loss decision was sampled at send time
+    /// (so the RNG draw order is independent of the hold-back) and rides
+    /// along in `lost`.
+    TransportSend {
+        /// Sending process.
+        from_proc: usize,
+        /// Receiving process.
+        to_proc: usize,
+        /// Per-link sequence number.
+        seq: u64,
+        /// Attempt number of the delayed transmission.
+        attempt: u32,
+        /// Pre-sampled loss verdict for this transmission.
+        lost: bool,
+    },
+    /// An injected message-fault window opens (`idx` into the fault plan's
+    /// message-fault table).
+    MsgFaultStart {
+        /// Window index.
+        idx: usize,
+    },
+    /// The message-fault window closes.
+    MsgFaultEnd {
+        /// Window index.
+        idx: usize,
+    },
+    /// An injected network partition begins (`idx` into the plan's
+    /// partition table).
+    PartitionStart {
+        /// Partition index.
+        idx: usize,
+    },
+    /// The network partition heals.
+    PartitionEnd {
+        /// Partition index.
+        idx: usize,
+    },
     /// End of the simulated measurement window.
     Stop,
 }

@@ -23,8 +23,15 @@ use serde::{Deserialize, Serialize};
 /// user/background streams (see `USER_STREAM_SALT` in `sim`).
 pub const FAULT_STREAM_SALT: u64 = 0xFA17_0000_5EED_0002;
 
+/// Seed salt for the reliable-transport control stream: message-fault
+/// sampling (loss/duplication/reorder draws) and control-message jitter.
+/// Separate from [`FAULT_STREAM_SALT`] so adding message faults to a plan
+/// never perturbs where crashes/freezes land, and separate from the bus
+/// stream so a plan without message faults draws nothing new.
+pub const TRANSPORT_STREAM_SALT: u64 = 0x7A4E_5007_5EED_0003;
+
 /// One injected failure.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FaultEvent {
     /// The workstation loses power / is rebooted by its owner: the host goes
     /// down, any parallel subprocess on it dies instantly, and the host
@@ -59,16 +66,61 @@ pub enum FaultEvent {
         /// Length of the burst, seconds.
         duration: f64,
     },
+    /// A message-level fault window: while active, DATA messages matching
+    /// the link filter are lost, duplicated, or reordered with the given
+    /// probabilities (sampled from the transport RNG stream). Planning any
+    /// `MsgFault` (or [`NetPartition`](FaultEvent::NetPartition)) activates
+    /// the per-message reliable-transport state machine for the whole run.
+    MsgFault {
+        /// Sending process filter (`None` = any sender).
+        from_proc: Option<usize>,
+        /// Receiving process filter (`None` = any receiver).
+        to_proc: Option<usize>,
+        /// Window start, seconds.
+        at: f64,
+        /// Window length, seconds.
+        duration: f64,
+        /// Probability a matching DATA transmission is dropped in flight.
+        loss: f64,
+        /// Probability a matching DATA transmission is duplicated.
+        dup: f64,
+        /// Probability a matching DATA transmission is held back (reordered
+        /// behind later traffic) before entering the wire.
+        reorder: f64,
+    },
+    /// A network partition: hosts are split into `groups`; any transport
+    /// message (DATA, ACK, or detector probe) crossing a group boundary is
+    /// lost deterministically. Hosts not listed in any group stay in group 0
+    /// with the monitor and file server. Heals after `heal_after` seconds,
+    /// or never if `None`.
+    NetPartition {
+        /// Disjoint sets of host indices; traffic flows only within a set.
+        groups: Vec<Vec<usize>>,
+        /// Partition start, seconds.
+        at: f64,
+        /// Seconds until connectivity is restored (`None` = permanent).
+        heal_after: Option<f64>,
+    },
 }
 
 impl FaultEvent {
     /// When the fault begins.
     pub fn at(&self) -> f64 {
-        match *self {
+        match self {
             FaultEvent::HostCrash { at, .. }
             | FaultEvent::HostFreeze { at, .. }
-            | FaultEvent::BusBurst { at, .. } => at,
+            | FaultEvent::BusBurst { at, .. }
+            | FaultEvent::MsgFault { at, .. }
+            | FaultEvent::NetPartition { at, .. } => *at,
         }
+    }
+
+    /// Whether this event requires the reliable-transport state machine.
+    pub fn is_message_level(&self) -> bool {
+        matches!(
+            self,
+            FaultEvent::MsgFault { .. } | FaultEvent::NetPartition { .. }
+        )
     }
 }
 
@@ -111,6 +163,50 @@ impl FaultPlan {
     pub fn bus_burst(mut self, at: f64, duration: f64) -> Self {
         self.events.push(FaultEvent::BusBurst { at, duration });
         self
+    }
+
+    /// Adds a message-fault window on the link `from_proc → to_proc`
+    /// (`None` matches any endpoint). Activates the reliable transport.
+    #[allow(clippy::too_many_arguments)]
+    pub fn msg_fault(
+        mut self,
+        from_proc: Option<usize>,
+        to_proc: Option<usize>,
+        at: f64,
+        duration: f64,
+        loss: f64,
+        dup: f64,
+        reorder: f64,
+    ) -> Self {
+        self.events.push(FaultEvent::MsgFault {
+            from_proc,
+            to_proc,
+            at,
+            duration,
+            loss,
+            dup,
+            reorder,
+        });
+        self
+    }
+
+    /// Adds a network partition into host `groups`. Activates the reliable
+    /// transport.
+    pub fn partition(mut self, groups: Vec<Vec<usize>>, at: f64, heal_after: Option<f64>) -> Self {
+        self.events.push(FaultEvent::NetPartition {
+            groups,
+            at,
+            heal_after,
+        });
+        self
+    }
+
+    /// Whether any event needs the per-message transport state machine.
+    /// When `false`, the simulation keeps the legacy statistical wire path
+    /// and draws nothing from the transport stream — the bit-identity
+    /// guarantee for plans without message faults rests on this gate.
+    pub fn has_message_faults(&self) -> bool {
+        self.events.iter().any(FaultEvent::is_message_level)
     }
 
     /// Draws a random plan from the dedicated fault RNG stream. Rates are
@@ -220,6 +316,19 @@ mod tests {
             .bus_burst(10.0, 5.0);
         assert_eq!(p.events.len(), 3);
         assert_eq!(p.events[0].at(), 100.0);
+        assert!(!p.has_message_faults());
+    }
+
+    #[test]
+    fn message_level_events_activate_the_transport() {
+        let p = FaultPlan::empty().msg_fault(None, Some(2), 5.0, 10.0, 0.5, 0.1, 0.1);
+        assert!(p.has_message_faults());
+        assert_eq!(p.events[0].at(), 5.0);
+        let q = FaultPlan::empty().partition(vec![vec![0, 1], vec![2, 3]], 8.0, Some(30.0));
+        assert!(q.has_message_faults());
+        assert!(q.events[0].is_message_level());
+        let legacy = FaultPlan::empty().crash(0, 1.0, None).bus_burst(2.0, 1.0);
+        assert!(!legacy.has_message_faults());
     }
 
     #[test]

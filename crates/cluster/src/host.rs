@@ -158,6 +158,22 @@ impl HostState {
         self.up && !self.frozen
     }
 
+    /// Whether the machine answers a failure-detector probe right now. A
+    /// frozen host's network stack is as silent as a dead one for the
+    /// detector's purposes, but a host whose subprocess is merely *paused*
+    /// (barrier, checkpoint, migration drain) still replies — that is
+    /// exactly the evidence the accrual detector uses to keep a congested
+    /// but living host from being declared dead.
+    pub fn answers_probes(&self) -> bool {
+        self.up && !self.frozen
+    }
+
+    /// Invalidates every outstanding `HeartbeatProbe` chain for this host
+    /// (recovered, declared, or proven alive — any of these ends the chain).
+    pub fn bump_probe_epoch(&mut self) {
+        self.probe_epoch += 1;
+    }
+
     /// Instantaneous run-queue length as `uptime` would count it: competing
     /// full-time jobs plus our own (nice'd) subprocess if one runs here.
     pub fn run_queue(&self) -> f64 {

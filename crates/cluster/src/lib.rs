@@ -20,6 +20,11 @@
 //!   idle-user-first host selection, the monitoring program, the Appendix-B
 //!   synchronisation algorithm, automatic process migration, and staggered
 //!   checkpointing to the shared file server ([`sim`], [`policy`]);
+//! * the **message-level reliable transport** of Appendix D taken literally:
+//!   DATA/ACK messages with per-link sequence numbers, SRTT/RTTVAR
+//!   retransmission timeouts with bounded exponential backoff, duplicate
+//!   suppression, give-up reporting, and injectable loss / duplication /
+//!   reordering / partition faults ([`transport`], [`fault`]);
 //! * **measurements**: per-process `T_calc`/`T_com`, parallel efficiency and
 //!   speedup exactly as section 7 defines them ([`stats`], [`measure`]).
 //!
@@ -34,14 +39,16 @@ pub mod policy;
 pub mod process;
 pub mod sim;
 pub mod stats;
+pub mod transport;
 pub mod user;
 pub mod workload;
 
 pub use bus::{NetworkConfig, NetworkModel};
-pub use fault::{FaultEvent, FaultPlan, FaultSpec, FAULT_STREAM_SALT};
+pub use fault::{FaultEvent, FaultPlan, FaultSpec, FAULT_STREAM_SALT, TRANSPORT_STREAM_SALT};
 pub use host::{HostKind, HostState};
 pub use measure::{measure_efficiency, MeasureConfig, Measurement};
-pub use policy::{CommOrdering, DetectorPolicy, MonitorPolicy, SubmitPolicy};
+pub use policy::{CommOrdering, DetectorMode, DetectorPolicy, MonitorPolicy, SubmitPolicy};
 pub use sim::{ClusterConfig, ClusterSim};
-pub use stats::{ClusterStats, RecoveryRecord};
+pub use stats::{ClusterStats, DeliveryFailureRecord, RecoveryRecord, TransportStats};
+pub use transport::{RttEstimator, TransportConfig};
 pub use workload::{WorkloadSpec, WorkloadTile};

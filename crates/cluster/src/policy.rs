@@ -87,17 +87,39 @@ impl Default for MonitorPolicy {
     }
 }
 
+/// How the monitor decides that a silent host is dead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorMode {
+    /// The classic probe schedule: `max_misses` consecutive unanswered
+    /// checks at exponentially backed-off intervals declare the process
+    /// dead, no matter *why* the host is silent. Checks are out-of-band
+    /// (the monitor consults host state directly, as the PR 3 model did),
+    /// so bus congestion cannot delay them — which is exactly why pure
+    /// congestion produces false positives: ACK evidence stops arriving
+    /// and the schedule runs to declaration.
+    FixedTimeout,
+    /// Accrual (φ-style) detection: probes are real small messages on the
+    /// modelled bus, replies feed an RTT estimate, and suspicion
+    /// `φ = elapsed/expected` grows *continuously* with silence instead of
+    /// counting discrete misses. Congestion inflates probe RTTs, which
+    /// inflates `expected`, which keeps φ below threshold — saturation
+    /// slows detection instead of triggering it.
+    Accrual,
+}
+
 /// The monitor's heartbeat failure detector.
 ///
 /// The paper's monitoring program notices a dead subprocess and re-submits it
 /// "in the same way as the monitoring program restarts an interrupted
 /// computation" (section 4.1). We model the detection side explicitly: when a
 /// host stops answering, the monitor probes it after `timeout_s`, then backs
-/// off exponentially (`timeout_s · backoff^k`) to avoid hammering a machine
-/// that may just be slow, and declares the subprocess dead after
-/// `max_misses` consecutive unanswered probes. A transient stall shorter
-/// than the full schedule goes unpunished; a longer one triggers a
-/// false-positive restart — the classic completeness/accuracy trade-off.
+/// off exponentially (`timeout_s · backoff^k`, clamped to
+/// `max_probe_interval_s`) to avoid hammering a machine that may just be
+/// slow, and declares the subprocess dead after `max_misses` consecutive
+/// unanswered probes. A transient stall shorter than the full schedule goes
+/// unpunished; a longer one triggers a false-positive restart — the classic
+/// completeness/accuracy trade-off. [`DetectorMode::Accrual`] replaces the
+/// discrete miss count with a continuous suspicion level fed by probe RTTs.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 pub struct DetectorPolicy {
     /// Whether failure detection runs at all.
@@ -108,6 +130,18 @@ pub struct DetectorPolicy {
     pub backoff: f64,
     /// Consecutive unanswered probes before the process is declared dead.
     pub max_misses: u32,
+    /// Upper bound on the backed-off probe interval, seconds. Without it
+    /// `timeout_s · backoff^k` grows without limit and a long freeze makes
+    /// re-detection arbitrarily slow.
+    pub max_probe_interval_s: f64,
+    /// Declaration strategy (fixed miss count vs accrual suspicion).
+    pub mode: DetectorMode,
+    /// Accrual threshold: declare dead when
+    /// `φ = silence / expected ≥ phi_threshold`.
+    pub phi_threshold: f64,
+    /// Accrual RTT headroom: `expected = max(timeout_s, srtt + k·rttvar)`
+    /// with `k = rtt_inflation`, so congested-but-alive links raise the bar.
+    pub rtt_inflation: f64,
 }
 
 impl Default for DetectorPolicy {
@@ -117,26 +151,41 @@ impl Default for DetectorPolicy {
             timeout_s: 5.0,
             backoff: 2.0,
             max_misses: 3,
+            // Default clamp sits above the 3-miss schedule's largest gap
+            // (20 s), so the classic 5/15/35 offsets are unchanged.
+            max_probe_interval_s: 60.0,
+            mode: DetectorMode::FixedTimeout,
+            phi_threshold: 8.0,
+            rtt_inflation: 4.0,
         }
     }
 }
 
 impl DetectorPolicy {
+    /// The wait before probe number `misses` (1-based), with the exponential
+    /// backoff clamped to [`max_probe_interval_s`](Self::max_probe_interval_s).
+    pub fn probe_wait(&self, misses: u32) -> f64 {
+        let raw = self.timeout_s * self.backoff.powi(misses.saturating_sub(1) as i32);
+        raw.min(self.max_probe_interval_s)
+    }
+
     /// Offsets (seconds after the heartbeat stopped) at which each probe
-    /// fires: `timeout · Σ backoff^j`, one entry per probe up to the
-    /// declaration probe.
+    /// fires: `timeout · Σ backoff^j` with each term clamped to
+    /// `max_probe_interval_s`, one entry per probe up to the declaration
+    /// probe.
     pub fn probe_offsets(&self) -> Vec<f64> {
         let mut offsets = Vec::with_capacity(self.max_misses as usize);
         let mut t = 0.0;
-        for k in 0..self.max_misses {
-            t += self.timeout_s * self.backoff.powi(k as i32);
+        for k in 1..=self.max_misses {
+            t += self.probe_wait(k);
             offsets.push(t);
         }
         offsets
     }
 
     /// Seconds from heartbeat loss to declaration (the last probe offset);
-    /// the geometric sum `timeout · (backoff^m − 1)/(backoff − 1)`.
+    /// the geometric sum `timeout · (backoff^m − 1)/(backoff − 1)` when no
+    /// term hits the clamp.
     pub fn detection_latency(&self) -> f64 {
         self.probe_offsets().last().copied().unwrap_or(0.0)
     }
@@ -217,10 +266,10 @@ mod tests {
     #[test]
     fn detector_schedule_is_exponential() {
         let d = DetectorPolicy {
-            enabled: true,
             timeout_s: 5.0,
             backoff: 2.0,
             max_misses: 3,
+            ..DetectorPolicy::default()
         };
         let offs = d.probe_offsets();
         assert_eq!(offs.len(), 3);
@@ -236,13 +285,38 @@ mod tests {
     #[test]
     fn detector_without_backoff_is_periodic() {
         let d = DetectorPolicy {
-            enabled: true,
             timeout_s: 2.0,
             backoff: 1.0,
             max_misses: 4,
+            ..DetectorPolicy::default()
         };
         assert_eq!(d.probe_offsets(), vec![2.0, 4.0, 6.0, 8.0]);
         assert!((d.detection_latency() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probe_backoff_is_clamped_to_max_interval() {
+        // unclamped waits would be 5, 10, 20, 40, 80, 160; the clamp caps
+        // every wait at 25 s so long schedules grow linearly, not
+        // geometrically
+        let d = DetectorPolicy {
+            timeout_s: 5.0,
+            backoff: 2.0,
+            max_misses: 6,
+            max_probe_interval_s: 25.0,
+            ..DetectorPolicy::default()
+        };
+        assert!((d.probe_wait(1) - 5.0).abs() < 1e-12);
+        assert!((d.probe_wait(2) - 10.0).abs() < 1e-12);
+        assert!((d.probe_wait(3) - 20.0).abs() < 1e-12);
+        for m in 4..=6 {
+            assert!((d.probe_wait(m) - 25.0).abs() < 1e-12, "wait {m} unclamped");
+        }
+        let offs = d.probe_offsets();
+        assert_eq!(offs, vec![5.0, 15.0, 35.0, 60.0, 85.0, 110.0]);
+        // the default clamp (60 s) leaves the classic schedule untouched
+        let default = DetectorPolicy::default();
+        assert_eq!(default.probe_offsets(), vec![5.0, 15.0, 35.0]);
     }
 
     #[test]

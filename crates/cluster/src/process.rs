@@ -111,6 +111,11 @@ pub struct SimProcess {
     /// deferred protocol processing before the sender's bytes can flow);
     /// further staged releases wait until it completes.
     pub catchup_pending: bool,
+    /// Last `(step, xch)` exchange this process consumed since the start (or
+    /// the last rollback) — the witness for the transport's in-order
+    /// contract: wire-level reordering may shuffle transmissions, but the
+    /// solver must always consume exchanges in `(step, xch)` order.
+    pub last_consumed: Option<(u64, usize)>,
     /// When the current receive wait began.
     pub wait_since: f64,
     /// When the current pause began.
@@ -139,6 +144,7 @@ impl SimProcess {
             deferred_sends: Vec::new(),
             staged_in: Vec::new(),
             catchup_pending: false,
+            last_consumed: None,
             wait_since: 0.0,
             pause_since: 0.0,
             migrate_requested: false,
@@ -161,9 +167,15 @@ impl SimProcess {
         }
     }
 
-    /// Drops the inbox entry for a completed exchange (bounded memory).
-    pub fn consume(&mut self, step: u64, xch: usize) {
+    /// Drops the inbox entry for a completed exchange (bounded memory) and
+    /// checks the in-order contract: returns `false` if this consumption is
+    /// out of `(step, xch)` order relative to the previous one (which the
+    /// reliable transport is supposed to make impossible).
+    pub fn consume(&mut self, step: u64, xch: usize) -> bool {
         self.inbox.remove(&(step, xch));
+        let in_order = self.last_consumed.is_none_or(|prev| prev < (step, xch));
+        self.last_consumed = Some((step, xch));
+        in_order
     }
 
     /// Invalidate outstanding timed events for this process.
@@ -184,6 +196,7 @@ impl SimProcess {
         self.staged_in.clear();
         self.deferred_sends.clear();
         self.catchup_pending = false;
+        self.last_consumed = None;
         self.migrate_requested = false;
     }
 }
@@ -212,6 +225,17 @@ mod tests {
         let e1 = p.bump_epoch();
         let e2 = p.bump_epoch();
         assert!(e2 > e1);
+    }
+
+    #[test]
+    fn consume_detects_out_of_order() {
+        let mut p = SimProcess::new(0, 0);
+        assert!(p.consume(1, 0), "first consume is trivially in order");
+        assert!(p.consume(1, 1), "same step, later exchange");
+        assert!(p.consume(2, 0), "later step resets the exchange index");
+        assert!(!p.consume(1, 1), "going backwards is out of order");
+        p.rollback_to(0);
+        assert!(p.consume(1, 0), "rollback resets the order witness");
     }
 
     #[test]

@@ -18,17 +18,23 @@
 
 use crate::bus::{NetworkConfig, NetworkModel, TransferPayload};
 use crate::events::{EventKind, EventQueue};
-use crate::fault::{FaultEvent, FaultPlan};
+use crate::fault::{FaultEvent, FaultPlan, TRANSPORT_STREAM_SALT};
 use crate::host::{HostKind, HostState};
-use crate::policy::{CommOrdering, DetectorPolicy, MonitorPolicy, SubmitPolicy};
+use crate::policy::{CommOrdering, DetectorMode, DetectorPolicy, MonitorPolicy, SubmitPolicy};
 use crate::process::{CkptResume, ProcState, SimProcess, StagedHalo};
 use crate::stats::{
-    BackgroundEvent, BackgroundEventKind, ClusterStats, MigrationRecord, ProcStats, RecoveryRecord,
+    BackgroundEvent, BackgroundEventKind, ClusterStats, DeliveryFailureRecord, MigrationRecord,
+    ProcStats, RecoveryRecord,
+};
+use crate::transport::{
+    windows_from_plan, MsgFaultWindow, PartitionState, RttEstimator, TransportConfig,
+    TransportState,
 };
 use crate::user::{exp_sample, UserModelConfig};
 use crate::workload::{PhaseSpec, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
 use subsonic_obs::{Category, FlightRecorder, TrackRecorder};
 
 /// Flight-recorder process id for cluster-simulation tracks.
@@ -73,6 +79,10 @@ pub struct ClusterConfig {
     pub faults: FaultPlan,
     /// Heartbeat failure detector of the monitoring program.
     pub detector: DetectorPolicy,
+    /// Reliable-transport tuning (engaged only when the fault plan contains
+    /// message-level faults; otherwise the legacy statistical wire path runs
+    /// and these knobs are inert).
+    pub transport: TransportConfig,
     /// RNG seed (simulations are deterministic given the seed).
     pub seed: u64,
 }
@@ -129,6 +139,7 @@ impl ClusterConfig {
             compute_jitter: 0.0,
             faults: FaultPlan::empty(),
             detector: DetectorPolicy::default(),
+            transport: TransportConfig::default(),
             seed: 1,
         }
     }
@@ -179,6 +190,55 @@ struct RecoveryCtx {
     false_positive: bool,
 }
 
+/// What started a suspicion chain on a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ChainTrigger {
+    /// Out-of-band silence: the host crashed or froze (heartbeats stopped).
+    HostSilent,
+    /// The reliable transport reported delivery failures toward this host;
+    /// the monitor can only judge it by traffic evidence (fixed mode) or
+    /// wire probes (accrual mode).
+    CommSuspect,
+}
+
+/// Per-host failure-detector context (evidence clock, probe RTT estimate,
+/// and the state of the current suspicion chain, if any).
+#[derive(Debug, Clone)]
+struct DetCtx {
+    /// What started the current chain.
+    trigger: ChainTrigger,
+    /// When the current suspicion chain began.
+    chain_started: f64,
+    /// `probe_epoch` value the current chain runs under (`u64::MAX` = no
+    /// chain has ever run; any probe-epoch bump invalidates the chain).
+    chain_epoch: u64,
+    /// Latest proof of life the monitor has for this host: a delivered DATA
+    /// or ACK sent by its subprocess, or a probe reply.
+    last_evidence: f64,
+    /// RTT estimate of monitor ↔ host wire probes (accrual mode): the
+    /// congestion-awareness — a loaded bus inflates the expected-reply
+    /// horizon instead of burning through a fixed miss budget.
+    rtt: RttEstimator,
+    /// Wire-probe sequence counter.
+    probe_seq: u64,
+    /// Outstanding wire probes: sequence number → send time.
+    probe_sent: BTreeMap<u64, f64>,
+}
+
+impl DetCtx {
+    fn new() -> Self {
+        Self {
+            trigger: ChainTrigger::HostSilent,
+            chain_started: 0.0,
+            chain_epoch: u64::MAX,
+            last_evidence: 0.0,
+            rtt: RttEstimator::default(),
+            probe_seq: 0,
+            probe_sent: BTreeMap::new(),
+        }
+    }
+}
+
 /// The discrete-event cluster simulation.
 pub struct ClusterSim {
     cfg: ClusterConfig,
@@ -187,6 +247,10 @@ pub struct ClusterSim {
     rng_bus: SmallRng,
     /// RNG stream of the user/background model.
     rng_user: SmallRng,
+    /// RNG stream of the reliable transport (injected loss/dup/reorder draws
+    /// and the wire sampling of transport messages). Never drawn from when
+    /// the transport is disengaged, so fault-free plans stay bit-identical.
+    rng_transport: SmallRng,
     hosts: Vec<HostState>,
     procs: Vec<SimProcess>,
     net: NetworkModel,
@@ -224,6 +288,19 @@ pub struct ClusterSim {
     tracks: Vec<TrackRecorder>,
     /// Control-plane track: faults, detection, recovery, migration, wire.
     ctrl: TrackRecorder,
+    /// Whether the per-message reliable transport is engaged (the fault plan
+    /// contains message-level faults). When `false`, halos ride the legacy
+    /// statistical wire path and the transport draws nothing.
+    transport_active: bool,
+    /// Reliable-transport state (sequence numbers, outstanding messages,
+    /// dedup sets, per-link RTT estimates).
+    transport: TransportState,
+    /// Injected message-fault windows, indexed by the Start/End events.
+    msg_windows: Vec<MsgFaultWindow>,
+    /// Injected network partitions, indexed by the Start/End events.
+    net_partitions: Vec<PartitionState>,
+    /// Per-host failure-detector context.
+    det: Vec<DetCtx>,
 }
 
 impl ClusterSim {
@@ -239,6 +316,9 @@ impl ClusterSim {
         );
         let rng_bus = SmallRng::seed_from_u64(cfg.seed);
         let mut rng_user = SmallRng::seed_from_u64(cfg.seed ^ USER_STREAM_SALT);
+        let rng_transport = SmallRng::seed_from_u64(cfg.seed ^ TRANSPORT_STREAM_SALT);
+        let transport_active = cfg.faults.has_message_faults();
+        let (msg_windows, net_partitions) = windows_from_plan(&cfg.faults);
         let mut hosts: Vec<HostState> = cfg.hosts.iter().map(|&k| HostState::new(k)).collect();
         // initial user states
         if cfg.user.enabled {
@@ -267,11 +347,13 @@ impl ClusterSim {
             }
         }
 
+        let n_hosts = hosts.len();
         let mut sim = Self {
             net: NetworkModel::new(cfg.net),
             q: EventQueue::new(),
             rng_bus,
             rng_user,
+            rng_transport,
             hosts,
             procs: Vec::new(),
             sync: SyncState::Idle,
@@ -294,6 +376,11 @@ impl ClusterSim {
             recorder: FlightRecorder::disabled(),
             tracks: Vec::new(),
             ctrl: TrackRecorder::disabled(),
+            transport_active,
+            transport: TransportState::default(),
+            msg_windows,
+            net_partitions,
+            det: vec![DetCtx::new(); n_hosts],
             cfg,
         };
 
@@ -362,6 +449,31 @@ impl ClusterSim {
                     sim.q
                         .schedule_at(at + duration.max(0.0), EventKind::BusBurstEnd);
                 }
+                // message-level faults were split into the live window /
+                // partition tables by `windows_from_plan`; their open/close
+                // events are scheduled below against those table indices
+                FaultEvent::MsgFault { .. } | FaultEvent::NetPartition { .. } => {}
+            }
+        }
+        for idx in 0..sim.msg_windows.len() {
+            let (at, duration) = (sim.msg_windows[idx].at, sim.msg_windows[idx].duration);
+            sim.q.schedule_at(at, EventKind::MsgFaultStart { idx });
+            sim.q
+                .schedule_at(at + duration, EventKind::MsgFaultEnd { idx });
+        }
+        for idx in 0..sim.net_partitions.len() {
+            let mut seen = std::collections::BTreeSet::new();
+            for g in &sim.net_partitions[idx].groups {
+                for &h in g {
+                    assert!(h < n_hosts, "partition host {h} out of range");
+                    assert!(seen.insert(h), "partition groups must be disjoint");
+                }
+            }
+            let at = sim.net_partitions[idx].at;
+            sim.q.schedule_at(at, EventKind::PartitionStart { idx });
+            if let Some(heal) = sim.net_partitions[idx].heal_after {
+                sim.q
+                    .schedule_at(at + heal.max(0.0), EventKind::PartitionEnd { idx });
             }
         }
 
@@ -518,6 +630,23 @@ impl ClusterSim {
                 misses,
                 probe_epoch,
             } => self.on_heartbeat_probe(host, misses, probe_epoch),
+            EventKind::RetxTimer {
+                from_proc,
+                to_proc,
+                seq,
+                attempt,
+            } => self.on_retx_timer(from_proc, to_proc, seq, attempt),
+            EventKind::TransportSend {
+                from_proc,
+                to_proc,
+                seq,
+                attempt,
+                lost,
+            } => self.on_transport_send(from_proc, to_proc, seq, attempt, lost),
+            EventKind::MsgFaultStart { idx } => self.on_msg_fault_start(idx),
+            EventKind::MsgFaultEnd { idx } => self.on_msg_fault_end(idx),
+            EventKind::PartitionStart { idx } => self.on_partition_start(idx),
+            EventKind::PartitionEnd { idx } => self.on_partition_end(idx),
             EventKind::Stop => {}
         }
     }
@@ -740,6 +869,10 @@ impl ClusterSim {
     }
 
     fn send_halo(&mut self, from: usize, to: usize, bytes: f64, step: u64, xch: usize) {
+        if self.transport_active {
+            self.transport_send(from, to, bytes, step, xch);
+            return;
+        }
         let now = self.now();
         let scale = self.halo_rate_scale(from, to);
         self.net.start_transfer_scaled(
@@ -755,6 +888,418 @@ impl ClusterSim {
             &mut self.rng_bus,
         );
         self.reschedule_net();
+    }
+
+    // ------------------------------------------------------------------
+    // reliable transport (Appendix D state machine)
+    // ------------------------------------------------------------------
+
+    /// Whether any active partition severs the two hosts.
+    fn link_severed(&self, host_a: usize, host_b: usize) -> bool {
+        self.net_partitions.iter().any(|p| p.severs(host_a, host_b))
+    }
+
+    /// Whether any active partition cuts the monitor (island 0) off `host`.
+    fn monitor_severed(&self, host: usize) -> bool {
+        self.net_partitions.iter().any(|p| p.severs_monitor(host))
+    }
+
+    /// Hands one halo to the reliable transport: allocate a sequence number,
+    /// arm the retransmission timer, and put the first DATA transmission on
+    /// the wire.
+    fn transport_send(&mut self, from: usize, to: usize, bytes: f64, step: u64, xch: usize) {
+        let now = self.now();
+        let seq = self.transport.alloc_seq(from, to);
+        let rto =
+            self.transport
+                .register(&self.cfg.transport, (from, to, seq), bytes, step, xch, now);
+        self.stats.transport.data_sent += 1;
+        self.q.schedule(
+            rto,
+            EventKind::RetxTimer {
+                from_proc: from,
+                to_proc: to,
+                seq,
+                attempt: 1,
+            },
+        );
+        self.transmit_data(from, to, seq, 1);
+    }
+
+    /// One transmission attempt of an outstanding DATA message: samples the
+    /// injected faults (loss, duplication, reordering — fixed draw order so
+    /// results are reproducible), applies partition severing, and puts the
+    /// surviving transmissions on the wire. A reordered transmission is held
+    /// back with its loss verdict pre-sampled, so the RNG draw sequence does
+    /// not depend on the hold-back delay.
+    fn transmit_data(&mut self, from: usize, to: usize, seq: u64, attempt: u32) {
+        let severed = self.link_severed(self.procs[from].host, self.procs[to].host);
+        if severed {
+            self.stats.transport.partition_drops += 1;
+        }
+        let (mut inj_lost, mut inj_dup, mut inj_reorder) = (false, false, false);
+        for i in 0..self.msg_windows.len() {
+            let w = self.msg_windows[i];
+            if !w.matches(from, to) {
+                continue;
+            }
+            if w.loss > 0.0 && self.rng_transport.gen::<f64>() < w.loss {
+                inj_lost = true;
+            }
+            if w.dup > 0.0 && self.rng_transport.gen::<f64>() < w.dup {
+                inj_dup = true;
+            }
+            if w.reorder > 0.0 && self.rng_transport.gen::<f64>() < w.reorder {
+                inj_reorder = true;
+            }
+        }
+        if inj_lost && !severed {
+            self.stats.transport.injected_losses += 1;
+        }
+        let lost = severed || inj_lost;
+        if inj_reorder {
+            self.stats.transport.injected_reorders += 1;
+            let delay = self.rng_transport.gen::<f64>() * self.cfg.transport.reorder_delay_s;
+            self.q.schedule(
+                delay,
+                EventKind::TransportSend {
+                    from_proc: from,
+                    to_proc: to,
+                    seq,
+                    attempt,
+                    lost,
+                },
+            );
+        } else {
+            self.wire_data(from, to, seq, attempt, lost);
+        }
+        if inj_dup {
+            // the duplicate is an independent wire copy with its own loss
+            // draw; it does not re-sample duplication (no duplication chains)
+            self.stats.transport.injected_dups += 1;
+            let mut dup_lost = severed;
+            for i in 0..self.msg_windows.len() {
+                let w = self.msg_windows[i];
+                if w.matches(from, to) && w.loss > 0.0 && self.rng_transport.gen::<f64>() < w.loss {
+                    dup_lost = true;
+                }
+            }
+            self.wire_data(from, to, seq, attempt, dup_lost);
+        }
+    }
+
+    /// Puts one DATA transmission on the bus. A held-back transmission whose
+    /// message was acknowledged in the meantime (its duplicate raced ahead)
+    /// simply evaporates.
+    fn wire_data(&mut self, from: usize, to: usize, seq: u64, attempt: u32, lost: bool) {
+        let Some(msg) = self.transport.outstanding.get(&(from, to, seq)) else {
+            return;
+        };
+        let (bytes, step, xch) = (msg.bytes, msg.step, msg.xch);
+        let now = self.now();
+        let scale = self.halo_rate_scale(from, to);
+        self.net.start_transfer_faulted(
+            now,
+            bytes,
+            scale,
+            TransferPayload::HaloData {
+                to_proc: to,
+                step,
+                xch,
+                from_proc: from,
+                seq,
+                attempt,
+            },
+            &mut self.rng_transport,
+            lost,
+        );
+        self.reschedule_net();
+    }
+
+    /// A reorder-delayed transmission finally enters the wire.
+    fn on_transport_send(&mut self, from: usize, to: usize, seq: u64, attempt: u32, lost: bool) {
+        self.wire_data(from, to, seq, attempt, lost);
+    }
+
+    /// A retransmission timeout expired. Stale timers (the message was
+    /// acknowledged, or a newer attempt re-armed the timer) fall through the
+    /// lookup / attempt check and do nothing.
+    fn on_retx_timer(&mut self, from_proc: usize, to_proc: usize, seq: u64, attempt: u32) {
+        let now = self.now();
+        let tcfg = self.cfg.transport;
+        let Some(msg) = self
+            .transport
+            .outstanding
+            .get_mut(&(from_proc, to_proc, seq))
+        else {
+            return; // acknowledged (or recovery voided the sender state)
+        };
+        if msg.attempts != attempt {
+            return; // a newer attempt owns the live timer
+        }
+        msg.attempts += 1;
+        let give_up_now = !msg.gave_up && msg.attempts > tcfg.max_attempts;
+        if give_up_now {
+            msg.gave_up = true;
+            msg.rto = tcfg.max_rto_s;
+        } else if !msg.gave_up {
+            msg.rto = (msg.rto * tcfg.rto_backoff).min(tcfg.max_rto_s);
+        }
+        let (rto, attempts, step, xch) = (msg.rto, msg.attempts, msg.step, msg.xch);
+        self.stats.transport.retransmits += 1;
+        self.ctrl.instant_sim_arg(
+            Category::Net,
+            "retransmit",
+            now,
+            Some(("to_proc", to_proc as f64)),
+        );
+        self.q.schedule(
+            rto,
+            EventKind::RetxTimer {
+                from_proc,
+                to_proc,
+                seq,
+                attempt: attempts,
+            },
+        );
+        self.transmit_data(from_proc, to_proc, seq, attempts);
+        if give_up_now {
+            // the observable symptom section 7 describes: the transport
+            // "fails to deliver messages after excessive retransmissions"
+            self.stats.transport.give_ups += 1;
+            self.stats.delivery_failures.push(DeliveryFailureRecord {
+                from_proc,
+                to_proc,
+                step,
+                xch,
+                at: now,
+                attempts,
+            });
+            self.ctrl.instant_sim_arg(
+                Category::Fault,
+                "delivery failure",
+                now,
+                Some(("to_proc", to_proc as f64)),
+            );
+            self.report_comm_failure(to_proc);
+        }
+    }
+
+    /// The transport reported a delivery failure toward `suspect_proc`: open
+    /// a communication-triggered suspicion chain on its host, unless one is
+    /// already running there.
+    fn report_comm_failure(&mut self, suspect_proc: usize) {
+        if !self.cfg.detector.enabled {
+            return;
+        }
+        let host = self.procs[suspect_proc].host;
+        if self.det[host].chain_epoch == self.hosts[host].probe_epoch {
+            return; // a chain (either trigger) is already live on this host
+        }
+        let now = self.now();
+        self.hosts[host].bump_probe_epoch();
+        let probe_epoch = self.hosts[host].probe_epoch;
+        let d = &mut self.det[host];
+        d.trigger = ChainTrigger::CommSuspect;
+        d.chain_started = now;
+        d.chain_epoch = probe_epoch;
+        self.ctrl.instant_sim_arg(
+            Category::Detection,
+            "comm suspect",
+            now,
+            Some(("host", host as f64)),
+        );
+        self.q.schedule(
+            self.cfg.detector.timeout_s,
+            EventKind::HeartbeatProbe {
+                host,
+                misses: 1,
+                probe_epoch,
+            },
+        );
+    }
+
+    /// Fresh proof of life for `host`: delivered DATA or ACK traffic sent by
+    /// its subprocess (the monitor snoops the shared bus), or a probe reply.
+    /// Evidence immediately ends a communication-triggered suspicion chain;
+    /// out-of-band-silence chains re-verify the host directly at each probe,
+    /// so stale in-flight traffic cannot mask a crash.
+    fn note_evidence(&mut self, host: usize) {
+        let now = self.now();
+        let d = &mut self.det[host];
+        d.last_evidence = now;
+        if d.chain_epoch == self.hosts[host].probe_epoch && d.trigger == ChainTrigger::CommSuspect {
+            self.hosts[host].bump_probe_epoch();
+        }
+    }
+
+    /// A DATA message reached its receiver: ACK on the reverse link, then
+    /// deliver to the solver unless the sequence number is a duplicate.
+    fn on_halo_data_arrival(
+        &mut self,
+        to: usize,
+        step: u64,
+        xch: usize,
+        from: usize,
+        seq: u64,
+        attempt: u32,
+    ) {
+        let now = self.now();
+        self.note_evidence(self.procs[from].host);
+        if !self.hosts[self.procs[to].host].available() {
+            return; // a dead or frozen application cannot acknowledge
+        }
+        let mut ack_lost = self.link_severed(self.procs[to].host, self.procs[from].host);
+        if ack_lost {
+            self.stats.transport.partition_drops += 1;
+        }
+        for i in 0..self.msg_windows.len() {
+            let w = self.msg_windows[i];
+            if w.matches_ack(to, from) && w.loss > 0.0 && self.rng_transport.gen::<f64>() < w.loss {
+                if !ack_lost {
+                    self.stats.transport.injected_losses += 1;
+                }
+                ack_lost = true;
+            }
+        }
+        self.stats.transport.acks_sent += 1;
+        self.net.start_transfer_faulted(
+            now,
+            self.cfg.transport.ack_bytes,
+            1.0,
+            TransferPayload::Ack {
+                to_proc: from,
+                from_proc: to,
+                seq,
+                attempt,
+            },
+            &mut self.rng_transport,
+            ack_lost,
+        );
+        self.reschedule_net();
+        if self.transport.mark_delivered(from, to, seq) {
+            self.deliver_halo(to, step, xch, from);
+        } else {
+            self.stats.transport.dup_suppressed += 1;
+        }
+    }
+
+    /// An ACK returned to the original sender: settle the outstanding
+    /// message (stale retransmission timers die on lookup) and feed the RTT
+    /// estimator.
+    fn on_ack_arrival(&mut self, sender: usize, acker: usize, seq: u64) {
+        let now = self.now();
+        self.note_evidence(self.procs[acker].host);
+        match self.transport.on_ack(sender, acker, seq, now) {
+            Some(_) => self.stats.transport.acks_received += 1,
+            None => self.stats.transport.late_acks += 1,
+        }
+    }
+
+    /// The accrual detector sends one wire probe to a suspect host. Probes
+    /// ride the modelled network (they queue behind bulk traffic, which is
+    /// what makes the detector congestion-aware) but are monitor ↔ host
+    /// traffic, not process-link traffic, so injected message faults do not
+    /// apply to them; partitions do.
+    fn send_probe(&mut self, host: usize) {
+        let now = self.now();
+        let lost = self.monitor_severed(host);
+        if lost {
+            self.stats.transport.partition_drops += 1;
+        }
+        let d = &mut self.det[host];
+        d.probe_seq += 1;
+        let seq = d.probe_seq;
+        d.probe_sent.insert(seq, now);
+        self.stats.transport.probes_sent += 1;
+        self.net.start_transfer_faulted(
+            now,
+            self.cfg.transport.probe_bytes,
+            1.0,
+            TransferPayload::Probe { host, seq },
+            &mut self.rng_transport,
+            lost,
+        );
+        self.reschedule_net();
+    }
+
+    /// A probe reached the suspect host; a live, unfrozen host replies.
+    fn on_probe_arrival(&mut self, host: usize, seq: u64) {
+        if !self.hosts[host].answers_probes() {
+            return;
+        }
+        let now = self.now();
+        let lost = self.monitor_severed(host);
+        if lost {
+            self.stats.transport.partition_drops += 1;
+        }
+        self.net.start_transfer_faulted(
+            now,
+            self.cfg.transport.probe_bytes,
+            1.0,
+            TransferPayload::ProbeReply { host, seq },
+            &mut self.rng_transport,
+            lost,
+        );
+        self.reschedule_net();
+    }
+
+    /// The monitor got a probe reply: sample the round-trip into the host's
+    /// RTT estimate and register the evidence (which ends a comm-triggered
+    /// chain — the host answered, so it is alive, just slow).
+    fn on_probe_reply(&mut self, host: usize, seq: u64) {
+        let now = self.now();
+        self.stats.transport.probe_replies += 1;
+        if let Some(sent) = self.det[host].probe_sent.remove(&seq) {
+            self.det[host].rtt.sample(now - sent);
+        }
+        self.note_evidence(host);
+    }
+
+    /// An injected message-fault window opens.
+    fn on_msg_fault_start(&mut self, idx: usize) {
+        self.msg_windows[idx].active = true;
+        self.stats.msg_fault_windows += 1;
+        self.ctrl.instant_sim_arg(
+            Category::Fault,
+            "msg faults on",
+            self.now(),
+            Some(("idx", idx as f64)),
+        );
+    }
+
+    /// The message-fault window closes.
+    fn on_msg_fault_end(&mut self, idx: usize) {
+        self.msg_windows[idx].active = false;
+        self.ctrl.instant_sim_arg(
+            Category::Fault,
+            "msg faults off",
+            self.now(),
+            Some(("idx", idx as f64)),
+        );
+    }
+
+    /// An injected network partition begins.
+    fn on_partition_start(&mut self, idx: usize) {
+        self.net_partitions[idx].active = true;
+        self.stats.partitions += 1;
+        self.ctrl.instant_sim_arg(
+            Category::Fault,
+            "partition",
+            self.now(),
+            Some(("idx", idx as f64)),
+        );
+    }
+
+    /// The partition heals; retransmissions start getting through again.
+    fn on_partition_end(&mut self, idx: usize) {
+        self.net_partitions[idx].active = false;
+        self.ctrl.instant_sim_arg(
+            Category::Fault,
+            "partition healed",
+            self.now(),
+            Some(("idx", idx as f64)),
+        );
     }
 
     /// CPU-bound catch-up a receiver pays before a stalled sender's bytes
@@ -798,7 +1343,9 @@ impl ClusterSim {
         let step = self.procs[pid].step;
         let needed = self.needed_senders(pid, xch);
         if self.procs[pid].have_all(step, xch, &needed) {
-            self.procs[pid].consume(step, xch);
+            if !self.procs[pid].consume(step, xch) {
+                self.stats.out_of_order_consumes += 1;
+            }
             self.advance_phase(pid);
         } else {
             let p = &mut self.procs[pid];
@@ -890,6 +1437,14 @@ impl ClusterSim {
                     TransferPayload::Dump { proc_id } => {
                         self.q.schedule(ack, EventKind::ResendDump { proc_id });
                     }
+                    // reliable-transport messages have no out-of-band
+                    // resend: the sender's retransmission timer covers DATA,
+                    // an unacknowledged DATA covers its lost ACK, and probe
+                    // loss simply reads as more silence to the detector
+                    TransferPayload::HaloData { .. }
+                    | TransferPayload::Ack { .. }
+                    | TransferPayload::Probe { .. }
+                    | TransferPayload::ProbeReply { .. } => {}
                 }
                 continue;
             }
@@ -919,6 +1474,31 @@ impl ClusterSim {
                     );
                     self.on_dump_done(proc_id);
                 }
+                TransferPayload::HaloData {
+                    to_proc,
+                    step,
+                    xch,
+                    from_proc,
+                    seq,
+                    attempt,
+                } => {
+                    self.ctrl.span_sim_arg(
+                        Category::Net,
+                        "data wire",
+                        c.started,
+                        now,
+                        Some(("to_proc", to_proc as f64)),
+                    );
+                    self.on_halo_data_arrival(to_proc, step, xch, from_proc, seq, attempt);
+                }
+                TransferPayload::Ack {
+                    to_proc,
+                    from_proc,
+                    seq,
+                    ..
+                } => self.on_ack_arrival(to_proc, from_proc, seq),
+                TransferPayload::Probe { host, seq } => self.on_probe_arrival(host, seq),
+                TransferPayload::ProbeReply { host, seq } => self.on_probe_reply(host, seq),
             }
         }
         self.reschedule_net();
@@ -950,7 +1530,13 @@ impl ClusterSim {
 
     fn deliver_halo(&mut self, pid: usize, step: u64, xch: usize, from: usize) {
         let now = self.now();
-        self.procs[pid].receive(step, xch, from);
+        if !self.procs[pid].receive(step, xch, from) {
+            // the same halo applied twice. With the transport engaged this
+            // only happens legitimately across a recovery rollback (stale
+            // pre-rollback wire arrivals meet the re-execution's re-sends);
+            // within one epoch the sequence-number dedup makes it impossible
+            self.stats.duplicate_halo_applies += 1;
+        }
 
         // strict ordering: the arrival may release deferred sends
         if self.cfg.ordering == CommOrdering::Strict && !self.procs[pid].deferred_sends.is_empty() {
@@ -974,7 +1560,9 @@ impl ClusterSim {
                     let p = &mut self.procs[pid];
                     let waited_since = p.wait_since;
                     p.t_com += now - waited_since;
-                    p.consume(cur_step, xch);
+                    if !p.consume(cur_step, xch) {
+                        self.stats.out_of_order_consumes += 1;
+                    }
                     self.rec_span(pid, Category::Halo, "halo wait", waited_since, now);
                     self.advance_phase(pid);
                     return;
@@ -1509,8 +2097,14 @@ impl ClusterSim {
         if !self.cfg.detector.enabled {
             return;
         }
+        let now = self.now();
         self.hosts[host].probe_epoch += 1;
         let probe_epoch = self.hosts[host].probe_epoch;
+        let d = &mut self.det[host];
+        d.trigger = ChainTrigger::HostSilent;
+        d.chain_started = now;
+        d.chain_epoch = probe_epoch;
+        d.last_evidence = now; // heartbeats flowed until this instant
         self.q.schedule(
             self.cfg.detector.timeout_s,
             EventKind::HeartbeatProbe {
@@ -1521,6 +2115,20 @@ impl ClusterSim {
         );
     }
 
+    /// Whether declaring `pid` dead right now is meaningful: the process is
+    /// plainly dead/stalled, or doing interruptible solver work. Mid-protocol
+    /// states (barrier, checkpoint save, migration legs) postpone the
+    /// declaration instead — killing those would tangle two protocols.
+    fn declarable(&self, pid: usize) -> bool {
+        matches!(
+            self.procs[pid].state,
+            ProcState::Failed
+                | ProcState::Frozen { .. }
+                | ProcState::Computing { .. }
+                | ProcState::WaitingRecv { .. }
+        )
+    }
+
     fn on_heartbeat_probe(&mut self, host: usize, misses: u32, probe_epoch: u64) {
         if probe_epoch != self.hosts[host].probe_epoch {
             return; // stale chain (host recovered or was re-suspected)
@@ -1528,6 +2136,22 @@ impl ClusterSim {
         let Some(pid) = self.hosts[host].assigned_proc else {
             return;
         };
+        match (self.cfg.detector.mode, self.det[host].trigger) {
+            (DetectorMode::FixedTimeout, ChainTrigger::HostSilent) => {
+                self.fixed_probe_host_silent(host, pid, misses, probe_epoch)
+            }
+            (DetectorMode::FixedTimeout, ChainTrigger::CommSuspect) => {
+                self.fixed_probe_comm(host, pid, misses, probe_epoch)
+            }
+            (DetectorMode::Accrual, trigger) => {
+                self.accrual_probe(host, pid, misses, probe_epoch, trigger)
+            }
+        }
+    }
+
+    /// The classic fixed-timeout schedule against an out-of-band-silent host
+    /// (crash or freeze): count misses, declare at `max_misses`.
+    fn fixed_probe_host_silent(&mut self, host: usize, pid: usize, misses: u32, probe_epoch: u64) {
         let silent = !self.hosts[host].available()
             || matches!(
                 self.procs[pid].state,
@@ -1552,7 +2176,7 @@ impl ClusterSim {
             }
             self.declare_failure(host, pid);
         } else {
-            let wait = self.cfg.detector.timeout_s * self.cfg.detector.backoff.powi(misses as i32);
+            let wait = self.cfg.detector.probe_wait(misses + 1);
             self.q.schedule(
                 wait,
                 EventKind::HeartbeatProbe {
@@ -1564,6 +2188,123 @@ impl ClusterSim {
         }
     }
 
+    /// The fixed-timeout schedule against a comm-suspected host. The host
+    /// looks fine out of band (its process is alive), so the only signals
+    /// are traffic evidence (which ends the chain eagerly via
+    /// [`ClusterSim::note_evidence`], and is re-checked here) and the miss
+    /// budget. A lossy-but-alive link therefore burns straight through the
+    /// budget — the fixed detector's false-positive mode the `partition`
+    /// experiment measures.
+    fn fixed_probe_comm(&mut self, host: usize, pid: usize, misses: u32, probe_epoch: u64) {
+        let d = &self.det[host];
+        if d.last_evidence >= d.chain_started {
+            self.hosts[host].bump_probe_epoch(); // traffic resumed
+            return;
+        }
+        if misses >= self.cfg.detector.max_misses {
+            if self.sync != SyncState::Idle || self.recovering.is_some() || !self.declarable(pid) {
+                self.q.schedule(
+                    self.cfg.detector.timeout_s,
+                    EventKind::HeartbeatProbe {
+                        host,
+                        misses,
+                        probe_epoch,
+                    },
+                );
+                return;
+            }
+            self.declare_failure(host, pid);
+        } else {
+            let wait = self.cfg.detector.probe_wait(misses + 1);
+            self.q.schedule(
+                wait,
+                EventKind::HeartbeatProbe {
+                    host,
+                    misses: misses + 1,
+                    probe_epoch,
+                },
+            );
+        }
+    }
+
+    /// The accrual (φ) detector: suspicion is the ratio of observed silence
+    /// to the expected-evidence horizon, and the horizon stretches with the
+    /// measured probe RTT — congestion inflates the RTT estimate, which
+    /// raises the bar instead of burning a fixed miss budget. Declares only
+    /// once φ crosses `phi_threshold` *and* at least one wire probe has had
+    /// a chance to come back.
+    fn accrual_probe(
+        &mut self,
+        host: usize,
+        pid: usize,
+        misses: u32,
+        probe_epoch: u64,
+        trigger: ChainTrigger,
+    ) {
+        let now = self.now();
+        match trigger {
+            ChainTrigger::HostSilent => {
+                let silent = !self.hosts[host].available()
+                    || matches!(
+                        self.procs[pid].state,
+                        ProcState::Failed | ProcState::Frozen { .. }
+                    );
+                if !silent {
+                    return;
+                }
+            }
+            ChainTrigger::CommSuspect => {
+                let d = &self.det[host];
+                if d.last_evidence >= d.chain_started {
+                    self.hosts[host].bump_probe_epoch();
+                    return;
+                }
+            }
+        }
+        let d = &self.det[host];
+        let expected = self
+            .cfg
+            .detector
+            .timeout_s
+            .max(d.rtt.expected(self.cfg.detector.rtt_inflation));
+        let phi = (now - d.last_evidence) / expected;
+        let threshold_at = d.last_evidence + self.cfg.detector.phi_threshold * expected;
+        self.stats.suspicion_peak = self.stats.suspicion_peak.max(phi);
+        if phi >= self.cfg.detector.phi_threshold - 1e-9 && misses > 1 {
+            if self.sync != SyncState::Idle || self.recovering.is_some() || !self.declarable(pid) {
+                self.q.schedule(
+                    self.cfg.detector.timeout_s,
+                    EventKind::HeartbeatProbe {
+                        host,
+                        misses,
+                        probe_epoch,
+                    },
+                );
+                return;
+            }
+            self.declare_failure(host, pid);
+            return;
+        }
+        // ask the host directly over the modelled network and look again at
+        // the earlier of the backed-off schedule and the φ-crossing time (or
+        // one timeout, when φ is already over but no probe has answered yet)
+        self.send_probe(host);
+        let crossing = threshold_at - now;
+        let wait = if crossing <= 0.0 {
+            self.cfg.detector.timeout_s
+        } else {
+            self.cfg.detector.probe_wait(misses + 1).min(crossing)
+        };
+        self.q.schedule(
+            wait,
+            EventKind::HeartbeatProbe {
+                host,
+                misses: misses + 1,
+                probe_epoch,
+            },
+        );
+    }
+
     /// The detector gives up on the process: declare it dead and launch the
     /// checkpoint-restart recovery. If the process was merely stalled (a
     /// freeze outlasting the probe schedule) this is a false positive — the
@@ -1571,18 +2312,63 @@ impl ClusterSim {
     /// is exactly what a real timeout-based monitor would do.
     fn declare_failure(&mut self, host: usize, pid: usize) {
         let now = self.now();
-        let false_positive = matches!(self.procs[pid].state, ProcState::Frozen { .. });
-        if false_positive {
-            let p = &mut self.procs[pid];
-            p.t_paused += now - p.pause_since;
-            // keep pause_since: it marks when progress stopped (fault time)
-            let fault = p.pause_since;
-            p.bump_epoch();
-            p.state = ProcState::Failed;
-            p.pause_since = fault;
-            self.failed_count += 1;
-            self.rec_span(pid, Category::Fault, "frozen (declared dead)", fault, now);
-        }
+        let state = self.procs[pid].state.clone();
+        let false_positive = match state {
+            ProcState::Frozen { .. } => {
+                let p = &mut self.procs[pid];
+                p.t_paused += now - p.pause_since;
+                // keep pause_since: it marks when progress stopped (fault time)
+                let fault = p.pause_since;
+                p.bump_epoch();
+                p.state = ProcState::Failed;
+                p.pause_since = fault;
+                self.failed_count += 1;
+                self.rec_span(pid, Category::Fault, "frozen (declared dead)", fault, now);
+                true
+            }
+            // a comm-triggered chain convicted a process that is actually
+            // alive (lossy or congested link): the monitor kills and
+            // restarts it anyway — the false-positive restart whose cost the
+            // recovery model's fp-rate term charges
+            ProcState::Computing { since, .. } => {
+                let suspected_since = self.det[host].chain_started;
+                self.procs[pid].t_calc += now - since;
+                self.rec_span(pid, Category::Compute, "compute", since, now);
+                let p = &mut self.procs[pid];
+                p.bump_epoch();
+                p.state = ProcState::Failed;
+                p.pause_since = suspected_since; // fault time = suspicion start
+                self.failed_count += 1;
+                self.rec_span(
+                    pid,
+                    Category::Fault,
+                    "declared dead (live)",
+                    suspected_since,
+                    now,
+                );
+                true
+            }
+            ProcState::WaitingRecv { .. } => {
+                let suspected_since = self.det[host].chain_started;
+                let ws = self.procs[pid].wait_since;
+                self.procs[pid].t_com += now - ws;
+                self.rec_span(pid, Category::Halo, "halo wait", ws, now);
+                let p = &mut self.procs[pid];
+                p.bump_epoch();
+                p.state = ProcState::Failed;
+                p.pause_since = suspected_since;
+                self.failed_count += 1;
+                self.rec_span(
+                    pid,
+                    Category::Fault,
+                    "declared dead (live)",
+                    suspected_since,
+                    now,
+                );
+                true
+            }
+            _ => false, // ProcState::Failed — the real crash
+        };
         self.hosts[host].probe_epoch += 1; // chain consumed
         self.begin_recovery(pid, host, false_positive);
     }
@@ -1707,6 +2493,14 @@ impl ClusterSim {
                 other => debug_assert!(false, "recovery resume found state {other:?}"),
             }
         }
+        // the rollback voids every outstanding DATA message — the whole
+        // exchange re-executes with fresh sequence numbers, and the stale
+        // retransmission timers die on their next lookup. Receiver dedup
+        // sets survive to absorb stale pre-rollback wire arrivals. This must
+        // happen before any restart: a restarted process's first phase can
+        // put a new DATA message on the wire synchronously, and clearing
+        // afterwards would orphan it from its retransmission timer.
+        self.transport.clear_outstanding();
         for i in restart {
             self.start_phase(i);
         }
@@ -2196,5 +2990,171 @@ mod tests {
         assert_eq!(a.finished_at, b.finished_at);
         assert_eq!(a.net_messages, b.net_messages);
         assert_eq!(a.net_busy, b.net_busy);
+    }
+
+    // ------------------------------------------------------------------
+    // reliable transport
+    // ------------------------------------------------------------------
+
+    #[test]
+    fn lossy_link_retransmits_and_delivers_exactly_once() {
+        let run = || {
+            let mut cfg = ClusterConfig::measurement(small_workload());
+            cfg.faults = FaultPlan::empty().msg_fault(None, None, 0.0, 60.0, 0.35, 0.0, 0.0);
+            let mut sim = ClusterSim::new(cfg);
+            let stats = sim.run(1.0e4, Some(100));
+            assert_eq!(sim.steps(), vec![100, 100], "run must complete");
+            stats
+        };
+        let stats = run();
+        assert!(stats.transport.data_sent > 0, "transport not engaged");
+        assert!(stats.transport.injected_losses > 0, "window drew no losses");
+        assert!(
+            stats.transport.retransmits > 0,
+            "losses need retransmission"
+        );
+        assert!(stats.transport.acks_received > 0);
+        assert_eq!(stats.duplicate_halo_applies, 0, "exactly-once violated");
+        assert_eq!(stats.out_of_order_consumes, 0, "in-order violated");
+        assert_eq!(stats.msg_fault_windows, 1);
+        // the whole machinery is seeded: a rerun reproduces every counter
+        let again = run();
+        assert_eq!(stats.finished_at, again.finished_at);
+        assert_eq!(stats.transport.retransmits, again.transport.retransmits);
+    }
+
+    #[test]
+    fn duplication_and_reordering_are_absorbed_in_order() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        cfg.faults = FaultPlan::empty().msg_fault(None, None, 0.0, 60.0, 0.0, 0.5, 0.8);
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1.0e4, Some(100));
+        assert_eq!(sim.steps(), vec![100, 100]);
+        assert!(stats.transport.injected_dups > 0);
+        assert!(stats.transport.injected_reorders > 0);
+        assert!(
+            stats.transport.dup_suppressed > 0,
+            "duplicate wire copies must be caught by the sequence numbers"
+        );
+        assert!(stats.transport.late_acks > 0, "dup re-ACKs arrive late");
+        assert_eq!(stats.duplicate_halo_applies, 0, "exactly-once violated");
+        assert_eq!(stats.out_of_order_consumes, 0, "in-order violated");
+    }
+
+    #[test]
+    fn partition_blocks_traffic_until_heal() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        cfg.detector.enabled = false; // isolate the transport semantics
+        cfg.transport.max_attempts = 3; // give up quickly
+        let victim = host_of_proc0(&cfg);
+        cfg.faults = FaultPlan::empty().partition(vec![vec![victim]], 10.0, Some(30.0));
+        let mut sim = ClusterSim::new(cfg);
+        let stats = sim.run(1.0e4, Some(100));
+        assert_eq!(stats.partitions, 1);
+        assert!(stats.transport.partition_drops > 0);
+        assert!(
+            !stats.delivery_failures.is_empty(),
+            "a 30 s partition must outlast the give-up threshold"
+        );
+        assert!(stats.transport.give_ups >= 1);
+        assert!(stats.recoveries.is_empty(), "no detector, no restart");
+        // continued retransmission at the capped RTO rides out the heal
+        assert_eq!(sim.steps(), vec![100, 100], "run must complete after heal");
+        assert_eq!(stats.duplicate_halo_applies, 0);
+        assert_eq!(stats.out_of_order_consumes, 0);
+    }
+
+    // ------------------------------------------------------------------
+    // congestion-aware failure detection
+    // ------------------------------------------------------------------
+
+    fn pure_loss_cfg(mode: DetectorMode) -> ClusterConfig {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        cfg.detector.mode = mode;
+        cfg.transport.max_attempts = 4; // give-up ≈ 3 s into the outage
+                                        // every DATA message from proc 0 to proc 1 vanishes for 100 s; the
+                                        // hosts themselves stay perfectly healthy
+        cfg.faults = FaultPlan::empty().msg_fault(Some(0), Some(1), 5.0, 100.0, 1.0, 0.0, 0.0);
+        cfg
+    }
+
+    #[test]
+    fn pure_loss_gives_the_fixed_detector_a_false_positive() {
+        let mut sim = ClusterSim::new(pure_loss_cfg(DetectorMode::FixedTimeout));
+        let stats = sim.run(1.0e4, Some(60));
+        assert!(
+            stats.false_positive_recoveries() >= 1,
+            "a starved miss budget must convict the live process"
+        );
+        assert_eq!(sim.steps(), vec![60, 60], "run survives the spurious kill");
+    }
+
+    #[test]
+    fn accrual_detector_survives_pure_loss_without_false_positives() {
+        let mut sim = ClusterSim::new(pure_loss_cfg(DetectorMode::Accrual));
+        let stats = sim.run(1.0e4, Some(60));
+        assert!(
+            stats.transport.give_ups >= 1,
+            "the transport must still report the outage"
+        );
+        assert!(stats.transport.probes_sent > 0, "suspicion must probe");
+        assert!(
+            stats.transport.probe_replies > 0,
+            "the live host answers over the healthy monitor link"
+        );
+        assert_eq!(
+            stats.recoveries.len(),
+            0,
+            "probe replies are proof of life: no restart"
+        );
+        assert_eq!(sim.steps(), vec![60, 60]);
+    }
+
+    #[test]
+    fn accrual_detects_a_real_crash_within_twice_the_fixed_latency() {
+        let run = |mode: DetectorMode| {
+            let mut cfg = ClusterConfig::measurement(small_workload());
+            cfg.detector.mode = mode;
+            let victim = host_of_proc0(&cfg);
+            cfg.faults = FaultPlan::empty().crash(victim, 60.0, None);
+            ClusterSim::new(cfg).run(2000.0, None)
+        };
+        let fixed = run(DetectorMode::FixedTimeout);
+        let accrual = run(DetectorMode::Accrual);
+        assert_eq!(fixed.recoveries.len(), 1);
+        assert_eq!(accrual.recoveries.len(), 1);
+        assert!(!accrual.recoveries[0].false_positive);
+        let lf = fixed.recoveries[0].detection_latency();
+        let la = accrual.recoveries[0].detection_latency();
+        assert!((lf - 35.0).abs() < 1e-9, "fixed schedule drifted: {lf}");
+        // φ = 8 × the 5 s horizon crossed at +40 s (probed at 5/15/35/40)
+        assert!((la - 40.0).abs() < 1e-6, "accrual crossing drifted: {la}");
+        assert!(la <= 2.0 * lf, "accrual too slow: {la} vs {lf}");
+        assert!(accrual.transport.probes_sent >= 3);
+        assert!(accrual.suspicion_peak >= 8.0 - 1e-9);
+    }
+
+    #[test]
+    fn probe_backoff_clamp_bounds_detection_latency() {
+        let mut cfg = ClusterConfig::measurement(small_workload());
+        cfg.detector = DetectorPolicy {
+            enabled: true,
+            timeout_s: 3.0,
+            backoff: 2.0,
+            max_misses: 4,
+            max_probe_interval_s: 4.0, // waits 3, 4, 4, 4 instead of 3, 6, 12, 24
+            ..DetectorPolicy::default()
+        };
+        assert!((cfg.detector.detection_latency() - 15.0).abs() < 1e-12);
+        let victim = host_of_proc0(&cfg);
+        cfg.faults = FaultPlan::empty().crash(victim, 50.0, None);
+        let mut sim = ClusterSim::new(cfg.clone());
+        let stats = sim.run(1000.0, None);
+        assert_eq!(stats.recoveries.len(), 1);
+        let lat = stats.recoveries[0].detection_latency();
+        assert!(
+            (lat - cfg.detector.detection_latency()).abs() < 1e-9,
+            "clamped schedule not honoured: {lat}"
+        );
     }
 }

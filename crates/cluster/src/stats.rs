@@ -122,6 +122,61 @@ impl RecoveryRecord {
     }
 }
 
+/// Counters of the message-level reliable transport (all zero when the run
+/// has no message-level faults and the transport stays disengaged).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TransportStats {
+    /// Fresh DATA messages handed to the transport.
+    pub data_sent: u64,
+    /// Retransmissions (timeout expiries that re-sent a DATA message).
+    pub retransmits: u64,
+    /// ACKs put on the wire by receivers (duplicates are re-ACKed).
+    pub acks_sent: u64,
+    /// ACKs that settled an outstanding message at the sender.
+    pub acks_received: u64,
+    /// ACKs that arrived for an already-settled (or recovery-cleared)
+    /// message.
+    pub late_acks: u64,
+    /// Duplicate DATA deliveries suppressed by sequence number.
+    pub dup_suppressed: u64,
+    /// Messages that crossed the give-up threshold and were reported to the
+    /// monitor as delivery failures.
+    pub give_ups: u64,
+    /// Injected losses (DATA transmissions dropped by a message-fault
+    /// window).
+    pub injected_losses: u64,
+    /// Injected duplications.
+    pub injected_dups: u64,
+    /// Injected reorderings (transmissions held back before the wire).
+    pub injected_reorders: u64,
+    /// DATA/ACK/probe transmissions dropped by an active network partition.
+    pub partition_drops: u64,
+    /// Accrual-detector probes put on the wire.
+    pub probes_sent: u64,
+    /// Probe replies that came back.
+    pub probe_replies: u64,
+}
+
+/// One delivery failure the transport reported to the monitor: a message
+/// crossed [`crate::transport::TransportConfig::max_attempts`] transmissions
+/// without an ACK — the observable symptom of a dead receiver, a partition,
+/// or pathological congestion.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DeliveryFailureRecord {
+    /// Sending process.
+    pub from_proc: usize,
+    /// Receiving process the ACKs never came from.
+    pub to_proc: usize,
+    /// Step of the undeliverable halo.
+    pub step: u64,
+    /// Exchange id of the undeliverable halo.
+    pub xch: usize,
+    /// When the sender gave up.
+    pub at: f64,
+    /// Transmissions at the moment of giving up.
+    pub attempts: u32,
+}
+
 /// Aggregate results of a simulation run.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct ClusterStats {
@@ -163,6 +218,24 @@ pub struct ClusterStats {
     pub host_freezes: u64,
     /// Injected bus-saturation bursts.
     pub bus_bursts: u64,
+    /// Reliable-transport counters (all zero when the transport is
+    /// disengaged).
+    pub transport: TransportStats,
+    /// Delivery failures the transport reported to the monitor.
+    pub delivery_failures: Vec<DeliveryFailureRecord>,
+    /// Injected network partitions that actually opened during the run.
+    pub partitions: u64,
+    /// Injected message-fault windows that actually opened during the run.
+    pub msg_fault_windows: u64,
+    /// Halo payloads applied twice to the same solver slot (must stay zero:
+    /// the transport's dedup is supposed to make delivery exactly-once).
+    pub duplicate_halo_applies: u64,
+    /// Halo consumptions observed out of `(step, exchange)` order on some
+    /// process (must stay zero: reordering may shuffle the wire, never the
+    /// solver).
+    pub out_of_order_consumes: u64,
+    /// Largest accrual suspicion level φ the detector ever computed.
+    pub suspicion_peak: f64,
     /// Simulated time at which the run target was reached (or the run
     /// stopped).
     pub finished_at: f64,
@@ -175,6 +248,12 @@ impl ClusterStats {
             return 1.0;
         }
         self.procs.iter().map(|p| p.utilization()).sum::<f64>() / self.procs.len() as f64
+    }
+
+    /// Recoveries whose victim was actually alive (false-positive restarts
+    /// — the cost of a too-eager failure detector).
+    pub fn false_positive_recoveries(&self) -> usize {
+        self.recoveries.iter().filter(|r| r.false_positive).count()
     }
 
     /// Mean interval between migrations over `span` seconds.
@@ -205,6 +284,60 @@ impl ClusterStats {
         reg.counter_add(&format!("{prefix}.host_reboots"), self.host_reboots);
         reg.counter_add(&format!("{prefix}.host_freezes"), self.host_freezes);
         reg.counter_add(&format!("{prefix}.bus_bursts"), self.bus_bursts);
+        reg.counter_add(&format!("{prefix}.partitions"), self.partitions);
+        reg.counter_add(
+            &format!("{prefix}.msg_fault_windows"),
+            self.msg_fault_windows,
+        );
+        reg.counter_add(&format!("{prefix}.tx.data_sent"), self.transport.data_sent);
+        reg.counter_add(
+            &format!("{prefix}.tx.retransmits"),
+            self.transport.retransmits,
+        );
+        reg.counter_add(&format!("{prefix}.tx.acks_sent"), self.transport.acks_sent);
+        reg.counter_add(
+            &format!("{prefix}.tx.acks_received"),
+            self.transport.acks_received,
+        );
+        reg.counter_add(&format!("{prefix}.tx.late_acks"), self.transport.late_acks);
+        reg.counter_add(
+            &format!("{prefix}.tx.dup_suppressed"),
+            self.transport.dup_suppressed,
+        );
+        reg.counter_add(&format!("{prefix}.tx.give_ups"), self.transport.give_ups);
+        reg.counter_add(
+            &format!("{prefix}.tx.injected_losses"),
+            self.transport.injected_losses,
+        );
+        reg.counter_add(
+            &format!("{prefix}.tx.partition_drops"),
+            self.transport.partition_drops,
+        );
+        reg.counter_add(
+            &format!("{prefix}.tx.probes_sent"),
+            self.transport.probes_sent,
+        );
+        reg.counter_add(
+            &format!("{prefix}.tx.probe_replies"),
+            self.transport.probe_replies,
+        );
+        reg.counter_add(
+            &format!("{prefix}.delivery_failures"),
+            self.delivery_failures.len() as u64,
+        );
+        reg.counter_add(
+            &format!("{prefix}.duplicate_halo_applies"),
+            self.duplicate_halo_applies,
+        );
+        reg.counter_add(
+            &format!("{prefix}.out_of_order_consumes"),
+            self.out_of_order_consumes,
+        );
+        reg.gauge_set(
+            &format!("{prefix}.suspicion_peak"),
+            self.suspicion_peak,
+            "phi",
+        );
         reg.counter_add(
             &format!("{prefix}.migrations"),
             self.migrations.len() as u64,
@@ -313,6 +446,56 @@ mod tests {
             .histogram("cluster.downtime")
             .expect("downtime histogram");
         assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    fn publish_exports_transport_counters() {
+        let mut s = ClusterStats {
+            partitions: 1,
+            ..Default::default()
+        };
+        s.transport.data_sent = 40;
+        s.transport.retransmits = 7;
+        s.transport.give_ups = 2;
+        s.suspicion_peak = 8.5;
+        s.delivery_failures.push(DeliveryFailureRecord {
+            from_proc: 0,
+            to_proc: 1,
+            step: 12,
+            xch: 0,
+            at: 30.0,
+            attempts: 8,
+        });
+        let reg = MetricsRegistry::new();
+        s.publish(&reg, "cluster");
+        assert_eq!(reg.counter("cluster.tx.data_sent"), Some(40));
+        assert_eq!(reg.counter("cluster.tx.retransmits"), Some(7));
+        assert_eq!(reg.counter("cluster.tx.give_ups"), Some(2));
+        assert_eq!(reg.counter("cluster.delivery_failures"), Some(1));
+        assert_eq!(reg.counter("cluster.partitions"), Some(1));
+        assert_eq!(reg.gauge("cluster.suspicion_peak"), Some(8.5));
+    }
+
+    #[test]
+    fn false_positive_recoveries_are_counted() {
+        let mut s = ClusterStats::default();
+        let rec = RecoveryRecord {
+            proc_id: 0,
+            from_host: 0,
+            to_host: 1,
+            fault_time: 1.0,
+            detect_time: 2.0,
+            resume_time: 4.0,
+            rollback_step: 10,
+            lost_steps: 5,
+            false_positive: false,
+        };
+        s.recoveries.push(rec);
+        s.recoveries.push(RecoveryRecord {
+            false_positive: true,
+            ..rec
+        });
+        assert_eq!(s.false_positive_recoveries(), 1);
     }
 
     #[test]

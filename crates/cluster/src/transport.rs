@@ -1,0 +1,464 @@
+//! The per-message reliable transport (Appendix D, taken seriously).
+//!
+//! The legacy bus model *samples* unreliability as extra cost and lets every
+//! transfer magically reach its receiver. This module is the protocol the
+//! paper says the distributed program must actually run: "the distributed
+//! program must check that messages are delivered, and resend messages if
+//! necessary". Every halo exchange becomes an explicit DATA message with a
+//! per-link sequence number; the receiver returns an ACK on the reverse
+//! link; the sender keeps an RTT estimate (SRTT/RTTVAR, RFC-6298 style) and
+//! retransmits on timeout with exponential backoff bounded by
+//! [`TransportConfig::max_rto_s`]; duplicates are suppressed by sequence
+//! number at the receiver; and after [`TransportConfig::max_attempts`]
+//! transmissions the sender *reports* the link to the monitor as a delivery
+//! failure — the observable event section 7 describes as "the TCP/IP
+//! protocol fails to deliver messages after excessive retransmissions" —
+//! while continuing to retransmit at the capped timeout so a healed
+//! partition lets the run complete.
+//!
+//! The state machine only engages when the fault plan contains message-level
+//! faults ([`crate::FaultPlan::has_message_faults`]); otherwise the
+//! simulation keeps the legacy statistical wire path and this module draws
+//! nothing — the bit-identity contract for fault-free plans.
+//!
+//! All state lives in ordered maps (`BTreeMap`/`BTreeSet`): iteration order
+//! feeds event scheduling, so hash-map nondeterminism would leak into
+//! simulated time.
+
+use crate::fault::{FaultEvent, FaultPlan};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Tuning knobs of the reliable-transport state machine.
+#[derive(Debug, Clone, Copy)]
+pub struct TransportConfig {
+    /// Wire size of an acknowledgement, bytes (header-only datagram).
+    pub ack_bytes: f64,
+    /// Wire size of a detector probe / probe reply, bytes.
+    pub probe_bytes: f64,
+    /// Retransmission-timeout floor, seconds.
+    pub min_rto_s: f64,
+    /// Retransmission-timeout cap, seconds — the bound on exponential
+    /// backoff (and the retry period after a give-up).
+    pub max_rto_s: f64,
+    /// RTO before any RTT sample exists on a link, seconds.
+    pub initial_rto_s: f64,
+    /// Backoff multiplier applied to the RTO after each unanswered attempt.
+    pub rto_backoff: f64,
+    /// Transmissions after which the sender declares a delivery failure to
+    /// the monitor (it keeps retransmitting at `max_rto_s` so the message
+    /// still arrives if the network heals).
+    pub max_attempts: u32,
+    /// Upper bound on the injected reordering delay, seconds (a reordered
+    /// DATA transmission is held back by a uniform draw below this before
+    /// entering the wire).
+    pub reorder_delay_s: f64,
+}
+
+impl Default for TransportConfig {
+    fn default() -> Self {
+        Self {
+            ack_bytes: 64.0,
+            probe_bytes: 128.0,
+            min_rto_s: 0.2,
+            max_rto_s: 15.0,
+            initial_rto_s: 1.0,
+            rto_backoff: 2.0,
+            max_attempts: 8,
+            reorder_delay_s: 0.05,
+        }
+    }
+}
+
+/// SRTT/RTTVAR round-trip estimator (RFC 6298 smoothing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RttEstimator {
+    /// Smoothed RTT, seconds (`None` until the first sample).
+    pub srtt: Option<f64>,
+    /// Smoothed mean deviation, seconds.
+    pub rttvar: f64,
+}
+
+impl RttEstimator {
+    /// Feeds one round-trip sample.
+    pub fn sample(&mut self, rtt: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt);
+                self.rttvar = rtt / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - rtt).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * rtt);
+            }
+        }
+    }
+
+    /// The retransmission timeout this estimate implies:
+    /// `clamp(srtt + 4·rttvar, min, max)`, or the initial RTO before any
+    /// sample exists.
+    pub fn rto(&self, cfg: &TransportConfig) -> f64 {
+        match self.srtt {
+            None => cfg.initial_rto_s,
+            Some(srtt) => (srtt + 4.0 * self.rttvar).clamp(cfg.min_rto_s, cfg.max_rto_s),
+        }
+    }
+
+    /// `srtt + k·rttvar` — the accrual detector's expected-arrival horizon
+    /// (zero until a sample exists, so callers fall back to their fixed
+    /// timeout).
+    pub fn expected(&self, k: f64) -> f64 {
+        self.srtt.map_or(0.0, |s| s + k * self.rttvar)
+    }
+}
+
+/// One unacknowledged DATA message on a link.
+#[derive(Debug, Clone, Copy)]
+pub struct OutMsg {
+    /// Payload bytes of the halo.
+    pub bytes: f64,
+    /// Integration step the halo belongs to.
+    pub step: u64,
+    /// Exchange id within the step plan.
+    pub xch: usize,
+    /// Simulated time of the first transmission.
+    pub first_sent: f64,
+    /// Transmissions so far.
+    pub attempts: u32,
+    /// Current retransmission timeout, seconds.
+    pub rto: f64,
+    /// The give-up threshold was crossed and the failure reported; further
+    /// retransmissions continue at the capped RTO.
+    pub gave_up: bool,
+}
+
+/// Sender/receiver state of the reliable transport, keyed by process-level
+/// links `(from_proc, to_proc)`.
+#[derive(Debug, Default)]
+pub struct TransportState {
+    /// Next sequence number per link (first message gets 1).
+    next_seq: BTreeMap<(usize, usize), u64>,
+    /// Unacknowledged DATA messages: `(from, to, seq) → state`.
+    pub outstanding: BTreeMap<(usize, usize, u64), OutMsg>,
+    /// Receiver-side duplicate suppression: sequence numbers already
+    /// delivered to the solver, per link.
+    delivered: BTreeMap<(usize, usize), BTreeSet<u64>>,
+    /// Per-link RTT estimate (fed by first-attempt ACKs only — Karn's
+    /// algorithm: a retransmitted message's ACK is ambiguous).
+    rtt: BTreeMap<(usize, usize), RttEstimator>,
+}
+
+impl TransportState {
+    /// Allocates the next sequence number on `from → to`.
+    pub fn alloc_seq(&mut self, from: usize, to: usize) -> u64 {
+        let seq = self.next_seq.entry((from, to)).or_insert(0);
+        *seq += 1;
+        *seq
+    }
+
+    /// The RTO a fresh message on `from → to` should be armed with.
+    pub fn rto(&self, cfg: &TransportConfig, from: usize, to: usize) -> f64 {
+        self.rtt
+            .get(&(from, to))
+            .copied()
+            .unwrap_or_default()
+            .rto(cfg)
+    }
+
+    /// Registers a freshly sent message keyed by `(from, to, seq)` and
+    /// returns its armed RTO.
+    pub fn register(
+        &mut self,
+        cfg: &TransportConfig,
+        key: (usize, usize, u64),
+        bytes: f64,
+        step: u64,
+        xch: usize,
+        now: f64,
+    ) -> f64 {
+        let rto = self.rto(cfg, key.0, key.1);
+        self.outstanding.insert(
+            key,
+            OutMsg {
+                bytes,
+                step,
+                xch,
+                first_sent: now,
+                attempts: 1,
+                rto,
+                gave_up: false,
+            },
+        );
+        rto
+    }
+
+    /// Processes an ACK for `(from, to, seq)` arriving at `now`. Returns the
+    /// settled message, or `None` for a late/duplicate ACK. RTT is sampled
+    /// only when the message was never retransmitted (Karn's algorithm).
+    pub fn on_ack(&mut self, from: usize, to: usize, seq: u64, now: f64) -> Option<OutMsg> {
+        let msg = self.outstanding.remove(&(from, to, seq))?;
+        if msg.attempts == 1 {
+            self.rtt
+                .entry((from, to))
+                .or_default()
+                .sample(now - msg.first_sent);
+        }
+        Some(msg)
+    }
+
+    /// Receiver-side dedup: records delivery of `seq` on `from → to`,
+    /// returning `true` if it was new (deliver to the solver) or `false`
+    /// for a duplicate (suppress, but re-ACK).
+    pub fn mark_delivered(&mut self, from: usize, to: usize, seq: u64) -> bool {
+        self.delivered.entry((from, to)).or_default().insert(seq)
+    }
+
+    /// Crash recovery rolled the world back: every in-flight message will be
+    /// re-sent with a fresh sequence number, so outstanding sender state is
+    /// void (stale retransmission timers become no-ops when their lookup
+    /// fails). Receiver dedup sets survive — they absorb stale wire
+    /// arrivals from before the rollback.
+    pub fn clear_outstanding(&mut self) {
+        self.outstanding.clear();
+    }
+}
+
+/// One `FaultEvent::MsgFault` window, tracked live by the simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgFaultWindow {
+    /// Sending-process filter (`None` = any).
+    pub from_proc: Option<usize>,
+    /// Receiving-process filter (`None` = any).
+    pub to_proc: Option<usize>,
+    /// Window start, seconds.
+    pub at: f64,
+    /// Window length, seconds.
+    pub duration: f64,
+    /// Loss probability for matching DATA transmissions.
+    pub loss: f64,
+    /// Duplication probability.
+    pub dup: f64,
+    /// Reorder (hold-back) probability.
+    pub reorder: f64,
+    /// Whether the window is currently open.
+    pub active: bool,
+}
+
+impl MsgFaultWindow {
+    /// Whether an open window applies to a DATA transmission on
+    /// `from → to`.
+    pub fn matches(&self, from: usize, to: usize) -> bool {
+        self.active
+            && self.from_proc.is_none_or(|f| f == from)
+            && self.to_proc.is_none_or(|t| t == to)
+    }
+
+    /// Whether the window applies loss to the reverse-direction ACK of a
+    /// DATA message on `from → to` (an ACK is a wire message on the link it
+    /// travels, so a lossy `from → to` window drops ACKs sent `from → to`).
+    pub fn matches_ack(&self, ack_from: usize, ack_to: usize) -> bool {
+        self.matches(ack_from, ack_to)
+    }
+}
+
+/// One `FaultEvent::NetPartition`, tracked live by the simulation. Hosts
+/// listed in `groups[i]` form island `i + 1`; every unlisted host — and the
+/// monitor / file server — stays on island `0`. Transport messages (DATA,
+/// ACK, detector probes) crossing islands are lost deterministically; dump
+/// transfers to the file server are *not* partitioned (the paper's shared
+/// file system rides a path we do not model separately — see DESIGN.md §13).
+#[derive(Debug, Clone)]
+pub struct PartitionState {
+    /// Disjoint host sets, one per non-zero island.
+    pub groups: Vec<Vec<usize>>,
+    /// Partition start, seconds.
+    pub at: f64,
+    /// Seconds until it heals (`None` = permanent).
+    pub heal_after: Option<f64>,
+    /// Whether the partition is currently in force.
+    pub active: bool,
+}
+
+impl PartitionState {
+    /// Island of `host` (0 = the unlisted/monitor island).
+    pub fn island_of(&self, host: usize) -> usize {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&host))
+            .map_or(0, |i| i + 1)
+    }
+
+    /// Whether traffic between two hosts is severed right now.
+    pub fn severs(&self, a: usize, b: usize) -> bool {
+        self.active && self.island_of(a) != self.island_of(b)
+    }
+
+    /// Whether the monitor (island 0) cannot reach `host` right now.
+    pub fn severs_monitor(&self, host: usize) -> bool {
+        self.active && self.island_of(host) != 0
+    }
+}
+
+/// Splits a fault plan into the live message-fault and partition tables the
+/// simulation schedules open/close events against (indices into these
+/// vectors ride on the events).
+pub fn windows_from_plan(plan: &FaultPlan) -> (Vec<MsgFaultWindow>, Vec<PartitionState>) {
+    let mut windows = Vec::new();
+    let mut partitions = Vec::new();
+    for ev in &plan.events {
+        match ev {
+            FaultEvent::MsgFault {
+                from_proc,
+                to_proc,
+                at,
+                duration,
+                loss,
+                dup,
+                reorder,
+            } => windows.push(MsgFaultWindow {
+                from_proc: *from_proc,
+                to_proc: *to_proc,
+                at: at.max(0.0),
+                duration: duration.max(0.0),
+                loss: loss.clamp(0.0, 1.0),
+                dup: dup.clamp(0.0, 1.0),
+                reorder: reorder.clamp(0.0, 1.0),
+                active: false,
+            }),
+            FaultEvent::NetPartition {
+                groups,
+                at,
+                heal_after,
+            } => partitions.push(PartitionState {
+                groups: groups.clone(),
+                at: at.max(0.0),
+                heal_after: *heal_after,
+                active: false,
+            }),
+            _ => {}
+        }
+    }
+    (windows, partitions)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn rtt_estimator_converges_and_clamps() {
+        let cfg = TransportConfig::default();
+        let mut e = RttEstimator::default();
+        assert_eq!(e.rto(&cfg), cfg.initial_rto_s, "no sample: initial RTO");
+        e.sample(0.01);
+        assert!((e.srtt.unwrap() - 0.01).abs() < 1e-12);
+        assert!((e.rttvar - 0.005).abs() < 1e-12);
+        // srtt + 4·rttvar = 0.03 < min_rto → clamped up
+        assert_eq!(e.rto(&cfg), cfg.min_rto_s);
+        for _ in 0..50 {
+            e.sample(100.0);
+        }
+        assert!(
+            e.srtt.unwrap() > 90.0,
+            "srtt should converge to the samples"
+        );
+        assert_eq!(e.rto(&cfg), cfg.max_rto_s, "huge RTT clamps to the cap");
+    }
+
+    #[test]
+    fn karn_skips_retransmitted_samples() {
+        let cfg = TransportConfig::default();
+        let mut t = TransportState::default();
+        let seq = t.alloc_seq(0, 1);
+        t.register(&cfg, (0, 1, seq), 100.0, 3, 0, 10.0);
+        t.outstanding.get_mut(&(0, 1, seq)).unwrap().attempts = 2;
+        let msg = t.on_ack(0, 1, seq, 12.0).unwrap();
+        assert_eq!(msg.attempts, 2);
+        assert!(
+            !t.rtt.contains_key(&(0, 1)),
+            "retransmitted ACK must not feed the estimator"
+        );
+        // a clean first-attempt exchange does feed it
+        let seq2 = t.alloc_seq(0, 1);
+        t.register(&cfg, (0, 1, seq2), 100.0, 3, 0, 20.0);
+        t.on_ack(0, 1, seq2, 20.5).unwrap();
+        assert!((t.rtt.get(&(0, 1)).unwrap().srtt.unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sequence_numbers_are_per_link_and_dedup_works() {
+        let mut t = TransportState::default();
+        assert_eq!(t.alloc_seq(0, 1), 1);
+        assert_eq!(t.alloc_seq(0, 1), 2);
+        assert_eq!(t.alloc_seq(1, 0), 1, "links are independent");
+        assert!(t.mark_delivered(0, 1, 1), "first delivery is fresh");
+        assert!(!t.mark_delivered(0, 1, 1), "second is a duplicate");
+        assert!(t.mark_delivered(1, 0, 1), "reverse link is separate");
+    }
+
+    #[test]
+    fn late_ack_returns_none() {
+        let cfg = TransportConfig::default();
+        let mut t = TransportState::default();
+        let seq = t.alloc_seq(2, 3);
+        t.register(&cfg, (2, 3, seq), 50.0, 0, 0, 0.0);
+        assert!(t.on_ack(2, 3, seq, 1.0).is_some());
+        assert!(t.on_ack(2, 3, seq, 2.0).is_none(), "duplicate ACK");
+        t.clear_outstanding();
+        assert!(t.outstanding.is_empty());
+    }
+
+    #[test]
+    fn partition_islands() {
+        let p = PartitionState {
+            groups: vec![vec![3, 4], vec![7]],
+            at: 0.0,
+            heal_after: None,
+            active: true,
+        };
+        assert_eq!(p.island_of(0), 0);
+        assert_eq!(p.island_of(3), 1);
+        assert_eq!(p.island_of(7), 2);
+        assert!(p.severs(0, 3));
+        assert!(p.severs(3, 7));
+        assert!(!p.severs(3, 4));
+        assert!(!p.severs(0, 1));
+        assert!(p.severs_monitor(4));
+        assert!(!p.severs_monitor(0));
+        let healed = PartitionState { active: false, ..p };
+        assert!(!healed.severs(0, 3));
+    }
+
+    #[test]
+    fn window_matching_honours_filters() {
+        let w = MsgFaultWindow {
+            from_proc: Some(1),
+            to_proc: None,
+            at: 0.0,
+            duration: 10.0,
+            loss: 0.5,
+            dup: 0.0,
+            reorder: 0.0,
+            active: true,
+        };
+        assert!(w.matches(1, 0));
+        assert!(w.matches(1, 5));
+        assert!(!w.matches(2, 0));
+        let closed = MsgFaultWindow { active: false, ..w };
+        assert!(!closed.matches(1, 0));
+    }
+
+    #[test]
+    fn plan_splits_into_windows_and_partitions() {
+        let plan = FaultPlan::empty()
+            .crash(0, 5.0, None)
+            .msg_fault(Some(1), Some(2), 3.0, 4.0, 0.9, 0.1, 0.2)
+            .partition(vec![vec![0, 1]], 6.0, Some(10.0));
+        let (w, p) = windows_from_plan(&plan);
+        assert_eq!(w.len(), 1);
+        assert_eq!(p.len(), 1);
+        assert_eq!(w[0].from_proc, Some(1));
+        assert!(!w[0].active && !p[0].active, "windows start closed");
+        assert_eq!(p[0].heal_after, Some(10.0));
+    }
+}

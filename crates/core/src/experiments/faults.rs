@@ -161,6 +161,9 @@ pub fn recovery_sweep_obs(quick: bool, obs: Option<&ObsSession>) -> RecoverySwee
         detection_s,
         restart_s,
         mtbf_s: NOMINAL_MTBF_S,
+        // the sweep injects real crashes only; the partition experiment is
+        // where detector false positives enter the picture
+        fp_rate_per_s: 0.0,
     };
 
     // 4. the sweep: tight, medium, loose (fractions of the baseline so the

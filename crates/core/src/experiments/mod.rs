@@ -26,9 +26,11 @@
 //! | `pipe` | flue-pipe jet oscillation (section 2) |
 //! | `real` | real threaded runner timing on this machine |
 //! | `faults` | recovery cost vs checkpoint interval (section 4.1 + Young's model) |
+//! | `partition` | detector comparison under congestion / crash / partition (section 7) |
 
 mod faults;
 mod model_figures;
+mod partition;
 mod perf_figures;
 mod physics;
 mod protocols;
@@ -38,6 +40,10 @@ pub use faults::{
     e_faults, e_faults_obs, recovery_sweep, recovery_sweep_obs, RecoverySweep, SweepPoint,
 };
 pub use model_figures::{fig12, fig13, hetero};
+pub use partition::{
+    e_partition, e_partition_obs, partition_study, partition_study_obs, CongestionOutcome,
+    PartitionStudy,
+};
 pub use perf_figures::{fig10, fig11, fig5, fig6, fig7, fig8, fig9};
 pub use physics::{e_acoustic, e_conv, e_pipe, e_real};
 pub use protocols::{e_mig, e_net, e_order, e_skew, e_solid, e_udp};
@@ -77,8 +83,29 @@ impl ObsSession {
 
 /// All experiment ids in the order they appear in the paper.
 pub const ALL_IDS: &[&str] = &[
-    "t1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "hetero",
-    "mig", "skew", "order", "solid", "net", "udp", "conv", "acoustic", "pipe", "real", "faults",
+    "t1",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "hetero",
+    "mig",
+    "skew",
+    "order",
+    "solid",
+    "net",
+    "udp",
+    "conv",
+    "acoustic",
+    "pipe",
+    "real",
+    "faults",
+    "partition",
 ];
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
@@ -96,6 +123,9 @@ pub fn run_experiment_obs(
 ) -> Option<ExperimentResult> {
     if id == "faults" {
         return Some(e_faults_obs(quick, obs));
+    }
+    if id == "partition" {
+        return Some(e_partition_obs(quick, obs));
     }
     Some(match id {
         "t1" => t1(quick),

@@ -17,6 +17,21 @@
 //! plus downtime per failure. The optimum is Young's square-root rule,
 //! `I* = sqrt(2 C · MTBF)`.
 //!
+//! A third term prices detector *false positives*: a congestion-starved
+//! heartbeat schedule can declare a live process dead and trigger a needless
+//! rollback. Each spurious declaration costs the expected recompute `I/2`
+//! plus the restart `R` (the detection latency is not an extra loss — the
+//! "victim" was computing the whole time), at a rate `f` of false positives
+//! per second:
+//!
+//! ```text
+//! overhead(I) = C / I  +  (I/2 + D + R) / MTBF  +  (I/2 + R) · f
+//! ```
+//!
+//! which shifts the optimum to `I* = sqrt(2 C / (1/MTBF + f))`: a trigger-
+//! happy detector demands *tighter* checkpoints, quantifying how detector
+//! quality and checkpoint policy trade against each other.
+//!
 //! Alongside the stochastic model there is a deterministic single-fault
 //! predictor used to validate the event simulation: given the exact crash
 //! time of an injected fault, it predicts the extra wall-clock the run pays,
@@ -36,19 +51,27 @@ pub struct RecoveryModel {
     pub restart_s: f64,
     /// Mean time between failures of the whole pool, seconds.
     pub mtbf_s: f64,
+    /// Detector false positives per second (`f`): how often congestion alone
+    /// convicts a live process and forces a spurious rollback. Zero for an
+    /// accrual detector whose proof-of-life probes ride a healthy control
+    /// link; potentially large for a fixed-timeout detector under load.
+    pub fp_rate_per_s: f64,
 }
 
 impl RecoveryModel {
     /// Fractional overhead of checkpointing every `interval_s` seconds:
-    /// Young's `C/I + (I/2 + D + R)/MTBF`.
+    /// Young's `C/I + (I/2 + D + R)/MTBF` plus the false-positive term
+    /// `(I/2 + R) · f`.
     pub fn overhead_rate(&self, interval_s: f64) -> f64 {
         self.checkpoint_cost_s / interval_s
             + (interval_s / 2.0 + self.detection_s + self.restart_s) / self.mtbf_s
+            + (interval_s / 2.0 + self.restart_s) * self.fp_rate_per_s
     }
 
-    /// Young's optimal interval `sqrt(2 C · MTBF)`.
+    /// The overhead-minimising interval `sqrt(2 C / (1/MTBF + f))` — Young's
+    /// `sqrt(2 C · MTBF)` when the detector never lies (`f = 0`).
     pub fn optimal_interval_s(&self) -> f64 {
-        (2.0 * self.checkpoint_cost_s * self.mtbf_s).sqrt()
+        (2.0 * self.checkpoint_cost_s / (1.0 / self.mtbf_s + self.fp_rate_per_s)).sqrt()
     }
 
     /// Fraction of wall-clock doing useful work at `interval_s`
@@ -95,6 +118,7 @@ mod tests {
             detection_s: 35.0,
             restart_s: 20.0,
             mtbf_s: 8.0 * 3600.0,
+            fp_rate_per_s: 0.0,
         }
     }
 
@@ -134,5 +158,33 @@ mod tests {
         assert!((base - (1000.0 + 4.0 * 12.0)).abs() < 1e-9);
         let faulted = m.predicted_runtime_s(1000.0, 250.0, 1, 80.0);
         assert!((faulted - base - 135.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn false_positives_raise_overhead_and_tighten_the_optimum() {
+        let honest = model();
+        let jumpy = RecoveryModel {
+            fp_rate_per_s: 1.0 / 1800.0, // one spurious conviction per 30 min
+            ..honest
+        };
+        let i = 600.0;
+        let extra = jumpy.overhead_rate(i) - honest.overhead_rate(i);
+        assert!(
+            (extra - (i / 2.0 + 20.0) / 1800.0).abs() < 1e-12,
+            "fp term is (I/2 + R) · f"
+        );
+        assert!(
+            jumpy.optimal_interval_s() < honest.optimal_interval_s(),
+            "a lying detector demands tighter checkpoints"
+        );
+        // f = 0 reduces exactly to Young's rule
+        assert!(
+            (honest.optimal_interval_s() - (2.0_f64 * 12.0 * 8.0 * 3600.0).sqrt()).abs() < 1e-9
+        );
+        // the optimum still minimises the fp-aware overhead
+        let i_star = jumpy.optimal_interval_s();
+        for factor in [0.5, 2.0] {
+            assert!(jumpy.overhead_rate(i_star) < jumpy.overhead_rate(i_star * factor));
+        }
     }
 }

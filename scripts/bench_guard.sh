@@ -1,10 +1,13 @@
 #!/usr/bin/env bash
 # Bench regression guard: compares the two newest checked-in BENCH_*.json
-# reports and fails when a guarded metric (node rates, halo pack/roundtrip
-# throughput) regressed by more than 15%. Bench numbers are machine-state
-# snapshots, so this runs as a NON-blocking stage in check.sh — it flags the
-# regression loudly but cannot tell a real slowdown from a different
-# recording machine. Run it standalone to gate a perf-sensitive change.
+# reports and fails when a guarded metric regressed by more than 15%. The
+# guard is direction-aware: throughput metrics (node rates, halo
+# pack/roundtrip) are higher-is-better and flag decreases; latency metrics
+# (detect_*, recovery_*) are lower-is-better and flag increases. Bench
+# numbers are machine-state snapshots, so this runs as a NON-blocking stage
+# in check.sh — it flags the regression loudly but cannot tell a real
+# slowdown from a different recording machine. Run it standalone to gate a
+# perf-sensitive change.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -16,7 +19,8 @@ if (( ${#reports[@]} < 2 )); then
 fi
 prev="${reports[-2]}"
 curr="${reports[-1]}"
-echo "bench_guard: $prev -> $curr (threshold: -15% on node_rate_*/halo*_pack*/halo*_roundtrip*)"
+echo "bench_guard: $prev -> $curr (threshold: 15%; higher-is-better: node_rate_*/halo*;" \
+     "lower-is-better: detect_*/recovery_*)"
 
 python3 - "$prev" "$curr" <<'EOF'
 import json, sys
@@ -25,12 +29,20 @@ prev_path, curr_path = sys.argv[1], sys.argv[2]
 prev = json.load(open(prev_path))["entries"]
 curr = json.load(open(curr_path))["entries"]
 
-GUARDED = ("node_rate_", "halo2_pack", "halo2_roundtrip", "halo3_pack", "halo3_roundtrip")
+HIGHER_IS_BETTER = ("node_rate_", "halo2_pack", "halo2_roundtrip", "halo3_pack",
+                    "halo3_roundtrip")
+# simulated-latency metrics: deterministic, so ANY worsening is a real model
+# change, but the same 15% bar keeps the two classes comparable
+LOWER_IS_BETTER = ("detect_latency_", "recovery_cost_", "recovery_opt_interval")
 THRESHOLD = 0.15
 
 failures = []
 for name in sorted(curr):
-    if not name.startswith(GUARDED):
+    if name.startswith(HIGHER_IS_BETTER):
+        sign = 1.0   # regression = value went down
+    elif name.startswith(LOWER_IS_BETTER):
+        sign = -1.0  # regression = value went up
+    else:
         continue
     if name not in prev:
         print(f"  {name:<24} new metric, skipped")
@@ -39,9 +51,10 @@ for name in sorted(curr):
     if old <= 0:
         continue
     delta = (new - old) / old
-    marker = "REGRESSION" if delta < -THRESHOLD else "ok"
+    regressed = sign * delta < -THRESHOLD
+    marker = "REGRESSION" if regressed else "ok"
     print(f"  {name:<24} {old:12.3e} -> {new:12.3e}  {delta:+7.1%}  {marker}")
-    if delta < -THRESHOLD:
+    if regressed:
         failures.append(name)
 
 if failures:

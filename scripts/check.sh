@@ -23,6 +23,17 @@ echo "==> fault suite (injection, detection, crash recovery)"
 cargo test --release -q -p subsonic-integration --test fault_recovery
 cargo run --release -q -p subsonic-bench --bin reproduce -- --quick --out /tmp/subsonic-fault-smoke faults
 
+echo "==> reliable transport + partition smoke"
+cargo test --release -q -p subsonic-integration --test transport_reliability
+cargo run --release -q -p subsonic-bench --bin reproduce -- --quick --out /tmp/subsonic-partition-smoke partition
+
+echo "==> trace export smoke (reproduce --trace)"
+cargo run --release -q -p subsonic-bench --bin reproduce -- --quick \
+    --out /tmp/subsonic-trace-smoke --trace /tmp/subsonic-trace-smoke/trace.json partition
+test -s /tmp/subsonic-trace-smoke/trace.json || { echo "trace export produced no file"; exit 1; }
+python3 -c "import json,sys; json.load(open('/tmp/subsonic-trace-smoke/trace.json'))" \
+    || { echo "trace export is not valid JSON"; exit 1; }
+
 echo "==> bench regression guard (non-blocking: bench numbers are machine snapshots)"
 ./scripts/bench_guard.sh || echo "bench_guard: WARNING — guarded metrics regressed (non-blocking)"
 

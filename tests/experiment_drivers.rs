@@ -131,7 +131,12 @@ fn faults_runs() {
 }
 
 #[test]
+fn partition_runs() {
+    run_and_check("partition");
+}
+
+#[test]
 fn registry_is_complete() {
-    assert_eq!(ALL_IDS.len(), 22);
+    assert_eq!(ALL_IDS.len(), 23);
     assert!(run_experiment("bogus", true).is_none());
 }

@@ -93,6 +93,7 @@ fn detection_latency_follows_the_probe_schedule() {
         timeout_s: 3.0,
         backoff: 2.0,
         max_misses: 4,
+        ..DetectorPolicy::default()
     };
     let victim = host_of(&cfg, 0);
     cfg.faults = FaultPlan::empty().crash(victim, 40.0, None);
