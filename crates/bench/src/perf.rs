@@ -19,10 +19,10 @@ use subsonic_exec::{
 };
 use subsonic_grid::halo::{message_len2, message_len3, pack2, pack3, unpack2, unpack3};
 use subsonic_grid::{Face2, Face3, Geometry2, Geometry3, PaddedGrid2, PaddedGrid3};
-use subsonic_obs::MetricsRegistry;
+use subsonic_obs::{roofline, MetricsRegistry};
 use subsonic_solvers::{
-    FiniteDifference2, FiniteDifference3, FluidParams, LatticeBoltzmann2, LatticeBoltzmann3,
-    Solver2, Solver3,
+    kernels, FiniteDifference2, FiniteDifference3, FluidParams, LatticeBoltzmann2,
+    LatticeBoltzmann3, ScalarReference2, ScalarReference3, Solver2, Solver3,
 };
 
 /// One measured rate.
@@ -70,37 +70,105 @@ fn params() -> FluidParams {
     p
 }
 
-fn node_rates_2d(out: &mut Vec<PerfEntry>, min_time: f64, side: usize) {
-    for (label, solver) in [
-        ("lb", Arc::new(LatticeBoltzmann2) as Arc<dyn Solver2>),
-        ("fd", Arc::new(FiniteDifference2) as Arc<dyn Solver2>),
+fn node_rates_2d(
+    out: &mut Vec<PerfEntry>,
+    metrics: Option<&MetricsRegistry>,
+    min_time: f64,
+    side: usize,
+) {
+    // `simd` is the default vectorized/SoA-kernel path; `scalar` wraps the
+    // same solver in [`ScalarReference2`] so `compute` routes to the scalar
+    // reference kernels. Their ratio is the measured SIMD speedup (the two
+    // paths are bitwise identical, so it is a pure code-generation delta).
+    for (label, simd, scalar) in [
+        (
+            "lb",
+            Arc::new(LatticeBoltzmann2) as Arc<dyn Solver2>,
+            Arc::new(ScalarReference2(LatticeBoltzmann2)) as Arc<dyn Solver2>,
+        ),
+        (
+            "fd",
+            Arc::new(FiniteDifference2) as Arc<dyn Solver2>,
+            Arc::new(ScalarReference2(FiniteDifference2)) as Arc<dyn Solver2>,
+        ),
     ] {
-        let problem = Problem2::new(Geometry2::channel(side, side, 2), 1, 1, params());
-        let mut runner = LocalRunner2::new(solver, problem);
-        runner.run(2);
-        let spi = secs_per_iter(|| runner.step(), min_time);
-        out.push(PerfEntry {
-            name: format!("node_rate_2d_{label}"),
-            value: (side * side) as f64 / spi,
-            unit: "nodes/s".into(),
-        });
+        let nodes = (side * side) as f64;
+        for (suffix, solver) in [("_simd", simd), ("_scalar", scalar)] {
+            let problem = Problem2::new(Geometry2::channel(side, side, 2), 1, 1, params());
+            let mut runner = LocalRunner2::new(solver, problem);
+            runner.run(2);
+            let spi = secs_per_iter(|| runner.step(), min_time);
+            let rate = nodes / spi;
+            if suffix == "_simd" {
+                // continuity with the pre-SIMD trajectory: the unsuffixed
+                // name keeps tracking the default (now vectorized) path
+                out.push(PerfEntry {
+                    name: format!("node_rate_2d_{label}"),
+                    value: rate,
+                    unit: "nodes/s".into(),
+                });
+                if let Some(reg) = metrics {
+                    let prof = match label {
+                        "lb" => roofline::profiles::D2Q9_BGK,
+                        _ => roofline::profiles::FD2_STEP,
+                    };
+                    prof.at_rate(rate).publish(reg);
+                }
+            }
+            out.push(PerfEntry {
+                name: format!("node_rate_2d_{label}{suffix}"),
+                value: rate,
+                unit: "nodes/s".into(),
+            });
+        }
     }
 }
 
-fn node_rates_3d(out: &mut Vec<PerfEntry>, min_time: f64, side: usize) {
-    for (label, solver) in [
-        ("lb", Arc::new(LatticeBoltzmann3) as Arc<dyn Solver3>),
-        ("fd", Arc::new(FiniteDifference3) as Arc<dyn Solver3>),
+fn node_rates_3d(
+    out: &mut Vec<PerfEntry>,
+    metrics: Option<&MetricsRegistry>,
+    min_time: f64,
+    side: usize,
+) {
+    for (label, simd, scalar) in [
+        (
+            "lb",
+            Arc::new(LatticeBoltzmann3) as Arc<dyn Solver3>,
+            Arc::new(ScalarReference3(LatticeBoltzmann3)) as Arc<dyn Solver3>,
+        ),
+        (
+            "fd",
+            Arc::new(FiniteDifference3) as Arc<dyn Solver3>,
+            Arc::new(ScalarReference3(FiniteDifference3)) as Arc<dyn Solver3>,
+        ),
     ] {
-        let problem = Problem3::new(Geometry3::duct(side, side, side, 2), 1, 1, 1, params());
-        let mut runner = LocalRunner3::new(solver, problem);
-        runner.run(1);
-        let spi = secs_per_iter(|| runner.step(), min_time);
-        out.push(PerfEntry {
-            name: format!("node_rate_3d_{label}"),
-            value: (side * side * side) as f64 / spi,
-            unit: "nodes/s".into(),
-        });
+        let nodes = (side * side * side) as f64;
+        for (suffix, solver) in [("_simd", simd), ("_scalar", scalar)] {
+            let problem = Problem3::new(Geometry3::duct(side, side, side, 2), 1, 1, 1, params());
+            let mut runner = LocalRunner3::new(solver, problem);
+            runner.run(1);
+            let spi = secs_per_iter(|| runner.step(), min_time);
+            let rate = nodes / spi;
+            if suffix == "_simd" {
+                out.push(PerfEntry {
+                    name: format!("node_rate_3d_{label}"),
+                    value: rate,
+                    unit: "nodes/s".into(),
+                });
+                if let Some(reg) = metrics {
+                    let prof = match label {
+                        "lb" => roofline::profiles::D3Q15_BGK,
+                        _ => roofline::profiles::FD3_STEP,
+                    };
+                    prof.at_rate(rate).publish(reg);
+                }
+            }
+            out.push(PerfEntry {
+                name: format!("node_rate_3d_{label}{suffix}"),
+                value: rate,
+                unit: "nodes/s".into(),
+            });
+        }
     }
 }
 
@@ -207,43 +275,50 @@ fn threaded_runners(
     side3: usize,
     steps3: u64,
 ) {
-    let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
-    let problem = Problem2::new(Geometry2::channel(side2, side2, 2), 2, 2, params());
-    let runner = ThreadedRunner2::new(solver, problem);
-    // warm-up: first run pays thread spawn + page faults
-    runner.run(2).expect("threaded2 warm-up failed");
-    let t0 = Instant::now();
-    let outcome = runner.run(steps2).expect("threaded2 bench run failed");
-    out.push(PerfEntry {
-        name: "threaded2_lb_2x2".into(),
-        value: steps2 as f64 / t0.elapsed().as_secs_f64(),
-        unit: "steps/s".into(),
-    });
-    if let Some(reg) = metrics {
-        let mut total = StepTiming::default();
-        for (_, t) in &outcome.timing {
-            total.merge(t);
+    // The unsuffixed name always measures the runner's *default* schedule
+    // (2D: overlap on, 3D: overlap off — see `with_overlap` docs); the
+    // suffixed variant isolates what flipping the overlap schedule buys.
+    for (suffix, overlap) in [("", true), ("_nooverlap", false)] {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let problem = Problem2::new(Geometry2::channel(side2, side2, 2), 2, 2, params());
+        let runner = ThreadedRunner2::new(solver, problem).with_overlap(overlap);
+        // warm-up: first run pays thread spawn + page faults
+        runner.run(2).expect("threaded2 warm-up failed");
+        let t0 = Instant::now();
+        let outcome = runner.run(steps2).expect("threaded2 bench run failed");
+        out.push(PerfEntry {
+            name: format!("threaded2_lb_2x2{suffix}"),
+            value: steps2 as f64 / t0.elapsed().as_secs_f64(),
+            unit: "steps/s".into(),
+        });
+        if let (Some(reg), true) = (metrics, overlap) {
+            let mut total = StepTiming::default();
+            for (_, t) in &outcome.timing {
+                total.merge(t);
+            }
+            total.publish(reg, "exec.threaded2");
         }
-        total.publish(reg, "exec.threaded2");
     }
 
-    let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
-    let problem = Problem3::new(Geometry3::duct(side3, side3, side3, 2), 2, 2, 1, params());
-    let runner = ThreadedRunner3::new(solver, problem);
-    runner.run(1).expect("threaded3 warm-up failed");
-    let t0 = Instant::now();
-    let outcome = runner.run(steps3).expect("threaded3 bench run failed");
-    out.push(PerfEntry {
-        name: "threaded3_lb_2x2x1".into(),
-        value: steps3 as f64 / t0.elapsed().as_secs_f64(),
-        unit: "steps/s".into(),
-    });
-    if let Some(reg) = metrics {
-        let mut total = StepTiming::default();
-        for (_, t) in &outcome.timing {
-            total.merge(t);
+    for (suffix, overlap) in [("", false), ("_overlap", true)] {
+        let solver: Arc<dyn Solver3> = Arc::new(LatticeBoltzmann3);
+        let problem = Problem3::new(Geometry3::duct(side3, side3, side3, 2), 2, 2, 1, params());
+        let runner = ThreadedRunner3::new(solver, problem).with_overlap(overlap);
+        runner.run(1).expect("threaded3 warm-up failed");
+        let t0 = Instant::now();
+        let outcome = runner.run(steps3).expect("threaded3 bench run failed");
+        out.push(PerfEntry {
+            name: format!("threaded3_lb_2x2x1{suffix}"),
+            value: steps3 as f64 / t0.elapsed().as_secs_f64(),
+            unit: "steps/s".into(),
+        });
+        if let (Some(reg), false) = (metrics, overlap) {
+            let mut total = StepTiming::default();
+            for (_, t) in &outcome.timing {
+                total.merge(t);
+            }
+            total.publish(reg, "exec.threaded3");
         }
-        total.publish(reg, "exec.threaded3");
     }
 }
 
@@ -332,8 +407,8 @@ pub fn run_suite_obs(quick: bool, metrics: Option<&MetricsRegistry>) -> Vec<Perf
     let halo_side2 = if quick { 64 } else { 256 };
     let halo_side3 = if quick { 12 } else { 32 };
     let (t2_steps, t3_steps) = if quick { (10, 4) } else { (200, 40) };
-    node_rates_2d(&mut out, min_time, side2);
-    node_rates_3d(&mut out, min_time, side3);
+    node_rates_2d(&mut out, metrics, min_time, side2);
+    node_rates_3d(&mut out, metrics, min_time, side3);
     halo_2d(&mut out, min_time, halo_side2);
     halo_3d(&mut out, min_time, halo_side3);
     threaded_runners(
@@ -375,6 +450,17 @@ pub fn to_json(label: &str, entries: &[PerfEntry]) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"subsonic-bench-v1\",\n");
     s.push_str(&format!("  \"label\": {:?},\n", label));
+    // Recording-machine state the rates depend on: OS thread budget, the
+    // intra-tile band worker count, and the f64 SIMD lane width the build
+    // targets. A rate delta between reports with different meta values is
+    // a machine/config change, not a code regression.
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    s.push_str(&format!(
+        "  \"meta\": {{\"threads\": {}, \"intra_threads\": {}, \"simd_lanes\": {}}},\n",
+        threads,
+        kernels::intra_threads(),
+        kernels::simd_lanes()
+    ));
     s.push_str("  \"entries\": {\n");
     for (i, e) in entries.iter().enumerate() {
         let comma = if i + 1 == entries.len() { "" } else { "," };
@@ -397,16 +483,26 @@ mod tests {
         let names: Vec<&str> = entries.iter().map(|e| e.name.as_str()).collect();
         for expected in [
             "node_rate_2d_lb",
+            "node_rate_2d_lb_simd",
+            "node_rate_2d_lb_scalar",
             "node_rate_2d_fd",
+            "node_rate_2d_fd_simd",
+            "node_rate_2d_fd_scalar",
             "node_rate_3d_lb",
+            "node_rate_3d_lb_simd",
+            "node_rate_3d_lb_scalar",
             "node_rate_3d_fd",
+            "node_rate_3d_fd_simd",
+            "node_rate_3d_fd_scalar",
             "halo2_pack_w2",
             "halo2_roundtrip_w2",
             "halo2_pack_w4",
             "halo3_pack_w2",
             "halo3_roundtrip_w2",
             "threaded2_lb_2x2",
+            "threaded2_lb_2x2_nooverlap",
             "threaded3_lb_2x2x1",
+            "threaded3_lb_2x2x1_overlap",
             "cluster_sim_events",
             "recovery_interval_tight",
             "recovery_cost_tight",
@@ -429,6 +525,9 @@ mod tests {
         }
         let json = to_json("test", &entries);
         assert!(json.contains("\"node_rate_2d_lb\""));
+        assert!(json.contains("\"node_rate_2d_lb_simd\""));
         assert!(json.contains("subsonic-bench-v1"));
+        assert!(json.contains("\"simd_lanes\""), "bench meta missing");
+        assert!(json.contains("\"intra_threads\""));
     }
 }

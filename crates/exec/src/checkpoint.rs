@@ -249,13 +249,11 @@ pub fn restore_tile2(bytes: &[u8]) -> io::Result<TileState2> {
     }
     let mac = Macro2 { rho, vx, vy };
     let mac_new = mac.clone();
-    let f_tmp = f.clone();
     let scratch = vec![PaddedGrid2::new(nx, ny, halo, 0.0f64)];
     Ok(TileState2 {
         mac,
         mac_new,
         f,
-        f_tmp,
         mask,
         scratch,
         params,

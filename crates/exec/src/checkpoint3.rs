@@ -213,7 +213,6 @@ pub fn restore_tile3(bytes: &[u8]) -> io::Result<TileState3> {
     }
     let mac = Macro3 { rho, vx, vy, vz };
     let mac_new = mac.clone();
-    let f_tmp = f.clone();
     let scratch = vec![
         PaddedGrid3::new(nx, ny, nz, halo, 0.0f64),
         PaddedGrid3::new(nx, ny, nz, halo, 0.0f64),
@@ -222,7 +221,6 @@ pub fn restore_tile3(bytes: &[u8]) -> io::Result<TileState3> {
         mac,
         mac_new,
         f,
-        f_tmp,
         mask,
         scratch,
         params,

@@ -15,8 +15,10 @@
 
 use crate::gather::GlobalFields2;
 use crate::problem::Problem2;
+use crate::timing::StepTiming;
 use rayon::prelude::*;
 use std::sync::Arc;
+use std::time::Instant;
 use subsonic_grid::Face2;
 use subsonic_solvers::{Solver2, StepOp, TileState2};
 
@@ -26,6 +28,7 @@ pub struct RayonRunner2 {
     problem: Problem2,
     active: Vec<usize>,
     tiles: Vec<TileState2>,
+    timing: StepTiming,
 }
 
 impl RayonRunner2 {
@@ -41,7 +44,17 @@ impl RayonRunner2 {
             problem,
             active,
             tiles,
+            timing: StepTiming::default(),
         }
+    }
+
+    /// Accumulated phase timing: compute fan-outs land in `t_calc`, the
+    /// serial exchange barriers in `t_com` (with the pack copies in
+    /// `t_pack`). Unlike the threaded runner this is one clock for the
+    /// whole pool, not per worker — `t_calc + t_com` is the wall time of
+    /// all steps so far.
+    pub fn timing(&self) -> &StepTiming {
+        &self.timing
     }
 
     /// Runs one integration step: compute phases in parallel over tiles,
@@ -51,14 +64,21 @@ impl RayonRunner2 {
         for op in plan {
             match *op {
                 StepOp::Compute(k) => {
+                    let t0 = Instant::now();
                     let solver = Arc::clone(&self.solver);
                     self.tiles
                         .par_iter_mut()
                         .for_each(move |t| solver.compute(t, k));
+                    self.timing.t_calc += t0.elapsed();
                 }
-                StepOp::Exchange(x) => self.exchange(x),
+                StepOp::Exchange(x) => {
+                    let t0 = Instant::now();
+                    self.exchange(x);
+                    self.timing.t_com += t0.elapsed();
+                }
             }
         }
+        self.timing.steps += 1;
     }
 
     fn exchange(&mut self, xch: usize) {
@@ -69,8 +89,12 @@ impl RayonRunner2 {
                     if let Some(nb) = self.problem.decomp.neighbor(id, f) {
                         if let Some(nb_idx) = self.active.iter().position(|&a| a == nb) {
                             let mut buf = Vec::new();
+                            let p0 = Instant::now();
                             self.solver
                                 .pack(&self.tiles[nb_idx], xch, f.opposite(), &mut buf);
+                            self.timing.t_pack += p0.elapsed();
+                            self.timing.msgs_sent += 1;
+                            self.timing.doubles_sent += buf.len() as u64;
                             msgs.push((k, f, buf));
                         }
                     }
@@ -122,6 +146,23 @@ mod tests {
         local.run(10);
         par.run(10);
         assert_eq!(local.gather().first_difference(&par.gather()), None);
+    }
+
+    /// The BSP runner's phase clock: exchange wall time lands in `t_com`
+    /// (with pack copies inside it in `t_pack`), compute fan-outs in
+    /// `t_calc`, and the message counters match the edge count.
+    #[test]
+    fn rayon_records_exchange_wall_time() {
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let mut par = RayonRunner2::new(Arc::clone(&solver), problem(2, 2));
+        par.run(5);
+        let t = par.timing();
+        assert_eq!(t.steps, 5);
+        assert!(t.t_calc.as_nanos() > 0, "compute time not recorded");
+        assert!(t.t_com.as_nanos() > 0, "exchange time not recorded");
+        assert!(t.t_pack <= t.t_com, "pack is a sub-component of t_com");
+        assert!(t.msgs_sent > 0 && t.doubles_sent > 0);
+        assert!(t.utilization() > 0.0 && t.utilization() <= 1.0);
     }
 
     #[test]

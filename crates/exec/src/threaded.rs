@@ -212,6 +212,7 @@ pub struct ThreadedRunner2 {
     solver: Arc<dyn Solver2>,
     problem: Problem2,
     recorder: FlightRecorder,
+    overlap: bool,
 }
 
 impl ThreadedRunner2 {
@@ -221,7 +222,21 @@ impl ThreadedRunner2 {
             solver,
             problem,
             recorder: FlightRecorder::disabled(),
+            overlap: true,
         }
+    }
+
+    /// Enables or disables compute/halo overlap (default: on).
+    ///
+    /// When the solver declares [`Solver2::overlapped_phase`]`(x) == Some(p)`
+    /// and the plan has `Exchange(x)` immediately followed by `Compute(p)`,
+    /// the worker posts *all* halo sends, computes the interior band while
+    /// the final exchange stage is still in flight, then unpacks it and
+    /// applies the boundary bands. Results are bitwise identical either way
+    /// (pinned by `overlap_matches_nonoverlap_bitwise_*`).
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
     }
 
     /// Attaches a flight recorder: each worker gets a wall-clock track
@@ -439,6 +454,7 @@ impl ThreadedRunner2 {
 
         let solver = &self.solver;
         let plan = solver.plan();
+        let overlap = self.overlap;
         let mut results: Vec<Option<(TileState2, StepTiming)>> = (0..n).map(|_| None).collect();
         let mut failure: Option<RunError> = None;
 
@@ -456,6 +472,67 @@ impl ThreadedRunner2 {
                 handles.push(
                     scope.spawn(move || -> Result<(TileState2, StepTiming), RunError> {
                         let mut timing = StepTiming::default();
+                        // Stage-filtered halves of the halo exchange. The
+                        // staged protocol forwards corners transitively:
+                        // stage-1 packs read ghosts written by stage-0
+                        // unpacks *and* pre-compute boundary strips, so
+                        // every pack must run before the interior compute
+                        // starts; only the final stage's receive may be
+                        // deferred behind it.
+                        let send_stage = |tile: &TileState2,
+                                          x: usize,
+                                          stage: usize,
+                                          timing: &mut StepTiming|
+                         -> Result<Duration, RunError> {
+                            let mut pack = Duration::ZERO;
+                            for (f, tx, ret) in ep.tx.iter().filter(|(f, ..)| f.stage() == stage) {
+                                let mut buf = match ret.try_recv() {
+                                    Ok(mut b) => {
+                                        timing.buf_reuses += 1;
+                                        b.clear();
+                                        b
+                                    }
+                                    Err(_) => {
+                                        timing.buf_allocs += 1;
+                                        Vec::new()
+                                    }
+                                };
+                                let p0 = Instant::now();
+                                solver.pack(tile, x, *f, &mut buf);
+                                pack += p0.elapsed();
+                                timing.msgs_sent += 1;
+                                timing.doubles_sent += buf.len() as u64;
+                                tx.send(buf)
+                                    .map_err(|_| RunError::Disconnected { tile: id })?;
+                            }
+                            Ok(pack)
+                        };
+                        let recv_stage = |tile: &mut TileState2,
+                                          x: usize,
+                                          stage: usize|
+                         -> Result<(), RunError> {
+                            for (f, rx, ret) in ep.rx.iter().filter(|(f, ..)| f.stage() == stage) {
+                                let buf =
+                                    rx.recv().map_err(|_| RunError::Disconnected { tile: id })?;
+                                solver.unpack(tile, x, *f, &buf);
+                                // hand the buffer back for reuse; a peer that
+                                // already finished its run has dropped the
+                                // other end, in which case the buffer is
+                                // simply freed
+                                let _ = ret.send(buf);
+                            }
+                            Ok(())
+                        };
+                        // Highest stage this tile actually has edges on: the
+                        // overlapped schedule hides the interior compute
+                        // behind that stage's receive.
+                        let last_stage = ep
+                            .rx
+                            .iter()
+                            .map(|(f, ..)| f.stage())
+                            .chain(ep.tx.iter().map(|(f, ..)| f.stage()))
+                            .max()
+                            .unwrap_or(0);
                         for s in start..end {
                             control.published[k].store(s, Ordering::SeqCst);
                             // seeded fault injection: this worker dies here
@@ -520,8 +597,9 @@ impl ThreadedRunner2 {
                                 }
                             }
                             // one integration step
-                            for op in plan {
-                                match *op {
+                            let mut op_i = 0;
+                            while op_i < plan.len() {
+                                match plan[op_i] {
                                     StepOp::Compute(p) => {
                                         let t0 = Instant::now();
                                         solver.compute(&mut tile, p);
@@ -530,56 +608,77 @@ impl ThreadedRunner2 {
                                         track.span_wall(Category::Compute, "compute", t0, t1);
                                     }
                                     StepOp::Exchange(x) => {
+                                        // Fuse `Exchange(x); Compute(p)` into the
+                                        // overlapped schedule when the solver
+                                        // declares the pair safe to split.
+                                        let fused = if overlap {
+                                            solver.overlapped_phase(x).filter(|&p| {
+                                                matches!(
+                                                    plan.get(op_i + 1),
+                                                    Some(StepOp::Compute(q)) if *q == p
+                                                )
+                                            })
+                                        } else {
+                                            None
+                                        };
                                         let t0 = Instant::now();
                                         // Pack time is a sub-component of the
-                                        // t_com window below; it is accumulated
+                                        // t_com windows below; it is accumulated
                                         // into t_pack only, never added to t_com
                                         // a second time.
                                         let mut pack = Duration::ZERO;
-                                        for stage in 0..2 {
-                                            for (f, tx, ret) in
-                                                ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
-                                            {
-                                                let mut buf = match ret.try_recv() {
-                                                    Ok(mut b) => {
-                                                        timing.buf_reuses += 1;
-                                                        b.clear();
-                                                        b
-                                                    }
-                                                    Err(_) => {
-                                                        timing.buf_allocs += 1;
-                                                        Vec::new()
-                                                    }
-                                                };
-                                                let p0 = Instant::now();
-                                                solver.pack(&tile, x, *f, &mut buf);
-                                                pack += p0.elapsed();
-                                                timing.msgs_sent += 1;
-                                                timing.doubles_sent += buf.len() as u64;
-                                                tx.send(buf).map_err(|_| {
-                                                    RunError::Disconnected { tile: id }
-                                                })?;
+                                        if let Some(p) = fused {
+                                            // Post every send before the compute
+                                            // touches the tile, then hide the
+                                            // interior sweep behind the last
+                                            // stage's receive.
+                                            for stage in 0..last_stage {
+                                                pack += send_stage(&tile, x, stage, &mut timing)?;
+                                                recv_stage(&mut tile, x, stage)?;
                                             }
-                                            for (f, rx, ret) in
-                                                ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
-                                            {
-                                                let buf = rx.recv().map_err(|_| {
-                                                    RunError::Disconnected { tile: id }
-                                                })?;
-                                                solver.unpack(&mut tile, x, *f, &buf);
-                                                // hand the buffer back for reuse; a
-                                                // peer that already finished its run
-                                                // has dropped the other end, in which
-                                                // case the buffer is simply freed
-                                                let _ = ret.send(buf);
+                                            pack += send_stage(&tile, x, last_stage, &mut timing)?;
+                                            let t1 = Instant::now();
+                                            timing.t_com += t1 - t0;
+                                            track.span_wall(Category::Halo, "halo send", t0, t1);
+                                            let c0 = Instant::now();
+                                            solver.compute_interior(&mut tile, p);
+                                            let c1 = Instant::now();
+                                            timing.t_calc += c1 - c0;
+                                            track.span_wall(
+                                                Category::Compute,
+                                                "compute interior",
+                                                c0,
+                                                c1,
+                                            );
+                                            let r0 = Instant::now();
+                                            recv_stage(&mut tile, x, last_stage)?;
+                                            let r1 = Instant::now();
+                                            timing.t_com += r1 - r0;
+                                            track.span_wall(Category::Halo, "halo recv", r0, r1);
+                                            let b0 = Instant::now();
+                                            solver.compute_boundary(&mut tile, p);
+                                            let b1 = Instant::now();
+                                            timing.t_calc += b1 - b0;
+                                            track.span_wall(
+                                                Category::Compute,
+                                                "compute boundary",
+                                                b0,
+                                                b1,
+                                            );
+                                            op_i += 1; // the fused Compute is done
+                                        } else {
+                                            for stage in 0..=last_stage {
+                                                pack += send_stage(&tile, x, stage, &mut timing)?;
+                                                recv_stage(&mut tile, x, stage)?;
                                             }
+                                            let t1 = Instant::now();
+                                            timing.t_com += t1 - t0;
+                                            track.span_wall(Category::Halo, "exchange", t0, t1);
                                         }
-                                        let t1 = Instant::now();
-                                        timing.t_com += t1 - t0;
                                         timing.t_pack += pack;
-                                        track.span_wall(Category::Halo, "exchange", t0, t1);
                                     }
                                 }
+                                op_i += 1;
                             }
                             timing.steps += 1;
                         }
@@ -689,6 +788,34 @@ mod tests {
             .unwrap();
         let b = out.gather(24, 16, 1.0);
         assert_eq!(a.first_difference(&b), None);
+    }
+
+    /// Compute/halo overlap must not change a single bit: the interior
+    /// sweep runs off data the exchange never touches, and every pack is
+    /// posted before the compute starts. Pinned against both the
+    /// non-overlapped runner and the serial reference.
+    #[test]
+    fn overlap_matches_nonoverlap_bitwise() {
+        for solver in [
+            Arc::new(LatticeBoltzmann2) as Arc<dyn Solver2>,
+            Arc::new(FiniteDifference2) as Arc<dyn Solver2>,
+        ] {
+            let mut local = LocalRunner2::new(Arc::clone(&solver), problem(2, 2));
+            local.run(10);
+            let a = local.gather();
+            let on = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+                .with_overlap(true)
+                .run(10)
+                .unwrap()
+                .gather(24, 16, 1.0);
+            let off = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+                .with_overlap(false)
+                .run(10)
+                .unwrap()
+                .gather(24, 16, 1.0);
+            assert_eq!(a.first_difference(&on), None);
+            assert_eq!(a.first_difference(&off), None);
+        }
     }
 
     #[test]

@@ -114,6 +114,7 @@ pub struct ThreadedRunner3 {
     solver: Arc<dyn Solver3>,
     problem: Problem3,
     recorder: FlightRecorder,
+    overlap: bool,
 }
 
 impl ThreadedRunner3 {
@@ -123,7 +124,24 @@ impl ThreadedRunner3 {
             solver,
             problem,
             recorder: FlightRecorder::disabled(),
+            overlap: false,
         }
+    }
+
+    /// Enables or disables compute/halo overlap (default: off in 3D); see
+    /// [`ThreadedRunner2::with_overlap`](crate::threaded::ThreadedRunner2::with_overlap).
+    /// With overlap on, the interior slab computes while the z-stage halo
+    /// (the last of the three staged exchanges) is in flight. Unlike 2D —
+    /// where the ghost frame is a few percent of a tile and overlap is the
+    /// measured default — a practical 3D tile is boundary-heavy (a width-1
+    /// frame of a 12×12×24 tile is ~35% of its sites), so the split
+    /// interior/frame sweeps cost more than the receive they hide unless
+    /// spare cores run the neighbours truly concurrently. Benches measure
+    /// both schedules (`threaded3_*` vs `threaded3_*_overlap`); results are
+    /// bitwise identical either way.
+    pub fn with_overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
+        self
     }
 
     /// Attaches a flight recorder (wall-clock tracks per worker, same
@@ -316,6 +334,7 @@ impl ThreadedRunner3 {
         let drill_fired: Mutex<Option<DrillReport>> = Mutex::new(None);
         let solver = &self.solver;
         let plan = solver.plan();
+        let overlap = self.overlap;
         let mut results: Vec<Option<(TileState3, StepTiming)>> = (0..n).map(|_| None).collect();
         let mut failure: Option<RunError> = None;
 
@@ -333,6 +352,60 @@ impl ThreadedRunner3 {
                 handles.push(
                     scope.spawn(move || -> Result<(TileState3, StepTiming), RunError> {
                         let mut timing = StepTiming::default();
+                        // Stage-filtered halves of the halo exchange (the 3D
+                        // protocol forwards edges/corners transitively through
+                        // the x → y → z stages, so every pack must precede the
+                        // interior compute; only the final stage's receive may
+                        // be deferred behind it — see the 2D runner).
+                        let send_stage = |tile: &TileState3,
+                                          x: usize,
+                                          stage: usize,
+                                          timing: &mut StepTiming|
+                         -> Result<Duration, RunError> {
+                            let mut pack = Duration::ZERO;
+                            for (f, tx, ret) in ep.tx.iter().filter(|(f, ..)| f.stage() == stage) {
+                                let mut buf = match ret.try_recv() {
+                                    Ok(mut b) => {
+                                        timing.buf_reuses += 1;
+                                        b.clear();
+                                        b
+                                    }
+                                    Err(_) => {
+                                        timing.buf_allocs += 1;
+                                        Vec::new()
+                                    }
+                                };
+                                let p0 = Instant::now();
+                                solver.pack(tile, x, *f, &mut buf);
+                                pack += p0.elapsed();
+                                timing.msgs_sent += 1;
+                                timing.doubles_sent += buf.len() as u64;
+                                tx.send(buf)
+                                    .map_err(|_| RunError::Disconnected { tile: id })?;
+                            }
+                            Ok(pack)
+                        };
+                        let recv_stage = |tile: &mut TileState3,
+                                          x: usize,
+                                          stage: usize|
+                         -> Result<(), RunError> {
+                            for (f, rx, ret) in ep.rx.iter().filter(|(f, ..)| f.stage() == stage) {
+                                let buf =
+                                    rx.recv().map_err(|_| RunError::Disconnected { tile: id })?;
+                                solver.unpack(tile, x, *f, &buf);
+                                let _ = ret.send(buf);
+                            }
+                            Ok(())
+                        };
+                        // Highest stage this tile has edges on; the overlapped
+                        // schedule hides the interior behind its receive.
+                        let last_stage = ep
+                            .rx
+                            .iter()
+                            .map(|(f, ..)| f.stage())
+                            .chain(ep.tx.iter().map(|(f, ..)| f.stage()))
+                            .max()
+                            .unwrap_or(0);
                         for s in start..end {
                             control.published[k].store(s, Ordering::SeqCst);
                             // seeded fault injection: this worker dies here
@@ -388,8 +461,9 @@ impl ThreadedRunner3 {
                                     return Err(e);
                                 }
                             }
-                            for op in plan {
-                                match *op {
+                            let mut op_i = 0;
+                            while op_i < plan.len() {
+                                match plan[op_i] {
                                     StepOp::Compute(p) => {
                                         let t0 = Instant::now();
                                         solver.compute(&mut tile, p);
@@ -398,50 +472,70 @@ impl ThreadedRunner3 {
                                         track.span_wall(Category::Compute, "compute", t0, t1);
                                     }
                                     StepOp::Exchange(x) => {
+                                        // Fuse `Exchange(x); Compute(p)` into the
+                                        // overlapped schedule when safe.
+                                        let fused = if overlap {
+                                            solver.overlapped_phase(x).filter(|&p| {
+                                                matches!(
+                                                    plan.get(op_i + 1),
+                                                    Some(StepOp::Compute(q)) if *q == p
+                                                )
+                                            })
+                                        } else {
+                                            None
+                                        };
                                         let t0 = Instant::now();
                                         // pack time: sub-component of the t_com
-                                        // window, accumulated into t_pack only
+                                        // windows, accumulated into t_pack only
                                         let mut pack = Duration::ZERO;
-                                        for stage in 0..3 {
-                                            for (f, tx, ret) in
-                                                ep.tx.iter().filter(|(f, ..)| f.stage() == stage)
-                                            {
-                                                let mut buf = match ret.try_recv() {
-                                                    Ok(mut b) => {
-                                                        timing.buf_reuses += 1;
-                                                        b.clear();
-                                                        b
-                                                    }
-                                                    Err(_) => {
-                                                        timing.buf_allocs += 1;
-                                                        Vec::new()
-                                                    }
-                                                };
-                                                let p0 = Instant::now();
-                                                solver.pack(&tile, x, *f, &mut buf);
-                                                pack += p0.elapsed();
-                                                timing.msgs_sent += 1;
-                                                timing.doubles_sent += buf.len() as u64;
-                                                tx.send(buf).map_err(|_| {
-                                                    RunError::Disconnected { tile: id }
-                                                })?;
+                                        if let Some(p) = fused {
+                                            for stage in 0..last_stage {
+                                                pack += send_stage(&tile, x, stage, &mut timing)?;
+                                                recv_stage(&mut tile, x, stage)?;
                                             }
-                                            for (f, rx, ret) in
-                                                ep.rx.iter().filter(|(f, ..)| f.stage() == stage)
-                                            {
-                                                let buf = rx.recv().map_err(|_| {
-                                                    RunError::Disconnected { tile: id }
-                                                })?;
-                                                solver.unpack(&mut tile, x, *f, &buf);
-                                                let _ = ret.send(buf);
+                                            pack += send_stage(&tile, x, last_stage, &mut timing)?;
+                                            let t1 = Instant::now();
+                                            timing.t_com += t1 - t0;
+                                            track.span_wall(Category::Halo, "halo send", t0, t1);
+                                            let c0 = Instant::now();
+                                            solver.compute_interior(&mut tile, p);
+                                            let c1 = Instant::now();
+                                            timing.t_calc += c1 - c0;
+                                            track.span_wall(
+                                                Category::Compute,
+                                                "compute interior",
+                                                c0,
+                                                c1,
+                                            );
+                                            let r0 = Instant::now();
+                                            recv_stage(&mut tile, x, last_stage)?;
+                                            let r1 = Instant::now();
+                                            timing.t_com += r1 - r0;
+                                            track.span_wall(Category::Halo, "halo recv", r0, r1);
+                                            let b0 = Instant::now();
+                                            solver.compute_boundary(&mut tile, p);
+                                            let b1 = Instant::now();
+                                            timing.t_calc += b1 - b0;
+                                            track.span_wall(
+                                                Category::Compute,
+                                                "compute boundary",
+                                                b0,
+                                                b1,
+                                            );
+                                            op_i += 1; // the fused Compute is done
+                                        } else {
+                                            for stage in 0..=last_stage {
+                                                pack += send_stage(&tile, x, stage, &mut timing)?;
+                                                recv_stage(&mut tile, x, stage)?;
                                             }
+                                            let t1 = Instant::now();
+                                            timing.t_com += t1 - t0;
+                                            track.span_wall(Category::Halo, "exchange", t0, t1);
                                         }
-                                        let t1 = Instant::now();
-                                        timing.t_com += t1 - t0;
                                         timing.t_pack += pack;
-                                        track.span_wall(Category::Halo, "exchange", t0, t1);
                                     }
                                 }
+                                op_i += 1;
                             }
                             timing.steps += 1;
                         }
@@ -510,7 +604,7 @@ mod tests {
     use super::*;
     use crate::local::LocalRunner3;
     use subsonic_grid::Geometry3;
-    use subsonic_solvers::{FluidParams, LatticeBoltzmann3};
+    use subsonic_solvers::{FiniteDifference3, FluidParams, LatticeBoltzmann3};
 
     fn problem(px: usize, py: usize, pz: usize) -> Problem3 {
         let mut params = FluidParams::lattice_units(0.05);
@@ -530,6 +624,33 @@ mod tests {
             .unwrap();
         let b = out.gather((12, 10, 10), 1.0);
         assert_eq!(a.first_difference(&b), None, "threaded 3D diverged");
+    }
+
+    /// Overlapped 3D schedule (interior slab hidden behind the z-stage halo)
+    /// is bitwise identical to the non-overlapped runner and the serial
+    /// reference, for both solver families.
+    #[test]
+    fn overlap3_matches_nonoverlap_bitwise() {
+        for solver in [
+            Arc::new(LatticeBoltzmann3) as Arc<dyn Solver3>,
+            Arc::new(FiniteDifference3) as Arc<dyn Solver3>,
+        ] {
+            let mut local = LocalRunner3::new(Arc::clone(&solver), problem(2, 1, 2));
+            local.run(6);
+            let a = local.gather();
+            let on = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
+                .with_overlap(true)
+                .run(6)
+                .unwrap()
+                .gather((12, 10, 10), 1.0);
+            let off = ThreadedRunner3::new(Arc::clone(&solver), problem(2, 1, 2))
+                .with_overlap(false)
+                .run(6)
+                .unwrap()
+                .gather((12, 10, 10), 1.0);
+            assert_eq!(a.first_difference(&on), None);
+            assert_eq!(a.first_difference(&off), None);
+        }
     }
 
     #[test]

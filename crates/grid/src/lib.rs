@@ -33,5 +33,5 @@ pub use array::{Array2, Array3};
 pub use decomp::{Decomp2, Decomp3, MFactor, TileBox2, TileBox3};
 pub use face::{Face2, Face3};
 pub use geometry::{Cell, Geometry2, Geometry3};
-pub use padded::{PaddedGrid2, PaddedGrid3};
+pub use padded::{PaddedGrid2, PaddedGrid3, PlaneBand3, RowBand2};
 pub use range::{split_even, Extent};

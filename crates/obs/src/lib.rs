@@ -33,6 +33,8 @@
 pub mod chrome;
 pub mod metrics;
 pub mod recorder;
+pub mod roofline;
 
 pub use metrics::{HistogramSnapshot, MetricsRegistry};
 pub use recorder::{Category, FlightRecorder, TraceEvent, TrackRecorder};
+pub use roofline::{KernelProfile, RooflinePoint};

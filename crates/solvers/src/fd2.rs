@@ -28,10 +28,22 @@
 //! reads up to ±2 nodes into the ghost band sees *post-filter* values — the
 //! same values the neighbouring tile computed for its own interior. This is
 //! what makes a decomposed run bitwise identical to a serial run.
+//!
+//! ## Kernel structure (fast vs scalar path)
+//!
+//! As in [`crate::lbm2`]: mask rows are scanned into maximal fluid runs and
+//! handed to branch-free kernels over trimmed sub-slices (autovectorized),
+//! with per-cell fallback elsewhere; identical expressions in identical
+//! association order, so fast and scalar paths agree bitwise. Both update
+//! sweeps take explicit windows, which gives the overlap split for free: the
+//! density update depends on the just-exchanged velocities only in a 1-ring
+//! near the tile edge, so its inner box ([`Solver2::compute_interior`]) can
+//! run while the velocity halos are still in flight.
 
 use crate::fields::{Macro2, TileState2};
-use crate::filter::filter_field2;
+use crate::filter::{filter_field2, filter_field2_scalar};
 use crate::init::InitialState2;
+use crate::kernels::{self, Seg};
 use crate::params::{FluidParams, MethodKind};
 use crate::plan::StepOp;
 use crate::solver::Solver2;
@@ -49,6 +61,197 @@ static PLAN: [StepOp; 5] = [
     StepOp::Exchange(1),
     StepOp::Compute(2),
 ];
+
+/// Hoisted constants for the momentum update.
+#[derive(Clone, Copy)]
+struct VelP {
+    inv2dx: f64,
+    invdx2: f64,
+    cs2: f64,
+    gx: f64,
+    gy: f64,
+    dt: f64,
+    nu: f64,
+}
+
+/// Input rows for one momentum-update row: centre rows widened by one (so
+/// `row[x+1]` is the centre of window cell `x`) plus the rows above/below.
+struct VelRows<'a> {
+    vxc: &'a [f64],
+    vyc: &'a [f64],
+    rhoc: &'a [f64],
+    vxn: &'a [f64],
+    vxs: &'a [f64],
+    vyn: &'a [f64],
+    vys: &'a [f64],
+    rhon: &'a [f64],
+    rhos: &'a [f64],
+}
+
+#[inline(always)]
+fn vel_cell(
+    x: usize,
+    cell: Cell,
+    r: &VelRows<'_>,
+    out_vx: &mut [f64],
+    out_vy: &mut [f64],
+    p: &VelP,
+) {
+    if !cell.is_fluid() {
+        out_vx[x] = r.vxc[x + 1];
+        out_vy[x] = r.vyc[x + 1];
+        return;
+    }
+    let vx = r.vxc[x + 1];
+    let vy = r.vyc[x + 1];
+    let rho = r.rhoc[x + 1];
+
+    let vx_e = r.vxc[x + 2];
+    let vx_w = r.vxc[x];
+    let vx_n = r.vxn[x];
+    let vx_s = r.vxs[x];
+    let vy_e = r.vyc[x + 2];
+    let vy_w = r.vyc[x];
+    let vy_n = r.vyn[x];
+    let vy_s = r.vys[x];
+    let rho_e = r.rhoc[x + 2];
+    let rho_w = r.rhoc[x];
+    let rho_n = r.rhon[x];
+    let rho_s = r.rhos[x];
+
+    let dvx_dx = (vx_e - vx_w) * p.inv2dx;
+    let dvx_dy = (vx_n - vx_s) * p.inv2dx;
+    let dvy_dx = (vy_e - vy_w) * p.inv2dx;
+    let dvy_dy = (vy_n - vy_s) * p.inv2dx;
+    let drho_dx = (rho_e - rho_w) * p.inv2dx;
+    let drho_dy = (rho_n - rho_s) * p.inv2dx;
+    let lap_vx = (vx_e + vx_w + vx_n + vx_s - 4.0 * vx) * p.invdx2;
+    let lap_vy = (vy_e + vy_w + vy_n + vy_s - 4.0 * vy) * p.invdx2;
+
+    out_vx[x] =
+        vx + p.dt * (-vx * dvx_dx - vy * dvx_dy - p.cs2 / rho * drho_dx + p.nu * lap_vx + p.gx);
+    out_vy[x] =
+        vy + p.dt * (-vx * dvy_dx - vy * dvy_dy - p.cs2 / rho * drho_dy + p.nu * lap_vy + p.gy);
+}
+
+/// Branch-free momentum update for a fluid run `x ∈ [a, b)` — the fluid arm
+/// of [`vel_cell`] on trimmed sub-slices, identical expressions.
+#[inline(always)]
+fn vel_run(r: &VelRows<'_>, out_vx: &mut [f64], out_vy: &mut [f64], a: usize, b: usize, p: &VelP) {
+    let vx_c = &r.vxc[a + 1..b + 1];
+    let vx_e = &r.vxc[a + 2..b + 2];
+    let vx_w = &r.vxc[a..b];
+    let vx_n = &r.vxn[a..b];
+    let vx_s = &r.vxs[a..b];
+    let vy_c = &r.vyc[a + 1..b + 1];
+    let vy_e = &r.vyc[a + 2..b + 2];
+    let vy_w = &r.vyc[a..b];
+    let vy_n = &r.vyn[a..b];
+    let vy_s = &r.vys[a..b];
+    let rho_c = &r.rhoc[a + 1..b + 1];
+    let rho_e = &r.rhoc[a + 2..b + 2];
+    let rho_w = &r.rhoc[a..b];
+    let rho_n = &r.rhon[a..b];
+    let rho_s = &r.rhos[a..b];
+    let ox = &mut out_vx[a..b];
+    let oy = &mut out_vy[a..b];
+    for x in 0..b - a {
+        let vx = vx_c[x];
+        let vy = vy_c[x];
+        let rho = rho_c[x];
+        let dvx_dx = (vx_e[x] - vx_w[x]) * p.inv2dx;
+        let dvx_dy = (vx_n[x] - vx_s[x]) * p.inv2dx;
+        let dvy_dx = (vy_e[x] - vy_w[x]) * p.inv2dx;
+        let dvy_dy = (vy_n[x] - vy_s[x]) * p.inv2dx;
+        let drho_dx = (rho_e[x] - rho_w[x]) * p.inv2dx;
+        let drho_dy = (rho_n[x] - rho_s[x]) * p.inv2dx;
+        let lap_vx = (vx_e[x] + vx_w[x] + vx_n[x] + vx_s[x] - 4.0 * vx) * p.invdx2;
+        let lap_vy = (vy_e[x] + vy_w[x] + vy_n[x] + vy_s[x] - 4.0 * vy) * p.invdx2;
+        ox[x] =
+            vx + p.dt * (-vx * dvx_dx - vy * dvx_dy - p.cs2 / rho * drho_dx + p.nu * lap_vx + p.gx);
+        oy[x] =
+            vy + p.dt * (-vx * dvy_dx - vy * dvy_dy - p.cs2 / rho * drho_dy + p.nu * lap_vy + p.gy);
+    }
+}
+
+#[inline(always)]
+fn vel_row(
+    mrow: &[Cell],
+    r: &VelRows<'_>,
+    out_vx: &mut [f64],
+    out_vy: &mut [f64],
+    p: &VelP,
+    fast: bool,
+) {
+    if !fast {
+        for (x, &cell) in mrow.iter().enumerate() {
+            vel_cell(x, cell, r, out_vx, out_vy, p);
+        }
+        return;
+    }
+    for seg in kernels::fluid_segs(mrow) {
+        match seg {
+            Seg::Run(a, b) => vel_run(r, out_vx, out_vy, a, b, p),
+            Seg::One(x) => vel_cell(x, mrow[x], r, out_vx, out_vy, p),
+        }
+    }
+}
+
+/// Input rows for one continuity-update row.
+struct DenRows<'a> {
+    rhoc: &'a [f64],
+    rhon: &'a [f64],
+    rhos: &'a [f64],
+    nvx: &'a [f64],
+    nvyn: &'a [f64],
+    nvys: &'a [f64],
+}
+
+#[inline(always)]
+fn den_cell(x: usize, cell: Cell, r: &DenRows<'_>, out: &mut [f64], dt: f64, inv2dx: f64) {
+    if !cell.is_fluid() {
+        out[x] = r.rhoc[x + 1];
+        return;
+    }
+    let flux_x = (r.rhoc[x + 2] * r.nvx[x + 2] - r.rhoc[x] * r.nvx[x]) * inv2dx;
+    let flux_y = (r.rhon[x] * r.nvyn[x] - r.rhos[x] * r.nvys[x]) * inv2dx;
+    out[x] = r.rhoc[x + 1] - dt * (flux_x + flux_y);
+}
+
+#[inline(always)]
+fn den_run(r: &DenRows<'_>, out: &mut [f64], a: usize, b: usize, dt: f64, inv2dx: f64) {
+    let rho_c = &r.rhoc[a + 1..b + 1];
+    let rho_e = &r.rhoc[a + 2..b + 2];
+    let rho_w = &r.rhoc[a..b];
+    let rho_n = &r.rhon[a..b];
+    let rho_s = &r.rhos[a..b];
+    let nvx_e = &r.nvx[a + 2..b + 2];
+    let nvx_w = &r.nvx[a..b];
+    let nvy_n = &r.nvyn[a..b];
+    let nvy_s = &r.nvys[a..b];
+    let o = &mut out[a..b];
+    for x in 0..b - a {
+        let flux_x = (rho_e[x] * nvx_e[x] - rho_w[x] * nvx_w[x]) * inv2dx;
+        let flux_y = (rho_n[x] * nvy_n[x] - rho_s[x] * nvy_s[x]) * inv2dx;
+        o[x] = rho_c[x] - dt * (flux_x + flux_y);
+    }
+}
+
+#[inline(always)]
+fn den_row(mrow: &[Cell], r: &DenRows<'_>, out: &mut [f64], dt: f64, inv2dx: f64, fast: bool) {
+    if !fast {
+        for (x, &cell) in mrow.iter().enumerate() {
+            den_cell(x, cell, r, out, dt, inv2dx);
+        }
+        return;
+    }
+    for seg in kernels::fluid_segs(mrow) {
+        match seg {
+            Seg::Run(a, b) => den_run(r, out, a, b, dt, inv2dx),
+            Seg::One(x) => den_cell(x, mrow[x], r, out, dt, inv2dx),
+        }
+    }
+}
 
 /// The 2D explicit finite-difference method.
 #[derive(Debug, Clone, Copy, Default)]
@@ -81,102 +284,140 @@ impl FiniteDifference2 {
         }
     }
 
-    /// Momentum update (interior): forward Euler on eqs. (2)–(3).
-    ///
-    /// Row-slice formulation: each output row reads the centre rows (widened
-    /// by one for the E/W neighbours, so `row[x+1]` is the centre) and the
-    /// interior-width rows above and below.
-    fn calc_velocity(&self, t: &mut TileState2) {
-        let nx = t.nx();
-        let ny = t.ny() as isize;
+    /// Momentum update over the window `rows × cols` (interior coordinates):
+    /// forward Euler on eqs. (2)–(3).
+    fn calc_velocity(
+        &self,
+        t: &mut TileState2,
+        rows: (isize, isize),
+        cols: (isize, isize),
+        fast: bool,
+    ) {
         let p = t.params;
-        let inv2dx = 1.0 / (2.0 * p.dx);
-        let invdx2 = 1.0 / (p.dx * p.dx);
-        let cs2 = p.cs * p.cs;
-        let (gx, gy) = (p.body_force[0], p.body_force[1]);
-        for j in 0..ny {
-            let mrow = t.mask.interior_row(j);
-            let vxc = t.mac.vx.row_segment(j, -1, nx + 2);
-            let vyc = t.mac.vy.row_segment(j, -1, nx + 2);
-            let rhoc = t.mac.rho.row_segment(j, -1, nx + 2);
-            let vxn = t.mac.vx.interior_row(j + 1);
-            let vxs = t.mac.vx.interior_row(j - 1);
-            let vyn = t.mac.vy.interior_row(j + 1);
-            let vys = t.mac.vy.interior_row(j - 1);
-            let rhon = t.mac.rho.interior_row(j + 1);
-            let rhos = t.mac.rho.interior_row(j - 1);
-            let mac_new = &mut t.mac_new;
-            let out_vx = mac_new.vx.interior_row_mut(j);
-            let out_vy = mac_new.vy.interior_row_mut(j);
-            for x in 0..nx {
-                if !mrow[x].is_fluid() {
-                    out_vx[x] = vxc[x + 1];
-                    out_vy[x] = vyc[x + 1];
-                    continue;
-                }
-                let vx = vxc[x + 1];
-                let vy = vyc[x + 1];
-                let rho = rhoc[x + 1];
-
-                let vx_e = vxc[x + 2];
-                let vx_w = vxc[x];
-                let vx_n = vxn[x];
-                let vx_s = vxs[x];
-                let vy_e = vyc[x + 2];
-                let vy_w = vyc[x];
-                let vy_n = vyn[x];
-                let vy_s = vys[x];
-                let rho_e = rhoc[x + 2];
-                let rho_w = rhoc[x];
-                let rho_n = rhon[x];
-                let rho_s = rhos[x];
-
-                let dvx_dx = (vx_e - vx_w) * inv2dx;
-                let dvx_dy = (vx_n - vx_s) * inv2dx;
-                let dvy_dx = (vy_e - vy_w) * inv2dx;
-                let dvy_dy = (vy_n - vy_s) * inv2dx;
-                let drho_dx = (rho_e - rho_w) * inv2dx;
-                let drho_dy = (rho_n - rho_s) * inv2dx;
-                let lap_vx = (vx_e + vx_w + vx_n + vx_s - 4.0 * vx) * invdx2;
-                let lap_vy = (vy_e + vy_w + vy_n + vy_s - 4.0 * vy) * invdx2;
-
-                out_vx[x] = vx
-                    + p.dt
-                        * (-vx * dvx_dx - vy * dvx_dy - cs2 / rho * drho_dx + p.nu * lap_vx + gx);
-                out_vy[x] = vy
-                    + p.dt
-                        * (-vx * dvy_dx - vy * dvy_dy - cs2 / rho * drho_dy + p.nu * lap_vy + gy);
-            }
+        let vp = VelP {
+            inv2dx: 1.0 / (2.0 * p.dx),
+            invdx2: 1.0 / (p.dx * p.dx),
+            cs2: p.cs * p.cs,
+            gx: p.body_force[0],
+            gy: p.body_force[1],
+            dt: p.dt,
+            nu: p.nu,
+        };
+        let (j0, j1) = rows;
+        let (i0, i1) = cols;
+        let span = (i1 - i0) as usize;
+        if span == 0 {
+            return;
         }
+        let nb = if fast { kernels::bands_for(j0, j1) } else { 1 };
+        let TileState2 {
+            mac, mac_new, mask, ..
+        } = t;
+        let rows_at = |j: isize| VelRows {
+            vxc: mac.vx.row_segment(j, i0 - 1, span + 2),
+            vyc: mac.vy.row_segment(j, i0 - 1, span + 2),
+            rhoc: mac.rho.row_segment(j, i0 - 1, span + 2),
+            vxn: mac.vx.row_segment(j + 1, i0, span),
+            vxs: mac.vx.row_segment(j - 1, i0, span),
+            vyn: mac.vy.row_segment(j + 1, i0, span),
+            vys: mac.vy.row_segment(j - 1, i0, span),
+            rhon: mac.rho.row_segment(j + 1, i0, span),
+            rhos: mac.rho.row_segment(j - 1, i0, span),
+        };
+        if nb <= 1 {
+            for j in j0..j1 {
+                let mrow = mask.row_segment(j, i0, span);
+                let r = rows_at(j);
+                let out_vx = mac_new.vx.row_segment_mut(j, i0, span);
+                let out_vy = mac_new.vy.row_segment_mut(j, i0, span);
+                vel_row(mrow, &r, out_vx, out_vy, &vp, fast);
+            }
+            return;
+        }
+        let cuts = kernels::band_cuts(j0, j1, nb);
+        let mut vx_b = mac_new.vx.row_bands_mut(&cuts).into_iter();
+        let mut vy_b = mac_new.vy.row_bands_mut(&cuts).into_iter();
+        let mask = &*mask;
+        let rows_at = &rows_at;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ja, jb) = (w[0], w[1]);
+                let mut xb = vx_b.next().unwrap();
+                let mut yb = vy_b.next().unwrap();
+                s.spawn(move |_| {
+                    for j in ja..jb {
+                        let mrow = mask.row_segment(j, i0, span);
+                        let r = rows_at(j);
+                        let out_vx = xb.row_segment_mut(j, i0, span);
+                        let out_vy = yb.row_segment_mut(j, i0, span);
+                        vel_row(mrow, &r, out_vx, out_vy, &vp, true);
+                    }
+                });
+            }
+        });
     }
 
-    /// Continuity update (interior), conservative form with the *new*
-    /// velocities: `ρ_new = ρ − Δt ∇·(ρ V_new)`.
-    fn calc_density(&self, t: &mut TileState2) {
-        let nx = t.nx();
-        let ny = t.ny() as isize;
+    /// Continuity update over the window `rows × cols`, conservative form
+    /// with the *new* velocities: `ρ_new = ρ − Δt ∇·(ρ V_new)`.
+    fn calc_density(
+        &self,
+        t: &mut TileState2,
+        rows: (isize, isize),
+        cols: (isize, isize),
+        fast: bool,
+    ) {
         let p = t.params;
         let inv2dx = 1.0 / (2.0 * p.dx);
-        for j in 0..ny {
-            let mrow = t.mask.interior_row(j);
-            let rhoc = t.mac.rho.row_segment(j, -1, nx + 2);
-            let rhon = t.mac.rho.interior_row(j + 1);
-            let rhos = t.mac.rho.interior_row(j - 1);
-            let mac_new = &mut t.mac_new;
-            let nvx = mac_new.vx.row_segment(j, -1, nx + 2);
-            let nvyn = mac_new.vy.interior_row(j + 1);
-            let nvys = mac_new.vy.interior_row(j - 1);
-            let out = mac_new.rho.interior_row_mut(j);
-            for x in 0..nx {
-                if !mrow[x].is_fluid() {
-                    out[x] = rhoc[x + 1];
-                    continue;
-                }
-                let flux_x = (rhoc[x + 2] * nvx[x + 2] - rhoc[x] * nvx[x]) * inv2dx;
-                let flux_y = (rhon[x] * nvyn[x] - rhos[x] * nvys[x]) * inv2dx;
-                out[x] = rhoc[x + 1] - p.dt * (flux_x + flux_y);
-            }
+        let (j0, j1) = rows;
+        let (i0, i1) = cols;
+        let span = (i1 - i0) as usize;
+        if span == 0 {
+            return;
         }
+        let nb = if fast { kernels::bands_for(j0, j1) } else { 1 };
+        let TileState2 {
+            mac, mac_new, mask, ..
+        } = t;
+        let Macro2 {
+            rho: new_rho,
+            vx: new_vx,
+            vy: new_vy,
+        } = mac_new;
+        let rows_at = |j: isize| DenRows {
+            rhoc: mac.rho.row_segment(j, i0 - 1, span + 2),
+            rhon: mac.rho.row_segment(j + 1, i0, span),
+            rhos: mac.rho.row_segment(j - 1, i0, span),
+            nvx: new_vx.row_segment(j, i0 - 1, span + 2),
+            nvyn: new_vy.row_segment(j + 1, i0, span),
+            nvys: new_vy.row_segment(j - 1, i0, span),
+        };
+        if nb <= 1 {
+            for j in j0..j1 {
+                let mrow = mask.row_segment(j, i0, span);
+                let r = rows_at(j);
+                let out = new_rho.row_segment_mut(j, i0, span);
+                den_row(mrow, &r, out, p.dt, inv2dx, fast);
+            }
+            return;
+        }
+        let cuts = kernels::band_cuts(j0, j1, nb);
+        let mut rho_b = new_rho.row_bands_mut(&cuts).into_iter();
+        let mask = &*mask;
+        let rows_at = &rows_at;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ja, jb) = (w[0], w[1]);
+                let mut rb = rho_b.next().unwrap();
+                s.spawn(move |_| {
+                    for j in ja..jb {
+                        let mrow = mask.row_segment(j, i0, span);
+                        let r = rows_at(j);
+                        let out = rb.row_segment_mut(j, i0, span);
+                        den_row(mrow, &r, out, p.dt, inv2dx, true);
+                    }
+                });
+            }
+        });
     }
 
     /// Boundary conditions on the new fields, over the 2-deep ghost ring.
@@ -220,6 +461,50 @@ impl FiniteDifference2 {
             }
         }
     }
+
+    fn run_phase(&self, t: &mut TileState2, phase: usize, fast: bool) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        match phase {
+            0 => {
+                self.wall_rho(t);
+                self.calc_velocity(t, (0, ny), (0, nx), fast);
+            }
+            1 => self.calc_density(t, (0, ny), (0, nx), fast),
+            2 => {
+                self.apply_bcs(t);
+                let eps = t.params.filter_eps;
+                if eps != 0.0 {
+                    let TileState2 {
+                        mac_new,
+                        scratch,
+                        mask,
+                        ..
+                    } = t;
+                    let sx = &mut scratch[0];
+                    if fast {
+                        filter_field2(&mut mac_new.rho, sx, mask, eps, 2);
+                        filter_field2(&mut mac_new.vx, sx, mask, eps, 2);
+                        filter_field2(&mut mac_new.vy, sx, mask, eps, 2);
+                    } else {
+                        filter_field2_scalar(&mut mac_new.rho, sx, mask, eps, 2);
+                        filter_field2_scalar(&mut mac_new.vx, sx, mask, eps, 2);
+                        filter_field2_scalar(&mut mac_new.vy, sx, mask, eps, 2);
+                    }
+                }
+                std::mem::swap(&mut t.mac, &mut t.mac_new);
+                t.step += 1;
+            }
+            _ => unreachable!("FD2 has 3 compute phases"),
+        }
+    }
+
+    /// The inner box of the density window: one ring of cells short of the
+    /// interior on each side (clamped so degenerate tiles give empty boxes).
+    fn inner_box(n: isize) -> (isize, isize) {
+        let lo = 1.min(n);
+        (lo, (n - 1).max(lo))
+    }
 }
 
 impl Solver2 for FiniteDifference2 {
@@ -236,32 +521,36 @@ impl Solver2 for FiniteDifference2 {
     }
 
     fn compute(&self, t: &mut TileState2, phase: usize) {
-        match phase {
-            0 => {
-                self.wall_rho(t);
-                self.calc_velocity(t);
-            }
-            1 => self.calc_density(t),
-            2 => {
-                self.apply_bcs(t);
-                let eps = t.params.filter_eps;
-                if eps != 0.0 {
-                    let TileState2 {
-                        mac_new,
-                        scratch,
-                        mask,
-                        ..
-                    } = t;
-                    let sx = &mut scratch[0];
-                    filter_field2(&mut mac_new.rho, sx, mask, eps, 2);
-                    filter_field2(&mut mac_new.vx, sx, mask, eps, 2);
-                    filter_field2(&mut mac_new.vy, sx, mask, eps, 2);
-                }
-                std::mem::swap(&mut t.mac, &mut t.mac_new);
-                t.step += 1;
-            }
-            _ => unreachable!("FD2 has 3 compute phases"),
-        }
+        self.run_phase(t, phase, true);
+    }
+
+    fn compute_scalar(&self, t: &mut TileState2, phase: usize) {
+        self.run_phase(t, phase, false);
+    }
+
+    fn overlapped_phase(&self, xch: usize) -> Option<usize> {
+        // The density update after the velocity exchange reads the exchanged
+        // ghost velocities only in a 1-ring near the tile edge.
+        (xch == 0).then_some(1)
+    }
+
+    fn compute_interior(&self, t: &mut TileState2, phase: usize) {
+        assert_eq!(phase, 1, "only the density update overlaps an exchange");
+        let (r0, r1) = Self::inner_box(t.ny() as isize);
+        let (c0, c1) = Self::inner_box(t.nx() as isize);
+        self.calc_density(t, (r0, r1), (c0, c1), true);
+    }
+
+    fn compute_boundary(&self, t: &mut TileState2, phase: usize) {
+        assert_eq!(phase, 1, "only the density update overlaps an exchange");
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let (r0, r1) = Self::inner_box(ny);
+        let (c0, c1) = Self::inner_box(nx);
+        self.calc_density(t, (0, r0), (0, nx), true);
+        self.calc_density(t, (r1, ny), (0, nx), true);
+        self.calc_density(t, (r0, r1), (0, c0), true);
+        self.calc_density(t, (r0, r1), (c1, nx), true);
     }
 
     fn pack(&self, t: &TileState2, xch: usize, face: Face2, out: &mut Vec<f64>) {
@@ -327,7 +616,6 @@ impl Solver2 for FiniteDifference2 {
             mac,
             mac_new,
             f: Vec::new(),
-            f_tmp: Vec::new(),
             mask,
             scratch,
             params,
@@ -342,22 +630,26 @@ impl Solver2 for FiniteDifference2 {
 mod tests {
     use super::*;
 
-    fn step_serial(solver: &FiniteDifference2, t: &mut TileState2, wrap_x: bool) {
+    fn step_serial(solver: &FiniteDifference2, t: &mut TileState2, wrap: bool) {
         // Minimal in-test runner: execute the plan, handling periodic-x
         // self-exchange; non-periodic edges keep their geometry-driven ghosts.
         for op in solver.plan() {
             match *op {
                 StepOp::Compute(k) => solver.compute(t, k),
                 StepOp::Exchange(x) => {
-                    if wrap_x {
-                        for face in [Face2::West, Face2::East] {
-                            let mut buf = Vec::new();
-                            solver.pack(t, x, face.opposite(), &mut buf);
-                            solver.unpack(t, x, face, &buf);
-                        }
+                    if wrap {
+                        wrap_x(solver, t, x);
                     }
                 }
             }
+        }
+    }
+
+    fn wrap_x(solver: &FiniteDifference2, t: &mut TileState2, x: usize) {
+        for face in [Face2::West, Face2::East] {
+            let mut buf = Vec::new();
+            solver.pack(t, x, face.opposite(), &mut buf);
+            solver.unpack(t, x, face, &buf);
         }
     }
 
@@ -440,5 +732,76 @@ mod tests {
         );
         // rho message is half the V message
         assert_eq!(solver.message_doubles(&t, 1, Face2::West), FD2_HALO * 12);
+    }
+
+    #[test]
+    fn fast_and_scalar_paths_agree_bitwise() {
+        let mut params = FluidParams::lattice_units(0.06);
+        params.body_force[0] = 1e-5;
+        let (solver, mut fast) = channel_tile(17, 11, params);
+        let mut slow = fast.clone();
+        for _ in 0..4 {
+            for op in solver.plan() {
+                match *op {
+                    StepOp::Compute(k) => {
+                        solver.compute(&mut fast, k);
+                        solver.compute_scalar(&mut slow, k);
+                    }
+                    StepOp::Exchange(x) => {
+                        wrap_x(&solver, &mut fast, x);
+                        wrap_x(&solver, &mut slow, x);
+                    }
+                }
+            }
+        }
+        assert_eq!(fast.mac.rho, slow.mac.rho);
+        assert_eq!(fast.mac.vx, slow.mac.vx);
+        assert_eq!(fast.mac.vy, slow.mac.vy);
+    }
+
+    #[test]
+    fn interior_plus_boundary_equals_full_compute() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let (solver, mut full) = channel_tile(14, 10, params);
+        for _ in 0..2 {
+            step_serial(&solver, &mut full, true);
+        }
+        let mut split = full.clone();
+        // full: the plain plan
+        solver.compute(&mut full, 0);
+        wrap_x(&solver, &mut full, 0);
+        solver.compute(&mut full, 1);
+        wrap_x(&solver, &mut full, 1);
+        solver.compute(&mut full, 2);
+        // split: density inner box runs *before* the velocity halo lands
+        assert_eq!(solver.overlapped_phase(0), Some(1));
+        solver.compute(&mut split, 0);
+        solver.compute_interior(&mut split, 1);
+        wrap_x(&solver, &mut split, 0);
+        solver.compute_boundary(&mut split, 1);
+        wrap_x(&solver, &mut split, 1);
+        solver.compute(&mut split, 2);
+        assert_eq!(full.mac.rho, split.mac.rho);
+        assert_eq!(full.mac.vx, split.mac.vx);
+        assert_eq!(full.mac.vy, split.mac.vy);
+    }
+
+    #[test]
+    fn banded_sweeps_match_serial_bitwise() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let (solver, mut serial) = channel_tile(15, 12, params);
+        let mut banded = serial.clone();
+        for _ in 0..3 {
+            crate::kernels::set_intra_threads(1);
+            step_serial(&solver, &mut serial, true);
+            crate::kernels::set_intra_threads(3);
+            step_serial(&solver, &mut banded, true);
+        }
+        crate::kernels::set_intra_threads(1);
+        assert_eq!(serial.mac.rho, banded.mac.rho);
+        assert_eq!(serial.mac.vx, banded.mac.vx);
+        assert_eq!(serial.mac.vy, banded.mac.vy);
     }
 }

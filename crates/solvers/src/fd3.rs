@@ -4,10 +4,18 @@
 //! the new velocities, then the filter; two messages per neighbour per step
 //! carrying 4 field values per boundary node (Vx, Vy, Vz then ρ) — the
 //! paper's 3D FD communication count.
+//!
+//! Kernel structure follows [`crate::fd2`] as well: windowed sweeps with
+//! per-row fluid-run specialization (branch-free trimmed-slice kernels for
+//! the autovectorizer, identical association order so fast == scalar
+//! bitwise), plane-banded multithreading within a tile, and an overlap split
+//! where the inner box of the density update runs while the velocity halo
+//! exchange is in flight.
 
 use crate::fields::{Macro3, TileState3};
-use crate::filter::filter_field3;
+use crate::filter::{filter_field3, filter_field3_scalar};
 use crate::init::InitialState3;
+use crate::kernels::{self, Seg};
 use crate::params::{FluidParams, MethodKind};
 use crate::plan::StepOp;
 use crate::solver::Solver3;
@@ -38,6 +46,215 @@ const NBR6: [(isize, isize, isize); 6] = [
     (0, 0, -1),
 ];
 
+/// Hoisted constants for the momentum update.
+#[derive(Clone, Copy)]
+struct VelP3 {
+    inv2dx: f64,
+    invdx2: f64,
+    cs2: f64,
+    g: [f64; 3],
+    dt: f64,
+    nu: f64,
+}
+
+/// Input rows for one momentum-update row: per field (vx, vy, vz, rho) the
+/// centre row widened by one (so `cen[fi][x+1]` is the centre) and the four
+/// window-width j/k-neighbour rows.
+struct VelRows3<'a> {
+    cen: [&'a [f64]; 4],
+    rn: [&'a [f64]; 4],
+    rs: [&'a [f64]; 4],
+    ru: [&'a [f64]; 4],
+    rd: [&'a [f64]; 4],
+}
+
+#[inline(always)]
+fn vel_cell3(
+    x: usize,
+    cell: Cell,
+    r: &VelRows3<'_>,
+    out_vx: &mut [f64],
+    out_vy: &mut [f64],
+    out_vz: &mut [f64],
+    p: &VelP3,
+) {
+    if !cell.is_fluid() {
+        out_vx[x] = r.cen[0][x + 1];
+        out_vy[x] = r.cen[1][x + 1];
+        out_vz[x] = r.cen[2][x + 1];
+        return;
+    }
+    let v = [r.cen[0][x + 1], r.cen[1][x + 1], r.cen[2][x + 1]];
+    let rho = r.cen[3][x + 1];
+    // gradients of each velocity component and of rho
+    let mut grad = [[0.0f64; 3]; 4]; // [field][axis]
+    let mut lap = [0.0f64; 3];
+    for fi in 0..4 {
+        let e = r.cen[fi][x + 2];
+        let w = r.cen[fi][x];
+        let n = r.rn[fi][x];
+        let s = r.rs[fi][x];
+        let u = r.ru[fi][x];
+        let d = r.rd[fi][x];
+        grad[fi] = [(e - w) * p.inv2dx, (n - s) * p.inv2dx, (u - d) * p.inv2dx];
+        if fi < 3 {
+            lap[fi] = (e + w + n + s + u + d - 6.0 * v[fi]) * p.invdx2;
+        }
+    }
+    for a in 0..3 {
+        let adv = v[0] * grad[a][0] + v[1] * grad[a][1] + v[2] * grad[a][2];
+        let val = v[a] + p.dt * (-adv - p.cs2 / rho * grad[3][a] + p.nu * lap[a] + p.g[a]);
+        match a {
+            0 => out_vx[x] = val,
+            1 => out_vy[x] = val,
+            _ => out_vz[x] = val,
+        }
+    }
+}
+
+/// Branch-free momentum update for a fluid run `x ∈ [a, b)` — the fluid arm
+/// of [`vel_cell3`] on trimmed sub-slices; the constant-bound inner loops
+/// unroll and the `grad`/`lap` arrays scalarize, leaving a straight-line body
+/// in exactly the association order of the scalar path.
+#[inline(always)]
+fn vel_run3(
+    r: &VelRows3<'_>,
+    out_vx: &mut [f64],
+    out_vy: &mut [f64],
+    out_vz: &mut [f64],
+    a: usize,
+    b: usize,
+    p: &VelP3,
+) {
+    let cm: [&[f64]; 4] = std::array::from_fn(|fi| &r.cen[fi][a + 1..b + 1]);
+    let ce: [&[f64]; 4] = std::array::from_fn(|fi| &r.cen[fi][a + 2..b + 2]);
+    let cw: [&[f64]; 4] = std::array::from_fn(|fi| &r.cen[fi][a..b]);
+    let cn: [&[f64]; 4] = std::array::from_fn(|fi| &r.rn[fi][a..b]);
+    let cs: [&[f64]; 4] = std::array::from_fn(|fi| &r.rs[fi][a..b]);
+    let cu: [&[f64]; 4] = std::array::from_fn(|fi| &r.ru[fi][a..b]);
+    let cd: [&[f64]; 4] = std::array::from_fn(|fi| &r.rd[fi][a..b]);
+    let ox = &mut out_vx[a..b];
+    let oy = &mut out_vy[a..b];
+    let oz = &mut out_vz[a..b];
+    for x in 0..b - a {
+        let v = [cm[0][x], cm[1][x], cm[2][x]];
+        let rho = cm[3][x];
+        let mut grad = [[0.0f64; 3]; 4];
+        let mut lap = [0.0f64; 3];
+        for fi in 0..4 {
+            let e = ce[fi][x];
+            let w = cw[fi][x];
+            let n = cn[fi][x];
+            let s = cs[fi][x];
+            let u = cu[fi][x];
+            let d = cd[fi][x];
+            grad[fi] = [(e - w) * p.inv2dx, (n - s) * p.inv2dx, (u - d) * p.inv2dx];
+            if fi < 3 {
+                lap[fi] = (e + w + n + s + u + d - 6.0 * v[fi]) * p.invdx2;
+            }
+        }
+        for a in 0..3 {
+            let adv = v[0] * grad[a][0] + v[1] * grad[a][1] + v[2] * grad[a][2];
+            let val = v[a] + p.dt * (-adv - p.cs2 / rho * grad[3][a] + p.nu * lap[a] + p.g[a]);
+            match a {
+                0 => ox[x] = val,
+                1 => oy[x] = val,
+                _ => oz[x] = val,
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn vel_row3(
+    mrow: &[Cell],
+    r: &VelRows3<'_>,
+    out_vx: &mut [f64],
+    out_vy: &mut [f64],
+    out_vz: &mut [f64],
+    p: &VelP3,
+    fast: bool,
+) {
+    if !fast {
+        for (x, &cell) in mrow.iter().enumerate() {
+            vel_cell3(x, cell, r, out_vx, out_vy, out_vz, p);
+        }
+        return;
+    }
+    for seg in kernels::fluid_segs(mrow) {
+        match seg {
+            Seg::Run(a, b) => vel_run3(r, out_vx, out_vy, out_vz, a, b, p),
+            Seg::One(x) => vel_cell3(x, mrow[x], r, out_vx, out_vy, out_vz, p),
+        }
+    }
+}
+
+/// Input rows for one continuity-update row.
+struct DenRows3<'a> {
+    rhoc: &'a [f64],
+    rhon: &'a [f64],
+    rhos: &'a [f64],
+    rhou: &'a [f64],
+    rhod: &'a [f64],
+    nvx: &'a [f64],
+    nvyn: &'a [f64],
+    nvys: &'a [f64],
+    nvzu: &'a [f64],
+    nvzd: &'a [f64],
+}
+
+#[inline(always)]
+fn den_cell3(x: usize, cell: Cell, r: &DenRows3<'_>, out: &mut [f64], dt: f64, inv2dx: f64) {
+    if !cell.is_fluid() {
+        out[x] = r.rhoc[x + 1];
+        return;
+    }
+    let fx = (r.rhoc[x + 2] * r.nvx[x + 2] - r.rhoc[x] * r.nvx[x]) * inv2dx;
+    let fy = (r.rhon[x] * r.nvyn[x] - r.rhos[x] * r.nvys[x]) * inv2dx;
+    let fz = (r.rhou[x] * r.nvzu[x] - r.rhod[x] * r.nvzd[x]) * inv2dx;
+    out[x] = r.rhoc[x + 1] - dt * (fx + fy + fz);
+}
+
+#[inline(always)]
+fn den_run3(r: &DenRows3<'_>, out: &mut [f64], a: usize, b: usize, dt: f64, inv2dx: f64) {
+    let rho_c = &r.rhoc[a + 1..b + 1];
+    let rho_e = &r.rhoc[a + 2..b + 2];
+    let rho_w = &r.rhoc[a..b];
+    let rho_n = &r.rhon[a..b];
+    let rho_s = &r.rhos[a..b];
+    let rho_u = &r.rhou[a..b];
+    let rho_d = &r.rhod[a..b];
+    let nvx_e = &r.nvx[a + 2..b + 2];
+    let nvx_w = &r.nvx[a..b];
+    let nvy_n = &r.nvyn[a..b];
+    let nvy_s = &r.nvys[a..b];
+    let nvz_u = &r.nvzu[a..b];
+    let nvz_d = &r.nvzd[a..b];
+    let o = &mut out[a..b];
+    for x in 0..b - a {
+        let fx = (rho_e[x] * nvx_e[x] - rho_w[x] * nvx_w[x]) * inv2dx;
+        let fy = (rho_n[x] * nvy_n[x] - rho_s[x] * nvy_s[x]) * inv2dx;
+        let fz = (rho_u[x] * nvz_u[x] - rho_d[x] * nvz_d[x]) * inv2dx;
+        o[x] = rho_c[x] - dt * (fx + fy + fz);
+    }
+}
+
+#[inline(always)]
+fn den_row3(mrow: &[Cell], r: &DenRows3<'_>, out: &mut [f64], dt: f64, inv2dx: f64, fast: bool) {
+    if !fast {
+        for (x, &cell) in mrow.iter().enumerate() {
+            den_cell3(x, cell, r, out, dt, inv2dx);
+        }
+        return;
+    }
+    for seg in kernels::fluid_segs(mrow) {
+        match seg {
+            Seg::Run(a, b) => den_run3(r, out, a, b, dt, inv2dx),
+            Seg::One(x) => den_cell3(x, mrow[x], r, out, dt, inv2dx),
+        }
+    }
+}
+
 impl FiniteDifference3 {
     fn wall_rho(&self, t: &mut TileState3) {
         let nx = t.nx() as isize;
@@ -65,105 +282,159 @@ impl FiniteDifference3 {
         }
     }
 
-    /// Momentum update (interior), row-slice formulation: the centre rows are
-    /// widened by one so `row[x+1]` is the centre and `row[x]`/`row[x+2]` the
-    /// W/E neighbours; the four j/k-neighbour rows are interior-width.
-    fn calc_velocity(&self, t: &mut TileState3) {
-        let nx = t.nx();
-        let ny = t.ny() as isize;
-        let nz = t.nz() as isize;
+    /// Momentum update over the window `planes × rows × cols` (interior
+    /// coordinates).
+    fn calc_velocity(
+        &self,
+        t: &mut TileState3,
+        planes: (isize, isize),
+        rows: (isize, isize),
+        cols: (isize, isize),
+        fast: bool,
+    ) {
         let p = t.params;
-        let inv2dx = 1.0 / (2.0 * p.dx);
-        let invdx2 = 1.0 / (p.dx * p.dx);
-        let cs2 = p.cs * p.cs;
-        let g = p.body_force;
-        for k in 0..nz {
-            for j in 0..ny {
-                let mrow = t.mask.interior_row(j, k);
-                // per field (vx, vy, vz, rho): centre row and 4 neighbour rows
-                let fields: [&PaddedGrid3<f64>; 4] = [&t.mac.vx, &t.mac.vy, &t.mac.vz, &t.mac.rho];
-                let cen: [&[f64]; 4] =
-                    std::array::from_fn(|fi| fields[fi].row_segment(j, k, -1, nx + 2));
-                let rn: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j + 1, k));
-                let rs: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j - 1, k));
-                let ru: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j, k + 1));
-                let rd: [&[f64]; 4] = std::array::from_fn(|fi| fields[fi].interior_row(j, k - 1));
-                let mac_new = &mut t.mac_new;
-                let out_vx = mac_new.vx.interior_row_mut(j, k);
-                let out_vy = mac_new.vy.interior_row_mut(j, k);
-                let out_vz = mac_new.vz.interior_row_mut(j, k);
-                for x in 0..nx {
-                    if !mrow[x].is_fluid() {
-                        out_vx[x] = cen[0][x + 1];
-                        out_vy[x] = cen[1][x + 1];
-                        out_vz[x] = cen[2][x + 1];
-                        continue;
-                    }
-                    let v = [cen[0][x + 1], cen[1][x + 1], cen[2][x + 1]];
-                    let rho = cen[3][x + 1];
-                    // gradients of each velocity component and of rho
-                    let mut grad = [[0.0f64; 3]; 4]; // [field][axis]
-                    let mut lap = [0.0f64; 3];
-                    for fi in 0..4 {
-                        let e = cen[fi][x + 2];
-                        let w = cen[fi][x];
-                        let n = rn[fi][x];
-                        let s = rs[fi][x];
-                        let u = ru[fi][x];
-                        let d = rd[fi][x];
-                        grad[fi] = [(e - w) * inv2dx, (n - s) * inv2dx, (u - d) * inv2dx];
-                        if fi < 3 {
-                            lap[fi] = (e + w + n + s + u + d - 6.0 * v[fi]) * invdx2;
-                        }
-                    }
-                    for a in 0..3 {
-                        let adv = v[0] * grad[a][0] + v[1] * grad[a][1] + v[2] * grad[a][2];
-                        let val =
-                            v[a] + p.dt * (-adv - cs2 / rho * grad[3][a] + p.nu * lap[a] + g[a]);
-                        match a {
-                            0 => out_vx[x] = val,
-                            1 => out_vy[x] = val,
-                            _ => out_vz[x] = val,
-                        }
-                    }
+        let vp = VelP3 {
+            inv2dx: 1.0 / (2.0 * p.dx),
+            invdx2: 1.0 / (p.dx * p.dx),
+            cs2: p.cs * p.cs,
+            g: p.body_force,
+            dt: p.dt,
+            nu: p.nu,
+        };
+        let (k0, k1) = planes;
+        let (j0, j1) = rows;
+        let (i0, i1) = cols;
+        let span = (i1 - i0) as usize;
+        if span == 0 {
+            return;
+        }
+        let nb = if fast { kernels::bands_for(k0, k1) } else { 1 };
+        let TileState3 {
+            mac, mac_new, mask, ..
+        } = t;
+        let rows_at = |j: isize, k: isize| {
+            let fields: [&PaddedGrid3<f64>; 4] = [&mac.vx, &mac.vy, &mac.vz, &mac.rho];
+            VelRows3 {
+                cen: std::array::from_fn(|fi| fields[fi].row_segment(j, k, i0 - 1, span + 2)),
+                rn: std::array::from_fn(|fi| fields[fi].row_segment(j + 1, k, i0, span)),
+                rs: std::array::from_fn(|fi| fields[fi].row_segment(j - 1, k, i0, span)),
+                ru: std::array::from_fn(|fi| fields[fi].row_segment(j, k + 1, i0, span)),
+                rd: std::array::from_fn(|fi| fields[fi].row_segment(j, k - 1, i0, span)),
+            }
+        };
+        if nb <= 1 {
+            for k in k0..k1 {
+                for j in j0..j1 {
+                    let mrow = mask.row_segment(j, k, i0, span);
+                    let r = rows_at(j, k);
+                    let out_vx = mac_new.vx.row_segment_mut(j, k, i0, span);
+                    let out_vy = mac_new.vy.row_segment_mut(j, k, i0, span);
+                    let out_vz = mac_new.vz.row_segment_mut(j, k, i0, span);
+                    vel_row3(mrow, &r, out_vx, out_vy, out_vz, &vp, fast);
                 }
             }
+            return;
         }
+        let cuts = kernels::band_cuts(k0, k1, nb);
+        let mut vx_b = mac_new.vx.plane_bands_mut(&cuts).into_iter();
+        let mut vy_b = mac_new.vy.plane_bands_mut(&cuts).into_iter();
+        let mut vz_b = mac_new.vz.plane_bands_mut(&cuts).into_iter();
+        let mask = &*mask;
+        let rows_at = &rows_at;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ka, kb) = (w[0], w[1]);
+                let mut xb = vx_b.next().unwrap();
+                let mut yb = vy_b.next().unwrap();
+                let mut zb = vz_b.next().unwrap();
+                s.spawn(move |_| {
+                    for k in ka..kb {
+                        for j in j0..j1 {
+                            let mrow = mask.row_segment(j, k, i0, span);
+                            let r = rows_at(j, k);
+                            let out_vx = xb.row_segment_mut(j, k, i0, span);
+                            let out_vy = yb.row_segment_mut(j, k, i0, span);
+                            let out_vz = zb.row_segment_mut(j, k, i0, span);
+                            vel_row3(mrow, &r, out_vx, out_vy, out_vz, &vp, true);
+                        }
+                    }
+                });
+            }
+        });
     }
 
-    fn calc_density(&self, t: &mut TileState3) {
-        let nx = t.nx();
-        let ny = t.ny() as isize;
-        let nz = t.nz() as isize;
+    /// Continuity update over the window `planes × rows × cols`, conservative
+    /// form with the *new* velocities.
+    fn calc_density(
+        &self,
+        t: &mut TileState3,
+        planes: (isize, isize),
+        rows: (isize, isize),
+        cols: (isize, isize),
+        fast: bool,
+    ) {
         let p = t.params;
         let inv2dx = 1.0 / (2.0 * p.dx);
-        for k in 0..nz {
-            for j in 0..ny {
-                let mrow = t.mask.interior_row(j, k);
-                let rhoc = t.mac.rho.row_segment(j, k, -1, nx + 2);
-                let rhon = t.mac.rho.interior_row(j + 1, k);
-                let rhos = t.mac.rho.interior_row(j - 1, k);
-                let rhou = t.mac.rho.interior_row(j, k + 1);
-                let rhod = t.mac.rho.interior_row(j, k - 1);
-                let mac_new = &mut t.mac_new;
-                let nvx = mac_new.vx.row_segment(j, k, -1, nx + 2);
-                let nvyn = mac_new.vy.interior_row(j + 1, k);
-                let nvys = mac_new.vy.interior_row(j - 1, k);
-                let nvzu = mac_new.vz.interior_row(j, k + 1);
-                let nvzd = mac_new.vz.interior_row(j, k - 1);
-                let out = mac_new.rho.interior_row_mut(j, k);
-                for x in 0..nx {
-                    if !mrow[x].is_fluid() {
-                        out[x] = rhoc[x + 1];
-                        continue;
-                    }
-                    let fx = (rhoc[x + 2] * nvx[x + 2] - rhoc[x] * nvx[x]) * inv2dx;
-                    let fy = (rhon[x] * nvyn[x] - rhos[x] * nvys[x]) * inv2dx;
-                    let fz = (rhou[x] * nvzu[x] - rhod[x] * nvzd[x]) * inv2dx;
-                    out[x] = rhoc[x + 1] - p.dt * (fx + fy + fz);
+        let (k0, k1) = planes;
+        let (j0, j1) = rows;
+        let (i0, i1) = cols;
+        let span = (i1 - i0) as usize;
+        if span == 0 {
+            return;
+        }
+        let nb = if fast { kernels::bands_for(k0, k1) } else { 1 };
+        let TileState3 {
+            mac, mac_new, mask, ..
+        } = t;
+        let Macro3 {
+            rho: new_rho,
+            vx: new_vx,
+            vy: new_vy,
+            vz: new_vz,
+        } = mac_new;
+        let rows_at = |j: isize, k: isize| DenRows3 {
+            rhoc: mac.rho.row_segment(j, k, i0 - 1, span + 2),
+            rhon: mac.rho.row_segment(j + 1, k, i0, span),
+            rhos: mac.rho.row_segment(j - 1, k, i0, span),
+            rhou: mac.rho.row_segment(j, k + 1, i0, span),
+            rhod: mac.rho.row_segment(j, k - 1, i0, span),
+            nvx: new_vx.row_segment(j, k, i0 - 1, span + 2),
+            nvyn: new_vy.row_segment(j + 1, k, i0, span),
+            nvys: new_vy.row_segment(j - 1, k, i0, span),
+            nvzu: new_vz.row_segment(j, k + 1, i0, span),
+            nvzd: new_vz.row_segment(j, k - 1, i0, span),
+        };
+        if nb <= 1 {
+            for k in k0..k1 {
+                for j in j0..j1 {
+                    let mrow = mask.row_segment(j, k, i0, span);
+                    let r = rows_at(j, k);
+                    let out = new_rho.row_segment_mut(j, k, i0, span);
+                    den_row3(mrow, &r, out, p.dt, inv2dx, fast);
                 }
             }
+            return;
         }
+        let cuts = kernels::band_cuts(k0, k1, nb);
+        let mut rho_b = new_rho.plane_bands_mut(&cuts).into_iter();
+        let mask = &*mask;
+        let rows_at = &rows_at;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ka, kb) = (w[0], w[1]);
+                let mut rb = rho_b.next().unwrap();
+                s.spawn(move |_| {
+                    for k in ka..kb {
+                        for j in j0..j1 {
+                            let mrow = mask.row_segment(j, k, i0, span);
+                            let r = rows_at(j, k);
+                            let out = rb.row_segment_mut(j, k, i0, span);
+                            den_row3(mrow, &r, out, p.dt, inv2dx, true);
+                        }
+                    }
+                });
+            }
+        });
     }
 
     fn apply_bcs(&self, t: &mut TileState3) {
@@ -210,6 +481,55 @@ impl FiniteDifference3 {
             }
         }
     }
+
+    fn run_phase(&self, t: &mut TileState3, phase: usize, fast: bool) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        match phase {
+            0 => {
+                self.wall_rho(t);
+                self.calc_velocity(t, (0, nz), (0, ny), (0, nx), fast);
+            }
+            1 => self.calc_density(t, (0, nz), (0, ny), (0, nx), fast),
+            2 => {
+                self.apply_bcs(t);
+                let eps = t.params.filter_eps;
+                if eps != 0.0 {
+                    let TileState3 {
+                        mac_new,
+                        scratch,
+                        mask,
+                        ..
+                    } = t;
+                    let (sx, rest) = scratch.split_at_mut(1);
+                    let sx = &mut sx[0];
+                    let sy = &mut rest[0];
+                    if fast {
+                        filter_field3(&mut mac_new.rho, sx, sy, mask, eps, 2);
+                        filter_field3(&mut mac_new.vx, sx, sy, mask, eps, 2);
+                        filter_field3(&mut mac_new.vy, sx, sy, mask, eps, 2);
+                        filter_field3(&mut mac_new.vz, sx, sy, mask, eps, 2);
+                    } else {
+                        filter_field3_scalar(&mut mac_new.rho, sx, sy, mask, eps, 2);
+                        filter_field3_scalar(&mut mac_new.vx, sx, sy, mask, eps, 2);
+                        filter_field3_scalar(&mut mac_new.vy, sx, sy, mask, eps, 2);
+                        filter_field3_scalar(&mut mac_new.vz, sx, sy, mask, eps, 2);
+                    }
+                }
+                std::mem::swap(&mut t.mac, &mut t.mac_new);
+                t.step += 1;
+            }
+            _ => unreachable!("FD3 has 3 compute phases"),
+        }
+    }
+
+    /// The inner box of the density window along one axis (clamped so
+    /// degenerate tiles give empty boxes).
+    fn inner_box(n: isize) -> (isize, isize) {
+        let lo = 1.min(n);
+        (lo, (n - 1).max(lo))
+    }
 }
 
 impl Solver3 for FiniteDifference3 {
@@ -226,35 +546,41 @@ impl Solver3 for FiniteDifference3 {
     }
 
     fn compute(&self, t: &mut TileState3, phase: usize) {
-        match phase {
-            0 => {
-                self.wall_rho(t);
-                self.calc_velocity(t);
-            }
-            1 => self.calc_density(t),
-            2 => {
-                self.apply_bcs(t);
-                let eps = t.params.filter_eps;
-                if eps != 0.0 {
-                    let TileState3 {
-                        mac_new,
-                        scratch,
-                        mask,
-                        ..
-                    } = t;
-                    let (sx, rest) = scratch.split_at_mut(1);
-                    let sx = &mut sx[0];
-                    let sy = &mut rest[0];
-                    filter_field3(&mut mac_new.rho, sx, sy, mask, eps, 2);
-                    filter_field3(&mut mac_new.vx, sx, sy, mask, eps, 2);
-                    filter_field3(&mut mac_new.vy, sx, sy, mask, eps, 2);
-                    filter_field3(&mut mac_new.vz, sx, sy, mask, eps, 2);
-                }
-                std::mem::swap(&mut t.mac, &mut t.mac_new);
-                t.step += 1;
-            }
-            _ => unreachable!("FD3 has 3 compute phases"),
-        }
+        self.run_phase(t, phase, true);
+    }
+
+    fn compute_scalar(&self, t: &mut TileState3, phase: usize) {
+        self.run_phase(t, phase, false);
+    }
+
+    fn overlapped_phase(&self, xch: usize) -> Option<usize> {
+        // The density update after the velocity exchange reads the exchanged
+        // ghost velocities only in a 1-ring near the tile faces.
+        (xch == 0).then_some(1)
+    }
+
+    fn compute_interior(&self, t: &mut TileState3, phase: usize) {
+        assert_eq!(phase, 1, "only the density update overlaps an exchange");
+        let (p0, p1) = Self::inner_box(t.nz() as isize);
+        let (r0, r1) = Self::inner_box(t.ny() as isize);
+        let (c0, c1) = Self::inner_box(t.nx() as isize);
+        self.calc_density(t, (p0, p1), (r0, r1), (c0, c1), true);
+    }
+
+    fn compute_boundary(&self, t: &mut TileState3, phase: usize) {
+        assert_eq!(phase, 1, "only the density update overlaps an exchange");
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let nz = t.nz() as isize;
+        let (p0, p1) = Self::inner_box(nz);
+        let (r0, r1) = Self::inner_box(ny);
+        let (c0, c1) = Self::inner_box(nx);
+        self.calc_density(t, (0, p0), (0, ny), (0, nx), true);
+        self.calc_density(t, (p1, nz), (0, ny), (0, nx), true);
+        self.calc_density(t, (p0, p1), (0, r0), (0, nx), true);
+        self.calc_density(t, (p0, p1), (r1, ny), (0, nx), true);
+        self.calc_density(t, (p0, p1), (r0, r1), (0, c0), true);
+        self.calc_density(t, (p0, p1), (r0, r1), (c1, nx), true);
     }
 
     fn pack(&self, t: &TileState3, xch: usize, face: Face3, out: &mut Vec<f64>) {
@@ -328,7 +654,6 @@ impl Solver3 for FiniteDifference3 {
             mac,
             mac_new,
             f: Vec::new(),
-            f_tmp: Vec::new(),
             mask,
             scratch,
             params,
@@ -343,20 +668,24 @@ impl Solver3 for FiniteDifference3 {
 mod tests {
     use super::*;
 
-    fn step_serial(solver: &FiniteDifference3, t: &mut TileState3, wrap_x: bool) {
+    fn step_serial(solver: &FiniteDifference3, t: &mut TileState3, wrap: bool) {
         for op in solver.plan() {
             match *op {
                 StepOp::Compute(k) => solver.compute(t, k),
                 StepOp::Exchange(x) => {
-                    if wrap_x {
-                        for face in [Face3::West, Face3::East] {
-                            let mut buf = Vec::new();
-                            solver.pack(t, x, face.opposite(), &mut buf);
-                            solver.unpack(t, x, face, &buf);
-                        }
+                    if wrap {
+                        wrap_x(solver, t, x);
                     }
                 }
             }
+        }
+    }
+
+    fn wrap_x(solver: &FiniteDifference3, t: &mut TileState3, x: usize) {
+        for face in [Face3::West, Face3::East] {
+            let mut buf = Vec::new();
+            solver.pack(t, x, face.opposite(), &mut buf);
+            solver.unpack(t, x, face, &buf);
         }
     }
 
@@ -406,5 +735,78 @@ mod tests {
         let v = solver.message_doubles(&t, 0, Face3::East);
         let r = solver.message_doubles(&t, 1, Face3::East);
         assert_eq!(v / r, 3, "V message carries 3 fields, rho message 1");
+    }
+
+    #[test]
+    fn fast_and_scalar_paths_agree_bitwise() {
+        let mut params = FluidParams::lattice_units(0.06);
+        params.body_force[0] = 1e-5;
+        let (solver, mut fast) = duct_tile(9, 8, 7, params);
+        let mut slow = fast.clone();
+        for _ in 0..3 {
+            for op in solver.plan() {
+                match *op {
+                    StepOp::Compute(k) => {
+                        solver.compute(&mut fast, k);
+                        solver.compute_scalar(&mut slow, k);
+                    }
+                    StepOp::Exchange(x) => {
+                        wrap_x(&solver, &mut fast, x);
+                        wrap_x(&solver, &mut slow, x);
+                    }
+                }
+            }
+        }
+        assert_eq!(fast.mac.rho, slow.mac.rho);
+        assert_eq!(fast.mac.vx, slow.mac.vx);
+        assert_eq!(fast.mac.vy, slow.mac.vy);
+        assert_eq!(fast.mac.vz, slow.mac.vz);
+    }
+
+    #[test]
+    fn interior_plus_boundary_equals_full_compute() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let (solver, mut full) = duct_tile(8, 7, 6, params);
+        for _ in 0..2 {
+            step_serial(&solver, &mut full, true);
+        }
+        let mut split = full.clone();
+        solver.compute(&mut full, 0);
+        wrap_x(&solver, &mut full, 0);
+        solver.compute(&mut full, 1);
+        wrap_x(&solver, &mut full, 1);
+        solver.compute(&mut full, 2);
+        // split: density inner box runs *before* the velocity halo lands
+        assert_eq!(solver.overlapped_phase(0), Some(1));
+        solver.compute(&mut split, 0);
+        solver.compute_interior(&mut split, 1);
+        wrap_x(&solver, &mut split, 0);
+        solver.compute_boundary(&mut split, 1);
+        wrap_x(&solver, &mut split, 1);
+        solver.compute(&mut split, 2);
+        assert_eq!(full.mac.rho, split.mac.rho);
+        assert_eq!(full.mac.vx, split.mac.vx);
+        assert_eq!(full.mac.vy, split.mac.vy);
+        assert_eq!(full.mac.vz, split.mac.vz);
+    }
+
+    #[test]
+    fn banded_sweeps_match_serial_bitwise() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let (solver, mut serial) = duct_tile(8, 7, 9, params);
+        let mut banded = serial.clone();
+        for _ in 0..2 {
+            crate::kernels::set_intra_threads(1);
+            step_serial(&solver, &mut serial, true);
+            crate::kernels::set_intra_threads(3);
+            step_serial(&solver, &mut banded, true);
+        }
+        crate::kernels::set_intra_threads(1);
+        assert_eq!(serial.mac.rho, banded.mac.rho);
+        assert_eq!(serial.mac.vx, banded.mac.vx);
+        assert_eq!(serial.mac.vy, banded.mac.vy);
+        assert_eq!(serial.mac.vz, banded.mac.vz);
     }
 }

@@ -138,10 +138,10 @@ pub struct TileState2 {
     /// reused as filter output).
     pub mac_new: Macro2,
     /// Lattice Boltzmann populations, one padded grid per velocity
-    /// (empty for finite differences).
+    /// (empty for finite differences). Streaming shifts these in place
+    /// (ordered row copies plus the [`ShiftLinks2`] fix-ups), so no second
+    /// population buffer is carried — halving LB tile state and checkpoints.
     pub f: Vec<PaddedGrid2<f64>>,
-    /// Post-shift population buffer (empty for finite differences).
-    pub f_tmp: Vec<PaddedGrid2<f64>>,
     /// Padded geometry mask (ghosts carry the *global* geometry).
     pub mask: PaddedGrid2<Cell>,
     /// Two scratch fields for the per-axis filter passes.
@@ -188,9 +188,8 @@ pub struct TileState3 {
     /// Next-step macroscopic fields (FD double buffer / filter output).
     pub mac_new: Macro3,
     /// Lattice Boltzmann populations (empty for finite differences).
+    /// Shifted in place during streaming; see [`TileState2::f`].
     pub f: Vec<PaddedGrid3<f64>>,
-    /// Post-shift population buffer (empty for finite differences).
-    pub f_tmp: Vec<PaddedGrid3<f64>>,
     /// Padded geometry mask.
     pub mask: PaddedGrid3<Cell>,
     /// Scratch fields for the per-axis filter passes.

@@ -19,7 +19,24 @@
 //! that the next cycle's stencils read post-filter values (see `fd2`), while
 //! the lattice Boltzmann scheme (which exchanges at the start of its cycle)
 //! filters the interior only.
+//!
+//! ## Fast vs scalar path
+//!
+//! [`filter_field2`]/[`filter_field3`] are the production kernels: each row
+//! is first copied through, then the cells whose whole 5-wide window lies in
+//! a fluid run are overwritten by a branch-free stencil loop over trimmed
+//! sub-slices (which autovectorizes); with
+//! [`crate::kernels::intra_threads`] > 1 the 2D passes split into row bands
+//! and the 3D passes into plane bands. The 3D serial sweep is additionally
+//! cache-blocked: the three axis passes are interleaved along k so the x- and
+//! y-filtered slabs are consumed while still cache-resident instead of three
+//! full-volume round trips (the z-pass trails the pipeline by two slabs, the
+//! stencil reach). [`filter_field2_scalar`]/[`filter_field3_scalar`] keep the
+//! original per-cell formulation; both paths evaluate the identical stencil
+//! expression, and the equivalence tests pin them bitwise equal.
 
+use crate::kernels;
+use rayon;
 use subsonic_grid::{Cell, PaddedGrid2, PaddedGrid3};
 
 /// Damping factor applied to the Nyquist (grid-scale) mode by one pass.
@@ -32,9 +49,9 @@ fn fluid5(m: impl Fn(isize) -> Cell) -> bool {
     (-2..=2).all(|d| m(d).is_fluid())
 }
 
-/// One row of the along-row (x) filter pass. `src` spans `[x0-2, x0+n+2)` of
-/// the input row, `msk` the same range of the mask row, `dst` spans
-/// `[x0, x0+n)` of the output row.
+/// One row of the along-row (x) filter pass, per-cell reference form. `src`
+/// spans `[x0-2, x0+n+2)` of the input row, `msk` the same range of the mask
+/// row, `dst` spans `[x0, x0+n)` of the output row.
 #[inline(always)]
 fn filter_row_x(dst: &mut [f64], src: &[f64], msk: &[Cell], eps: f64) {
     for (x, d) in dst.iter_mut().enumerate() {
@@ -48,8 +65,9 @@ fn filter_row_x(dst: &mut [f64], src: &[f64], msk: &[Cell], eps: f64) {
     }
 }
 
-/// One row of an across-row filter pass: the five stencil inputs come from
-/// five parallel rows (offsets −2..+2 along the filtered axis) at the same x.
+/// One row of an across-row filter pass, per-cell reference form: the five
+/// stencil inputs come from five parallel rows (offsets −2..+2 along the
+/// filtered axis) at the same x.
 #[inline(always)]
 fn filter_row_across(dst: &mut [f64], s: [&[f64]; 5], m: [&[Cell]; 5], eps: f64) {
     for (x, d) in dst.iter_mut().enumerate() {
@@ -63,7 +81,82 @@ fn filter_row_across(dst: &mut [f64], s: [&[f64]; 5], m: [&[Cell]; 5], eps: f64)
     }
 }
 
-/// Applies the two-pass 2D filter to `u` in place, using `sx` as scratch.
+/// Fast along-row pass: passthrough copy, then a branch-free stencil over
+/// every maximal all-fluid window run. A cell `x` gets the stencil iff its
+/// window `msk[x..x+5]` lies inside a maximal fluid run `[a, b)`, i.e.
+/// `x ∈ [a, b-4)` — exactly the cells [`filter_row_x`] stencils.
+#[inline(always)]
+fn filter_row_x_fast(dst: &mut [f64], src: &[f64], msk: &[Cell], eps: f64) {
+    let n = dst.len();
+    dst.copy_from_slice(&src[2..n + 2]);
+    let mut a = 0;
+    while a < n + 4 {
+        if !msk[a].is_fluid() {
+            a += 1;
+            continue;
+        }
+        let mut b = a + 1;
+        while b < n + 4 && msk[b].is_fluid() {
+            b += 1;
+        }
+        let lo = a;
+        let hi = b.saturating_sub(4).min(n);
+        if lo < hi {
+            let s0 = &src[lo..hi];
+            let s1 = &src[lo + 1..hi + 1];
+            let s2 = &src[lo + 2..hi + 2];
+            let s3 = &src[lo + 3..hi + 3];
+            let s4 = &src[lo + 4..hi + 4];
+            let d = &mut dst[lo..hi];
+            for x in 0..hi - lo {
+                let v = s2[x];
+                d[x] = v - eps * (s0[x] - 4.0 * s1[x] + 6.0 * v - 4.0 * s3[x] + s4[x]);
+            }
+        }
+        a = b;
+    }
+}
+
+/// Fast across-row pass (see [`filter_row_x_fast`]); the window here is the
+/// same x in five parallel rows.
+#[inline(always)]
+fn filter_row_across_fast(dst: &mut [f64], s: [&[f64]; 5], m: [&[Cell]; 5], eps: f64) {
+    let n = dst.len();
+    dst.copy_from_slice(s[2]);
+    let all_fluid = |x: usize| {
+        m[0][x].is_fluid()
+            && m[1][x].is_fluid()
+            && m[2][x].is_fluid()
+            && m[3][x].is_fluid()
+            && m[4][x].is_fluid()
+    };
+    let mut a = 0;
+    while a < n {
+        if !all_fluid(a) {
+            a += 1;
+            continue;
+        }
+        let mut b = a + 1;
+        while b < n && all_fluid(b) {
+            b += 1;
+        }
+        let s0 = &s[0][a..b];
+        let s1 = &s[1][a..b];
+        let s2 = &s[2][a..b];
+        let s3 = &s[3][a..b];
+        let s4 = &s[4][a..b];
+        let d = &mut dst[a..b];
+        for x in 0..b - a {
+            let v = s2[x];
+            d[x] = v - eps * (s0[x] - 4.0 * s1[x] + 6.0 * v - 4.0 * s3[x] + s4[x]);
+        }
+        a = b;
+    }
+}
+
+/// Applies the two-pass 2D filter to `u` in place, using `sx` as scratch
+/// (fast path: run-specialized rows, row-banded when intra-tile threads are
+/// configured; bitwise identical to [`filter_field2_scalar`]).
 ///
 /// Output region: `[-ring, n+ring)` on both axes. Requires `u` valid on
 /// `[-ring-2, n+ring+2)` and the grids' halo to be at least `ring + 2`.
@@ -84,6 +177,94 @@ pub fn filter_field2(
 
     // Pass 1 (x): scratch <- filtered-in-x, over a y-range widened by 2 so
     // pass 2 has valid inputs.
+    let (p1lo, p1hi) = (-ring - 2, ny + ring + 2);
+    let nb1 = kernels::bands_for(p1lo, p1hi);
+    if nb1 <= 1 {
+        for j in p1lo..p1hi {
+            filter_row_x_fast(
+                sx.row_segment_mut(j, -ring, span),
+                u.row_segment(j, -ring - 2, span + 4),
+                mask.row_segment(j, -ring - 2, span + 4),
+                eps,
+            );
+        }
+    } else {
+        let cuts = kernels::band_cuts(p1lo, p1hi, nb1);
+        let mut bands = sx.row_bands_mut(&cuts).into_iter();
+        let u_in = &*u;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ja, jb) = (w[0], w[1]);
+                let mut band = bands.next().unwrap();
+                s.spawn(move |_| {
+                    for j in ja..jb {
+                        filter_row_x_fast(
+                            band.row_segment_mut(j, -ring, span),
+                            u_in.row_segment(j, -ring - 2, span + 4),
+                            mask.row_segment(j, -ring - 2, span + 4),
+                            eps,
+                        );
+                    }
+                });
+            }
+        });
+    }
+
+    // Pass 2 (y): u <- filtered-in-y of scratch.
+    let (p2lo, p2hi) = (-ring, ny + ring);
+    let nb2 = kernels::bands_for(p2lo, p2hi);
+    if nb2 <= 1 {
+        for j in p2lo..p2hi {
+            filter_row_across_fast(
+                u.row_segment_mut(j, -ring, span),
+                std::array::from_fn(|o| sx.row_segment(j + o as isize - 2, -ring, span)),
+                std::array::from_fn(|o| mask.row_segment(j + o as isize - 2, -ring, span)),
+                eps,
+            );
+        }
+    } else {
+        let cuts = kernels::band_cuts(p2lo, p2hi, nb2);
+        let mut bands = u.row_bands_mut(&cuts).into_iter();
+        let sx_in = &*sx;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ja, jb) = (w[0], w[1]);
+                let mut band = bands.next().unwrap();
+                s.spawn(move |_| {
+                    for j in ja..jb {
+                        filter_row_across_fast(
+                            band.row_segment_mut(j, -ring, span),
+                            std::array::from_fn(|o| {
+                                sx_in.row_segment(j + o as isize - 2, -ring, span)
+                            }),
+                            std::array::from_fn(|o| {
+                                mask.row_segment(j + o as isize - 2, -ring, span)
+                            }),
+                            eps,
+                        );
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The original per-cell 2D filter — scalar reference for the equivalence
+/// tests and the `compute_scalar` solver path.
+pub fn filter_field2_scalar(
+    u: &mut PaddedGrid2<f64>,
+    sx: &mut PaddedGrid2<f64>,
+    mask: &PaddedGrid2<Cell>,
+    eps: f64,
+    ring: isize,
+) {
+    let nx = u.nx() as isize;
+    let ny = u.ny() as isize;
+    debug_assert!(
+        u.halo() as isize >= ring + 2,
+        "halo too small for filter ring"
+    );
+    let span = (nx + 2 * ring) as usize;
     for j in (-ring - 2)..(ny + ring + 2) {
         filter_row_x(
             sx.row_segment_mut(j, -ring, span),
@@ -92,8 +273,6 @@ pub fn filter_field2(
             eps,
         );
     }
-
-    // Pass 2 (y): u <- filtered-in-y of scratch.
     for j in -ring..(ny + ring) {
         filter_row_across(
             u.row_segment_mut(j, -ring, span),
@@ -105,10 +284,153 @@ pub fn filter_field2(
 }
 
 /// Applies the three-pass 3D filter to `u` in place, using `sx`/`sy` scratch.
+/// Serial: a k-pipelined cache-blocked sweep (see module docs). With
+/// intra-tile threads: three plane-banded passes. Bitwise identical to
+/// [`filter_field3_scalar`] either way.
 ///
 /// Output region: `[-ring, n+ring)` on all axes. Requires `u` valid on
 /// `[-ring-2, n+ring+2)` and halo at least `ring + 2`.
 pub fn filter_field3(
+    u: &mut PaddedGrid3<f64>,
+    sx: &mut PaddedGrid3<f64>,
+    sy: &mut PaddedGrid3<f64>,
+    mask: &PaddedGrid3<Cell>,
+    eps: f64,
+    ring: isize,
+) {
+    let nx = u.nx() as isize;
+    let ny = u.ny() as isize;
+    let nz = u.nz() as isize;
+    debug_assert!(
+        u.halo() as isize >= ring + 2,
+        "halo too small for filter ring"
+    );
+    let span = (nx + 2 * ring) as usize;
+    let (klo, khi) = (-ring - 2, nz + ring + 2);
+    let nb = kernels::bands_for(klo, khi);
+
+    if nb <= 1 {
+        // Pipelined sweep: slab kk runs the x- and y-pass, then the z-pass
+        // emits slab kk-2 (whose sy inputs kk-4..kk are now all ready). The
+        // x-pass at kk still reads pristine u[kk]: the z-pass only overwrites
+        // u two slabs behind.
+        for kk in klo..khi {
+            for j in (-ring - 2)..(ny + ring + 2) {
+                filter_row_x_fast(
+                    sx.row_segment_mut(j, kk, -ring, span),
+                    u.row_segment(j, kk, -ring - 2, span + 4),
+                    mask.row_segment(j, kk, -ring - 2, span + 4),
+                    eps,
+                );
+            }
+            for j in -ring..(ny + ring) {
+                filter_row_across_fast(
+                    sy.row_segment_mut(j, kk, -ring, span),
+                    std::array::from_fn(|o| sx.row_segment(j + o as isize - 2, kk, -ring, span)),
+                    std::array::from_fn(|o| mask.row_segment(j + o as isize - 2, kk, -ring, span)),
+                    eps,
+                );
+            }
+            let k = kk - 2;
+            if k >= -ring {
+                for j in -ring..(ny + ring) {
+                    filter_row_across_fast(
+                        u.row_segment_mut(j, k, -ring, span),
+                        std::array::from_fn(|o| sy.row_segment(j, k + o as isize - 2, -ring, span)),
+                        std::array::from_fn(|o| {
+                            mask.row_segment(j, k + o as isize - 2, -ring, span)
+                        }),
+                        eps,
+                    );
+                }
+            }
+        }
+        return;
+    }
+
+    // Plane-banded passes (each pass is a barrier; reads of the previous
+    // pass's output may cross band boundaries, which is fine — it is only
+    // read).
+    let cuts = kernels::band_cuts(klo, khi, nb);
+    {
+        let mut bands = sx.plane_bands_mut(&cuts).into_iter();
+        let u_in = &*u;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ka, kb) = (w[0], w[1]);
+                let mut band = bands.next().unwrap();
+                s.spawn(move |_| {
+                    for k in ka..kb {
+                        for j in (-ring - 2)..(ny + ring + 2) {
+                            filter_row_x_fast(
+                                band.row_segment_mut(j, k, -ring, span),
+                                u_in.row_segment(j, k, -ring - 2, span + 4),
+                                mask.row_segment(j, k, -ring - 2, span + 4),
+                                eps,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+    {
+        let mut bands = sy.plane_bands_mut(&cuts).into_iter();
+        let sx_in = &*sx;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ka, kb) = (w[0], w[1]);
+                let mut band = bands.next().unwrap();
+                s.spawn(move |_| {
+                    for k in ka..kb {
+                        for j in -ring..(ny + ring) {
+                            filter_row_across_fast(
+                                band.row_segment_mut(j, k, -ring, span),
+                                std::array::from_fn(|o| {
+                                    sx_in.row_segment(j + o as isize - 2, k, -ring, span)
+                                }),
+                                std::array::from_fn(|o| {
+                                    mask.row_segment(j + o as isize - 2, k, -ring, span)
+                                }),
+                                eps,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+    {
+        let cuts3 = kernels::band_cuts(-ring, nz + ring, kernels::bands_for(-ring, nz + ring));
+        let mut bands = u.plane_bands_mut(&cuts3).into_iter();
+        let sy_in = &*sy;
+        rayon::scope(|s| {
+            for w in cuts3.windows(2) {
+                let (ka, kb) = (w[0], w[1]);
+                let mut band = bands.next().unwrap();
+                s.spawn(move |_| {
+                    for k in ka..kb {
+                        for j in -ring..(ny + ring) {
+                            filter_row_across_fast(
+                                band.row_segment_mut(j, k, -ring, span),
+                                std::array::from_fn(|o| {
+                                    sy_in.row_segment(j, k + o as isize - 2, -ring, span)
+                                }),
+                                std::array::from_fn(|o| {
+                                    mask.row_segment(j, k + o as isize - 2, -ring, span)
+                                }),
+                                eps,
+                            );
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The original three-full-pass per-cell 3D filter — scalar reference.
+pub fn filter_field3_scalar(
     u: &mut PaddedGrid3<f64>,
     sx: &mut PaddedGrid3<f64>,
     sy: &mut PaddedGrid3<f64>,
@@ -260,5 +582,68 @@ mod tests {
     fn gain_bounds() {
         assert!((nyquist_gain(1.0 / 16.0)).abs() < 1e-14);
         assert_eq!(nyquist_gain(0.0), 1.0);
+    }
+
+    /// A mask with scattered obstacles so runs, run edges and fallbacks all
+    /// get exercised.
+    fn obstacle_mask2() -> PaddedGrid2<Cell> {
+        let mut mask = all_fluid2(19, 13, 4);
+        for (i, j) in [(2, 3), (3, 3), (4, 3), (9, 7), (14, 1), (0, 11), (18, 5)] {
+            mask[(i, j)] = Cell::Wall;
+        }
+        mask[(7, 0)] = Cell::Inlet;
+        mask[(12, 12)] = Cell::Outlet;
+        mask
+    }
+
+    #[test]
+    fn fast_filter2_matches_scalar_bitwise() {
+        let mask = obstacle_mask2();
+        for ring in [0, 2] {
+            let mut a =
+                PaddedGrid2::from_fn(19, 13, 4, |i, j| (i as f64 * 0.37).sin() + j as f64 * 0.11);
+            let mut b = a.clone();
+            let mut sa = PaddedGrid2::new(19, 13, 4, 0.0f64);
+            let mut sb = sa.clone();
+            filter_field2(&mut a, &mut sa, &mask, 0.0175, ring);
+            filter_field2_scalar(&mut b, &mut sb, &mask, 0.0175, ring);
+            assert_eq!(a, b, "ring {ring}");
+        }
+    }
+
+    #[test]
+    fn fast_filter3_matches_scalar_bitwise() {
+        let mut mask = PaddedGrid3::new(9, 8, 7, 4, Cell::Fluid);
+        for (i, j, k) in [(2, 3, 1), (3, 3, 1), (6, 6, 5), (0, 0, 0), (8, 7, 6)] {
+            mask[(i, j, k)] = Cell::Wall;
+        }
+        for ring in [0, 2] {
+            let mut a = PaddedGrid3::from_fn(9, 8, 7, 4, |i, j, k| {
+                (i as f64 * 0.7).cos() + j as f64 * 0.2 - k as f64 * 0.13
+            });
+            let mut b = a.clone();
+            let mut sxa = PaddedGrid3::new(9, 8, 7, 4, 0.0f64);
+            let mut sya = sxa.clone();
+            let mut sxb = sxa.clone();
+            let mut syb = sxa.clone();
+            filter_field3(&mut a, &mut sxa, &mut sya, &mask, 0.02, ring);
+            filter_field3_scalar(&mut b, &mut sxb, &mut syb, &mask, 0.02, ring);
+            assert_eq!(a, b, "ring {ring}");
+        }
+    }
+
+    #[test]
+    fn banded_filter_matches_serial_bitwise() {
+        let mask = obstacle_mask2();
+        let mut a = PaddedGrid2::from_fn(19, 13, 4, |i, j| i as f64 * 0.3 + (j as f64).cos());
+        let mut b = a.clone();
+        let mut sa = PaddedGrid2::new(19, 13, 4, 0.0f64);
+        let mut sb = sa.clone();
+        crate::kernels::set_intra_threads(1);
+        filter_field2(&mut a, &mut sa, &mask, 0.02, 2);
+        crate::kernels::set_intra_threads(4);
+        filter_field2(&mut b, &mut sb, &mask, 0.02, 2);
+        crate::kernels::set_intra_threads(1);
+        assert_eq!(a, b);
     }
 }

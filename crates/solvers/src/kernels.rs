@@ -1,0 +1,213 @@
+//! Shared infrastructure for the vectorized, band-parallel solver kernels.
+//!
+//! Three things live here, used by every solver's fast path:
+//!
+//! * **Run scanning** ([`fluid_segs`], [`active_segs`]): the mask of a row is
+//!   decomposed into maximal runs of like cells plus single "other" cells.
+//!   Runs are handed to branch-free straight-line kernels operating on
+//!   trimmed sub-slices (so LLVM hoists the bounds checks and vectorizes the
+//!   loop body across x); the leftover cells fall back to the per-cell scalar
+//!   kernel. Both paths evaluate the same floating-point expressions in the
+//!   same association order, so the decomposition is bitwise invisible.
+//! * **Intra-tile threading** ([`intra_threads`]): how many row bands a
+//!   single tile's sweep is split into. Defaults to 1 (band splitting off);
+//!   set `SUBSONIC_INTRA_THREADS` or call [`set_intra_threads`]. Bands are
+//!   disjoint row ranges of the *same* grids (see `PaddedGrid2::row_bands_mut`),
+//!   so the split never changes results — each cell is computed by exactly
+//!   one band with identical inputs.
+//! * **SIMD reporting** ([`simd_lanes`]): the f64 lane width the build
+//!   targets, recorded in bench metadata so rates from differently-shaped
+//!   containers stay comparable.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use subsonic_grid::Cell;
+
+/// 0 = not yet initialised from the environment.
+static INTRA_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker bands used *inside* one tile's sweeps.
+///
+/// Lazily initialised from `SUBSONIC_INTRA_THREADS` (default 1 — kernels run
+/// serially and spawn no scope). This is deliberately independent of the
+/// tile-level parallelism of the runners: a k-tile run on an n-core machine
+/// wants `n / k` bands per tile, not `n`.
+pub fn intra_threads() -> usize {
+    match INTRA_THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = std::env::var("SUBSONIC_INTRA_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .unwrap_or(1);
+            INTRA_THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the band count (tests and benches; `n` is clamped to ≥ 1).
+pub fn set_intra_threads(n: usize) {
+    INTRA_THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Number of f64 SIMD lanes the build targets (compile-time feature flags,
+/// i.e. what the autovectorizer actually emits — not runtime detection).
+pub const fn simd_lanes() -> usize {
+    #[cfg(target_feature = "avx512f")]
+    {
+        8
+    }
+    #[cfg(all(target_feature = "avx", not(target_feature = "avx512f")))]
+    {
+        4
+    }
+    #[cfg(all(target_feature = "sse2", not(target_feature = "avx")))]
+    {
+        2
+    }
+    #[cfg(not(target_feature = "sse2"))]
+    {
+        1
+    }
+}
+
+/// Number of bands for a sweep over rows `[lo, hi)`: the configured
+/// [`intra_threads`], capped so no band is empty.
+pub fn bands_for(lo: isize, hi: isize) -> usize {
+    if hi <= lo {
+        return 1;
+    }
+    intra_threads().min((hi - lo) as usize)
+}
+
+/// Band boundaries splitting rows `[lo, hi)` into `nbands` near-equal ranges:
+/// `nbands + 1` increasing cut points starting at `lo` and ending at `hi`,
+/// in the form `PaddedGrid2::row_bands_mut` consumes.
+pub fn band_cuts(lo: isize, hi: isize, nbands: usize) -> Vec<isize> {
+    assert!(hi > lo, "band_cuts: empty row range");
+    let rows = (hi - lo) as usize;
+    let nb = nbands.clamp(1, rows);
+    (0..=nb).map(|b| lo + (rows * b / nb) as isize).collect()
+}
+
+/// One segment of a scanned mask row: either a maximal run of cells matching
+/// the predicate (handed to a vector kernel) or a single non-matching cell
+/// (handed to the scalar fallback).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Seg {
+    /// Half-open index run `[start, end)` where every cell matches.
+    Run(usize, usize),
+    /// A single cell that does not match.
+    One(usize),
+}
+
+/// Iterator over the [`Seg`]s of a mask row (see [`fluid_segs`]).
+pub struct Segs<'a> {
+    row: &'a [Cell],
+    at: usize,
+    pred: fn(&Cell) -> bool,
+}
+
+impl Iterator for Segs<'_> {
+    type Item = Seg;
+
+    fn next(&mut self) -> Option<Seg> {
+        let a = self.at;
+        if a >= self.row.len() {
+            return None;
+        }
+        if !(self.pred)(&self.row[a]) {
+            self.at = a + 1;
+            return Some(Seg::One(a));
+        }
+        let mut b = a + 1;
+        while b < self.row.len() && (self.pred)(&self.row[b]) {
+            b += 1;
+        }
+        self.at = b;
+        Some(Seg::Run(a, b))
+    }
+}
+
+fn is_fluid(c: &Cell) -> bool {
+    c.is_fluid()
+}
+
+fn is_active(c: &Cell) -> bool {
+    !c.is_wall()
+}
+
+/// Segments `row` into maximal [`Cell::Fluid`] runs and single other cells.
+pub fn fluid_segs(row: &[Cell]) -> Segs<'_> {
+    Segs {
+        row,
+        at: 0,
+        pred: is_fluid,
+    }
+}
+
+/// Segments `row` into maximal non-wall runs and single wall cells.
+pub fn active_segs(row: &[Cell]) -> Segs<'_> {
+    Segs {
+        row,
+        at: 0,
+        pred: is_active,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Cell::{Fluid, Wall};
+
+    #[test]
+    fn fluid_segs_decompose_a_mixed_row() {
+        let row = [Wall, Fluid, Fluid, Fluid, Wall, Wall, Fluid];
+        let segs: Vec<Seg> = fluid_segs(&row).collect();
+        assert_eq!(
+            segs,
+            vec![
+                Seg::One(0),
+                Seg::Run(1, 4),
+                Seg::One(4),
+                Seg::One(5),
+                Seg::Run(6, 7)
+            ]
+        );
+    }
+
+    #[test]
+    fn segs_cover_every_index_exactly_once() {
+        let row = [Fluid, Wall, Fluid, Cell::Inlet, Fluid, Fluid];
+        let mut seen = vec![0u32; row.len()];
+        for seg in fluid_segs(&row) {
+            match seg {
+                Seg::Run(a, b) => (a..b).for_each(|x| seen[x] += 1),
+                Seg::One(x) => seen[x] += 1,
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+        // active_segs treats Inlet as part of a run
+        let active: Vec<Seg> = active_segs(&row).collect();
+        assert_eq!(active, vec![Seg::Run(0, 1), Seg::One(1), Seg::Run(2, 6)]);
+    }
+
+    #[test]
+    fn band_cuts_partition_the_range() {
+        let cuts = band_cuts(-3, 10, 4);
+        assert_eq!(cuts.first(), Some(&-3));
+        assert_eq!(cuts.last(), Some(&10));
+        assert!(cuts.windows(2).all(|w| w[0] < w[1]));
+        let total: isize = cuts.windows(2).map(|w| w[1] - w[0]).sum();
+        assert_eq!(total, 13);
+        // more bands than rows collapses to one band per row
+        assert_eq!(band_cuts(0, 2, 8).len(), 3);
+    }
+
+    #[test]
+    fn lane_width_is_a_power_of_two() {
+        let l = simd_lanes();
+        assert!(l.is_power_of_two() && l <= 8);
+    }
+}

@@ -31,16 +31,34 @@
 //! The method works in lattice units internally; macroscopic fields are
 //! stored in physical units (`Δx`, `Δt` conversions applied), so diagnostics
 //! are method-agnostic.
+//!
+//! ## Kernel structure (fast vs scalar path)
+//!
+//! Each grid is one dense f64 plane per quantity (structure-of-arrays: nine
+//! population planes, three macroscopic planes), so the unit-stride direction
+//! of every sweep is a flat `&[f64]`. The fast path scans each mask row into
+//! maximal `Fluid` runs ([`crate::kernels::fluid_segs`]) and hands every run
+//! to a branch-free straight-line kernel over trimmed sub-slices, which the
+//! autovectorizer turns into SIMD lanes; boundary cells fall back to the
+//! per-cell scalar kernel. Both paths evaluate identical floating-point
+//! expressions in identical association order, so `compute` and
+//! [`Solver2::compute_scalar`] agree bitwise. Streaming is *in place*
+//! (ordered row copies within each population plane plus the cached
+//! [`ShiftLinks2`] fix-ups), eliminating the second population buffer.
+//! When [`crate::kernels::intra_threads`] > 1, row sweeps split into disjoint
+//! row bands executed on a rayon scope — same cells, same inputs, same
+//! results, just computed on different threads.
 
 use crate::fields::{Macro2, ShiftLinks2, TileState2};
-use crate::filter::filter_field2;
+use crate::filter::{filter_field2, filter_field2_scalar};
 use crate::init::InitialState2;
+use crate::kernels::{self, Seg};
 use crate::params::{FluidParams, MethodKind};
 use crate::plan::StepOp;
-use crate::qlattice::{feq2, E2, OPP2, Q2};
+use crate::qlattice::{eq_poly, feq2, E2, OPP2, Q2, W2};
 use crate::solver::Solver2;
 use subsonic_grid::halo::{message_len2, pack2, unpack2};
-use subsonic_grid::{Cell, Face2, PaddedGrid2};
+use subsonic_grid::{Cell, Face2, PaddedGrid2, RowBand2};
 
 /// Ghost-layer width required by the LB scheme: 1 for the shift plus 2 for
 /// the filter stencil.
@@ -53,160 +71,504 @@ static PLAN: [StepOp; 4] = [
     StepOp::Compute(2),
 ];
 
+/// Hoisted per-sweep relaxation constants. `tax`/`tay` are `τ·a` — hoisting
+/// the product out of the loop is exact (same two operands, same multiply).
+#[derive(Clone, Copy)]
+struct RelaxP {
+    inv_tau: f64,
+    tax: f64,
+    tay: f64,
+    uin_x: f64,
+    uin_y: f64,
+    rho0: f64,
+}
+
+impl RelaxP {
+    fn new(p: &FluidParams) -> Self {
+        let tau = p.lbm_tau();
+        Self {
+            inv_tau: 1.0 / tau,
+            tax: tau * p.accel_to_lattice(p.body_force[0]),
+            tay: tau * p.accel_to_lattice(p.body_force[1]),
+            uin_x: p.velocity_to_lattice(p.inlet_velocity[0]),
+            uin_y: p.velocity_to_lattice(p.inlet_velocity[1]),
+            rho0: p.rho0,
+        }
+    }
+}
+
+/// Scalar relaxation of one cell — the reference arm for every cell kind.
+#[inline(always)]
+fn relax_cell(x: usize, cell: Cell, frows: &mut [&mut [f64]; Q2], p: &RelaxP) {
+    match cell {
+        Cell::Fluid => {
+            let mut rho = 0.0;
+            let mut mx = 0.0;
+            let mut my = 0.0;
+            for (q, fr) in frows.iter().enumerate() {
+                let f = fr[x];
+                rho += f;
+                mx += f * E2[q].0 as f64;
+                my += f * E2[q].1 as f64;
+            }
+            let ux = mx / rho + p.tax;
+            let uy = my / rho + p.tay;
+            for (q, fr) in frows.iter_mut().enumerate() {
+                let f = fr[x];
+                fr[x] = f + (feq2(q, rho, ux, uy) - f) * p.inv_tau;
+            }
+        }
+        Cell::Inlet => {
+            for (q, fr) in frows.iter_mut().enumerate() {
+                fr[x] = feq2(q, p.rho0, p.uin_x, p.uin_y);
+            }
+        }
+        Cell::Outlet => {
+            let mut rho = 0.0;
+            let mut mx = 0.0;
+            let mut my = 0.0;
+            for (q, fr) in frows.iter().enumerate() {
+                let f = fr[x];
+                rho += f;
+                mx += f * E2[q].0 as f64;
+                my += f * E2[q].1 as f64;
+            }
+            let ux = mx / rho;
+            let uy = my / rho;
+            for (q, fr) in frows.iter_mut().enumerate() {
+                fr[x] = feq2(q, p.rho0, ux, uy);
+            }
+        }
+        Cell::Wall => {}
+    }
+}
+
+/// Branch-free relaxation of a contiguous fluid run `x ∈ [a, b)`.
+///
+/// This is the `Fluid` arm of [`relax_cell`] with the lattice loops unrolled
+/// and the zero terms of the moment sums dropped; every expression keeps the
+/// reference association order (see [`eq_poly`] for why the dropped zero
+/// terms are invisible), so results are bitwise identical while the
+/// straight-line body vectorizes across x.
+#[inline(always)]
+fn relax_run(frows: &mut [&mut [f64]; Q2], a: usize, b: usize, p: &RelaxP) {
+    let [f0, f1, f2, f3, f4, f5, f6, f7, f8] = frows.each_mut();
+    let f0 = &mut f0[a..b];
+    let f1 = &mut f1[a..b];
+    let f2 = &mut f2[a..b];
+    let f3 = &mut f3[a..b];
+    let f4 = &mut f4[a..b];
+    let f5 = &mut f5[a..b];
+    let f6 = &mut f6[a..b];
+    let f7 = &mut f7[a..b];
+    let f8 = &mut f8[a..b];
+    for x in 0..b - a {
+        let g0 = f0[x];
+        let g1 = f1[x];
+        let g2 = f2[x];
+        let g3 = f3[x];
+        let g4 = f4[x];
+        let g5 = f5[x];
+        let g6 = f6[x];
+        let g7 = f7[x];
+        let g8 = f8[x];
+        let rho = g0 + g1 + g2 + g3 + g4 + g5 + g6 + g7 + g8;
+        let mx = g1 - g2 + g5 - g6 - g7 + g8;
+        let my = g3 - g4 + g5 - g6 + g7 - g8;
+        let ux = mx / rho + p.tax;
+        let uy = my / rho + p.tay;
+        let hsq = 1.5 * (ux * ux + uy * uy);
+        let s = ux + uy; // e·u for the (1,1) diagonal
+        let d = uy - ux; // e·u for the (-1,1) diagonal
+        let wc = W2[0] * rho;
+        let wa = W2[1] * rho;
+        let wd = W2[5] * rho;
+        f0[x] = g0 + (wc * (1.0 - hsq) - g0) * p.inv_tau;
+        f1[x] = g1 + (wa * eq_poly(ux, hsq) - g1) * p.inv_tau;
+        f2[x] = g2 + (wa * eq_poly(-ux, hsq) - g2) * p.inv_tau;
+        f3[x] = g3 + (wa * eq_poly(uy, hsq) - g3) * p.inv_tau;
+        f4[x] = g4 + (wa * eq_poly(-uy, hsq) - g4) * p.inv_tau;
+        f5[x] = g5 + (wd * eq_poly(s, hsq) - g5) * p.inv_tau;
+        f6[x] = g6 + (wd * eq_poly(-s, hsq) - g6) * p.inv_tau;
+        f7[x] = g7 + (wd * eq_poly(d, hsq) - g7) * p.inv_tau;
+        f8[x] = g8 + (wd * eq_poly(-d, hsq) - g8) * p.inv_tau;
+    }
+}
+
+/// One row of relaxation: fluid runs through the vector kernel, everything
+/// else through the scalar cell kernel (or all-scalar when `fast` is off).
+#[inline(always)]
+fn relax_row(mrow: &[Cell], frows: &mut [&mut [f64]; Q2], p: &RelaxP, fast: bool) {
+    if !fast {
+        for (x, &cell) in mrow.iter().enumerate() {
+            relax_cell(x, cell, frows, p);
+        }
+        return;
+    }
+    for seg in kernels::fluid_segs(mrow) {
+        match seg {
+            Seg::Run(a, b) => relax_run(frows, a, b, p),
+            Seg::One(x) => relax_cell(x, mrow[x], frows, p),
+        }
+    }
+}
+
+/// Hoisted constants for the macroscopic sweep.
+#[derive(Clone, Copy)]
+struct MacP {
+    c: f64,
+    hax: f64,
+    hay: f64,
+    rho0: f64,
+}
+
+/// Output rows of one macroscopic sweep row.
+struct MacRows<'a> {
+    rho: &'a mut [f64],
+    vx: &'a mut [f64],
+    vy: &'a mut [f64],
+}
+
+#[inline(always)]
+fn mac_cell(x: usize, cell: Cell, frows: &[&[f64]; Q2], out: &mut MacRows<'_>, p: &MacP) {
+    if cell.is_wall() {
+        out.rho[x] = p.rho0;
+        out.vx[x] = 0.0;
+        out.vy[x] = 0.0;
+        return;
+    }
+    let mut rho = 0.0;
+    let mut mx = 0.0;
+    let mut my = 0.0;
+    for (q, fr) in frows.iter().enumerate() {
+        let f = fr[x];
+        rho += f;
+        mx += f * E2[q].0 as f64;
+        my += f * E2[q].1 as f64;
+    }
+    out.rho[x] = rho;
+    out.vx[x] = (mx / rho + p.hax) * p.c;
+    out.vy[x] = (my / rho + p.hay) * p.c;
+}
+
+/// Vector kernel for a non-wall run of the macroscopic sweep; moment sums in
+/// the same order as [`mac_cell`] with zero terms dropped.
+#[inline(always)]
+fn mac_run(frows: &[&[f64]; Q2], out: &mut MacRows<'_>, a: usize, b: usize, p: &MacP) {
+    let f0 = &frows[0][a..b];
+    let f1 = &frows[1][a..b];
+    let f2 = &frows[2][a..b];
+    let f3 = &frows[3][a..b];
+    let f4 = &frows[4][a..b];
+    let f5 = &frows[5][a..b];
+    let f6 = &frows[6][a..b];
+    let f7 = &frows[7][a..b];
+    let f8 = &frows[8][a..b];
+    let rho_o = &mut out.rho[a..b];
+    let vx_o = &mut out.vx[a..b];
+    let vy_o = &mut out.vy[a..b];
+    for x in 0..b - a {
+        let rho = f0[x] + f1[x] + f2[x] + f3[x] + f4[x] + f5[x] + f6[x] + f7[x] + f8[x];
+        let mx = f1[x] - f2[x] + f5[x] - f6[x] - f7[x] + f8[x];
+        let my = f3[x] - f4[x] + f5[x] - f6[x] + f7[x] - f8[x];
+        rho_o[x] = rho;
+        vx_o[x] = (mx / rho + p.hax) * p.c;
+        vy_o[x] = (my / rho + p.hay) * p.c;
+    }
+}
+
+#[inline(always)]
+fn mac_row(mrow: &[Cell], frows: &[&[f64]; Q2], out: &mut MacRows<'_>, p: &MacP, fast: bool) {
+    if !fast {
+        for (x, &cell) in mrow.iter().enumerate() {
+            mac_cell(x, cell, frows, out, p);
+        }
+        return;
+    }
+    for seg in kernels::active_segs(mrow) {
+        match seg {
+            Seg::Run(a, b) => mac_run(frows, out, a, b, p),
+            Seg::One(x) => mac_cell(x, mrow[x], frows, out, p),
+        }
+    }
+}
+
+/// Hoisted constants for population re-synthesis.
+#[derive(Clone, Copy)]
+struct ResynP {
+    inv_c: f64,
+    hax: f64,
+    hay: f64,
+}
+
+/// Input rows for re-synthesis: filtered (`_f`) and raw (`_r`) macro fields.
+struct ResynRows<'a> {
+    rho_f: &'a [f64],
+    vx_f: &'a [f64],
+    vy_f: &'a [f64],
+    rho_r: &'a [f64],
+    vx_r: &'a [f64],
+    vy_r: &'a [f64],
+}
+
+#[inline(always)]
+fn resyn_cell(x: usize, cell: Cell, frows: &mut [&mut [f64]; Q2], src: &ResynRows<'_>, p: &ResynP) {
+    if !cell.is_fluid() {
+        return;
+    }
+    let rho_f = src.rho_f[x];
+    let ux_f = src.vx_f[x] * p.inv_c - p.hax;
+    let uy_f = src.vy_f[x] * p.inv_c - p.hay;
+    let rho_r = src.rho_r[x];
+    let ux_r = src.vx_r[x] * p.inv_c - p.hax;
+    let uy_r = src.vy_r[x] * p.inv_c - p.hay;
+    for (q, fr) in frows.iter_mut().enumerate() {
+        let fneq = fr[x] - feq2(q, rho_r, ux_r, uy_r);
+        fr[x] = feq2(q, rho_f, ux_f, uy_f) + fneq;
+    }
+}
+
+/// Vector kernel for a fluid run of the re-synthesis sweep:
+/// `f ← f_eq(filtered) + (f − f_eq(raw))` with both equilibria unrolled.
+#[inline(always)]
+fn resyn_run(frows: &mut [&mut [f64]; Q2], src: &ResynRows<'_>, a: usize, b: usize, p: &ResynP) {
+    let [f0, f1, f2, f3, f4, f5, f6, f7, f8] = frows.each_mut();
+    let f0 = &mut f0[a..b];
+    let f1 = &mut f1[a..b];
+    let f2 = &mut f2[a..b];
+    let f3 = &mut f3[a..b];
+    let f4 = &mut f4[a..b];
+    let f5 = &mut f5[a..b];
+    let f6 = &mut f6[a..b];
+    let f7 = &mut f7[a..b];
+    let f8 = &mut f8[a..b];
+    let rho_f = &src.rho_f[a..b];
+    let vx_f = &src.vx_f[a..b];
+    let vy_f = &src.vy_f[a..b];
+    let rho_r = &src.rho_r[a..b];
+    let vx_r = &src.vx_r[a..b];
+    let vy_r = &src.vy_r[a..b];
+    for x in 0..b - a {
+        let ux_f = vx_f[x] * p.inv_c - p.hax;
+        let uy_f = vy_f[x] * p.inv_c - p.hay;
+        let ux_r = vx_r[x] * p.inv_c - p.hax;
+        let uy_r = vy_r[x] * p.inv_c - p.hay;
+        let hf = 1.5 * (ux_f * ux_f + uy_f * uy_f);
+        let hr = 1.5 * (ux_r * ux_r + uy_r * uy_r);
+        let (sf, df) = (ux_f + uy_f, uy_f - ux_f);
+        let (sr, dr) = (ux_r + uy_r, uy_r - ux_r);
+        let wcf = W2[0] * rho_f[x];
+        let waf = W2[1] * rho_f[x];
+        let wdf = W2[5] * rho_f[x];
+        let wcr = W2[0] * rho_r[x];
+        let war = W2[1] * rho_r[x];
+        let wdr = W2[5] * rho_r[x];
+        f0[x] = wcf * (1.0 - hf) + (f0[x] - wcr * (1.0 - hr));
+        f1[x] = waf * eq_poly(ux_f, hf) + (f1[x] - war * eq_poly(ux_r, hr));
+        f2[x] = waf * eq_poly(-ux_f, hf) + (f2[x] - war * eq_poly(-ux_r, hr));
+        f3[x] = waf * eq_poly(uy_f, hf) + (f3[x] - war * eq_poly(uy_r, hr));
+        f4[x] = waf * eq_poly(-uy_f, hf) + (f4[x] - war * eq_poly(-uy_r, hr));
+        f5[x] = wdf * eq_poly(sf, hf) + (f5[x] - wdr * eq_poly(sr, hr));
+        f6[x] = wdf * eq_poly(-sf, hf) + (f6[x] - wdr * eq_poly(-sr, hr));
+        f7[x] = wdf * eq_poly(df, hf) + (f7[x] - wdr * eq_poly(dr, hr));
+        f8[x] = wdf * eq_poly(-df, hf) + (f8[x] - wdr * eq_poly(-dr, hr));
+    }
+}
+
+#[inline(always)]
+fn resyn_row(
+    mrow: &[Cell],
+    frows: &mut [&mut [f64]; Q2],
+    src: &ResynRows<'_>,
+    p: &ResynP,
+    fast: bool,
+) {
+    if !fast {
+        for (x, &cell) in mrow.iter().enumerate() {
+            resyn_cell(x, cell, frows, src, p);
+        }
+        return;
+    }
+    for seg in kernels::fluid_segs(mrow) {
+        match seg {
+            Seg::Run(a, b) => resyn_run(frows, src, a, b, p),
+            Seg::One(x) => resyn_cell(x, mrow[x], frows, src, p),
+        }
+    }
+}
+
 /// The 2D lattice Boltzmann method.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LatticeBoltzmann2;
 
 impl LatticeBoltzmann2 {
-    /// BGK relaxation (pointwise, over the full valid ghost band).
-    ///
-    /// Iterates row slices: the per-node work reads all `Q2` populations at
-    /// one x offset, so each row borrows one slice per population grid and
-    /// the inner loop is free of index arithmetic.
-    fn relax(&self, t: &mut TileState2) {
-        let nx = t.nx() as isize;
-        let ny = t.ny() as isize;
-        let p = t.params;
-        let tau = p.lbm_tau();
-        let inv_tau = 1.0 / tau;
-        let ax = p.accel_to_lattice(p.body_force[0]);
-        let ay = p.accel_to_lattice(p.body_force[1]);
-        let uin_x = p.velocity_to_lattice(p.inlet_velocity[0]);
-        let uin_y = p.velocity_to_lattice(p.inlet_velocity[1]);
-        let span = (nx + 6) as usize;
-        for j in -3..(ny + 3) {
-            let mrow = t.mask.row_segment(j, -3, span);
-            let mut fit = t.f.iter_mut();
-            let mut frows: [&mut [f64]; Q2] =
-                std::array::from_fn(|_| fit.next().unwrap().row_segment_mut(j, -3, span));
-            for x in 0..span {
-                match mrow[x] {
-                    Cell::Fluid => {
-                        let mut rho = 0.0;
-                        let mut mx = 0.0;
-                        let mut my = 0.0;
-                        for (q, fr) in frows.iter().enumerate() {
-                            let f = fr[x];
-                            rho += f;
-                            mx += f * E2[q].0 as f64;
-                            my += f * E2[q].1 as f64;
-                        }
-                        let ux = mx / rho + tau * ax;
-                        let uy = my / rho + tau * ay;
-                        for (q, fr) in frows.iter_mut().enumerate() {
-                            let f = fr[x];
-                            fr[x] = f + (feq2(q, rho, ux, uy) - f) * inv_tau;
-                        }
-                    }
-                    Cell::Inlet => {
-                        for (q, fr) in frows.iter_mut().enumerate() {
-                            fr[x] = feq2(q, p.rho0, uin_x, uin_y);
-                        }
-                    }
-                    Cell::Outlet => {
-                        let mut rho = 0.0;
-                        let mut mx = 0.0;
-                        let mut my = 0.0;
-                        for (q, fr) in frows.iter().enumerate() {
-                            let f = fr[x];
-                            rho += f;
-                            mx += f * E2[q].0 as f64;
-                            my += f * E2[q].1 as f64;
-                        }
-                        let ux = mx / rho;
-                        let uy = my / rho;
-                        for (q, fr) in frows.iter_mut().enumerate() {
-                            fr[x] = feq2(q, p.rho0, ux, uy);
-                        }
-                    }
-                    Cell::Wall => {}
-                }
+    /// BGK relaxation over the window `rows × cols` (pointwise — reads and
+    /// writes only the cell itself, which is what makes the interior/halo
+    /// overlap split of [`Solver2::compute_interior`] legal).
+    fn relax_window(
+        &self,
+        t: &mut TileState2,
+        rows: (isize, isize),
+        cols: (isize, isize),
+        fast: bool,
+    ) {
+        let p = RelaxP::new(&t.params);
+        let (j0, j1) = rows;
+        let (i0, i1) = cols;
+        let span = (i1 - i0) as usize;
+        let nb = if fast { kernels::bands_for(j0, j1) } else { 1 };
+        let TileState2 { f, mask, .. } = t;
+        if nb <= 1 {
+            for j in j0..j1 {
+                let mrow = mask.row_segment(j, i0, span);
+                let mut fit = f.iter_mut();
+                let mut frows: [&mut [f64]; Q2] =
+                    std::array::from_fn(|_| fit.next().unwrap().row_segment_mut(j, i0, span));
+                relax_row(mrow, &mut frows, &p, fast);
             }
+            return;
         }
+        let cuts = kernels::band_cuts(j0, j1, nb);
+        let mut its: Vec<_> = f
+            .iter_mut()
+            .map(|g| g.row_bands_mut(&cuts).into_iter())
+            .collect();
+        let mask = &*mask;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ja, jb) = (w[0], w[1]);
+                let mut band: [RowBand2<'_, f64>; Q2] =
+                    std::array::from_fn(|g| its[g].next().unwrap());
+                s.spawn(move |_| {
+                    for j in ja..jb {
+                        let mrow = mask.row_segment(j, i0, span);
+                        let mut bit = band.iter_mut();
+                        let mut frows: [&mut [f64]; Q2] = std::array::from_fn(|_| {
+                            bit.next().unwrap().row_segment_mut(j, i0, span)
+                        });
+                        relax_row(mrow, &mut frows, &p, true);
+                    }
+                });
+            }
+        });
     }
 
-    /// Streaming with half-way bounce-back into `f_tmp`, then buffer swap.
+    /// In-place streaming with half-way bounce-back.
     ///
-    /// The interior is a pure offset row copy per population; wall handling
-    /// (held populations, bounce-back) is applied afterwards from the cached
-    /// boundary-link set, which is O(boundary) instead of a per-node branch.
+    /// Every fix-up value (held wall populations, bounce-back sources from
+    /// the *opposite* population plane) is gathered before any plane moves;
+    /// each plane is then shifted by ordered row copies — descending j when
+    /// the lattice velocity points up, ascending when down, an overlapping
+    /// `memmove` within the row for horizontal links — and the fix-ups are
+    /// scattered back. Bitwise identical to two-buffer streaming over the
+    /// whole streamed region `[-2, n+2)`, without the second buffer.
     fn shift(&self, t: &mut TileState2) {
         if t.shift_links.is_none() {
             t.shift_links = Some(ShiftLinks2::build(&t.mask));
         }
+        let links = t.shift_links.take().expect("links built above");
         let nx = t.nx() as isize;
         let ny = t.ny() as isize;
         let span = (nx + 4) as usize;
-        for (q, (fq, tq)) in t.f.iter().zip(t.f_tmp.iter_mut()).enumerate() {
+        let hold_vals: Vec<f64> = links
+            .hold
+            .iter()
+            .map(|&(q, i, j)| t.f[q as usize][(i as isize, j as isize)])
+            .collect();
+        let bounce_vals: Vec<f64> = links
+            .bounce
+            .iter()
+            .map(|&(q, i, j)| t.f[OPP2[q as usize]][(i as isize, j as isize)])
+            .collect();
+        for (q, fq) in t.f.iter_mut().enumerate() {
             let (ex, ey) = E2[q];
-            for j in -2..(ny + 2) {
-                let src = fq.row_segment(j - ey, -2 - ex, span);
-                tq.row_segment_mut(j, -2, span).copy_from_slice(src);
+            if ex == 0 && ey == 0 {
+                continue;
+            }
+            if ey > 0 {
+                for j in (-2..(ny + 2)).rev() {
+                    fq.copy_row_shifted((-2, j), (-2 - ex, j - ey), span);
+                }
+            } else {
+                for j in -2..(ny + 2) {
+                    fq.copy_row_shifted((-2, j), (-2 - ex, j - ey), span);
+                }
             }
         }
-        let links = t.shift_links.as_ref().unwrap();
-        for &(q, i, j) in &links.hold {
-            // walls hold their (inert) populations
-            let (q, i, j) = (q as usize, i as isize, j as isize);
-            t.f_tmp[q][(i, j)] = t.f[q][(i, j)];
+        for (&(q, i, j), &v) in links.hold.iter().zip(&hold_vals) {
+            t.f[q as usize][(i as isize, j as isize)] = v;
         }
-        for &(q, i, j) in &links.bounce {
-            // half-way bounce-back off the wall link
-            let (q, i, j) = (q as usize, i as isize, j as isize);
-            t.f_tmp[q][(i, j)] = t.f[OPP2[q]][(i, j)];
+        for (&(q, i, j), &v) in links.bounce.iter().zip(&bounce_vals) {
+            t.f[q as usize][(i as isize, j as isize)] = v;
         }
-        std::mem::swap(&mut t.f, &mut t.f_tmp);
+        t.shift_links = Some(links);
     }
 
     /// Macroscopic fields from the populations (stored in physical units,
     /// with the half-force correction on the velocity).
-    fn macroscopic(&self, t: &mut TileState2) {
+    fn macroscopic(&self, t: &mut TileState2, fast: bool) {
         let nx = t.nx() as isize;
         let ny = t.ny() as isize;
         let p = t.params;
-        let c = p.dx / p.dt;
-        let hax = 0.5 * p.accel_to_lattice(p.body_force[0]);
-        let hay = 0.5 * p.accel_to_lattice(p.body_force[1]);
+        let mp = MacP {
+            c: p.dx / p.dt,
+            hax: 0.5 * p.accel_to_lattice(p.body_force[0]),
+            hay: 0.5 * p.accel_to_lattice(p.body_force[1]),
+            rho0: p.rho0,
+        };
+        let (j0, j1) = (-2, ny + 2);
+        let i0 = -2;
         let span = (nx + 4) as usize;
-        for j in -2..(ny + 2) {
-            let mrow = t.mask.row_segment(j, -2, span);
-            let mut fit = t.f.iter();
-            let frows: [&[f64]; Q2] =
-                std::array::from_fn(|_| fit.next().unwrap().row_segment(j, -2, span));
-            let mac = &mut t.mac;
-            let rho_row = mac.rho.row_segment_mut(j, -2, span);
-            let vx_row = mac.vx.row_segment_mut(j, -2, span);
-            let vy_row = mac.vy.row_segment_mut(j, -2, span);
-            for x in 0..span {
-                if mrow[x].is_wall() {
-                    rho_row[x] = p.rho0;
-                    vx_row[x] = 0.0;
-                    vy_row[x] = 0.0;
-                    continue;
-                }
-                let mut rho = 0.0;
-                let mut mx = 0.0;
-                let mut my = 0.0;
-                for (q, fr) in frows.iter().enumerate() {
-                    let f = fr[x];
-                    rho += f;
-                    mx += f * E2[q].0 as f64;
-                    my += f * E2[q].1 as f64;
-                }
-                rho_row[x] = rho;
-                vx_row[x] = (mx / rho + hax) * c;
-                vy_row[x] = (my / rho + hay) * c;
+        let nb = if fast { kernels::bands_for(j0, j1) } else { 1 };
+        let TileState2 { mac, f, mask, .. } = t;
+        if nb <= 1 {
+            for j in j0..j1 {
+                let mrow = mask.row_segment(j, i0, span);
+                let mut fit = f.iter();
+                let frows: [&[f64]; Q2] =
+                    std::array::from_fn(|_| fit.next().unwrap().row_segment(j, i0, span));
+                let mut out = MacRows {
+                    rho: mac.rho.row_segment_mut(j, i0, span),
+                    vx: mac.vx.row_segment_mut(j, i0, span),
+                    vy: mac.vy.row_segment_mut(j, i0, span),
+                };
+                mac_row(mrow, &frows, &mut out, &mp, fast);
             }
+            return;
         }
+        let cuts = kernels::band_cuts(j0, j1, nb);
+        let mut rho_b = mac.rho.row_bands_mut(&cuts).into_iter();
+        let mut vx_b = mac.vx.row_bands_mut(&cuts).into_iter();
+        let mut vy_b = mac.vy.row_bands_mut(&cuts).into_iter();
+        let f = &*f;
+        let mask = &*mask;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ja, jb) = (w[0], w[1]);
+                let mut rb = rho_b.next().unwrap();
+                let mut xb = vx_b.next().unwrap();
+                let mut yb = vy_b.next().unwrap();
+                s.spawn(move |_| {
+                    for j in ja..jb {
+                        let mrow = mask.row_segment(j, i0, span);
+                        let mut fit = f.iter();
+                        let frows: [&[f64]; Q2] =
+                            std::array::from_fn(|_| fit.next().unwrap().row_segment(j, i0, span));
+                        let mut out = MacRows {
+                            rho: rb.row_segment_mut(j, i0, span),
+                            vx: xb.row_segment_mut(j, i0, span),
+                            vy: yb.row_segment_mut(j, i0, span),
+                        };
+                        mac_row(mrow, &frows, &mut out, &mp, true);
+                    }
+                });
+            }
+        });
     }
 
     /// Filter ρ, V and re-synthesise the populations on the interior.
-    fn filter_and_resynthesize(&self, t: &mut TileState2) {
+    fn filter_and_resynthesize(&self, t: &mut TileState2, fast: bool) {
         let p = t.params;
-        if p.filter_eps == 0.0 {
-            t.step += 1;
-            return;
-        }
         // keep the raw macroscopic fields for the non-equilibrium split
         t.mac_new.rho.copy_interior_from(&t.mac.rho);
         t.mac_new.vx.copy_interior_from(&t.mac.vx);
@@ -216,43 +578,80 @@ impl LatticeBoltzmann2 {
                 mac, scratch, mask, ..
             } = t;
             let sx = &mut scratch[0];
-            filter_field2(&mut mac.rho, sx, mask, p.filter_eps, 0);
-            filter_field2(&mut mac.vx, sx, mask, p.filter_eps, 0);
-            filter_field2(&mut mac.vy, sx, mask, p.filter_eps, 0);
-        }
-        let nx = t.nx();
-        let ny = t.ny() as isize;
-        let inv_c = p.dt / p.dx;
-        let hax = 0.5 * p.accel_to_lattice(p.body_force[0]);
-        let hay = 0.5 * p.accel_to_lattice(p.body_force[1]);
-        for j in 0..ny {
-            let mrow = t.mask.interior_row(j);
-            let rho_f_row = t.mac.rho.interior_row(j);
-            let vx_f_row = t.mac.vx.interior_row(j);
-            let vy_f_row = t.mac.vy.interior_row(j);
-            let rho_r_row = t.mac_new.rho.interior_row(j);
-            let vx_r_row = t.mac_new.vx.interior_row(j);
-            let vy_r_row = t.mac_new.vy.interior_row(j);
-            let mut fit = t.f.iter_mut();
-            let mut frows: [&mut [f64]; Q2] =
-                std::array::from_fn(|_| fit.next().unwrap().interior_row_mut(j));
-            for x in 0..nx {
-                if !mrow[x].is_fluid() {
-                    continue;
-                }
-                let rho_f = rho_f_row[x];
-                let ux_f = vx_f_row[x] * inv_c - hax;
-                let uy_f = vy_f_row[x] * inv_c - hay;
-                let rho_r = rho_r_row[x];
-                let ux_r = vx_r_row[x] * inv_c - hax;
-                let uy_r = vy_r_row[x] * inv_c - hay;
-                for (q, fr) in frows.iter_mut().enumerate() {
-                    let fneq = fr[x] - feq2(q, rho_r, ux_r, uy_r);
-                    fr[x] = feq2(q, rho_f, ux_f, uy_f) + fneq;
-                }
+            if fast {
+                filter_field2(&mut mac.rho, sx, mask, p.filter_eps, 0);
+                filter_field2(&mut mac.vx, sx, mask, p.filter_eps, 0);
+                filter_field2(&mut mac.vy, sx, mask, p.filter_eps, 0);
+            } else {
+                filter_field2_scalar(&mut mac.rho, sx, mask, p.filter_eps, 0);
+                filter_field2_scalar(&mut mac.vx, sx, mask, p.filter_eps, 0);
+                filter_field2_scalar(&mut mac.vy, sx, mask, p.filter_eps, 0);
             }
         }
+        self.resynthesize(t, fast);
         t.step += 1;
+    }
+
+    fn resynthesize(&self, t: &mut TileState2, fast: bool) {
+        let ny = t.ny() as isize;
+        let p = t.params;
+        let rp = ResynP {
+            inv_c: p.dt / p.dx,
+            hax: 0.5 * p.accel_to_lattice(p.body_force[0]),
+            hay: 0.5 * p.accel_to_lattice(p.body_force[1]),
+        };
+        let nb = if fast { kernels::bands_for(0, ny) } else { 1 };
+        let TileState2 {
+            mac,
+            mac_new,
+            f,
+            mask,
+            ..
+        } = t;
+        let src_rows = |j: isize| ResynRows {
+            rho_f: mac.rho.interior_row(j),
+            vx_f: mac.vx.interior_row(j),
+            vy_f: mac.vy.interior_row(j),
+            rho_r: mac_new.rho.interior_row(j),
+            vx_r: mac_new.vx.interior_row(j),
+            vy_r: mac_new.vy.interior_row(j),
+        };
+        if nb <= 1 {
+            for j in 0..ny {
+                let mrow = mask.interior_row(j);
+                let src = src_rows(j);
+                let mut fit = f.iter_mut();
+                let mut frows: [&mut [f64]; Q2] =
+                    std::array::from_fn(|_| fit.next().unwrap().interior_row_mut(j));
+                resyn_row(mrow, &mut frows, &src, &rp, fast);
+            }
+            return;
+        }
+        let cuts = kernels::band_cuts(0, ny, nb);
+        let mut its: Vec<_> = f
+            .iter_mut()
+            .map(|g| g.row_bands_mut(&cuts).into_iter())
+            .collect();
+        let mask = &*mask;
+        let src_rows = &src_rows;
+        rayon::scope(|s| {
+            for w in cuts.windows(2) {
+                let (ja, jb) = (w[0], w[1]);
+                let mut band: [RowBand2<'_, f64>; Q2] =
+                    std::array::from_fn(|g| its[g].next().unwrap());
+                s.spawn(move |_| {
+                    for j in ja..jb {
+                        let mrow = mask.interior_row(j);
+                        let src = src_rows(j);
+                        let mut bit = band.iter_mut();
+                        let mut frows: [&mut [f64]; Q2] = std::array::from_fn(|_| {
+                            bit.next().unwrap().row_segment_mut(j, 0, mrow.len())
+                        });
+                        resyn_row(mrow, &mut frows, &src, &rp, true);
+                    }
+                });
+            }
+        });
     }
 }
 
@@ -270,22 +669,68 @@ impl Solver2 for LatticeBoltzmann2 {
     }
 
     fn compute(&self, t: &mut TileState2, phase: usize) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
         match phase {
             0 => {
-                self.relax(t);
+                self.relax_window(t, (-3, ny + 3), (-3, nx + 3), true);
                 self.shift(t);
             }
-            1 => self.macroscopic(t),
+            1 => self.macroscopic(t, true),
             2 => {
                 // when the filter is disabled, still advance the step counter
                 if t.params.filter_eps == 0.0 {
                     t.step += 1;
                 } else {
-                    self.filter_and_resynthesize(t);
+                    self.filter_and_resynthesize(t, true);
                 }
             }
             _ => unreachable!("LBM2 has 3 compute phases"),
         }
+    }
+
+    fn compute_scalar(&self, t: &mut TileState2, phase: usize) {
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        match phase {
+            0 => {
+                self.relax_window(t, (-3, ny + 3), (-3, nx + 3), false);
+                self.shift(t);
+            }
+            1 => self.macroscopic(t, false),
+            2 => {
+                if t.params.filter_eps == 0.0 {
+                    t.step += 1;
+                } else {
+                    self.filter_and_resynthesize(t, false);
+                }
+            }
+            _ => unreachable!("LBM2 has 3 compute phases"),
+        }
+    }
+
+    fn overlapped_phase(&self, xch: usize) -> Option<usize> {
+        (xch == 0).then_some(0)
+    }
+
+    fn compute_interior(&self, t: &mut TileState2, phase: usize) {
+        assert_eq!(phase, 0, "only relax+shift overlaps the exchange");
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        // relaxation is pointwise, so interior nodes read no halo data
+        self.relax_window(t, (0, ny), (0, nx), true);
+    }
+
+    fn compute_boundary(&self, t: &mut TileState2, phase: usize) {
+        assert_eq!(phase, 0, "only relax+shift overlaps the exchange");
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        // the ghost frame around the interior window of compute_interior
+        self.relax_window(t, (-3, 0), (-3, nx + 3), true);
+        self.relax_window(t, (ny, ny + 3), (-3, nx + 3), true);
+        self.relax_window(t, (0, ny), (-3, 0), true);
+        self.relax_window(t, (0, ny), (nx, nx + 3), true);
+        self.shift(t);
     }
 
     fn pack(&self, t: &TileState2, xch: usize, face: Face2, out: &mut Vec<f64>) {
@@ -341,14 +786,12 @@ impl Solver2 for LatticeBoltzmann2 {
                 }
             }
         }
-        let f_tmp = f.clone();
         let mac_new = mac.clone();
         let scratch = vec![PaddedGrid2::new(nx, ny, h, 0.0f64)];
         TileState2 {
             mac,
             mac_new,
             f,
-            f_tmp,
             mask,
             scratch,
             params,
@@ -377,6 +820,14 @@ mod tests {
                     }
                 }
             }
+        }
+    }
+
+    fn wrap_x(solver: &LatticeBoltzmann2, t: &mut TileState2) {
+        for face in [Face2::West, Face2::East] {
+            let mut buf = Vec::new();
+            solver.pack(t, 0, face.opposite(), &mut buf);
+            solver.unpack(t, 0, face, &buf);
         }
     }
 
@@ -481,5 +932,139 @@ mod tests {
             solver.message_doubles(&t, 0, Face2::East),
             Q2 * LBM2_HALO * 12
         );
+    }
+
+    /// Two-buffer streaming exactly as the pre-rewrite solver did it.
+    fn shift_reference(t: &mut TileState2) {
+        let links = ShiftLinks2::build(&t.mask);
+        let src = t.f.clone();
+        let nx = t.nx() as isize;
+        let ny = t.ny() as isize;
+        let span = (nx + 4) as usize;
+        for (q, fq) in t.f.iter_mut().enumerate() {
+            let (ex, ey) = E2[q];
+            for j in -2..(ny + 2) {
+                let s = src[q].row_segment(j - ey, -2 - ex, span);
+                fq.row_segment_mut(j, -2, span).copy_from_slice(s);
+            }
+        }
+        for &(q, i, j) in &links.hold {
+            let (q, i, j) = (q as usize, i as isize, j as isize);
+            t.f[q][(i, j)] = src[q][(i, j)];
+        }
+        for &(q, i, j) in &links.bounce {
+            let (q, i, j) = (q as usize, i as isize, j as isize);
+            t.f[q][(i, j)] = src[OPP2[q]][(i, j)];
+        }
+    }
+
+    #[test]
+    fn in_place_shift_matches_two_buffer_reference() {
+        let mut params = FluidParams::lattice_units(0.06);
+        params.body_force[0] = 2e-5;
+        let (solver, mut a) = channel_tile(13, 9, params);
+        // a few full steps to develop non-trivial populations
+        for _ in 0..3 {
+            step_serial(&solver, &mut a, true);
+        }
+        let nx = a.nx() as isize;
+        let ny = a.ny() as isize;
+        solver.relax_window(&mut a, (-3, ny + 3), (-3, nx + 3), true);
+        let mut b = a.clone();
+        solver.shift(&mut a);
+        shift_reference(&mut b);
+        for q in 0..Q2 {
+            assert_eq!(a.f[q], b.f[q], "population {q} diverged");
+        }
+    }
+
+    #[test]
+    fn fast_and_scalar_paths_agree_bitwise() {
+        let mut params = FluidParams::lattice_units(0.07);
+        params.body_force[0] = 1e-5;
+        params.inlet_velocity[0] = 0.01;
+        let (solver, mut fast) = channel_tile(17, 11, params);
+        let mut slow = fast.clone();
+        for _ in 0..4 {
+            for op in solver.plan() {
+                match *op {
+                    StepOp::Compute(k) => {
+                        solver.compute(&mut fast, k);
+                        solver.compute_scalar(&mut slow, k);
+                    }
+                    StepOp::Exchange(_) => {
+                        wrap_x(&solver, &mut fast);
+                        wrap_x(&solver, &mut slow);
+                    }
+                }
+            }
+        }
+        assert_eq!(fast.mac.rho, slow.mac.rho);
+        assert_eq!(fast.mac.vx, slow.mac.vx);
+        assert_eq!(fast.mac.vy, slow.mac.vy);
+        for q in 0..Q2 {
+            assert_eq!(fast.f[q], slow.f[q], "population {q} diverged");
+        }
+    }
+
+    #[test]
+    fn interior_plus_boundary_equals_full_compute() {
+        let mut params = FluidParams::lattice_units(0.06);
+        params.body_force[0] = 1e-5;
+        let (solver, mut full) = channel_tile(14, 10, params);
+        for _ in 0..2 {
+            step_serial(&solver, &mut full, true);
+        }
+        let mut split = full.clone();
+        // full: exchange, then whole plan
+        wrap_x(&solver, &mut full);
+        for k in 0..3 {
+            solver.compute(&mut full, k);
+        }
+        // split: the overlapping runner packs and posts the sends first, then
+        // relaxes the interior while the halo is in flight, then unpacks and
+        // finishes the boundary
+        assert_eq!(solver.overlapped_phase(0), Some(0));
+        let sends: Vec<(Face2, Vec<f64>)> = [Face2::West, Face2::East]
+            .into_iter()
+            .map(|face| {
+                let mut buf = Vec::new();
+                solver.pack(&split, 0, face.opposite(), &mut buf);
+                (face, buf)
+            })
+            .collect();
+        solver.compute_interior(&mut split, 0);
+        for (face, buf) in &sends {
+            solver.unpack(&mut split, 0, *face, buf);
+        }
+        solver.compute_boundary(&mut split, 0);
+        for k in 1..3 {
+            solver.compute(&mut split, k);
+        }
+        assert_eq!(full.mac.rho, split.mac.rho);
+        assert_eq!(full.mac.vx, split.mac.vx);
+        assert_eq!(full.mac.vy, split.mac.vy);
+        for q in 0..Q2 {
+            assert_eq!(full.f[q], split.f[q], "population {q} diverged");
+        }
+    }
+
+    #[test]
+    fn banded_sweeps_match_serial_bitwise() {
+        let mut params = FluidParams::lattice_units(0.05);
+        params.body_force[0] = 1e-5;
+        let (solver, mut serial) = channel_tile(15, 12, params);
+        let mut banded = serial.clone();
+        for _ in 0..3 {
+            kernels::set_intra_threads(1);
+            step_serial(&solver, &mut serial, true);
+            kernels::set_intra_threads(3);
+            step_serial(&solver, &mut banded, true);
+        }
+        kernels::set_intra_threads(1);
+        assert_eq!(serial.mac.rho, banded.mac.rho);
+        for q in 0..Q2 {
+            assert_eq!(serial.f[q], banded.f[q], "population {q} diverged");
+        }
     }
 }

@@ -27,6 +27,7 @@ pub mod fields;
 pub mod filter;
 pub mod fluepipe;
 pub mod init;
+pub mod kernels;
 pub mod lbm2;
 pub mod lbm3;
 pub mod params;
@@ -42,4 +43,4 @@ pub use lbm2::LatticeBoltzmann2;
 pub use lbm3::LatticeBoltzmann3;
 pub use params::{FluidParams, MethodKind};
 pub use plan::StepOp;
-pub use solver::{Solver2, Solver3};
+pub use solver::{ScalarReference2, ScalarReference3, Solver2, Solver3};

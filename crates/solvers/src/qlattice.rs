@@ -96,6 +96,18 @@ pub fn feq2(q: usize, rho: f64, ux: f64, uy: f64) -> f64 {
     W2[q] * rho * (1.0 + 3.0 * eu + 4.5 * eu * eu - 1.5 * usq)
 }
 
+/// The equilibrium polynomial `1 + 3 e·u + 9/2 (e·u)² − 3/2 u²` with the
+/// `3/2 u²` term pre-computed (`hsq`), in exactly the association order of
+/// [`feq2`]/[`feq3`]. The unrolled solver kernels call this with `e·u`
+/// written out per lattice direction, with the `0.0 * u` terms of the dot
+/// product dropped: that can only flip the sign of a zero `eu`, and both
+/// `1.0 + 3.0*eu` and `(4.5*eu)*eu` map `+0.0` and `-0.0` to the same
+/// result, so the specialization is invisible even under bitwise comparison.
+#[inline(always)]
+pub fn eq_poly(eu: f64, hsq: f64) -> f64 {
+    (1.0 + 3.0 * eu) + (4.5 * eu) * eu - hsq
+}
+
 /// BGK equilibrium for the D3Q15 lattice.
 #[inline(always)]
 pub fn feq3(q: usize, rho: f64, ux: f64, uy: f64, uz: f64) -> f64 {

@@ -34,6 +34,9 @@ test -s /tmp/subsonic-trace-smoke/trace.json || { echo "trace export produced no
 python3 -c "import json,sys; json.load(open('/tmp/subsonic-trace-smoke/trace.json'))" \
     || { echo "trace export is not valid JSON"; exit 1; }
 
+echo "==> SIMD/overlap equivalence smoke (2 intra-tile bands, overlap on)"
+SUBSONIC_INTRA_THREADS=2 cargo test --release -q -p subsonic-integration --test simd_equivalence
+
 echo "==> bench regression guard (non-blocking: bench numbers are machine snapshots)"
 ./scripts/bench_guard.sh || echo "bench_guard: WARNING — guarded metrics regressed (non-blocking)"
 

@@ -1,10 +1,15 @@
 //! Offline stand-in for `rayon`, covering the slice this workspace uses:
-//! `par_iter_mut().for_each(..)` over a `Vec` of tiles.
+//! `par_iter_mut().for_each(..)` over a `Vec` of tiles, plus the scoped-task
+//! surface (`scope`, `Scope::spawn`, `join`, `current_num_threads`) the
+//! intra-tile row-band kernels rely on.
 //!
 //! Genuinely parallel: the slice is split into one contiguous chunk per
 //! available core and each chunk is processed on a `std::thread::scope`
-//! thread. No work stealing — fine for this workspace, where per-item cost
-//! is uniform (equal-sized tiles) and item counts are small.
+//! thread; `scope` spawns one OS thread per task. No work stealing — fine
+//! for this workspace, where per-item cost is uniform (equal-sized tiles or
+//! equal-sized row bands) and item counts are small. Callers gate on
+//! [`current_num_threads`] and skip the scope entirely when it returns 1, so
+//! the per-call thread-spawn cost is only paid where parallelism exists.
 
 /// Parallel mutable iterator over a slice (chunk-per-core execution).
 pub struct ParIterMut<'a, T> {
@@ -64,6 +69,66 @@ impl<T: Send> IntoParIterMut<T> for Vec<T> {
     }
 }
 
+/// Number of threads the pool would use — here, the number of available
+/// cores (rayon reports its pool size; the shim has no persistent pool).
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// A scope in which tasks borrowing the environment can be spawned; mirrors
+/// `rayon::Scope` (each spawned closure receives the scope again so it can
+/// spawn nested tasks).
+pub struct Scope<'scope, 'env: 'scope> {
+    ts: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns `body` into the scope on its own thread.
+    pub fn spawn<F>(&self, body: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let ts = self.ts;
+        ts.spawn(move || {
+            let nested = Scope { ts };
+            body(&nested);
+        });
+    }
+}
+
+/// Runs `op` with a [`Scope`]; returns once every spawned task has finished.
+pub fn scope<'env, F, R>(op: F) -> R
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+    R: Send,
+{
+    std::thread::scope(|ts| {
+        let s = Scope { ts };
+        op(&s)
+    })
+}
+
+/// Runs the two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|s| {
+            let hb = s.spawn(b);
+            let ra = a();
+            (ra, hb.join().expect("rayon shim: join task panicked"))
+        })
+    }
+}
+
 pub mod prelude {
     pub use crate::IntoParIterMut;
 }
@@ -77,5 +142,52 @@ mod tests {
         let mut v: Vec<u64> = (0..1000).collect();
         v.par_iter_mut().for_each(|x| *x += 1);
         assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 + 1));
+    }
+
+    // API-compatibility smoke tests: these exercise exactly the call shapes
+    // the solver kernels use, so the shim and the real crate stay
+    // interchangeable.
+
+    #[test]
+    fn scope_spawned_tasks_mutate_disjoint_bands() {
+        let mut v = vec![0u64; 97];
+        let bands: Vec<&mut [u64]> = v.chunks_mut(25).collect();
+        crate::scope(|s| {
+            for (k, band) in bands.into_iter().enumerate() {
+                s.spawn(move |_| {
+                    for x in band.iter_mut() {
+                        *x = k as u64 + 1;
+                    }
+                });
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == i as u64 / 25 + 1));
+    }
+
+    #[test]
+    fn scope_returns_value_and_supports_nested_spawn() {
+        let flag = std::sync::atomic::AtomicUsize::new(0);
+        let got = crate::scope(|s| {
+            s.spawn(|s2| {
+                flag.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                s2.spawn(|_| {
+                    flag.fetch_add(10, std::sync::atomic::Ordering::SeqCst);
+                });
+            });
+            7
+        });
+        assert_eq!(got, 7);
+        assert_eq!(flag.load(std::sync::atomic::Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    fn join_runs_both_sides() {
+        let (a, b) = crate::join(|| 2 + 2, || "ok");
+        assert_eq!((a, b), (4, "ok"));
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(crate::current_num_threads() >= 1);
     }
 }
