@@ -13,6 +13,7 @@
 
 use std::sync::Arc;
 use std::time::Instant;
+use subsonic_cluster::host::HostKind;
 use subsonic_cluster::{ClusterConfig, ClusterSim, WorkloadSpec};
 use subsonic_exec::{
     LocalRunner2, LocalRunner3, Problem2, Problem3, StepTiming, ThreadedRunner2, ThreadedRunner3,
@@ -344,6 +345,43 @@ fn cluster_sim(out: &mut Vec<PerfEntry>, steps: u64) {
     });
 }
 
+fn cluster_scale(out: &mut Vec<PerfEntry>, quick: bool) {
+    // Engine throughput at cluster sizes far past the paper's pool (the
+    // `scale` experiment's mid-size point): one process per host on a
+    // homogeneous pool, weak scaling, both topologies. Guards the calendar
+    // queue's synchronised-burst path, which the 20-process probe above
+    // never exercises.
+    let hosts = if quick { 64 } else { 1024 };
+    let px = (hosts as f64).sqrt().round() as usize;
+    let py = hosts / px;
+    for (name, switched) in [
+        ("scale_events_per_s_shared", false),
+        ("scale_events_per_s_switched", true),
+    ] {
+        let w = WorkloadSpec::new_2d(
+            subsonic_solvers::MethodKind::LatticeBoltzmann,
+            30 * px,
+            30 * py,
+            px,
+            py,
+        );
+        let mut cfg = ClusterConfig::measurement(w);
+        cfg.hosts = vec![HostKind::Hp715_50; hosts];
+        if switched {
+            cfg.net = cfg.net.switched();
+        }
+        let mut sim = ClusterSim::new(cfg);
+        let t0 = Instant::now();
+        sim.run(f64::INFINITY, Some(5));
+        let dt = t0.elapsed().as_secs_f64();
+        out.push(PerfEntry {
+            name: name.into(),
+            value: sim.events_processed() as f64 / dt,
+            unit: "events/s".into(),
+        });
+    }
+}
+
 fn fault_recovery(out: &mut Vec<PerfEntry>, quick: bool) {
     // The recovery-cost vs checkpoint-interval curve of the `faults`
     // experiment (simulated seconds, deterministic — not wall-clock), plus
@@ -420,6 +458,7 @@ pub fn run_suite_obs(quick: bool, metrics: Option<&MetricsRegistry>) -> Vec<Perf
         t3_steps,
     );
     cluster_sim(&mut out, if quick { 20 } else { 400 });
+    cluster_scale(&mut out, quick);
     fault_recovery(&mut out, quick);
     failure_detection(&mut out, quick);
     if let Some(reg) = metrics {
@@ -504,6 +543,8 @@ mod tests {
             "threaded3_lb_2x2x1",
             "threaded3_lb_2x2x1_overlap",
             "cluster_sim_events",
+            "scale_events_per_s_shared",
+            "scale_events_per_s_switched",
             "recovery_interval_tight",
             "recovery_cost_tight",
             "recovery_cost_mid",

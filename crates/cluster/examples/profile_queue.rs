@@ -1,0 +1,54 @@
+//! Microbenchmark of raw queue ops: the calendar `EventQueue` against the
+//! PR 6 `ReferenceEventQueue` binary heap on an identical schedule/pop
+//! pattern (~100 pending events, varied gaps). Isolates queue cost from the
+//! rest of the simulator:
+//!
+//! ```text
+//! cargo run --release -p subsonic-cluster --example profile_queue
+//! ```
+use std::time::Instant;
+use subsonic_cluster::events::{EventKind, EventQueue};
+use subsonic_cluster::reference::ReferenceEventQueue;
+
+fn main() {
+    const N: usize = 2_000_000;
+    // Pattern: hold ~100 pending events, exponential-ish gaps.
+    let mut q = EventQueue::new();
+    let mut x: u64 = 0x9e3779b97f4a7c15;
+    let mut rng = || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        (x >> 11) as f64 / (1u64 << 53) as f64
+    };
+    for _ in 0..100 {
+        q.schedule(rng() * 0.01, EventKind::MonitorTick);
+    }
+    let t0 = Instant::now();
+    for _ in 0..N {
+        let (_, _) = q.pop().unwrap();
+        q.schedule(rng() * 0.01, EventKind::MonitorTick);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "calendar: {:.1} ns/op  ({:.3e} ops/s)",
+        dt / N as f64 * 1e9,
+        N as f64 / dt
+    );
+
+    let mut q = ReferenceEventQueue::new();
+    for _ in 0..100 {
+        q.schedule(rng() * 0.01, EventKind::MonitorTick);
+    }
+    let t0 = Instant::now();
+    for _ in 0..N {
+        let (_, _) = q.pop().unwrap();
+        q.schedule(rng() * 0.01, EventKind::MonitorTick);
+    }
+    let dt = t0.elapsed().as_secs_f64();
+    println!(
+        "reference: {:.1} ns/op  ({:.3e} ops/s)",
+        dt / N as f64 * 1e9,
+        N as f64 / dt
+    );
+}

@@ -1,0 +1,32 @@
+//! Standalone driver for the `cluster_sim_events` bench workload (the
+//! section-7 measurement run), for profiling the event loop under
+//! `gprofng`/`perf` without the rest of the bench suite:
+//!
+//! ```text
+//! cargo run --release -p subsonic-cluster --example profile_sim -- 200000
+//! ```
+use std::time::Instant;
+use subsonic_cluster::{ClusterConfig, ClusterSim, WorkloadSpec};
+
+fn main() {
+    let steps: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(400);
+    let workload = WorkloadSpec::new_2d(
+        subsonic_solvers::MethodKind::LatticeBoltzmann,
+        750,
+        600,
+        5,
+        4,
+    );
+    let mut sim = ClusterSim::new(ClusterConfig::measurement(workload));
+    let t0 = Instant::now();
+    sim.run(1.0e9, Some(steps));
+    let dt = t0.elapsed().as_secs_f64();
+    let rate = sim.events_processed() as f64 / dt;
+    println!(
+        "events={} dt={dt:.3}s rate={rate:.4e}",
+        sim.events_processed()
+    );
+}

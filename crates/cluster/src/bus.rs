@@ -1,4 +1,5 @@
-//! Network models: the shared-bus Ethernet and an idealised switch.
+//! Network models: the shared-bus Ethernet and an idealised switch, tracked
+//! in virtual service time.
 //!
 //! The shared bus is a processor-sharing queue: `k` concurrent transfers each
 //! progress at `bandwidth / k`, which is what makes the per-step
@@ -8,10 +9,43 @@
 //! which dominates for small messages — the effect the paper observes in
 //! Figure 5 at subregions below 100² and declines to model.
 //!
+//! **Virtual service time.** Instead of storing per-transfer residual byte
+//! counters and re-walking every in-flight transfer on each event (the PR 6
+//! model, pinned in [`crate::reference::ReferenceNetworkModel`]), the model
+//! keeps ONE global accumulator `v` that advances at the per-share service
+//! rate: `dv/dt = bandwidth / k(t)` on the bus, `dv/dt = bandwidth` on the
+//! switch. A transfer admitted with `total` bytes at endpoint share
+//! `rate_scale` receives `rate_scale · dv` bytes per unit of virtual time,
+//! so its finish point `v_fin = v + total / rate_scale` is **fixed at
+//! admission** — share recomputation on every join/leave is implicit in the
+//! accumulator's rate and costs nothing per transfer. Completions are found
+//! through an indexed min-heap keyed by `(v_fin, admission seq)` over
+//! slab-allocated transfer records: `advance` is O(1), `next_completion` is
+//! O(1) (a heap peek), and `complete_due` is O(log n) per completed transfer
+//! — where the PR 6 model paid O(n) per event for each of them plus an
+//! O(n) `Vec::remove` shift per completion. This is the fair
+//! throughput-sharing scheme of dslab's `SharedBandwidthNetwork`, specialised
+//! to the paper's single shared medium.
+//!
+//! Time-to-finish is share-independent: a transfer needing `r` residual bytes
+//! at share `s` finishes after `r / (s·dv/dt)` seconds, and `r = (v_fin −
+//! v)·s`, so the wall distance is `(v_fin − v) / (dv/dt)` for every transfer
+//! — which is why one global heap order in `v_fin` is also the completion
+//! order in simulated time.
+//!
+//! **Completion order** is documented and pinned: payloads come back from
+//! [`NetworkModel::complete_due`] ordered by `(finish virtual time, admission
+//! order)`. Transfers that finish simultaneously (equal `v_fin` — e.g.
+//! identical messages admitted at the same instant) are delivered in the
+//! order they entered the wire, exactly the PR 6 index order.
+//!
 //! Under heavy load the shared bus loses messages: "the TCP/IP protocol fails
 //! to deliver messages after excessive retransmissions" (section 7). We model
 //! saturation as extra transmission rounds sampled when the bus is congested,
 //! and count an error when the rounds exceed the TCP give-up limit.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -190,20 +224,69 @@ pub struct Completion {
     pub started: f64,
 }
 
+/// One in-flight transfer, parked in the slab until its virtual finish point
+/// is reached.
 #[derive(Debug, Clone)]
 struct Transfer {
-    remaining: f64,  // bytes still to move (including overhead-equivalent)
-    rate_scale: f64, // endpoint CPU cap: fraction of the bus share usable
     payload: TransferPayload,
     lost: bool,   // UDP: transmitted but dropped before the receiver
     started: f64, // wire time of the first transmission
 }
 
-/// The simulated network.
+/// A 24-byte completion-heap node: everything ordering needs without
+/// touching the slab.
+#[derive(Debug, Clone, Copy)]
+struct DueNode {
+    /// Virtual service time at which the transfer finishes.
+    v_fin: f64,
+    /// Admission order (completion-order tie-break for simultaneous
+    /// finishes).
+    seq: u64,
+    /// Slab index of the transfer record.
+    slot: u32,
+}
+
+impl PartialEq for DueNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.v_fin == other.v_fin && self.seq == other.seq
+    }
+}
+impl Eq for DueNode {}
+impl PartialOrd for DueNode {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DueNode {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest (v_fin, seq)
+        // pops first.
+        other
+            .v_fin
+            .total_cmp(&self.v_fin)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulated network: a virtual-service-time processor-sharing queue
+/// with an indexed completion heap.
 #[derive(Debug)]
 pub struct NetworkModel {
     cfg: NetworkConfig,
-    transfers: Vec<Transfer>,
+    /// Virtual service time: bytes a hypothetical share-1.0 transfer would
+    /// have moved since the model was created. Advances at `bandwidth / k`
+    /// on the bus and `bandwidth` on the switch; frozen while idle.
+    v: f64,
+    /// Completion heap over the slab, keyed by `(v_fin, seq)`.
+    due: BinaryHeap<DueNode>,
+    /// Transfer records; `None` marks a free slot.
+    slab: Vec<Option<Transfer>>,
+    free: Vec<u32>,
+    /// Live transfers (`due.len()` — kept separately so the share divisor is
+    /// a plain field read on the hot path).
+    active: usize,
+    /// Admission counter (completion-order tie-break).
+    seq: u64,
     last_advance: f64,
     epoch: u64,
     forced_saturation: bool,
@@ -217,6 +300,10 @@ pub struct NetworkModel {
     pub losses: u64,
     /// Integral of (active transfers > 0) — bus busy time in seconds.
     pub busy_time: f64,
+    /// Completions taken through the ulp-rounding fallback rather than the
+    /// tolerance window (diagnostic; a large count means the clock's
+    /// granularity is close to the wire granularity).
+    pub forced_completions: u64,
 }
 
 impl NetworkModel {
@@ -224,7 +311,12 @@ impl NetworkModel {
     pub fn new(cfg: NetworkConfig) -> Self {
         Self {
             cfg,
-            transfers: Vec::new(),
+            v: 0.0,
+            due: BinaryHeap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            active: 0,
+            seq: 0,
             last_advance: 0.0,
             epoch: 0,
             forced_saturation: false,
@@ -233,6 +325,7 @@ impl NetworkModel {
             errors: 0,
             losses: 0,
             busy_time: 0.0,
+            forced_completions: 0,
         }
     }
 
@@ -248,7 +341,7 @@ impl NetworkModel {
 
     /// Number of in-flight transfers.
     pub fn active(&self) -> usize {
-        self.transfers.len()
+        self.active
     }
 
     /// Forces saturation behaviour regardless of the in-flight transfer
@@ -265,22 +358,24 @@ impl NetworkModel {
         self.forced_saturation
     }
 
-    fn per_transfer_rate(&self) -> f64 {
+    /// Rate of the virtual-service accumulator in bytes (at share 1.0) per
+    /// second: the per-transfer share of the medium.
+    #[inline]
+    fn v_rate(&self) -> f64 {
         let b = self.cfg.bytes_per_sec();
         match self.cfg.kind {
-            NetworkKindCfg::SharedBus => b / self.transfers.len().max(1) as f64,
+            NetworkKindCfg::SharedBus => b / self.active.max(1) as f64,
             NetworkKindCfg::Switched => b,
         }
     }
 
-    /// Progresses all in-flight transfers up to `now`.
+    /// Progresses the virtual clock up to `now`. O(1): no transfer record is
+    /// touched — each transfer's progress is implied by `v − v_admit`.
+    #[inline]
     fn advance(&mut self, now: f64) {
         let dt = (now - self.last_advance).max(0.0);
-        if dt > 0.0 && !self.transfers.is_empty() {
-            let moved = dt * self.per_transfer_rate();
-            for t in &mut self.transfers {
-                t.remaining -= moved * t.rate_scale;
-            }
+        if dt > 0.0 && self.active > 0 {
+            self.v += dt * self.v_rate();
             self.busy_time += dt;
         }
         self.last_advance = now;
@@ -337,7 +432,7 @@ impl NetworkModel {
         );
         self.advance(now);
         let saturated = self.cfg.kind == NetworkKindCfg::SharedBus
-            && (self.forced_saturation || self.transfers.len() >= self.cfg.saturation_transfers);
+            && (self.forced_saturation || self.active >= self.cfg.saturation_transfers);
         let (overhead_bytes, rounds, lost) = match self.cfg.transport {
             Transport::Tcp => {
                 let overhead = self.cfg.overhead_s * self.cfg.bytes_per_sec();
@@ -369,82 +464,132 @@ impl NetworkModel {
         if !lost {
             self.bytes_delivered += bytes;
         }
-        self.transfers.push(Transfer {
-            remaining: total,
-            rate_scale,
+        let record = Transfer {
             payload,
             lost,
             started: now,
+        };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slab[i as usize] = Some(record);
+                i
+            }
+            None => {
+                self.slab.push(Some(record));
+                (self.slab.len() - 1) as u32
+            }
+        };
+        self.due.push(DueNode {
+            // Fixed at admission: the transfer receives `rate_scale` bytes
+            // per unit of virtual service, so it needs `total / rate_scale`
+            // units to move `total` bytes.
+            v_fin: self.v + total / rate_scale,
+            seq: self.seq,
+            slot,
         });
+        self.seq += 1;
+        self.active += 1;
         self.epoch += 1;
     }
 
     /// Absolute time at which the earliest in-flight transfer completes.
+    /// O(1): a heap peek plus the virtual-to-wall conversion, which is
+    /// share-independent (see the module docs).
     pub fn next_completion(&self) -> Option<f64> {
-        let rate = self.per_transfer_rate();
-        let min = self
-            .transfers
-            .iter()
-            .map(|t| t.remaining.max(0.0) / (rate * t.rate_scale))
-            .fold(f64::INFINITY, f64::min);
-        if min.is_finite() {
-            Some(self.last_advance + min)
-        } else {
-            None
-        }
+        let top = self.due.peek()?;
+        Some(self.last_advance + (top.v_fin - self.v).max(0.0) / self.v_rate())
     }
 
-    /// Completes every transfer due at `now`, returning their payloads in a
-    /// deterministic order.
+    /// Completes every transfer due at `now`, returning their payloads
+    /// ordered by `(finish virtual time, admission order)` — simultaneous
+    /// finishes deliver in the order they entered the wire.
     ///
-    /// The completion tolerance is a milli-byte: late in long simulations the
-    /// f64 clock's ulp times the wire rate can leave micro-byte residues on a
-    /// transfer that was scheduled to finish exactly now, and a too-tight
-    /// tolerance would reschedule the completion at the *same* rounded time
-    /// forever. If rounding leaves even more than that, the caller-observed
+    /// The completion tolerance scales with the clock's resolution:
+    /// a transfer is due when its residual wire time is below a few ulps of
+    /// `now` — the finest distinction the f64 simulation clock can represent
+    /// at this moment. Late in long runs (the 1e9-simulated-second drift
+    /// test) the ulp of the clock times the wire rate dwarfs the PR 6 model's
+    /// fixed milli-byte window, which would have rescheduled the completion
+    /// at the *same* rounded time forever; early in a run the window is
+    /// billions of times tighter than a milli-byte, so a transfer can no
+    /// longer be delivered a sub-byte of wire time early.
+    ///
+    /// If rounding leaves a residue beyond even that, the caller-observed
     /// invariant still holds: a valid-epoch completion event always finishes
-    /// at least the earliest transfer (see the fallback below).
+    /// at least the earliest transfer (the fallback completes the heap
+    /// minimum whenever its completion time rounds to `<= now`).
     pub fn complete_due(&mut self, now: f64) -> Vec<Completion> {
-        self.advance(now);
         let mut done = Vec::new();
-        let mut i = 0;
-        while i < self.transfers.len() {
-            if self.transfers[i].remaining <= 1e-3 {
-                let t = self.transfers.remove(i);
-                self.messages += 1;
-                done.push(Completion {
-                    payload: t.payload,
-                    delivered: !t.lost,
-                    started: t.started,
-                });
-            } else {
-                i += 1;
+        self.complete_due_into(now, &mut done);
+        done
+    }
+
+    /// [`Self::complete_due`] into a caller-owned buffer (cleared first), so
+    /// the per-`NetDone` hot path reuses one allocation across events.
+    pub fn complete_due_into(&mut self, now: f64, done: &mut Vec<Completion>) {
+        done.clear();
+        self.advance(now);
+        // Tolerance in virtual units. Residual wire time of the heap top is
+        // `(v_fin − v) / v_rate`, so "due within a few ulps of the clock"
+        // means `v_fin − v <= ulp(now)·v_rate`, plus a few ulps of the
+        // accumulator itself for the rounding `advance` just performed.
+        let eps = 4.0 * (ulp(now) * self.v_rate() + ulp(self.v));
+        while let Some(&top) = self.due.peek() {
+            if top.v_fin > self.v + eps {
+                break;
             }
+            self.due.pop();
+            self.finish(top, done);
         }
-        if done.is_empty() && !self.transfers.is_empty() {
-            // Float-rounding fallback: the event fired for this epoch, so the
-            // earliest transfer was due — complete it regardless of residue.
-            let (idx, _) = self
-                .transfers
-                .iter()
-                .enumerate()
-                .min_by(|a, b| a.1.remaining.total_cmp(&b.1.remaining))
-                .unwrap();
-            if self.transfers[idx].remaining < 1.0 {
-                let t = self.transfers.remove(idx);
-                self.messages += 1;
-                done.push(Completion {
-                    payload: t.payload,
-                    delivered: !t.lost,
-                    started: t.started,
-                });
+        if done.is_empty() && self.active > 0 {
+            // Ulp-rounding fallback: the event fired for this epoch, so the
+            // earliest transfer was due. If its completion time rounds to
+            // `<= now`, waiting cannot help — no future f64 instant gets
+            // closer — so complete it regardless of residue.
+            let &top = self.due.peek().expect("active transfers but empty heap");
+            let finish_at = self.last_advance + (top.v_fin - self.v).max(0.0) / self.v_rate();
+            if finish_at <= now {
+                self.due.pop();
+                self.forced_completions += 1;
+                self.finish(top, done);
             }
         }
         if !done.is_empty() {
             self.epoch += 1;
         }
-        done
     }
+
+    /// Retires one heap node: frees its slab slot and records the
+    /// completion.
+    fn finish(&mut self, node: DueNode, done: &mut Vec<Completion>) {
+        let t = self.slab[node.slot as usize]
+            .take()
+            .expect("completion heap pointed at a free slot");
+        self.free.push(node.slot);
+        self.active -= 1;
+        self.messages += 1;
+        done.push(Completion {
+            payload: t.payload,
+            delivered: !t.lost,
+            started: t.started,
+        });
+    }
+
+    /// Approximate resident bytes of the model's structures (capacity-based;
+    /// the scale experiment uses this for its per-host memory bound).
+    pub fn approx_bytes(&self) -> usize {
+        self.slab.capacity() * std::mem::size_of::<Option<Transfer>>()
+            + self.due.capacity() * std::mem::size_of::<DueNode>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + std::mem::size_of::<Self>()
+    }
+}
+
+/// Distance from `x` to the next representable f64 — the clock/accumulator
+/// granularity the completion tolerance scales with.
+#[inline]
+fn ulp(x: f64) -> f64 {
+    x.abs().next_up() - x.abs()
 }
 
 #[cfg(test)]
@@ -685,5 +830,149 @@ mod tests {
         let e0 = net.epoch();
         net.start_transfer(0.0, 10.0, TransferPayload::Dump { proc_id: 0 }, &mut rng());
         assert!(net.epoch() > e0);
+    }
+
+    #[test]
+    fn simultaneous_completions_deliver_in_admission_order() {
+        // The documented completion order: (finish virtual time, admission
+        // order). Four identical transfers admitted back-to-back at t = 0
+        // share the bus symmetrically, finish at the same instant, and must
+        // come back 0, 1, 2, 3 — the PR 6 index order the indexed heap is
+        // not allowed to shuffle.
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        };
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        for i in 0..4 {
+            net.start_transfer(0.0, 50_000.0, TransferPayload::Dump { proc_id: i }, &mut r);
+        }
+        let t = net.next_completion().unwrap();
+        let done = net.complete_due(t);
+        let order: Vec<usize> = done
+            .iter()
+            .map(|c| match c.payload {
+                TransferPayload::Dump { proc_id } => proc_id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn staggered_completions_deliver_in_finish_order() {
+        // Different finish points in ONE complete_due call (the second
+        // transfer completes strictly later but the caller only drains at
+        // the later instant): order is by finish virtual time, not by
+        // admission order.
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        }
+        .switched();
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        net.start_transfer(0.0, 100_000.0, TransferPayload::Dump { proc_id: 9 }, &mut r);
+        net.start_transfer(0.0, 50_000.0, TransferPayload::Dump { proc_id: 3 }, &mut r);
+        // drain both at the later completion: the shorter (later-admitted)
+        // transfer finished first
+        let done = net.complete_due(0.08);
+        let order: Vec<usize> = done
+            .iter()
+            .map(|c| match c.payload {
+                TransferPayload::Dump { proc_id } => proc_id,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, vec![3, 9]);
+    }
+
+    #[test]
+    fn completion_tolerance_scales_with_clock_ulp() {
+        // A transfer with half a byte of wire time left is NOT due early in
+        // a run (ulp(now)·rate is ~1e-11 bytes at t ≈ 0.1 s): the PR 6
+        // force-complete fallback would have delivered it up to a byte of
+        // wire time early.
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        };
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        net.start_transfer(0.0, 125_000.0, TransferPayload::Dump { proc_id: 0 }, &mut r);
+        // 0.5 bytes short of completion: 124999.5 bytes moved by t
+        let t_early = 124_999.5 / 1.25e6;
+        let done = net.complete_due(t_early);
+        assert!(
+            done.is_empty(),
+            "sub-byte residue must not complete early: {done:?}"
+        );
+        // ...but the true completion instant still delivers
+        let t = net.next_completion().unwrap();
+        let done = net.complete_due(t);
+        assert_eq!(done.len(), 1);
+        assert_eq!(net.forced_completions, 0);
+    }
+
+    #[test]
+    fn long_run_drift_completions_never_stall_or_arrive_early() {
+        // Satellite drift test: after 1e9 simulated seconds the virtual
+        // accumulator sits near 1.25e15 bytes, where one ulp is ~0.25 bytes
+        // — ABOVE the PR 6 milli-byte tolerance, which would have spun
+        // rescheduling the completion at the same rounded time forever.
+        // Drive 1000 sequential transfers from t = 1e9 and require each to
+        // complete (progress), never more than one ulp-of-wire-time early
+        // (no drift-induced early delivery), and never observably late.
+        let cfg = NetworkConfig {
+            overhead_s: 0.0,
+            ..NetworkConfig::default()
+        };
+        let mut net = NetworkModel::new(cfg);
+        let mut r = rng();
+        let rate = cfg.bytes_per_sec();
+        // push the accumulator to the 1e9-second regime with one long
+        // transfer (1e9 s of wire time at full rate)
+        net.start_transfer(
+            0.0,
+            1.0e9 * rate,
+            TransferPayload::Dump { proc_id: 0 },
+            &mut r,
+        );
+        let t = net.next_completion().unwrap();
+        assert!((t - 1.0e9).abs() / 1.0e9 < 1e-12, "long transfer at {t}");
+        assert_eq!(net.complete_due(t).len(), 1, "long transfer must complete");
+        let mut now = t;
+        for i in 0..1000 {
+            let bytes = 1000.0 + (i % 7) as f64 * 333.0;
+            net.start_transfer(now, bytes, TransferPayload::Dump { proc_id: 1 }, &mut r);
+            let t_done = net.next_completion().expect("transfer pending");
+            let wire = bytes / rate;
+            assert!(
+                t_done - now >= wire - 4.0 * ulp(now),
+                "iteration {i}: completion {t_done} is early by more than \
+                 ulp-scale (start {now}, wire {wire})"
+            );
+            assert!(
+                t_done - now <= wire + 4.0 * ulp(now) + 4.0 * ulp(net.v) / rate,
+                "iteration {i}: completion {t_done} drifted late"
+            );
+            let done = net.complete_due(t_done);
+            assert_eq!(done.len(), 1, "iteration {i}: completion stalled");
+            assert!(t_done >= now, "clock went backwards");
+            now = t_done;
+        }
+        assert_eq!(net.active(), 0);
+    }
+
+    #[test]
+    fn memory_footprint_is_reported() {
+        let mut net = NetworkModel::new(NetworkConfig::default());
+        let mut r = rng();
+        for i in 0..100 {
+            net.start_transfer(0.0, 1000.0, TransferPayload::Dump { proc_id: i }, &mut r);
+        }
+        assert!(net.approx_bytes() > 100 * std::mem::size_of::<DueNode>());
+        assert_eq!(net.active(), 100);
     }
 }

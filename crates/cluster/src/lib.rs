@@ -37,6 +37,7 @@ pub mod host;
 pub mod measure;
 pub mod policy;
 pub mod process;
+pub mod reference;
 pub mod sim;
 pub mod stats;
 pub mod transport;

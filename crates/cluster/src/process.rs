@@ -1,7 +1,5 @@
 //! The parallel-subprocess state machine.
 
-use std::collections::{HashMap, HashSet};
-
 /// What a process is doing right now.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ProcState {
@@ -67,6 +65,112 @@ pub enum CkptResume {
     Restart,
 }
 
+/// Received-but-unconsumed halo messages, keyed by `(step, xch)`.
+///
+/// A flat vector beats a hash map by an order of magnitude here: a process
+/// holds only a handful of in-flight exchanges at once (the current one plus
+/// whatever a fast neighbour ran ahead and delivered), each with at most a
+/// stencil's worth of senders, and `receive`/`have_all` sit directly on the
+/// halo-delivery hot path of the event loop, where SipHash dominated the
+/// lookup cost. Sender ids live in a fixed inline array per entry (a stencil
+/// has at most a few neighbours per exchange; a rare wider fan-in spills to
+/// a heap vector), so the steady state is one contiguous scan with no
+/// pointer chasing and no allocation.
+#[derive(Debug, Clone, Default)]
+pub struct Inbox {
+    entries: Vec<InboxEntry>,
+}
+
+/// Senders stored inline before spilling; 8 covers a full 2-D Moore
+/// neighbourhood in one exchange.
+const INBOX_INLINE: usize = 8;
+
+#[derive(Debug, Clone)]
+struct InboxEntry {
+    step: u64,
+    xch: u32,
+    n_inline: u32,
+    inline: [u32; INBOX_INLINE],
+    spill: Vec<u32>,
+}
+
+impl InboxEntry {
+    #[inline]
+    fn contains(&self, from: u32) -> bool {
+        self.inline[..self.n_inline as usize].contains(&from) || self.spill.contains(&from)
+    }
+
+    #[inline]
+    fn push(&mut self, from: u32) {
+        if (self.n_inline as usize) < INBOX_INLINE {
+            self.inline[self.n_inline as usize] = from;
+            self.n_inline += 1;
+        } else {
+            self.spill.push(from);
+        }
+    }
+}
+
+impl Inbox {
+    #[inline]
+    fn find(&self, step: u64, xch: usize) -> Option<usize> {
+        self.entries
+            .iter()
+            .position(|e| e.step == step && e.xch == xch as u32)
+    }
+
+    /// Records a sender for `(step, xch)`; returns `true` if it was new.
+    pub fn insert(&mut self, step: u64, xch: usize, from: usize) -> bool {
+        let from = from as u32;
+        match self.find(step, xch) {
+            Some(i) => {
+                let e = &mut self.entries[i];
+                if e.contains(from) {
+                    false
+                } else {
+                    e.push(from);
+                    true
+                }
+            }
+            None => {
+                let mut e = InboxEntry {
+                    step,
+                    xch: xch as u32,
+                    n_inline: 0,
+                    inline: [0; INBOX_INLINE],
+                    spill: Vec::new(),
+                };
+                e.push(from);
+                self.entries.push(e);
+                true
+            }
+        }
+    }
+
+    /// Whether every sender in `needed` has delivered for `(step, xch)`.
+    pub fn have_all(&self, step: u64, xch: usize, needed: &[usize]) -> bool {
+        match self.find(step, xch) {
+            Some(i) => {
+                let e = &self.entries[i];
+                needed.iter().all(|&n| e.contains(n as u32))
+            }
+            None => needed.is_empty(),
+        }
+    }
+
+    /// Drops the `(step, xch)` entry.
+    pub fn remove(&mut self, step: u64, xch: usize) {
+        if let Some(i) = self.find(step, xch) {
+            self.entries.swap_remove(i);
+        }
+    }
+
+    /// Drops every entry (rollback).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
 /// A halo send whose wire transmission is held back until the receiver posts
 /// the matching receive (the rendezvous step-coupling: TCP's flow control
 /// keeps a sender from streaming into a peer that is still computing, so the
@@ -101,7 +205,7 @@ pub struct SimProcess {
     /// Epoch guarding `ComputeDone`/`DumpTransferDone` events.
     pub epoch: u64,
     /// Received halo messages: `(step, xch) → set of sender ids`.
-    pub inbox: HashMap<(u64, usize), HashSet<usize>>,
+    pub inbox: Inbox,
     /// Sends deferred by strict ordering (Appendix C): `(peer, bytes, xch)`.
     pub deferred_sends: Vec<(usize, f64, usize)>,
     /// Inbound halo sends addressed to this process whose transmission waits
@@ -140,7 +244,7 @@ impl SimProcess {
             phase: 0,
             state: ProcState::Done, // overwritten by the sim at start
             epoch: 0,
-            inbox: HashMap::new(),
+            inbox: Inbox::default(),
             deferred_sends: Vec::new(),
             staged_in: Vec::new(),
             catchup_pending: false,
@@ -156,15 +260,12 @@ impl SimProcess {
 
     /// Records an arrived message; returns `true` if it was new.
     pub fn receive(&mut self, step: u64, xch: usize, from: usize) -> bool {
-        self.inbox.entry((step, xch)).or_default().insert(from)
+        self.inbox.insert(step, xch, from)
     }
 
     /// Whether all `needed` senders have delivered for `(step, xch)`.
     pub fn have_all(&self, step: u64, xch: usize, needed: &[usize]) -> bool {
-        match self.inbox.get(&(step, xch)) {
-            Some(got) => needed.iter().all(|n| got.contains(n)),
-            None => needed.is_empty(),
-        }
+        self.inbox.have_all(step, xch, needed)
     }
 
     /// Drops the inbox entry for a completed exchange (bounded memory) and
@@ -172,7 +273,7 @@ impl SimProcess {
     /// out of `(step, xch)` order relative to the previous one (which the
     /// reliable transport is supposed to make impossible).
     pub fn consume(&mut self, step: u64, xch: usize) -> bool {
-        self.inbox.remove(&(step, xch));
+        self.inbox.remove(step, xch);
         let in_order = self.last_consumed.is_none_or(|prev| prev < (step, xch));
         self.last_consumed = Some((step, xch));
         in_order

@@ -16,7 +16,7 @@
 //!   "one after the other in an orderly fashion, allowing sufficient time
 //!   gaps" so the network and file server are not monopolised.
 
-use crate::bus::{NetworkConfig, NetworkModel, TransferPayload};
+use crate::bus::{Completion, NetworkConfig, NetworkModel, TransferPayload};
 use crate::events::{EventKind, EventQueue};
 use crate::fault::{FaultEvent, FaultPlan, TRANSPORT_STREAM_SALT};
 use crate::host::{HostKind, HostState};
@@ -34,7 +34,7 @@ use crate::user::{exp_sample, UserModelConfig};
 use crate::workload::{PhaseSpec, WorkloadSpec};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use subsonic_obs::{Category, FlightRecorder, TrackRecorder};
 
 /// Flight-recorder process id for cluster-simulation tracks.
@@ -301,6 +301,15 @@ pub struct ClusterSim {
     net_partitions: Vec<PartitionState>,
     /// Per-host failure-detector context.
     det: Vec<DetCtx>,
+    /// Reused completion buffer for the `NetDone` hot path.
+    net_done_buf: Vec<Completion>,
+    /// Ring histogram of process step counts: `step_counts[i]` = processes
+    /// at step `step_lo + i`. Keeps the skew statistic O(1) per step
+    /// completion instead of a full scan of the pool (which was quadratic in
+    /// cluster size per lockstep round).
+    step_counts: VecDeque<u32>,
+    /// Step of the slowest process (`step_counts` front).
+    step_lo: u64,
 }
 
 impl ClusterSim {
@@ -381,6 +390,9 @@ impl ClusterSim {
             msg_windows,
             net_partitions,
             det: vec![DetCtx::new(); n_hosts],
+            net_done_buf: Vec::new(),
+            step_counts: VecDeque::from([n_proc as u32]),
+            step_lo: 0,
             cfg,
         };
 
@@ -527,7 +539,11 @@ impl ClusterSim {
     /// completed `target_steps`, whichever comes first. Returns statistics.
     pub fn run(&mut self, t_end: f64, target_steps: Option<u64>) -> ClusterStats {
         self.target_steps = target_steps;
-        self.q.schedule_at(t_end, EventKind::Stop);
+        // The end-of-window sentinel is cancelled by handle when the run
+        // stops early (every process reached its target): the PR 6 queue had
+        // no cancellation, so the stale `Stop` leaked into a subsequent
+        // `run()` call and could end it instantly.
+        let stop = self.q.schedule_at_cancellable(t_end, EventKind::Stop);
         while let Some((_, ev)) = self.q.pop() {
             match ev {
                 EventKind::Stop => break,
@@ -537,6 +553,7 @@ impl ClusterSim {
                 break;
             }
         }
+        self.q.cancel(stop);
         self.finalize()
     }
 
@@ -549,7 +566,7 @@ impl ClusterSim {
         max_events: u64,
     ) -> ClusterStats {
         self.target_steps = target_steps;
-        self.q.schedule_at(t_end, EventKind::Stop);
+        let stop = self.q.schedule_at_cancellable(t_end, EventKind::Stop);
         let mut count = 0u64;
         while let Some((t, ev)) = self.q.pop() {
             count += 1;
@@ -572,6 +589,7 @@ impl ClusterSim {
                 break;
             }
         }
+        self.q.cancel(stop);
         self.finalize()
     }
 
@@ -581,6 +599,8 @@ impl ClusterSim {
 
     fn dispatch(&mut self, ev: EventKind) {
         self.events_processed += 1;
+        self.stats.peak_queue_events = self.stats.peak_queue_events.max(self.q.len());
+        self.stats.peak_net_transfers = self.stats.peak_net_transfers.max(self.net.active());
         match ev {
             EventKind::ComputeDone { proc_id, epoch } => self.on_compute_done(proc_id, epoch),
             EventKind::NetDone { epoch } => self.on_net_done(epoch),
@@ -751,9 +771,10 @@ impl ClusterSim {
 
     fn complete_step(&mut self, pid: usize) {
         let now = self.now();
+        let from_step = self.procs[pid].step;
         self.procs[pid].step += 1;
         self.procs[pid].phase = 0;
-        self.update_skew();
+        self.note_step_advance(from_step);
 
         if let Some(t) = self.target_steps {
             if self.procs[pid].step >= t {
@@ -795,15 +816,42 @@ impl ClusterSim {
         }
     }
 
-    fn update_skew(&mut self) {
-        let mut lo = u64::MAX;
-        let mut hi = 0u64;
-        for p in &self.procs {
-            lo = lo.min(p.step);
-            hi = hi.max(p.step);
+    /// O(1) skew bookkeeping for a process advancing `from_step` →
+    /// `from_step + 1`. Samples `max_observed_skew` at exactly the points
+    /// the old full-pool scan did (step completions only).
+    fn note_step_advance(&mut self, from_step: u64) {
+        let i = (from_step - self.step_lo) as usize;
+        self.step_counts[i] -= 1;
+        if i + 1 == self.step_counts.len() {
+            self.step_counts.push_back(0);
         }
-        if lo != u64::MAX {
-            self.stats.max_observed_skew = self.stats.max_observed_skew.max(hi - lo);
+        self.step_counts[i + 1] += 1;
+        while self.step_counts.front() == Some(&0) {
+            self.step_counts.pop_front();
+            self.step_lo += 1;
+        }
+        let skew = (self.step_counts.len() - 1) as u64;
+        if skew > self.stats.max_observed_skew {
+            self.stats.max_observed_skew = skew;
+        }
+    }
+
+    /// Rebuilds the step histogram from scratch after a rollback moved step
+    /// counters backwards (recovery only — never on the hot path). Does not
+    /// sample the skew statistic: like the old scan, skew is only observed
+    /// at step completions.
+    fn rebuild_step_hist(&mut self) {
+        self.step_lo = self.procs.iter().map(|p| p.step).min().unwrap_or(0);
+        self.step_counts.clear();
+        for p in &self.procs {
+            let i = (p.step - self.step_lo) as usize;
+            if i >= self.step_counts.len() {
+                self.step_counts.resize(i + 1, 0);
+            }
+            self.step_counts[i] += 1;
+        }
+        if self.step_counts.is_empty() {
+            self.step_counts.push_back(0);
         }
     }
 
@@ -813,8 +861,10 @@ impl ClusterSim {
 
     fn do_sends(&mut self, pid: usize, xch: usize) {
         let step = self.procs[pid].step;
-        let links = self.cfg.workload.tiles[pid].neighbors[xch].clone();
-        for (peer, bytes) in links {
+        // indexed re-borrow instead of cloning the link list: this runs once
+        // per exchange phase and the clone's allocation dominated it
+        for li in 0..self.cfg.workload.tiles[pid].neighbors[xch].len() {
+            let (peer, bytes) = self.cfg.workload.tiles[pid].neighbors[xch][li];
             debug_assert_ne!(peer, pid, "self-links are not supported by the cluster sim");
             let gated = self.cfg.ordering == CommOrdering::Strict
                 && peer > pid
@@ -1410,9 +1460,10 @@ impl ClusterSim {
             return;
         }
         let now = self.now();
-        let done = self.net.complete_due(now);
+        let mut done = std::mem::take(&mut self.net_done_buf);
+        self.net.complete_due_into(now, &mut done);
         let ack = self.cfg.net.udp_ack_timeout_s;
-        for c in done {
+        for c in done.drain(..) {
             if !c.delivered {
                 // Appendix D: the datagram was lost; the application notices
                 // at the acknowledgement timeout and resends precisely the
@@ -1501,6 +1552,7 @@ impl ClusterSim {
                 TransferPayload::ProbeReply { host, seq } => self.on_probe_reply(host, seq),
             }
         }
+        self.net_done_buf = done;
         self.reschedule_net();
     }
 
@@ -2493,6 +2545,8 @@ impl ClusterSim {
                 other => debug_assert!(false, "recovery resume found state {other:?}"),
             }
         }
+        // every step counter moved backwards: rebuild the skew histogram
+        self.rebuild_step_hist();
         // the rollback voids every outstanding DATA message — the whole
         // exchange re-executes with fresh sequence numbers, and the stale
         // retransmission timers die on their next lookup. Receiver dedup
@@ -2665,6 +2719,8 @@ impl ClusterSim {
         stats.net_errors = self.net.errors;
         stats.net_losses = self.net.losses;
         stats.net_busy = self.net.busy_time;
+        stats.net_forced_completions = self.net.forced_completions;
+        stats.engine_bytes = self.q.approx_bytes() + self.net.approx_bytes();
         stats.finished_at = self.finished_at.unwrap_or(now);
         stats
     }

@@ -239,6 +239,18 @@ pub struct ClusterStats {
     /// Simulated time at which the run target was reached (or the run
     /// stopped).
     pub finished_at: f64,
+    /// High-water mark of pending events in the calendar queue (engine
+    /// memory accounting for the `scale` experiment).
+    pub peak_queue_events: usize,
+    /// High-water mark of in-flight network transfers.
+    pub peak_net_transfers: usize,
+    /// Approximate resident bytes of the event queue + network model at the
+    /// end of the run (capacity-based; bounds per-host engine memory).
+    pub engine_bytes: usize,
+    /// Network completions taken through the ulp-rounding fallback instead
+    /// of the tolerance window (diagnostic — see
+    /// [`crate::bus::NetworkModel::complete_due`]).
+    pub net_forced_completions: u64,
 }
 
 impl ClusterStats {
@@ -349,6 +361,25 @@ impl ClusterStats {
         reg.gauge_set(&format!("{prefix}.finished_at"), self.finished_at, "s");
         reg.gauge_set(&format!("{prefix}.net_bytes"), self.net_bytes, "bytes");
         reg.gauge_set(&format!("{prefix}.net_busy"), self.net_busy, "s");
+        reg.gauge_set(
+            &format!("{prefix}.peak_queue_events"),
+            self.peak_queue_events as f64,
+            "events",
+        );
+        reg.gauge_set(
+            &format!("{prefix}.peak_net_transfers"),
+            self.peak_net_transfers as f64,
+            "transfers",
+        );
+        reg.gauge_set(
+            &format!("{prefix}.engine_bytes"),
+            self.engine_bytes as f64,
+            "bytes",
+        );
+        reg.counter_add(
+            &format!("{prefix}.net_forced_completions"),
+            self.net_forced_completions,
+        );
         reg.gauge_set(
             &format!("{prefix}.checkpoint_pause_total"),
             self.checkpoint_pause_total,

@@ -27,6 +27,7 @@
 //! | `real` | real threaded runner timing on this machine |
 //! | `faults` | recovery cost vs checkpoint interval (section 4.1 + Young's model) |
 //! | `partition` | detector comparison under congestion / crash / partition (section 7) |
+//! | `scale` | engine scalability 64-4096 hosts, shared bus vs switched (section 9 outlook) |
 
 mod faults;
 mod model_figures;
@@ -34,6 +35,7 @@ mod partition;
 mod perf_figures;
 mod physics;
 mod protocols;
+mod scale;
 mod table1;
 
 pub use faults::{
@@ -47,6 +49,7 @@ pub use partition::{
 pub use perf_figures::{fig10, fig11, fig5, fig6, fig7, fig8, fig9};
 pub use physics::{e_acoustic, e_conv, e_pipe, e_real};
 pub use protocols::{e_mig, e_net, e_order, e_skew, e_solid, e_udp};
+pub use scale::e_scale;
 pub use table1::t1;
 
 use crate::report::ExperimentResult;
@@ -106,6 +109,7 @@ pub const ALL_IDS: &[&str] = &[
     "real",
     "faults",
     "partition",
+    "scale",
 ];
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
@@ -149,6 +153,7 @@ pub fn run_experiment_obs(
         "acoustic" => e_acoustic(quick),
         "pipe" => e_pipe(quick),
         "real" => e_real(quick),
+        "scale" => e_scale(quick),
         _ => return None,
     })
 }

@@ -19,7 +19,7 @@ if (( ${#reports[@]} < 2 )); then
 fi
 prev="${reports[-2]}"
 curr="${reports[-1]}"
-echo "bench_guard: $prev -> $curr (threshold: 15%; higher-is-better: node_rate_*/halo*/threaded*;" \
+echo "bench_guard: $prev -> $curr (threshold: 15%; higher-is-better: node_rate_*/halo*/threaded*/cluster_sim/scale_*;" \
      "lower-is-better: detect_*/recovery_*)"
 
 python3 - "$prev" "$curr" <<'EOF'
@@ -30,7 +30,8 @@ prev = json.load(open(prev_path))["entries"]
 curr = json.load(open(curr_path))["entries"]
 
 HIGHER_IS_BETTER = ("node_rate_", "halo2_pack", "halo2_roundtrip", "halo3_pack",
-                    "halo3_roundtrip", "threaded2_", "threaded3_")
+                    "halo3_roundtrip", "threaded2_", "threaded3_",
+                    "cluster_sim_events", "scale_events_per_s_")
 # simulated-latency metrics: deterministic, so ANY worsening is a real model
 # change, but the same 15% bar keeps the two classes comparable
 LOWER_IS_BETTER = ("detect_latency_", "recovery_cost_", "recovery_opt_interval")

@@ -34,6 +34,12 @@ test -s /tmp/subsonic-trace-smoke/trace.json || { echo "trace export produced no
 python3 -c "import json,sys; json.load(open('/tmp/subsonic-trace-smoke/trace.json'))" \
     || { echo "trace export is not valid JSON"; exit 1; }
 
+echo "==> engine equivalence (PR 6 reference vs calendar queue / virtual-time bus)"
+cargo test --release -q -p subsonic-integration --test engine_equivalence
+
+echo "==> engine scale smoke (reproduce scale --quick)"
+cargo run --release -q -p subsonic-bench --bin reproduce -- --quick --out /tmp/subsonic-scale-smoke scale
+
 echo "==> SIMD/overlap equivalence smoke (2 intra-tile bands, overlap on)"
 SUBSONIC_INTRA_THREADS=2 cargo test --release -q -p subsonic-integration --test simd_equivalence
 

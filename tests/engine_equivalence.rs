@@ -1,0 +1,235 @@
+//! PR 7 engine-equivalence harness: the rewritten discrete-event core
+//! (calendar/bucket `EventQueue`, virtual-service-time `NetworkModel`) run
+//! side by side against the pinned PR 6 reference implementations
+//! (`subsonic_cluster::reference`) on randomized schedules.
+//!
+//! The rewrite changes the *data structures*, not the contract: pop order is
+//! exact `(time, insertion seq)` order, so the queue comparison demands
+//! bit-identical times and identical kinds. The bus rewrite does change the
+//! float rounding of completion times (the virtual accumulator sums shares
+//! in a different order than the per-transfer residual counters), so bus
+//! completion times compare under a small relative tolerance while the
+//! discrete observables — delivery order, delivered flags, message/error/
+//! loss counters, RNG draw alignment — must match exactly. Inputs are kept
+//! coarse (millisecond-scale gaps, kilobyte-scale payloads) so a legitimate
+//! ulp-level timing difference can never reorder two completions.
+//!
+//! Each proptest case draws one seed; the op schedules are expanded from it
+//! with a `SmallRng`, so a failure reproduces from the printed seed alone.
+
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use subsonic_cluster::bus::{
+    Completion, NetworkConfig, NetworkKindCfg, NetworkModel, TransferPayload, Transport,
+};
+use subsonic_cluster::events::{EventKind, EventQueue};
+use subsonic_cluster::reference::{ReferenceEventQueue, ReferenceNetworkModel};
+
+/// One randomized queue operation: schedule at `now + delay`, or pop.
+#[derive(Debug, Clone, Copy)]
+enum QueueOp {
+    /// Schedule `delay` seconds ahead; `tag` distinguishes the event.
+    Schedule { delay: f64, tag: usize },
+    /// Schedule and (for the production queue) take the cancellable path —
+    /// the handle is dropped unused, so the pop stream must be unchanged.
+    ScheduleCancellable { delay: f64, tag: usize },
+    /// Pop one event (no-op on an empty queue).
+    Pop,
+}
+
+/// Expands a seed into an op schedule. Delays are quantised to 0.1 ms steps
+/// over ~4 decades so runs exercise dense bucket collisions (equal times →
+/// seq tie-break), ordinary in-window scheduling, and far-window overflow
+/// re-anchoring.
+fn queue_ops(seed: u64) -> Vec<QueueOp> {
+    let mut r = SmallRng::seed_from_u64(seed);
+    let n = r.gen_range(1usize..300);
+    (0..n)
+        .map(|_| {
+            let delay =
+                r.gen_range(0usize..2000) as f64 * 1e-4 * 10f64.powi(r.gen_range(0usize..4) as i32);
+            let tag = r.gen_range(0usize..64);
+            match r.gen_range(0usize..6) {
+                0..=2 => QueueOp::Schedule { delay, tag },
+                3 => QueueOp::ScheduleCancellable { delay, tag },
+                _ => QueueOp::Pop,
+            }
+        })
+        .collect()
+}
+
+/// One randomized bus admission.
+#[derive(Debug, Clone, Copy)]
+struct Admission {
+    /// Gap after the previous wire event (coarse: multiples of 1 ms).
+    gap: f64,
+    /// Payload bytes (coarse: multiples of 1 KiB).
+    bytes: f64,
+    /// Endpoint speed share (quantised quarters of the bus share).
+    rate_scale: f64,
+}
+
+fn admissions(seed: u64) -> Vec<Admission> {
+    let mut r = SmallRng::seed_from_u64(seed);
+    let n = r.gen_range(1usize..48);
+    (0..n)
+        .map(|_| Admission {
+            gap: r.gen_range(1usize..200) as f64 * 1e-3,
+            bytes: r.gen_range(1usize..64) as f64 * 1024.0,
+            rate_scale: r.gen_range(1usize..5) as f64 * 0.25,
+        })
+        .collect()
+}
+
+/// Runs one network model (reference or production, chosen by the closures)
+/// through the same admission schedule and returns every completion with its
+/// wall-clock completion time.
+fn drive_bus<M>(
+    mut net: M,
+    adms: &[Admission],
+    seed: u64,
+    start: impl Fn(&mut M, f64, f64, f64, TransferPayload, &mut SmallRng),
+    next: impl Fn(&M) -> Option<f64>,
+    complete: impl Fn(&mut M, f64) -> Vec<Completion>,
+) -> Vec<(f64, Completion)> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut out = Vec::new();
+    let mut t = 0.0;
+    let mut iter = adms.iter().enumerate().peekable();
+    loop {
+        let adm = iter.peek().map(|&(i, a)| (t + a.gap, i, *a));
+        let fin = next(&net);
+        match (adm, fin) {
+            // admissions win ties so both models admit at identical times
+            (Some((ta, i, a)), fin) if fin.is_none_or(|tf| ta <= tf) => {
+                iter.next();
+                t = ta;
+                start(
+                    &mut net,
+                    t,
+                    a.bytes,
+                    a.rate_scale,
+                    TransferPayload::Dump { proc_id: i },
+                    &mut rng,
+                );
+            }
+            (_, Some(tf)) => {
+                t = tf.max(t);
+                for c in complete(&mut net, t) {
+                    out.push((t, c));
+                }
+            }
+            (None, None) => return out,
+            // the guard above always takes `(Some(..), None)`
+            (Some(_), None) => unreachable!(),
+        }
+    }
+}
+
+fn check_bus_equivalence(kind: NetworkKindCfg, transport: Transport, seed: u64) {
+    let adms = admissions(seed);
+    let cfg = NetworkConfig {
+        kind,
+        transport,
+        // saturate easily so the congestion RNG paths get exercised
+        saturation_transfers: 3,
+        ..NetworkConfig::default()
+    };
+    let new = drive_bus(
+        NetworkModel::new(cfg),
+        &adms,
+        seed,
+        |m, t, b, s, p, rng| m.start_transfer_faulted(t, b, s, p, rng, false),
+        NetworkModel::next_completion,
+        NetworkModel::complete_due,
+    );
+    let reference = drive_bus(
+        ReferenceNetworkModel::new(cfg),
+        &adms,
+        seed,
+        |m, t, b, s, p, rng| m.start_transfer_faulted(t, b, s, p, rng, false),
+        ReferenceNetworkModel::next_completion,
+        ReferenceNetworkModel::complete_due,
+    );
+    assert_eq!(new.len(), reference.len(), "seed {seed}");
+    assert_eq!(
+        new.len(),
+        adms.len(),
+        "every admission completes (seed {seed})"
+    );
+    for ((tn, cn), (tr, cr)) in new.iter().zip(&reference) {
+        // discrete observables: exact
+        assert_eq!(
+            &cn.payload, &cr.payload,
+            "delivery order diverged (seed {seed})"
+        );
+        assert_eq!(cn.delivered, cr.delivered, "seed {seed}");
+        assert!((cn.started - cr.started).abs() <= 1e-9 * cr.started.abs().max(1.0));
+        // wall-clock completion: different float rounding, same physics
+        assert!(
+            (tn - tr).abs() <= 1e-9 * tr.abs().max(1.0),
+            "completion time drifted: new {tn} vs reference {tr} (seed {seed})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The calendar queue pops the exact event stream of the PR 6 binary
+    /// heap: bit-identical times, identical kinds, for any interleaving of
+    /// schedules and pops (including the cancellable-schedule path).
+    #[test]
+    fn queue_matches_reference_exactly(seed in any::<u64>()) {
+        let mut q = EventQueue::new();
+        let mut r = ReferenceEventQueue::new();
+        for op in queue_ops(seed) {
+            match op {
+                QueueOp::Schedule { delay, tag } => {
+                    q.schedule(delay, EventKind::JobArrival { host: tag });
+                    r.schedule(delay, EventKind::JobArrival { host: tag });
+                }
+                QueueOp::ScheduleCancellable { delay, tag } => {
+                    let _h = q.schedule_cancellable(delay, EventKind::JobDeparture { host: tag });
+                    r.schedule(delay, EventKind::JobDeparture { host: tag });
+                }
+                QueueOp::Pop => {
+                    prop_assert_eq!(q.pop(), r.pop(), "seed {}", seed);
+                    prop_assert!(q.now() == r.now(), "clock diverged (seed {})", seed);
+                }
+            }
+            prop_assert_eq!(q.len(), r.len());
+        }
+        // drain both: every remaining event must agree too
+        loop {
+            let got = q.pop();
+            prop_assert_eq!(got, r.pop(), "drain diverged (seed {})", seed);
+            if got.is_none() {
+                break;
+            }
+        }
+    }
+
+    /// The virtual-service-time bus reproduces the PR 6 per-transfer-counter
+    /// bus on a shared medium: identical delivery order, flags and counters,
+    /// completion times within a relative whisker, RNG draws aligned.
+    #[test]
+    fn shared_bus_matches_reference(seed in any::<u64>()) {
+        check_bus_equivalence(NetworkKindCfg::SharedBus, Transport::Tcp, seed);
+    }
+
+    /// Same equivalence on an idealised switch (no bandwidth sharing — the
+    /// accumulator runs at full rate regardless of the active count).
+    #[test]
+    fn switched_bus_matches_reference(seed in any::<u64>()) {
+        check_bus_equivalence(NetworkKindCfg::Switched, Transport::Tcp, seed);
+    }
+
+    /// UDP on a saturating shared bus: the loss draws must stay aligned, so
+    /// the `losses` counter and per-completion `delivered` flags agree.
+    #[test]
+    fn udp_bus_matches_reference(seed in any::<u64>()) {
+        check_bus_equivalence(NetworkKindCfg::SharedBus, Transport::Udp, seed);
+    }
+}

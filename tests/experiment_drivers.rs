@@ -136,7 +136,12 @@ fn partition_runs() {
 }
 
 #[test]
+fn scale_runs() {
+    run_and_check("scale");
+}
+
+#[test]
 fn registry_is_complete() {
-    assert_eq!(ALL_IDS.len(), 23);
+    assert_eq!(ALL_IDS.len(), 24);
     assert!(run_experiment("bogus", true).is_none());
 }

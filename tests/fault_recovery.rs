@@ -26,18 +26,23 @@ fn lb_workload(px: usize, py: usize, side: usize) -> WorkloadSpec {
 // determinism pins
 // ---------------------------------------------------------------------------
 
-/// The PR2 heterogeneous-pool measurements, captured before the fault layer
-/// existed. The empty plan must leave them unchanged to the last digit: any
-/// drift means the fault layer consumed an RNG draw or perturbed the event
-/// sequence numbering on the no-fault path.
+/// The heterogeneous-pool measurements, pinned to the digit. Any drift means
+/// something consumed an RNG draw or perturbed the event sequencing on the
+/// no-fault path. Captured under the PR 7 engine: the virtual-service-time
+/// bus accumulates bandwidth shares in a different float order than the old
+/// per-transfer residual subtraction, which legitimately moves completion
+/// times by ulps (the 20-proc values shifted in the 13th digit; the 16-proc
+/// run amplified that chaotically through the user/load model). The
+/// PR 6-vs-PR 7 model agreement itself is pinned by
+/// `tests/engine_equivalence.rs`, not by these digits.
 #[test]
 fn empty_fault_plan_preserves_seeded_results_to_the_digit() {
     let m16 = measure_efficiency(MeasureConfig::paper(lb_workload(4, 4, 150)));
     let m20 = measure_efficiency(MeasureConfig::paper(lb_workload(5, 4, 150)));
-    assert_eq!(m16.t_step, 7.520_025_708_678_461_65e-1, "t16 drifted");
-    assert_eq!(m20.t_step, 8.719_828_655_458_042_87e-1, "t20 drifted");
-    assert_eq!(m16.efficiency, 7.645_944_617_668_165_58e-1, "eff16 drifted");
-    assert_eq!(m20.efficiency, 6.593_902_513_899_343_45e-1, "eff20 drifted");
+    assert_eq!(m16.t_step, 7.530_349_387_348_684_86e-1, "t16 drifted");
+    assert_eq!(m20.t_step, 8.719_828_655_457_961_82e-1, "t20 drifted");
+    assert_eq!(m16.efficiency, 7.635_462_464_543_140_15e-1, "eff16 drifted");
+    assert_eq!(m20.efficiency, 6.593_902_513_899_404_52e-1, "eff20 drifted");
 }
 
 // ---------------------------------------------------------------------------
