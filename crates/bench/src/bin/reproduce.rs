@@ -5,6 +5,7 @@
 //! ```text
 //! reproduce [--quick] [--out DIR] [--trace FILE] [id ...]
 //! reproduce bench [--quick] [--label LABEL] [--out FILE]
+//! reproduce net-worker
 //! ```
 //!
 //! Without ids, runs every experiment in `subsonic::experiments::ALL_IDS`.
@@ -13,6 +14,15 @@
 //! summary to stdout. With `--trace FILE`, instrumented experiments (the
 //! `faults` recovery run) record a flight-recorder timeline that is exported
 //! as Chrome trace-event JSON — load it at `ui.perfetto.dev`.
+//!
+//! Every run ends with a one-line PASS/FAIL verdict per experiment, and the
+//! process exits nonzero when any shape check failed — CI can gate on the
+//! exit code alone.
+//!
+//! The `net-worker` subcommand is not for humans: it turns this binary into
+//! one worker process of the distributed runtime (the `dist` experiment
+//! re-executes itself with it, directed by `SUBSONIC_NET_DIR` /
+//! `SUBSONIC_NET_WORKER` in the environment).
 //!
 //! The `bench` subcommand instead runs the perf-baseline suite
 //! (`subsonic_bench::perf`) and writes a flat JSON report (default
@@ -82,6 +92,13 @@ fn main() {
                 run_bench_subcommand(args);
                 return;
             }
+            "net-worker" if ids.is_empty() && !quick => {
+                if let Err(e) = subsonic_net::process_worker_main() {
+                    eprintln!("net-worker: {e}");
+                    std::process::exit(1);
+                }
+                return;
+            }
             "--quick" => quick = true,
             "--out" => {
                 out_dir = PathBuf::from(args.next().expect("--out needs a directory"));
@@ -106,9 +123,14 @@ fn main() {
     } else {
         ObsSession::metrics_only()
     };
+    // the dist experiment respawns this binary as its worker processes
+    if let Ok(me) = std::env::current_exe() {
+        std::env::set_var("SUBSONIC_NET_WORKER_BIN", me);
+        std::env::set_var("SUBSONIC_NET_WORKER_ARGS", "net-worker");
+    }
 
     let mut summary = String::from("# Reproduction summary\n\n");
-    let mut failures = 0usize;
+    let mut verdicts: Vec<(String, bool, usize, f64)> = Vec::new();
     for id in &ids {
         let t0 = std::time::Instant::now();
         eprint!("running {id} ... ");
@@ -117,10 +139,9 @@ fn main() {
             Some(result) => {
                 let dt = t0.elapsed().as_secs_f64();
                 let ok = result.all_pass();
-                if !ok {
-                    failures += 1;
-                }
+                let bad = result.checks.iter().filter(|c| !c.pass).count();
                 eprintln!("{} ({dt:.1} s)", if ok { "PASS" } else { "FAIL" });
+                verdicts.push((id.clone(), ok, bad, dt));
                 let md =
                     subsonic_bench::emit_result(&result, &out_dir).expect("cannot write results");
                 summary.push_str(&md);
@@ -128,10 +149,11 @@ fn main() {
             }
             None => {
                 eprintln!("unknown experiment id '{id}'");
-                failures += 1;
+                verdicts.push((id.clone(), false, 0, 0.0));
             }
         }
     }
+    let failures = verdicts.iter().filter(|(_, ok, _, _)| !ok).count();
     std::fs::create_dir_all(&out_dir).expect("cannot create results dir");
     std::fs::write(out_dir.join("summary.md"), &summary).expect("cannot write summary");
     if let Some(path) = trace_out {
@@ -143,8 +165,21 @@ fn main() {
         eprintln!("wrote {} (load at ui.perfetto.dev)", path.display());
     }
     println!("{summary}");
+    // the one-line-per-experiment verdict block, last so it is what a human
+    // (or a CI log tail) sees first
+    eprintln!("== verdicts ==");
+    for (id, ok, bad, dt) in &verdicts {
+        if *ok {
+            eprintln!("PASS {id} ({dt:.1} s)");
+        } else if *bad > 0 {
+            eprintln!("FAIL {id} ({dt:.1} s, {bad} failing check(s))");
+        } else {
+            eprintln!("FAIL {id} (unknown experiment id)");
+        }
+    }
     if failures > 0 {
-        eprintln!("{failures} experiment(s) had failing checks");
+        eprintln!("{failures} of {} experiment(s) failed", verdicts.len());
         std::process::exit(1);
     }
+    eprintln!("all {} experiment(s) passed", verdicts.len());
 }

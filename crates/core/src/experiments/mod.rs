@@ -28,7 +28,9 @@
 //! | `faults` | recovery cost vs checkpoint interval (section 4.1 + Young's model) |
 //! | `partition` | detector comparison under congestion / crash / partition (section 7) |
 //! | `scale` | engine scalability 64-4096 hosts, shared bus vs switched (section 9 outlook) |
+//! | `dist` | real multi-process runtime: sockets, SIGKILL recovery, record/replay (section 5) |
 
+mod dist;
 mod faults;
 mod model_figures;
 mod partition;
@@ -38,6 +40,7 @@ mod protocols;
 mod scale;
 mod table1;
 
+pub use dist::{e_dist, e_dist_obs};
 pub use faults::{
     e_faults, e_faults_obs, recovery_sweep, recovery_sweep_obs, RecoverySweep, SweepPoint,
 };
@@ -110,6 +113,7 @@ pub const ALL_IDS: &[&str] = &[
     "faults",
     "partition",
     "scale",
+    "dist",
 ];
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
@@ -130,6 +134,9 @@ pub fn run_experiment_obs(
     }
     if id == "partition" {
         return Some(e_partition_obs(quick, obs));
+    }
+    if id == "dist" {
+        return Some(e_dist_obs(quick, obs));
     }
     Some(match id {
         "t1" => t1(quick),

@@ -10,9 +10,13 @@
 //!
 //! Because a dump may be read back after a host crash, the file must be
 //! self-validating: version 2 appends a 64-bit FNV-1a checksum over the whole
-//! payload, so a truncated or bit-rotted dump is rejected with a clean
-//! [`io::Error`] instead of resurrecting silently-corrupt fields.
+//! payload, so a truncated or bit-rotted dump is rejected with a typed
+//! [`DumpError`] instead of resurrecting silently-corrupt fields. Saves are
+//! torn-write-safe: bytes land in a temp file that is fsynced and atomically
+//! renamed over the target, so a worker killed mid-checkpoint can never
+//! destroy the last good checkpoint.
 
+use std::fmt;
 use std::io::{self, Read, Write};
 use std::path::Path;
 use subsonic_grid::{Cell, PaddedGrid2};
@@ -20,6 +24,97 @@ use subsonic_solvers::{FluidParams, Macro2, TileState2};
 
 const MAGIC: u64 = 0x5355_4253_4f4e_4943; // "SUBSONIC"
 const VERSION: u32 = 2; // v2 = v1 + FNV-1a checksum trailer
+
+/// Why a dump could not be written or restored.
+///
+/// Every corruption mode a crash can produce has its own variant so callers
+/// (the supervisor deciding whether an on-disk checkpoint is usable) can
+/// distinguish "file missing" from "file damaged" without string matching.
+#[derive(Debug)]
+pub enum DumpError {
+    /// The underlying file operation failed (open/read/write/rename).
+    Io(io::Error),
+    /// The magic number does not identify a subsonic dump.
+    NotADump,
+    /// The dump was written by an unsupported format version.
+    UnsupportedVersion(u32),
+    /// The dump holds a tile of the wrong dimensionality.
+    WrongDimensionality {
+        /// Dimensionality this decoder expects (2 or 3).
+        expected: u32,
+        /// Dimensionality recorded in the dump header.
+        found: u32,
+    },
+    /// The FNV-1a trailer does not match the payload: bit rot or a torn
+    /// write somewhere in the file.
+    ChecksumMismatch,
+    /// The dump ends before the payload does (truncated file).
+    Truncated,
+    /// A field decoded to an impossible value (names the field).
+    BadField(&'static str),
+}
+
+impl fmt::Display for DumpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DumpError::Io(e) => write!(f, "dump file i/o failed: {e}"),
+            DumpError::NotADump => write!(f, "not a subsonic dump file"),
+            DumpError::UnsupportedVersion(v) => write!(f, "unsupported dump version {v}"),
+            DumpError::WrongDimensionality { expected, found } => {
+                write!(f, "expected a {expected}D dump, found {found}D")
+            }
+            DumpError::ChecksumMismatch => {
+                write!(f, "dump checksum mismatch (corrupt or truncated)")
+            }
+            DumpError::Truncated => write!(f, "dump ends before its payload does"),
+            DumpError::BadField(name) => write!(f, "dump field `{name}` holds a bad value"),
+        }
+    }
+}
+
+impl std::error::Error for DumpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DumpError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for DumpError {
+    fn from(e: io::Error) -> Self {
+        DumpError::Io(e)
+    }
+}
+
+/// Writes `bytes` to `path` torn-write-safely: temp file in the same
+/// directory, fsync, atomic rename. A crash at any instant leaves either the
+/// old file or the new one, never a hybrid.
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let mut tmp_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "dump path has no file name"))?
+        .to_os_string();
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+    let write = (|| {
+        let mut file = std::fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        std::fs::rename(&tmp, path)
+    })();
+    if write.is_err() {
+        let _ = std::fs::remove_file(&tmp);
+    }
+    write?;
+    // Make the rename itself durable where the filesystem allows it.
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        if let Ok(d) = std::fs::File::open(dir) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
 
 /// 64-bit FNV-1a over `bytes`.
 pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
@@ -39,21 +134,15 @@ pub(crate) fn seal(mut buf: Vec<u8>) -> Vec<u8> {
 }
 
 /// Validates and strips the checksum trailer, returning the payload.
-pub(crate) fn verify(bytes: &[u8]) -> io::Result<&[u8]> {
+pub(crate) fn verify(bytes: &[u8]) -> Result<&[u8], DumpError> {
     if bytes.len() < 8 {
-        return Err(io::Error::new(
-            io::ErrorKind::UnexpectedEof,
-            "dump shorter than its checksum",
-        ));
+        return Err(DumpError::Truncated);
     }
     let (payload, trailer) = bytes.split_at(bytes.len() - 8);
     let mut sum = [0u8; 8];
     sum.copy_from_slice(trailer);
     if fnv1a(payload) != u64::from_le_bytes(sum) {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "dump checksum mismatch (corrupt or truncated)",
-        ));
+        return Err(DumpError::ChecksumMismatch);
     }
     Ok(payload)
 }
@@ -88,34 +177,31 @@ struct Dec<'a> {
 }
 
 impl<'a> Dec<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DumpError> {
         if self.at + n > self.buf.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "short dump file",
-            ));
+            return Err(DumpError::Truncated);
         }
         let s = &self.buf[self.at..self.at + n];
         self.at += n;
         Ok(s)
     }
-    fn u32(&mut self) -> io::Result<u32> {
+    fn u32(&mut self) -> Result<u32, DumpError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    fn u64(&mut self) -> io::Result<u64> {
+    fn u64(&mut self) -> Result<u64, DumpError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
     }
-    fn f64(&mut self) -> io::Result<f64> {
+    fn f64(&mut self) -> Result<f64, DumpError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(f64::from_le_bytes(a))
     }
-    fn grid(&mut self, nx: usize, ny: usize, halo: usize) -> io::Result<PaddedGrid2<f64>> {
+    fn grid(&mut self, nx: usize, ny: usize, halo: usize) -> Result<PaddedGrid2<f64>, DumpError> {
         let mut g = PaddedGrid2::new(nx, ny, halo, 0.0f64);
         let h = halo as isize;
         for j in -h..(ny as isize + h) {
@@ -136,13 +222,13 @@ fn cell_to_u8(c: Cell) -> u8 {
     }
 }
 
-fn cell_from_u8(v: u8) -> io::Result<Cell> {
+fn cell_from_u8(v: u8) -> Result<Cell, DumpError> {
     Ok(match v {
         0 => Cell::Fluid,
         1 => Cell::Wall,
         2 => Cell::Inlet,
         3 => Cell::Outlet,
-        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad cell tag")),
+        _ => return Err(DumpError::BadField("cell tag")),
     })
 }
 
@@ -161,7 +247,7 @@ fn params_to(enc: &mut Enc, p: &FluidParams) {
     enc.f64(p.filter_eps);
 }
 
-fn params_from(dec: &mut Dec) -> io::Result<FluidParams> {
+fn params_from(dec: &mut Dec) -> Result<FluidParams, DumpError> {
     Ok(FluidParams {
         cs: dec.f64()?,
         nu: dec.f64()?,
@@ -205,26 +291,25 @@ pub fn dump_tile2(t: &TileState2) -> Vec<u8> {
 }
 
 /// Restores a 2D tile from dump-file bytes.
-pub fn restore_tile2(bytes: &[u8]) -> io::Result<TileState2> {
+pub fn restore_tile2(bytes: &[u8]) -> Result<TileState2, DumpError> {
     let payload = verify(bytes)?;
     let mut d = Dec {
         buf: payload,
         at: 0,
     };
     if d.u64()? != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a subsonic dump file",
-        ));
+        return Err(DumpError::NotADump);
     }
-    if d.u32()? != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "unsupported dump version",
-        ));
+    let version = d.u32()?;
+    if version != VERSION {
+        return Err(DumpError::UnsupportedVersion(version));
     }
-    if d.u32()? != 2 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a 2D dump"));
+    let dim = d.u32()?;
+    if dim != 2 {
+        return Err(DumpError::WrongDimensionality {
+            expected: 2,
+            found: dim,
+        });
     }
     let step = d.u64()?;
     let nx = d.u64()? as usize;
@@ -264,19 +349,40 @@ pub fn restore_tile2(bytes: &[u8]) -> io::Result<TileState2> {
     })
 }
 
-/// Writes a tile dump to a file.
-pub fn save_tile2(t: &TileState2, path: &Path) -> io::Result<u64> {
+/// Writes a tile dump to a file (temp file + atomic rename).
+pub fn save_tile2(t: &TileState2, path: &Path) -> Result<u64, DumpError> {
     let bytes = dump_tile2(t);
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&bytes)?;
+    write_atomic(path, &bytes)?;
     Ok(bytes.len() as u64)
 }
 
-/// Reads a tile dump from a file.
-pub fn load_tile2(path: &Path) -> io::Result<TileState2> {
+/// Reads a tile dump from a file, verifying its checksum.
+pub fn load_tile2(path: &Path) -> Result<TileState2, DumpError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     restore_tile2(&bytes)
+}
+
+/// Atomically persists pre-encoded, sealed dump bytes (2D or 3D) to `path`.
+///
+/// This is the checkpoint-shipping path of the multi-process supervisor: the
+/// bytes arrived over a control socket already sealed by the worker, so the
+/// checksum is verified before anything touches the disk — a corrupted ship
+/// must never replace a good checkpoint.
+pub fn save_dump_bytes(path: &Path, bytes: &[u8]) -> Result<(), DumpError> {
+    verify(bytes)?;
+    write_atomic(path, bytes)?;
+    Ok(())
+}
+
+/// Reads raw dump bytes from `path`, verifying the checksum trailer but not
+/// decoding the payload — the counterpart of [`save_dump_bytes`] for shipping
+/// a stored checkpoint back out over a wire.
+pub fn load_dump_bytes(path: &Path) -> Result<Vec<u8>, DumpError> {
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut bytes)?;
+    verify(&bytes)?;
+    Ok(bytes)
 }
 
 #[cfg(test)]
@@ -375,7 +481,7 @@ mod tests {
             let mut bytes = clean.clone();
             bytes[at] ^= 0x04;
             let err = restore_tile2(&bytes).expect_err("corruption missed");
-            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "flip at {at}");
+            assert!(matches!(err, DumpError::ChecksumMismatch), "flip at {at}");
         }
     }
 
@@ -388,7 +494,68 @@ mod tests {
         let mut payload = bytes[..bytes.len() - 8].to_vec();
         payload[8..12].copy_from_slice(&1u32.to_le_bytes());
         let err = restore_tile2(&seal(payload)).expect_err("version check missed");
-        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(matches!(err, DumpError::UnsupportedVersion(1)));
+    }
+
+    #[test]
+    fn typed_errors_name_the_corruption() {
+        let t = sample_tile(false);
+        let bytes = dump_tile2(&t);
+        assert!(matches!(
+            restore_tile2(&bytes[..4]),
+            Err(DumpError::Truncated)
+        ));
+        let mut wrong_magic = bytes[..bytes.len() - 8].to_vec();
+        wrong_magic[0] ^= 0xff;
+        assert!(matches!(
+            restore_tile2(&seal(wrong_magic)),
+            Err(DumpError::NotADump)
+        ));
+        let missing = load_tile2(Path::new("/nonexistent/subsonic/tile.dump"));
+        assert!(matches!(missing, Err(DumpError::Io(_))));
+        for e in [
+            DumpError::NotADump,
+            DumpError::UnsupportedVersion(7),
+            DumpError::WrongDimensionality {
+                expected: 2,
+                found: 3,
+            },
+            DumpError::ChecksumMismatch,
+            DumpError::Truncated,
+            DumpError::BadField("cell tag"),
+            DumpError::Io(io::Error::other("disk gone")),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn save_replaces_a_torn_file_atomically() {
+        // Simulate a worker killed mid-checkpoint under the OLD scheme: the
+        // target path holds a half-written dump. Loading detects it with a
+        // typed error, and a fresh save replaces it whole (no temp residue).
+        let t = sample_tile(true);
+        let dir = std::env::temp_dir().join("subsonic_ckpt_torn_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tile0.dump");
+        let clean = dump_tile2(&t);
+        std::fs::write(&path, &clean[..clean.len() / 3]).unwrap();
+        let err = load_tile2(&path).expect_err("torn dump accepted");
+        assert!(matches!(
+            err,
+            DumpError::Truncated | DumpError::ChecksumMismatch
+        ));
+        save_tile2(&t, &path).unwrap();
+        let restored = load_tile2(&path).unwrap();
+        assert_tiles_equal(&t, &restored);
+        let residue: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .filter(|n| n.contains(".tmp."))
+            .collect();
+        assert!(residue.is_empty(), "temp files left behind: {residue:?}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //! version-2 self-validating format: FNV-1a checksum trailer over the whole
 //! payload).
 
-use crate::checkpoint::{seal, verify};
-use std::io::{self, Read, Write};
+use crate::checkpoint::{seal, verify, write_atomic, DumpError};
+use std::io::Read;
 use std::path::Path;
 use subsonic_grid::{Cell, PaddedGrid3};
 use subsonic_solvers::{FluidParams, Macro3, TileState3};
@@ -43,28 +43,25 @@ struct Dec<'a> {
 }
 
 impl<'a> Dec<'a> {
-    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DumpError> {
         if self.at + n > self.buf.len() {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "short dump file",
-            ));
+            return Err(DumpError::Truncated);
         }
         let s = &self.buf[self.at..self.at + n];
         self.at += n;
         Ok(s)
     }
-    fn u32(&mut self) -> io::Result<u32> {
+    fn u32(&mut self) -> Result<u32, DumpError> {
         let b = self.take(4)?;
         Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
     }
-    fn u64(&mut self) -> io::Result<u64> {
+    fn u64(&mut self) -> Result<u64, DumpError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_le_bytes(a))
     }
-    fn f64(&mut self) -> io::Result<f64> {
+    fn f64(&mut self) -> Result<f64, DumpError> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
@@ -76,7 +73,7 @@ impl<'a> Dec<'a> {
         ny: usize,
         nz: usize,
         halo: usize,
-    ) -> io::Result<PaddedGrid3<f64>> {
+    ) -> Result<PaddedGrid3<f64>, DumpError> {
         let mut g = PaddedGrid3::new(nx, ny, nz, halo, 0.0f64);
         let h = halo as isize;
         for k in -h..(nz as isize + h) {
@@ -99,13 +96,13 @@ fn cell_to_u8(c: Cell) -> u8 {
     }
 }
 
-fn cell_from_u8(v: u8) -> io::Result<Cell> {
+fn cell_from_u8(v: u8) -> Result<Cell, DumpError> {
     Ok(match v {
         0 => Cell::Fluid,
         1 => Cell::Wall,
         2 => Cell::Inlet,
         3 => Cell::Outlet,
-        _ => return Err(io::Error::new(io::ErrorKind::InvalidData, "bad cell tag")),
+        _ => return Err(DumpError::BadField("cell tag")),
     })
 }
 
@@ -156,26 +153,25 @@ pub fn dump_tile3(t: &TileState3) -> Vec<u8> {
 }
 
 /// Restores a 3D tile from dump-file bytes.
-pub fn restore_tile3(bytes: &[u8]) -> io::Result<TileState3> {
+pub fn restore_tile3(bytes: &[u8]) -> Result<TileState3, DumpError> {
     let payload = verify(bytes)?;
     let mut d = Dec {
         buf: payload,
         at: 0,
     };
     if d.u64()? != MAGIC {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "not a subsonic dump file",
-        ));
+        return Err(DumpError::NotADump);
     }
-    if d.u32()? != VERSION {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "unsupported dump version",
-        ));
+    let version = d.u32()?;
+    if version != VERSION {
+        return Err(DumpError::UnsupportedVersion(version));
     }
-    if d.u32()? != 3 {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a 3D dump"));
+    let dim = d.u32()?;
+    if dim != 3 {
+        return Err(DumpError::WrongDimensionality {
+            expected: 3,
+            found: dim,
+        });
     }
     let step = d.u64()?;
     let nx = d.u64()? as usize;
@@ -231,16 +227,15 @@ pub fn restore_tile3(bytes: &[u8]) -> io::Result<TileState3> {
     })
 }
 
-/// Writes a 3D tile dump to a file.
-pub fn save_tile3(t: &TileState3, path: &Path) -> io::Result<u64> {
+/// Writes a 3D tile dump to a file (temp file + atomic rename).
+pub fn save_tile3(t: &TileState3, path: &Path) -> Result<u64, DumpError> {
     let bytes = dump_tile3(t);
-    let mut file = std::fs::File::create(path)?;
-    file.write_all(&bytes)?;
+    write_atomic(path, &bytes)?;
     Ok(bytes.len() as u64)
 }
 
-/// Reads a 3D tile dump from a file.
-pub fn load_tile3(path: &Path) -> io::Result<TileState3> {
+/// Reads a 3D tile dump from a file, verifying its checksum.
+pub fn load_tile3(path: &Path) -> Result<TileState3, DumpError> {
     let mut bytes = Vec::new();
     std::fs::File::open(path)?.read_to_end(&mut bytes)?;
     restore_tile3(&bytes)

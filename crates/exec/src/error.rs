@@ -44,6 +44,8 @@ pub enum RunError {
     },
     /// A checkpoint/dump file operation failed.
     Io(io::Error),
+    /// A checkpoint dump was unwritable, unreadable, or corrupt.
+    Checkpoint(crate::checkpoint::DumpError),
 }
 
 impl fmt::Display for RunError {
@@ -62,6 +64,7 @@ impl fmt::Display for RunError {
                 write!(f, "gave up after {attempts} restarts; last failure: {last}")
             }
             RunError::Io(e) => write!(f, "dump file i/o failed: {e}"),
+            RunError::Checkpoint(e) => write!(f, "checkpoint failed: {e}"),
         }
     }
 }
@@ -70,6 +73,7 @@ impl std::error::Error for RunError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             RunError::Io(e) => Some(e),
+            RunError::Checkpoint(e) => Some(e),
             RunError::RetriesExhausted { last, .. } => Some(last),
             _ => None,
         }
@@ -79,6 +83,12 @@ impl std::error::Error for RunError {
 impl From<io::Error> for RunError {
     fn from(e: io::Error) -> Self {
         RunError::Io(e)
+    }
+}
+
+impl From<crate::checkpoint::DumpError> for RunError {
+    fn from(e: crate::checkpoint::DumpError) -> Self {
+        RunError::Checkpoint(e)
     }
 }
 
@@ -146,6 +156,7 @@ mod tests {
     #[test]
     fn display_covers_every_variant() {
         let io = RunError::from(io::Error::other("disk gone"));
+        let ckpt = RunError::from(crate::checkpoint::DumpError::ChecksumMismatch);
         let nested = RunError::RetriesExhausted {
             attempts: 3,
             last: Box::new(RunError::Disconnected { tile: 4 }),
@@ -159,6 +170,7 @@ mod tests {
             RunError::Injected { tile: 2, step: 9 },
             nested,
             io,
+            ckpt,
         ] {
             assert!(!e.to_string().is_empty());
         }

@@ -35,15 +35,18 @@ pub mod gather;
 pub mod local;
 pub mod problem;
 pub mod rayon_runner;
+pub mod stepper;
 pub mod threaded;
 pub mod threaded3;
 pub mod timing;
 
+pub use checkpoint::DumpError;
 pub use error::RunError;
 pub use gather::{GlobalFields2, GlobalFields3};
 pub use local::{LocalRunner2, LocalRunner3};
 pub use problem::{Problem2, Problem3};
 pub use rayon_runner::RayonRunner2;
+pub use stepper::{step_tile2, Halo2};
 pub use threaded::{KillSpec, MigrationDrill, RunOutcome2, SupervisorConfig, ThreadedRunner2};
 pub use threaded3::{RunOutcome3, ThreadedRunner3};
 pub use timing::StepTiming;

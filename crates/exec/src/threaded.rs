@@ -106,13 +106,19 @@ impl Default for SupervisorConfig {
 }
 
 /// A seeded worker kill, the in-process analogue of the cluster layer's
-/// host-crash fault. Fires at most once per supervised run.
+/// host-crash fault. Fires at most once per supervised run: when the segment
+/// window containing `at_step` executes for the `attempt`-th time.
 #[derive(Debug, Clone)]
 pub struct KillSpec {
     /// Tile whose worker dies.
     pub tile: usize,
     /// Global step at which it dies (before computing that step).
     pub at_step: u64,
+    /// Which execution of the surrounding segment window the kill arms on:
+    /// `0` kills the first attempt, `1` kills the *replay* of a segment that
+    /// already failed once (a crash during recovery), and so on. Unsupervised
+    /// segments always run at attempt 0.
+    pub attempt: u32,
     /// `true`: the worker panics (unwinds mid-flight, peers see broken
     /// channels); `false`: it exits cleanly with [`RunError::Injected`].
     pub panic: bool,
@@ -275,7 +281,7 @@ impl ThreadedRunner2 {
             std::fs::create_dir_all(&d.dump_dir)?;
         }
         let tiles = self.initial_tiles();
-        let seg = self.run_segment(tiles, 0, steps, drill, None)?;
+        let seg = self.run_segment(tiles, 0, steps, drill, Vec::new())?;
         Ok(RunOutcome2 {
             tiles: seg.tiles,
             timing: seg.timing,
@@ -297,6 +303,19 @@ impl ThreadedRunner2 {
         cfg: &SupervisorConfig,
         kill: Option<KillSpec>,
     ) -> Result<RunOutcome2, RunError> {
+        self.run_supervised_kills(steps, cfg, kill.as_slice())
+    }
+
+    /// Like [`run_supervised`](Self::run_supervised), but with any number of
+    /// seeded kills — including kills armed on a *replay* attempt
+    /// ([`KillSpec::attempt`] > 0), i.e. a crash that strikes while recovery
+    /// from an earlier crash is still in flight.
+    pub fn run_supervised_kills(
+        &self,
+        steps: u64,
+        cfg: &SupervisorConfig,
+        kills: &[KillSpec],
+    ) -> Result<RunOutcome2, RunError> {
         let active = self.problem.active_tiles();
         let mut snapshot = self.initial_tiles();
         let interval = cfg.checkpoint_interval.max(1);
@@ -304,23 +323,32 @@ impl ThreadedRunner2 {
             .iter()
             .map(|&id| (id, StepTiming::default()))
             .collect();
-        let mut kill = kill;
         let mut restarts = 0u32;
         let mut done = 0u64;
         let mut supervisor =
             self.recorder
                 .track(TRACE_PID, SUPERVISOR_TID, "threaded2", "supervisor");
         let mut replaying = false;
+        // How many times the *current* segment window has already failed:
+        // a kill arms only when its window runs at exactly its attempt index,
+        // so each spec fires at most once.
+        let mut window_attempt = 0u32;
         while done < steps {
             let end = (done + interval).min(steps);
+            let armed: Vec<KillSpec> = kills
+                .iter()
+                .filter(|kl| kl.at_step >= done && kl.at_step < end && kl.attempt == window_attempt)
+                .cloned()
+                .collect();
             let seg0 = Instant::now();
-            match self.run_segment(snapshot.clone(), done, end, None, kill.clone()) {
+            match self.run_segment(snapshot.clone(), done, end, None, armed) {
                 Ok(seg) => {
                     snapshot = seg.tiles;
                     for (acc, (_, t)) in timing.iter_mut().zip(seg.timing) {
                         acc.1.append(&t);
                     }
                     done = end;
+                    window_attempt = 0;
                     if replaying {
                         // this segment was a rollback replay: the recompute
                         // cost of the crash, distinct from normal progress
@@ -342,11 +370,7 @@ impl ThreadedRunner2 {
                 Err(e) => {
                     supervisor.instant_wall(Category::Fault, "segment failed", Instant::now());
                     replaying = true;
-                    // the injected kill fires at most once: disarm it if its
-                    // step fell inside the aborted window
-                    if kill.as_ref().is_some_and(|kl| kl.at_step < end) {
-                        kill = None;
-                    }
+                    window_attempt += 1;
                     restarts += 1;
                     if restarts > cfg.max_restarts {
                         return Err(RunError::RetriesExhausted {
@@ -386,7 +410,7 @@ impl ThreadedRunner2 {
         start: u64,
         end: u64,
         drill: Option<MigrationDrill>,
-        kill: Option<KillSpec>,
+        kills: Vec<KillSpec>,
     ) -> Result<Segment2, RunError> {
         let active = self.problem.active_tiles();
         let n = active.len();
@@ -466,7 +490,7 @@ impl ThreadedRunner2 {
                 let ep = endpoints.remove(0);
                 let control = Arc::clone(&control);
                 let drill = drill.clone();
-                let kill = kill.clone();
+                let kills = kills.clone();
                 let drill_fired = &drill_fired;
                 let mut track = self.tile_track(id);
                 handles.push(
@@ -536,13 +560,14 @@ impl ThreadedRunner2 {
                         for s in start..end {
                             control.published[k].store(s, Ordering::SeqCst);
                             // seeded fault injection: this worker dies here
-                            if let Some(kl) = kill.as_ref() {
-                                if kl.tile == id && kl.at_step == s {
-                                    if kl.panic {
-                                        panic!("injected fault: tile {id} killed at step {s}");
-                                    }
-                                    return Err(RunError::Injected { tile: id, step: s });
+                            // (the supervisor pre-filters kills by attempt)
+                            if let Some(kl) =
+                                kills.iter().find(|kl| kl.tile == id && kl.at_step == s)
+                            {
+                                if kl.panic {
+                                    panic!("injected fault: tile {id} killed at step {s}");
                                 }
+                                return Err(RunError::Injected { tile: id, step: s });
                             }
                             // Appendix B picks the sync step with a margin so it
                             // lands in every process's future; that only holds if
@@ -587,7 +612,7 @@ impl ThreadedRunner2 {
                                                     dump_path: path,
                                                 });
                                             }
-                                            Err(e) => drill_err = Some(RunError::Io(e)),
+                                            Err(e) => drill_err = Some(RunError::Checkpoint(e)),
                                         }
                                     }
                                 }
@@ -991,6 +1016,7 @@ mod tests {
         let kill = KillSpec {
             tile: 1,
             at_step: 7,
+            attempt: 0,
             panic: false,
         };
         let out = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
@@ -1089,6 +1115,7 @@ mod tests {
         let kill = KillSpec {
             tile: 1,
             at_step: 13,
+            attempt: 0,
             panic: false,
         };
         let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
@@ -1129,6 +1156,7 @@ mod tests {
             Some(KillSpec {
                 tile: 2,
                 at_step: 9,
+                attempt: 0,
                 panic: true,
             }),
         );
@@ -1138,6 +1166,49 @@ mod tests {
         let a = plain.gather(24, 16, 1.0);
         let b = sup.gather(24, 16, 1.0);
         assert_eq!(a.first_difference(&b), None, "panic recovery diverged");
+    }
+
+    #[test]
+    fn crash_during_recovery_still_recovers_bitwise() {
+        // A second kill fires on the *replay* of the segment the first kill
+        // aborted: recovery itself crashes, and the supervisor must roll back
+        // again and still converge to the undisturbed result.
+        let solver: Arc<dyn Solver2> = Arc::new(LatticeBoltzmann2);
+        let plain = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run(20)
+            .unwrap();
+        let kills = [
+            KillSpec {
+                tile: 1,
+                at_step: 13,
+                attempt: 0,
+                panic: false,
+            },
+            KillSpec {
+                tile: 2,
+                at_step: 14,
+                attempt: 1,
+                panic: false,
+            },
+        ];
+        let sup = ThreadedRunner2::new(Arc::clone(&solver), problem(2, 2))
+            .run_supervised_kills(
+                20,
+                &SupervisorConfig {
+                    checkpoint_interval: 6,
+                    max_restarts: 3,
+                },
+                &kills,
+            )
+            .unwrap();
+        assert_eq!(sup.restarts, 2, "both kills should fire exactly once");
+        let a = plain.gather(24, 16, 1.0);
+        let b = sup.gather(24, 16, 1.0);
+        assert_eq!(
+            a.first_difference(&b),
+            None,
+            "crash-during-recovery diverged from clean run"
+        );
     }
 
     #[test]
@@ -1152,6 +1223,7 @@ mod tests {
             Some(KillSpec {
                 tile: 0,
                 at_step: 2,
+                attempt: 0,
                 panic: false,
             }),
         ) {
@@ -1182,11 +1254,12 @@ mod tests {
             0,
             10,
             None,
-            Some(KillSpec {
+            vec![KillSpec {
                 tile: 3,
                 at_step: 5,
+                attempt: 0,
                 panic: false,
-            }),
+            }],
         ) {
             Err(e) => e,
             Ok(_) => panic!("the injected kill should abort the segment"),

@@ -176,7 +176,7 @@ impl ThreadedRunner3 {
             std::fs::create_dir_all(&d.dump_dir)?;
         }
         let tiles = self.initial_tiles();
-        let seg = self.run_segment(tiles, 0, steps, drill, None)?;
+        let seg = self.run_segment(tiles, 0, steps, drill, Vec::new())?;
         Ok(RunOutcome3 {
             tiles: seg.tiles,
             timing: seg.timing,
@@ -193,6 +193,18 @@ impl ThreadedRunner3 {
         cfg: &SupervisorConfig,
         kill: Option<KillSpec>,
     ) -> Result<RunOutcome3, RunError> {
+        self.run_supervised_kills(steps, cfg, kill.as_slice())
+    }
+
+    /// Like [`run_supervised`](Self::run_supervised), but with any number of
+    /// seeded kills, including kills armed on a replay attempt
+    /// ([`KillSpec::attempt`] > 0) — a crash during recovery.
+    pub fn run_supervised_kills(
+        &self,
+        steps: u64,
+        cfg: &SupervisorConfig,
+        kills: &[KillSpec],
+    ) -> Result<RunOutcome3, RunError> {
         let active = self.problem.active_tiles();
         let mut snapshot = self.initial_tiles();
         let interval = cfg.checkpoint_interval.max(1);
@@ -200,23 +212,31 @@ impl ThreadedRunner3 {
             .iter()
             .map(|&id| (id, StepTiming::default()))
             .collect();
-        let mut kill = kill;
         let mut restarts = 0u32;
         let mut done = 0u64;
         let mut supervisor =
             self.recorder
                 .track(TRACE_PID, SUPERVISOR_TID, "threaded3", "supervisor");
         let mut replaying = false;
+        // Retry index of the current segment window; a kill arms only when
+        // its window runs at exactly its attempt index (fires at most once).
+        let mut window_attempt = 0u32;
         while done < steps {
             let end = (done + interval).min(steps);
+            let armed: Vec<KillSpec> = kills
+                .iter()
+                .filter(|kl| kl.at_step >= done && kl.at_step < end && kl.attempt == window_attempt)
+                .cloned()
+                .collect();
             let seg0 = Instant::now();
-            match self.run_segment(snapshot.clone(), done, end, None, kill.clone()) {
+            match self.run_segment(snapshot.clone(), done, end, None, armed) {
                 Ok(seg) => {
                     snapshot = seg.tiles;
                     for (acc, (_, t)) in timing.iter_mut().zip(seg.timing) {
                         acc.1.append(&t);
                     }
                     done = end;
+                    window_attempt = 0;
                     if replaying {
                         supervisor.span_wall_arg(
                             Category::Recovery,
@@ -236,9 +256,7 @@ impl ThreadedRunner3 {
                 Err(e) => {
                     supervisor.instant_wall(Category::Fault, "segment failed", Instant::now());
                     replaying = true;
-                    if kill.as_ref().is_some_and(|kl| kl.at_step < end) {
-                        kill = None;
-                    }
+                    window_attempt += 1;
                     restarts += 1;
                     if restarts > cfg.max_restarts {
                         return Err(RunError::RetriesExhausted {
@@ -272,7 +290,7 @@ impl ThreadedRunner3 {
         start: u64,
         end: u64,
         drill: Option<MigrationDrill>,
-        kill: Option<KillSpec>,
+        kills: Vec<KillSpec>,
     ) -> Result<Segment3, RunError> {
         let active = self.problem.active_tiles();
         let n = active.len();
@@ -346,7 +364,7 @@ impl ThreadedRunner3 {
                 let ep = endpoints.remove(0);
                 let control = Arc::clone(&control);
                 let drill = drill.clone();
-                let kill = kill.clone();
+                let kills = kills.clone();
                 let drill_fired = &drill_fired;
                 let mut track = self.tile_track(id);
                 handles.push(
@@ -409,13 +427,13 @@ impl ThreadedRunner3 {
                         for s in start..end {
                             control.published[k].store(s, Ordering::SeqCst);
                             // seeded fault injection: this worker dies here
-                            if let Some(kl) = kill.as_ref() {
-                                if kl.tile == id && kl.at_step == s {
-                                    if kl.panic {
-                                        panic!("injected fault: tile {id} killed at step {s}");
-                                    }
-                                    return Err(RunError::Injected { tile: id, step: s });
+                            if let Some(kl) =
+                                kills.iter().find(|kl| kl.tile == id && kl.at_step == s)
+                            {
+                                if kl.panic {
+                                    panic!("injected fault: tile {id} killed at step {s}");
                                 }
+                                return Err(RunError::Injected { tile: id, step: s });
                             }
                             // Hold once at the arm step so workers cannot outrun
                             // the monitor's sync-step announcement (same guard as
@@ -452,7 +470,7 @@ impl ThreadedRunner3 {
                                                     dump_path: path,
                                                 });
                                             }
-                                            Err(e) => drill_err = Some(RunError::Io(e)),
+                                            Err(e) => drill_err = Some(RunError::Checkpoint(e)),
                                         }
                                     }
                                 }
@@ -769,6 +787,7 @@ mod tests {
                 Some(KillSpec {
                     tile: 2,
                     at_step: 7,
+                    attempt: 0,
                     panic: false,
                 }),
             )

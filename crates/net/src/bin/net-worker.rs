@@ -1,0 +1,10 @@
+//! Worker entry point: one solver tile as an OS process. Spawned by the
+//! supervisor with `SUBSONIC_NET_DIR`/`SUBSONIC_NET_WORKER` in the
+//! environment; everything else arrives over the control socket.
+
+fn main() {
+    if let Err(e) = subsonic_net::process_worker_main() {
+        eprintln!("net-worker: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,296 @@
+//! Frame links: the byte-level transports a control or data connection runs
+//! over.
+//!
+//! A link is a pair of half-duplex endpoints ([`FrameTx`], [`FrameRx`])
+//! moving whole frames (the payloads of `wire::write_frame`). Two
+//! implementations:
+//!
+//! * [`TcpLink`] — a loopback `TcpStream` split via `try_clone`. The receive
+//!   half owns a buffered reassembly buffer so a read timeout in the middle
+//!   of a frame never corrupts the stream.
+//! * In-memory channels ([`mem_pair`]) — `std::sync::mpsc` of owned frames;
+//!   the sockets-free transport used by record/replay and the in-process
+//!   host.
+//!
+//! Both map peer death to `ErrorKind::UnexpectedEof`/`BrokenPipe` and
+//! timeouts to `ErrorKind::TimedOut`/`WouldBlock`, which is all the callers
+//! dispatch on.
+
+use std::io::{self, Read};
+use std::net::TcpStream;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+use crate::wire::MAX_FRAME;
+
+/// Sending half of a frame link.
+pub trait FrameTx: Send {
+    /// Queues one frame; an error means the peer is unreachable.
+    fn send(&mut self, frame: &[u8]) -> io::Result<()>;
+}
+
+/// Receiving half of a frame link.
+pub trait FrameRx: Send {
+    /// Blocks up to `timeout` for the next frame. `TimedOut`/`WouldBlock`
+    /// mean try again; `UnexpectedEof`/anything else means the peer is gone.
+    fn recv(&mut self, timeout: Duration) -> io::Result<Vec<u8>>;
+}
+
+/// A connected frame link, ready to split into its two halves.
+pub struct Link {
+    /// Sending half.
+    pub tx: Box<dyn FrameTx>,
+    /// Receiving half.
+    pub rx: Box<dyn FrameRx>,
+}
+
+// ---------------------------------------------------------------------------
+// TCP
+
+/// Sending half of a TCP link.
+pub struct TcpTx {
+    stream: TcpStream,
+}
+
+impl FrameTx for TcpTx {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        crate::wire::write_frame(&mut self.stream, frame)
+    }
+}
+
+/// Receiving half of a TCP link: accumulates bytes across read timeouts so a
+/// frame interrupted mid-flight resumes instead of desynchronising.
+pub struct TcpRx {
+    stream: TcpStream,
+    partial: Vec<u8>,
+    need: Option<usize>,
+}
+
+impl TcpRx {
+    /// Pulls bytes until `self.partial` holds `want` bytes or the socket
+    /// deadline passes.
+    fn fill(&mut self, want: usize) -> io::Result<()> {
+        let mut chunk = [0u8; 16 * 1024];
+        while self.partial.len() < want {
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed the link",
+                ));
+            }
+            self.partial.extend_from_slice(&chunk[..n]);
+        }
+        Ok(())
+    }
+}
+
+impl FrameRx for TcpRx {
+    fn recv(&mut self, timeout: Duration) -> io::Result<Vec<u8>> {
+        // set_read_timeout(0) is invalid; clamp to something tiny instead.
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))?;
+        if self.need.is_none() {
+            self.fill(4)?;
+            let len = u32::from_le_bytes([
+                self.partial[0],
+                self.partial[1],
+                self.partial[2],
+                self.partial[3],
+            ]) as usize;
+            if len > MAX_FRAME {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("frame length {len} exceeds cap"),
+                ));
+            }
+            self.need = Some(len);
+        }
+        let len = self.need.unwrap_or(0);
+        self.fill(4 + len)?;
+        let frame = self.partial[4..4 + len].to_vec();
+        self.partial.drain(..4 + len);
+        self.need = None;
+        Ok(frame)
+    }
+}
+
+/// Splits a connected stream into a frame link.
+pub fn tcp_link(stream: TcpStream) -> io::Result<Link> {
+    stream.set_nodelay(true)?;
+    let rx = TcpRx {
+        stream: stream.try_clone()?,
+        partial: Vec::new(),
+        need: None,
+    };
+    Ok(Link {
+        tx: Box::new(TcpTx { stream }),
+        rx: Box::new(rx),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// In-memory
+
+/// Sending half of an in-memory link.
+pub struct MemTx {
+    tx: Sender<Vec<u8>>,
+}
+
+impl FrameTx for MemTx {
+    fn send(&mut self, frame: &[u8]) -> io::Result<()> {
+        self.tx
+            .send(frame.to_vec())
+            .map_err(|_| io::Error::new(io::ErrorKind::BrokenPipe, "peer dropped the link"))
+    }
+}
+
+/// Receiving half of an in-memory link.
+pub struct MemRx {
+    rx: Receiver<Vec<u8>>,
+}
+
+impl FrameRx for MemRx {
+    fn recv(&mut self, timeout: Duration) -> io::Result<Vec<u8>> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(frame) => Ok(frame),
+            Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "no frame within timeout",
+            )),
+            Err(RecvTimeoutError::Disconnected) => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "peer dropped the link",
+            )),
+        }
+    }
+}
+
+/// Creates a bidirectional in-memory link, returning the two ends.
+pub fn mem_pair() -> (Link, Link) {
+    let (a_tx, b_rx) = channel();
+    let (b_tx, a_rx) = channel();
+    (
+        Link {
+            tx: Box::new(MemTx { tx: a_tx }),
+            rx: Box::new(MemRx { rx: a_rx }),
+        },
+        Link {
+            tx: Box::new(MemTx { tx: b_tx }),
+            rx: Box::new(MemRx { rx: b_rx }),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Switchboard: rendezvous for in-memory data-plane links
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+type SlotEnds = (Option<Link>, Option<Link>);
+
+/// In-process rendezvous point handing out data-plane [`Link`]s between
+/// worker threads, keyed by `(epoch, lo, hi)`. The first caller of a key
+/// creates both ends; each side collects its own. Fresh epochs get fresh
+/// channels, so frames from a pre-rollback mesh can never leak into the new
+/// one (the in-memory analogue of closing and re-opening sockets).
+#[derive(Default)]
+pub struct Switchboard {
+    slots: Mutex<HashMap<(u32, u32, u32), SlotEnds>>,
+}
+
+impl Switchboard {
+    /// Collects `me`'s end of the `(a, b)` link for `epoch`, creating the
+    /// pair on first access. Returns `None` if this side already took its
+    /// end (a protocol bug, surfaced to the caller as a dead link).
+    pub fn connect(&self, epoch: u32, a: u32, b: u32, me: u32) -> Option<Link> {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let mut slots = match self.slots.lock() {
+            Ok(g) => g,
+            Err(_) => return None,
+        };
+        let slot = slots.entry((epoch, lo, hi)).or_insert_with(|| {
+            let (lo_end, hi_end) = mem_pair();
+            (Some(lo_end), Some(hi_end))
+        });
+        if me == lo {
+            slot.0.take()
+        } else {
+            slot.1.take()
+        }
+    }
+
+    /// Drops every link of epochs older than `epoch` so stale ends unblock
+    /// their peers.
+    pub fn retire_before(&self, epoch: u32) {
+        if let Ok(mut slots) = self.slots.lock() {
+            slots.retain(|k, _| k.0 >= epoch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn mem_link_roundtrip_and_death() {
+        let (mut a, mut b) = mem_pair();
+        a.tx.send(b"hello").unwrap();
+        assert_eq!(b.rx.recv(Duration::from_secs(1)).unwrap(), b"hello");
+        let err = b.rx.recv(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        drop(a);
+        let err = b.rx.recv(Duration::from_millis(10)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+        let err = b.tx.send(b"x").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe);
+    }
+
+    #[test]
+    fn tcp_link_reassembles_across_timeouts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        let mut a = tcp_link(client).unwrap();
+        let mut b = tcp_link(server).unwrap();
+
+        // nothing sent yet: the reader times out without losing sync
+        let err = b.rx.recv(Duration::from_millis(20)).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+        ));
+
+        let big = vec![0xabu8; 200_000];
+        a.tx.send(&big).unwrap();
+        a.tx.send(b"tail").unwrap();
+        assert_eq!(b.rx.recv(Duration::from_secs(5)).unwrap(), big);
+        assert_eq!(b.rx.recv(Duration::from_secs(5)).unwrap(), b"tail");
+
+        drop(a);
+        let err = b.rx.recv(Duration::from_secs(1)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn switchboard_pairs_both_ends_once() {
+        let sw = Switchboard::default();
+        let mut lo = sw.connect(0, 2, 1, 1).unwrap();
+        let mut hi = sw.connect(0, 1, 2, 2).unwrap();
+        lo.tx.send(b"east").unwrap();
+        assert_eq!(hi.rx.recv(Duration::from_secs(1)).unwrap(), b"east");
+        hi.tx.send(b"west").unwrap();
+        assert_eq!(lo.rx.recv(Duration::from_secs(1)).unwrap(), b"west");
+        // double-collection is a bug, not a hang
+        assert!(sw.connect(0, 1, 2, 2).is_none());
+        // a new epoch is a fresh pair
+        assert!(sw.connect(1, 1, 2, 2).is_some());
+        sw.retire_before(2);
+        assert!(sw.connect(1, 1, 2, 1).is_some()); // recreated empty slot
+    }
+}

@@ -1,0 +1,926 @@
+//! The supervisor: spawns workers, commits coordinated checkpoints, detects
+//! deaths, and recovers by shipping state.
+//!
+//! The supervisor is the only stateful authority in the job. Workers hold a
+//! tile and a mesh; the supervisor holds the *committed* cut — one sealed
+//! checkpoint per worker, persisted torn-write-safe in the run directory —
+//! plus the restart budget and the fault schedule. Execution is segment-at-
+//! a-time: broadcast `Run`, collect a `SegDone` from everyone, persist the
+//! new cut, advance. Any death inside a segment voids the whole segment:
+//! kill detection (pause-fence `Paused` report, control-link EOF, or
+//! heartbeat silence) triggers the recovery sequence — respawn the victim,
+//! ship every worker its committed checkpoint, rebuild the mesh under
+//! `epoch + 1`, re-issue the same window. Workers never talk to each other
+//! about failure; epochs fence off every stale byte.
+//!
+//! Worker *hosting* is pluggable ([`WorkerHost`]): [`ProcessHost`] forks the
+//! `net-worker` binary and kills with SIGKILL; [`ThreadHost`] runs the same
+//! worker state machine on threads over in-memory links, where a kill is a
+//! hard abort flag. Record/replay runs the thread host with the recorded
+//! fault schedule and compares logs.
+
+use crate::link::{mem_pair, tcp_link, FrameRx, FrameTx, Link, Switchboard};
+use crate::record::{FaultRecord, RunRecord};
+use crate::wire::{
+    decode_msg, encode_msg, Msg, SolverKind, TransportKind, WorkerConfig, NO_NEIGHBOR, NO_PAUSE,
+};
+use crate::worker::{face_index, make_solver, worker_run};
+use crate::NetError;
+use std::collections::HashMap;
+use std::io;
+use std::net::TcpListener;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use subsonic_exec::checkpoint::{dump_tile2, restore_tile2, save_dump_bytes};
+use subsonic_exec::{GlobalFields2, Problem2, StepTiming};
+use subsonic_grid::Face2;
+use subsonic_obs::{decode_tracks, Category, FlightRecorder};
+
+/// Bound on one supervisor phase (handshake, mesh build, segment).
+const PHASE_DEADLINE: Duration = Duration::from_secs(120);
+/// Heartbeat silence after which a worker is declared dead mid-segment.
+const HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// One scheduled kill: SIGKILL `worker` when it reaches the fence before
+/// `at_step`, but only on the `attempt`-th execution of the window holding
+/// that step (attempt 0 is the first try; attempt 1 kills the *recovery
+/// replay* — a crash during recovery).
+#[derive(Debug, Clone, Copy)]
+pub struct NetKill {
+    /// Victim worker id.
+    pub worker: u32,
+    /// Fence step: the kill lands before this step executes.
+    pub at_step: u64,
+    /// Which execution of the window to strike.
+    pub attempt: u32,
+}
+
+/// Job configuration for a distributed run.
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Halo data-plane wire.
+    pub transport: TransportKind,
+    /// Solver the workers instantiate.
+    pub solver: SolverKind,
+    /// Total integration steps.
+    pub steps: u64,
+    /// Checkpoint (segment) interval in steps.
+    pub interval: u64,
+    /// Record per-step hashes and receive digests for replay.
+    pub record: bool,
+    /// Restart budget; exceeding it fails the job.
+    pub max_restarts: u32,
+    /// Directory for the port file and committed checkpoints.
+    pub run_dir: PathBuf,
+    /// Scheduled kills (empty for a clean run).
+    pub kills: Vec<NetKill>,
+    /// UDP loss injection (0 = off).
+    pub udp_drop_every: u64,
+}
+
+impl NetConfig {
+    /// A clean-run config with the given essentials.
+    pub fn new(transport: TransportKind, steps: u64, interval: u64, run_dir: PathBuf) -> Self {
+        NetConfig {
+            transport,
+            solver: SolverKind::LatticeBoltzmann,
+            steps,
+            interval,
+            record: false,
+            max_restarts: 4,
+            run_dir,
+            kills: Vec::new(),
+            udp_drop_every: 0,
+        }
+    }
+}
+
+/// What a finished job reports.
+pub struct NetOutcome {
+    /// Gathered global fields at the final step.
+    pub fields: GlobalFields2,
+    /// Restarts consumed.
+    pub restarts: u32,
+    /// Wall-clock recovery latency per fault: kill detection to the first
+    /// post-rollback `Run`.
+    pub recovery_latency: Vec<Duration>,
+    /// Faults executed, in order.
+    pub faults: Vec<FaultRecord>,
+    /// Aggregate committed-segment timing (merged across workers, appended
+    /// across segments).
+    pub timing: StepTiming,
+    /// The recording, when `NetConfig::record` was set.
+    pub record: Option<RunRecord>,
+}
+
+/// How workers are hosted: as OS processes or as in-process threads.
+pub trait WorkerHost {
+    /// Spawns (or respawns) worker `id`, returning its control link with the
+    /// `Hello` handshake already verified.
+    fn spawn(&mut self, id: u32) -> Result<Link, NetError>;
+    /// Forcibly kills worker `id` — SIGKILL for processes, hard-abort for
+    /// threads. The worker gets no chance to say goodbye.
+    fn kill(&mut self, id: u32);
+    /// Reaps worker `id` after exit (waitpid / join).
+    fn reap(&mut self, id: u32);
+    /// The switchboard in-process workers mesh through, if any.
+    fn switchboard(&self) -> Option<Arc<Switchboard>> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Process host
+
+/// Hosts workers as real OS processes speaking loopback TCP, bootstrapped by
+/// the paper's port-file handshake: the supervisor writes `control=<port>`
+/// into `<run_dir>/ports`; spawned workers poll for it and dial in.
+pub struct ProcessHost {
+    bin: PathBuf,
+    args: Vec<String>,
+    run_dir: PathBuf,
+    listener: TcpListener,
+    children: HashMap<u32, Child>,
+}
+
+impl ProcessHost {
+    /// Creates the host: binds the control listener and publishes the port
+    /// file.
+    pub fn new(bin: PathBuf, args: Vec<String>, run_dir: PathBuf) -> Result<ProcessHost, NetError> {
+        std::fs::create_dir_all(&run_dir).map_err(NetError::Io)?;
+        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::Io)?;
+        listener.set_nonblocking(true).map_err(NetError::Io)?;
+        let port = listener.local_addr().map_err(NetError::Io)?.port();
+        // atomic publish: workers must never read a half-written port file
+        let tmp = run_dir.join("ports.tmp");
+        std::fs::write(&tmp, format!("control={port}\n")).map_err(NetError::Io)?;
+        std::fs::rename(&tmp, run_dir.join("ports")).map_err(NetError::Io)?;
+        Ok(ProcessHost {
+            bin,
+            args,
+            run_dir,
+            listener,
+            children: HashMap::new(),
+        })
+    }
+
+    /// Builds the host from `SUBSONIC_NET_WORKER_BIN` (+ optional
+    /// space-separated `SUBSONIC_NET_WORKER_ARGS`) — how the `reproduce`
+    /// driver points workers back at its own binary.
+    pub fn from_env(run_dir: PathBuf) -> Result<ProcessHost, NetError> {
+        let bin = std::env::var("SUBSONIC_NET_WORKER_BIN")
+            .map_err(|_| NetError::Protocol("SUBSONIC_NET_WORKER_BIN not set".into()))?;
+        let args = std::env::var("SUBSONIC_NET_WORKER_ARGS")
+            .map(|a| a.split_whitespace().map(str::to_string).collect::<Vec<_>>())
+            .unwrap_or_default();
+        ProcessHost::new(PathBuf::from(bin), args, run_dir)
+    }
+}
+
+impl WorkerHost for ProcessHost {
+    fn spawn(&mut self, id: u32) -> Result<Link, NetError> {
+        let child = Command::new(&self.bin)
+            .args(&self.args)
+            .env("SUBSONIC_NET_DIR", &self.run_dir)
+            .env("SUBSONIC_NET_WORKER", id.to_string())
+            .stdin(Stdio::null())
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(NetError::Io)?;
+        self.children.insert(id, child);
+        // accept until this worker's Hello arrives (spawns are serial, but
+        // verify identity anyway)
+        let t0 = Instant::now();
+        loop {
+            if t0.elapsed() > Duration::from_secs(30) {
+                return Err(NetError::Timeout("worker handshake"));
+            }
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let mut link = tcp_link(stream).map_err(NetError::Io)?;
+                    let hello = link
+                        .rx
+                        .recv(Duration::from_secs(5))
+                        .ok()
+                        .and_then(|f| decode_msg(&f).ok());
+                    match hello {
+                        Some(Msg::Hello { worker }) if worker == id => return Ok(link),
+                        _ => {} // stray dial: drop it
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) => return Err(NetError::Io(e)),
+            }
+        }
+    }
+
+    fn kill(&mut self, id: u32) {
+        if let Some(child) = self.children.get_mut(&id) {
+            let _ = child.kill(); // SIGKILL on unix
+            let _ = child.wait();
+        }
+    }
+
+    fn reap(&mut self, id: u32) {
+        if let Some(mut child) = self.children.remove(&id) {
+            let _ = child.wait();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread host
+
+/// Hosts workers as in-process threads over in-memory control links and the
+/// switchboard data plane — the sockets-free runtime used by replay and fast
+/// tests. A kill is a hard-abort flag the worker polls on every step, every
+/// receive and every fence hold; the thread then exits, dropping its link
+/// ends, which is exactly what peers of a SIGKILLed process observe.
+/// A hosted worker thread: its join handle and the hard-abort flag that
+/// stands in for SIGKILL.
+type ThreadWorker = (JoinHandle<Result<(), NetError>>, Arc<AtomicBool>);
+
+pub struct ThreadHost {
+    switchboard: Arc<Switchboard>,
+    workers: HashMap<u32, ThreadWorker>,
+}
+
+impl ThreadHost {
+    /// An empty thread host with a fresh switchboard.
+    pub fn new() -> ThreadHost {
+        ThreadHost {
+            switchboard: Arc::new(Switchboard::default()),
+            workers: HashMap::new(),
+        }
+    }
+}
+
+impl Default for ThreadHost {
+    fn default() -> Self {
+        ThreadHost::new()
+    }
+}
+
+impl WorkerHost for ThreadHost {
+    fn spawn(&mut self, id: u32) -> Result<Link, NetError> {
+        if let Some((handle, hard)) = self.workers.remove(&id) {
+            hard.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+        let (sup_end, worker_end) = mem_pair();
+        let hard = Arc::new(AtomicBool::new(false));
+        let worker_hard = Arc::clone(&hard);
+        let sw = Arc::clone(&self.switchboard);
+        let handle = std::thread::spawn(move || worker_run(worker_end, id, Some(sw), worker_hard));
+        self.workers.insert(id, (handle, hard));
+        // the worker's Hello arrives on the event stream; identity is
+        // guaranteed by construction here
+        Ok(sup_end)
+    }
+
+    fn kill(&mut self, id: u32) {
+        if let Some((_, hard)) = self.workers.get(&id) {
+            hard.store(true, Ordering::SeqCst);
+        }
+    }
+
+    fn reap(&mut self, id: u32) {
+        if let Some((handle, hard)) = self.workers.remove(&id) {
+            // a worker that already finished ignores this; one still idling
+            // on a dropped control link exits promptly instead of running
+            // out its idle deadline under our join
+            hard.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+    }
+
+    fn switchboard(&self) -> Option<Arc<Switchboard>> {
+        Some(Arc::clone(&self.switchboard))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Supervisor proper
+
+enum Event {
+    Msg(u32, u32, Msg),
+    Gone(u32, u32),
+}
+
+fn spawn_sup_reader(
+    worker: u32,
+    life: u32,
+    mut rx: Box<dyn FrameRx>,
+    events: Sender<Event>,
+    shutdown: Arc<AtomicBool>,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match rx.recv(Duration::from_millis(100)) {
+            Ok(frame) => match decode_msg(&frame) {
+                Ok(msg) => {
+                    if events.send(Event::Msg(worker, life, msg)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    let _ = events.send(Event::Gone(worker, life));
+                    return;
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) => {}
+            Err(_) => {
+                let _ = events.send(Event::Gone(worker, life));
+                return;
+            }
+        }
+    })
+}
+
+struct Conn {
+    tx: Box<dyn FrameTx>,
+    life: u32,
+    alive: bool,
+}
+
+struct Sup<'a> {
+    conns: Vec<Conn>,
+    events: Receiver<Event>,
+    events_tx: Sender<Event>,
+    readers: Vec<JoinHandle<()>>,
+    shutdown: Arc<AtomicBool>,
+    host: &'a mut dyn WorkerHost,
+    next_life: u32,
+}
+
+impl<'a> Sup<'a> {
+    fn send(&mut self, w: u32, msg: &Msg) -> Result<(), NetError> {
+        self.conns[w as usize]
+            .tx
+            .send(&encode_msg(msg))
+            .map_err(NetError::Io)
+    }
+
+    /// Sends to every live worker, tolerating freshly-dead links.
+    fn broadcast(&mut self, msg: &Msg, skip: Option<u32>) {
+        let frame = encode_msg(msg);
+        for (w, conn) in self.conns.iter_mut().enumerate() {
+            if conn.alive && Some(w as u32) != skip {
+                let _ = conn.tx.send(&frame);
+            }
+        }
+    }
+
+    /// Next event from a *current-life* connection (stale readers are
+    /// silently drained).
+    fn next(&mut self, deadline: Instant) -> Result<Event, NetError> {
+        loop {
+            if Instant::now() > deadline {
+                return Err(NetError::Timeout("supervisor phase"));
+            }
+            match self.events.recv_timeout(Duration::from_millis(50)) {
+                Ok(Event::Msg(w, life, msg)) => {
+                    if self.conns[w as usize].life == life {
+                        return Ok(Event::Msg(w, life, msg));
+                    }
+                }
+                Ok(Event::Gone(w, life)) => {
+                    if self.conns[w as usize].life == life && self.conns[w as usize].alive {
+                        return Ok(Event::Gone(w, life));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NetError::Protocol("all supervisor readers exited".into()))
+                }
+            }
+        }
+    }
+
+    /// Spawns (or respawns) worker `w` and installs its connection/reader.
+    fn spawn_worker(&mut self, w: u32) -> Result<(), NetError> {
+        let link = self.host.spawn(w)?;
+        let life = self.next_life;
+        self.next_life += 1;
+        self.readers.push(spawn_sup_reader(
+            w,
+            life,
+            link.rx,
+            self.events_tx.clone(),
+            Arc::clone(&self.shutdown),
+        ));
+        self.conns[w as usize] = Conn {
+            tx: link.tx,
+            life,
+            alive: true,
+        };
+        Ok(())
+    }
+
+    /// Runs the mesh phase for `epoch`: collect ports, broadcast the map,
+    /// await readiness from all `n` workers.
+    fn mesh_phase(&mut self, epoch: u32, n: u32) -> Result<(), NetError> {
+        let deadline = Instant::now() + PHASE_DEADLINE;
+        let mut ports = vec![0u16; n as usize];
+        let mut have = vec![false; n as usize];
+        while have.iter().any(|h| !h) {
+            match self.next(deadline)? {
+                Event::Msg(w, _, Msg::DataPort { epoch: e, port }) if e == epoch => {
+                    ports[w as usize] = port;
+                    have[w as usize] = true;
+                }
+                Event::Msg(..) => {}
+                Event::Gone(w, _) => {
+                    return Err(NetError::Protocol(format!(
+                        "worker {w} died during mesh build"
+                    )))
+                }
+            }
+        }
+        self.broadcast(
+            &Msg::PortMap {
+                epoch,
+                ports: ports.clone(),
+            },
+            None,
+        );
+        let mut ready = vec![false; n as usize];
+        while ready.iter().any(|r| !r) {
+            match self.next(deadline)? {
+                Event::Msg(w, _, Msg::MeshReady { epoch: e }) if e == epoch => {
+                    ready[w as usize] = true;
+                }
+                Event::Msg(..) => {}
+                Event::Gone(w, _) => {
+                    return Err(NetError::Protocol(format!(
+                        "worker {w} died during mesh build"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-worker data a committed segment reports.
+struct SegReport {
+    ckpt: Vec<u8>,
+    log: Vec<u8>,
+    timing: StepTiming,
+}
+
+/// Runs `problem` to `cfg.steps` across one worker per active tile under
+/// `host`, recovering from scheduled kills and genuine deaths alike.
+/// Supervisor-side events land in `recorder`; worker tracks are merged into
+/// it at shutdown.
+pub fn run_problem(
+    problem: &Problem2,
+    cfg: &NetConfig,
+    host: &mut dyn WorkerHost,
+    recorder: &FlightRecorder,
+) -> Result<NetOutcome, NetError> {
+    if cfg.steps == 0 || cfg.interval == 0 {
+        return Err(NetError::Protocol("steps and interval must be > 0".into()));
+    }
+    std::fs::create_dir_all(&cfg.run_dir).map_err(NetError::Io)?;
+    let mut track = recorder.track(0, 0, "supervisor", "main");
+    let solver = make_solver(cfg.solver);
+    let active = problem.active_tiles();
+    let n = active.len() as u32;
+    if n == 0 {
+        return Err(NetError::Protocol("problem has no active tiles".into()));
+    }
+    let tile_to_worker: HashMap<usize, u32> = active
+        .iter()
+        .enumerate()
+        .map(|(w, &t)| (t, w as u32))
+        .collect();
+    let neighbors_of = |w: u32| -> [u32; 4] {
+        let tile = active[w as usize];
+        let mut out = [NO_NEIGHBOR; 4];
+        for f in Face2::ALL {
+            if let Some(nb) = problem.decomp.neighbor(tile, f) {
+                if let Some(&peer) = tile_to_worker.get(&nb) {
+                    out[face_index(f)] = peer;
+                }
+            }
+        }
+        out
+    };
+
+    // the committed cut: sealed checkpoint bytes per worker, persisted
+    let mut ckpts: Vec<Vec<u8>> = active
+        .iter()
+        .map(|&t| dump_tile2(&problem.make_tile(solver.as_ref(), t)))
+        .collect();
+    let ckpt_path = |w: u32| cfg.run_dir.join(format!("ckpt_w{w}.dump"));
+    for (w, bytes) in ckpts.iter().enumerate() {
+        save_dump_bytes(&ckpt_path(w as u32), bytes)?;
+    }
+
+    let (events_tx, events) = channel();
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let mut sup = Sup {
+        conns: Vec::new(),
+        events,
+        events_tx,
+        readers: Vec::new(),
+        shutdown: Arc::clone(&shutdown),
+        host,
+        next_life: 1,
+    };
+    // placeholder conns so spawn_worker can index-assign
+    for _ in 0..n {
+        let (dead_end, _) = mem_pair();
+        sup.conns.push(Conn {
+            tx: dead_end.tx,
+            life: 0,
+            alive: false,
+        });
+    }
+
+    let worker_cfg = |w: u32, epoch: u32, start_step: u64| WorkerConfig {
+        worker: w,
+        nworkers: n,
+        solver: cfg.solver,
+        transport: cfg.transport,
+        epoch,
+        start_step,
+        neighbors: neighbors_of(w),
+        record: cfg.record,
+        udp_drop_every: cfg.udp_drop_every,
+    };
+
+    let t_spawn = Instant::now();
+    for w in 0..n {
+        sup.spawn_worker(w)?;
+    }
+    for w in 0..n {
+        let init = Msg::Init {
+            cfg: worker_cfg(w, 0, 0),
+            ckpt: ckpts[w as usize].clone(),
+        };
+        sup.send(w, &init)?;
+    }
+    track.span_wall(Category::Sync, "worker spawn", t_spawn, Instant::now());
+
+    let result = drive(
+        &mut sup,
+        problem,
+        cfg,
+        &mut track,
+        &worker_cfg,
+        &ckpt_path,
+        &mut ckpts,
+        n,
+    );
+
+    // merge worker tracks, then tear the plumbing down regardless of outcome:
+    // control links drop FIRST so workers still idling (error paths) see EOF
+    // and exit instead of running out their idle deadline under reap's join
+    shutdown.store(true, Ordering::SeqCst);
+    sup.conns.clear();
+    for r in sup.readers.drain(..) {
+        let _ = r.join();
+    }
+    for w in 0..n {
+        sup.host.reap(w);
+    }
+    let (tracks, mut outcome) = result?;
+    for t in tracks {
+        recorder.adopt(t);
+    }
+    track.instant_wall(Category::Sync, "run done", Instant::now());
+    track.finish();
+
+    // final fields from the committed cut
+    let tiles: Vec<_> = ckpts
+        .iter()
+        .map(|b| restore_tile2(b))
+        .collect::<Result<_, _>>()?;
+    outcome.fields = GlobalFields2::gather(problem.geom.nx(), problem.geom.ny(), 1.0, tiles.iter());
+    Ok(outcome)
+}
+
+type WorkerCfgFn<'f> = &'f dyn Fn(u32, u32, u64) -> WorkerConfig;
+type CkptPathFn<'f> = &'f dyn Fn(u32) -> PathBuf;
+
+/// The segment/recovery loop. Returns worker tracks plus the outcome with
+/// everything except `fields` filled in.
+#[allow(clippy::too_many_arguments)]
+fn drive(
+    sup: &mut Sup<'_>,
+    problem: &Problem2,
+    cfg: &NetConfig,
+    track: &mut subsonic_obs::TrackRecorder,
+    worker_cfg: WorkerCfgFn<'_>,
+    ckpt_path: CkptPathFn<'_>,
+    ckpts: &mut [Vec<u8>],
+    n: u32,
+) -> Result<(Vec<subsonic_obs::TrackData>, NetOutcome), NetError> {
+    let mut epoch = 0u32;
+    let mut committed = 0u64;
+    let mut window_attempt = 0u32;
+    let mut restarts = 0u32;
+    let mut faults: Vec<FaultRecord> = Vec::new();
+    let mut recovery_latency: Vec<Duration> = Vec::new();
+    let mut logs: Vec<Vec<u8>> = vec![Vec::new(); n as usize];
+    let mut total_timing = StepTiming::default();
+
+    sup.mesh_phase(epoch, n)?;
+
+    while committed < cfg.steps {
+        let until = (committed + cfg.interval).min(cfg.steps);
+        let armed = cfg.kills.iter().find(|k| {
+            k.worker < n
+                && k.at_step >= committed
+                && k.at_step < until
+                && k.attempt == window_attempt
+        });
+        let t_seg = Instant::now();
+        for w in 0..n {
+            let pause_at = match armed {
+                Some(k) if k.worker == w => k.at_step,
+                _ => NO_PAUSE,
+            };
+            sup.send(
+                w,
+                &Msg::Run {
+                    epoch,
+                    from: committed,
+                    until,
+                    pause_at,
+                },
+            )?;
+        }
+
+        // collect the segment
+        let deadline = Instant::now() + PHASE_DEADLINE;
+        let mut reports: Vec<Option<SegReport>> = (0..n).map(|_| None).collect();
+        let mut failed = vec![false; n as usize];
+        let mut dead: Option<u32> = None;
+        let mut t_detect = Instant::now();
+        let mut last_heard: Vec<Instant> = vec![Instant::now(); n as usize];
+
+        let declare_dead = |sup: &mut Sup<'_>,
+                            w: u32,
+                            at_step: u64,
+                            dead: &mut Option<u32>,
+                            t_detect: &mut Instant,
+                            faults: &mut Vec<FaultRecord>| {
+            if dead.is_some() {
+                return;
+            }
+            *t_detect = Instant::now();
+            sup.host.kill(w);
+            sup.conns[w as usize].alive = false;
+            *dead = Some(w);
+            faults.push(FaultRecord {
+                victim: w,
+                at_step,
+                epoch,
+                rollback_step: committed,
+            });
+            sup.broadcast(&Msg::Abort { epoch }, Some(w));
+        };
+
+        loop {
+            let victim_done = |w: u32, dead: &Option<u32>| Some(w) == *dead;
+            let all_accounted = (0..n).all(|w| {
+                reports[w as usize].is_some() || failed[w as usize] || victim_done(w, &dead)
+            });
+            if all_accounted {
+                break;
+            }
+            match sup.next(deadline)? {
+                Event::Msg(w, _, msg) => {
+                    last_heard[w as usize] = Instant::now();
+                    match msg {
+                        Msg::Paused { epoch: e, step } if e == epoch => {
+                            // the kill fence: strike
+                            track.instant_wall(Category::Fault, "worker killed", Instant::now());
+                            declare_dead(sup, w, step, &mut dead, &mut t_detect, &mut faults);
+                        }
+                        Msg::SegDone {
+                            epoch: e,
+                            ckpt,
+                            log,
+                            t_calc_us,
+                            t_com_us,
+                            msgs_sent,
+                            doubles_sent,
+                            ..
+                        } if e == epoch => {
+                            let mut timing = StepTiming {
+                                t_calc: Duration::from_micros(t_calc_us),
+                                t_com: Duration::from_micros(t_com_us),
+                                msgs_sent,
+                                doubles_sent,
+                                ..StepTiming::default()
+                            };
+                            timing.steps = until - committed;
+                            reports[w as usize] = Some(SegReport { ckpt, log, timing });
+                        }
+                        Msg::SegFailed { epoch: e, .. } if e == epoch => {
+                            failed[w as usize] = true;
+                        }
+                        _ => {} // Hello, Progress, stale-epoch traffic
+                    }
+                }
+                Event::Gone(w, _) => {
+                    // an uncommanded death (or the fence kill's EOF racing
+                    // the Paused report)
+                    track.instant_wall(Category::Detection, "worker failed", Instant::now());
+                    declare_dead(sup, w, committed, &mut dead, &mut t_detect, &mut faults);
+                }
+            }
+            // heartbeat sweep: a hung worker is a dead worker
+            if dead.is_none() {
+                for w in 0..n {
+                    if reports[w as usize].is_none()
+                        && !failed[w as usize]
+                        && last_heard[w as usize].elapsed() > HEARTBEAT_TIMEOUT
+                    {
+                        track.instant_wall(Category::Detection, "heartbeat miss", Instant::now());
+                        declare_dead(sup, w, committed, &mut dead, &mut t_detect, &mut faults);
+                    }
+                }
+            }
+        }
+
+        if let Some(victim) = dead {
+            restarts += 1;
+            if restarts > cfg.max_restarts {
+                return Err(NetError::RetriesExhausted { restarts });
+            }
+            window_attempt += 1;
+            epoch += 1;
+            track.instant_wall(Category::Recovery, "worker respawn", Instant::now());
+            sup.host.reap(victim);
+            sup.spawn_worker(victim)?;
+            let t_ship = Instant::now();
+            let init = Msg::Init {
+                cfg: worker_cfg(victim, epoch, committed),
+                ckpt: ckpts[victim as usize].clone(),
+            };
+            sup.send(victim, &init)?;
+            for w in 0..n {
+                if w != victim {
+                    let rb = Msg::Rollback {
+                        epoch,
+                        step: committed,
+                        ckpt: ckpts[w as usize].clone(),
+                    };
+                    sup.send(w, &rb)?;
+                }
+            }
+            track.span_wall(
+                Category::Checkpoint,
+                "checkpoint ship",
+                t_ship,
+                Instant::now(),
+            );
+            if let Some(sw) = sup.host.switchboard() {
+                sw.retire_before(epoch);
+            }
+            sup.mesh_phase(epoch, n)?;
+            recovery_latency.push(t_detect.elapsed());
+            continue; // re-run the same window under the new epoch
+        }
+
+        // commit the cut
+        let t_commit = Instant::now();
+        let mut seg_timing = StepTiming::default();
+        for w in 0..n {
+            let report = reports[w as usize]
+                .take()
+                .ok_or_else(|| NetError::Protocol("segment report missing".into()))?;
+            save_dump_bytes(&ckpt_path(w), &report.ckpt)?;
+            ckpts[w as usize] = report.ckpt;
+            logs[w as usize].extend_from_slice(&report.log);
+            seg_timing.merge(&report.timing);
+        }
+        total_timing.append(&seg_timing);
+        track.span_wall(
+            Category::Checkpoint,
+            "segment commit",
+            t_commit,
+            Instant::now(),
+        );
+        track.span_wall_arg(
+            Category::Compute,
+            "segment",
+            t_seg,
+            Instant::now(),
+            Some(("end_step", until as f64)),
+        );
+        committed = until;
+        window_attempt = 0;
+    }
+
+    // shut the workers down and collect their tracks
+    sup.broadcast(&Msg::Done, None);
+    let deadline = Instant::now() + PHASE_DEADLINE;
+    let mut blobs: Vec<Option<Vec<u8>>> = (0..n).map(|_| None).collect();
+    while blobs.iter().any(|b| b.is_none()) {
+        match sup.next(deadline) {
+            Ok(Event::Msg(w, _, Msg::Tracks { blob })) => blobs[w as usize] = Some(blob),
+            Ok(Event::Msg(..)) => {}
+            Ok(Event::Gone(w, _)) => {
+                // a worker that dies before shipping tracks loses them
+                sup.conns[w as usize].alive = false;
+                blobs[w as usize].get_or_insert_with(Vec::new);
+            }
+            Err(_) => break, // tracks are best-effort; the physics is committed
+        }
+    }
+    let mut tracks = Vec::new();
+    for blob in blobs.into_iter().flatten() {
+        if let Ok(mut decoded) = decode_tracks(&blob) {
+            tracks.append(&mut decoded);
+        }
+    }
+
+    let record = cfg.record.then(|| RunRecord {
+        nx: problem.geom.nx() as u64,
+        ny: problem.geom.ny() as u64,
+        px: problem.decomp.px() as u32,
+        py: problem.decomp.py() as u32,
+        steps: cfg.steps,
+        interval: cfg.interval,
+        solver: cfg.solver,
+        transport: cfg.transport,
+        faults: faults.clone(),
+        logs: logs.clone(),
+        final_hashes: ckpts.iter().map(|c| crate::record::fnv1a(c)).collect(),
+    });
+
+    Ok((
+        tracks,
+        NetOutcome {
+            fields: GlobalFields2::gather(1, 1, 1.0, std::iter::empty()),
+            restarts,
+            recovery_latency,
+            faults,
+            timing: total_timing,
+            record,
+        },
+    ))
+}
+
+/// Replays a recording in-process over in-memory links (no sockets),
+/// re-injecting the recorded fault schedule, and checks the fresh run
+/// against the recording byte-for-byte. Returns the replay outcome on
+/// success.
+pub fn replay(
+    problem: &Problem2,
+    record: &RunRecord,
+    run_dir: &Path,
+    recorder: &FlightRecorder,
+) -> Result<NetOutcome, NetError> {
+    let cfg = NetConfig {
+        transport: TransportKind::Mem,
+        solver: record.solver,
+        steps: record.steps,
+        interval: record.interval,
+        record: true,
+        max_restarts: (record.faults.len() as u32).max(1) + 1,
+        run_dir: run_dir.to_path_buf(),
+        kills: record
+            .faults
+            .iter()
+            .map(|f| NetKill {
+                worker: f.victim,
+                at_step: f.at_step,
+                // epoch counts rollbacks globally; within one window the
+                // attempt is epoch minus the rollbacks that happened before
+                // the window started — for the schedules exercised here the
+                // epoch at the fault *is* the window attempt
+                attempt: f.epoch,
+                // (holds because every recovery re-runs the faulted window)
+            })
+            .collect(),
+        udp_drop_every: 0,
+    };
+    let mut host = ThreadHost::new();
+    let outcome = run_problem(problem, &cfg, &mut host, recorder)?;
+    let replay_record = outcome
+        .record
+        .as_ref()
+        .ok_or_else(|| NetError::Protocol("replay produced no record".into()))?;
+    record.check_against(replay_record)?;
+    Ok(outcome)
+}

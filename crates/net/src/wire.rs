@@ -1,0 +1,676 @@
+//! Control- and data-plane message codec for the multi-process runtime.
+//!
+//! Every byte that crosses a socket in this crate is one length-prefixed
+//! frame (`u32` little-endian length, then payload) whose payload decodes to
+//! a [`Msg`]. One enum covers both planes: the control protocol between the
+//! supervisor and its workers (handshake, port map, run/rollback/commit) and
+//! the worker-to-worker halo traffic. The encoding is the same hand-rolled
+//! little-endian style as the checkpoint format — no reflection, no schema
+//! evolution, a version byte up front so a mismatched peer fails loudly
+//! instead of mis-parsing.
+
+use std::io::{self, Read, Write};
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on a frame payload; anything larger is a corrupt length
+/// prefix, not a real message (the largest legitimate frame is a shipped
+/// checkpoint, far below this).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// `pause_at` value meaning "no pause fence armed".
+pub const NO_PAUSE: u64 = u64::MAX;
+
+/// Sentinel for "no neighbour across this face" in [`WorkerConfig::neighbors`].
+pub const NO_NEIGHBOR: u32 = u32::MAX;
+
+/// Which solver the workers instantiate (workers never see the `Problem2` —
+/// init closures do not cross process boundaries; tiles arrive as shipped
+/// checkpoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SolverKind {
+    /// D2Q9 lattice-Boltzmann.
+    LatticeBoltzmann,
+    /// Finite-difference subsonic solver.
+    FiniteDifference,
+}
+
+/// Which wire the halo data-plane runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// One loopback TCP stream per neighbouring worker pair.
+    Tcp,
+    /// One UDP socket per worker with the RFC 6298 retransmission state
+    /// machine from `subsonic-cluster` layered on top (Appendix D).
+    Udp,
+    /// In-memory channels through a shared switchboard — no sockets; the
+    /// replay transport.
+    Mem,
+}
+
+/// Everything a worker needs to participate, shipped in [`Msg::Init`]. The
+/// initial tile state rides alongside as sealed checkpoint bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerConfig {
+    /// This worker's index (also its tile's slot in the active-tile list).
+    pub worker: u32,
+    /// Total workers in the job.
+    pub nworkers: u32,
+    /// Solver to instantiate.
+    pub solver: SolverKind,
+    /// Data-plane wire.
+    pub transport: TransportKind,
+    /// Mesh epoch this worker joins at (0 for the initial spawn, the
+    /// post-rollback epoch for a respawn).
+    pub epoch: u32,
+    /// Step the shipped checkpoint resumes from.
+    pub start_step: u64,
+    /// Neighbouring worker per face, in `Face2::ALL` order
+    /// (`[West, East, South, North]`); [`NO_NEIGHBOR`] where the tile
+    /// touches the domain boundary.
+    pub neighbors: [u32; 4],
+    /// Record per-step state hashes and per-receive digests for replay.
+    pub record: bool,
+    /// UDP loss injection: drop every k-th first transmission on this
+    /// worker's socket (0 disables). Retransmission delivers the payload
+    /// anyway; the in-order layer keeps the solver oblivious.
+    pub udp_drop_every: u64,
+}
+
+/// One protocol message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Msg {
+    /// Worker → supervisor: first frame on a fresh control connection.
+    Hello { worker: u32 },
+    /// Supervisor → worker: job config plus the sealed initial/resume
+    /// checkpoint bytes.
+    Init { cfg: WorkerConfig, ckpt: Vec<u8> },
+    /// Worker → supervisor: the data-plane endpoint it bound for `epoch`
+    /// (TCP listener or UDP socket port; 0 for the in-memory switchboard).
+    DataPort { epoch: u32, port: u16 },
+    /// Supervisor → worker: every worker's data port for `epoch`, indexed by
+    /// worker id.
+    PortMap { epoch: u32, ports: Vec<u16> },
+    /// Worker → supervisor: all neighbour links for `epoch` are up.
+    MeshReady { epoch: u32 },
+    /// Supervisor → worker: execute steps `[from, until)`. If `pause_at !=`
+    /// [`NO_PAUSE`], stop before that step, report [`Msg::Paused`] and hold —
+    /// the supervisor's kill fence for deterministic fault injection.
+    Run {
+        epoch: u32,
+        from: u64,
+        until: u64,
+        pause_at: u64,
+    },
+    /// Worker → supervisor: holding at the pause fence before `step`.
+    Paused { epoch: u32, step: u64 },
+    /// Worker → supervisor: heartbeat after completing `step`.
+    Progress { epoch: u32, step: u64 },
+    /// Worker → supervisor: segment finished at `step`; carries the sealed
+    /// tile checkpoint, the state hash after the final step, the record-log
+    /// chunk for the segment, and the segment's calc/com split.
+    SegDone {
+        epoch: u32,
+        step: u64,
+        state_hash: u64,
+        ckpt: Vec<u8>,
+        log: Vec<u8>,
+        t_calc_us: u64,
+        t_com_us: u64,
+        msgs_sent: u64,
+        doubles_sent: u64,
+    },
+    /// Worker → supervisor: segment aborted at `step` (peer death or abort
+    /// directive); all partial work discarded.
+    SegFailed { epoch: u32, step: u64 },
+    /// Supervisor → worker: a peer died; stop the current segment.
+    Abort { epoch: u32 },
+    /// Supervisor → worker: discard state, restore the shipped checkpoint
+    /// (committed at `step`), rebuild the mesh under the new `epoch`.
+    Rollback {
+        epoch: u32,
+        step: u64,
+        ckpt: Vec<u8>,
+    },
+    /// Supervisor → worker: job complete; ship tracks and exit.
+    Done,
+    /// Worker → supervisor: encoded flight-recorder tracks
+    /// (`subsonic_obs::wire`).
+    Tracks { blob: Vec<u8> },
+    /// Worker → worker: one halo strip, packed across the **sender's**
+    /// `face` (the receiver unpacks at `face.opposite()`).
+    Halo {
+        epoch: u32,
+        step: u64,
+        xch: u8,
+        face: u8,
+        data: Vec<f64>,
+    },
+    /// Worker → worker: first frame on a fresh TCP data connection,
+    /// identifying the dialler and the epoch it is meshing for.
+    Identify { worker: u32, epoch: u32 },
+}
+
+/// Typed decode failure.
+#[derive(Debug)]
+pub enum CodecError {
+    /// Frame ended before the message did.
+    Truncated,
+    /// Unknown protocol version byte.
+    BadVersion(u8),
+    /// Unknown message tag.
+    BadTag(u8),
+    /// A field held an out-of-range value.
+    BadField(&'static str),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "frame truncated"),
+            CodecError::BadVersion(v) => write!(f, "unknown protocol version {v}"),
+            CodecError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            CodecError::BadField(what) => write!(f, "bad field: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn u16(&mut self, v: u16) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+    fn bytes(&mut self, v: &[u8]) {
+        self.u32(v.len() as u32);
+        self.buf.extend_from_slice(v);
+    }
+    fn doubles(&mut self, v: &[f64]) {
+        self.u32(v.len() as u32);
+        for d in v {
+            self.buf.extend_from_slice(&d.to_bits().to_le_bytes());
+        }
+    }
+}
+
+struct Dec<'a> {
+    buf: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Dec<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.at + n > self.buf.len() {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.at..self.at + n];
+        self.at += n;
+        Ok(s)
+    }
+    fn u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+    fn u16(&mut self) -> Result<u16, CodecError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+    fn u32(&mut self) -> Result<u32, CodecError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+    fn u64(&mut self) -> Result<u64, CodecError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+    fn bytes(&mut self) -> Result<Vec<u8>, CodecError> {
+        let n = self.u32()? as usize;
+        Ok(self.take(n)?.to_vec())
+    }
+    fn doubles(&mut self) -> Result<Vec<f64>, CodecError> {
+        let n = self.u32()? as usize;
+        let raw = self.take(n * 8)?;
+        let mut out = Vec::with_capacity(n);
+        for c in raw.chunks_exact(8) {
+            let mut a = [0u8; 8];
+            a.copy_from_slice(c);
+            out.push(f64::from_bits(u64::from_le_bytes(a)));
+        }
+        Ok(out)
+    }
+}
+
+fn solver_to_u8(s: SolverKind) -> u8 {
+    match s {
+        SolverKind::LatticeBoltzmann => 0,
+        SolverKind::FiniteDifference => 1,
+    }
+}
+
+fn solver_from_u8(v: u8) -> Result<SolverKind, CodecError> {
+    match v {
+        0 => Ok(SolverKind::LatticeBoltzmann),
+        1 => Ok(SolverKind::FiniteDifference),
+        _ => Err(CodecError::BadField("solver kind")),
+    }
+}
+
+fn transport_to_u8(t: TransportKind) -> u8 {
+    match t {
+        TransportKind::Tcp => 0,
+        TransportKind::Udp => 1,
+        TransportKind::Mem => 2,
+    }
+}
+
+fn transport_from_u8(v: u8) -> Result<TransportKind, CodecError> {
+    match v {
+        0 => Ok(TransportKind::Tcp),
+        1 => Ok(TransportKind::Udp),
+        2 => Ok(TransportKind::Mem),
+        _ => Err(CodecError::BadField("transport kind")),
+    }
+}
+
+fn cfg_to(e: &mut Enc, cfg: &WorkerConfig) {
+    e.u32(cfg.worker);
+    e.u32(cfg.nworkers);
+    e.u8(solver_to_u8(cfg.solver));
+    e.u8(transport_to_u8(cfg.transport));
+    e.u32(cfg.epoch);
+    e.u64(cfg.start_step);
+    for n in cfg.neighbors {
+        e.u32(n);
+    }
+    e.u8(cfg.record as u8);
+    e.u64(cfg.udp_drop_every);
+}
+
+fn cfg_from(d: &mut Dec<'_>) -> Result<WorkerConfig, CodecError> {
+    let worker = d.u32()?;
+    let nworkers = d.u32()?;
+    let solver = solver_from_u8(d.u8()?)?;
+    let transport = transport_from_u8(d.u8()?)?;
+    let epoch = d.u32()?;
+    let start_step = d.u64()?;
+    let mut neighbors = [NO_NEIGHBOR; 4];
+    for n in &mut neighbors {
+        *n = d.u32()?;
+    }
+    let record = d.u8()? != 0;
+    let udp_drop_every = d.u64()?;
+    Ok(WorkerConfig {
+        worker,
+        nworkers,
+        solver,
+        transport,
+        epoch,
+        start_step,
+        neighbors,
+        record,
+        udp_drop_every,
+    })
+}
+
+/// Encodes `msg` into a frame payload (no length prefix).
+pub fn encode_msg(msg: &Msg) -> Vec<u8> {
+    let mut e = Enc { buf: Vec::new() };
+    e.u8(PROTOCOL_VERSION);
+    match msg {
+        Msg::Hello { worker } => {
+            e.u8(0);
+            e.u32(*worker);
+        }
+        Msg::Init { cfg, ckpt } => {
+            e.u8(1);
+            cfg_to(&mut e, cfg);
+            e.bytes(ckpt);
+        }
+        Msg::DataPort { epoch, port } => {
+            e.u8(2);
+            e.u32(*epoch);
+            e.u16(*port);
+        }
+        Msg::PortMap { epoch, ports } => {
+            e.u8(3);
+            e.u32(*epoch);
+            e.u32(ports.len() as u32);
+            for p in ports {
+                e.u16(*p);
+            }
+        }
+        Msg::MeshReady { epoch } => {
+            e.u8(4);
+            e.u32(*epoch);
+        }
+        Msg::Run {
+            epoch,
+            from,
+            until,
+            pause_at,
+        } => {
+            e.u8(5);
+            e.u32(*epoch);
+            e.u64(*from);
+            e.u64(*until);
+            e.u64(*pause_at);
+        }
+        Msg::Paused { epoch, step } => {
+            e.u8(6);
+            e.u32(*epoch);
+            e.u64(*step);
+        }
+        Msg::Progress { epoch, step } => {
+            e.u8(7);
+            e.u32(*epoch);
+            e.u64(*step);
+        }
+        Msg::SegDone {
+            epoch,
+            step,
+            state_hash,
+            ckpt,
+            log,
+            t_calc_us,
+            t_com_us,
+            msgs_sent,
+            doubles_sent,
+        } => {
+            e.u8(8);
+            e.u32(*epoch);
+            e.u64(*step);
+            e.u64(*state_hash);
+            e.bytes(ckpt);
+            e.bytes(log);
+            e.u64(*t_calc_us);
+            e.u64(*t_com_us);
+            e.u64(*msgs_sent);
+            e.u64(*doubles_sent);
+        }
+        Msg::SegFailed { epoch, step } => {
+            e.u8(9);
+            e.u32(*epoch);
+            e.u64(*step);
+        }
+        Msg::Abort { epoch } => {
+            e.u8(10);
+            e.u32(*epoch);
+        }
+        Msg::Rollback { epoch, step, ckpt } => {
+            e.u8(11);
+            e.u32(*epoch);
+            e.u64(*step);
+            e.bytes(ckpt);
+        }
+        Msg::Done => {
+            e.u8(12);
+        }
+        Msg::Tracks { blob } => {
+            e.u8(13);
+            e.bytes(blob);
+        }
+        Msg::Halo {
+            epoch,
+            step,
+            xch,
+            face,
+            data,
+        } => {
+            e.u8(14);
+            e.u32(*epoch);
+            e.u64(*step);
+            e.u8(*xch);
+            e.u8(*face);
+            e.doubles(data);
+        }
+        Msg::Identify { worker, epoch } => {
+            e.u8(15);
+            e.u32(*worker);
+            e.u32(*epoch);
+        }
+    }
+    e.buf
+}
+
+/// Decodes a frame payload.
+pub fn decode_msg(payload: &[u8]) -> Result<Msg, CodecError> {
+    let mut d = Dec {
+        buf: payload,
+        at: 0,
+    };
+    let ver = d.u8()?;
+    if ver != PROTOCOL_VERSION {
+        return Err(CodecError::BadVersion(ver));
+    }
+    let tag = d.u8()?;
+    Ok(match tag {
+        0 => Msg::Hello { worker: d.u32()? },
+        1 => Msg::Init {
+            cfg: cfg_from(&mut d)?,
+            ckpt: d.bytes()?,
+        },
+        2 => Msg::DataPort {
+            epoch: d.u32()?,
+            port: d.u16()?,
+        },
+        3 => {
+            let epoch = d.u32()?;
+            let n = d.u32()? as usize;
+            let mut ports = Vec::with_capacity(n);
+            for _ in 0..n {
+                ports.push(d.u16()?);
+            }
+            Msg::PortMap { epoch, ports }
+        }
+        4 => Msg::MeshReady { epoch: d.u32()? },
+        5 => Msg::Run {
+            epoch: d.u32()?,
+            from: d.u64()?,
+            until: d.u64()?,
+            pause_at: d.u64()?,
+        },
+        6 => Msg::Paused {
+            epoch: d.u32()?,
+            step: d.u64()?,
+        },
+        7 => Msg::Progress {
+            epoch: d.u32()?,
+            step: d.u64()?,
+        },
+        8 => Msg::SegDone {
+            epoch: d.u32()?,
+            step: d.u64()?,
+            state_hash: d.u64()?,
+            ckpt: d.bytes()?,
+            log: d.bytes()?,
+            t_calc_us: d.u64()?,
+            t_com_us: d.u64()?,
+            msgs_sent: d.u64()?,
+            doubles_sent: d.u64()?,
+        },
+        9 => Msg::SegFailed {
+            epoch: d.u32()?,
+            step: d.u64()?,
+        },
+        10 => Msg::Abort { epoch: d.u32()? },
+        11 => Msg::Rollback {
+            epoch: d.u32()?,
+            step: d.u64()?,
+            ckpt: d.bytes()?,
+        },
+        12 => Msg::Done,
+        13 => Msg::Tracks { blob: d.bytes()? },
+        14 => Msg::Halo {
+            epoch: d.u32()?,
+            step: d.u64()?,
+            xch: d.u8()?,
+            face: d.u8()?,
+            data: d.doubles()?,
+        },
+        15 => Msg::Identify {
+            worker: d.u32()?,
+            epoch: d.u32()?,
+        },
+        t => return Err(CodecError::BadTag(t)),
+    })
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = payload.len() as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame (blocking; the caller arranges timeouts
+/// at the socket layer).
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_le_bytes(len) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn sample_cfg() -> WorkerConfig {
+        WorkerConfig {
+            worker: 2,
+            nworkers: 4,
+            solver: SolverKind::LatticeBoltzmann,
+            transport: TransportKind::Tcp,
+            epoch: 3,
+            start_step: 42,
+            neighbors: [1, NO_NEIGHBOR, 0, 3],
+            record: true,
+            udp_drop_every: 7,
+        }
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        let msgs = vec![
+            Msg::Hello { worker: 3 },
+            Msg::Init {
+                cfg: sample_cfg(),
+                ckpt: vec![1, 2, 3, 4],
+            },
+            Msg::DataPort {
+                epoch: 1,
+                port: 40001,
+            },
+            Msg::PortMap {
+                epoch: 1,
+                ports: vec![40001, 40002, 0, 40004],
+            },
+            Msg::MeshReady { epoch: 1 },
+            Msg::Run {
+                epoch: 1,
+                from: 10,
+                until: 20,
+                pause_at: NO_PAUSE,
+            },
+            Msg::Paused { epoch: 1, step: 13 },
+            Msg::Progress { epoch: 1, step: 14 },
+            Msg::SegDone {
+                epoch: 1,
+                step: 20,
+                state_hash: 0xdead_beef,
+                ckpt: vec![9; 17],
+                log: vec![8; 5],
+                t_calc_us: 1234,
+                t_com_us: 567,
+                msgs_sent: 80,
+                doubles_sent: 4000,
+            },
+            Msg::SegFailed { epoch: 1, step: 17 },
+            Msg::Abort { epoch: 1 },
+            Msg::Rollback {
+                epoch: 2,
+                step: 10,
+                ckpt: vec![5; 9],
+            },
+            Msg::Done,
+            Msg::Tracks { blob: vec![7; 33] },
+            Msg::Halo {
+                epoch: 2,
+                step: 11,
+                xch: 0,
+                face: 3,
+                data: vec![1.5, -2.25, 0.0, f64::MIN_POSITIVE],
+            },
+            Msg::Identify {
+                worker: 1,
+                epoch: 2,
+            },
+        ];
+        for msg in msgs {
+            let enc = encode_msg(&msg);
+            let dec = decode_msg(&enc).unwrap();
+            assert_eq!(dec, msg, "roundtrip failed");
+        }
+    }
+
+    #[test]
+    fn corruption_is_typed() {
+        let enc = encode_msg(&Msg::Hello { worker: 1 });
+        assert!(matches!(
+            decode_msg(&enc[..enc.len() - 1]),
+            Err(CodecError::Truncated)
+        ));
+        let mut bad = enc.clone();
+        bad[0] = 99;
+        assert!(matches!(decode_msg(&bad), Err(CodecError::BadVersion(99))));
+        let mut bad = enc;
+        bad[1] = 200;
+        assert!(matches!(decode_msg(&bad), Err(CodecError::BadTag(200))));
+    }
+
+    #[test]
+    fn frames_roundtrip_over_a_byte_stream() {
+        let mut wire = Vec::new();
+        let a = encode_msg(&Msg::MeshReady { epoch: 7 });
+        let b = encode_msg(&Msg::Done);
+        write_frame(&mut wire, &a).unwrap();
+        write_frame(&mut wire, &b).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), a);
+        assert_eq!(read_frame(&mut r).unwrap(), b);
+        assert!(read_frame(&mut r).is_err()); // clean EOF surfaces as an error
+    }
+
+    #[test]
+    fn oversized_frame_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&(MAX_FRAME as u32 + 1).to_le_bytes());
+        let err = read_frame(&mut &wire[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+}

@@ -1,0 +1,606 @@
+//! The worker: one tile, one process (or thread), one state machine.
+//!
+//! A worker's whole life is driven by its control link to the supervisor:
+//!
+//! ```text
+//! Hello ─▶ Init(cfg, ckpt) ─▶ ┌─ mesh: DataPort ─▶ PortMap ─▶ connect ─▶ MeshReady
+//!                             │
+//!                             └─ run:  Run ─▶ [steps…] ─▶ SegDone │ SegFailed
+//!                                      Rollback(ckpt, epoch+1) ──▶ back to mesh
+//!                                      Done ─▶ Tracks ─▶ exit
+//! ```
+//!
+//! The same function runs as a real OS process (spawned by the `net-worker`
+//! binary after the port-file handshake) and as an in-process thread over
+//! in-memory links (replay, fast tests). Process workers die by SIGKILL;
+//! thread workers emulate it with a `hard` abort flag polled on every step,
+//! every receive and every fence hold — either way the peers observe a dead
+//! link, not a goodbye.
+//!
+//! A control-reader thread decodes supervisor frames into a queue and flips
+//! the `soft` abort flag the moment an `Abort`/`Rollback` arrives, so a
+//! worker blocked in the middle of a halo receive notices within one poll
+//! interval without the step loop touching the control socket.
+
+use crate::link::{FrameTx, Link, Switchboard};
+use crate::mesh::{connect, Mesh, MeshBinding, MeshEvent, MeshSpec};
+use crate::record::{fnv1a, push_entry, state_hash2, LogEntry};
+use crate::wire::{decode_msg, encode_msg, Msg, SolverKind, WorkerConfig, NO_NEIGHBOR};
+use crate::NetError;
+use std::collections::HashMap;
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use subsonic_exec::checkpoint::{dump_tile2, restore_tile2};
+use subsonic_exec::{step_tile2, Halo2, StepTiming};
+use subsonic_grid::Face2;
+use subsonic_obs::{encode_tracks, Category, FlightRecorder};
+use subsonic_solvers::{FiniteDifference2, LatticeBoltzmann2, Solver2, TileState2};
+
+/// How long a worker waits in any control-plane lull before declaring the
+/// supervisor lost.
+const IDLE_DEADLINE: Duration = Duration::from_secs(120);
+/// Bound on one mesh build.
+const MESH_DEADLINE: Duration = Duration::from_secs(30);
+/// Bound on one halo receive (a dead UDP peer produces no `Gone` event;
+/// this is the backstop under the supervisor's abort).
+const RECV_DEADLINE: Duration = Duration::from_secs(30);
+/// How long a paused worker holds its fence before giving up on the kill.
+const FENCE_HOLD: Duration = Duration::from_secs(30);
+
+/// Maps a face to its slot in `WorkerConfig::neighbors` (the `Face2::ALL`
+/// order).
+pub fn face_index(face: Face2) -> usize {
+    match face {
+        Face2::West => 0,
+        Face2::East => 1,
+        Face2::South => 2,
+        Face2::North => 3,
+    }
+}
+
+fn face_from_index(idx: u8) -> Option<Face2> {
+    match idx {
+        0 => Some(Face2::West),
+        1 => Some(Face2::East),
+        2 => Some(Face2::South),
+        3 => Some(Face2::North),
+        _ => None,
+    }
+}
+
+/// Builds the solver a config names.
+pub fn make_solver(kind: SolverKind) -> Arc<dyn Solver2> {
+    match kind {
+        SolverKind::LatticeBoltzmann => Arc::new(LatticeBoltzmann2),
+        SolverKind::FiniteDifference => Arc::new(FiniteDifference2),
+    }
+}
+
+/// FNV-1a over the bit patterns of a strip of doubles.
+fn hash_doubles(data: &[f64]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for d in data {
+        for b in d.to_bits().to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    h
+}
+
+enum CtrlEvent {
+    Msg(Msg),
+    Lost,
+}
+
+/// The halo endpoint a segment steps against: frames in/out of the mesh,
+/// with an inbox so a fast peer running ahead never confuses a slow one.
+struct MeshHalo<'a> {
+    mesh: &'a mut Mesh,
+    epoch: u32,
+    /// Step currently being computed (set by the caller before each step).
+    step: u64,
+    neighbors: [Option<u32>; 4],
+    inbox: HashMap<(u64, u8, u8), Vec<f64>>,
+    soft: &'a AtomicBool,
+    hard: &'a AtomicBool,
+    record: bool,
+    log: Vec<u8>,
+}
+
+impl Halo2 for MeshHalo<'_> {
+    fn has_neighbor(&self, face: Face2) -> bool {
+        self.neighbors[face_index(face)].is_some()
+    }
+
+    fn send(&mut self, xch: usize, face: Face2, data: &[f64]) -> io::Result<()> {
+        let peer = self.neighbors[face_index(face)].ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "no neighbour across face")
+        })?;
+        let frame = encode_msg(&Msg::Halo {
+            epoch: self.epoch,
+            step: self.step,
+            xch: xch as u8,
+            face: face_index(face) as u8,
+            data: data.to_vec(),
+        });
+        self.mesh.send(peer, &frame)
+    }
+
+    fn recv(&mut self, xch: usize, face: Face2) -> io::Result<Vec<f64>> {
+        let want = (self.step, xch as u8, face_index(face) as u8);
+        let t0 = Instant::now();
+        loop {
+            if let Some(data) = self.inbox.remove(&want) {
+                if self.record {
+                    push_entry(
+                        &mut self.log,
+                        &LogEntry::Recv {
+                            step: self.step,
+                            xch: want.1,
+                            face: want.2,
+                            len: data.len() as u32,
+                            hash: hash_doubles(&data),
+                        },
+                    );
+                }
+                return Ok(data);
+            }
+            if self.hard.load(Ordering::SeqCst) || self.soft.load(Ordering::SeqCst) {
+                return Err(io::Error::new(
+                    io::ErrorKind::Interrupted,
+                    "segment aborted",
+                ));
+            }
+            if t0.elapsed() > RECV_DEADLINE {
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    "halo receive deadline",
+                ));
+            }
+            match self.mesh.recv(Duration::from_millis(50)) {
+                Ok(MeshEvent::Frame { payload, .. }) => {
+                    if let Ok(Msg::Halo {
+                        epoch,
+                        step,
+                        xch,
+                        face,
+                        data,
+                    }) = decode_msg(&payload)
+                    {
+                        if epoch != self.epoch {
+                            continue; // stale world
+                        }
+                        // the sender names *its* face; we unpack at ours
+                        let mine = match face_from_index(face) {
+                            Some(f) => face_index(f.opposite()) as u8,
+                            None => continue,
+                        };
+                        self.inbox.insert((step, xch, mine), data);
+                    }
+                }
+                Ok(MeshEvent::Gone { from }) => {
+                    if self.neighbors.contains(&Some(from)) {
+                        return Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            format!("neighbour {from} died"),
+                        ));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::TimedOut => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+enum SegEnd {
+    Committed,
+    Aborted(u64),
+    Killed,
+}
+
+fn ctrl_send(tx: &mut Box<dyn FrameTx>, msg: &Msg) -> Result<(), NetError> {
+    tx.send(&encode_msg(msg)).map_err(NetError::Io)
+}
+
+/// Pulls the next control event, honouring the idle deadline and kill flag.
+fn next_event(q: &Receiver<CtrlEvent>, hard: &AtomicBool) -> Result<Msg, NetError> {
+    let t0 = Instant::now();
+    loop {
+        if hard.load(Ordering::SeqCst) {
+            return Err(NetError::Timeout("worker killed"));
+        }
+        match q.recv_timeout(Duration::from_millis(50)) {
+            Ok(CtrlEvent::Msg(msg)) => return Ok(msg),
+            Ok(CtrlEvent::Lost) => return Err(NetError::Timeout("control link lost")),
+            Err(RecvTimeoutError::Timeout) => {
+                if t0.elapsed() > IDLE_DEADLINE {
+                    return Err(NetError::Timeout("supervisor went silent"));
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                return Err(NetError::Timeout("control link lost"))
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_segment(
+    solver: &dyn Solver2,
+    tile: &mut TileState2,
+    mesh: &mut Mesh,
+    cfg: &WorkerConfig,
+    epoch: u32,
+    from: u64,
+    until: u64,
+    pause_at: u64,
+    ctrl: &mut Box<dyn FrameTx>,
+    soft: &AtomicBool,
+    hard: &AtomicBool,
+) -> Result<SegEnd, NetError> {
+    let neighbors: [Option<u32>; 4] =
+        cfg.neighbors
+            .map(|n| if n == NO_NEIGHBOR { None } else { Some(n) });
+    let mut halo = MeshHalo {
+        mesh,
+        epoch,
+        step: from,
+        neighbors,
+        inbox: HashMap::new(),
+        soft,
+        hard,
+        record: cfg.record,
+        log: Vec::new(),
+    };
+    let mut timing = StepTiming::default();
+    for s in from..until {
+        if hard.load(Ordering::SeqCst) {
+            return Ok(SegEnd::Killed);
+        }
+        if soft.load(Ordering::SeqCst) {
+            return Ok(SegEnd::Aborted(s));
+        }
+        if s == pause_at {
+            // the kill fence: report position and hold for the supervisor
+            ctrl_send(ctrl, &Msg::Paused { epoch, step: s })?;
+            let t_hold = Instant::now();
+            loop {
+                std::thread::sleep(Duration::from_millis(5));
+                if hard.load(Ordering::SeqCst) {
+                    return Ok(SegEnd::Killed);
+                }
+                if soft.load(Ordering::SeqCst) {
+                    return Ok(SegEnd::Aborted(s));
+                }
+                if t_hold.elapsed() > FENCE_HOLD {
+                    break; // the kill never came; carry on
+                }
+            }
+        }
+        halo.step = s;
+        match step_tile2(solver, tile, &mut halo, &mut timing) {
+            Ok(()) => {}
+            Err(_) if hard.load(Ordering::SeqCst) => return Ok(SegEnd::Killed),
+            Err(_) => return Ok(SegEnd::Aborted(s)),
+        }
+        if cfg.record {
+            push_entry(
+                &mut halo.log,
+                &LogEntry::StepHash {
+                    step: tile.step,
+                    hash: state_hash2(tile),
+                },
+            );
+        }
+        ctrl_send(ctrl, &Msg::Progress { epoch, step: s + 1 })?;
+    }
+    let ckpt = dump_tile2(tile);
+    ctrl_send(
+        ctrl,
+        &Msg::SegDone {
+            epoch,
+            step: until,
+            state_hash: fnv1a(&ckpt),
+            ckpt,
+            log: std::mem::take(&mut halo.log),
+            t_calc_us: timing.t_calc.as_micros() as u64,
+            t_com_us: timing.t_com.as_micros() as u64,
+            msgs_sent: timing.msgs_sent,
+            doubles_sent: timing.doubles_sent,
+        },
+    )?;
+    Ok(SegEnd::Committed)
+}
+
+/// Runs the worker state machine over an already-connected control link.
+///
+/// `switchboard` is required for the in-memory transport; `hard` is the
+/// thread-host kill switch (a process worker passes a flag nobody sets —
+/// its SIGKILL needs no cooperation).
+pub fn worker_run(
+    link: Link,
+    worker: u32,
+    switchboard: Option<Arc<Switchboard>>,
+    hard: Arc<AtomicBool>,
+) -> Result<(), NetError> {
+    let recorder = FlightRecorder::enabled(2048);
+    let mut track = recorder.track(worker + 1, 0, "net-worker", "main");
+    let t_hello = Instant::now();
+
+    let mut ctrl_tx = link.tx;
+    let mut ctrl_rx = link.rx;
+    let (q_tx, q): (Sender<CtrlEvent>, Receiver<CtrlEvent>) = channel();
+    let soft = Arc::new(AtomicBool::new(false));
+    let reader_soft = Arc::clone(&soft);
+    let reader_hard = Arc::clone(&hard);
+    let reader = std::thread::spawn(move || loop {
+        if reader_hard.load(Ordering::SeqCst) {
+            return;
+        }
+        match ctrl_rx.recv(Duration::from_millis(100)) {
+            Ok(frame) => match decode_msg(&frame) {
+                Ok(msg) => {
+                    if matches!(msg, Msg::Abort { .. } | Msg::Rollback { .. }) {
+                        reader_soft.store(true, Ordering::SeqCst);
+                    }
+                    if q_tx.send(CtrlEvent::Msg(msg)).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    let _ = q_tx.send(CtrlEvent::Lost);
+                    return;
+                }
+            },
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::TimedOut | io::ErrorKind::WouldBlock
+                ) => {}
+            Err(_) => {
+                let _ = q_tx.send(CtrlEvent::Lost);
+                return;
+            }
+        }
+    });
+
+    let result = worker_loop(
+        &mut ctrl_tx,
+        &q,
+        worker,
+        switchboard,
+        &soft,
+        &hard,
+        &recorder,
+        &mut track,
+        t_hello,
+    );
+    // wake the reader so it notices the dead queue and exits
+    hard.store(true, Ordering::SeqCst);
+    drop(q);
+    let _ = reader.join();
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn worker_loop(
+    ctrl_tx: &mut Box<dyn FrameTx>,
+    q: &Receiver<CtrlEvent>,
+    worker: u32,
+    switchboard: Option<Arc<Switchboard>>,
+    soft: &Arc<AtomicBool>,
+    hard: &Arc<AtomicBool>,
+    recorder: &FlightRecorder,
+    track: &mut subsonic_obs::TrackRecorder,
+    t_hello: Instant,
+) -> Result<(), NetError> {
+    ctrl_send(ctrl_tx, &Msg::Hello { worker })?;
+    let (cfg, ckpt) = loop {
+        // nothing but Init is valid pre-init; drop anything else
+        if let Msg::Init { cfg, ckpt } = next_event(q, hard)? {
+            break (cfg, ckpt);
+        }
+    };
+    if cfg.worker != worker {
+        return Err(NetError::Protocol(format!(
+            "init for worker {} arrived at worker {worker}",
+            cfg.worker
+        )));
+    }
+    track.span_wall(Category::Sync, "handshake", t_hello, Instant::now());
+    let solver = make_solver(cfg.solver);
+    let mut tile = restore_tile2(&ckpt)?;
+    let mut epoch = cfg.epoch;
+    let peers: Vec<u32> = {
+        let mut p: Vec<u32> = cfg
+            .neighbors
+            .iter()
+            .copied()
+            .filter(|&n| n != NO_NEIGHBOR)
+            .collect();
+        p.sort_unstable();
+        p.dedup();
+        p
+    };
+
+    'mesh: loop {
+        // ---- mesh phase ----
+        let t_mesh = Instant::now();
+        let binding = MeshBinding::bind(cfg.transport)?;
+        let port = binding.port()?;
+        ctrl_send(ctrl_tx, &Msg::DataPort { epoch, port })?;
+        let ports = loop {
+            match next_event(q, hard)? {
+                Msg::PortMap { epoch: e, ports } if e == epoch => break ports,
+                Msg::Rollback { epoch: e, ckpt, .. } if e > epoch => {
+                    tile = restore_tile2(&ckpt)?;
+                    epoch = e;
+                    soft.store(false, Ordering::SeqCst);
+                    continue 'mesh;
+                }
+                Msg::Done => {
+                    return finish(ctrl_tx, recorder, track);
+                }
+                _ => {} // stale epoch traffic
+            }
+        };
+        let spec = MeshSpec {
+            me: worker,
+            epoch,
+            peers: &peers,
+            ports: &ports,
+            deadline: MESH_DEADLINE,
+            udp_drop_every: cfg.udp_drop_every,
+        };
+        let abort_soft = Arc::clone(soft);
+        let abort_hard = Arc::clone(hard);
+        let abort = move || abort_soft.load(Ordering::SeqCst) || abort_hard.load(Ordering::SeqCst);
+        let mut mesh = match connect(binding, &spec, switchboard.as_deref(), &abort) {
+            Ok(m) => m,
+            Err(e) => {
+                // a rollback racing the build cancels it; anything else is fatal
+                if soft.load(Ordering::SeqCst) {
+                    match wait_rollback(q, hard)? {
+                        Some((new_epoch, ckpt)) => {
+                            tile = restore_tile2(&ckpt)?;
+                            epoch = new_epoch;
+                            soft.store(false, Ordering::SeqCst);
+                            continue 'mesh;
+                        }
+                        None => return finish(ctrl_tx, recorder, track),
+                    }
+                }
+                return Err(e);
+            }
+        };
+        track.span_wall(Category::Net, "mesh build", t_mesh, Instant::now());
+        ctrl_send(ctrl_tx, &Msg::MeshReady { epoch })?;
+
+        // ---- running phase ----
+        loop {
+            match next_event(q, hard)? {
+                Msg::Run {
+                    epoch: e,
+                    from,
+                    until,
+                    pause_at,
+                } if e == epoch => {
+                    let t_seg = Instant::now();
+                    let end = run_segment(
+                        solver.as_ref(),
+                        &mut tile,
+                        &mut mesh,
+                        &cfg,
+                        epoch,
+                        from,
+                        until,
+                        pause_at,
+                        ctrl_tx,
+                        soft,
+                        hard,
+                    )?;
+                    track.span_wall(Category::Compute, "segment", t_seg, Instant::now());
+                    match end {
+                        SegEnd::Committed => {}
+                        SegEnd::Aborted(step) => {
+                            track.instant_wall(Category::Fault, "worker failed", Instant::now());
+                            ctrl_send(ctrl_tx, &Msg::SegFailed { epoch, step })?;
+                        }
+                        SegEnd::Killed => {
+                            mesh.teardown();
+                            return Err(NetError::Timeout("worker killed"));
+                        }
+                    }
+                }
+                Msg::Rollback { epoch: e, ckpt, .. } if e > epoch => {
+                    mesh.teardown();
+                    tile = restore_tile2(&ckpt)?;
+                    epoch = e;
+                    soft.store(false, Ordering::SeqCst);
+                    track.instant_wall(Category::Recovery, "worker respawn", Instant::now());
+                    continue 'mesh;
+                }
+                Msg::Done => {
+                    mesh.teardown();
+                    return finish(ctrl_tx, recorder, track);
+                }
+                // Abort for the current epoch flips the soft flag in the
+                // reader; stale traffic needs no action either way
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Waits out the rollback that cancelled a mesh build (or `Done`).
+fn wait_rollback(
+    q: &Receiver<CtrlEvent>,
+    hard: &AtomicBool,
+) -> Result<Option<(u32, Vec<u8>)>, NetError> {
+    loop {
+        match next_event(q, hard)? {
+            Msg::Rollback { epoch, ckpt, .. } => return Ok(Some((epoch, ckpt))),
+            Msg::Done => return Ok(None),
+            _ => {}
+        }
+    }
+}
+
+fn finish(
+    ctrl_tx: &mut Box<dyn FrameTx>,
+    recorder: &FlightRecorder,
+    track: &mut subsonic_obs::TrackRecorder,
+) -> Result<(), NetError> {
+    track.instant_wall(Category::Sync, "run done", Instant::now());
+    track.finish();
+    let blob = encode_tracks(&recorder.finished_tracks());
+    ctrl_send(ctrl_tx, &Msg::Tracks { blob })?;
+    Ok(())
+}
+
+/// Entry point of the `net-worker` binary: the paper's port-file handshake.
+///
+/// Reads `SUBSONIC_NET_DIR` and `SUBSONIC_NET_WORKER` from the environment,
+/// polls the run directory for the supervisor's `ports` file, dials the
+/// control port it names and hands off to [`worker_run`].
+pub fn process_worker_main() -> Result<(), NetError> {
+    let dir = std::env::var("SUBSONIC_NET_DIR")
+        .map_err(|_| NetError::Protocol("SUBSONIC_NET_DIR not set".into()))?;
+    let worker: u32 = std::env::var("SUBSONIC_NET_WORKER")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| NetError::Protocol("SUBSONIC_NET_WORKER not set".into()))?;
+    let port_file = std::path::Path::new(&dir).join("ports");
+    let t0 = Instant::now();
+    let port: u16 = loop {
+        if t0.elapsed() > Duration::from_secs(30) {
+            return Err(NetError::Timeout("port file"));
+        }
+        if let Ok(text) = std::fs::read_to_string(&port_file) {
+            if let Some(p) = text
+                .lines()
+                .find_map(|l| l.strip_prefix("control="))
+                .and_then(|p| p.trim().parse().ok())
+            {
+                break p;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    let stream = loop {
+        if t0.elapsed() > Duration::from_secs(30) {
+            return Err(NetError::Timeout("control dial"));
+        }
+        match std::net::TcpStream::connect(("127.0.0.1", port)) {
+            Ok(s) => break s,
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    };
+    let link = crate::link::tcp_link(stream)?;
+    worker_run(link, worker, None, Arc::new(AtomicBool::new(false)))
+}

@@ -34,7 +34,9 @@ pub mod chrome;
 pub mod metrics;
 pub mod recorder;
 pub mod roofline;
+pub mod wire;
 
 pub use metrics::{HistogramSnapshot, MetricsRegistry};
-pub use recorder::{Category, FlightRecorder, TraceEvent, TrackRecorder};
+pub use recorder::{Category, FlightRecorder, TraceEvent, TrackData, TrackRecorder};
 pub use roofline::{KernelProfile, RooflinePoint};
+pub use wire::{decode_tracks, encode_tracks, WireError};

@@ -168,6 +168,18 @@ impl FlightRecorder {
             .map_or(0, |s| s.dropped.load(Ordering::Relaxed))
     }
 
+    /// Adopts a finished track recorded elsewhere (typically decoded from a
+    /// worker process's shipped blob — see `crate::wire`) into this
+    /// recorder's sink, so one exported trace can merge every process's
+    /// timeline. No-op on a disabled recorder.
+    pub fn adopt(&self, track: TrackData) {
+        if let Some(s) = &self.shared {
+            if let Ok(mut tracks) = s.tracks.lock() {
+                tracks.push(track);
+            }
+        }
+    }
+
     /// Snapshot every finished track (tracks still owned by a live
     /// [`TrackRecorder`] are not included until flushed).
     pub fn finished_tracks(&self) -> Vec<TrackData> {

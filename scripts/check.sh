@@ -43,6 +43,13 @@ cargo run --release -q -p subsonic-bench --bin reproduce -- --quick --out /tmp/s
 echo "==> SIMD/overlap equivalence smoke (2 intra-tile bands, overlap on)"
 SUBSONIC_INTRA_THREADS=2 cargo test --release -q -p subsonic-integration --test simd_equivalence
 
+echo "==> dist smoke (4 OS processes over loopback TCP, one SIGKILLed mid-run)"
+# hard wall-clock cap: a hung socket or deadlocked supervisor must fail the
+# gate, not wedge it
+timeout -k 5 240 cargo run --release -q -p subsonic-bench --bin reproduce -- \
+    --quick --out /tmp/subsonic-dist-smoke dist \
+    || { echo "dist smoke failed or timed out"; exit 1; }
+
 echo "==> bench regression guard (non-blocking: bench numbers are machine snapshots)"
 ./scripts/bench_guard.sh || echo "bench_guard: WARNING — guarded metrics regressed (non-blocking)"
 

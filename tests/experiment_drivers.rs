@@ -141,7 +141,12 @@ fn scale_runs() {
 }
 
 #[test]
+fn dist_runs() {
+    run_and_check("dist");
+}
+
+#[test]
 fn registry_is_complete() {
-    assert_eq!(ALL_IDS.len(), 24);
+    assert_eq!(ALL_IDS.len(), 25);
     assert!(run_experiment("bogus", true).is_none());
 }

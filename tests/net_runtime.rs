@@ -1,0 +1,50 @@
+//! Cross-crate contract of the distributed runtime: whatever `subsonic-net`
+//! does — sockets, kills, checkpoint shipping, replay — the physics it
+//! produces must be bitwise the physics `subsonic-exec` produces in one
+//! process. Covers both solver families (the crate-local tests pin the
+//! lattice-Boltzmann path; finite differences exercises a different plan
+//! with different exchange counts).
+
+use std::sync::Arc;
+use subsonic_integration::poiseuille_problem;
+use subsonic_net::supervisor::replay;
+use subsonic_net::{run_problem, NetConfig, NetKill, SolverKind, ThreadHost, TransportKind};
+use subsonic_obs::FlightRecorder;
+use subsonic_solvers::{FiniteDifference2, Solver2};
+
+#[test]
+fn finite_difference_tcp_kill_recovers_bitwise() {
+    let p = poiseuille_problem(36, 24, 3, 2);
+    let steps = 10;
+    let solver: Arc<dyn Solver2> = Arc::new(FiniteDifference2);
+    let want = subsonic_exec::ThreadedRunner2::new(solver, p.clone())
+        .run(steps)
+        .expect("reference run")
+        .gather(36, 24, 1.0);
+
+    let dir = std::env::temp_dir().join(format!("subsonic-netint-fd-{}", std::process::id()));
+    let mut cfg = NetConfig::new(TransportKind::Tcp, steps, 3, dir);
+    cfg.solver = SolverKind::FiniteDifference;
+    cfg.record = true;
+    cfg.kills = vec![NetKill {
+        worker: 3,
+        at_step: 5,
+        attempt: 0,
+    }];
+    let mut host = ThreadHost::new();
+    let recorder = FlightRecorder::disabled();
+    let out = run_problem(&p, &cfg, &mut host, &recorder).expect("faulted FD run");
+    assert_eq!(out.restarts, 1);
+    assert_eq!(
+        want.first_difference(&out.fields),
+        None,
+        "FD distributed recovery diverged from the single-process run"
+    );
+
+    // and the recorded faulted run replays deterministically without sockets
+    let record = out.record.expect("record present");
+    let replay_dir =
+        std::env::temp_dir().join(format!("subsonic-netint-fd-replay-{}", std::process::id()));
+    let replay_out = replay(&p, &record, &replay_dir, &recorder).expect("replay matches");
+    assert_eq!(out.fields.first_difference(&replay_out.fields), None);
+}
