@@ -428,6 +428,51 @@ fn failure_detection(out: &mut Vec<PerfEntry>, quick: bool) {
     });
 }
 
+fn sched_replay(out: &mut Vec<PerfEntry>, quick: bool) {
+    // The job-stream scheduler's replay engine: wall throughput of a full
+    // multi-tenant heavy-traffic replay (jobs per wall-second, EASY
+    // backfill — the discipline with the most per-dispatch work), plus the
+    // deterministic simulated makespans of FIFO and backfill on the same
+    // trace. The makespans are model outputs, not machine timings: any drift
+    // is a scheduler behaviour change.
+    use subsonic_sched::{JobTrace, PolicyKind, SchedConfig, TenantSpec, TraceConfig};
+    let jobs = if quick { 2_000 } else { 20_000 };
+    let trace = JobTrace::generate(&TraceConfig {
+        tenants: vec![
+            TenantSpec {
+                weight: 4.0,
+                ..TenantSpec::light(0.05)
+            },
+            TenantSpec::light(0.03),
+            TenantSpec::batch(0.014),
+        ],
+        jobs,
+        seed: 0x5EED_0009,
+    });
+    let t0 = Instant::now();
+    let backfill = subsonic_sched::run(
+        &trace,
+        &SchedConfig::paper_pool(PolicyKind::EasyBackfill, 1),
+    );
+    let dt = t0.elapsed().as_secs_f64();
+    let fifo = subsonic_sched::run(&trace, &SchedConfig::paper_pool(PolicyKind::Fifo, 1));
+    out.push(PerfEntry {
+        name: "sched_jobs_per_s".into(),
+        value: jobs as f64 / dt,
+        unit: "jobs/s".into(),
+    });
+    out.push(PerfEntry {
+        name: "sched_makespan_fifo".into(),
+        value: fifo.makespan_s,
+        unit: "s".into(),
+    });
+    out.push(PerfEntry {
+        name: "sched_makespan_backfill".into(),
+        value: backfill.makespan_s,
+        unit: "s".into(),
+    });
+}
+
 /// Runs the full suite. `quick` shrinks problem sizes and batch times for
 /// smoke-testing the harness itself; baseline numbers use `quick = false`.
 pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
@@ -461,6 +506,7 @@ pub fn run_suite_obs(quick: bool, metrics: Option<&MetricsRegistry>) -> Vec<Perf
     cluster_scale(&mut out, quick);
     fault_recovery(&mut out, quick);
     failure_detection(&mut out, quick);
+    sched_replay(&mut out, quick);
     if let Some(reg) = metrics {
         for e in &out {
             reg.gauge_set(&format!("bench.{}", e.name), e.value, static_unit(&e.unit));
@@ -476,6 +522,7 @@ fn static_unit(unit: &str) -> &'static str {
         "doubles/s" => "doubles/s",
         "steps/s" => "steps/s",
         "events/s" => "events/s",
+        "jobs/s" => "jobs/s",
         "s" => "s",
         "fraction" => "fraction",
         _ => "",
@@ -553,6 +600,9 @@ mod tests {
             "recovery_opt_interval",
             "detect_latency_fixed",
             "detect_latency_accrual",
+            "sched_jobs_per_s",
+            "sched_makespan_fifo",
+            "sched_makespan_backfill",
         ] {
             assert!(names.contains(&expected), "missing entry {expected}");
         }

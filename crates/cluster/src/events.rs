@@ -209,20 +209,20 @@ pub struct EventHandle {
 /// node is unconditionally live and never touches the generation slab.
 const NO_SLOT: u32 = u32::MAX;
 
-/// A queue node. `EventKind` is `Copy` and lives inline — the common
+/// A queue node. The payload is `Copy` and lives inline — the common
 /// (non-cancellable) schedule/pop path therefore never takes the random
 /// slab access an indirect payload would cost. Only cancellable events
 /// carry a `(slot, gen)` claim into the generation slab.
 #[derive(Debug, Clone, Copy)]
-struct Node {
+struct Node<K> {
     time: f64,
     seq: u64,
-    kind: EventKind,
+    kind: K,
     slot: u32,
     gen: u32,
 }
 
-impl Node {
+impl<K> Node<K> {
     #[inline]
     fn key(&self) -> (f64, u64) {
         (self.time, self.seq)
@@ -231,20 +231,20 @@ impl Node {
 
 /// Overflow-heap ordering: earliest `(time, seq)` pops first.
 #[derive(Debug, Clone, Copy)]
-struct FarNode(Node);
+struct FarNode<K>(Node<K>);
 
-impl PartialEq for FarNode {
+impl<K> PartialEq for FarNode<K> {
     fn eq(&self, other: &Self) -> bool {
         self.0.time == other.0.time && self.0.seq == other.0.seq
     }
 }
-impl Eq for FarNode {}
-impl PartialOrd for FarNode {
+impl<K> Eq for FarNode<K> {}
+impl<K> PartialOrd for FarNode<K> {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl Ord for FarNode {
+impl<K> Ord for FarNode<K> {
     fn cmp(&self, other: &Self) -> Ordering {
         other
             .0
@@ -270,21 +270,29 @@ const WIDTH_GAIN: f64 = 4.0;
 /// couple of cache lines.
 const FRONT_HEAP_MIN: usize = 9;
 
+/// The cluster simulation's event queue (the calendar queue specialised to
+/// [`EventKind`] — the name every pre-PR 9 call site uses).
+pub type EventQueue = CalendarQueue<EventKind>;
+
 /// A deterministic discrete-event queue: calendar buckets for the near
 /// window, an overflow heap for everything beyond it, payloads in a slab.
+///
+/// Generic over the inline `Copy` payload so other event-driven layers (the
+/// `subsonic-sched` job stream) reuse the engine with their own event types;
+/// [`EventQueue`] is the cluster simulation's specialisation.
 #[derive(Debug)]
-pub struct EventQueue {
+pub struct CalendarQueue<K: Copy> {
     /// Liveness generations of cancellable events (cancel/fire bumps the
     /// generation, invalidating outstanding handles and nodes).
     slab: Vec<u32>,
     free: Vec<u32>,
-    buckets: Vec<Vec<Node>>,
+    buckets: Vec<Vec<Node<K>>>,
     /// One bit per bucket: does it hold any node?
     occupied: [u64; BITMAP_WORDS],
     /// Nodes (live or stale) currently in the buckets.
     bucket_nodes: usize,
     /// Events outside the window (before `base` or at/after `horizon`).
-    far: BinaryHeap<FarNode>,
+    far: BinaryHeap<FarNode<K>>,
     /// Window start. The window covers `[base, horizon)`.
     base: f64,
     /// Bucket width in seconds.
@@ -302,7 +310,7 @@ pub struct EventQueue {
     /// instant) lands in one bucket and every pop re-walks it — an O(n²)
     /// stall per step at 4096 hosts. Promotion heapifies the bucket once
     /// (O(k)); pops and same-bucket inserts are then O(log k).
-    front: BinaryHeap<FarNode>,
+    front: BinaryHeap<FarNode<K>>,
     /// Which bucket `front` holds, or `usize::MAX`.
     front_bucket: usize,
     /// Smoothed gap between consecutive distinct pop times.
@@ -317,13 +325,13 @@ pub struct EventQueue {
     stale: usize,
 }
 
-impl Default for EventQueue {
+impl<K: Copy> Default for CalendarQueue<K> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl EventQueue {
+impl<K: Copy> CalendarQueue<K> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         let width = 1e-3;
@@ -365,7 +373,7 @@ impl EventQueue {
 
     /// Schedules `kind` to fire `delay` seconds from now. A negative or
     /// non-finite delay is a hard error in every build profile.
-    pub fn schedule(&mut self, delay: f64, kind: EventKind) {
+    pub fn schedule(&mut self, delay: f64, kind: K) {
         assert!(
             delay >= 0.0 && delay.is_finite(),
             "event scheduled with bad delay {delay} (now {})",
@@ -380,7 +388,7 @@ impl EventQueue {
     /// hard error in every build profile: the PR 6 queue only checked this
     /// under `debug_assertions`, so release builds would silently rewind the
     /// clock at pop time and corrupt every elapsed-time charge downstream.
-    pub fn schedule_at(&mut self, time: f64, kind: EventKind) {
+    pub fn schedule_at(&mut self, time: f64, kind: K) {
         // `time >= now` rejects NaN and -inf too; `+inf` stays legal as the
         // "no deadline" sentinel (`run(f64::INFINITY, ..)`) and parks in the
         // overflow heap, popping after every finite event.
@@ -393,7 +401,7 @@ impl EventQueue {
     }
 
     /// [`Self::schedule`], returning a handle for O(1) cancellation.
-    pub fn schedule_cancellable(&mut self, delay: f64, kind: EventKind) -> EventHandle {
+    pub fn schedule_cancellable(&mut self, delay: f64, kind: K) -> EventHandle {
         assert!(
             delay >= 0.0 && delay.is_finite(),
             "event scheduled with bad delay {delay} (now {})",
@@ -405,7 +413,7 @@ impl EventQueue {
     }
 
     /// [`Self::schedule_at`], returning a handle for O(1) cancellation.
-    pub fn schedule_at_cancellable(&mut self, time: f64, kind: EventKind) -> EventHandle {
+    pub fn schedule_at_cancellable(&mut self, time: f64, kind: K) -> EventHandle {
         assert!(
             time >= self.now,
             "event scheduled into the past: t={time} < now={}",
@@ -434,7 +442,7 @@ impl EventQueue {
     }
 
     /// Pops the next event, advancing the clock.
-    pub fn pop(&mut self) -> Option<(f64, EventKind)> {
+    pub fn pop(&mut self) -> Option<(f64, K)> {
         loop {
             // Drop stale overflow tops so the window/far comparison below
             // sees a live minimum.
@@ -543,8 +551,8 @@ impl EventQueue {
             + self.far.capacity()
             + self.front.capacity();
         (self.slab.capacity() + self.free.capacity()) * std::mem::size_of::<u32>()
-            + nodes * std::mem::size_of::<Node>()
-            + RING_BUCKETS * std::mem::size_of::<Vec<Node>>()
+            + nodes * std::mem::size_of::<Node<K>>()
+            + RING_BUCKETS * std::mem::size_of::<Vec<Node<K>>>()
             + std::mem::size_of::<Self>()
     }
 
@@ -561,7 +569,7 @@ impl EventQueue {
     /// Whether a node is still pending (not cancelled). Handle-free nodes
     /// are always live.
     #[inline]
-    fn is_live(&self, n: &Node) -> bool {
+    fn is_live(&self, n: &Node<K>) -> bool {
         n.slot == NO_SLOT || self.slab[n.slot as usize] == n.gen
     }
 
@@ -582,7 +590,7 @@ impl EventQueue {
         }
     }
 
-    fn insert(&mut self, time: f64, kind: EventKind, slot: u32, gen: u32) {
+    fn insert(&mut self, time: f64, kind: K, slot: u32, gen: u32) {
         let node = Node {
             time,
             seq: self.seq,
@@ -608,7 +616,7 @@ impl EventQueue {
 
     /// Consumes a live node: frees its slot, advances the clock, returns the
     /// event.
-    fn take(&mut self, node: Node) -> (f64, EventKind) {
+    fn take(&mut self, node: Node<K>) -> (f64, K) {
         debug_assert!(self.is_live(&node), "take() on a stale node");
         if node.slot != NO_SLOT {
             // invalidate the outstanding handle now that the event fired
@@ -654,10 +662,10 @@ impl EventQueue {
     /// stale nodes) if nothing lives. The returned index stays valid: `best`
     /// is only ever set at already-visited positions, and `swap_remove` at
     /// the cursor moves elements only from the unvisited tail.
-    fn scan_bucket(&mut self, b: usize) -> Option<(Node, usize)> {
+    fn scan_bucket(&mut self, b: usize) -> Option<(Node<K>, usize)> {
         let slab = &self.slab;
         let bucket = &mut self.buckets[b];
-        let mut best: Option<(Node, usize)> = None;
+        let mut best: Option<(Node<K>, usize)> = None;
         if self.stale == 0 {
             // Fast path: nothing is cancelled anywhere, so every node is
             // live and the scan never touches the slab.
@@ -877,6 +885,6 @@ mod tests {
         for i in 0..1000 {
             q.schedule(i as f64 * 0.01, EventKind::MonitorTick);
         }
-        assert!(q.approx_bytes() > 1000 * std::mem::size_of::<Node>());
+        assert!(q.approx_bytes() > 1000 * std::mem::size_of::<Node<EventKind>>());
     }
 }

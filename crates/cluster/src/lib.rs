@@ -45,6 +45,7 @@ pub mod user;
 pub mod workload;
 
 pub use bus::{NetworkConfig, NetworkModel};
+pub use events::{CalendarQueue, EventHandle, EventQueue};
 pub use fault::{FaultEvent, FaultPlan, FaultSpec, FAULT_STREAM_SALT, TRANSPORT_STREAM_SALT};
 pub use host::{HostKind, HostState};
 pub use measure::{measure_efficiency, MeasureConfig, Measurement};

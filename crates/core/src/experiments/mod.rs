@@ -29,6 +29,7 @@
 //! | `partition` | detector comparison under congestion / crash / partition (section 7) |
 //! | `scale` | engine scalability 64-4096 hosts, shared bus vs switched (section 9 outlook) |
 //! | `dist` | real multi-process runtime: sockets, SIGKILL recovery, record/replay (section 5) |
+//! | `sched` | multi-tenant job-stream scheduling: FIFO/RR/fair-share/EASY over one trace |
 
 mod dist;
 mod faults;
@@ -38,6 +39,7 @@ mod perf_figures;
 mod physics;
 mod protocols;
 mod scale;
+mod sched;
 mod table1;
 
 pub use dist::{e_dist, e_dist_obs};
@@ -53,6 +55,7 @@ pub use perf_figures::{fig10, fig11, fig5, fig6, fig7, fig8, fig9};
 pub use physics::{e_acoustic, e_conv, e_pipe, e_real};
 pub use protocols::{e_mig, e_net, e_order, e_skew, e_solid, e_udp};
 pub use scale::e_scale;
+pub use sched::{e_sched, e_sched_obs};
 pub use table1::t1;
 
 use crate::report::ExperimentResult;
@@ -114,6 +117,7 @@ pub const ALL_IDS: &[&str] = &[
     "partition",
     "scale",
     "dist",
+    "sched",
 ];
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
@@ -137,6 +141,9 @@ pub fn run_experiment_obs(
     }
     if id == "dist" {
         return Some(e_dist_obs(quick, obs));
+    }
+    if id == "sched" {
+        return Some(e_sched_obs(quick, obs));
     }
     Some(match id {
         "t1" => t1(quick),

@@ -1,0 +1,41 @@
+//! Multi-tenant job-stream scheduling over the simulated cluster.
+//!
+//! The paper runs *one* parallel fluid computation on idle workstations;
+//! this crate asks the operational question one layer up: what happens when
+//! a whole user population submits such computations continuously? It turns
+//! the existing machinery into a simulation *service*:
+//!
+//! * [`trace`] — synthetic heavy-traffic arrival generation: per-tenant
+//!   Poisson streams of solver decompositions with log-uniform (heavy-tailed)
+//!   widths and durations, deterministic per seed, 10⁴–10⁶ jobs.
+//! * [`pool`] — placement through the cluster crate's own
+//!   `SubmitPolicy::select` host search, priced by the PR 2 heterogeneous
+//!   efficiency model (every subprocess runs at the slowest member's pace).
+//! * [`policy`] — pluggable queue disciplines: FIFO, round-robin, weighted
+//!   fair share and EASY backfill.
+//! * [`sim`] — the event-driven replay engine on the cluster crate's
+//!   calendar queue, with admission control and the paper's
+//!   pause-and-restart migration as the intra-job layer.
+//! * [`metrics`] — fairness/throughput rollups into `subsonic-obs`
+//!   (`METRICS.json` series and per-tenant Perfetto tracks).
+//!
+//! The headline invariants, enforced by tests here and proptests in the
+//! workspace test crate: admitted work is never over-committed (placements
+//! only ever use actually-free hosts), no discipline starves a tenant
+//! (non-bypassing dispatch; EASY's bypass provably never delays the head),
+//! and a replay is a pure function of `(trace, config)` — identical inputs
+//! give bit-identical schedules, certified by an FNV-1a schedule hash.
+
+#![warn(clippy::unwrap_used)]
+
+pub mod metrics;
+pub mod policy;
+pub mod pool;
+pub mod sim;
+pub mod trace;
+
+pub use metrics::{publish, record_tracks};
+pub use policy::{PolicyKind, PolicyState};
+pub use pool::{reference_service_time, service_time, HostPool};
+pub use sim::{run, JobRecord, Migration, SchedConfig, SchedOutcome, TenantMetrics};
+pub use trace::{Fnv1a, Job, JobTrace, TenantSpec, TraceConfig};

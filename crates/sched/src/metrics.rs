@@ -1,0 +1,158 @@
+//! Publication of schedule outcomes into the workspace observability stack.
+//!
+//! Two sinks, same [`SchedOutcome`]:
+//!
+//! * [`publish`] pushes the scalar rollups into a [`MetricsRegistry`] under
+//!   `sched.<policy>.*` (global) and `sched.<policy>.tenant<i>.*`
+//!   (per-tenant fairness), so `reproduce` runs emit them in `METRICS.json`
+//!   alongside every other subsystem's counters.
+//! * [`record_tracks`] replays the schedule into a [`FlightRecorder`] as one
+//!   track per tenant — a queued-wait span ([`Category::Sync`]) and a run
+//!   span ([`Category::Compute`]) per job, migration instants on the track
+//!   of the migrating job's tenant — so `reproduce sched --trace out.json`
+//!   yields a Perfetto timeline of the whole job stream.
+
+use subsonic_obs::{Category, FlightRecorder, MetricsRegistry};
+
+use crate::sim::SchedOutcome;
+
+/// Pushes an outcome's rollups into the registry under `sched.<policy>.*`.
+pub fn publish(out: &SchedOutcome, reg: &MetricsRegistry) {
+    let p = out.policy.name();
+    reg.counter_add(&format!("sched.{p}.jobs_completed"), out.completed);
+    reg.counter_add(&format!("sched.{p}.jobs_rejected"), out.rejected);
+    reg.counter_add(&format!("sched.{p}.backfills"), out.backfills);
+    reg.counter_add(
+        &format!("sched.{p}.migrations"),
+        out.migrations.len() as u64,
+    );
+    reg.gauge_set(&format!("sched.{p}.makespan_s"), out.makespan_s, "s");
+    reg.gauge_set(&format!("sched.{p}.utilization"), out.utilization, "ratio");
+    reg.gauge_set(&format!("sched.{p}.mean_wait_s"), out.mean_wait_s, "s");
+    reg.gauge_set(&format!("sched.{p}.mean_stretch"), out.mean_stretch, "x");
+    reg.gauge_set(&format!("sched.{p}.max_stretch"), out.max_stretch, "x");
+    for (i, t) in out.tenants.iter().enumerate() {
+        reg.counter_add(&format!("sched.{p}.tenant{i}.jobs"), t.jobs);
+        reg.counter_add(&format!("sched.{p}.tenant{i}.rejected"), t.rejected);
+        reg.gauge_set(
+            &format!("sched.{p}.tenant{i}.mean_wait_s"),
+            t.mean_wait_s,
+            "s",
+        );
+        reg.gauge_set(
+            &format!("sched.{p}.tenant{i}.mean_stretch"),
+            t.mean_stretch,
+            "x",
+        );
+        reg.gauge_set(
+            &format!("sched.{p}.tenant{i}.max_stretch"),
+            t.max_stretch,
+            "x",
+        );
+        reg.gauge_set(
+            &format!("sched.{p}.tenant{i}.service_host_s"),
+            t.service_host_s,
+            "s",
+        );
+    }
+    for r in out.records.iter().filter(|r| r.completed()) {
+        reg.histogram_observe(&format!("sched.{p}.wait_s"), r.wait_s(), "s");
+        reg.histogram_observe(&format!("sched.{p}.stretch"), r.stretch(), "x");
+    }
+}
+
+/// Replays the schedule into the recorder: one track per tenant, simulated
+/// time. A disabled recorder makes this a no-op, like every other producer.
+pub fn record_tracks(out: &SchedOutcome, rec: &FlightRecorder) {
+    if !rec.is_enabled() {
+        return;
+    }
+    let mut tracks: Vec<_> = (0..out.tenants.len())
+        .map(|t| {
+            rec.track(
+                // pid 9000+policy keeps the four replays apart in one trace
+                9000 + out.policy as u32,
+                t as u32,
+                out.policy.name(),
+                "tenant",
+            )
+        })
+        .collect();
+    for r in out.records.iter().filter(|r| r.completed()) {
+        let tr = &mut tracks[r.tenant as usize];
+        if r.wait_s() > 0.0 {
+            tr.span_sim_arg(
+                Category::Sync,
+                "queued",
+                r.submit_s,
+                r.start_s,
+                Some(("job", r.id as f64)),
+            );
+        }
+        tr.span_sim_arg(
+            Category::Compute,
+            "job",
+            r.start_s,
+            r.finish_s,
+            Some(("procs", r.procs as f64)),
+        );
+    }
+    for m in &out.migrations {
+        let tenant = out.records[m.job as usize].tenant as usize;
+        tracks[tenant].instant_sim_arg(
+            Category::Migration,
+            "migrate",
+            m.at_s,
+            Some(("job", m.job as f64)),
+        );
+    }
+    for mut t in tracks {
+        t.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use crate::sim::{run, SchedConfig};
+    use crate::trace::{JobTrace, TenantSpec, TraceConfig};
+
+    fn outcome() -> SchedOutcome {
+        let t = JobTrace::generate(&TraceConfig {
+            tenants: vec![TenantSpec::light(0.02), TenantSpec::batch(0.004)],
+            jobs: 200,
+            seed: 4,
+        });
+        run(&t, &SchedConfig::paper_pool(PolicyKind::FairShare, 1))
+    }
+
+    #[test]
+    fn registry_gets_global_and_per_tenant_series() {
+        let out = outcome();
+        let reg = MetricsRegistry::new();
+        publish(&out, &reg);
+        assert_eq!(
+            reg.counter("sched.fair.jobs_completed"),
+            Some(out.completed)
+        );
+        assert!(reg.gauge("sched.fair.makespan_s").unwrap_or(0.0) > 0.0);
+        assert!(reg.gauge("sched.fair.tenant0.mean_wait_s").is_some());
+        assert!(reg.gauge("sched.fair.tenant1.max_stretch").is_some());
+        let h = reg.histogram("sched.fair.stretch").expect("histogram");
+        assert_eq!(h.count, out.completed);
+    }
+
+    #[test]
+    fn recorder_gets_one_track_per_tenant() {
+        let out = outcome();
+        let rec = FlightRecorder::enabled(1 << 14);
+        record_tracks(&out, &rec);
+        let tracks = rec.finished_tracks();
+        assert_eq!(tracks.len(), out.tenants.len());
+        let events: usize = tracks.iter().map(|t| t.events.len()).sum();
+        assert!(events >= out.completed as usize, "one span per job minimum");
+        // disabled recorder: nothing recorded, nothing panics
+        record_tracks(&out, &FlightRecorder::disabled());
+    }
+}

@@ -1,0 +1,226 @@
+//! The placement layer: a pool of simulated workstations, selected through
+//! the cluster simulation's own submit machinery.
+//!
+//! The scheduler does not reinvent host selection: every placement decision
+//! goes through [`SubmitPolicy::select`] over real [`HostState`]s — the
+//! paper's idle-user-first, faster-models-first search — so a job's
+//! subprocesses land on the same hosts the section-4.1 submit program would
+//! have chosen. Heterogeneity then prices the job: the per-step coupling of
+//! the PR 2 model pins every subprocess to the slowest selected machine
+//! ([`EfficiencyModel::t_step_hetero`]), which is what makes migration onto
+//! freed faster hosts worth its ~30-second pause.
+
+use subsonic_cluster::host::{HostKind, HostState};
+use subsonic_cluster::policy::SubmitPolicy;
+use subsonic_model::{EfficiencyModel, NetworkKind, PaperConstants};
+use subsonic_solvers::MethodKind;
+
+use crate::trace::Job;
+
+/// Decomposition geometry factor for the strip decompositions the job
+/// stream places (two exchange faces per interior subregion).
+const STRIP_M: f64 = 2.0;
+
+/// A pool of workstations jobs are placed onto, one subprocess per host.
+#[derive(Debug, Clone)]
+pub struct HostPool {
+    hosts: Vec<HostState>,
+    submit: SubmitPolicy,
+    busy: usize,
+}
+
+impl HostPool {
+    /// A quiet pool of the given models (every console idle since t = 0, no
+    /// competing jobs), searched with `submit`.
+    pub fn new(kinds: &[HostKind], submit: SubmitPolicy) -> Self {
+        Self {
+            hosts: kinds.iter().map(|&k| HostState::new(k)).collect(),
+            submit,
+            busy: 0,
+        }
+    }
+
+    /// Total hosts in the pool.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the pool has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Hosts without an assigned subprocess.
+    pub fn free(&self) -> usize {
+        self.hosts.len() - self.busy
+    }
+
+    /// Relative speed of a host for a method (1.0 = the 715/50 reference).
+    pub fn rel(&self, host: usize, method: MethodKind) -> f64 {
+        let reference = HostKind::Hp715_50.node_rate(method, false);
+        self.hosts[host].kind.node_rate(method, false) / reference
+    }
+
+    /// Places a `procs`-wide job: `procs` rounds of the submit program's
+    /// host search, marking each pick assigned. Returns the selected hosts
+    /// (in pick order — fastest tiers first) or `None`, releasing any
+    /// partial picks, when fewer than `procs` hosts are free.
+    pub fn acquire(&mut self, now: f64, procs: u32, job_id: u32) -> Option<Vec<u32>> {
+        let mut picked = Vec::with_capacity(procs as usize);
+        for _ in 0..procs {
+            match self.submit.select(now, self.hosts.iter().enumerate()) {
+                Some(h) => {
+                    self.hosts[h].assigned_proc = Some(job_id as usize);
+                    picked.push(h as u32);
+                }
+                None => {
+                    for &h in &picked {
+                        self.hosts[h as usize].assigned_proc = None;
+                    }
+                    return None;
+                }
+            }
+        }
+        self.busy += picked.len();
+        Some(picked)
+    }
+
+    /// Claims one specific free host (a migration target the caller already
+    /// chose through [`Self::best_free`]).
+    pub fn acquire_specific(&mut self, host: u32, job_id: u32) {
+        let h = &mut self.hosts[host as usize];
+        assert!(h.assigned_proc.is_none(), "migration target already taken");
+        h.assigned_proc = Some(job_id as usize);
+        self.busy += 1;
+    }
+
+    /// Releases hosts back to the pool.
+    pub fn release(&mut self, hosts: &[u32]) {
+        for &h in hosts {
+            let host = &mut self.hosts[h as usize];
+            debug_assert!(host.assigned_proc.is_some(), "double release of host {h}");
+            host.assigned_proc = None;
+        }
+        self.busy -= hosts.len();
+    }
+
+    /// The free host the submit search would pick right now, if any.
+    pub fn best_free(&self, now: f64) -> Option<u32> {
+        self.submit
+            .select(now, self.hosts.iter().enumerate())
+            .map(|h| h as u32)
+    }
+
+    /// Slowest selected host's relative speed for this method — the
+    /// step-coupling bottleneck of the whole decomposition.
+    pub fn rel_min(&self, hosts: &[u32], method: MethodKind) -> f64 {
+        hosts
+            .iter()
+            .map(|&h| self.rel(h as usize, method))
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Index (into `hosts`) of the slowest selected host.
+    pub fn slowest_of(&self, hosts: &[u32], method: MethodKind) -> usize {
+        let mut worst = 0;
+        for (i, &h) in hosts.iter().enumerate() {
+            if self.rel(h as usize, method) < self.rel(hosts[worst] as usize, method) {
+                worst = i;
+            }
+        }
+        worst
+    }
+}
+
+/// The paper's per-step model for a placed decomposition.
+fn step_model(job: &Job) -> EfficiencyModel {
+    let c = PaperConstants::default();
+    EfficiencyModel {
+        dim: 2,
+        m: STRIP_M,
+        p: job.procs as usize,
+        u_calc: HostKind::Hp715_50.node_rate(job.method, false),
+        v_com: c.v_com(),
+        network: NetworkKind::SharedBus,
+        messages_per_step: match job.method {
+            MethodKind::LatticeBoltzmann => 1.0,
+            MethodKind::FiniteDifference => 2.0,
+        },
+        message_overhead: 0.0,
+    }
+}
+
+/// Service time of a job on hosts whose slowest member runs at `rel_min`:
+/// `steps × (T_calc/rel_min + T_com)` (PR 2's heterogeneous step coupling).
+pub fn service_time(job: &Job, rel_min: f64) -> f64 {
+    job.steps as f64 * step_model(job).t_step_hetero(job.nodes_per_proc, rel_min)
+}
+
+/// Service time on an all-reference-speed placement: the lower bound the
+/// EASY reservation and the slowdown metrics are measured against.
+pub fn reference_service_time(job: &Job) -> f64 {
+    service_time(job, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use subsonic_solvers::MethodKind;
+
+    fn mixed_pool() -> HostPool {
+        let mut kinds = vec![HostKind::Hp715_50; 4];
+        kinds.extend([HostKind::Hp720, HostKind::Hp710]);
+        HostPool::new(&kinds, SubmitPolicy::default())
+    }
+
+    fn job(procs: u32, steps: u64) -> Job {
+        Job {
+            id: 0,
+            tenant: 0,
+            submit_s: 0.0,
+            procs,
+            nodes_per_proc: 2500.0,
+            steps,
+            method: MethodKind::LatticeBoltzmann,
+        }
+    }
+
+    #[test]
+    fn acquire_prefers_fast_hosts_and_rolls_back() {
+        let mut p = mixed_pool();
+        let now = 30.0 * 60.0;
+        let picked = p.acquire(now, 4, 1).expect("4 of 6 free");
+        // the four 715/50s (ids 0..4) go first — the paper's preference order
+        assert_eq!(picked.len(), 4);
+        assert!(picked.iter().all(|&h| h < 4), "{picked:?}");
+        assert_eq!(p.free(), 2);
+        // a 3-wide job no longer fits; the failed acquire must roll back
+        assert!(p.acquire(now, 3, 2).is_none());
+        assert_eq!(p.free(), 2);
+        p.release(&picked);
+        assert_eq!(p.free(), 6);
+    }
+
+    #[test]
+    fn rel_min_is_the_slowest_member() {
+        let p = mixed_pool();
+        let m = MethodKind::LatticeBoltzmann;
+        assert!((p.rel_min(&[0, 1], m) - 1.0).abs() < 1e-12);
+        // host 5 is the 710 (rel 0.84 for LB 2D)
+        assert!((p.rel_min(&[0, 5], m) - 0.84).abs() < 1e-9);
+        assert_eq!(p.slowest_of(&[0, 5], m), 1);
+    }
+
+    #[test]
+    fn service_time_scales_with_heterogeneity() {
+        let j = job(4, 100);
+        let fast = service_time(&j, 1.0);
+        let slow = service_time(&j, 0.84);
+        assert!(slow > fast, "slower bottleneck must lengthen the job");
+        assert!((reference_service_time(&j) - fast).abs() < 1e-12);
+        // T_calc/rel scaling: the compute share grows exactly by 1/rel
+        let model = step_model(&j);
+        let expect = j.steps as f64 * (model.t_calc(2500.0) / 0.84 + model.t_com(2500.0));
+        assert!((slow - expect).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,789 @@
+//! The job-stream simulation: trace in, schedule out.
+//!
+//! The engine replays a [`JobTrace`] against a [`HostPool`] under one
+//! [`PolicyKind`], driven by the cluster crate's calendar event queue
+//! ([`CalendarQueue`]) — the same engine the intra-job cluster simulation
+//! runs on, instantiated here with the job-stream event vocabulary. Two
+//! event kinds suffice: `Arrival` (chained — each arrival schedules the
+//! next, so the queue never holds more than one future arrival) and `Finish`
+//! (cancellable, because migration reschedules it).
+//!
+//! Admission control sits in front of the queue: a job wider than the whole
+//! pool can never run and is rejected immediately; a queue past
+//! `max_queue` sheds new arrivals (overload protection). Everything admitted
+//! eventually runs — the acquire path can only place a job on hosts that are
+//! actually free, so capacity is never over-committed.
+//!
+//! Migration rides along exactly as the paper's monitor does it: when a
+//! finish frees fast hosts, the running job most throttled by a slow member
+//! (smallest `rel_min`) may move that one subprocess to the best free host,
+//! paying the ~search-duration pause, iff doing so strictly advances its
+//! finish time. The finish event is cancelled and rescheduled through the
+//! calendar queue's generation-slab handles.
+//!
+//! Every decision is a deterministic function of the trace: an identical
+//! trace and config yield a bit-identical schedule, which
+//! [`SchedOutcome::schedule_hash`] certifies (FNV-1a over every dispatch,
+//! migration and completion).
+
+use std::collections::{BTreeMap, VecDeque};
+
+use subsonic_cluster::host::HostKind;
+use subsonic_cluster::policy::SubmitPolicy;
+use subsonic_cluster::CalendarQueue;
+use subsonic_cluster::EventHandle;
+
+use crate::policy::{PolicyKind, PolicyState};
+use crate::pool::{reference_service_time, service_time, HostPool};
+use crate::trace::{Fnv1a, JobTrace};
+
+/// Job-stream event vocabulary for the calendar queue.
+#[derive(Debug, Clone, Copy)]
+enum SchedEvent {
+    /// Job `idx` of the trace submits; schedules arrival `idx + 1`.
+    Arrival { idx: u32 },
+    /// Job `job` completes and frees its hosts.
+    Finish { job: u32 },
+}
+
+/// Simulation configuration: the pool and the knobs around the policy.
+#[derive(Debug, Clone)]
+pub struct SchedConfig {
+    /// Workstation models in the pool.
+    pub hosts: Vec<HostKind>,
+    /// Host-selection policy used for every placement (the paper's submit
+    /// search; its `search_duration_s` is also the migration pause).
+    pub submit: SubmitPolicy,
+    /// Queue-ordering discipline.
+    pub policy: PolicyKind,
+    /// Admission: arrivals beyond this queue depth are shed.
+    pub max_queue: usize,
+    /// Whether finishing jobs may trigger a one-subprocess migration of the
+    /// most-throttled running job onto the best freed host.
+    pub migration: bool,
+    /// How many jobs behind a blocked head EASY backfill examines.
+    pub backfill_scan: usize,
+}
+
+impl SchedConfig {
+    /// A pool of `multiple` copies of the paper's 25-host cluster under the
+    /// given discipline, queue effectively unbounded, migration on.
+    pub fn paper_pool(policy: PolicyKind, multiple: usize) -> Self {
+        let mut hosts = Vec::new();
+        for _ in 0..multiple.max(1) {
+            hosts.extend(HostKind::paper_cluster());
+        }
+        Self {
+            hosts,
+            submit: SubmitPolicy::default(),
+            policy,
+            max_queue: usize::MAX,
+            migration: true,
+            backfill_scan: 128,
+        }
+    }
+}
+
+/// Per-job outcome. Rejected jobs keep `NaN` start/finish times.
+#[derive(Debug, Clone, Copy)]
+pub struct JobRecord {
+    /// Trace job id.
+    pub id: u32,
+    /// Owning tenant.
+    pub tenant: u16,
+    /// Width (hosts held while running).
+    pub procs: u32,
+    /// Submission time.
+    pub submit_s: f64,
+    /// Dispatch time (`NaN` if rejected).
+    pub start_s: f64,
+    /// Completion time (`NaN` if rejected).
+    pub finish_s: f64,
+    /// Service time on an all-reference-speed placement — the denominator
+    /// of the stretch/slowdown metrics.
+    pub ref_service_s: f64,
+}
+
+impl JobRecord {
+    /// Whether the job ran (was not shed by admission).
+    pub fn completed(&self) -> bool {
+        self.finish_s.is_finite()
+    }
+
+    /// Queue wait: dispatch minus submit.
+    pub fn wait_s(&self) -> f64 {
+        self.start_s - self.submit_s
+    }
+
+    /// Stretch (bounded slowdown): response time over reference service.
+    pub fn stretch(&self) -> f64 {
+        (self.finish_s - self.submit_s) / self.ref_service_s.max(1e-9)
+    }
+}
+
+/// Per-tenant fairness rollup.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TenantMetrics {
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Jobs shed by admission control.
+    pub rejected: u64,
+    /// Mean queue wait over completed jobs, seconds.
+    pub mean_wait_s: f64,
+    /// Mean stretch over completed jobs.
+    pub mean_stretch: f64,
+    /// Worst stretch of any completed job.
+    pub max_stretch: f64,
+    /// Host-seconds of service delivered.
+    pub service_host_s: f64,
+}
+
+/// One migration decision, for the timeline exporters.
+#[derive(Debug, Clone, Copy)]
+pub struct Migration {
+    /// When the move happened.
+    pub at_s: f64,
+    /// Which job moved one subprocess.
+    pub job: u32,
+    /// Host vacated.
+    pub from: u32,
+    /// Host claimed.
+    pub to: u32,
+}
+
+/// Everything a replay produces.
+#[derive(Debug, Clone)]
+pub struct SchedOutcome {
+    /// Discipline that produced this schedule.
+    pub policy: PolicyKind,
+    /// Per-job outcomes, indexed by trace job id.
+    pub records: Vec<JobRecord>,
+    /// Per-tenant rollups, indexed by tenant id.
+    pub tenants: Vec<TenantMetrics>,
+    /// Migrations performed, in time order.
+    pub migrations: Vec<Migration>,
+    /// Last completion time, seconds.
+    pub makespan_s: f64,
+    /// Delivered host-seconds over `pool × makespan`.
+    pub utilization: f64,
+    /// Mean queue wait over all completed jobs.
+    pub mean_wait_s: f64,
+    /// Mean stretch over all completed jobs.
+    pub mean_stretch: f64,
+    /// Worst stretch over all completed jobs.
+    pub max_stretch: f64,
+    /// Jobs completed.
+    pub completed: u64,
+    /// Jobs shed by admission control.
+    pub rejected: u64,
+    /// Jobs started ahead of a blocked head by EASY backfill.
+    pub backfills: u64,
+    /// Largest number of simultaneously busy hosts observed.
+    pub peak_busy_hosts: usize,
+    /// Pool size the trace ran against.
+    pub pool_hosts: usize,
+    /// FNV-1a over every dispatch, migration and completion — two replays
+    /// produced the same schedule iff these match.
+    pub schedule_hash: u64,
+    /// Fingerprint of the trace that was replayed.
+    pub trace_fingerprint: u64,
+}
+
+/// A job currently holding hosts.
+#[derive(Debug, Clone)]
+struct Running {
+    hosts: Vec<u32>,
+    rel_min: f64,
+    /// Fraction of the job's steps still pending at `seg_start_s`.
+    frac_left: f64,
+    /// Start of the current placement segment.
+    seg_start_s: f64,
+    /// Scheduled finish of the current placement segment.
+    seg_finish_s: f64,
+    handle: EventHandle,
+}
+
+/// The admitted-but-waiting jobs: a global arrival-order deque for the
+/// globally-ordered disciplines plus per-tenant deques for the
+/// tenant-ordered ones. Only the structure the active discipline reads is
+/// consulted, but both are maintained (cheap, and keeps invariants simple).
+#[derive(Debug)]
+struct WaitQueue {
+    global: VecDeque<u32>,
+    per_tenant: Vec<VecDeque<u32>>,
+}
+
+impl WaitQueue {
+    fn new(tenants: usize) -> Self {
+        Self {
+            global: VecDeque::new(),
+            per_tenant: vec![VecDeque::new(); tenants],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.global.len()
+    }
+
+    fn push(&mut self, job: u32, tenant: u16) {
+        self.global.push_back(job);
+        self.per_tenant[tenant as usize].push_back(job);
+    }
+
+    /// Removes a job known to be its tenant's head-of-line (tenant-ordered
+    /// dispatch path) or anywhere in the global deque (backfill path).
+    fn remove(&mut self, job: u32, tenant: u16) {
+        if self.per_tenant[tenant as usize].front() == Some(&job) {
+            self.per_tenant[tenant as usize].pop_front();
+        } else if let Some(i) = self.per_tenant[tenant as usize]
+            .iter()
+            .position(|&j| j == job)
+        {
+            self.per_tenant[tenant as usize].remove(i);
+        }
+        if self.global.front() == Some(&job) {
+            self.global.pop_front();
+        } else if let Some(i) = self.global.iter().position(|&j| j == job) {
+            self.global.remove(i);
+        }
+    }
+}
+
+struct Engine<'a> {
+    trace: &'a JobTrace,
+    cfg: &'a SchedConfig,
+    pool: HostPool,
+    events: CalendarQueue<SchedEvent>,
+    policy: PolicyState,
+    queue: WaitQueue,
+    running: BTreeMap<u32, Running>,
+    records: Vec<JobRecord>,
+    hash: Fnv1a,
+    migrations: Vec<Migration>,
+    backfills: u64,
+    rejected: u64,
+    busy_hosts: usize,
+    peak_busy: usize,
+}
+
+impl<'a> Engine<'a> {
+    fn new(trace: &'a JobTrace, cfg: &'a SchedConfig) -> Self {
+        let weights: Vec<f64> = trace.tenants.iter().map(|t| t.weight).collect();
+        let records = trace
+            .jobs
+            .iter()
+            .map(|j| JobRecord {
+                id: j.id,
+                tenant: j.tenant,
+                procs: j.procs,
+                submit_s: j.submit_s,
+                start_s: f64::NAN,
+                finish_s: f64::NAN,
+                ref_service_s: reference_service_time(j),
+            })
+            .collect();
+        Self {
+            trace,
+            cfg,
+            pool: HostPool::new(&cfg.hosts, cfg.submit),
+            events: CalendarQueue::new(),
+            policy: PolicyState::new(cfg.policy, &weights),
+            queue: WaitQueue::new(trace.tenants.len()),
+            running: BTreeMap::new(),
+            records,
+            hash: Fnv1a::new(),
+            migrations: Vec::new(),
+            backfills: 0,
+            rejected: 0,
+            busy_hosts: 0,
+            peak_busy: 0,
+        }
+    }
+
+    fn run(mut self) -> SchedOutcome {
+        if let Some(first) = self.trace.jobs.first() {
+            self.events
+                .schedule_at(first.submit_s, SchedEvent::Arrival { idx: 0 });
+        }
+        while let Some((now, ev)) = self.events.pop() {
+            match ev {
+                SchedEvent::Arrival { idx } => self.on_arrival(now, idx),
+                SchedEvent::Finish { job } => self.on_finish(now, job),
+            }
+        }
+        debug_assert!(self.running.is_empty() && self.queue.len() == 0);
+        self.summarise()
+    }
+
+    fn on_arrival(&mut self, now: f64, idx: u32) {
+        // chain the next arrival before anything else touches the queue
+        if let Some(next) = self.trace.jobs.get(idx as usize + 1) {
+            self.events
+                .schedule_at(next.submit_s, SchedEvent::Arrival { idx: idx + 1 });
+        }
+        let job = &self.trace.jobs[idx as usize];
+        // admission control: impossible widths and overload are shed here,
+        // so everything in the queue is guaranteed to fit *some day*
+        if job.procs as usize > self.pool.len() || self.queue.len() >= self.cfg.max_queue {
+            self.rejected += 1;
+            self.records[idx as usize].start_s = f64::NAN;
+            return;
+        }
+        self.queue.push(job.id, job.tenant);
+        self.dispatch(now);
+    }
+
+    fn on_finish(&mut self, now: f64, job: u32) {
+        let run = self.running.remove(&job).expect("finish for unknown job");
+        self.pool.release(&run.hosts);
+        self.busy_hosts -= run.hosts.len();
+        self.records[job as usize].finish_s = now;
+        self.hash.write_u64(job as u64);
+        self.hash.write_f64(now);
+        // queued work gets first claim on the freed hosts …
+        self.dispatch(now);
+        // … and only leftovers may improve a running placement
+        if self.cfg.migration {
+            self.try_migrate(now);
+        }
+    }
+
+    /// Starts jobs until the discipline's choice no longer fits.
+    fn dispatch(&mut self, now: f64) {
+        loop {
+            let Some(job) = self.next_choice() else {
+                return;
+            };
+            if self.try_start(now, job) {
+                continue;
+            }
+            // head-of-line blocked: only EASY may look past it
+            if self.policy.kind() == PolicyKind::EasyBackfill {
+                self.backfill(now, job);
+            }
+            return;
+        }
+    }
+
+    /// The discipline's current head-of-line job, if any.
+    fn next_choice(&mut self) -> Option<u32> {
+        if self.policy.kind().is_tenant_ordered() {
+            let backlogged: Vec<bool> = self
+                .queue
+                .per_tenant
+                .iter()
+                .map(|q| !q.is_empty())
+                .collect();
+            let t = self.policy.choose_tenant(&backlogged)?;
+            self.queue.per_tenant[t].front().copied()
+        } else {
+            self.queue.global.front().copied()
+        }
+    }
+
+    /// Tries to place and start `job` right now. On success the job leaves
+    /// the queue and its finish event is scheduled.
+    fn try_start(&mut self, now: f64, job: u32) -> bool {
+        let spec = &self.trace.jobs[job as usize];
+        let Some(hosts) = self.pool.acquire(now, spec.procs, job) else {
+            return false;
+        };
+        let rel_min = self.pool.rel_min(&hosts, spec.method);
+        let duration = service_time(spec, rel_min);
+        let finish = now + duration;
+        let handle = self
+            .events
+            .schedule_at_cancellable(finish, SchedEvent::Finish { job });
+        self.queue.remove(job, spec.tenant);
+        self.policy
+            .on_dispatch(spec.tenant, duration * spec.procs as f64);
+        self.busy_hosts += hosts.len();
+        self.peak_busy = self.peak_busy.max(self.busy_hosts);
+        self.records[job as usize].start_s = now;
+        self.hash.write_u64(job as u64);
+        self.hash.write_f64(now);
+        for &h in &hosts {
+            self.hash.write_u64(h as u64);
+        }
+        self.running.insert(
+            job,
+            Running {
+                hosts,
+                rel_min,
+                frac_left: 1.0,
+                seg_start_s: now,
+                seg_finish_s: finish,
+                handle,
+            },
+        );
+        true
+    }
+
+    /// EASY backfill behind the blocked head: reserve the head's start, then
+    /// let strictly-earlier finishers from the scan window jump the line.
+    fn backfill(&mut self, now: f64, head: u32) {
+        let reservation = self.head_reservation(now, head);
+        // ids first: starting a job mutates the deque we'd be iterating
+        let window: Vec<u32> = self
+            .queue
+            .global
+            .iter()
+            .skip(1)
+            .take(self.cfg.backfill_scan)
+            .copied()
+            .collect();
+        for cand in window {
+            let spec = &self.trace.jobs[cand as usize];
+            if spec.procs as usize > self.pool.free() {
+                continue;
+            }
+            // tentative placement: the exact duration depends on which
+            // hosts the submit search picks
+            let Some(hosts) = self.pool.acquire(now, spec.procs, cand) else {
+                continue;
+            };
+            let rel_min = self.pool.rel_min(&hosts, spec.method);
+            let duration = service_time(spec, rel_min);
+            if now + duration <= reservation + 1e-9 {
+                // commit: provably finished before the head needs the hosts
+                let finish = now + duration;
+                let handle = self
+                    .events
+                    .schedule_at_cancellable(finish, SchedEvent::Finish { job: cand });
+                self.queue.remove(cand, spec.tenant);
+                self.policy
+                    .on_dispatch(spec.tenant, duration * spec.procs as f64);
+                self.busy_hosts += hosts.len();
+                self.peak_busy = self.peak_busy.max(self.busy_hosts);
+                self.records[cand as usize].start_s = now;
+                self.hash.write_u64(cand as u64);
+                self.hash.write_f64(now);
+                for &h in &hosts {
+                    self.hash.write_u64(h as u64);
+                }
+                self.running.insert(
+                    cand,
+                    Running {
+                        hosts,
+                        rel_min,
+                        frac_left: 1.0,
+                        seg_start_s: now,
+                        seg_finish_s: finish,
+                        handle,
+                    },
+                );
+                self.backfills += 1;
+            } else {
+                self.pool.release(&hosts);
+            }
+        }
+    }
+
+    /// Earliest time the blocked head can have enough free hosts: walk the
+    /// exactly-known finish times in order, accumulating freed capacity.
+    fn head_reservation(&self, now: f64, head: u32) -> f64 {
+        let need = self.trace.jobs[head as usize].procs as usize;
+        let mut free = self.pool.free();
+        if free >= need {
+            return now;
+        }
+        let mut finishes: Vec<(f64, usize)> = self
+            .running
+            .values()
+            .map(|r| (r.seg_finish_s, r.hosts.len()))
+            .collect();
+        finishes.sort_by(|a, b| a.0.total_cmp(&b.0));
+        for (t, procs) in finishes {
+            free += procs;
+            if free >= need {
+                return t;
+            }
+        }
+        // unreachable while admission rejects procs > pool, but stay safe
+        f64::INFINITY
+    }
+
+    /// One-subprocess migration of the most-throttled running job onto the
+    /// best free host, iff it strictly advances that job's finish.
+    fn try_migrate(&mut self, now: f64) {
+        let Some(target) = self.pool.best_free(now) else {
+            return;
+        };
+        // most-throttled running job first; (rel_min, id) is a total order,
+        // so the pick is deterministic whatever the map iteration does
+        let Some((&job, _)) = self
+            .running
+            .iter()
+            .filter(|(_, r)| r.rel_min < 1.0)
+            .min_by(|a, b| a.1.rel_min.total_cmp(&b.1.rel_min).then(a.0.cmp(b.0)))
+        else {
+            return;
+        };
+        let spec = self.trace.jobs[job as usize];
+        let target_rel = self.pool.rel(target as usize, spec.method);
+        let run = self.running.get(&job).expect("chosen job is running");
+        if target_rel <= run.rel_min {
+            return;
+        }
+        let slowest = self.pool.slowest_of(&run.hosts, spec.method);
+        // rel_min with the slowest member swapped for the target
+        let mut new_hosts = run.hosts.clone();
+        let from = new_hosts[slowest];
+        new_hosts[slowest] = target;
+        let new_rel = self.pool.rel_min(&new_hosts, spec.method);
+        // work left now, as a fraction of the job's total steps
+        let seg = run.seg_finish_s - run.seg_start_s;
+        let frac_now = if seg > 0.0 {
+            run.frac_left * (run.seg_finish_s - now) / seg
+        } else {
+            0.0
+        };
+        let pause = self.cfg.submit.search_duration_s;
+        let new_finish = now + pause + frac_now * service_time(&spec, new_rel);
+        if new_finish + 1e-9 >= run.seg_finish_s {
+            return; // the pause eats the speedup: stay put
+        }
+        let run = self.running.get_mut(&job).expect("chosen job is running");
+        let old_handle = run.handle;
+        run.hosts = new_hosts;
+        run.rel_min = new_rel;
+        run.frac_left = frac_now;
+        run.seg_start_s = now;
+        run.seg_finish_s = new_finish;
+        self.pool.release(&[from]);
+        self.pool.acquire_specific(target, job);
+        let cancelled = self.events.cancel(old_handle);
+        debug_assert!(cancelled, "stale finish handle for migrating job");
+        let handle = self
+            .events
+            .schedule_at_cancellable(new_finish, SchedEvent::Finish { job });
+        self.running
+            .get_mut(&job)
+            .expect("chosen job is running")
+            .handle = handle;
+        self.migrations.push(Migration {
+            at_s: now,
+            job,
+            from,
+            to: target,
+        });
+        self.hash.write_u64(0x4D49_4752); // "MIGR" domain separator
+        self.hash.write_u64(job as u64);
+        self.hash.write_f64(now);
+        self.hash.write_u64(from as u64);
+        self.hash.write_u64(target as u64);
+    }
+
+    fn summarise(self) -> SchedOutcome {
+        let mut tenants = vec![TenantMetrics::default(); self.trace.tenants.len()];
+        let mut makespan: f64 = 0.0;
+        let mut wait_sum = 0.0;
+        let mut stretch_sum = 0.0;
+        let mut max_stretch: f64 = 0.0;
+        let mut completed = 0u64;
+        let mut service_sum = 0.0;
+        for r in &self.records {
+            let t = &mut tenants[r.tenant as usize];
+            if !r.completed() {
+                t.rejected += 1;
+                continue;
+            }
+            completed += 1;
+            makespan = makespan.max(r.finish_s);
+            let service = (r.finish_s - r.start_s) * r.procs as f64;
+            wait_sum += r.wait_s();
+            stretch_sum += r.stretch();
+            max_stretch = max_stretch.max(r.stretch());
+            service_sum += service;
+            t.jobs += 1;
+            t.mean_wait_s += r.wait_s();
+            t.mean_stretch += r.stretch();
+            t.max_stretch = t.max_stretch.max(r.stretch());
+            t.service_host_s += service;
+        }
+        for t in &mut tenants {
+            if t.jobs > 0 {
+                t.mean_wait_s /= t.jobs as f64;
+                t.mean_stretch /= t.jobs as f64;
+            }
+        }
+        let pool_hosts = self.cfg.hosts.len();
+        SchedOutcome {
+            policy: self.cfg.policy,
+            tenants,
+            migrations: self.migrations,
+            makespan_s: makespan,
+            utilization: if makespan > 0.0 {
+                service_sum / (pool_hosts as f64 * makespan)
+            } else {
+                0.0
+            },
+            mean_wait_s: if completed > 0 {
+                wait_sum / completed as f64
+            } else {
+                0.0
+            },
+            mean_stretch: if completed > 0 {
+                stretch_sum / completed as f64
+            } else {
+                0.0
+            },
+            max_stretch,
+            completed,
+            rejected: self.rejected,
+            backfills: self.backfills,
+            peak_busy_hosts: self.peak_busy,
+            pool_hosts,
+            schedule_hash: self.hash.finish(),
+            trace_fingerprint: self.trace.fingerprint(),
+            records: self.records,
+        }
+    }
+}
+
+/// Replays `trace` under `cfg` and returns the complete schedule outcome.
+pub fn run(trace: &JobTrace, cfg: &SchedConfig) -> SchedOutcome {
+    assert!(!cfg.hosts.is_empty(), "a schedule needs at least one host");
+    Engine::new(trace, cfg).run()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TenantSpec, TraceConfig};
+
+    fn trace(jobs: usize, seed: u64) -> JobTrace {
+        JobTrace::generate(&TraceConfig {
+            tenants: vec![TenantSpec::light(0.02), TenantSpec::batch(0.004)],
+            jobs,
+            seed,
+        })
+    }
+
+    fn outcome(policy: PolicyKind, jobs: usize, seed: u64) -> SchedOutcome {
+        run(&trace(jobs, seed), &SchedConfig::paper_pool(policy, 1))
+    }
+
+    #[test]
+    fn every_admitted_job_completes_in_order() {
+        for policy in PolicyKind::ALL {
+            let out = outcome(policy, 400, 11);
+            assert_eq!(out.completed + out.rejected, 400, "{policy:?}");
+            for r in out.records.iter().filter(|r| r.completed()) {
+                assert!(r.start_s >= r.submit_s - 1e-9, "{policy:?} starts early");
+                assert!(r.finish_s > r.start_s, "{policy:?} zero-length run");
+            }
+            assert!(out.peak_busy_hosts <= out.pool_hosts, "{policy:?}");
+            assert!(out.utilization > 0.0 && out.utilization <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn replay_is_bit_identical() {
+        for policy in PolicyKind::ALL {
+            let a = outcome(policy, 300, 5);
+            let b = outcome(policy, 300, 5);
+            assert_eq!(a.schedule_hash, b.schedule_hash, "{policy:?}");
+            assert_eq!(a.trace_fingerprint, b.trace_fingerprint);
+            // and a different seed really changes the schedule
+            let c = outcome(policy, 300, 6);
+            assert_ne!(a.schedule_hash, c.schedule_hash, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn policies_disagree_on_heavy_traffic() {
+        let fifo = outcome(PolicyKind::Fifo, 600, 3);
+        let bf = outcome(PolicyKind::EasyBackfill, 600, 3);
+        assert!(bf.backfills > 0, "heavy traffic must trigger backfill");
+        assert!(
+            bf.makespan_s <= fifo.makespan_s + 1e-6,
+            "EASY never delays the head, so its makespan cannot exceed FIFO's \
+             ({} vs {})",
+            bf.makespan_s,
+            fifo.makespan_s
+        );
+        assert!(
+            bf.mean_wait_s < fifo.mean_wait_s,
+            "backfill should cut waits"
+        );
+    }
+
+    #[test]
+    fn admission_sheds_impossible_and_overflow_jobs() {
+        let t = trace(200, 8);
+        // a pool too narrow for the batch tenant's widest jobs
+        let cfg = SchedConfig {
+            hosts: vec![HostKind::Hp715_50; 8],
+            ..SchedConfig::paper_pool(PolicyKind::Fifo, 1)
+        };
+        let out = run(&t, &cfg);
+        let impossible = t.jobs.iter().filter(|j| j.procs > 8).count() as u64;
+        assert!(impossible > 0, "trace should contain wide jobs");
+        assert!(out.rejected >= impossible);
+        assert_eq!(out.completed + out.rejected, 200);
+        // a zero-depth queue sheds every arrival
+        let capped = run(
+            &t,
+            &SchedConfig {
+                max_queue: 0,
+                ..cfg.clone()
+            },
+        );
+        assert_eq!(capped.rejected, 200);
+        assert_eq!(capped.completed, 0);
+    }
+
+    #[test]
+    fn migration_moves_work_off_slow_hosts() {
+        // all-720 pool except a few fast hosts: placements start mixed, and
+        // finishes free fast hosts for the throttled survivors
+        let mut hosts = vec![HostKind::Hp710; 20];
+        hosts.extend(vec![HostKind::Hp715_50; 5]);
+        let cfg = SchedConfig {
+            hosts,
+            ..SchedConfig::paper_pool(PolicyKind::Fifo, 1)
+        };
+        let with = run(&trace(300, 21), &cfg);
+        let without = run(
+            &trace(300, 21),
+            &SchedConfig {
+                migration: false,
+                ..cfg
+            },
+        );
+        assert!(!with.migrations.is_empty(), "no migrations triggered");
+        for m in &with.migrations {
+            assert_ne!(m.from, m.to);
+        }
+        // migration must never hurt the migrated schedule's total makespan
+        // by more than the pauses it inserted
+        assert!(with.makespan_s <= without.makespan_s + 1e-6);
+    }
+
+    #[test]
+    fn fair_share_tracks_weights() {
+        // two identical tenants, one with 4x the weight, saturating queue
+        let t = JobTrace::generate(&TraceConfig {
+            tenants: vec![
+                TenantSpec {
+                    weight: 4.0,
+                    ..TenantSpec::light(0.2)
+                },
+                TenantSpec::light(0.2),
+            ],
+            jobs: 400,
+            seed: 17,
+        });
+        let out = run(&t, &SchedConfig::paper_pool(PolicyKind::FairShare, 1));
+        let heavy = &out.tenants[0];
+        let light = &out.tenants[1];
+        assert!(heavy.jobs > 0 && light.jobs > 0);
+        assert!(
+            heavy.mean_wait_s < light.mean_wait_s,
+            "the weighted tenant should wait less ({} vs {})",
+            heavy.mean_wait_s,
+            light.mean_wait_s
+        );
+    }
+}

@@ -146,7 +146,12 @@ fn dist_runs() {
 }
 
 #[test]
+fn sched_runs() {
+    run_and_check("sched");
+}
+
+#[test]
 fn registry_is_complete() {
-    assert_eq!(ALL_IDS.len(), 25);
+    assert_eq!(ALL_IDS.len(), 26);
     assert!(run_experiment("bogus", true).is_none());
 }
