@@ -473,6 +473,75 @@ fn sched_replay(out: &mut Vec<PerfEntry>, quick: bool) {
     });
 }
 
+fn chaos_runtime(out: &mut Vec<PerfEntry>, quick: bool) {
+    // Real-runtime chaos costs over loopback TCP with thread-hosted workers:
+    // the detect→resume latency of one SIGKILL recovery and the wall cost of
+    // one live migration at a commit boundary. Wall-clock seconds, lower is
+    // better: a regression means checkpoint shipping, the mesh rebuild or
+    // the pause-fence handshake got slower.
+    use subsonic_exec::Problem2;
+    use subsonic_grid::Geometry2;
+    use subsonic_net::{run_problem, NetConfig, NetKill, NetMigration, ThreadHost, TransportKind};
+    use subsonic_obs::FlightRecorder;
+    use subsonic_solvers::FluidParams;
+
+    let (nx, ny, steps, interval) = if quick {
+        (24, 16, 12, 4)
+    } else {
+        (48, 32, 16, 4)
+    };
+    let geom = Geometry2::channel(nx, ny, 2);
+    let mut params = FluidParams::lattice_units(0.05);
+    params.body_force[0] = 1.5e-5;
+    let problem = Problem2::new(geom, 2, 2, params)
+        .with_init(|x, y| (1.0 + 1e-3 * (x as f64) + 2e-3 * (y as f64), 0.0, 0.0));
+    let dir = |tag: &str| {
+        std::env::temp_dir().join(format!("subsonic-bench-chaos-{}-{tag}", std::process::id()))
+    };
+    let recorder = FlightRecorder::disabled();
+
+    let mut cfg = NetConfig::new(TransportKind::Tcp, steps, interval, dir("kill"));
+    cfg.kills = vec![NetKill {
+        worker: 1,
+        at_step: interval + interval / 2,
+        attempt: 0,
+    }];
+    let mut host = ThreadHost::new();
+    if let Ok(outcome) = run_problem(&problem, &cfg, &mut host, &recorder) {
+        let n = outcome.recovery_latency.len().max(1) as f64;
+        out.push(PerfEntry {
+            name: "chaos_recovery_latency_mean".into(),
+            value: outcome
+                .recovery_latency
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum::<f64>()
+                / n,
+            unit: "s".into(),
+        });
+    }
+
+    let mut cfg = NetConfig::new(TransportKind::Tcp, steps, interval, dir("mig"));
+    cfg.migrations = vec![NetMigration {
+        worker: 1,
+        after_step: interval,
+    }];
+    let mut host = ThreadHost::new();
+    if let Ok(outcome) = run_problem(&problem, &cfg, &mut host, &recorder) {
+        let n = outcome.migration_cost.len().max(1) as f64;
+        out.push(PerfEntry {
+            name: "chaos_migration_cost".into(),
+            value: outcome
+                .migration_cost
+                .iter()
+                .map(|d| d.as_secs_f64())
+                .sum::<f64>()
+                / n,
+            unit: "s".into(),
+        });
+    }
+}
+
 /// Runs the full suite. `quick` shrinks problem sizes and batch times for
 /// smoke-testing the harness itself; baseline numbers use `quick = false`.
 pub fn run_suite(quick: bool) -> Vec<PerfEntry> {
@@ -507,6 +576,7 @@ pub fn run_suite_obs(quick: bool, metrics: Option<&MetricsRegistry>) -> Vec<Perf
     fault_recovery(&mut out, quick);
     failure_detection(&mut out, quick);
     sched_replay(&mut out, quick);
+    chaos_runtime(&mut out, quick);
     if let Some(reg) = metrics {
         for e in &out {
             reg.gauge_set(&format!("bench.{}", e.name), e.value, static_unit(&e.unit));
@@ -603,6 +673,8 @@ mod tests {
             "sched_jobs_per_s",
             "sched_makespan_fifo",
             "sched_makespan_backfill",
+            "chaos_recovery_latency_mean",
+            "chaos_migration_cost",
         ] {
             assert!(names.contains(&expected), "missing entry {expected}");
         }

@@ -136,9 +136,12 @@ pub fn e_dist_obs(quick: bool, obs: Option<&ObsSession>) -> ExperimentResult {
         }
     };
 
-    // 3. reliable UDP with every 5th first transmission dropped
+    // 3. reliable UDP under a FaultPlan loss window: ~every 5th first
+    //    transmission dropped, on every link, for the whole run
     let mut cfg = NetConfig::new(TransportKind::Udp, steps, interval, run_dir("udp"));
-    cfg.udp_drop_every = 5;
+    cfg.faults =
+        subsonic_cluster::fault::FaultPlan::empty().msg_fault(None, None, 0.0, 1e12, 0.2, 0.0, 0.0);
+    cfg.chaos_seed = 0xd15c;
     match run_case(&problem, &cfg, &reference, "udp + drops", recorder) {
         Ok(c) => cases.push(c),
         Err(e) => failures.push(format!("udp drops: {e}")),

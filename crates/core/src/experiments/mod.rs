@@ -30,7 +30,9 @@
 //! | `scale` | engine scalability 64-4096 hosts, shared bus vs switched (section 9 outlook) |
 //! | `dist` | real multi-process runtime: sockets, SIGKILL recovery, record/replay (section 5) |
 //! | `sched` | multi-tenant job-stream scheduling: FIFO/RR/fair-share/EASY over one trace |
+//! | `chaos` | randomized fault-schedule soak: kills, wire faults, partitions, migrations |
 
+mod chaos;
 mod dist;
 mod faults;
 mod model_figures;
@@ -42,6 +44,7 @@ mod scale;
 mod sched;
 mod table1;
 
+pub use chaos::{e_chaos, e_chaos_obs};
 pub use dist::{e_dist, e_dist_obs};
 pub use faults::{
     e_faults, e_faults_obs, recovery_sweep, recovery_sweep_obs, RecoverySweep, SweepPoint,
@@ -118,6 +121,7 @@ pub const ALL_IDS: &[&str] = &[
     "scale",
     "dist",
     "sched",
+    "chaos",
 ];
 
 /// Runs one experiment by id. `quick` shrinks workloads for smoke tests.
@@ -144,6 +148,9 @@ pub fn run_experiment_obs(
     }
     if id == "sched" {
         return Some(e_sched_obs(quick, obs));
+    }
+    if id == "chaos" {
+        return Some(e_chaos_obs(quick, obs));
     }
     Some(match id {
         "t1" => t1(quick),

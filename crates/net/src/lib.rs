@@ -33,6 +33,7 @@
 
 #![warn(clippy::unwrap_used)]
 
+pub mod chaos;
 pub mod link;
 pub mod mesh;
 pub mod record;
@@ -41,9 +42,11 @@ pub mod udp;
 pub mod wire;
 pub mod worker;
 
-pub use record::{state_hash2, FaultRecord, LogEntry, RunRecord};
+pub use chaos::{ChaosSpec, SendFate, WireFaults};
+pub use record::{state_hash2, FaultKind, FaultRecord, LogEntry, RunRecord};
 pub use supervisor::{
-    run_problem, NetConfig, NetKill, NetOutcome, ProcessHost, ThreadHost, WorkerHost,
+    default_host_addr, run_problem, NetConfig, NetKill, NetMigration, NetOutcome, ProcessHost,
+    RetryPolicy, ThreadHost, WorkerHost,
 };
 pub use wire::{Msg, SolverKind, TransportKind, WorkerConfig};
 pub use worker::process_worker_main;

@@ -14,6 +14,7 @@
 //! channels by epoch. Nothing sent before a rollback can reach a solver
 //! after it.
 
+use crate::chaos::WireFaults;
 use crate::link::{tcp_link, FrameRx, FrameTx, Link, Switchboard};
 use crate::wire::{decode_msg, encode_msg, Msg, TransportKind};
 use crate::NetError;
@@ -110,15 +111,16 @@ pub enum MeshBinding {
 }
 
 impl MeshBinding {
-    /// Binds a data-plane endpoint for `kind`.
-    pub fn bind(kind: TransportKind) -> Result<MeshBinding, NetError> {
+    /// Binds a data-plane endpoint for `kind` on `addr` (an IP or hostname,
+    /// no port — the OS picks one).
+    pub fn bind(kind: TransportKind, addr: &str) -> Result<MeshBinding, NetError> {
         match kind {
             TransportKind::Tcp => {
-                let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::Io)?;
+                let listener = TcpListener::bind((addr, 0)).map_err(NetError::Io)?;
                 listener.set_nonblocking(true).map_err(NetError::Io)?;
                 Ok(MeshBinding::Tcp(listener))
             }
-            TransportKind::Udp => Ok(MeshBinding::Udp(crate::udp::UdpBinding::bind()?)),
+            TransportKind::Udp => Ok(MeshBinding::Udp(crate::udp::UdpBinding::bind(addr)?)),
             TransportKind::Mem => Ok(MeshBinding::Mem),
         }
     }
@@ -145,8 +147,12 @@ pub struct MeshSpec<'a> {
     pub ports: &'a [u16],
     /// Hard bound on the whole mesh build.
     pub deadline: Duration,
-    /// UDP loss injection (drop every k-th first transmission; 0 = off).
-    pub udp_drop_every: u64,
+    /// Address peers dial each other on (one machine for now, so a single
+    /// address covers the whole mesh).
+    pub addr: &'a str,
+    /// Wire-fault injector for the UDP data plane (`None` = clean wire).
+    /// Shared with the worker's step loop, which ticks its step clock.
+    pub faults: Option<Arc<WireFaults>>,
 }
 
 /// Spawns the reader thread for one established link.
@@ -249,7 +255,7 @@ pub fn connect(
                     if t0.elapsed() > spec.deadline {
                         return Err(NetError::Timeout("mesh dial"));
                     }
-                    match TcpStream::connect(("127.0.0.1", port)) {
+                    match TcpStream::connect((spec.addr, port)) {
                         Ok(s) => break s,
                         Err(_) => std::thread::sleep(Duration::from_millis(10)),
                     }
@@ -325,8 +331,8 @@ mod tests {
 
     fn build_pair(kind: TransportKind) -> (Mesh, Mesh) {
         let sw = Arc::new(Switchboard::default());
-        let b0 = MeshBinding::bind(kind).unwrap();
-        let b1 = MeshBinding::bind(kind).unwrap();
+        let b0 = MeshBinding::bind(kind, "127.0.0.1").unwrap();
+        let b1 = MeshBinding::bind(kind, "127.0.0.1").unwrap();
         let ports = vec![b0.port().unwrap(), b1.port().unwrap()];
         let never = || false;
         let sw0 = Arc::clone(&sw);
@@ -338,7 +344,8 @@ mod tests {
                 peers: &[1],
                 ports: &ports0,
                 deadline: Duration::from_secs(10),
-                udp_drop_every: 0,
+                addr: "127.0.0.1",
+                faults: None,
             };
             connect(b0, &spec, Some(&sw0), &|| false).unwrap()
         });
@@ -348,7 +355,8 @@ mod tests {
             peers: &[0],
             ports: &ports,
             deadline: Duration::from_secs(10),
-            udp_drop_every: 0,
+            addr: "127.0.0.1",
+            faults: None,
         };
         let m1 = connect(b1, &spec, Some(&sw), &never).unwrap();
         (h.join().unwrap(), m1)

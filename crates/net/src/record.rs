@@ -19,7 +19,7 @@ use std::path::Path;
 use subsonic_solvers::TileState2;
 
 const MAGIC: u32 = 0x5253_4e52; // "RNSR" — run record
-const VERSION: u32 = 1;
+const VERSION: u32 = 2; // v2: faults carry a kind (kill vs live migration)
 
 /// FNV-1a over a byte slice — the workspace's standing integrity hash.
 pub fn fnv1a(bytes: &[u8]) -> u64 {
@@ -122,19 +122,32 @@ pub fn decode_log(mut buf: &[u8]) -> Result<Vec<LogEntry>, NetError> {
     Ok(out)
 }
 
-/// One fault the supervisor executed, in order.
+/// What kind of epoch-bumping event a [`FaultRecord`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The worker died (SIGKILL, heartbeat loss) and was recovered by
+    /// rollback.
+    Kill,
+    /// The worker's tile was live-migrated to a fresh process at a commit
+    /// boundary — no fault, no lost work.
+    Migration,
+}
+
+/// One fault (or migration) the supervisor executed, in order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultRecord {
-    /// Worker that was killed.
+    /// Kill or live migration.
+    pub kind: FaultKind,
+    /// Worker that was killed (or migrated).
     pub victim: u32,
-    /// Step its pause fence was armed at (the kill lands before this step
-    /// executes).
+    /// For kills: step its pause fence was armed at (the kill lands before
+    /// this step executes). For migrations: the commit boundary it happened
+    /// at.
     pub at_step: u64,
-    /// Mesh epoch the kill happened under (distinguishes a kill during the
-    /// first attempt from a kill during a recovery replay of the same
-    /// window).
+    /// Mesh epoch the event created (distinguishes a kill during the first
+    /// attempt from a kill during a recovery replay of the same window).
     pub epoch: u32,
-    /// Committed step the job rolled back to.
+    /// Committed step the job resumed from.
     pub rollback_step: u64,
 }
 
@@ -188,6 +201,10 @@ impl RunRecord {
         });
         b.extend_from_slice(&(self.faults.len() as u32).to_le_bytes());
         for f in &self.faults {
+            b.push(match f.kind {
+                FaultKind::Kill => 0,
+                FaultKind::Migration => 1,
+            });
             b.extend_from_slice(&f.victim.to_le_bytes());
             b.extend_from_slice(&f.at_step.to_le_bytes());
             b.extend_from_slice(&f.epoch.to_le_bytes());
@@ -266,7 +283,13 @@ impl RunRecord {
         let nfaults = u32_at(body, &mut at)? as usize;
         let mut faults = Vec::with_capacity(nfaults);
         for _ in 0..nfaults {
+            let kind = match take(body, &mut at, 1)?[0] {
+                0 => FaultKind::Kill,
+                1 => FaultKind::Migration,
+                _ => return Err(bad("fault kind")),
+            };
             faults.push(FaultRecord {
+                kind,
                 victim: u32_at(body, &mut at)?,
                 at_step: u64_at(body, &mut at)?,
                 epoch: u32_at(body, &mut at)?,
@@ -379,12 +402,22 @@ mod tests {
             interval: 5,
             solver: SolverKind::LatticeBoltzmann,
             transport: TransportKind::Tcp,
-            faults: vec![FaultRecord {
-                victim: 1,
-                at_step: 7,
-                epoch: 0,
-                rollback_step: 5,
-            }],
+            faults: vec![
+                FaultRecord {
+                    kind: FaultKind::Kill,
+                    victim: 1,
+                    at_step: 7,
+                    epoch: 0,
+                    rollback_step: 5,
+                },
+                FaultRecord {
+                    kind: FaultKind::Migration,
+                    victim: 0,
+                    at_step: 10,
+                    epoch: 2,
+                    rollback_step: 10,
+                },
+            ],
             logs: vec![log0, Vec::new()],
             final_hashes: vec![0x11, 0x22],
         }

@@ -4,7 +4,7 @@
 //! The supervisor is the only stateful authority in the job. Workers hold a
 //! tile and a mesh; the supervisor holds the *committed* cut — one sealed
 //! checkpoint per worker, persisted torn-write-safe in the run directory —
-//! plus the restart budget and the fault schedule. Execution is segment-at-
+//! plus the retry budgets and the fault schedule. Execution is segment-at-
 //! a-time: broadcast `Run`, collect a `SegDone` from everyone, persist the
 //! new cut, advance. Any death inside a segment voids the whole segment:
 //! kill detection (pause-fence `Paused` report, control-link EOF, or
@@ -13,20 +13,33 @@
 //! `epoch + 1`, re-issue the same window. Workers never talk to each other
 //! about failure; epochs fence off every stale byte.
 //!
+//! Supervision is budgeted ([`RetryPolicy`]): simultaneous deaths are
+//! batched into ONE recovery round (one epoch bump, one checkpoint-ship
+//! round, one mesh rebuild — the recovery-storm bound), repeat offenders
+//! respawn under exponential backoff, and a worker that keeps flapping is
+//! *quarantined* — its tile degrades onto a fallback in-process thread so
+//! the run finishes on the surviving mesh instead of burning the restart
+//! budget. A segment that fails without any death (wire faults starving a
+//! window) is retried by rollback under a separate, smaller budget. Live
+//! migration rides the same machinery: at a commit boundary a healthy
+//! worker's tile is checkpoint-shipped to a freshly spawned replacement
+//! with no fault involved.
+//!
 //! Worker *hosting* is pluggable ([`WorkerHost`]): [`ProcessHost`] forks the
 //! `net-worker` binary and kills with SIGKILL; [`ThreadHost`] runs the same
 //! worker state machine on threads over in-memory links, where a kill is a
 //! hard abort flag. Record/replay runs the thread host with the recorded
 //! fault schedule and compares logs.
 
+use crate::chaos::ChaosSpec;
 use crate::link::{mem_pair, tcp_link, FrameRx, FrameTx, Link, Switchboard};
-use crate::record::{FaultRecord, RunRecord};
+use crate::record::{FaultKind, FaultRecord, RunRecord};
 use crate::wire::{
     decode_msg, encode_msg, Msg, SolverKind, TransportKind, WorkerConfig, NO_NEIGHBOR, NO_PAUSE,
 };
 use crate::worker::{face_index, make_solver, worker_run};
 use crate::NetError;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::io;
 use std::net::TcpListener;
 use std::path::{Path, PathBuf};
@@ -36,6 +49,7 @@ use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+use subsonic_cluster::fault::FaultPlan;
 use subsonic_exec::checkpoint::{dump_tile2, restore_tile2, save_dump_bytes};
 use subsonic_exec::{GlobalFields2, Problem2, StepTiming};
 use subsonic_grid::Face2;
@@ -45,6 +59,12 @@ use subsonic_obs::{decode_tracks, Category, FlightRecorder};
 const PHASE_DEADLINE: Duration = Duration::from_secs(120);
 /// Heartbeat silence after which a worker is declared dead mid-segment.
 const HEARTBEAT_TIMEOUT: Duration = Duration::from_secs(20);
+
+/// The host interface workers bind and dial on. Defaults to loopback;
+/// `SUBSONIC_NET_ADDR` overrides it for multi-interface machines.
+pub fn default_host_addr() -> String {
+    std::env::var("SUBSONIC_NET_ADDR").unwrap_or_else(|_| "127.0.0.1".to_string())
+}
 
 /// One scheduled kill: SIGKILL `worker` when it reaches the fence before
 /// `at_step`, but only on the `attempt`-th execution of the window holding
@@ -60,6 +80,50 @@ pub struct NetKill {
     pub attempt: u32,
 }
 
+/// One scheduled live migration: at the first commit boundary at or past
+/// `after_step`, checkpoint-ship `worker`'s tile to a freshly spawned
+/// replacement. No fault is involved — the old incarnation is retired at a
+/// committed cut, so nothing rolls back and nothing is lost.
+#[derive(Debug, Clone, Copy)]
+pub struct NetMigration {
+    /// The worker whose tile moves.
+    pub worker: u32,
+    /// Migrate at the first commit boundary `>= after_step`.
+    pub after_step: u64,
+}
+
+/// Retry, timeout and backoff budgets for supervision.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// Total restart budget across the job; exceeding it fails the run.
+    pub max_restarts: u32,
+    /// Backoff before the *second* respawn of the same worker; doubles per
+    /// subsequent death (the first respawn is immediate — recovery latency
+    /// is a measured quantity).
+    pub backoff_base_ms: u64,
+    /// Backoff ceiling.
+    pub backoff_max_ms: u64,
+    /// Deaths of one worker after which it is quarantined: its tile
+    /// degrades onto the host's fallback (in-process thread) so the run can
+    /// finish on the surviving mesh.
+    pub quarantine_after: u32,
+    /// Budget for re-running a window that fails with *no* death (wire
+    /// faults starving a segment) — per window, not per job.
+    pub max_window_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_restarts: 4,
+            backoff_base_ms: 25,
+            backoff_max_ms: 1000,
+            quarantine_after: 3,
+            max_window_retries: 3,
+        }
+    }
+}
+
 /// Job configuration for a distributed run.
 #[derive(Debug, Clone)]
 pub struct NetConfig {
@@ -73,14 +137,21 @@ pub struct NetConfig {
     pub interval: u64,
     /// Record per-step hashes and receive digests for replay.
     pub record: bool,
-    /// Restart budget; exceeding it fails the job.
-    pub max_restarts: u32,
     /// Directory for the port file and committed checkpoints.
     pub run_dir: PathBuf,
     /// Scheduled kills (empty for a clean run).
     pub kills: Vec<NetKill>,
-    /// UDP loss injection (0 = off).
-    pub udp_drop_every: u64,
+    /// Wire-fault plan: loss/dup/reorder windows and partitions, realized
+    /// as link-level filters inside every worker's transport.
+    pub faults: FaultPlan,
+    /// Seed keying the fault plan's deterministic fate draws.
+    pub chaos_seed: u64,
+    /// Scheduled live migrations (empty for a clean run).
+    pub migrations: Vec<NetMigration>,
+    /// Interface workers bind and dial on.
+    pub addr: String,
+    /// Retry/timeout/backoff budgets.
+    pub retry: RetryPolicy,
 }
 
 impl NetConfig {
@@ -92,10 +163,13 @@ impl NetConfig {
             steps,
             interval,
             record: false,
-            max_restarts: 4,
             run_dir,
             kills: Vec::new(),
-            udp_drop_every: 0,
+            faults: FaultPlan::empty(),
+            chaos_seed: 0,
+            migrations: Vec::new(),
+            addr: default_host_addr(),
+            retry: RetryPolicy::default(),
         }
     }
 }
@@ -104,11 +178,23 @@ impl NetConfig {
 pub struct NetOutcome {
     /// Gathered global fields at the final step.
     pub fields: GlobalFields2,
-    /// Restarts consumed.
+    /// Restarts consumed (fault recoveries; migrations not included).
     pub restarts: u32,
+    /// Live migrations completed.
+    pub migrations: u32,
+    /// Windows re-run because they failed without any death.
+    pub window_retries: u32,
+    /// Workers degraded onto the host's fallback after flapping.
+    pub quarantined: Vec<u32>,
     /// Wall-clock recovery latency per fault: kill detection to the first
     /// post-rollback `Run`.
     pub recovery_latency: Vec<Duration>,
+    /// Wall-clock cost per migration: retire to mesh-ready.
+    pub migration_cost: Vec<Duration>,
+    /// Committed wire faults injected: `[loss, dup, reorder, partition]`
+    /// (summed over committed segments only; the partition slot counts
+    /// wall-clock-gated drops and is not deterministic across runs).
+    pub chaos: [u64; 4],
     /// Faults executed, in order.
     pub faults: Vec<FaultRecord>,
     /// Aggregate committed-segment timing (merged across workers, appended
@@ -118,11 +204,21 @@ pub struct NetOutcome {
     pub record: Option<RunRecord>,
 }
 
+/// A hosted worker thread: its join handle and the hard-abort flag that
+/// stands in for SIGKILL.
+type ThreadWorker = (JoinHandle<Result<(), NetError>>, Arc<AtomicBool>);
+
 /// How workers are hosted: as OS processes or as in-process threads.
 pub trait WorkerHost {
     /// Spawns (or respawns) worker `id`, returning its control link with the
     /// `Hello` handshake already verified.
     fn spawn(&mut self, id: u32) -> Result<Link, NetError>;
+    /// Spawns worker `id` on the host's *fallback* substrate — graceful
+    /// degradation for a quarantined flapper. Defaults to a plain spawn;
+    /// [`ProcessHost`] hosts the tile on an in-process thread instead.
+    fn spawn_fallback(&mut self, id: u32) -> Result<Link, NetError> {
+        self.spawn(id)
+    }
     /// Forcibly kills worker `id` — SIGKILL for processes, hard-abort for
     /// threads. The worker gets no chance to say goodbye.
     fn kill(&mut self, id: u32);
@@ -140,12 +236,17 @@ pub trait WorkerHost {
 /// Hosts workers as real OS processes speaking loopback TCP, bootstrapped by
 /// the paper's port-file handshake: the supervisor writes `control=<port>`
 /// into `<run_dir>/ports`; spawned workers poll for it and dial in.
+///
+/// Quarantined workers degrade onto in-process threads (`fallback`): the
+/// tile keeps running over the same real sockets, but there is no separate
+/// process left to flap.
 pub struct ProcessHost {
     bin: PathBuf,
     args: Vec<String>,
     run_dir: PathBuf,
     listener: TcpListener,
     children: HashMap<u32, Child>,
+    fallback: HashMap<u32, ThreadWorker>,
 }
 
 impl ProcessHost {
@@ -153,7 +254,8 @@ impl ProcessHost {
     /// file.
     pub fn new(bin: PathBuf, args: Vec<String>, run_dir: PathBuf) -> Result<ProcessHost, NetError> {
         std::fs::create_dir_all(&run_dir).map_err(NetError::Io)?;
-        let listener = TcpListener::bind("127.0.0.1:0").map_err(NetError::Io)?;
+        let listener =
+            TcpListener::bind((default_host_addr().as_str(), 0)).map_err(NetError::Io)?;
         listener.set_nonblocking(true).map_err(NetError::Io)?;
         let port = listener.local_addr().map_err(NetError::Io)?.port();
         // atomic publish: workers must never read a half-written port file
@@ -166,6 +268,7 @@ impl ProcessHost {
             run_dir,
             listener,
             children: HashMap::new(),
+            fallback: HashMap::new(),
         })
     }
 
@@ -221,16 +324,41 @@ impl WorkerHost for ProcessHost {
         }
     }
 
+    fn spawn_fallback(&mut self, id: u32) -> Result<Link, NetError> {
+        if let Some((handle, hard)) = self.fallback.remove(&id) {
+            hard.store(true, Ordering::SeqCst);
+            let _ = handle.join();
+        }
+        if let Some(mut child) = self.children.remove(&id) {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        // no switchboard: the thread binds the same real sockets a process
+        // would, so the rest of the mesh needs no special case
+        let (sup_end, worker_end) = mem_pair();
+        let hard = Arc::new(AtomicBool::new(false));
+        let worker_hard = Arc::clone(&hard);
+        let handle = std::thread::spawn(move || worker_run(worker_end, id, None, worker_hard));
+        self.fallback.insert(id, (handle, hard));
+        Ok(sup_end)
+    }
+
     fn kill(&mut self, id: u32) {
         if let Some(child) = self.children.get_mut(&id) {
             let _ = child.kill(); // SIGKILL on unix
             let _ = child.wait();
+        } else if let Some((_, hard)) = self.fallback.get(&id) {
+            hard.store(true, Ordering::SeqCst);
         }
     }
 
     fn reap(&mut self, id: u32) {
         if let Some(mut child) = self.children.remove(&id) {
             let _ = child.wait();
+        }
+        if let Some((handle, hard)) = self.fallback.remove(&id) {
+            hard.store(true, Ordering::SeqCst);
+            let _ = handle.join();
         }
     }
 }
@@ -243,10 +371,6 @@ impl WorkerHost for ProcessHost {
 /// tests. A kill is a hard-abort flag the worker polls on every step, every
 /// receive and every fence hold; the thread then exits, dropping its link
 /// ends, which is exactly what peers of a SIGKILLed process observe.
-/// A hosted worker thread: its join handle and the hard-abort flag that
-/// stands in for SIGKILL.
-type ThreadWorker = (JoinHandle<Result<(), NetError>>, Arc<AtomicBool>);
-
 pub struct ThreadHost {
     switchboard: Arc<Switchboard>,
     workers: HashMap<u32, ThreadWorker>,
@@ -410,9 +534,14 @@ impl<'a> Sup<'a> {
         }
     }
 
-    /// Spawns (or respawns) worker `w` and installs its connection/reader.
-    fn spawn_worker(&mut self, w: u32) -> Result<(), NetError> {
-        let link = self.host.spawn(w)?;
+    /// Spawns (or respawns) worker `w` — on the fallback substrate when
+    /// `fallback` is set — and installs its connection/reader.
+    fn spawn_worker(&mut self, w: u32, fallback: bool) -> Result<(), NetError> {
+        let link = if fallback {
+            self.host.spawn_fallback(w)?
+        } else {
+            self.host.spawn(w)?
+        };
         let life = self.next_life;
         self.next_life += 1;
         self.readers.push(spawn_sup_reader(
@@ -431,8 +560,9 @@ impl<'a> Sup<'a> {
     }
 
     /// Runs the mesh phase for `epoch`: collect ports, broadcast the map,
-    /// await readiness from all `n` workers.
-    fn mesh_phase(&mut self, epoch: u32, n: u32) -> Result<(), NetError> {
+    /// await readiness from all `n` workers. A worker dying mid-build is
+    /// reported as `Ok(Some(victim))` — recoverable, not fatal.
+    fn mesh_phase(&mut self, epoch: u32, n: u32) -> Result<Option<u32>, NetError> {
         let deadline = Instant::now() + PHASE_DEADLINE;
         let mut ports = vec![0u16; n as usize];
         let mut have = vec![false; n as usize];
@@ -443,11 +573,7 @@ impl<'a> Sup<'a> {
                     have[w as usize] = true;
                 }
                 Event::Msg(..) => {}
-                Event::Gone(w, _) => {
-                    return Err(NetError::Protocol(format!(
-                        "worker {w} died during mesh build"
-                    )))
-                }
+                Event::Gone(w, _) => return Ok(Some(w)),
             }
         }
         self.broadcast(
@@ -464,14 +590,10 @@ impl<'a> Sup<'a> {
                     ready[w as usize] = true;
                 }
                 Event::Msg(..) => {}
-                Event::Gone(w, _) => {
-                    return Err(NetError::Protocol(format!(
-                        "worker {w} died during mesh build"
-                    )))
-                }
+                Event::Gone(w, _) => return Ok(Some(w)),
             }
         }
-        Ok(())
+        Ok(None)
     }
 }
 
@@ -480,6 +602,7 @@ struct SegReport {
     ckpt: Vec<u8>,
     log: Vec<u8>,
     timing: StepTiming,
+    chaos: [u64; 4],
 }
 
 /// Runs `problem` to `cfg.steps` across one worker per active tile under
@@ -552,6 +675,9 @@ pub fn run_problem(
         });
     }
 
+    // the fault plan compiles ONCE: every worker incarnation in every epoch
+    // sees the identical spec, so an identical plan replays identically
+    let chaos_spec = ChaosSpec::compile(&cfg.faults, cfg.chaos_seed, n);
     let worker_cfg = |w: u32, epoch: u32, start_step: u64| WorkerConfig {
         worker: w,
         nworkers: n,
@@ -561,12 +687,13 @@ pub fn run_problem(
         start_step,
         neighbors: neighbors_of(w),
         record: cfg.record,
-        udp_drop_every: cfg.udp_drop_every,
+        addr: cfg.addr.clone(),
+        faults: chaos_spec.clone(),
     };
 
     let t_spawn = Instant::now();
     for w in 0..n {
-        sup.spawn_worker(w)?;
+        sup.spawn_worker(w, false)?;
     }
     for w in 0..n {
         let init = Msg::Init {
@@ -631,154 +758,104 @@ fn drive(
     ckpts: &mut [Vec<u8>],
     n: u32,
 ) -> Result<(Vec<subsonic_obs::TrackData>, NetOutcome), NetError> {
+    let retry = cfg.retry;
     let mut epoch = 0u32;
     let mut committed = 0u64;
     let mut window_attempt = 0u32;
+    let mut window_soft = 0u32; // soft retries of the CURRENT window
     let mut restarts = 0u32;
+    let mut window_retries = 0u32; // soft retries, job total
+    let mut migrations_run = 0u32;
     let mut faults: Vec<FaultRecord> = Vec::new();
     let mut recovery_latency: Vec<Duration> = Vec::new();
+    let mut migration_cost: Vec<Duration> = Vec::new();
+    let mut quarantined: Vec<u32> = Vec::new();
+    let mut death_counts = vec![0u32; n as usize];
+    let mut mig_done = vec![false; cfg.migrations.len()];
+    let mut chaos = [0u64; 4];
     let mut logs: Vec<Vec<u8>> = vec![Vec::new(); n as usize];
     let mut total_timing = StepTiming::default();
 
-    sup.mesh_phase(epoch, n)?;
+    // deaths awaiting a recovery round; batching simultaneous deaths into
+    // one round IS the recovery-storm bound — one epoch bump, one
+    // checkpoint-ship round, one mesh rebuild, no matter how many died
+    let mut pending: Vec<u32> = Vec::new();
+    let mut t_detect = Instant::now();
 
-    while committed < cfg.steps {
-        let until = (committed + cfg.interval).min(cfg.steps);
-        let armed = cfg.kills.iter().find(|k| {
-            k.worker < n
-                && k.at_step >= committed
-                && k.at_step < until
-                && k.attempt == window_attempt
-        });
-        let t_seg = Instant::now();
-        for w in 0..n {
-            let pause_at = match armed {
-                Some(k) if k.worker == w => k.at_step,
-                _ => NO_PAUSE,
-            };
-            sup.send(
-                w,
-                &Msg::Run {
+    // declares w dead wherever detected: kill it, record the fault, queue
+    // it for the next recovery round
+    macro_rules! declare_dead {
+        ($w:expr, $at_step:expr) => {{
+            let w: u32 = $w;
+            if !pending.contains(&w) {
+                if pending.is_empty() {
+                    t_detect = Instant::now();
+                }
+                sup.host.kill(w);
+                sup.conns[w as usize].alive = false;
+                pending.push(w);
+                faults.push(FaultRecord {
+                    kind: FaultKind::Kill,
+                    victim: w,
+                    at_step: $at_step,
                     epoch,
-                    from: committed,
-                    until,
-                    pause_at,
-                },
-            )?;
-        }
-
-        // collect the segment
-        let deadline = Instant::now() + PHASE_DEADLINE;
-        let mut reports: Vec<Option<SegReport>> = (0..n).map(|_| None).collect();
-        let mut failed = vec![false; n as usize];
-        let mut dead: Option<u32> = None;
-        let mut t_detect = Instant::now();
-        let mut last_heard: Vec<Instant> = vec![Instant::now(); n as usize];
-
-        let declare_dead = |sup: &mut Sup<'_>,
-                            w: u32,
-                            at_step: u64,
-                            dead: &mut Option<u32>,
-                            t_detect: &mut Instant,
-                            faults: &mut Vec<FaultRecord>| {
-            if dead.is_some() {
-                return;
+                    rollback_step: committed,
+                });
             }
-            *t_detect = Instant::now();
-            sup.host.kill(w);
-            sup.conns[w as usize].alive = false;
-            *dead = Some(w);
-            faults.push(FaultRecord {
-                victim: w,
-                at_step,
-                epoch,
-                rollback_step: committed,
-            });
-            sup.broadcast(&Msg::Abort { epoch }, Some(w));
-        };
+        }};
+    }
 
-        loop {
-            let victim_done = |w: u32, dead: &Option<u32>| Some(w) == *dead;
-            let all_accounted = (0..n).all(|w| {
-                reports[w as usize].is_some() || failed[w as usize] || victim_done(w, &dead)
-            });
-            if all_accounted {
-                break;
-            }
-            match sup.next(deadline)? {
-                Event::Msg(w, _, msg) => {
-                    last_heard[w as usize] = Instant::now();
-                    match msg {
-                        Msg::Paused { epoch: e, step } if e == epoch => {
-                            // the kill fence: strike
-                            track.instant_wall(Category::Fault, "worker killed", Instant::now());
-                            declare_dead(sup, w, step, &mut dead, &mut t_detect, &mut faults);
-                        }
-                        Msg::SegDone {
-                            epoch: e,
-                            ckpt,
-                            log,
-                            t_calc_us,
-                            t_com_us,
-                            msgs_sent,
-                            doubles_sent,
-                            ..
-                        } if e == epoch => {
-                            let mut timing = StepTiming {
-                                t_calc: Duration::from_micros(t_calc_us),
-                                t_com: Duration::from_micros(t_com_us),
-                                msgs_sent,
-                                doubles_sent,
-                                ..StepTiming::default()
-                            };
-                            timing.steps = until - committed;
-                            reports[w as usize] = Some(SegReport { ckpt, log, timing });
-                        }
-                        Msg::SegFailed { epoch: e, .. } if e == epoch => {
-                            failed[w as usize] = true;
-                        }
-                        _ => {} // Hello, Progress, stale-epoch traffic
-                    }
-                }
-                Event::Gone(w, _) => {
-                    // an uncommanded death (or the fence kill's EOF racing
-                    // the Paused report)
-                    track.instant_wall(Category::Detection, "worker failed", Instant::now());
-                    declare_dead(sup, w, committed, &mut dead, &mut t_detect, &mut faults);
-                }
-            }
-            // heartbeat sweep: a hung worker is a dead worker
-            if dead.is_none() {
-                for w in 0..n {
-                    if reports[w as usize].is_none()
-                        && !failed[w as usize]
-                        && last_heard[w as usize].elapsed() > HEARTBEAT_TIMEOUT
-                    {
-                        track.instant_wall(Category::Detection, "heartbeat miss", Instant::now());
-                        declare_dead(sup, w, committed, &mut dead, &mut t_detect, &mut faults);
-                    }
-                }
-            }
-        }
+    if let Some(w) = sup.mesh_phase(epoch, n)? {
+        track.instant_wall(Category::Detection, "worker failed", Instant::now());
+        declare_dead!(w, committed);
+    }
 
-        if let Some(victim) = dead {
-            restarts += 1;
-            if restarts > cfg.max_restarts {
+    'job: loop {
+        // --- recovery rounds: drain pending deaths, one batch per round ---
+        while !pending.is_empty() {
+            let batch = std::mem::take(&mut pending);
+            restarts += batch.len() as u32;
+            if restarts > retry.max_restarts {
                 return Err(NetError::RetriesExhausted { restarts });
             }
             window_attempt += 1;
             epoch += 1;
+            // flapping workers respawn under exponential backoff; a first
+            // death respawns immediately (recovery latency is a measured
+            // quantity). One sleep covers the whole batch.
+            let mut sleep_ms = 0u64;
+            for &v in &batch {
+                death_counts[v as usize] += 1;
+                let count = u64::from(death_counts[v as usize]);
+                if count > 1 {
+                    let ms =
+                        (retry.backoff_base_ms << (count - 1).min(16)).min(retry.backoff_max_ms);
+                    sleep_ms = sleep_ms.max(ms);
+                }
+            }
+            if sleep_ms > 0 {
+                track.instant_wall(Category::Recovery, "respawn backoff", Instant::now());
+                std::thread::sleep(Duration::from_millis(sleep_ms));
+            }
             track.instant_wall(Category::Recovery, "worker respawn", Instant::now());
-            sup.host.reap(victim);
-            sup.spawn_worker(victim)?;
+            for &v in &batch {
+                sup.host.reap(v);
+                if death_counts[v as usize] >= retry.quarantine_after && !quarantined.contains(&v) {
+                    quarantined.push(v);
+                    track.instant_wall(Category::Recovery, "worker quarantined", Instant::now());
+                }
+                sup.spawn_worker(v, quarantined.contains(&v))?;
+            }
             let t_ship = Instant::now();
-            let init = Msg::Init {
-                cfg: worker_cfg(victim, epoch, committed),
-                ckpt: ckpts[victim as usize].clone(),
-            };
-            sup.send(victim, &init)?;
+            for &v in &batch {
+                let init = Msg::Init {
+                    cfg: worker_cfg(v, epoch, committed),
+                    ckpt: ckpts[v as usize].clone(),
+                };
+                sup.send(v, &init)?;
+            }
             for w in 0..n {
-                if w != victim {
+                if !batch.contains(&w) {
                     let rb = Msg::Rollback {
                         epoch,
                         step: committed,
@@ -796,9 +873,234 @@ fn drive(
             if let Some(sw) = sup.host.switchboard() {
                 sw.retire_before(epoch);
             }
-            sup.mesh_phase(epoch, n)?;
-            recovery_latency.push(t_detect.elapsed());
-            continue; // re-run the same window under the new epoch
+            let mesh_death = sup.mesh_phase(epoch, n)?;
+            for _ in &batch {
+                recovery_latency.push(t_detect.elapsed());
+            }
+            if let Some(w) = mesh_death {
+                track.instant_wall(Category::Detection, "worker failed", Instant::now());
+                declare_dead!(w, committed);
+            }
+        }
+
+        if committed >= cfg.steps {
+            break 'job;
+        }
+
+        // --- live migrations land at commit boundaries ---
+        for (done, &m) in mig_done.iter_mut().zip(&cfg.migrations) {
+            if *done || m.worker >= n || committed < m.after_step {
+                continue;
+            }
+            *done = true;
+            let t_mig = Instant::now();
+            epoch += 1;
+            faults.push(FaultRecord {
+                kind: FaultKind::Migration,
+                victim: m.worker,
+                at_step: committed,
+                epoch,
+                rollback_step: committed,
+            });
+            track.instant_wall(Category::Recovery, "live migration", Instant::now());
+            // the old incarnation is idle at a committed cut: retire it,
+            // ship its sealed checkpoint to a fresh spawn, rebuild the mesh
+            sup.conns[m.worker as usize].alive = false;
+            sup.host.kill(m.worker);
+            sup.host.reap(m.worker);
+            sup.spawn_worker(m.worker, quarantined.contains(&m.worker))?;
+            let init = Msg::Init {
+                cfg: worker_cfg(m.worker, epoch, committed),
+                ckpt: ckpts[m.worker as usize].clone(),
+            };
+            sup.send(m.worker, &init)?;
+            for w in 0..n {
+                if w != m.worker {
+                    let rb = Msg::Rollback {
+                        epoch,
+                        step: committed,
+                        ckpt: ckpts[w as usize].clone(),
+                    };
+                    sup.send(w, &rb)?;
+                }
+            }
+            if let Some(sw) = sup.host.switchboard() {
+                sw.retire_before(epoch);
+            }
+            match sup.mesh_phase(epoch, n)? {
+                None => {
+                    migration_cost.push(t_mig.elapsed());
+                    migrations_run += 1;
+                }
+                Some(w) => {
+                    track.instant_wall(Category::Detection, "worker failed", Instant::now());
+                    declare_dead!(w, committed);
+                    continue 'job;
+                }
+            }
+        }
+
+        // --- run one segment ---
+        let until = (committed + cfg.interval).min(cfg.steps);
+        let armed: Vec<NetKill> = cfg
+            .kills
+            .iter()
+            .copied()
+            .filter(|k| {
+                k.worker < n
+                    && k.at_step >= committed
+                    && k.at_step < until
+                    && k.attempt == window_attempt
+            })
+            .collect();
+        let t_seg = Instant::now();
+        for w in 0..n {
+            let pause_at = armed
+                .iter()
+                .filter(|k| k.worker == w)
+                .map(|k| k.at_step)
+                .min()
+                .unwrap_or(NO_PAUSE);
+            sup.send(
+                w,
+                &Msg::Run {
+                    epoch,
+                    from: committed,
+                    until,
+                    pause_at,
+                },
+            )?;
+        }
+
+        // collect the segment
+        let deadline = Instant::now() + PHASE_DEADLINE;
+        let mut reports: Vec<Option<SegReport>> = (0..n).map(|_| None).collect();
+        let mut failed = vec![false; n as usize];
+        let mut aborted = false;
+        let mut last_heard: Vec<Instant> = vec![Instant::now(); n as usize];
+
+        // on the first casualty — death or soft failure — abort everyone
+        // else so peers blocked on the casualty's halos converge fast
+        // instead of running out their receive deadlines
+        macro_rules! abort_once {
+            ($skip:expr) => {
+                if !aborted {
+                    sup.broadcast(&Msg::Abort { epoch }, Some($skip));
+                    aborted = true;
+                }
+            };
+        }
+
+        loop {
+            let all_accounted = (0..n).all(|w| {
+                reports[w as usize].is_some() || failed[w as usize] || pending.contains(&w)
+            });
+            if all_accounted {
+                break;
+            }
+            match sup.next(deadline)? {
+                Event::Msg(w, _, msg) => {
+                    last_heard[w as usize] = Instant::now();
+                    match msg {
+                        Msg::Paused { epoch: e, step } if e == epoch => {
+                            // the kill fence: strike
+                            track.instant_wall(Category::Fault, "worker killed", Instant::now());
+                            declare_dead!(w, step);
+                            abort_once!(w);
+                        }
+                        Msg::SegDone {
+                            epoch: e,
+                            ckpt,
+                            log,
+                            t_calc_us,
+                            t_com_us,
+                            msgs_sent,
+                            doubles_sent,
+                            chaos_loss,
+                            chaos_dup,
+                            chaos_reorder,
+                            chaos_part,
+                            ..
+                        } if e == epoch => {
+                            let mut timing = StepTiming {
+                                t_calc: Duration::from_micros(t_calc_us),
+                                t_com: Duration::from_micros(t_com_us),
+                                msgs_sent,
+                                doubles_sent,
+                                ..StepTiming::default()
+                            };
+                            timing.steps = until - committed;
+                            reports[w as usize] = Some(SegReport {
+                                ckpt,
+                                log,
+                                timing,
+                                chaos: [chaos_loss, chaos_dup, chaos_reorder, chaos_part],
+                            });
+                        }
+                        Msg::SegFailed { epoch: e, .. } if e == epoch => {
+                            failed[w as usize] = true;
+                            abort_once!(w);
+                        }
+                        _ => {} // Hello, Progress, stale-epoch traffic
+                    }
+                }
+                Event::Gone(w, _) => {
+                    // an uncommanded death (or the fence kill's EOF racing
+                    // the Paused report)
+                    track.instant_wall(Category::Detection, "worker failed", Instant::now());
+                    declare_dead!(w, committed);
+                    abort_once!(w);
+                }
+            }
+            // heartbeat sweep: a hung worker is a dead worker
+            for w in 0..n {
+                if reports[w as usize].is_none()
+                    && !failed[w as usize]
+                    && !pending.contains(&w)
+                    && last_heard[w as usize].elapsed() > HEARTBEAT_TIMEOUT
+                {
+                    track.instant_wall(Category::Detection, "heartbeat miss", Instant::now());
+                    declare_dead!(w, committed);
+                    abort_once!(w);
+                }
+            }
+        }
+
+        if !pending.is_empty() {
+            continue 'job; // the recovery rounds at the top re-run the window
+        }
+
+        if failed.iter().any(|&f| f) {
+            // the window failed with nobody dead: wire faults starved a
+            // segment past a deadline. Roll everyone back to the committed
+            // cut and re-run under a fresh epoch — without bumping the
+            // window attempt, so armed kills still strike the execution
+            // they were scheduled for.
+            window_retries += 1;
+            window_soft += 1;
+            if window_soft > retry.max_window_retries {
+                return Err(NetError::Protocol(format!(
+                    "window at step {committed} failed {window_soft} times with no death"
+                )));
+            }
+            epoch += 1;
+            track.instant_wall(Category::Recovery, "window retry", Instant::now());
+            for w in 0..n {
+                let rb = Msg::Rollback {
+                    epoch,
+                    step: committed,
+                    ckpt: ckpts[w as usize].clone(),
+                };
+                sup.send(w, &rb)?;
+            }
+            if let Some(sw) = sup.host.switchboard() {
+                sw.retire_before(epoch);
+            }
+            if let Some(w) = sup.mesh_phase(epoch, n)? {
+                track.instant_wall(Category::Detection, "worker failed", Instant::now());
+                declare_dead!(w, committed);
+            }
+            continue 'job;
         }
 
         // commit the cut
@@ -812,6 +1114,9 @@ fn drive(
             ckpts[w as usize] = report.ckpt;
             logs[w as usize].extend_from_slice(&report.log);
             seg_timing.merge(&report.timing);
+            for (total, delta) in chaos.iter_mut().zip(report.chaos) {
+                *total += delta;
+            }
         }
         total_timing.append(&seg_timing);
         track.span_wall(
@@ -829,6 +1134,7 @@ fn drive(
         );
         committed = until;
         window_attempt = 0;
+        window_soft = 0;
     }
 
     // shut the workers down and collect their tracks
@@ -873,7 +1179,12 @@ fn drive(
         NetOutcome {
             fields: GlobalFields2::gather(1, 1, 1.0, std::iter::empty()),
             restarts,
+            migrations: migrations_run,
+            window_retries,
+            quarantined,
             recovery_latency,
+            migration_cost,
+            chaos,
             faults,
             timing: total_timing,
             record,
@@ -891,29 +1202,61 @@ pub fn replay(
     run_dir: &Path,
     recorder: &FlightRecorder,
 ) -> Result<NetOutcome, NetError> {
+    // Re-arm each recorded kill on the execution attempt it struck. Every
+    // recovery round bumps the epoch exactly once, so within one window
+    // (same rollback_step) the attempt a kill fired on is the number of
+    // DISTINCT earlier epochs among that window's kills. Soft window
+    // retries and migrations bump the epoch without touching the attempt,
+    // and neither occurs during a Mem replay before a kill fires, because
+    // the replay injects no wire faults.
+    let kills: Vec<NetKill> = record
+        .faults
+        .iter()
+        .filter(|f| f.kind == FaultKind::Kill)
+        .map(|f| {
+            let attempt = record
+                .faults
+                .iter()
+                .filter(|g| {
+                    g.kind == FaultKind::Kill
+                        && g.rollback_step == f.rollback_step
+                        && g.epoch < f.epoch
+                })
+                .map(|g| g.epoch)
+                .collect::<BTreeSet<u32>>()
+                .len() as u32;
+            NetKill {
+                worker: f.victim,
+                at_step: f.at_step,
+                attempt,
+            }
+        })
+        .collect();
+    let migrations: Vec<NetMigration> = record
+        .faults
+        .iter()
+        .filter(|f| f.kind == FaultKind::Migration)
+        .map(|f| NetMigration {
+            worker: f.victim,
+            after_step: f.rollback_step,
+        })
+        .collect();
     let cfg = NetConfig {
         transport: TransportKind::Mem,
         solver: record.solver,
         steps: record.steps,
         interval: record.interval,
         record: true,
-        max_restarts: (record.faults.len() as u32).max(1) + 1,
         run_dir: run_dir.to_path_buf(),
-        kills: record
-            .faults
-            .iter()
-            .map(|f| NetKill {
-                worker: f.victim,
-                at_step: f.at_step,
-                // epoch counts rollbacks globally; within one window the
-                // attempt is epoch minus the rollbacks that happened before
-                // the window started — for the schedules exercised here the
-                // epoch at the fault *is* the window attempt
-                attempt: f.epoch,
-                // (holds because every recovery re-runs the faulted window)
-            })
-            .collect(),
-        udp_drop_every: 0,
+        kills,
+        faults: FaultPlan::empty(),
+        chaos_seed: 0,
+        migrations,
+        addr: default_host_addr(),
+        retry: RetryPolicy {
+            max_restarts: (record.faults.len() as u32).max(1) + 1,
+            ..RetryPolicy::default()
+        },
     };
     let mut host = ThreadHost::new();
     let outcome = run_problem(problem, &cfg, &mut host, recorder)?;

@@ -14,14 +14,17 @@
 //!
 //! A service thread owns the socket: it delivers in-order frames to the mesh
 //! event stream, ACKs inbound DATA, and scans outstanding messages for due
-//! retransmissions every few milliseconds. Loss injection for tests drops
-//! every k-th *first* transmission on the sender side — the retransmission
-//! path must then deliver it, and the in-order layer keeps the solver
-//! oblivious.
+//! retransmissions every few milliseconds. Fault injection is plan-driven
+//! (see [`crate::chaos`]): first transmissions consult the [`WireFaults`]
+//! injector for a deterministic drop/duplicate/hold fate, and every outbound
+//! datagram — DATA, retransmission or ACK — is filtered by its partition
+//! islands. The retransmission path must then deliver everything anyway, and
+//! the in-order layer keeps the solver oblivious.
 //!
 //! Datagrams are epoch-tagged; a datagram from a pre-rollback world is
 //! silently dropped (its sender state died with the old mesh).
 
+use crate::chaos::{ChaosSpec, SendFate, WireFaults, REORDER_HOLD_S};
 use crate::mesh::{Mesh, MeshEvent, MeshSpec};
 use crate::wire::MAX_FRAME;
 use crate::NetError;
@@ -47,9 +50,9 @@ pub struct UdpBinding {
 }
 
 impl UdpBinding {
-    /// Binds a fresh loopback socket.
-    pub fn bind() -> Result<UdpBinding, NetError> {
-        let socket = UdpSocket::bind("127.0.0.1:0").map_err(NetError::Io)?;
+    /// Binds a fresh socket on `addr` (OS-picked port).
+    pub fn bind(addr: &str) -> Result<UdpBinding, NetError> {
+        let socket = UdpSocket::bind((addr, 0)).map_err(NetError::Io)?;
         Ok(UdpBinding { socket })
     }
 
@@ -82,9 +85,10 @@ struct Core {
     stash: HashMap<u32, BTreeMap<u64, Vec<u8>>>,
     /// Wall clock for the RFC 6298 machinery (seconds since mesh build).
     t0: Instant,
-    /// First transmissions so far (drives deterministic loss injection).
-    sends: u64,
-    drop_every: u64,
+    /// Address peers are dialled on.
+    addr: String,
+    /// Plan-driven wire-fault injector (no-op when the plan is empty).
+    faults: Arc<WireFaults>,
 }
 
 impl Core {
@@ -104,10 +108,13 @@ impl Core {
     }
 
     fn send_to_peer(&self, peer: u32, dgram: &[u8]) {
+        if self.faults.blocked(peer) {
+            return; // partition island boundary: cut DATA, retx and ACKs alike
+        }
         if let Some(&port) = self.peer_port.get(&peer) {
             // a full socket buffer or a vanished peer is indistinguishable
             // from loss; the retransmission timer owns recovery either way
-            let _ = self.socket.send_to(dgram, ("127.0.0.1", port));
+            let _ = self.socket.send_to(dgram, (self.addr.as_str(), port));
         }
     }
 
@@ -137,11 +144,24 @@ impl Core {
                 due: now + rto,
             },
         );
-        self.sends += 1;
-        let drop_it = self.drop_every > 0 && self.sends.is_multiple_of(self.drop_every);
-        if !drop_it {
-            let dgram = self.dgram(KIND_DATA, seq, frame);
-            self.send_to_peer(peer, &dgram);
+        match self.faults.first_send_fate(peer, seq) {
+            SendFate::Drop => {}
+            SendFate::Hold => {
+                // withhold the first copy and pull the retransmission timer
+                // in close: the retx path releases it after later same-step
+                // traffic has overtaken it on the wire
+                let key = (self.me as usize, peer as usize, seq);
+                if let Some(p) = self.pending.get_mut(&key) {
+                    p.due = now + REORDER_HOLD_S;
+                }
+            }
+            fate @ (SendFate::Deliver | SendFate::Dup) => {
+                let dgram = self.dgram(KIND_DATA, seq, frame);
+                self.send_to_peer(peer, &dgram);
+                if fate == SendFate::Dup {
+                    self.send_to_peer(peer, &dgram);
+                }
+            }
         }
         Ok(())
     }
@@ -284,6 +304,12 @@ pub(crate) fn build_mesh(
         initial_rto_s: 0.05,
         ..TransportConfig::default()
     };
+    let faults = spec
+        .faults
+        .clone()
+        .unwrap_or_else(|| Arc::new(WireFaults::new(ChaosSpec::default(), spec.me)));
+    // partition windows are relative to each mesh epoch's start
+    faults.reset_epoch();
     let core = Arc::new(Mutex::new(Core {
         me: spec.me,
         epoch: spec.epoch,
@@ -295,8 +321,8 @@ pub(crate) fn build_mesh(
         next_expected: HashMap::new(),
         stash: HashMap::new(),
         t0: Instant::now(),
-        sends: 0,
-        drop_every: spec.udp_drop_every,
+        addr: spec.addr.to_string(),
+        faults,
     }));
 
     let mut tx: HashMap<u32, Box<dyn crate::link::FrameTx>> = HashMap::new();
@@ -350,9 +376,9 @@ mod tests {
     use crate::mesh::{connect, MeshBinding};
     use crate::wire::{decode_msg, encode_msg, Msg, TransportKind};
 
-    fn pair(drop_every_a: u64) -> (Mesh, Mesh) {
-        let a = MeshBinding::bind(TransportKind::Udp).unwrap();
-        let b = MeshBinding::bind(TransportKind::Udp).unwrap();
+    fn pair(faults_a: Option<Arc<WireFaults>>) -> (Mesh, Mesh) {
+        let a = MeshBinding::bind(TransportKind::Udp, "127.0.0.1").unwrap();
+        let b = MeshBinding::bind(TransportKind::Udp, "127.0.0.1").unwrap();
         let ports = vec![a.port().unwrap(), b.port().unwrap()];
         let spec_a = MeshSpec {
             me: 0,
@@ -360,7 +386,8 @@ mod tests {
             peers: &[1],
             ports: &ports,
             deadline: Duration::from_secs(5),
-            udp_drop_every: drop_every_a,
+            addr: "127.0.0.1",
+            faults: faults_a,
         };
         let spec_b = MeshSpec {
             me: 1,
@@ -368,11 +395,21 @@ mod tests {
             peers: &[0],
             ports: &ports,
             deadline: Duration::from_secs(5),
-            udp_drop_every: 0,
+            addr: "127.0.0.1",
+            faults: None,
         };
         let ma = connect(a, &spec_a, None, &|| false).unwrap();
         let mb = connect(b, &spec_b, None, &|| false).unwrap();
         (ma, mb)
+    }
+
+    fn injector(loss: f64, dup: f64, reorder: f64) -> Option<Arc<WireFaults>> {
+        let plan = subsonic_cluster::fault::FaultPlan::empty()
+            .msg_fault(None, None, 0.0, 1e12, loss, dup, reorder);
+        Some(Arc::new(WireFaults::new(
+            ChaosSpec::compile(&plan, 0x5eed, 2),
+            0,
+        )))
     }
 
     fn halo(step: u64) -> Vec<u8> {
@@ -394,7 +431,7 @@ mod tests {
 
     #[test]
     fn lossless_delivery_is_in_order() {
-        let (mut a, mut b) = pair(0);
+        let (mut a, mut b) = pair(None);
         for s in 0..20u64 {
             a.send(1, &halo(s)).unwrap();
         }
@@ -411,9 +448,9 @@ mod tests {
 
     #[test]
     fn injected_drops_are_recovered_by_retransmission() {
-        // every 3rd first transmission from a is dropped; the RFC 6298
-        // timers must deliver everything anyway, in order
-        let (mut a, mut b) = pair(3);
+        // ~1/3 of first transmissions from a are dropped by the plan; the
+        // RFC 6298 timers must deliver everything anyway, in order
+        let (mut a, mut b) = pair(injector(0.34, 0.0, 0.0));
         for s in 0..15u64 {
             a.send(1, &halo(s)).unwrap();
         }
@@ -421,6 +458,25 @@ mod tests {
             let f = recv_frame(&mut b);
             match decode_msg(&f).unwrap() {
                 Msg::Halo { step, .. } => assert_eq!(step, s, "loss broke ordering"),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        a.teardown();
+        b.teardown();
+    }
+
+    #[test]
+    fn duplicates_and_reorders_are_absorbed() {
+        // heavy duplication + reorder: the receiver's dedup and in-order
+        // reassembly must hand the solver each frame exactly once, in order
+        let (mut a, mut b) = pair(injector(0.0, 0.5, 0.5));
+        for s in 0..15u64 {
+            a.send(1, &halo(s)).unwrap();
+        }
+        for s in 0..15u64 {
+            let f = recv_frame(&mut b);
+            match decode_msg(&f).unwrap() {
+                Msg::Halo { step, .. } => assert_eq!(step, s, "dup/reorder broke exactly-once"),
                 other => panic!("unexpected {other:?}"),
             }
         }

@@ -9,6 +9,7 @@
 //! evolution, a version byte up front so a mismatched peer fails loudly
 //! instead of mis-parsing.
 
+use crate::chaos::ChaosSpec;
 use std::io::{self, Read, Write};
 
 /// Protocol version carried in every frame.
@@ -72,10 +73,12 @@ pub struct WorkerConfig {
     pub neighbors: [u32; 4],
     /// Record per-step state hashes and per-receive digests for replay.
     pub record: bool,
-    /// UDP loss injection: drop every k-th first transmission on this
-    /// worker's socket (0 disables). Retransmission delivers the payload
-    /// anyway; the in-order layer keeps the solver oblivious.
-    pub udp_drop_every: u64,
+    /// Address the data plane binds and dials on (loopback by default; the
+    /// supervisor forwards its `SUBSONIC_NET_ADDR` override here).
+    pub addr: String,
+    /// Compiled wire-fault plan this worker injects on its data plane
+    /// (empty = clean wire). See [`crate::chaos`].
+    pub faults: ChaosSpec,
 }
 
 /// One protocol message.
@@ -109,7 +112,9 @@ pub enum Msg {
     Progress { epoch: u32, step: u64 },
     /// Worker → supervisor: segment finished at `step`; carries the sealed
     /// tile checkpoint, the state hash after the final step, the record-log
-    /// chunk for the segment, and the segment's calc/com split.
+    /// chunk for the segment, the segment's calc/com split, and the wire
+    /// faults injected since the segment started (deltas from segment start,
+    /// so voided executions never pollute committed totals).
     SegDone {
         epoch: u32,
         step: u64,
@@ -120,6 +125,10 @@ pub enum Msg {
         t_com_us: u64,
         msgs_sent: u64,
         doubles_sent: u64,
+        chaos_loss: u64,
+        chaos_dup: u64,
+        chaos_reorder: u64,
+        chaos_part: u64,
     },
     /// Worker → supervisor: segment aborted at `step` (peer death or abort
     /// directive); all partial work discarded.
@@ -298,7 +307,8 @@ fn cfg_to(e: &mut Enc, cfg: &WorkerConfig) {
         e.u32(n);
     }
     e.u8(cfg.record as u8);
-    e.u64(cfg.udp_drop_every);
+    e.bytes(cfg.addr.as_bytes());
+    e.bytes(&cfg.faults.to_bytes());
 }
 
 fn cfg_from(d: &mut Dec<'_>) -> Result<WorkerConfig, CodecError> {
@@ -313,7 +323,8 @@ fn cfg_from(d: &mut Dec<'_>) -> Result<WorkerConfig, CodecError> {
         *n = d.u32()?;
     }
     let record = d.u8()? != 0;
-    let udp_drop_every = d.u64()?;
+    let addr = String::from_utf8(d.bytes()?).map_err(|_| CodecError::BadField("addr"))?;
+    let faults = ChaosSpec::from_bytes(&d.bytes()?).ok_or(CodecError::BadField("chaos spec"))?;
     Ok(WorkerConfig {
         worker,
         nworkers,
@@ -323,7 +334,8 @@ fn cfg_from(d: &mut Dec<'_>) -> Result<WorkerConfig, CodecError> {
         start_step,
         neighbors,
         record,
-        udp_drop_every,
+        addr,
+        faults,
     })
 }
 
@@ -390,6 +402,10 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             t_com_us,
             msgs_sent,
             doubles_sent,
+            chaos_loss,
+            chaos_dup,
+            chaos_reorder,
+            chaos_part,
         } => {
             e.u8(8);
             e.u32(*epoch);
@@ -401,6 +417,10 @@ pub fn encode_msg(msg: &Msg) -> Vec<u8> {
             e.u64(*t_com_us);
             e.u64(*msgs_sent);
             e.u64(*doubles_sent);
+            e.u64(*chaos_loss);
+            e.u64(*chaos_dup);
+            e.u64(*chaos_reorder);
+            e.u64(*chaos_part);
         }
         Msg::SegFailed { epoch, step } => {
             e.u8(9);
@@ -502,6 +522,10 @@ pub fn decode_msg(payload: &[u8]) -> Result<Msg, CodecError> {
             t_com_us: d.u64()?,
             msgs_sent: d.u64()?,
             doubles_sent: d.u64()?,
+            chaos_loss: d.u64()?,
+            chaos_dup: d.u64()?,
+            chaos_reorder: d.u64()?,
+            chaos_part: d.u64()?,
         },
         9 => Msg::SegFailed {
             epoch: d.u32()?,
@@ -561,6 +585,9 @@ mod tests {
     use super::*;
 
     fn sample_cfg() -> WorkerConfig {
+        let plan = subsonic_cluster::fault::FaultPlan::empty()
+            .msg_fault(Some(0), None, 2.0, 5.0, 0.25, 0.125, 0.0625)
+            .partition(vec![vec![0, 1], vec![2, 3]], 0.5, Some(1.0));
         WorkerConfig {
             worker: 2,
             nworkers: 4,
@@ -570,7 +597,8 @@ mod tests {
             start_step: 42,
             neighbors: [1, NO_NEIGHBOR, 0, 3],
             record: true,
-            udp_drop_every: 7,
+            addr: "127.0.0.1".to_string(),
+            faults: ChaosSpec::compile(&plan, 0xfeed_beef, 4),
         }
     }
 
@@ -609,6 +637,10 @@ mod tests {
                 t_com_us: 567,
                 msgs_sent: 80,
                 doubles_sent: 4000,
+                chaos_loss: 3,
+                chaos_dup: 1,
+                chaos_reorder: 2,
+                chaos_part: 11,
             },
             Msg::SegFailed { epoch: 1, step: 17 },
             Msg::Abort { epoch: 1 },

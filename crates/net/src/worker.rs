@@ -22,6 +22,7 @@
 //! worker blocked in the middle of a halo receive notices within one poll
 //! interval without the step loop touching the control socket.
 
+use crate::chaos::WireFaults;
 use crate::link::{FrameTx, Link, Switchboard};
 use crate::mesh::{connect, Mesh, MeshBinding, MeshEvent, MeshSpec};
 use crate::record::{fnv1a, push_entry, state_hash2, LogEntry};
@@ -235,6 +236,7 @@ fn run_segment(
     tile: &mut TileState2,
     mesh: &mut Mesh,
     cfg: &WorkerConfig,
+    faults: &WireFaults,
     epoch: u32,
     from: u64,
     until: u64,
@@ -243,6 +245,10 @@ fn run_segment(
     soft: &AtomicBool,
     hard: &AtomicBool,
 ) -> Result<SegEnd, NetError> {
+    // injected-fault counters are reported as deltas from segment start, so
+    // a voided (aborted, later rolled-back) execution never pollutes the
+    // committed totals — loss/dup/reorder totals stay deterministic
+    let chaos_base = faults.counts();
     let neighbors: [Option<u32>; 4] =
         cfg.neighbors
             .map(|n| if n == NO_NEIGHBOR { None } else { Some(n) });
@@ -283,6 +289,7 @@ fn run_segment(
             }
         }
         halo.step = s;
+        faults.set_step(s);
         match step_tile2(solver, tile, &mut halo, &mut timing) {
             Ok(()) => {}
             Err(_) if hard.load(Ordering::SeqCst) => return Ok(SegEnd::Killed),
@@ -300,6 +307,7 @@ fn run_segment(
         ctrl_send(ctrl, &Msg::Progress { epoch, step: s + 1 })?;
     }
     let ckpt = dump_tile2(tile);
+    let chaos = faults.counts();
     ctrl_send(
         ctrl,
         &Msg::SegDone {
@@ -312,6 +320,10 @@ fn run_segment(
             t_com_us: timing.t_com.as_micros() as u64,
             msgs_sent: timing.msgs_sent,
             doubles_sent: timing.doubles_sent,
+            chaos_loss: chaos[0] - chaos_base[0],
+            chaos_dup: chaos[1] - chaos_base[1],
+            chaos_reorder: chaos[2] - chaos_base[2],
+            chaos_part: chaos[3] - chaos_base[3],
         },
     )?;
     Ok(SegEnd::Committed)
@@ -416,6 +428,10 @@ fn worker_loop(
     let solver = make_solver(cfg.solver);
     let mut tile = restore_tile2(&ckpt)?;
     let mut epoch = cfg.epoch;
+    // one injector for the worker's whole life: the step loop ticks its step
+    // clock, each mesh build resets its partition clock, committed segments
+    // snapshot its counters
+    let wire_faults = Arc::new(WireFaults::new(cfg.faults.clone(), worker));
     let peers: Vec<u32> = {
         let mut p: Vec<u32> = cfg
             .neighbors
@@ -431,7 +447,7 @@ fn worker_loop(
     'mesh: loop {
         // ---- mesh phase ----
         let t_mesh = Instant::now();
-        let binding = MeshBinding::bind(cfg.transport)?;
+        let binding = MeshBinding::bind(cfg.transport, &cfg.addr)?;
         let port = binding.port()?;
         ctrl_send(ctrl_tx, &Msg::DataPort { epoch, port })?;
         let ports = loop {
@@ -455,7 +471,8 @@ fn worker_loop(
             peers: &peers,
             ports: &ports,
             deadline: MESH_DEADLINE,
-            udp_drop_every: cfg.udp_drop_every,
+            addr: &cfg.addr,
+            faults: Some(Arc::clone(&wire_faults)),
         };
         let abort_soft = Arc::clone(soft);
         let abort_hard = Arc::clone(hard);
@@ -496,6 +513,7 @@ fn worker_loop(
                         &mut tile,
                         &mut mesh,
                         &cfg,
+                        &wire_faults,
                         epoch,
                         from,
                         until,
@@ -592,11 +610,12 @@ pub fn process_worker_main() -> Result<(), NetError> {
         }
         std::thread::sleep(Duration::from_millis(20));
     };
+    let addr = crate::supervisor::default_host_addr();
     let stream = loop {
         if t0.elapsed() > Duration::from_secs(30) {
             return Err(NetError::Timeout("control dial"));
         }
-        match std::net::TcpStream::connect(("127.0.0.1", port)) {
+        match std::net::TcpStream::connect((addr.as_str(), port)) {
             Ok(s) => break s,
             Err(_) => std::thread::sleep(Duration::from_millis(20)),
         }

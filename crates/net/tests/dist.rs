@@ -8,10 +8,11 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use subsonic_cluster::fault::FaultPlan;
 use subsonic_exec::{Problem2, ThreadedRunner2};
 use subsonic_grid::Geometry2;
 use subsonic_net::supervisor::{replay, ProcessHost};
-use subsonic_net::{run_problem, NetConfig, NetKill, ThreadHost, TransportKind};
+use subsonic_net::{run_problem, NetConfig, NetKill, NetMigration, ThreadHost, TransportKind};
 use subsonic_obs::FlightRecorder;
 use subsonic_solvers::{FluidParams, LatticeBoltzmann2, Solver2};
 
@@ -111,9 +112,69 @@ fn udp_with_injected_drops_matches_bitwise() {
     let steps = 8;
     let want = reference(&p, steps);
     let mut cfg = NetConfig::new(TransportKind::Udp, steps, 4, run_dir("udp-drop"));
-    cfg.udp_drop_every = 3; // every 3rd first transmission vanishes
+    // ~every 3rd first transmission vanishes, on every link, for the whole run
+    cfg.faults = FaultPlan::empty().msg_fault(None, None, 0.0, 1e12, 0.34, 0.0, 0.0);
+    cfg.chaos_seed = 0x5eed;
     let out = run_threaded(&p, &cfg).expect("udp run with drops");
-    assert_eq!(out.restarts, 0);
+    assert_eq!(out.restarts, 0, "loss must not look like a death");
+    assert!(out.chaos[0] > 0, "the loss plan never fired");
+    assert_eq!(want.first_difference(&out.fields), None);
+}
+
+#[test]
+fn live_migration_is_bitwise_and_replays() {
+    // a healthy worker's tile moves to a fresh spawn at a commit boundary:
+    // no fault, no restart, physics bitwise-preserved — and the recording
+    // carries the migration so replay re-executes it
+    let p = problem(2, 2);
+    let steps = 12;
+    let want = reference(&p, steps);
+    let mut cfg = NetConfig::new(TransportKind::Tcp, steps, 4, run_dir("mig"));
+    cfg.record = true;
+    cfg.migrations = vec![NetMigration {
+        worker: 1,
+        after_step: 4,
+    }];
+    let out = run_threaded(&p, &cfg).expect("tcp run with migration");
+    assert_eq!(out.restarts, 0, "migration is not a fault");
+    assert_eq!(out.migrations, 1);
+    assert_eq!(out.migration_cost.len(), 1);
+    assert_eq!(out.faults.len(), 1, "migration lands in the fault log");
+    assert_eq!(want.first_difference(&out.fields), None);
+
+    let record = out.record.as_ref().expect("record present");
+    let replay_out = replay(
+        &p,
+        record,
+        &run_dir("mig-replay"),
+        &FlightRecorder::disabled(),
+    )
+    .expect("replay matches recording");
+    assert_eq!(replay_out.migrations, 1);
+    assert_eq!(out.fields.first_difference(&replay_out.fields), None);
+}
+
+#[test]
+fn flapping_worker_is_quarantined() {
+    // three deaths of the same worker cross the quarantine threshold: the
+    // tile degrades onto the host's fallback and the run still finishes
+    // bitwise-correct
+    let p = problem(2, 2);
+    let steps = 12;
+    let want = reference(&p, steps);
+    let mut cfg = NetConfig::new(TransportKind::Mem, steps, 4, run_dir("quar"));
+    cfg.retry.max_restarts = 4;
+    cfg.retry.backoff_base_ms = 1; // keep the test fast
+    cfg.kills = (0..3)
+        .map(|attempt| NetKill {
+            worker: 1,
+            at_step: 6,
+            attempt,
+        })
+        .collect();
+    let out = run_threaded(&p, &cfg).expect("mem run with flapping worker");
+    assert_eq!(out.restarts, 3);
+    assert_eq!(out.quarantined, vec![1]);
     assert_eq!(want.first_difference(&out.fields), None);
 }
 
@@ -191,7 +252,7 @@ fn process_host_sigkill_recovers_bitwise() {
 fn retries_exhausted_is_reported() {
     let p = problem(2, 1);
     let mut cfg = NetConfig::new(TransportKind::Mem, 8, 4, run_dir("budget"));
-    cfg.max_restarts = 1;
+    cfg.retry.max_restarts = 1;
     // two kills on consecutive attempts of the same window blow the budget
     cfg.kills = vec![
         NetKill {

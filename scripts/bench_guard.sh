@@ -3,8 +3,8 @@
 # reports and fails when a guarded metric regressed by more than 15%. The
 # guard is direction-aware: throughput metrics (node rates, halo
 # pack/roundtrip, scheduler replay) are higher-is-better and flag decreases;
-# latency/makespan metrics (detect_*, recovery_*, sched_makespan_*) are
-# lower-is-better and flag increases.
+# latency/makespan metrics (detect_*, recovery_*, sched_makespan_*, chaos_*)
+# are lower-is-better and flag increases.
 #
 # Exit codes (check.sh keys off the distinction):
 #   0  no guarded metric regressed
@@ -55,7 +55,7 @@ prev="${reports[-2]}"
 curr="${reports[-1]}"
 echo "bench_guard: $prev -> $curr (threshold: 15%;" \
      "higher-is-better: node_rate_*/halo*/threaded*/cluster_sim/scale_*/sched_jobs_*;" \
-     "lower-is-better: detect_*/recovery_*/sched_makespan_*)"
+     "lower-is-better: detect_*/recovery_*/sched_makespan_*/chaos_*)"
 
 python3 - "$prev" "$curr" "$live" <<'EOF'
 import json, sys
@@ -85,7 +85,8 @@ HIGHER_IS_BETTER = ("node_rate_", "halo2_pack", "halo2_roundtrip", "halo3_pack",
 # simulated-latency metrics: deterministic, so ANY worsening is a real model
 # change, but the same 15% bar keeps the two classes comparable
 LOWER_IS_BETTER = ("detect_latency_", "recovery_cost_", "recovery_opt_interval",
-                   "sched_makespan_")
+                   "sched_makespan_", "chaos_recovery_latency_",
+                   "chaos_migration_cost")
 THRESHOLD = 0.15
 
 def guarded(name):

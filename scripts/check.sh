@@ -9,7 +9,7 @@
 #   stage: `check.sh build test`, `check.sh dist`, `check.sh sched`, ...
 #
 # Stages: fmt build test bench-compile clippy faults partition trace engine
-#         scale simd dist sched guard
+#         scale simd dist sched chaos guard
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -93,6 +93,20 @@ stage_sched() {
         || { echo "sched smoke failed or timed out"; exit 1; }
 }
 
+stage_chaos() {
+    echo "==> chaos soak (seeded kill/loss/reorder/partition/migration schedules)"
+    # link-level delivery contract under arbitrary wire-fault plans
+    cargo test --release -q -p subsonic-integration --test net_runtime
+    # short soak under a hard wall-clock cap: a fault schedule that deadlocks
+    # the runtime must fail the gate, not wedge it. Artifacts (schedules.csv,
+    # failing seeds + RunRecords) land where CI can upload them.
+    mkdir -p /tmp/subsonic-chaos-smoke/artifacts
+    SUBSONIC_CHAOS_ARTIFACTS=/tmp/subsonic-chaos-smoke/artifacts \
+        timeout -k 5 300 cargo run --release -q -p subsonic-bench --bin reproduce -- \
+        --quick --out /tmp/subsonic-chaos-smoke chaos \
+        || { echo "chaos soak failed or timed out"; exit 1; }
+}
+
 stage_guard() {
     echo "==> bench regression guard"
     # A fresh quick report proves the reproduce binary runs and still emits
@@ -114,7 +128,7 @@ stage_guard() {
     fi
 }
 
-ALL_STAGES=(fmt build test bench-compile clippy faults partition trace engine scale simd dist sched guard)
+ALL_STAGES=(fmt build test bench-compile clippy faults partition trace engine scale simd dist sched chaos guard)
 
 run_stage() {
     case "$1" in
@@ -131,6 +145,7 @@ run_stage() {
         simd)           stage_simd ;;
         dist)           stage_dist ;;
         sched)          stage_sched ;;
+        chaos)          stage_chaos ;;
         guard)          stage_guard ;;
         *)
             echo "check.sh: unknown stage '$1'" >&2

@@ -5,10 +5,17 @@
 //! lattice-Boltzmann path; finite differences exercises a different plan
 //! with different exchange counts).
 
+use proptest::prelude::*;
 use std::sync::Arc;
+use std::time::Duration;
+use subsonic_cluster::fault::FaultPlan;
 use subsonic_integration::poiseuille_problem;
+use subsonic_net::mesh::{connect, MeshBinding, MeshEvent, MeshSpec};
 use subsonic_net::supervisor::replay;
-use subsonic_net::{run_problem, NetConfig, NetKill, SolverKind, ThreadHost, TransportKind};
+use subsonic_net::wire::{decode_msg, encode_msg, Msg};
+use subsonic_net::{
+    run_problem, ChaosSpec, NetConfig, NetKill, SolverKind, ThreadHost, TransportKind, WireFaults,
+};
 use subsonic_obs::FlightRecorder;
 use subsonic_solvers::{FiniteDifference2, Solver2};
 
@@ -47,4 +54,156 @@ fn finite_difference_tcp_kill_recovers_bitwise() {
         std::env::temp_dir().join(format!("subsonic-netint-fd-replay-{}", std::process::id()));
     let replay_out = replay(&p, &record, &replay_dir, &recorder).expect("replay matches");
     assert_eq!(out.fields.first_difference(&replay_out.fields), None);
+}
+
+/// One halo frame for `step` (the payload the delivery contract is about).
+fn halo(step: u64) -> Vec<u8> {
+    encode_msg(&Msg::Halo {
+        epoch: 0,
+        step,
+        xch: 0,
+        face: 1,
+        data: vec![step as f64; 8],
+    })
+}
+
+/// Drives a star of real loopback UDP links — one faulted hub sending
+/// `steps` halos to each of `npeers` receivers — and checks the reliable
+/// transport's delivery contract end to end: every receiver gets every halo
+/// exactly once, in step order, and nothing extra arrives afterwards. The
+/// hub's first transmissions are mangled by a compiled [`FaultPlan`]; the
+/// retransmission, dedup and in-order layers must hide all of it.
+fn star_delivers_exactly_once(npeers: u32, steps: u64, plan: FaultPlan, seed: u64) {
+    let mut bindings: Vec<MeshBinding> = Vec::new();
+    for _ in 0..=npeers {
+        bindings.push(MeshBinding::bind(TransportKind::Udp, "127.0.0.1").expect("bind udp"));
+    }
+    let ports: Vec<u16> = bindings
+        .iter()
+        .map(|b| b.port().expect("bound port"))
+        .collect();
+    let peer_ids: Vec<u32> = (1..=npeers).collect();
+    let faults = Arc::new(WireFaults::new(
+        ChaosSpec::compile(&plan, seed, npeers + 1),
+        0,
+    ));
+
+    let mut iter = bindings.into_iter();
+    let hub_binding = iter.next().expect("hub binding");
+    let spec = MeshSpec {
+        me: 0,
+        epoch: 0,
+        peers: &peer_ids,
+        ports: &ports,
+        deadline: Duration::from_secs(5),
+        addr: "127.0.0.1",
+        faults: Some(Arc::clone(&faults)),
+    };
+    let mut hub = connect(hub_binding, &spec, None, &|| false).expect("hub mesh");
+
+    let receivers: Vec<_> = iter
+        .enumerate()
+        .map(|(i, binding)| {
+            let me = (i + 1) as u32;
+            let ports = ports.clone();
+            std::thread::spawn(move || {
+                let spec = MeshSpec {
+                    me,
+                    epoch: 0,
+                    peers: &[0],
+                    ports: &ports,
+                    deadline: Duration::from_secs(5),
+                    addr: "127.0.0.1",
+                    faults: None,
+                };
+                let mut mesh = connect(binding, &spec, None, &|| false).expect("peer mesh");
+                for s in 0..steps {
+                    match mesh
+                        .recv(Duration::from_secs(30))
+                        .expect("frame before deadline")
+                    {
+                        MeshEvent::Frame { from, payload } => {
+                            assert_eq!(from, 0);
+                            match decode_msg(&payload).expect("halo decodes") {
+                                Msg::Halo { step, .. } => assert_eq!(
+                                    step, s,
+                                    "worker {me}: loss/dup/reorder leaked into delivery order"
+                                ),
+                                other => panic!("unexpected {other:?}"),
+                            }
+                        }
+                        MeshEvent::Gone { .. } => panic!("worker {me} saw a phantom death"),
+                    }
+                }
+                // exactly once: after the last in-order halo, nothing more
+                // may reach the application
+                assert!(
+                    mesh.recv(Duration::from_millis(100)).is_err(),
+                    "worker {me}: a duplicate outlived the dedup layer"
+                );
+                mesh.teardown();
+            })
+        })
+        .collect();
+
+    for s in 0..steps {
+        faults.set_step(s);
+        for &p in &peer_ids {
+            hub.send(p, &halo(s)).expect("queue halo");
+        }
+    }
+    for r in receivers {
+        r.join().expect("receiver contract");
+    }
+    hub.teardown();
+}
+
+/// An arbitrary two-window wire-fault plan: one window drawn anywhere in the
+/// run, one covering it entirely, each with its own loss/dup/reorder rates.
+fn wire_plan(
+    steps: u64,
+    at: f64,
+    dur: f64,
+    rates1: (f64, f64, f64),
+    rates2: (f64, f64, f64),
+) -> FaultPlan {
+    FaultPlan::empty()
+        .msg_fault(None, None, at, dur, rates1.0, rates1.1, rates1.2)
+        .msg_fault(None, None, 0.0, steps as f64, rates2.0, rates2.1, rates2.2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// 2D-shaped star (4 neighbours): any seeded loss/dup/reorder plan over
+    /// real loopback UDP delivers every halo exactly once, in order.
+    #[test]
+    fn faulted_udp_2d_star_delivers_exactly_once(
+        at in 0.0f64..8.0,
+        dur in 1.0f64..10.0,
+        loss in 0.0f64..0.55,
+        dup in 0.0f64..0.5,
+        reorder in 0.0f64..0.8,
+        base in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let plan = wire_plan(10, at, dur, (loss, dup, reorder), (base, base, base));
+        star_delivers_exactly_once(4, 10, plan, seed);
+    }
+
+    /// 3D-shaped star (6 neighbours, a face per axis direction): the same
+    /// contract with more links contending on the one faulted socket.
+    #[test]
+    fn faulted_udp_3d_star_delivers_exactly_once(
+        at in 0.0f64..6.0,
+        dur in 1.0f64..8.0,
+        loss in 0.0f64..0.55,
+        dup in 0.0f64..0.5,
+        reorder in 0.0f64..0.8,
+        base in 0.0f64..0.4,
+        seed in any::<u64>(),
+    ) {
+        let plan = wire_plan(8, at, dur, (loss, dup, reorder), (base, base, base));
+        star_delivers_exactly_once(6, 8, plan, seed);
+    }
 }
